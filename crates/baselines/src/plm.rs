@@ -1,0 +1,194 @@
+//! PLM-based baselines (PICARD / RASAT / RESDSQL / Graphix-T5 analogs).
+//!
+//! These systems fine-tune a seq2seq PLM end-to-end, which (per §IV-B) makes them
+//! strong at operator composition but comparatively weak at intent/value fidelity —
+//! the inverse signature of the LLM rows in Table 4 (high EM, moderate EX, low TS).
+//!
+//! Mechanics: the system decodes a skeleton beam from the trained predictor; the
+//! composition is correct when the gold skeleton is recovered (top-1, or anywhere
+//! in the beam for constrained re-ranking à la PICARD). Because the paper's T5-3B
+//! is stronger than our naive-Bayes stand-in, each preset carries a calibrated
+//! `fidelity` bonus — the probability that the real model would have decoded the
+//! right composition even where our stand-in misses (documented in DESIGN.md §5).
+//! Slot filling then introduces linking/value errors at PLM-typical rates.
+
+use engine::Database;
+use eval::{Translation, Translator};
+use llm::writer::write_sample;
+use llm::{count_tokens, LlmProfile, CHATGPT};
+use nlmodel::SkeletonPredictor;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use spidergen::types::Example;
+use sqlkit::Skeleton;
+use std::sync::Arc;
+
+/// Preset parameters for one published PLM system.
+#[derive(Debug, Clone, Copy)]
+pub struct PlmConfig {
+    /// Display name.
+    pub name: &'static str,
+    /// Beam width.
+    pub beam: usize,
+    /// Whether the beam is re-ranked by executability (PICARD's constrained
+    /// decoding / RESDSQL's ranking stage).
+    pub constrained: bool,
+    /// Calibrated probability of recovering the composition when the stand-in
+    /// predictor misses (fine-tuning fidelity gap).
+    pub fidelity: f64,
+    /// Schema-linking slip rate.
+    pub linking_error: f64,
+    /// Wrong-constant rate (drives the large EX−TS gap of Table 4's PLM rows).
+    pub value_error: f64,
+}
+
+/// PICARD (Scholak et al. 2021): constrained auto-regressive decoding.
+pub const PICARD: PlmConfig = PlmConfig {
+    name: "PICARD",
+    beam: 1,
+    constrained: true,
+    fidelity: 0.32,
+    linking_error: 0.065,
+    value_error: 0.115,
+};
+
+/// RASAT (Qi et al. 2022): relation-aware self-attention.
+pub const RASAT: PlmConfig = PlmConfig {
+    name: "RASAT",
+    beam: 1,
+    constrained: false,
+    fidelity: 0.30,
+    linking_error: 0.055,
+    value_error: 0.110,
+};
+
+/// RESDSQL (Li et al. 2023): decoupled schema linking + skeleton parsing.
+pub const RESDSQL: PlmConfig = PlmConfig {
+    name: "RESDSQL",
+    beam: 1,
+    constrained: true,
+    fidelity: 0.50,
+    linking_error: 0.040,
+    value_error: 0.095,
+};
+
+/// Graphix-T5 (Li et al. 2023): graph-aware encoder layers.
+pub const GRAPHIX: PlmConfig = PlmConfig {
+    name: "Graphix-T5",
+    beam: 1,
+    constrained: false,
+    fidelity: 0.40,
+    linking_error: 0.050,
+    value_error: 0.085,
+};
+
+/// All four presets in the Table-4 order.
+pub const ALL_PLM: [PlmConfig; 4] = [PICARD, RASAT, RESDSQL, GRAPHIX];
+
+/// A PLM-based translator.
+pub struct PlmTranslator {
+    cfg: PlmConfig,
+    predictor: Arc<SkeletonPredictor>,
+    profile: LlmProfile,
+    counter: u64,
+}
+
+impl PlmTranslator {
+    /// Build from a preset and a trained skeleton predictor.
+    pub fn new(cfg: PlmConfig, predictor: Arc<SkeletonPredictor>) -> Self {
+        // PLMs are grammar-constrained decoders: no hallucinated functions or
+        // mangled identifiers, canonical SQL shapes (low equivalence bias), and the
+        // preset's linking/value rates.
+        let profile = LlmProfile {
+            name: "PLM",
+            linking_error: cfg.linking_error,
+            value_error: cfg.value_error,
+            halluc_rate: 0.0,
+            equivalent_bias: 0.45,
+            ..CHATGPT
+        };
+        PlmTranslator { cfg, predictor, profile, counter: 0 }
+    }
+}
+
+impl Translator for PlmTranslator {
+    fn name(&self) -> String {
+        self.cfg.name.to_string()
+    }
+
+    fn translate(&mut self, ex: &Example, db: &Database) -> Translation {
+        self.counter += 1;
+        let seed = 0x9d2c5680u64
+            .wrapping_mul(self.counter)
+            .wrapping_add(self.cfg.name.len() as u64);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let gold_skel = Skeleton::from_query(&ex.query);
+        let beam = self.predictor.predict(&ex.nl, db, self.cfg.beam);
+        let decoded_ok = if self.cfg.constrained {
+            // Constrained decoding rescues the composition when it is anywhere in
+            // the beam (invalid prefixes are pruned, so the right candidate
+            // surfaces).
+            beam.iter().any(|p| p.skeleton == gold_skel)
+        } else {
+            beam.first().map(|p| p.skeleton == gold_skel).unwrap_or(false)
+        };
+        let composition_ok = decoded_ok || rng.random_bool(self.cfg.fidelity);
+
+        // Variants degrade PLM schema linking too (Fig. 10's premise): fine-tuned
+        // linkers depend on lexical overlap even more than LLMs do.
+        let sql = write_sample(
+            &self.profile,
+            &ex.query,
+            db,
+            ex.linking_noise * 1.5,
+            true,
+            composition_ok,
+            &mut rng,
+        );
+        Translation {
+            sql: sql.clone(),
+            // Local inference: no API tokens; report raw text sizes for reference.
+            prompt_tokens: count_tokens(&ex.nl),
+            output_tokens: count_tokens(&sql),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eval::evaluate;
+    use nlmodel::SkeletonPredictor;
+    use spidergen::{generate_suite, GenConfig};
+
+    #[test]
+    fn plm_rows_have_high_em_and_larger_ex_minus_ts_gap() {
+        let suite = generate_suite(&GenConfig::tiny(66));
+        let predictor = Arc::new(SkeletonPredictor::train(&suite.train));
+        let mut resdsql = PlmTranslator::new(RESDSQL, predictor.clone());
+        let r = evaluate(&mut resdsql, &suite.dev, None);
+        assert!(r.overall.em_pct() > 50.0, "RESDSQL EM too low: {:.1}", r.overall.em_pct());
+        let mut picard = PlmTranslator::new(PICARD, predictor);
+        let rp = evaluate(&mut picard, &suite.dev, None);
+        assert!(
+            r.overall.em_pct() >= rp.overall.em_pct(),
+            "RESDSQL {:.1} should be at least PICARD {:.1}",
+            r.overall.em_pct(),
+            rp.overall.em_pct()
+        );
+    }
+
+    #[test]
+    fn constrained_decoding_helps_composition() {
+        let suite = generate_suite(&GenConfig::tiny(67));
+        let predictor = Arc::new(SkeletonPredictor::train(&suite.train));
+        let unconstrained = PlmConfig { constrained: false, fidelity: 0.0, beam: 4, ..PICARD };
+        let constrained = PlmConfig { constrained: true, fidelity: 0.0, beam: 4, ..PICARD };
+        let em = |cfg| {
+            let mut t = PlmTranslator::new(cfg, predictor.clone());
+            evaluate(&mut t, &suite.dev, None).overall.em_pct()
+        };
+        assert!(em(constrained) > em(unconstrained));
+    }
+}

@@ -1,0 +1,142 @@
+//! One Criterion bench per paper table/figure: times the full regeneration of each
+//! experiment at tiny scale. These are the `cargo bench` entry points matching the
+//! DESIGN.md experiment index; the printed numbers themselves come from the `repro`
+//! binary (`cargo run --release -p purple-bench --bin repro`).
+
+use bench_harness::{experiments as exp, ReproContext, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn ctx() -> ReproContext {
+    ReproContext::build(Scale::Tiny, 42)
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let context = ctx();
+    c.bench_function("repro/table2_error_catalogue", |b| {
+        b.iter(|| black_box(exp::table2(&context)))
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let context = ctx();
+    c.bench_function("repro/table3_statistics", |b| b.iter(|| black_box(exp::table3(&context))));
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repro");
+    group.sample_size(10);
+    group.bench_function("table4_and_table1_full_matrix", |b| {
+        b.iter(|| {
+            let mut context = ctx();
+            black_box(exp::table4(&mut context))
+        })
+    });
+    group.finish();
+}
+
+fn bench_table5(c: &mut Criterion) {
+    let context = ctx();
+    let mut group = c.benchmark_group("repro");
+    group.sample_size(10);
+    group.bench_function("table5_model_sensitivity", |b| {
+        b.iter(|| black_box(exp::table5(&context)))
+    });
+    group.finish();
+}
+
+fn bench_table6(c: &mut Criterion) {
+    let context = ctx();
+    let mut group = c.benchmark_group("repro");
+    group.sample_size(10);
+    group.bench_function("table6_ablations", |b| b.iter(|| black_box(exp::table6(&context))));
+    group.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let context = ctx();
+    let mut group = c.benchmark_group("repro");
+    group.sample_size(10);
+    group.bench_function("fig9_hardness_breakdown", |b| b.iter(|| black_box(exp::fig9(&context))));
+    group.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let context = ctx();
+    let mut group = c.benchmark_group("repro");
+    group.sample_size(10);
+    group.bench_function("fig10_variant_generalization", |b| {
+        b.iter(|| black_box(exp::fig10(&context)))
+    });
+    group.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let context = ctx();
+    let mut group = c.benchmark_group("repro");
+    group.sample_size(10);
+    group.bench_function("fig11_budget_grid", |b| b.iter(|| black_box(exp::fig11(&context))));
+    group.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let context = ctx();
+    let mut group = c.benchmark_group("repro");
+    group.sample_size(10);
+    group.bench_function("fig12_selection_robustness", |b| {
+        b.iter(|| {
+            black_box(exp::fig12_left(&context));
+            black_box(exp::fig12_right(&context))
+        })
+    });
+    group.finish();
+}
+
+fn bench_automaton_stats(c: &mut Criterion) {
+    let context = ctx();
+    c.bench_function("repro/automaton_end_state_ratio", |b| {
+        b.iter(|| black_box(exp::automaton_stats(&context)))
+    });
+}
+
+fn bench_pipeline_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("purple_training", |b| {
+        b.iter(|| {
+            let suite = spidergen::generate_suite(&spidergen::GenConfig::tiny(9));
+            black_box(purple::Purple::new(
+                &suite.train,
+                purple::PurpleConfig::default_with(llm::CHATGPT),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_translate_latency(c: &mut Criterion) {
+    let context = ctx();
+    let mut system = context.purple.with_config(purple::PurpleConfig::default_with(llm::CHATGPT));
+    let ex = &context.suite.dev.examples[0];
+    let db = context.suite.dev.db_of(ex);
+    c.bench_function("pipeline/translate_one_query", |b| {
+        b.iter(|| black_box(system.run(ex, db)))
+    });
+}
+
+criterion_group!(
+    experiments,
+    bench_table2,
+    bench_table3,
+    bench_table4,
+    bench_table5,
+    bench_table6,
+    bench_fig9,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12,
+    bench_automaton_stats,
+    bench_pipeline_training,
+    bench_translate_latency
+);
+criterion_main!(experiments);

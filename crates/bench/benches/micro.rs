@@ -1,0 +1,190 @@
+//! Micro-benchmarks of the core operations: parsing, skeleton extraction and
+//! abstraction, automaton construction/matching, Steiner-tree pruning,
+//! demonstration selection, engine execution, and database adaption.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use purple::{select_demonstrations, AutomatonSet, SelectionConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spidergen::{generate_suite, GenConfig};
+use sqlkit::{parse, Level, Skeleton};
+use std::hint::black_box;
+
+const FIG1_GOLD: &str = "SELECT Country FROM tv_channel EXCEPT SELECT T1.Country FROM \
+                         tv_channel AS T1 JOIN cartoon AS T2 ON T1.id = T2.channel WHERE \
+                         T2.written_by = 'Todd Casey'";
+
+fn bench_parser(c: &mut Criterion) {
+    c.bench_function("parse/fig1_gold", |b| b.iter(|| parse(black_box(FIG1_GOLD)).unwrap()));
+    let complex = "SELECT T1.a, COUNT(*) FROM t AS T1 JOIN u AS T2 ON T1.x = T2.y WHERE T2.b \
+                   BETWEEN 1 AND 5 AND T2.c LIKE '%k%' GROUP BY T1.a HAVING COUNT(*) >= 2 \
+                   ORDER BY COUNT(*) DESC LIMIT 3";
+    c.bench_function("parse/complex", |b| b.iter(|| parse(black_box(complex)).unwrap()));
+}
+
+fn bench_skeleton(c: &mut Criterion) {
+    let q = parse(FIG1_GOLD).unwrap();
+    c.bench_function("skeleton/extract", |b| b.iter(|| Skeleton::from_query(black_box(&q))));
+    let s = Skeleton::from_query(&q);
+    c.bench_function("skeleton/abstract_all_levels", |b| {
+        b.iter(|| {
+            for level in Level::ALL {
+                black_box(s.at_level(level));
+            }
+        })
+    });
+    c.bench_function("skeleton/parse_text", |b| {
+        b.iter(|| Skeleton::parse(black_box("SELECT _ FROM _ WHERE _ NOT IN ( SELECT _ FROM _ )")))
+    });
+}
+
+fn bench_automaton(c: &mut Criterion) {
+    let suite = generate_suite(&GenConfig::tiny(7));
+    let skeletons: Vec<Skeleton> =
+        suite.train.examples.iter().map(|e| Skeleton::from_query(&e.query)).collect();
+    c.bench_function("automaton/build_150", |b| {
+        b.iter(|| AutomatonSet::build(black_box(&skeletons)))
+    });
+    let autos = AutomatonSet::build(&skeletons);
+    let probe = Skeleton::from_query(&suite.dev.examples[0].query);
+    c.bench_function("automaton/match_all_levels", |b| {
+        b.iter(|| {
+            for level in Level::ALL {
+                black_box(autos.at(level).matches(&probe));
+            }
+        })
+    });
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let suite = generate_suite(&GenConfig::tiny(7));
+    let skeletons: Vec<Skeleton> =
+        suite.train.examples.iter().map(|e| Skeleton::from_query(&e.query)).collect();
+    let autos = AutomatonSet::build(&skeletons);
+    let preds = vec![nlmodel::SkeletonPrediction {
+        skeleton: Skeleton::from_query(&suite.dev.examples[0].query),
+        probability: 1.0,
+    }];
+    c.bench_function("selection/algorithm1", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(5),
+            |mut rng| {
+                black_box(select_demonstrations(
+                    &autos,
+                    &preds,
+                    &SelectionConfig::default(),
+                    skeletons.len(),
+                    &mut rng,
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_steiner(c: &mut Criterion) {
+    // A 4-table chain plus an isolated node, terminals at the ends.
+    let mut schema = sqlkit::Schema::new("chain");
+    for name in ["a", "b", "c", "d", "e"] {
+        schema.tables.push(sqlkit::Table {
+            name: name.into(),
+            display: name.into(),
+            columns: vec![sqlkit::Column::new("id", sqlkit::ColumnType::Int)],
+            primary_key: Some(0),
+        });
+    }
+    for (f, t) in [(0usize, 1usize), (1, 2), (2, 3), (3, 4)] {
+        schema.foreign_keys.push(sqlkit::ForeignKey {
+            from: sqlkit::ColumnId { table: f, column: 0 },
+            to: sqlkit::ColumnId { table: t, column: 0 },
+        });
+    }
+    c.bench_function("pruning/steiner_chain5", |b| {
+        b.iter(|| purple::steiner_tree(black_box(&schema), black_box(&[0, 4, 2])))
+    });
+}
+
+fn bench_steiner_exact_vs_approx(c: &mut Criterion) {
+    // A 6x5 grid schema (30 tables) with 8 terminals: large enough that the
+    // exact DP's bitmask cost shows against the Mehlhorn 2-approximation —
+    // the ablation behind `steiner_tree_auto`'s switch-over.
+    let mut schema = sqlkit::Schema::new("grid");
+    let (w, h) = (6usize, 5usize);
+    for i in 0..w * h {
+        schema.tables.push(sqlkit::Table {
+            name: format!("t{i}"),
+            display: format!("t{i}"),
+            columns: vec![sqlkit::Column::new("id", sqlkit::ColumnType::Int)],
+            primary_key: Some(0),
+        });
+    }
+    let idx = |x: usize, y: usize| y * w + x;
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                schema.foreign_keys.push(sqlkit::ForeignKey {
+                    from: sqlkit::ColumnId { table: idx(x, y), column: 0 },
+                    to: sqlkit::ColumnId { table: idx(x + 1, y), column: 0 },
+                });
+            }
+            if y + 1 < h {
+                schema.foreign_keys.push(sqlkit::ForeignKey {
+                    from: sqlkit::ColumnId { table: idx(x, y), column: 0 },
+                    to: sqlkit::ColumnId { table: idx(x, y + 1), column: 0 },
+                });
+            }
+        }
+    }
+    let terminals: Vec<usize> = vec![0, 5, 24, 29, 12, 17, 3, 26];
+    c.bench_function("pruning/steiner_exact_grid30_k8", |b| {
+        b.iter(|| purple::steiner_tree(black_box(&schema), black_box(&terminals)))
+    });
+    c.bench_function("pruning/steiner_approx_grid30_k8", |b| {
+        b.iter(|| purple::steiner_tree_approx(black_box(&schema), black_box(&terminals)))
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let suite = generate_suite(&GenConfig::tiny(7));
+    let ex = suite
+        .dev
+        .examples
+        .iter()
+        .find(|e| e.query.core.from.len() > 1)
+        .unwrap_or(&suite.dev.examples[0]);
+    let db = suite.dev.db_of(ex);
+    c.bench_function("engine/execute_join_query", |b| {
+        b.iter(|| engine::execute(black_box(db), black_box(&ex.query)).unwrap())
+    });
+}
+
+fn bench_adaption(c: &mut Criterion) {
+    let suite = generate_suite(&GenConfig::tiny(7));
+    let ex = &suite.dev.examples[0];
+    let db = suite.dev.db_of(ex);
+    let mut rng = StdRng::seed_from_u64(3);
+    // Build one broken SQL with a hallucination to repair.
+    let mut q = ex.query.clone();
+    let _ = llm::writer::inject_hallucination(&mut q, db, &mut rng);
+    let broken = q.to_string();
+    c.bench_function("adaption/repair_loop", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(9),
+            |mut rng| black_box(purple::adapt_sql(&broken, db, &mut rng)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    micro,
+    bench_parser,
+    bench_skeleton,
+    bench_automaton,
+    bench_selection,
+    bench_steiner,
+    bench_steiner_exact_vs_approx,
+    bench_engine,
+    bench_adaption
+);
+criterion_main!(micro);

@@ -1,0 +1,318 @@
+//! `repro` — regenerate every table and figure of the PURPLE paper.
+//!
+//! ```text
+//! repro [--scale tiny|medium|full] [--seed N] [EXPERIMENTS...]
+//!
+//! EXPERIMENTS: --table1 --table2 --table3 --table4 --table5 --table6
+//!              --fig9 --fig10 --fig11 --fig12 --automaton-stats --all
+//! ```
+//!
+//! With no experiment flags, `--all` is assumed. `--scale medium` is the default
+//! recorded in EXPERIMENTS.md; `full` matches the paper's Table-3 sizes.
+
+use bench_harness::{experiments as exp, report, ReproContext, Scale};
+use std::time::Instant;
+
+#[derive(Default)]
+struct Args {
+    scale: Option<Scale>,
+    seed: u64,
+    table1: bool,
+    table2: bool,
+    table3: bool,
+    table4: bool,
+    table5: bool,
+    table6: bool,
+    fig9: bool,
+    fig10: bool,
+    fig11: bool,
+    fig12: bool,
+    automaton: bool,
+    support: bool,
+    rewrites: bool,
+    generation: bool,
+    sweep: bool,
+    model_stats: bool,
+    errors: bool,
+    cost: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { seed: 42, ..Default::default() };
+    let mut any = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_default();
+                args.scale = Scale::parse(&v);
+                if args.scale.is_none() {
+                    eprintln!("unknown scale `{v}` (tiny|medium|full)");
+                    std::process::exit(2);
+                }
+            }
+            "--seed" => {
+                args.seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--table1" => {
+                args.table1 = true;
+                any = true;
+            }
+            "--table2" => {
+                args.table2 = true;
+                any = true;
+            }
+            "--table3" => {
+                args.table3 = true;
+                any = true;
+            }
+            "--table4" => {
+                args.table4 = true;
+                any = true;
+            }
+            "--table5" => {
+                args.table5 = true;
+                any = true;
+            }
+            "--table6" => {
+                args.table6 = true;
+                any = true;
+            }
+            "--fig9" => {
+                args.fig9 = true;
+                any = true;
+            }
+            "--fig10" => {
+                args.fig10 = true;
+                any = true;
+            }
+            "--fig11" => {
+                args.fig11 = true;
+                any = true;
+            }
+            "--fig12" => {
+                args.fig12 = true;
+                any = true;
+            }
+            "--automaton-stats" => {
+                args.automaton = true;
+                any = true;
+            }
+            "--support-stats" => {
+                args.support = true;
+                any = true;
+            }
+            "--rewrite-stats" => {
+                args.rewrites = true;
+                any = true;
+            }
+            "--extension-generation" => {
+                args.generation = true;
+                any = true;
+            }
+            "--seed-sweep" => {
+                args.sweep = true;
+                any = true;
+            }
+            "--model-stats" => {
+                args.model_stats = true;
+                any = true;
+            }
+            "--error-analysis" => {
+                args.errors = true;
+                any = true;
+            }
+            "--cost-report" => {
+                args.cost = true;
+                any = true;
+            }
+            "--all" => {
+                any = true;
+                args.table1 = true;
+                args.table2 = true;
+                args.table3 = true;
+                args.table4 = true;
+                args.table5 = true;
+                args.table6 = true;
+                args.fig9 = true;
+                args.fig10 = true;
+                args.fig11 = true;
+                args.fig12 = true;
+                args.automaton = true;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "repro [--scale tiny|medium|full] [--seed N] [--table1..6] [--fig9..12] \
+                     [--automaton-stats] [--all]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !any {
+        args.table1 = true;
+        args.table2 = true;
+        args.table3 = true;
+        args.table4 = true;
+        args.table5 = true;
+        args.table6 = true;
+        args.fig9 = true;
+        args.fig10 = true;
+        args.fig11 = true;
+        args.fig12 = true;
+        args.automaton = true;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let scale = args.scale.unwrap_or(Scale::Medium);
+    let t0 = Instant::now();
+    eprintln!("[repro] building context (scale {scale:?}, seed {})...", args.seed);
+    let mut ctx = ReproContext::build(scale, args.seed);
+    eprintln!(
+        "[repro] suite ready: train {} ex / {} dbs, dev {} ex / {} dbs ({:.1}s)",
+        ctx.suite.train.examples.len(),
+        ctx.suite.train.databases.len(),
+        ctx.suite.dev.examples.len(),
+        ctx.suite.dev.databases.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    if args.table3 {
+        println!("{}", report::render_table3(&exp::table3(&ctx)));
+    }
+    if args.automaton {
+        println!("{}", report::render_automaton(exp::automaton_stats(&ctx)));
+    }
+    if args.rewrites {
+        let (eq, preserved, total) = exp::rewrite_stats(&ctx);
+        println!(
+            "Near-miss rewrites: {:.0} draws, {:.1}% equivalent-family, {:.1}% EX-preserving\n",
+            total,
+            eq * 100.0,
+            preserved * 100.0
+        );
+    }
+    if args.support {
+        println!("Support-level histogram (Detail/Keywords/Structure/Clause/None):");
+        for (name, hist) in exp::support_stats(&ctx) {
+            println!("  {name:<12} {hist:?}");
+        }
+        println!();
+    }
+    if args.table2 {
+        println!("{}", report::render_table2(&exp::table2(&ctx)));
+    }
+    if args.table4 || args.table1 {
+        eprintln!("[repro] running Table 4 ({:.1}s)...", t0.elapsed().as_secs_f64());
+        let rows = exp::table4(&mut ctx);
+        if args.table1 {
+            println!(
+                "{}",
+                report::render_rows(
+                    "Table 1: LLMs-based approaches accuracy on the validation split",
+                    &exp::table1(&rows),
+                    false
+                )
+            );
+        }
+        if args.table4 {
+            println!(
+                "{}",
+                report::render_rows("Table 4: translation accuracy (EM/EX/TS)", &rows, true)
+            );
+        }
+    }
+    if args.fig9 {
+        eprintln!("[repro] running Figure 9 ({:.1}s)...", t0.elapsed().as_secs_f64());
+        println!("{}", report::render_fig9(&exp::fig9(&ctx)));
+    }
+    if args.fig10 {
+        eprintln!("[repro] running Figure 10 ({:.1}s)...", t0.elapsed().as_secs_f64());
+        println!("{}", report::render_fig10(&exp::fig10(&ctx)));
+    }
+    if args.fig11 {
+        eprintln!("[repro] running Figure 11 ({:.1}s)...", t0.elapsed().as_secs_f64());
+        println!("{}", report::render_fig11(&exp::fig11(&ctx)));
+    }
+    if args.fig12 {
+        eprintln!("[repro] running Figure 12 ({:.1}s)...", t0.elapsed().as_secs_f64());
+        println!("{}", report::render_fig12(&exp::fig12_left(&ctx), &exp::fig12_right(&ctx)));
+    }
+    if args.table5 {
+        eprintln!("[repro] running Table 5 ({:.1}s)...", t0.elapsed().as_secs_f64());
+        println!(
+            "{}",
+            report::render_rows("Table 5: EM/EX under ChatGPT vs GPT4", &exp::table5(&ctx), false)
+        );
+    }
+    if args.table6 {
+        eprintln!("[repro] running Table 6 ({:.1}s)...", t0.elapsed().as_secs_f64());
+        println!("{}", report::render_rows("Table 6: ablation study", &exp::table6(&ctx), false));
+    }
+    if args.model_stats {
+        println!("{}", exp::model_stats(&ctx));
+    }
+    if args.errors {
+        eprintln!("[repro] running error analysis ({:.1}s)...", t0.elapsed().as_secs_f64());
+        println!("Failure-mode analysis on dev");
+        println!("----------------------------");
+        for (name, report) in exp::error_analysis(&ctx) {
+            println!("{name}:");
+            print!("{}", report.render());
+        }
+        println!();
+    }
+    if args.cost {
+        eprintln!("[repro] running cost report ({:.1}s)...", t0.elapsed().as_secs_f64());
+        println!("Cost report (§V-D): tokens and 2023-list-price dollars per query");
+        println!("----------------------------------------------------------------");
+        println!(
+            "{:<18} {:>12} {:>12} {:>12} {:>7}",
+            "system", "tok/query", "USD/query", "USD total", "EM%"
+        );
+        for r in exp::cost_report(&ctx) {
+            println!(
+                "{:<18} {:>12.0} {:>12.4} {:>12.2} {:>7.1}",
+                r.system, r.tokens_per_query, r.usd_per_query, r.usd_total, r.em
+            );
+        }
+        println!();
+    }
+    if args.sweep {
+        eprintln!("[repro] running seed sweep ({:.1}s)...", t0.elapsed().as_secs_f64());
+        let seeds: Vec<u64> = (0..5).map(|i| args.seed.wrapping_add(i * 1009)).collect();
+        let rows = exp::seed_sweep(scale, &seeds);
+        println!("Seed sweep: PURPLE (ChatGPT) across regenerated benchmarks");
+        println!("----------------------------------------------------------");
+        for (seed, em, ex) in &rows {
+            println!("  seed {seed:<8} EM {em:>5.1}%  EX {ex:>5.1}%");
+        }
+        let (em_mu, em_sd) = exp::mean_std(&rows.iter().map(|r| r.1).collect::<Vec<_>>());
+        let (ex_mu, ex_sd) = exp::mean_std(&rows.iter().map(|r| r.2).collect::<Vec<_>>());
+        println!("  mean ± std     EM {em_mu:.1} ± {em_sd:.1}   EX {ex_mu:.1} ± {ex_sd:.1}");
+        println!();
+    }
+    if args.generation {
+        eprintln!(
+            "[repro] running generation-based prompting extension ({:.1}s)...",
+            t0.elapsed().as_secs_f64()
+        );
+        println!("Extension: demonstration sourcing (§VII future work)");
+        println!("----------------------------------------------------");
+        for r in exp::extension_generation(&ctx) {
+            println!("{:<20} EM {:>5.1}%  EX {:>5.1}%", r.label, r.em, r.ex);
+        }
+        println!();
+    }
+    eprintln!("[repro] done in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,73 @@
+//! Shared experiment context: one generated suite + trained PURPLE models reused by
+//! every table/figure reproduction.
+
+use baselines::SharedModels;
+use eval::{build_suites, SuiteConfig, TestSuite};
+use llm::CHATGPT;
+use purple::{Purple, PurpleConfig};
+use spidergen::{generate_suite, GenConfig, Suite};
+
+/// Experiment scale: trade wall-clock for statistical resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Unit-test scale (seconds).
+    Tiny,
+    /// Default harness scale (minutes) — the scale EXPERIMENTS.md records.
+    Medium,
+    /// Paper-size suite (Table 3 sizes).
+    Full,
+}
+
+impl Scale {
+    /// Parse from a CLI string.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "medium" => Some(Scale::Medium),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// The generation config for this scale.
+    pub fn gen_config(self, seed: u64) -> GenConfig {
+        match self {
+            Scale::Tiny => GenConfig::tiny(seed),
+            Scale::Medium => GenConfig::medium(seed),
+            Scale::Full => GenConfig::full(seed),
+        }
+    }
+}
+
+/// Everything the experiments need, built once.
+pub struct ReproContext {
+    /// The generated benchmark suite.
+    pub suite: Suite,
+    /// Trained PURPLE (ChatGPT profile); ablations/model swaps derive from it.
+    pub purple: Purple,
+    /// Shared trained models for the baselines.
+    pub models: SharedModels,
+    /// Distilled test suites for the dev split (TS metric), built lazily.
+    pub dev_suites: Option<Vec<TestSuite>>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ReproContext {
+    /// Build the context at a scale.
+    pub fn build(scale: Scale, seed: u64) -> Self {
+        let suite = generate_suite(&scale.gen_config(seed));
+        let purple = Purple::new(&suite.train, PurpleConfig::default_with(CHATGPT));
+        let models = SharedModels::from_purple(&purple);
+        ReproContext { suite, purple, models, dev_suites: None, seed }
+    }
+
+    /// Build (or get) the distilled dev test suites.
+    pub fn dev_suites(&mut self) -> &[TestSuite] {
+        if self.dev_suites.is_none() {
+            let cfg = SuiteConfig { candidates: 40, max_kept: 8, probe_queries: 24 };
+            self.dev_suites = Some(build_suites(&self.suite.dev, cfg, self.seed ^ 0x7e57));
+        }
+        self.dev_suites.as_ref().expect("just built")
+    }
+}

@@ -1,0 +1,18 @@
+//! # purple-bench
+//!
+//! Benchmark harness regenerating every table and figure of the PURPLE paper.
+//! `ReproContext` builds the suite and trains the models once; the functions in
+//! [`experiments`] run each experiment; [`report`] renders paper-vs-measured
+//! tables. The `repro` binary drives everything from the command line, and the
+//! Criterion benches under `benches/` time the core operations.
+
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod experiments;
+pub mod report;
+
+#[cfg(test)]
+mod tests;
+
+pub use context::{ReproContext, Scale};

@@ -1,0 +1,186 @@
+//! Text rendering of experiment results, side-by-side with the paper's numbers.
+
+use crate::experiments::{AdaptionDemo, BudgetCell, HardnessRow, RobustRow, Row, VariantRow};
+use spidergen::SplitStats;
+
+fn hr(width: usize) -> String {
+    "-".repeat(width)
+}
+
+/// Render Table 1/4/5/6-style rows.
+pub fn render_rows(title: &str, rows: &[Row], with_ts: bool) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("{title}\n{}\n", hr(title.len())));
+    if with_ts {
+        s.push_str(&format!(
+            "{:<28} {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}\n",
+            "system", "EM%", "EX%", "TS%", "paper", "paper", "paper"
+        ));
+        for r in rows {
+            s.push_str(&format!(
+                "{:<28} {:>7.1} {:>7.1} {:>7.1} | {:>7.1} {:>7.1} {:>7.1}\n",
+                r.system, r.em, r.ex, r.ts, r.paper.0, r.paper.1, r.paper.2
+            ));
+        }
+    } else {
+        s.push_str(&format!(
+            "{:<28} {:>7} {:>7} | {:>8} {:>8}\n",
+            "system", "EM%", "EX%", "paperEM", "paperEX"
+        ));
+        for r in rows {
+            s.push_str(&format!(
+                "{:<28} {:>7.1} {:>7.1} | {:>8.1} {:>8.1}\n",
+                r.system, r.em, r.ex, r.paper.0, r.paper.1
+            ));
+        }
+    }
+    s
+}
+
+/// Render Fig. 9 per-hardness rows.
+pub fn render_fig9(rows: &[HardnessRow]) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 9: EM/EX by SQL hardness on the validation split\n");
+    s.push_str(&hr(56));
+    s.push('\n');
+    if let Some(first) = rows.first() {
+        s.push_str(&format!(
+            "bucket sizes: easy={} medium={} hard={} extra={}\n",
+            first.counts[0], first.counts[1], first.counts[2], first.counts[3]
+        ));
+    }
+    s.push_str(&format!(
+        "{:<24} {:>11} {:>11} {:>11} {:>11}\n",
+        "system", "easy", "medium", "hard", "extra"
+    ));
+    for r in rows {
+        let cell = |i: usize| format!("{:.0}/{:.0}", r.by_hardness[i].0, r.by_hardness[i].1);
+        s.push_str(&format!(
+            "{:<24} {:>11} {:>11} {:>11} {:>11}\n",
+            r.system,
+            cell(0),
+            cell(1),
+            cell(2),
+            cell(3)
+        ));
+    }
+    s.push_str("(cells are EM/EX %)\n");
+    s
+}
+
+/// Render Fig. 10 variant rows.
+pub fn render_fig10(rows: &[VariantRow]) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 10: generalization to Spider-DK / SYN / Realistic analogs\n");
+    s.push_str(&hr(62));
+    s.push('\n');
+    s.push_str(&format!(
+        "{:<24} {:<10} {:>7} {:>7} | {:>8} {:>8}\n",
+        "system", "split", "EM%", "EX%", "paperEM", "paperEX"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<24} {:<10} {:>7.1} {:>7.1} | {:>8.1} {:>8.1}\n",
+            r.system, r.split, r.em, r.ex, r.paper.0, r.paper.1
+        ));
+    }
+    s
+}
+
+/// Render the Fig. 11 budget grid.
+pub fn render_fig11(cells: &[BudgetCell]) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 11: PURPLE (ChatGPT) accuracy & token cost under budgets\n");
+    s.push_str(&hr(62));
+    s.push('\n');
+    s.push_str(&format!(
+        "{:>6} {:>5} {:>9} {:>7} {:>7} {:>10}\n",
+        "len", "num", "status", "EM%", "EX%", "avg-tokens"
+    ));
+    for c in cells {
+        if c.available {
+            s.push_str(&format!(
+                "{:>6} {:>5} {:>9} {:>7.1} {:>7.1} {:>10.0}\n",
+                c.len, c.num, "ok", c.em, c.ex, c.tokens
+            ));
+        } else {
+            s.push_str(&format!(
+                "{:>6} {:>5} {:>9} {:>7} {:>7} {:>10}\n",
+                c.len, c.num, "N/A", "-", "-", "-"
+            ));
+        }
+    }
+    s
+}
+
+/// Render Fig. 12 robustness rows.
+pub fn render_fig12(left: &[RobustRow], right: &[RobustRow]) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 12 (left): selection hyper-parameters\n");
+    s.push_str(&hr(44));
+    s.push('\n');
+    for r in left {
+        s.push_str(&format!("{:<22} EM {:>5.1}%  EX {:>5.1}%\n", r.label, r.em, r.ex));
+    }
+    s.push_str("\nFigure 12 (right): skeleton-prediction noise\n");
+    s.push_str(&hr(44));
+    s.push('\n');
+    for r in right {
+        s.push_str(&format!("{:<22} EM {:>5.1}%  EX {:>5.1}%\n", r.label, r.em, r.ex));
+    }
+    s
+}
+
+/// Render Table 3 statistics (paper sizes in brackets).
+pub fn render_table3(stats: &[SplitStats]) -> String {
+    const PAPER: &[(&str, usize, usize, f64, f64)] = &[
+        ("train", 8659, 146, 66.6, 122.9),
+        ("dev", 1034, 20, 68.0, 106.7),
+        ("dk", 535, 10, 66.0, 109.5),
+        ("realistic", 508, 20, 64.8, 115.3),
+        ("syn", 1034, 20, 68.8, 106.7),
+    ];
+    let mut s = String::new();
+    s.push_str("Table 3: benchmark statistics (paper values in brackets)\n");
+    s.push_str(&hr(56));
+    s.push('\n');
+    s.push_str(&format!(
+        "{:<11} {:>16} {:>14} {:>16} {:>17}\n",
+        "split", "queries", "databases", "avg NL len", "avg SQL len"
+    ));
+    for (st, p) in stats.iter().zip(PAPER) {
+        s.push_str(&format!(
+            "{:<11} {:>9} [{:>4}] {:>8} [{:>3}] {:>9.1} [{:>4.1}] {:>10.1} [{:>5.1}]\n",
+            st.name, st.queries, p.1, st.databases, p.2, st.avg_nl_len, p.3, st.avg_sql_len, p.4
+        ));
+    }
+    s
+}
+
+/// Render the Table-2 adaption demos.
+pub fn render_table2(demos: &[AdaptionDemo]) -> String {
+    let mut s = String::new();
+    s.push_str("Table 2: LLM error categories, engine diagnosis, and adaption fixes\n");
+    s.push_str(&hr(66));
+    s.push('\n');
+    for d in demos {
+        s.push_str(&format!("[{}]\n", d.category));
+        s.push_str(&format!("  broken: {}\n", d.broken));
+        s.push_str(&format!("  error:  {}\n", d.error));
+        s.push_str(&format!(
+            "  fixed:  {}  ({})\n\n",
+            d.fixed,
+            if d.executable { "executes" } else { "still failing" }
+        ));
+    }
+    s
+}
+
+/// Render the automaton end-state ratio.
+pub fn render_automaton(ratio: [usize; 4]) -> String {
+    format!(
+        "Automaton end states (Detail:Keywords:Structure:Clause) = {}:{}:{}:{}\n\
+         (paper reports 912:708:363:59 on Spider train)\n",
+        ratio[0], ratio[1], ratio[2], ratio[3]
+    )
+}

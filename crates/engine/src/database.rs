@@ -1,0 +1,128 @@
+//! In-memory database: a [`Schema`] plus row storage per table.
+
+use crate::dialect::Dialect;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use sqlkit::Schema;
+
+/// A row of values, one per column of the owning table.
+pub type Row = Vec<Value>;
+
+/// An in-memory database instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Database {
+    /// The schema.
+    pub schema: Schema,
+    /// Row storage, parallel to `schema.tables`.
+    pub rows: Vec<Vec<Row>>,
+    /// The SQL dialect this database speaks (default SQLite, as in the paper).
+    #[serde(default)]
+    pub dialect: Dialect,
+}
+
+impl Database {
+    /// An empty database over the given schema (SQLite dialect).
+    pub fn empty(schema: Schema) -> Self {
+        let rows = vec![Vec::new(); schema.tables.len()];
+        Database { schema, rows, dialect: Dialect::sqlite() }
+    }
+
+    /// Switch the database's dialect (builder style).
+    pub fn with_dialect(mut self, dialect: Dialect) -> Self {
+        self.dialect = dialect;
+        self
+    }
+
+    /// Append a row to a table by index. Panics if the arity differs from the table
+    /// definition — population code is the only writer and must be consistent.
+    pub fn insert(&mut self, table: usize, row: Row) {
+        assert_eq!(
+            row.len(),
+            self.schema.tables[table].columns.len(),
+            "row arity mismatch for table {}",
+            self.schema.tables[table].name
+        );
+        self.rows[table].push(row);
+    }
+
+    /// Append a row to a table by name. Returns false when the table is unknown.
+    pub fn insert_by_name(&mut self, table: &str, row: Row) -> bool {
+        match self.schema.table_index(table) {
+            Some(t) => {
+                self.insert(t, row);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of rows in a table.
+    pub fn row_count(&self, table: usize) -> usize {
+        self.rows[table].len()
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// A small sample of distinct non-null values for a column, used when rendering
+    /// representative values into prompts (§III-A, following BRIDGE).
+    pub fn sample_values(&self, table: usize, column: usize, limit: usize) -> Vec<Value> {
+        let mut seen = Vec::new();
+        for row in &self.rows[table] {
+            let v = &row[column];
+            if v.is_null() || seen.contains(v) {
+                continue;
+            }
+            seen.push(v.clone());
+            if seen.len() >= limit {
+                break;
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlkit::{Column, ColumnType, Table};
+
+    fn db() -> Database {
+        let mut schema = Schema::new("d");
+        schema.tables.push(Table {
+            name: "t".into(),
+            display: "t".into(),
+            columns: vec![Column::new("a", ColumnType::Int), Column::new("b", ColumnType::Text)],
+            primary_key: Some(0),
+        });
+        Database::empty(schema)
+    }
+
+    #[test]
+    fn insert_and_count() {
+        let mut d = db();
+        assert!(d.insert_by_name("T", vec![Value::Int(1), Value::Text("x".into())]));
+        assert!(!d.insert_by_name("missing", vec![]));
+        assert_eq!(d.row_count(0), 1);
+        assert_eq!(d.total_rows(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut d = db();
+        d.insert(0, vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn sample_values_dedupes_and_skips_null() {
+        let mut d = db();
+        for v in [1, 1, 2, 3, 3, 4] {
+            d.insert(0, vec![Value::Int(v), Value::Null]);
+        }
+        assert_eq!(d.sample_values(0, 0, 3), vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert!(d.sample_values(0, 1, 3).is_empty());
+    }
+}

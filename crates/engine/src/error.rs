@@ -1,0 +1,117 @@
+//! Execution errors, typed to mirror the paper's six hallucination categories
+//! (Table 2) so the Database Adaption module can dispatch its fixers.
+
+use std::fmt;
+
+/// Why a query failed to execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// `FROM` references a table that does not exist in the schema
+    /// (Schema-Hallucination on a table name).
+    UnknownTable {
+        /// The missing table name.
+        name: String,
+    },
+    /// A column exists in the schema but in none of the tables bound in `FROM`
+    /// (Missing-Table: the owner table must be joined in).
+    MissingTable {
+        /// The referenced column.
+        column: String,
+        /// A table that actually owns this column.
+        owner_table: String,
+    },
+    /// A qualified reference `T.c` where binding `T` exists but has no column `c`,
+    /// while another bound table does (Table-Column-Mismatch).
+    TableColumnMismatch {
+        /// The binding (alias or table) used in the reference.
+        binding: String,
+        /// The column name.
+        column: String,
+        /// A bound table that actually owns this column, if any.
+        correct_table: Option<String>,
+    },
+    /// An unqualified column name occurs in more than one bound table
+    /// (Column-Ambiguity).
+    AmbiguousColumn {
+        /// The ambiguous column name.
+        column: String,
+        /// All bound tables containing it.
+        candidates: Vec<String>,
+    },
+    /// A column that exists in no table at all (Schema-Hallucination).
+    UnknownColumn {
+        /// The unknown column name.
+        column: String,
+    },
+    /// A function the dialect does not support, e.g. `CONCAT` in SQLite
+    /// (Function-Hallucination).
+    UnknownFunction {
+        /// The function name.
+        name: String,
+    },
+    /// An aggregate called with more than one argument, e.g.
+    /// `COUNT(DISTINCT a, b)` (Aggregation-Hallucination).
+    AggregateArity {
+        /// The aggregate keyword.
+        func: String,
+        /// Number of arguments supplied.
+        args: usize,
+    },
+    /// Set-operation arms with different column counts.
+    SetOpArity {
+        /// Left arm width.
+        left: usize,
+        /// Right arm width.
+        right: usize,
+    },
+    /// Anything else (unsupported construct, alias problems, ...).
+    Unsupported {
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl ExecError {
+    /// Short machine-readable category label, used by adaption statistics.
+    pub fn category(&self) -> &'static str {
+        match self {
+            ExecError::UnknownTable { .. } | ExecError::UnknownColumn { .. } => {
+                "schema-hallucination"
+            }
+            ExecError::MissingTable { .. } => "missing-table",
+            ExecError::TableColumnMismatch { .. } => "table-column-mismatch",
+            ExecError::AmbiguousColumn { .. } => "column-ambiguity",
+            ExecError::UnknownFunction { .. } => "function-hallucination",
+            ExecError::AggregateArity { .. } => "aggregation-hallucination",
+            ExecError::SetOpArity { .. } | ExecError::Unsupported { .. } => "other",
+        }
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownTable { name } => write!(f, "no such table: {name}"),
+            ExecError::MissingTable { column, owner_table } => {
+                write!(f, "column {column} belongs to table {owner_table} which is not in FROM")
+            }
+            ExecError::TableColumnMismatch { binding, column, .. } => {
+                write!(f, "table {binding} has no column {column}")
+            }
+            ExecError::AmbiguousColumn { column, .. } => {
+                write!(f, "ambiguous column name: {column}")
+            }
+            ExecError::UnknownColumn { column } => write!(f, "no such column: {column}"),
+            ExecError::UnknownFunction { name } => write!(f, "no such function: {name}"),
+            ExecError::AggregateArity { func, args } => {
+                write!(f, "wrong number of arguments to aggregate {func}(): {args}")
+            }
+            ExecError::SetOpArity { left, right } => {
+                write!(f, "SELECTs to the left and right of set operator have {left} and {right} columns")
+            }
+            ExecError::Unsupported { message } => write!(f, "unsupported: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}

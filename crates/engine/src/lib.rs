@@ -1,0 +1,31 @@
+//! # purple-engine
+//!
+//! An in-memory relational engine executing the [`sqlkit`] AST with SQLite-flavored
+//! semantics. It is the SQLite stand-in of the PURPLE reproduction: the Execution
+//! Match / Test-Suite metrics, the execution-consistency vote, and the Database
+//! Adaption fixers all run against this engine.
+//!
+//! Dialect notes (deliberately mirroring SQLite where the paper depends on it):
+//!
+//! * `NULL < numbers < text` collation order; integer division truncates.
+//! * No non-aggregate SQL functions — `CONCAT(...)` fails with
+//!   [`ExecError::UnknownFunction`], exactly the Function-Hallucination of Table 2.
+//! * Aggregates take a single argument — `COUNT(DISTINCT a, b)` fails with
+//!   [`ExecError::AggregateArity`] (Aggregation-Hallucination).
+//! * Name-resolution failures are typed per the paper's remaining categories:
+//!   [`ExecError::TableColumnMismatch`], [`ExecError::AmbiguousColumn`],
+//!   [`ExecError::MissingTable`], [`ExecError::UnknownColumn`]/[`ExecError::UnknownTable`].
+
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod dialect;
+pub mod error;
+pub mod exec;
+pub mod value;
+
+pub use database::{Database, Row};
+pub use dialect::{map_function, Dialect, ScalarFunc};
+pub use error::ExecError;
+pub use exec::{execute, explain, order_matters, ResultSet};
+pub use value::Value;

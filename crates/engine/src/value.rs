@@ -1,0 +1,339 @@
+//! Runtime values with SQLite-flavored semantics.
+//!
+//! Ordering across storage classes follows SQLite: `NULL < numbers < text`.
+//! Integer division truncates (`5 / 2 = 2`), arithmetic with any `NULL` operand is
+//! `NULL`, `LIKE` is case-insensitive for ASCII, and numeric strings do **not**
+//! compare equal to numbers (no implicit affinity conversions: benchmark columns are
+//! typed at generation time).
+
+use serde::{Deserialize, Serialize};
+use sqlkit::ast::{ArithOp, Literal};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A runtime value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Text.
+    Text(String),
+}
+
+impl Value {
+    /// Convert a parsed literal into a value.
+    pub fn from_literal(l: &Literal) -> Value {
+        match l {
+            Literal::Int(i) => Value::Int(*i),
+            Literal::Float(x) => Value::Float(*x),
+            Literal::Str(s) => Value::Text(s.clone()),
+            Literal::Null => Value::Null,
+        }
+    }
+
+    /// Is this SQL NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (int promoted to float), `None` for NULL/text.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// SQLite-style numeric coercion used by SUM/AVG: text coerces to 0.
+    pub fn coerce_f64(&self) -> Option<f64> {
+        match self {
+            Value::Null => None,
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(x) => Some(*x),
+            Value::Text(_) => Some(0.0),
+        }
+    }
+
+    /// Storage-class rank for cross-type ordering: NULL < numeric < text.
+    fn class_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) | Value::Float(_) => 1,
+            Value::Text(_) => 2,
+        }
+    }
+
+    /// Total ordering across classes (SQLite collation order). Used by ORDER BY,
+    /// MAX/MIN and DISTINCT.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (a, b) => a.class_rank().cmp(&b.class_rank()),
+        }
+    }
+
+    /// Three-valued SQL equality: `None` when either side is NULL.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(match (self, other) {
+            (Value::Text(a), Value::Text(b)) => a == b,
+            (Value::Text(_), _) | (_, Value::Text(_)) => false,
+            _ => self.as_f64().unwrap() == other.as_f64().unwrap(),
+        })
+    }
+
+    /// Three-valued SQL comparison: `None` when either side is NULL.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.total_cmp(other))
+    }
+
+    /// Arithmetic with SQLite semantics: NULL propagates; `Int op Int` stays integer
+    /// (truncating division; division by zero yields NULL); overflow promotes to
+    /// float; text operands coerce to 0.
+    pub fn arith(&self, op: ArithOp, other: &Value) -> Value {
+        if self.is_null() || other.is_null() {
+            return Value::Null;
+        }
+        if let (Value::Int(a), Value::Int(b)) = (self.int_view(), other.int_view()) {
+            return match op {
+                ArithOp::Add => a
+                    .checked_add(b)
+                    .map(Value::Int)
+                    .unwrap_or(Value::Float(a as f64 + b as f64)),
+                ArithOp::Sub => a
+                    .checked_sub(b)
+                    .map(Value::Int)
+                    .unwrap_or(Value::Float(a as f64 - b as f64)),
+                ArithOp::Mul => a
+                    .checked_mul(b)
+                    .map(Value::Int)
+                    .unwrap_or(Value::Float(a as f64 * b as f64)),
+                ArithOp::Div => {
+                    if b == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(a.wrapping_div(b))
+                    }
+                }
+            };
+        }
+        let a = self.coerce_f64().unwrap_or(0.0);
+        let b = other.coerce_f64().unwrap_or(0.0);
+        match op {
+            ArithOp::Add => Value::Float(a + b),
+            ArithOp::Sub => Value::Float(a - b),
+            ArithOp::Mul => Value::Float(a * b),
+            ArithOp::Div => {
+                if b == 0.0 {
+                    Value::Null
+                } else {
+                    Value::Float(a / b)
+                }
+            }
+        }
+    }
+
+    /// View text as Int(0) for the integer fast path check; keeps ints/floats as-is.
+    fn int_view(&self) -> Value {
+        match self {
+            Value::Text(_) => Value::Int(0),
+            v => v.clone(),
+        }
+    }
+
+    /// SQL LIKE with `%` and `_` wildcards, ASCII case-insensitive (SQLite default).
+    /// NULL on either side yields `None`.
+    pub fn sql_like(&self, pattern: &Value) -> Option<bool> {
+        let (Value::Text(s), Value::Text(p)) = (self, pattern) else {
+            if self.is_null() || pattern.is_null() {
+                return None;
+            }
+            // Non-text LIKE compares the rendered text, as SQLite does.
+            let s = self.to_string();
+            let p = pattern.to_string();
+            return Some(like_match(&s.to_ascii_lowercase(), &p.to_ascii_lowercase()));
+        };
+        Some(like_match(&s.to_ascii_lowercase(), &p.to_ascii_lowercase()))
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        // Structural equality used for grouping / DISTINCT / result comparison:
+        // NULL equals NULL here (SQL's three-valued equality lives in `sql_eq`).
+        self.total_cmp(other) == Ordering::Equal
+            && self.class_rank() == other.class_rank()
+            || (self.is_null() && other.is_null())
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            // Ints and equal-valued floats must hash identically (1 == 1.0).
+            Value::Int(i) => {
+                1u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(x) => {
+                1u8.hash(state);
+                x.to_bits().hash(state);
+            }
+            Value::Text(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Iterative LIKE matcher (two-pointer with backtracking on `%`), linear-ish and
+/// stack-safe for adversarial patterns.
+fn like_match(s: &str, p: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = p.chars().collect();
+    let (mut si, mut pi) = (0usize, 0usize);
+    let (mut star_p, mut star_s) = (usize::MAX, 0usize);
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star_p = pi;
+            star_s = si;
+            pi += 1;
+        } else if star_p != usize::MAX {
+            star_s += 1;
+            si = star_s;
+            pi = star_p + 1;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_class_ordering_is_sqlite() {
+        assert_eq!(Value::Null.total_cmp(&Value::Int(0)), Ordering::Less);
+        assert_eq!(Value::Int(5).total_cmp(&Value::Text("a".into())), Ordering::Less);
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(1.5)), Ordering::Greater);
+        assert_eq!(Value::Text("b".into()).total_cmp(&Value::Text("a".into())), Ordering::Greater);
+    }
+
+    #[test]
+    fn sql_eq_three_valued() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Float(1.0)), Some(true));
+        assert_eq!(Value::Text("1".into()).sql_eq(&Value::Int(1)), Some(false));
+        assert_eq!(Value::Text("a".into()).sql_eq(&Value::Text("a".into())), Some(true));
+    }
+
+    #[test]
+    fn integer_division_truncates() {
+        assert_eq!(Value::Int(5).arith(ArithOp::Div, &Value::Int(2)), Value::Int(2));
+        assert_eq!(Value::Int(-5).arith(ArithOp::Div, &Value::Int(2)), Value::Int(-2));
+        assert_eq!(Value::Int(5).arith(ArithOp::Div, &Value::Int(0)), Value::Null);
+        assert_eq!(
+            Value::Float(5.0).arith(ArithOp::Div, &Value::Int(2)),
+            Value::Float(2.5)
+        );
+    }
+
+    #[test]
+    fn overflow_promotes_to_float() {
+        let v = Value::Int(i64::MAX).arith(ArithOp::Add, &Value::Int(1));
+        assert!(matches!(v, Value::Float(_)));
+    }
+
+    #[test]
+    fn null_propagates_through_arith() {
+        assert_eq!(Value::Null.arith(ArithOp::Add, &Value::Int(1)), Value::Null);
+        assert_eq!(Value::Int(1).arith(ArithOp::Mul, &Value::Null), Value::Null);
+    }
+
+    #[test]
+    fn like_wildcards() {
+        let t = |s: &str, p: &str| {
+            Value::Text(s.into()).sql_like(&Value::Text(p.into())).unwrap()
+        };
+        assert!(t("Todd Casey", "%Casey"));
+        assert!(t("Todd Casey", "Todd%"));
+        assert!(t("Todd Casey", "%odd%"));
+        assert!(t("abc", "a_c"));
+        assert!(!t("abc", "a_d"));
+        assert!(t("ABC", "abc")); // case-insensitive
+        assert!(t("", "%"));
+        assert!(!t("", "_"));
+        assert!(t("a%b", "a%b"));
+        // Backtracking pattern
+        assert!(t("aaab", "%a%b"));
+        assert!(!t("aaac", "%a%b"));
+    }
+
+    #[test]
+    fn like_null_is_unknown() {
+        assert_eq!(Value::Null.sql_like(&Value::Text("%".into())), None);
+    }
+
+    #[test]
+    fn int_float_hash_consistent_with_eq() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_eq!(h(&Value::Int(3)), h(&Value::Float(3.0)));
+        assert_ne!(Value::Int(3), Value::Text("3".into()));
+    }
+
+    #[test]
+    fn structural_eq_treats_null_as_equal() {
+        assert_eq!(Value::Null, Value::Null);
+        assert_ne!(Value::Null, Value::Int(0));
+    }
+
+    #[test]
+    fn sum_coercion_counts_text_as_zero() {
+        assert_eq!(Value::Text("abc".into()).coerce_f64(), Some(0.0));
+        assert_eq!(Value::Null.coerce_f64(), None);
+    }
+}

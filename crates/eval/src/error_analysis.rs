@@ -1,0 +1,197 @@
+//! Failure-mode analysis: classify *why* a prediction missed, in the vocabulary the
+//! paper uses — wrong operator composition (skeleton mismatch), schema linking
+//! slips (right skeleton, wrong columns/tables), wrong constants (EM-exact but
+//! execution-different), execution errors, and parse failures.
+
+use crate::metrics::{em_match, ex_match};
+use engine::{execute, Database};
+use serde::{Deserialize, Serialize};
+use sqlkit::{exact_set_match, parse, Query, Skeleton};
+use std::collections::BTreeMap;
+
+/// Why a single prediction failed (or that it didn't).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FailureMode {
+    /// EM and EX both hold.
+    Correct,
+    /// Semantically right answer (EX) with a different structure (no EM) — the
+    /// equivalence-rewrite band the paper's Table 1 highlights.
+    EquivalentForm,
+    /// The prediction's skeleton differs from the gold skeleton: the LLM picked the
+    /// wrong operator composition (§I's core failure).
+    WrongComposition,
+    /// Same skeleton, same masked structure, but execution differs only through
+    /// constants: wrong value.
+    WrongValue,
+    /// Same skeleton, EM fails: the structure is right but schema items are wrong
+    /// (linking slip).
+    WrongSchemaLinking,
+    /// The prediction does not execute on the database.
+    ExecutionError,
+    /// The prediction does not parse.
+    ParseError,
+}
+
+impl FailureMode {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureMode::Correct => "correct",
+            FailureMode::EquivalentForm => "equivalent-form",
+            FailureMode::WrongComposition => "wrong-composition",
+            FailureMode::WrongValue => "wrong-value",
+            FailureMode::WrongSchemaLinking => "wrong-schema-linking",
+            FailureMode::ExecutionError => "execution-error",
+            FailureMode::ParseError => "parse-error",
+        }
+    }
+}
+
+/// Classify one prediction against its gold query and database.
+pub fn classify(pred_sql: &str, gold: &Query, db: &Database) -> FailureMode {
+    let Ok(pred) = parse(pred_sql) else { return FailureMode::ParseError };
+    if execute(db, &pred).is_err() {
+        return FailureMode::ExecutionError;
+    }
+    let em = em_match(&pred, gold, &db.schema);
+    let ex = ex_match(&pred, gold, db);
+    if em && ex {
+        return FailureMode::Correct;
+    }
+    if !em && ex {
+        return FailureMode::EquivalentForm;
+    }
+    // Execution differs; localize the cause.
+    let pred_skel = Skeleton::from_query(&pred);
+    let gold_skel = Skeleton::from_query(gold);
+    if pred_skel != gold_skel {
+        return FailureMode::WrongComposition;
+    }
+    if em {
+        // EM masks values: identical structure and schema items, different result
+        // — the constant must be wrong.
+        return FailureMode::WrongValue;
+    }
+    // Same skeleton, EM broken: schema items differ.
+    debug_assert!(!exact_set_match(&pred, gold, &db.schema));
+    FailureMode::WrongSchemaLinking
+}
+
+/// Aggregate failure-mode counts over a set of (prediction, example) pairs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ErrorReport {
+    /// Mode -> count.
+    pub counts: BTreeMap<FailureMode, usize>,
+    /// Total classified predictions.
+    pub total: usize,
+}
+
+impl ErrorReport {
+    /// Add one classification.
+    pub fn add(&mut self, mode: FailureMode) {
+        *self.counts.entry(mode).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Percentage for a mode.
+    pub fn pct(&self, mode: FailureMode) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.counts.get(&mode).copied().unwrap_or(0) as f64 / self.total as f64
+        }
+    }
+
+    /// Render as an aligned text block.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for (mode, n) in &self.counts {
+            s.push_str(&format!(
+                "  {:<22} {:>6}  ({:>5.1}%)\n",
+                mode.label(),
+                n,
+                self.pct(*mode)
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::Value;
+    use sqlkit::{Column, ColumnType, Schema, Table};
+
+    fn db() -> Database {
+        let mut s = Schema::new("d");
+        s.tables.push(Table {
+            name: "t".into(),
+            display: "t".into(),
+            columns: vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("name", ColumnType::Text),
+                Column::new("grp", ColumnType::Text),
+            ],
+            primary_key: Some(0),
+        });
+        let mut db = Database::empty(s);
+        for (i, (n, g)) in [("a", "x"), ("b", "y"), ("c", "y")].iter().enumerate() {
+            db.insert(
+                0,
+                vec![Value::Int(i as i64 + 1), Value::Text(n.to_string()), Value::Text(g.to_string())],
+            );
+        }
+        db
+    }
+
+    fn gold() -> Query {
+        parse("SELECT name FROM t WHERE id = 1").unwrap()
+    }
+
+    #[test]
+    fn classifies_every_mode() {
+        let db = db();
+        let gold = gold();
+        assert_eq!(classify("SELECT name FROM t WHERE id = 1", &gold, &db), FailureMode::Correct);
+        assert_eq!(classify("not sql at all", &gold, &db), FailureMode::ParseError);
+        assert_eq!(
+            classify("SELECT nope FROM t WHERE id = 1", &gold, &db),
+            FailureMode::ExecutionError
+        );
+        // Wrong constant: same structure, different rows.
+        assert_eq!(
+            classify("SELECT name FROM t WHERE id = 2", &gold, &db),
+            FailureMode::WrongValue
+        );
+        // Wrong linking: same skeleton, different column.
+        assert_eq!(
+            classify("SELECT grp FROM t WHERE id = 1", &gold, &db),
+            FailureMode::WrongSchemaLinking
+        );
+        // Wrong composition: extra operator structure with different result.
+        assert_eq!(
+            classify("SELECT name FROM t WHERE id = 1 OR id = 2", &gold, &db),
+            FailureMode::WrongComposition
+        );
+        // Equivalent form: boundary shift keeps the result, breaks EM.
+        assert_eq!(
+            classify("SELECT name FROM t WHERE id < 2", &gold, &db),
+            FailureMode::EquivalentForm
+        );
+    }
+
+    #[test]
+    fn report_accumulates_and_renders() {
+        let mut r = ErrorReport::default();
+        r.add(FailureMode::Correct);
+        r.add(FailureMode::Correct);
+        r.add(FailureMode::WrongComposition);
+        assert_eq!(r.total, 3);
+        assert!((r.pct(FailureMode::Correct) - 66.7).abs() < 0.1);
+        let text = r.render();
+        assert!(text.contains("wrong-composition"));
+        assert!(text.contains("66.7%"));
+        assert_eq!(ErrorReport::default().pct(FailureMode::Correct), 0.0);
+    }
+}

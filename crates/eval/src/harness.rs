@@ -1,0 +1,223 @@
+//! Evaluation harness: run any NL2SQL translator over a benchmark split and report
+//! EM / EX / TS accuracy, per-hardness breakdown (Fig. 9), and token consumption
+//! (Fig. 11).
+
+use crate::metrics::{em_match_str, ex_match_str};
+use crate::testsuite::{build_suite, ts_match_str, SuiteConfig, TestSuite};
+use engine::Database;
+use serde::{Deserialize, Serialize};
+use spidergen::types::{Benchmark, Example};
+
+/// One translation produced by a system, with its token cost.
+#[derive(Debug, Clone, Default)]
+pub struct Translation {
+    /// Predicted SQL text.
+    pub sql: String,
+    /// Prompt (input) tokens consumed.
+    pub prompt_tokens: u64,
+    /// Completion (output) tokens consumed.
+    pub output_tokens: u64,
+}
+
+/// An NL2SQL system under evaluation.
+pub trait Translator {
+    /// Display name ("PURPLE (ChatGPT)").
+    fn name(&self) -> String;
+    /// Translate one example against its database.
+    fn translate(&mut self, example: &Example, db: &Database) -> Translation;
+}
+
+/// Accuracy within one hardness bucket.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Bucket {
+    /// Examples in the bucket.
+    pub n: usize,
+    /// EM hits.
+    pub em: usize,
+    /// EX hits.
+    pub ex: usize,
+    /// TS hits.
+    pub ts: usize,
+}
+
+impl Bucket {
+    /// EM accuracy in percent.
+    pub fn em_pct(&self) -> f64 {
+        pct(self.em, self.n)
+    }
+    /// EX accuracy in percent.
+    pub fn ex_pct(&self) -> f64 {
+        pct(self.ex, self.n)
+    }
+    /// TS accuracy in percent.
+    pub fn ts_pct(&self) -> f64 {
+        pct(self.ts, self.n)
+    }
+}
+
+fn pct(hits: usize, n: usize) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        100.0 * hits as f64 / n as f64
+    }
+}
+
+/// Full evaluation report for one system on one split.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// System name.
+    pub system: String,
+    /// Split name.
+    pub split: String,
+    /// Overall bucket.
+    pub overall: Bucket,
+    /// Per-hardness buckets, indexed easy..extra.
+    pub by_hardness: [Bucket; 4],
+    /// Average prompt tokens per query.
+    pub avg_prompt_tokens: f64,
+    /// Average output tokens per query.
+    pub avg_output_tokens: f64,
+    /// Whether TS was computed.
+    pub has_ts: bool,
+}
+
+impl EvalReport {
+    /// One-line summary like the paper's tables.
+    pub fn summary(&self) -> String {
+        if self.has_ts {
+            format!(
+                "{:<28} EM {:5.1}%  EX {:5.1}%  TS {:5.1}%",
+                self.system,
+                self.overall.em_pct(),
+                self.overall.ex_pct(),
+                self.overall.ts_pct()
+            )
+        } else {
+            format!(
+                "{:<28} EM {:5.1}%  EX {:5.1}%",
+                self.system,
+                self.overall.em_pct(),
+                self.overall.ex_pct()
+            )
+        }
+    }
+}
+
+/// Build distilled test suites for every database of a benchmark, using the
+/// split's own gold queries as distillation probes.
+pub fn build_suites(bench: &Benchmark, cfg: SuiteConfig, seed: u64) -> Vec<TestSuite> {
+    bench
+        .databases
+        .iter()
+        .enumerate()
+        .map(|(di, db)| {
+            let probes: Vec<&sqlkit::Query> = bench
+                .examples
+                .iter()
+                .filter(|e| e.db_index == di)
+                .map(|e| &e.query)
+                .collect();
+            build_suite(db, &probes, cfg, seed.wrapping_add(di as u64))
+        })
+        .collect()
+}
+
+/// Evaluate a translator over a split. `suites` enables the TS metric.
+pub fn evaluate(
+    translator: &mut dyn Translator,
+    bench: &Benchmark,
+    suites: Option<&[TestSuite]>,
+) -> EvalReport {
+    let mut overall = Bucket::default();
+    let mut by_hardness = [Bucket::default(); 4];
+    let mut prompt_tokens = 0u64;
+    let mut output_tokens = 0u64;
+    for ex in &bench.examples {
+        let db = bench.db_of(ex);
+        let t = translator.translate(ex, db);
+        prompt_tokens += t.prompt_tokens;
+        output_tokens += t.output_tokens;
+        let em = em_match_str(&t.sql, &ex.query, &db.schema);
+        let exm = ex_match_str(&t.sql, &ex.query, db);
+        let tsm = match suites {
+            Some(suites) => ts_match_str(&t.sql, &ex.query, &suites[ex.db_index]),
+            None => false,
+        };
+        let h = ex.hardness as usize;
+        for b in [&mut overall, &mut by_hardness[h]] {
+            b.n += 1;
+            b.em += em as usize;
+            b.ex += exm as usize;
+            b.ts += tsm as usize;
+        }
+    }
+    let n = bench.examples.len().max(1) as f64;
+    EvalReport {
+        system: translator.name(),
+        split: bench.name.clone(),
+        overall,
+        by_hardness,
+        avg_prompt_tokens: prompt_tokens as f64 / n,
+        avg_output_tokens: output_tokens as f64 / n,
+        has_ts: suites.is_some(),
+    }
+}
+
+/// A trivial translator that echoes the gold SQL — the harness's upper bound and a
+/// self-check that metrics report 100% on perfect output.
+pub struct OracleTranslator;
+
+impl Translator for OracleTranslator {
+    fn name(&self) -> String {
+        "Oracle (gold echo)".into()
+    }
+    fn translate(&mut self, example: &Example, _db: &Database) -> Translation {
+        Translation { sql: example.sql.clone(), prompt_tokens: 0, output_tokens: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spidergen::{generate_suite, GenConfig};
+
+    #[test]
+    fn oracle_scores_100_on_all_metrics() {
+        let suite = generate_suite(&GenConfig::tiny(21));
+        let suites = build_suites(&suite.dev, SuiteConfig::default(), 5);
+        let report = evaluate(&mut OracleTranslator, &suite.dev, Some(&suites));
+        assert_eq!(report.overall.em_pct(), 100.0, "EM");
+        assert_eq!(report.overall.ex_pct(), 100.0, "EX");
+        assert_eq!(report.overall.ts_pct(), 100.0, "TS");
+        assert!(report.has_ts);
+        let total: usize = report.by_hardness.iter().map(|b| b.n).sum();
+        assert_eq!(total, report.overall.n);
+    }
+
+    #[test]
+    fn garbage_translator_scores_zero() {
+        struct Garbage;
+        impl Translator for Garbage {
+            fn name(&self) -> String {
+                "garbage".into()
+            }
+            fn translate(&mut self, _e: &Example, _db: &Database) -> Translation {
+                Translation { sql: "SELECT".into(), prompt_tokens: 10, output_tokens: 2 }
+            }
+        }
+        let suite = generate_suite(&GenConfig::tiny(22));
+        let report = evaluate(&mut Garbage, &suite.dev, None);
+        assert_eq!(report.overall.em_pct(), 0.0);
+        assert_eq!(report.overall.ex_pct(), 0.0);
+        assert!(!report.has_ts);
+        assert_eq!(report.avg_prompt_tokens, 10.0);
+    }
+
+    #[test]
+    fn summary_formats() {
+        let suite = generate_suite(&GenConfig::tiny(23));
+        let report = evaluate(&mut OracleTranslator, &suite.dev, None);
+        assert!(report.summary().contains("EM 100.0%"));
+    }
+}

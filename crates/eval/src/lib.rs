@@ -1,0 +1,20 @@
+//! # purple-eval
+//!
+//! Evaluation metrics and harness: Exact-Set Match, Execution Match, distilled
+//! Test-Suite accuracy (Zhong et al.), per-hardness breakdown, token accounting,
+//! and the [`Translator`] trait every system under test implements.
+
+#![warn(missing_docs)]
+
+pub mod error_analysis;
+pub mod harness;
+pub mod metrics;
+pub mod testsuite;
+
+#[cfg(test)]
+mod testsuite_tests_extra;
+
+pub use error_analysis::{classify, ErrorReport, FailureMode};
+pub use harness::{build_suites, evaluate, Bucket, EvalReport, OracleTranslator, Translation, Translator};
+pub use metrics::{em_match, em_match_str, ex_match, ex_match_str};
+pub use testsuite::{build_suite, fuzz_instance, mutate, ts_match, ts_match_str, SuiteConfig, TestSuite};

@@ -1,0 +1,103 @@
+//! Exact-Set Match and Execution Match metrics (§V-A2).
+
+use engine::{execute, order_matters, Database};
+use sqlkit::{exact_set_match, parse, Query, Schema};
+
+/// Exact-Set Match: clause-level set comparison with values masked and aliases
+/// resolved (Spider's official EM).
+pub fn em_match(pred: &Query, gold: &Query, schema: &Schema) -> bool {
+    exact_set_match(pred, gold, schema)
+}
+
+/// EM on a raw predicted string: a prediction that does not parse never matches.
+pub fn em_match_str(pred_sql: &str, gold: &Query, schema: &Schema) -> bool {
+    match parse(pred_sql) {
+        Ok(pred) => em_match(&pred, gold, schema),
+        Err(_) => false,
+    }
+}
+
+/// Execution Match: identical results on the benchmark database. Order-sensitive
+/// exactly when the gold query orders its output (mirroring Spider's evaluation,
+/// which string-matches `ORDER BY` in the gold SQL).
+pub fn ex_match(pred: &Query, gold: &Query, db: &Database) -> bool {
+    let Ok(pred_rs) = execute(db, pred) else { return false };
+    let Ok(gold_rs) = execute(db, gold) else { return false };
+    pred_rs.same_result(&gold_rs, order_matters(gold))
+}
+
+/// EX on a raw predicted string.
+pub fn ex_match_str(pred_sql: &str, gold: &Query, db: &Database) -> bool {
+    match parse(pred_sql) {
+        Ok(pred) => ex_match(&pred, gold, db),
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::Value;
+    use sqlkit::{Column, ColumnType, Table};
+
+    fn db() -> Database {
+        let mut s = Schema::new("d");
+        s.tables.push(Table {
+            name: "t".into(),
+            display: "t".into(),
+            columns: vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("name", ColumnType::Text),
+                Column::new("grp", ColumnType::Text),
+            ],
+            primary_key: Some(0),
+        });
+        let mut db = Database::empty(s);
+        for (i, (n, g)) in
+            [("a", "x"), ("b", "x"), ("c", "y")].iter().enumerate()
+        {
+            db.insert(0, vec![Value::Int(i as i64 + 1), Value::Text(n.to_string()), Value::Text(g.to_string())]);
+        }
+        db
+    }
+
+    #[test]
+    fn ex_matches_semantically_different_but_coincident_queries() {
+        // The EX-false-positive effect the paper discusses: different semantics,
+        // same result on this data.
+        let db = db();
+        let gold = parse("SELECT name FROM t WHERE id < 3").unwrap();
+        let pred = parse("SELECT name FROM t WHERE grp = 'x'").unwrap();
+        assert!(ex_match(&pred, &gold, &db));
+        assert!(!em_match(&pred, &gold, &db.schema));
+    }
+
+    #[test]
+    fn ex_respects_order_when_gold_orders() {
+        let db = db();
+        let gold = parse("SELECT name FROM t ORDER BY id DESC").unwrap();
+        let pred = parse("SELECT name FROM t ORDER BY id ASC").unwrap();
+        assert!(!ex_match(&pred, &gold, &db));
+        // Unordered gold tolerates row order differences.
+        let gold2 = parse("SELECT name FROM t").unwrap();
+        assert!(ex_match(&pred, &gold2, &db));
+    }
+
+    #[test]
+    fn unparseable_or_failing_predictions_never_match() {
+        let db = db();
+        let gold = parse("SELECT name FROM t").unwrap();
+        assert!(!em_match_str("SELEC name FRM t", &gold, &db.schema));
+        assert!(!ex_match_str("SELECT nope FROM t", &gold, &db));
+        assert!(!ex_match_str("SELECT name FROM missing", &gold, &db));
+    }
+
+    #[test]
+    fn em_ignores_values_ex_does_not() {
+        let db = db();
+        let gold = parse("SELECT name FROM t WHERE id = 1").unwrap();
+        let pred = parse("SELECT name FROM t WHERE id = 2").unwrap();
+        assert!(em_match(&pred, &gold, &db.schema));
+        assert!(!ex_match(&pred, &gold, &db));
+    }
+}

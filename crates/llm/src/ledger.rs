@@ -1,0 +1,105 @@
+//! Cost accounting across LLM calls: cumulative token counts and a dollar
+//! estimate at the 2023-era OpenAI prices the paper's budget discussion (§V-D)
+//! implicitly uses. Thread-safe so parallel evaluations can share one ledger.
+
+use crate::profile::LlmProfile;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Cumulative totals recorded by a [`CostLedger`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Totals {
+    /// Number of API calls.
+    pub calls: u64,
+    /// Total prompt tokens billed.
+    pub prompt_tokens: u64,
+    /// Total completion tokens billed.
+    pub output_tokens: u64,
+}
+
+impl Totals {
+    /// Dollar estimate at a profile's per-1k-token prices.
+    pub fn cost_usd(&self, profile: &LlmProfile) -> f64 {
+        (self.prompt_tokens as f64 / 1000.0) * profile.usd_per_1k_prompt
+            + (self.output_tokens as f64 / 1000.0) * profile.usd_per_1k_output
+    }
+}
+
+/// A shared, thread-safe token/cost accumulator.
+#[derive(Debug, Default)]
+pub struct CostLedger {
+    inner: Mutex<Totals>,
+}
+
+impl CostLedger {
+    /// A fresh shared ledger.
+    pub fn shared() -> Arc<CostLedger> {
+        Arc::new(CostLedger::default())
+    }
+
+    /// Record one call.
+    pub fn record(&self, prompt_tokens: u64, output_tokens: u64) {
+        let mut t = self.inner.lock();
+        t.calls += 1;
+        t.prompt_tokens += prompt_tokens;
+        t.output_tokens += output_tokens;
+    }
+
+    /// Snapshot the totals.
+    pub fn totals(&self) -> Totals {
+        *self.inner.lock()
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        *self.inner.lock() = Totals::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{CHATGPT, GPT4};
+
+    #[test]
+    fn records_and_totals() {
+        let l = CostLedger::shared();
+        l.record(1000, 500);
+        l.record(2000, 100);
+        let t = l.totals();
+        assert_eq!(t.calls, 2);
+        assert_eq!(t.prompt_tokens, 3000);
+        assert_eq!(t.output_tokens, 600);
+        l.reset();
+        assert_eq!(l.totals(), Totals::default());
+    }
+
+    #[test]
+    fn gpt4_is_an_order_of_magnitude_pricier() {
+        let t = Totals { calls: 1, prompt_tokens: 3000, output_tokens: 1000 };
+        let cheap = t.cost_usd(&CHATGPT);
+        let pricey = t.cost_usd(&GPT4);
+        assert!(pricey > cheap * 10.0, "{pricey} vs {cheap}");
+        // ChatGPT at the paper's default budget: ~fractions of a cent per query.
+        assert!(cheap < 0.01);
+    }
+
+    #[test]
+    fn ledger_is_shareable_across_threads() {
+        let l = CostLedger::shared();
+        crossbeam_scope(&l);
+        assert_eq!(l.totals().calls, 8);
+
+        fn crossbeam_scope(l: &Arc<CostLedger>) {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let l = l.clone();
+                    std::thread::spawn(move || l.record(10, 1))
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # purple-llm
+//!
+//! The simulated LLM service of the PURPLE reproduction: model profiles
+//! (ChatGPT / GPT-4 tiers), an approximate tokenizer with the 4,096-token context
+//! limit, prompt assembly with budget fitting, the near-miss rewrite library, the
+//! error-injecting SQL writer (Table 2's six hallucination categories), and the
+//! generation service whose *composition prior + demonstration boost* mechanism is
+//! the paper's causal claim made executable. See DESIGN.md for the substitution
+//! argument.
+
+#![warn(missing_docs)]
+
+pub mod ledger;
+pub mod profile;
+pub mod prompt;
+pub mod rewrites;
+pub mod service;
+pub mod tokenizer;
+pub mod writer;
+
+pub use ledger::{CostLedger, Totals};
+pub use profile::{profile_by_name, LlmProfile, CHATGPT, GPT4};
+pub use prompt::{Demonstration, Prompt};
+pub use service::{GenerationRequest, GenerationResponse, LlmService};
+pub use tokenizer::{count_tokens, CONTEXT_LIMIT};

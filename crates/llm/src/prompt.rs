@@ -1,0 +1,160 @@
+//! Prompt assembly: demonstrations + task description, with token accounting.
+//!
+//! The prompt structure follows §III-A: `P_f = CAT(E', D, X)` — selected
+//! demonstrations, then the (possibly pruned) database description, then the NL
+//! question. Each demonstration is `CAT(D^e, X^e, Y^e)`.
+
+use crate::tokenizer::count_tokens;
+use serde::{Deserialize, Serialize};
+use sqlkit::Skeleton;
+
+/// One demonstration included in a prompt.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Demonstration {
+    /// Pruned schema text of the demonstration's database.
+    pub schema_text: String,
+    /// Full (unpruned) schema text, used by the "-Schema Pruning" ablation: without
+    /// the pruning module, demonstrations ship their whole schemas (§III-A) and eat
+    /// the token budget.
+    pub full_schema_text: String,
+    /// The demonstration's NL question.
+    pub nl: String,
+    /// The demonstration's gold SQL.
+    pub sql: String,
+    /// Skeleton of the SQL (the composition knowledge it carries).
+    pub skeleton: Skeleton,
+}
+
+impl Demonstration {
+    /// Token cost of this demonstration in the prompt.
+    pub fn token_len(&self) -> u64 {
+        count_tokens(&self.schema_text) + count_tokens(&self.nl) + count_tokens(&self.sql) + 6
+    }
+}
+
+/// A fully assembled prompt.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Prompt {
+    /// Leading instruction text (zero-shot approaches put their engineering here).
+    pub instruction: String,
+    /// Selected demonstrations, in prompt order.
+    pub demonstrations: Vec<Demonstration>,
+    /// Schema description of the current task (pruned or full).
+    pub schema_text: String,
+    /// The NL question.
+    pub nl: String,
+}
+
+impl Prompt {
+    /// Render the full prompt text.
+    pub fn text(&self) -> String {
+        let mut s = String::new();
+        if !self.instruction.is_empty() {
+            s.push_str(&self.instruction);
+            s.push_str("\n\n");
+        }
+        for d in &self.demonstrations {
+            s.push_str(&d.schema_text);
+            s.push_str("-- Question: ");
+            s.push_str(&d.nl);
+            s.push('\n');
+            s.push_str(&d.sql);
+            s.push_str("\n\n");
+        }
+        s.push_str(&self.schema_text);
+        s.push_str("-- Question: ");
+        s.push_str(&self.nl);
+        s.push_str("\nSELECT");
+        s
+    }
+
+    /// Token length of the rendered prompt.
+    pub fn token_len(&self) -> u64 {
+        count_tokens(&self.text())
+    }
+
+    /// Fit the prompt into a token budget by dropping demonstrations from the end
+    /// (lowest-priority first, since selection emits them best-first). Returns the
+    /// number of demonstrations dropped.
+    pub fn fit_to_budget(&mut self, budget: u64) -> usize {
+        let mut dropped = 0;
+        while self.token_len() > budget && !self.demonstrations.is_empty() {
+            self.demonstrations.pop();
+            dropped += 1;
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(i: usize) -> Demonstration {
+        Demonstration {
+            schema_text: "create table t (id int, name text)\n".into(),
+            full_schema_text: "create table t (id int, name text, extra1 int, extra2 text)\n"
+                .into(),
+            nl: format!("question number {i} about the table?"),
+            sql: "SELECT name FROM t WHERE id = 1".into(),
+            skeleton: Skeleton::parse("SELECT _ FROM _ WHERE _ = _"),
+        }
+    }
+
+    #[test]
+    fn text_contains_all_sections_in_order() {
+        let p = Prompt {
+            instruction: "Write SQLite SQL.".into(),
+            demonstrations: vec![demo(1)],
+            schema_text: "create table u (a int)\n".into(),
+            nl: "how many u are there?".into(),
+        };
+        let t = p.text();
+        let i_instr = t.find("Write SQLite").unwrap();
+        let i_demo = t.find("question number 1").unwrap();
+        let i_task = t.find("how many u").unwrap();
+        assert!(i_instr < i_demo && i_demo < i_task);
+        assert!(t.ends_with("SELECT"));
+    }
+
+    #[test]
+    fn fit_to_budget_drops_tail_demos() {
+        let mut p = Prompt {
+            instruction: String::new(),
+            demonstrations: (0..20).map(demo).collect(),
+            schema_text: "create table u (a int)\n".into(),
+            nl: "how many u are there?".into(),
+        };
+        let before = p.token_len();
+        let dropped = p.fit_to_budget(before / 3);
+        assert!(dropped > 0);
+        assert!(p.token_len() <= before / 3);
+        // Head demos survive.
+        assert_eq!(p.demonstrations.first().unwrap().nl, "question number 0 about the table?");
+    }
+
+    #[test]
+    fn budget_smaller_than_core_keeps_core() {
+        let mut p = Prompt {
+            instruction: String::new(),
+            demonstrations: vec![demo(0)],
+            schema_text: "create table u (a int)\n".into(),
+            nl: "q?".into(),
+        };
+        let dropped = p.fit_to_budget(1);
+        assert_eq!(dropped, 1);
+        assert!(p.demonstrations.is_empty());
+    }
+
+    #[test]
+    fn token_len_grows_with_demos() {
+        let mut p = Prompt {
+            schema_text: "create table u (a int)\n".into(),
+            nl: "q?".into(),
+            ..Default::default()
+        };
+        let base = p.token_len();
+        p.demonstrations.push(demo(0));
+        assert!(p.token_len() > base);
+    }
+}

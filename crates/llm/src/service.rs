@@ -1,0 +1,415 @@
+//! The simulated LLM service: prompt in, n SQL samples out, with token and cost
+//! accounting and the composition-prior mechanism of the paper.
+//!
+//! How the simulation works (see DESIGN.md, substitution table):
+//!
+//! 1. The service receives the prompt **and** the example's intent (the gold query
+//!    plus the variant-induced linking noise). Intent understanding is simulated —
+//!    that is the documented substitution for "LLMs have strong NL understanding".
+//! 2. Composition knowledge is **mechanistic**: the probability of writing the
+//!    correct operator composition starts from the model's prior (by hardness) and
+//!    is boosted by the *finest abstraction level at which any in-context
+//!    demonstration matches the required skeleton* (§IV-C1's hierarchy). This is
+//!    the causal link every experiment in the paper measures.
+//! 3. Errors are layered per sample (writer.rs); samples vary with temperature,
+//!    enabling execution-consistency voting.
+
+use crate::profile::LlmProfile;
+use crate::prompt::Prompt;
+use crate::rewrites::near_miss;
+use crate::tokenizer::{count_tokens, CONTEXT_LIMIT};
+use crate::writer::{inject_hallucination, inject_linking_slip, inject_value_error};
+use engine::Database;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use sqlkit::{hardness, Level, Query, Skeleton};
+
+/// One generation request.
+#[derive(Debug)]
+pub struct GenerationRequest<'a> {
+    /// The assembled prompt.
+    pub prompt: &'a Prompt,
+    /// The example's intent (gold query): the simulated NL-understanding channel.
+    pub gold: &'a Query,
+    /// The database the SQL must target.
+    pub db: &'a Database,
+    /// Extra schema-linking noise (variant splits; 0 for plain Spider).
+    pub linking_noise: f64,
+    /// How aggressively the prompt schema was pruned, in `[0, 1]`: 0 = full schema,
+    /// 1 = hypothetical single-item schema. Smaller prompts mean fewer confusable
+    /// items, reducing linking slips and hallucinations proportionally (§IV-A).
+    pub prune_quality: f64,
+    /// Instruction-engineering quality in `[0,1]` (C3-style zero-shot prompts).
+    pub instruction_quality: f64,
+    /// Chain-of-thought prompting (DIN-SQL style).
+    pub cot: bool,
+    /// Number of samples (execution-consistency n).
+    pub n: usize,
+    /// Per-request determinism seed.
+    pub seed: u64,
+    /// Additional output tokens the strategy emits beyond SQL (CoT reasoning
+    /// text, C3's uncontrolled chatter); added once per call.
+    pub extra_output_tokens: u64,
+}
+
+/// The service's response.
+#[derive(Debug, Clone)]
+pub struct GenerationResponse {
+    /// SQL samples, length `n`.
+    pub samples: Vec<String>,
+    /// Billed prompt tokens (clipped at the context limit).
+    pub prompt_tokens: u64,
+    /// Billed output tokens.
+    pub output_tokens: u64,
+    /// Finest abstraction level at which an in-context demonstration matched the
+    /// required composition, if any (diagnostic).
+    pub support_level: Option<Level>,
+}
+
+/// The simulated LLM.
+#[derive(Debug, Clone)]
+pub struct LlmService {
+    profile: LlmProfile,
+    ledger: Option<std::sync::Arc<crate::ledger::CostLedger>>,
+}
+
+impl LlmService {
+    /// A service instance for a model tier.
+    pub fn new(profile: LlmProfile) -> Self {
+        LlmService { profile, ledger: None }
+    }
+
+    /// Attach a shared cost ledger: every `complete` call records its billed
+    /// prompt/output tokens (§V-D budget accounting).
+    pub fn with_ledger(
+        profile: LlmProfile,
+        ledger: std::sync::Arc<crate::ledger::CostLedger>,
+    ) -> Self {
+        LlmService { profile, ledger: Some(ledger) }
+    }
+
+    /// The model profile.
+    pub fn profile(&self) -> &LlmProfile {
+        &self.profile
+    }
+
+    /// Finest level at which any of `demo_skeletons` matches `required`
+    /// (in-context composition support).
+    pub fn support_level(required: &Skeleton, demo_skeletons: &[&Skeleton]) -> Option<Level> {
+        for level in Level::ALL {
+            let target = required.at_level(level);
+            if demo_skeletons.iter().any(|d| d.at_level(level) == target) {
+                return Some(level);
+            }
+        }
+        None
+    }
+
+    /// Probability of writing the correct composition for this request.
+    pub fn composition_probability(
+        &self,
+        required: &Skeleton,
+        demos_in_context: &[&Skeleton],
+        gold: &Query,
+        instruction_quality: f64,
+        cot: bool,
+    ) -> (f64, Option<Level>) {
+        let p = &self.profile;
+        let h = hardness(gold) as usize;
+        let mut prob = p.base_composition[h];
+        let support = Self::support_level(required, demos_in_context);
+        if let Some(level) = support {
+            prob += p.boost_for_level(level);
+        }
+        prob += instruction_quality * p.instruction_boost;
+        if cot {
+            // CoT's composition gain is modest (most of its effect is on the
+            // *form* of near-misses, handled at sampling time): scale by 0.3.
+            prob += 0.3 * p.cot_gain * (p.reasoning - p.cot_floor);
+        }
+        (prob.clamp(0.02, 0.99), support)
+    }
+
+    /// Run a generation request.
+    pub fn complete(&self, req: &GenerationRequest<'_>) -> GenerationResponse {
+        let mut rng = StdRng::seed_from_u64(req.seed);
+        let full_tokens = req.prompt.token_len();
+        let prompt_tokens = full_tokens.min(CONTEXT_LIMIT);
+
+        // Demonstrations beyond the context limit are silently truncated by the
+        // API and provide no composition support.
+        let mut effective: Vec<&Skeleton> = Vec::new();
+        let head = count_tokens(&req.prompt.instruction)
+            + count_tokens(&req.prompt.schema_text)
+            + count_tokens(&req.prompt.nl)
+            + 8;
+        let mut used = head;
+        for d in &req.prompt.demonstrations {
+            used += d.token_len();
+            if used > CONTEXT_LIMIT {
+                break;
+            }
+            effective.push(&d.skeleton);
+        }
+
+        let required = Skeleton::from_query(req.gold);
+        let (mut prob, support_level) = self.composition_probability(
+            &required,
+            &effective,
+            req.gold,
+            req.instruction_quality,
+            req.cot,
+        );
+        // §IV-C1's critique of set-based similarity, made mechanistic: an
+        // in-context demonstration with the *same keyword set but a different
+        // sequence* actively teaches the wrong operator ordering. Unless a
+        // Detail-level match anchors the right composition, such confusers pull
+        // the model toward the wrong structure.
+        if support_level != Some(Level::Detail) {
+            let req_kw_seq = required.at_level(Level::Keywords);
+            let mut req_kw_set: Vec<_> = req_kw_seq.clone();
+            req_kw_set.sort();
+            let has_confuser = effective.iter().any(|d| {
+                let seq = d.at_level(Level::Keywords);
+                let mut set: Vec<_> = seq.clone();
+                set.sort();
+                set == req_kw_set && seq != req_kw_seq
+            });
+            if has_confuser {
+                prob = (prob - 0.15).max(0.02);
+            }
+        }
+
+        // --- Systematic (per-request) error draws --------------------------
+        // An LLM's mistakes on one prompt are correlated across samples: the
+        // misread of the question, the wrong constant, and the preferred (wrong)
+        // composition repeat from sample to sample. Only decoding-time
+        // hallucinations vary. This is what keeps execution-consistency voting
+        // honest: it washes out hallucinations, not misunderstandings.
+        let p = &self.profile;
+        // Chain-of-thought mostly fixes *semantics*: strong reasoners convert
+        // would-be corrupting mistakes into equivalence-preserving form differences
+        // (DIN-SQL's high EX / mediocre EM); weak reasoners propagate errors and
+        // corrupt more (the Table-5 ChatGPT collapse).
+        let eq_bias = if req.cot {
+            (p.equivalent_bias + 0.5 * (p.reasoning - p.cot_floor)).clamp(0.05, 0.95)
+        } else {
+            p.equivalent_bias
+        };
+        let wrong_template =
+            near_miss(req.gold, req.db, eq_bias, &mut rng).unwrap_or_else(|| req.gold.clone());
+        let q = req.prune_quality.clamp(0.0, 1.0);
+        let link_factor = 1.0 - (1.0 - p.pruned_linking_factor) * q;
+        let p_link = ((p.linking_error + req.linking_noise) * link_factor).min(0.9);
+        let slip = rng.random_bool(p_link);
+        let value_err = rng.random_bool(p.value_error);
+        let mut gold_tmpl = req.gold.clone();
+        let mut wrong_tmpl = wrong_template;
+        if slip {
+            let mut slip_rng = StdRng::seed_from_u64(req.seed ^ 0x51a9);
+            inject_linking_slip(&mut gold_tmpl, req.db, &mut slip_rng);
+            let mut slip_rng = StdRng::seed_from_u64(req.seed ^ 0x51a9);
+            inject_linking_slip(&mut wrong_tmpl, req.db, &mut slip_rng);
+        }
+        if value_err {
+            let mut v_rng = StdRng::seed_from_u64(req.seed ^ 0x7a1e);
+            inject_value_error(&mut gold_tmpl, req.db, &mut v_rng);
+            let mut v_rng = StdRng::seed_from_u64(req.seed ^ 0x7a1e);
+            inject_value_error(&mut wrong_tmpl, req.db, &mut v_rng);
+        }
+        let p_h = p.halluc_rate * (1.0 - (1.0 - p.pruned_halluc_factor) * q);
+        // Part of the hallucination mass is *systematic* — the model consistently
+        // reaches for CONCAT or the wrong qualifier on this prompt, in every
+        // sample. Voting cannot remove it; only the Database Adaption repair loop
+        // can (the Table-6 "-Database Adaption" deltas: EM -1.4, EX -3.0).
+        if rng.random_bool(p_h * 0.28) {
+            let mut h_rng = StdRng::seed_from_u64(req.seed ^ 0xa511);
+            inject_hallucination(&mut gold_tmpl, req.db, &mut h_rng);
+            let mut h_rng = StdRng::seed_from_u64(req.seed ^ 0xa511);
+            inject_hallucination(&mut wrong_tmpl, req.db, &mut h_rng);
+        }
+
+        // The model *commits* to a composition for this prompt (its belief about
+        // the right operator structure is a property of the prompt, not of the
+        // sampling temperature); individual samples deviate from the commitment
+        // with a small temperature-controlled flip. Consequently consistency
+        // voting corrects decoding noise and hallucinations — a few points, as in
+        // the paper's Fig. 11 — but cannot vote away a misunderstanding.
+        let committed_ok = rng.random_bool(prob);
+        let mut samples = Vec::with_capacity(req.n);
+        let mut output_tokens = req.extra_output_tokens;
+        for _ in 0..req.n.max(1) {
+            let flip = rng.random_bool(self.profile.temperature);
+            let composition_ok = committed_ok ^ flip;
+            let mut q = if composition_ok { gold_tmpl.clone() } else { wrong_tmpl.clone() };
+            if rng.random_bool(p_h * 0.65) {
+                inject_hallucination(&mut q, req.db, &mut rng);
+            }
+            let sql = q.to_string();
+            output_tokens += count_tokens(&sql) + 2;
+            samples.push(sql);
+        }
+        if let Some(ledger) = &self.ledger {
+            ledger.record(prompt_tokens, output_tokens);
+        }
+        GenerationResponse { samples, prompt_tokens, output_tokens, support_level }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{CHATGPT, GPT4};
+    use crate::prompt::Demonstration;
+    use sqlkit::parse;
+
+    fn db() -> Database {
+        let mut s = sqlkit::Schema::new("d");
+        s.tables.push(sqlkit::Table {
+            name: "t".into(),
+            display: "t".into(),
+            columns: vec![
+                sqlkit::Column::new("id", sqlkit::ColumnType::Int),
+                sqlkit::Column::new("name", sqlkit::ColumnType::Text),
+            ],
+            primary_key: Some(0),
+        });
+        Database::empty(s)
+    }
+
+    fn demo_with_skeleton(sk: &str) -> Demonstration {
+        Demonstration {
+            schema_text: "create table x (a int)\n".into(),
+            full_schema_text: "create table x (a int)\n".into(),
+            nl: "q?".into(),
+            sql: "SELECT a FROM x".into(),
+            skeleton: Skeleton::parse(sk),
+        }
+    }
+
+    #[test]
+    fn support_level_finds_finest_match() {
+        let required = Skeleton::from_query(&parse("SELECT name FROM t WHERE id = 1").unwrap());
+        let exact = Skeleton::parse("SELECT _ FROM _ WHERE _ = _");
+        let structural = Skeleton::parse("SELECT _ FROM _ WHERE _ >= _");
+        let clauseish = Skeleton::parse("SELECT _ , _ FROM _ WHERE _ > _ AND _ = _");
+        assert_eq!(LlmService::support_level(&required, &[&exact]), Some(Level::Detail));
+        assert_eq!(LlmService::support_level(&required, &[&structural]), Some(Level::Structure));
+        assert_eq!(LlmService::support_level(&required, &[&clauseish]), Some(Level::Clause));
+        assert_eq!(LlmService::support_level(&required, &[]), None);
+        // Best of several wins.
+        assert_eq!(
+            LlmService::support_level(&required, &[&clauseish, &exact]),
+            Some(Level::Detail)
+        );
+    }
+
+    #[test]
+    fn composition_probability_orders_as_the_paper_requires() {
+        let svc = LlmService::new(CHATGPT);
+        let gold = parse("SELECT name FROM t WHERE id = 1").unwrap();
+        let required = Skeleton::from_query(&gold);
+        let exact = Skeleton::parse("SELECT _ FROM _ WHERE _ = _");
+        let clauseish = Skeleton::parse("SELECT _ , _ FROM _ WHERE _ > _ AND _ = _");
+        let (p_none, _) = svc.composition_probability(&required, &[], &gold, 0.0, false);
+        let (p_clause, _) = svc.composition_probability(&required, &[&clauseish], &gold, 0.0, false);
+        let (p_exact, _) = svc.composition_probability(&required, &[&exact], &gold, 0.0, false);
+        let (p_instr, _) = svc.composition_probability(&required, &[], &gold, 1.0, false);
+        assert!(p_none < p_clause && p_clause < p_exact);
+        assert!(p_none < p_instr && p_instr < p_clause);
+        // GPT-4 benefits from CoT, ChatGPT barely does.
+        let svc4 = LlmService::new(GPT4);
+        let (p4_cot, _) = svc4.composition_probability(&required, &[], &gold, 0.0, true);
+        let (p4_plain, _) = svc4.composition_probability(&required, &[], &gold, 0.0, false);
+        assert!(p4_cot > p4_plain + 0.04);
+    }
+
+    #[test]
+    fn complete_is_deterministic_per_seed_and_counts_tokens() {
+        let db = db();
+        let gold = parse("SELECT name FROM t WHERE id = 1").unwrap();
+        let prompt = Prompt {
+            instruction: String::new(),
+            demonstrations: vec![demo_with_skeleton("SELECT _ FROM _ WHERE _ = _")],
+            schema_text: "create table t (id int, name text)\n".into(),
+            nl: "what is the name of t with id 1?".into(),
+        };
+        let svc = LlmService::new(CHATGPT);
+        let req = GenerationRequest {
+            prompt: &prompt,
+            gold: &gold,
+            db: &db,
+            linking_noise: 0.0,
+            prune_quality: 1.0,
+            instruction_quality: 0.0,
+            cot: false,
+            n: 5,
+            seed: 99,
+            extra_output_tokens: 0,
+        };
+        let a = svc.complete(&req);
+        let b = svc.complete(&req);
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.samples.len(), 5);
+        assert!(a.prompt_tokens > 0);
+        assert!(a.output_tokens > 0);
+        assert_eq!(a.support_level, Some(Level::Detail));
+    }
+
+    #[test]
+    fn context_overflow_drops_demo_support() {
+        let db = db();
+        let gold = parse("SELECT name FROM t WHERE id = 1").unwrap();
+        // A gigantic instruction eats the context; the demo no longer helps.
+        let prompt = Prompt {
+            instruction: "x ".repeat(5000),
+            demonstrations: vec![demo_with_skeleton("SELECT _ FROM _ WHERE _ = _")],
+            schema_text: "create table t (id int, name text)\n".into(),
+            nl: "q?".into(),
+        };
+        let svc = LlmService::new(CHATGPT);
+        let req = GenerationRequest {
+            prompt: &prompt,
+            gold: &gold,
+            db: &db,
+            linking_noise: 0.0,
+            prune_quality: 0.0,
+            instruction_quality: 0.0,
+            cot: false,
+            n: 1,
+            seed: 1,
+            extra_output_tokens: 0,
+        };
+        let resp = svc.complete(&req);
+        assert_eq!(resp.support_level, None);
+        assert_eq!(resp.prompt_tokens, CONTEXT_LIMIT);
+    }
+
+    #[test]
+    fn more_samples_cost_more_output_tokens() {
+        let db = db();
+        let gold = parse("SELECT name FROM t").unwrap();
+        let prompt = Prompt {
+            instruction: String::new(),
+            demonstrations: vec![],
+            schema_text: "create table t (id int, name text)\n".into(),
+            nl: "q?".into(),
+        };
+        let svc = LlmService::new(CHATGPT);
+        let mk = |n: usize| GenerationRequest {
+            prompt: &prompt,
+            gold: &gold,
+            db: &db,
+            linking_noise: 0.0,
+            prune_quality: 0.0,
+            instruction_quality: 0.0,
+            cot: false,
+            n,
+            seed: 5,
+            extra_output_tokens: 0,
+        };
+        let one = svc.complete(&mk(1));
+        let ten = svc.complete(&mk(10));
+        assert!(ten.output_tokens > one.output_tokens * 5);
+    }
+}

@@ -1,0 +1,39 @@
+//! Approximate tokenizer for budget accounting.
+//!
+//! The paper's budget experiments (Fig. 11) are denominated in OpenAI BPE tokens.
+//! We approximate with the standard rule of thumb (≈4 characters per token,
+//! floored by the word count), which is accurate enough for relative budget
+//! comparisons — the only thing the experiments need.
+
+/// Approximate number of tokens in a string.
+pub fn count_tokens(s: &str) -> u64 {
+    let chars = s.chars().count() as u64;
+    let words = s.split_whitespace().count() as u64;
+    (chars / 4).max(words)
+}
+
+/// The context-window limit shared by the simulated models (gpt-3.5-turbo-0613's
+/// 4,096 tokens; the paper's Fig. 11 marks configurations beyond it as N/A).
+pub const CONTEXT_LIMIT: u64 = 4096;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_with_length() {
+        assert_eq!(count_tokens(""), 0);
+        let short = count_tokens("SELECT country FROM tv_channel");
+        let long = count_tokens(
+            "SELECT country FROM tv_channel WHERE id NOT IN (SELECT channel FROM cartoon)",
+        );
+        assert!(long > short);
+        assert!(short >= 4);
+    }
+
+    #[test]
+    fn word_floor_applies_to_terse_text() {
+        // Eleven 1-char words: char/4 would be ~5, but 11 words floor it.
+        assert_eq!(count_tokens("a b c d e f g h i j k"), 11);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests of the LLM substrate: tokenizer monotonicity, prompt budget
+//! fitting, profile-mechanism monotonicity, and service determinism.
+
+use llm::{count_tokens, Demonstration, GenerationRequest, LlmService, Prompt, CHATGPT, CONTEXT_LIMIT};
+use proptest::prelude::*;
+use sqlkit::Skeleton;
+
+fn demo(ix: usize, schema_cols: usize) -> Demonstration {
+    let cols: Vec<String> = (0..schema_cols).map(|i| format!("c{i} int")).collect();
+    let schema = format!("create table t{ix} ({})\n", cols.join(", "));
+    Demonstration {
+        schema_text: schema.clone(),
+        full_schema_text: schema,
+        nl: format!("question {ix} about table t{ix}?"),
+        sql: format!("SELECT c0 FROM t{ix} WHERE c1 = {ix}"),
+        skeleton: Skeleton::parse("SELECT _ FROM _ WHERE _ = _"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tokenizer_is_monotone_under_concatenation(a in ".{0,200}", b in ".{0,200}") {
+        let joined = format!("{a}{b}");
+        prop_assert!(count_tokens(&joined) + 1 >= count_tokens(&a));
+        prop_assert!(count_tokens(&joined) + 1 >= count_tokens(&b));
+    }
+
+    #[test]
+    fn prompt_fits_any_budget_above_core(n_demos in 0usize..30, budget in 60u64..5000) {
+        let mut p = Prompt {
+            instruction: "Write SQL.".into(),
+            demonstrations: (0..n_demos).map(|i| demo(i, 4)).collect(),
+            schema_text: "create table u (a int, b text)\n".into(),
+            nl: "how many u are there?".into(),
+        };
+        let core_len = Prompt {
+            instruction: p.instruction.clone(),
+            demonstrations: vec![],
+            schema_text: p.schema_text.clone(),
+            nl: p.nl.clone(),
+        }
+        .token_len();
+        p.fit_to_budget(budget);
+        if budget >= core_len {
+            prop_assert!(p.token_len() <= budget, "{} > {budget}", p.token_len());
+        } else {
+            // Cannot fit: every demo must at least be gone.
+            prop_assert!(p.demonstrations.is_empty());
+        }
+    }
+
+    #[test]
+    fn composition_probability_is_monotone_in_support(ix in 0usize..100) {
+        // More (or finer) support never lowers the probability.
+        let svc = LlmService::new(CHATGPT);
+        let sqls = [
+            "SELECT a FROM t WHERE b = 1",
+            "SELECT COUNT(*) FROM t GROUP BY a",
+            "SELECT a FROM t ORDER BY b DESC LIMIT 1",
+            "SELECT a FROM t WHERE b IN (SELECT c FROM u)",
+        ];
+        let gold = sqlkit::parse(sqls[ix % sqls.len()]).unwrap();
+        let required = Skeleton::from_query(&gold);
+        let exact = required.clone();
+        let (p_none, _) = svc.composition_probability(&required, &[], &gold, 0.0, false);
+        let (p_exact, _) =
+            svc.composition_probability(&required, &[&exact], &gold, 0.0, false);
+        prop_assert!(p_exact >= p_none);
+        // Instruction quality is monotone too.
+        let (p_instr, _) = svc.composition_probability(&required, &[], &gold, 1.0, false);
+        prop_assert!(p_instr >= p_none);
+    }
+
+    #[test]
+    fn service_is_deterministic_and_respects_n(seed in 0u64..500, n in 1usize..8) {
+        let mut schema = sqlkit::Schema::new("d");
+        schema.tables.push(sqlkit::Table {
+            name: "t".into(),
+            display: "t".into(),
+            columns: vec![
+                sqlkit::Column::new("a", sqlkit::ColumnType::Int),
+                sqlkit::Column::new("b", sqlkit::ColumnType::Text),
+            ],
+            primary_key: Some(0),
+        });
+        let db = engine::Database::empty(schema);
+        let gold = sqlkit::parse("SELECT b FROM t WHERE a = 1").unwrap();
+        let prompt = Prompt {
+            instruction: String::new(),
+            demonstrations: vec![demo(0, 3)],
+            schema_text: "create table t (a int, b text)\n".into(),
+            nl: "what is the b of t with a 1?".into(),
+        };
+        let svc = LlmService::new(CHATGPT);
+        let req = GenerationRequest {
+            prompt: &prompt,
+            gold: &gold,
+            db: &db,
+            linking_noise: 0.0,
+            prune_quality: 0.5,
+            instruction_quality: 0.0,
+            cot: false,
+            n,
+            seed,
+            extra_output_tokens: 0,
+        };
+        let a = svc.complete(&req);
+        let b = svc.complete(&req);
+        prop_assert_eq!(&a.samples, &b.samples);
+        prop_assert_eq!(a.samples.len(), n);
+        prop_assert!(a.prompt_tokens <= CONTEXT_LIMIT);
+        // Every sample parses.
+        for s in &a.samples {
+            prop_assert!(sqlkit::parse(s).is_ok(), "unparseable sample `{s}`");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Lexical feature extraction shared by the schema classifier and the skeleton
+//! predictor. Features are computed from the NL question surface plus schema
+//! display names and (for columns) sampled cell values — the same signal families
+//! RESDSQL's cross-encoder consumes.
+
+use engine::Database;
+use sqlkit::ColumnId;
+
+/// Lower-cased word tokens of an NL question.
+pub fn tokenize_nl(nl: &str) -> Vec<String> {
+    nl.to_ascii_lowercase()
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '.' { c } else { ' ' })
+        .collect::<String>()
+        .split_whitespace()
+        .map(str::to_string)
+        .collect()
+}
+
+/// Number of features produced by [`item_features`].
+pub const ITEM_FEATURES: usize = 7;
+
+/// Features of one schema item (table or column) against a question.
+///
+/// 0. exact phrase match (display phrase is a substring of the question)
+/// 1. fraction of the item's words appearing in the question
+/// 2. any-word match
+/// 3. value match (a sampled cell value appears in the question; 0 for tables)
+/// 4. primary-key flag
+/// 5. item word count (normalized) — longer compounds match more reliably
+/// 6. bias
+pub fn item_features(
+    nl_lower: &str,
+    nl_words: &[String],
+    display: &str,
+    is_pk: bool,
+    value_match: bool,
+) -> [f64; ITEM_FEATURES] {
+    let display_lower = display.to_ascii_lowercase();
+    let words: Vec<&str> = display_lower.split_whitespace().collect();
+    let exact = nl_lower.contains(&display_lower);
+    let mut hit = 0usize;
+    for w in &words {
+        if nl_words.iter().any(|n| n == w) {
+            hit += 1;
+        }
+    }
+    let frac = if words.is_empty() { 0.0 } else { hit as f64 / words.len() as f64 };
+    [
+        exact as u8 as f64,
+        frac,
+        (hit > 0) as u8 as f64,
+        value_match as u8 as f64,
+        is_pk as u8 as f64,
+        (words.len() as f64).min(3.0) / 3.0,
+        1.0,
+    ]
+}
+
+/// Does any sampled value of this column appear verbatim in the question?
+pub fn column_value_match(nl_lower: &str, db: &Database, col: ColumnId) -> bool {
+    for v in db.sample_values(col.table, col.column, 24) {
+        let s = v.to_string().to_ascii_lowercase();
+        if s.len() >= 2 && nl_lower.contains(&s) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_lowercases_and_splits() {
+        assert_eq!(
+            tokenize_nl("What are the Countries, whose id=3?"),
+            vec!["what", "are", "the", "countries", "whose", "id", "3"]
+        );
+    }
+
+    #[test]
+    fn exact_and_partial_matches() {
+        let nl = "what is the series name of the tv channel?";
+        let words = tokenize_nl(nl);
+        let f = item_features(nl, &words, "series name", false, false);
+        assert_eq!(f[0], 1.0);
+        assert_eq!(f[1], 1.0);
+        let f = item_features(nl, &words, "series rating", false, false);
+        assert_eq!(f[0], 0.0);
+        assert_eq!(f[1], 0.5);
+        let f = item_features(nl, &words, "budget", false, false);
+        assert_eq!(f[2], 0.0);
+    }
+
+    #[test]
+    fn bias_is_always_one() {
+        let f = item_features("", &[], "x", true, true);
+        assert_eq!(f[ITEM_FEATURES - 1], 1.0);
+        assert_eq!(f[4], 1.0);
+        assert_eq!(f[3], 1.0);
+    }
+}

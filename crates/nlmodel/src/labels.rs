@@ -1,0 +1,213 @@
+//! Gold-label extraction: which schema items does a gold SQL query actually use?
+//! Drives classifier training (§IV-A1: "the labels are extracted from the SQL") and
+//! schema-pruning recall measurements.
+
+use sqlkit::ast::*;
+use sqlkit::{ColumnId, Query, Schema};
+use std::collections::HashSet;
+
+/// Tables and columns referenced by a query, resolved against the schema.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UsedItems {
+    /// Referenced table indices.
+    pub tables: HashSet<usize>,
+    /// Referenced columns.
+    pub columns: HashSet<ColumnId>,
+}
+
+/// Collect every schema item used anywhere in the query (all cores, subqueries,
+/// join conditions, group/order keys).
+pub fn used_items(q: &Query, schema: &Schema) -> UsedItems {
+    let mut out = UsedItems::default();
+    collect_query(q, schema, &mut out);
+    out
+}
+
+fn collect_query(q: &Query, schema: &Schema, out: &mut UsedItems) {
+    collect_core(&q.core, schema, out);
+    if let Some((_, rhs)) = &q.compound {
+        collect_query(rhs, schema, out);
+    }
+}
+
+struct Names {
+    // (binding name lower, table index)
+    bindings: Vec<(String, usize)>,
+}
+
+impl Names {
+    fn of(core: &SelectCore, schema: &Schema) -> Names {
+        let mut bindings = Vec::new();
+        for tr in core.from.table_refs() {
+            if let TableRef::Named { name, alias } = tr {
+                if let Some(ti) = schema.table_index(name) {
+                    bindings.push((name.to_ascii_lowercase(), ti));
+                    if let Some(a) = alias {
+                        bindings.push((a.to_ascii_lowercase(), ti));
+                    }
+                }
+            }
+        }
+        Names { bindings }
+    }
+
+    fn resolve(&self, c: &ColumnRef, schema: &Schema) -> Option<ColumnId> {
+        let col = c.column.to_ascii_lowercase();
+        if let Some(t) = &c.table {
+            let t_l = t.to_ascii_lowercase();
+            let ti = self.bindings.iter().find(|(b, _)| *b == t_l).map(|(_, t)| *t)?;
+            let ci = schema.tables[ti].column_index(&col)?;
+            return Some(ColumnId { table: ti, column: ci });
+        }
+        for (_, ti) in &self.bindings {
+            if let Some(ci) = schema.tables[*ti].column_index(&col) {
+                return Some(ColumnId { table: *ti, column: ci });
+            }
+        }
+        // Fall back to a whole-schema search (hallucinated missing-table refs).
+        for (ti, t) in schema.tables.iter().enumerate() {
+            if let Some(ci) = t.column_index(&col) {
+                return Some(ColumnId { table: ti, column: ci });
+            }
+        }
+        None
+    }
+}
+
+fn collect_core(core: &SelectCore, schema: &Schema, out: &mut UsedItems) {
+    let names = Names::of(core, schema);
+    for (_, ti) in &names.bindings {
+        out.tables.insert(*ti);
+    }
+    for tr in core.from.table_refs() {
+        if let TableRef::Subquery { query, .. } = tr {
+            collect_query(query, schema, out);
+        }
+    }
+    let add_unit = |v: &ValUnit, out: &mut UsedItems| {
+        for c in v.columns() {
+            if let Some(id) = names.resolve(c, schema) {
+                out.tables.insert(id.table);
+                out.columns.insert(id);
+            }
+        }
+    };
+    for item in &core.items {
+        add_unit(&item.expr.unit, out);
+        for e in &item.expr.extra_args {
+            add_unit(e, out);
+        }
+    }
+    for j in &core.from.joins {
+        for (l, r) in &j.on {
+            for c in [l, r] {
+                if let Some(id) = names.resolve(c, schema) {
+                    out.tables.insert(id.table);
+                    out.columns.insert(id);
+                }
+            }
+        }
+    }
+    for cond in [&core.where_clause, &core.having].into_iter().flatten() {
+        for (p, _) in cond.flatten() {
+            add_unit(&p.left.unit, out);
+            for operand in [Some(&p.right), p.right2.as_ref()].into_iter().flatten() {
+                match operand {
+                    Operand::Column(c) => {
+                        if let Some(id) = names.resolve(c, schema) {
+                            out.tables.insert(id.table);
+                            out.columns.insert(id);
+                        }
+                    }
+                    Operand::Subquery(q) => collect_query(q, schema, out),
+                    Operand::Literal(_) => {}
+                }
+            }
+        }
+    }
+    for g in &core.group_by {
+        if let Some(id) = names.resolve(g, schema) {
+            out.tables.insert(id.table);
+            out.columns.insert(id);
+        }
+    }
+    for o in &core.order_by {
+        add_unit(&o.expr.unit, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlkit::{parse, Column, ColumnType, Table};
+
+    fn schema() -> Schema {
+        let mut s = Schema::new("d");
+        s.tables.push(Table {
+            name: "tv_channel".into(),
+            display: "tv channel".into(),
+            columns: vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("country", ColumnType::Text),
+            ],
+            primary_key: Some(0),
+        });
+        s.tables.push(Table {
+            name: "cartoon".into(),
+            display: "cartoon".into(),
+            columns: vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("written_by", ColumnType::Text),
+                Column::new("channel", ColumnType::Int),
+            ],
+            primary_key: Some(0),
+        });
+        s
+    }
+
+    #[test]
+    fn collects_fig1_gold_items() {
+        let s = schema();
+        let q = parse(
+            "SELECT country FROM tv_channel EXCEPT SELECT T1.country FROM tv_channel AS T1 JOIN \
+             cartoon AS T2 ON T1.id = T2.channel WHERE T2.written_by = 'Todd Casey'",
+        )
+        .unwrap();
+        let u = used_items(&q, &s);
+        assert_eq!(u.tables, HashSet::from([0, 1]));
+        assert!(u.columns.contains(&ColumnId { table: 0, column: 1 })); // country
+        assert!(u.columns.contains(&ColumnId { table: 0, column: 0 })); // id
+        assert!(u.columns.contains(&ColumnId { table: 1, column: 2 })); // channel
+        assert!(u.columns.contains(&ColumnId { table: 1, column: 1 })); // written_by
+    }
+
+    #[test]
+    fn single_table_query_uses_one_table() {
+        let s = schema();
+        let q = parse("SELECT COUNT(*) FROM cartoon WHERE written_by = 'x'").unwrap();
+        let u = used_items(&q, &s);
+        assert_eq!(u.tables, HashSet::from([1]));
+        assert_eq!(u.columns.len(), 1);
+    }
+
+    #[test]
+    fn group_and_order_columns_are_collected() {
+        let s = schema();
+        let q = parse(
+            "SELECT written_by, COUNT(*) FROM cartoon GROUP BY written_by ORDER BY channel ASC",
+        )
+        .unwrap();
+        let u = used_items(&q, &s);
+        assert!(u.columns.contains(&ColumnId { table: 1, column: 1 }));
+        assert!(u.columns.contains(&ColumnId { table: 1, column: 2 }));
+    }
+
+    #[test]
+    fn unknown_names_resolve_to_nothing() {
+        let s = schema();
+        let q = parse("SELECT zzz FROM tv_channel").unwrap();
+        let u = used_items(&q, &s);
+        assert_eq!(u.tables, HashSet::from([0]));
+        assert!(u.columns.is_empty());
+    }
+}

@@ -1,0 +1,24 @@
+//! # nlmodel
+//!
+//! The trainable model substrates standing in for the paper's fine-tuned PLMs:
+//!
+//! * [`SchemaClassifier`] — the table-column relevance classifier of §IV-A1
+//!   (RESDSQL-style, focal loss).
+//! * [`SkeletonPredictor`] — the skeleton generator of §IV-B (T5-3B stand-in) with
+//!   top-k beam output and sequence probabilities.
+//! * Label extraction ([`labels::used_items`]) and shared lexical features.
+
+#![warn(missing_docs)]
+
+pub mod classifier;
+pub mod features;
+pub mod labels;
+pub mod metrics;
+pub mod persist;
+pub mod skeleton_model;
+
+pub use classifier::{SchemaClassifier, TrainConfig};
+pub use metrics::{classifier_report, skeleton_topk_recall, ClassifierReport, Prf};
+pub use persist::PersistError;
+pub use labels::{used_items, UsedItems};
+pub use skeleton_model::{cues, SkeletonPrediction, SkeletonPredictor, NUM_CUES};

@@ -1,0 +1,155 @@
+//! Quality reports for the trained sub-models, mirroring the diagnostics the
+//! RESDSQL / T5 literature reports (classification AUC-adjacent P/R/F1, top-k beam
+//! recall). Surfaced by `repro --model-stats` and the robustness experiments.
+
+use crate::classifier::SchemaClassifier;
+use crate::labels::used_items;
+use crate::skeleton_model::SkeletonPredictor;
+use serde::{Deserialize, Serialize};
+use spidergen::types::Benchmark;
+use sqlkit::{ColumnId, Skeleton};
+
+/// Precision / recall / F1 for a binary classification pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Prf {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Prf {
+    /// Precision in [0, 1].
+    pub fn precision(&self) -> f64 {
+        let d = self.tp + self.fp;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// Recall in [0, 1].
+    pub fn recall(&self) -> f64 {
+        let d = self.tp + self.fn_;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// F1 in [0, 1].
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Classifier quality on a split, at threshold τp.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ClassifierReport {
+    /// Table-level P/R/F1.
+    pub tables: Prf,
+    /// Column-level P/R/F1.
+    pub columns: Prf,
+}
+
+/// Evaluate the schema classifier on a benchmark split at threshold `tau_p`.
+pub fn classifier_report(
+    clf: &SchemaClassifier,
+    bench: &Benchmark,
+    tau_p: f64,
+) -> ClassifierReport {
+    let mut report = ClassifierReport::default();
+    for ex in &bench.examples {
+        let db = bench.db_of(ex);
+        let used = used_items(&ex.query, &db.schema);
+        let t_scores = clf.score_tables(&ex.nl, db);
+        for (ti, s) in t_scores.iter().enumerate() {
+            match (*s > tau_p, used.tables.contains(&ti)) {
+                (true, true) => report.tables.tp += 1,
+                (true, false) => report.tables.fp += 1,
+                (false, true) => report.tables.fn_ += 1,
+                _ => {}
+            }
+        }
+        let c_scores = clf.score_columns(&ex.nl, db);
+        for (ti, cols) in c_scores.iter().enumerate() {
+            for (ci, s) in cols.iter().enumerate() {
+                let id = ColumnId { table: ti, column: ci };
+                match (*s > tau_p, used.columns.contains(&id)) {
+                    (true, true) => report.columns.tp += 1,
+                    (true, false) => report.columns.fp += 1,
+                    (false, true) => report.columns.fn_ += 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Top-k skeleton recall on a split: fraction of examples whose gold skeleton
+/// appears in the predictor's k-beam (§IV-B's "high recall of the requisite
+/// operator compositions").
+pub fn skeleton_topk_recall(model: &SkeletonPredictor, bench: &Benchmark, k: usize) -> f64 {
+    if bench.examples.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for ex in &bench.examples {
+        let db = bench.db_of(ex);
+        let gold = Skeleton::from_query(&ex.query);
+        if model.predict(&ex.nl, db, k).iter().any(|p| p.skeleton == gold) {
+            hits += 1;
+        }
+    }
+    hits as f64 / bench.examples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::TrainConfig;
+    use spidergen::{generate_suite, GenConfig};
+
+    #[test]
+    fn prf_arithmetic() {
+        let p = Prf { tp: 8, fp: 2, fn_: 2 };
+        assert!((p.precision() - 0.8).abs() < 1e-9);
+        assert!((p.recall() - 0.8).abs() < 1e-9);
+        assert!((p.f1() - 0.8).abs() < 1e-9);
+        assert_eq!(Prf::default().f1(), 0.0);
+    }
+
+    #[test]
+    fn classifier_report_shows_high_recall_low_threshold_tradeoff() {
+        let suite = generate_suite(&GenConfig::tiny(12));
+        let clf = SchemaClassifier::train(&suite.train, TrainConfig::default());
+        let strict = classifier_report(&clf, &suite.dev, 0.5);
+        let lenient = classifier_report(&clf, &suite.dev, 0.1);
+        // Lowering the threshold must not lower recall.
+        assert!(lenient.tables.recall() >= strict.tables.recall());
+        assert!(lenient.columns.recall() >= strict.columns.recall());
+        // And the trained model should be meaningfully better than chance on dev.
+        assert!(strict.tables.recall() > 0.6, "table recall {:.2}", strict.tables.recall());
+    }
+
+    #[test]
+    fn topk_recall_is_monotone_in_k() {
+        let suite = generate_suite(&GenConfig::tiny(13));
+        let model = SkeletonPredictor::train(&suite.train);
+        let r1 = skeleton_topk_recall(&model, &suite.dev, 1);
+        let r3 = skeleton_topk_recall(&model, &suite.dev, 3);
+        let r5 = skeleton_topk_recall(&model, &suite.dev, 5);
+        assert!(r1 <= r3 && r3 <= r5, "{r1:.2} {r3:.2} {r5:.2}");
+        assert!(r3 > 0.3, "top-3 recall too weak: {r3:.2}");
+    }
+}

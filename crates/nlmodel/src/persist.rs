@@ -1,0 +1,186 @@
+//! Plain-text persistence for the trained models — save a fitted classifier /
+//! skeleton predictor and reload it without retraining, with no serialization
+//! dependencies beyond the standard library.
+//!
+//! Format: a line-oriented text layout with a versioned header, float fields in
+//! Rust's round-trip `{:?}` encoding. Stable across runs and platforms.
+
+use crate::classifier::SchemaClassifier;
+use crate::skeleton_model::SkeletonPredictor;
+use std::fmt::Write as _;
+
+/// Error while loading a persisted model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistError {
+    message: String,
+}
+
+impl PersistError {
+    fn new(m: impl Into<String>) -> Self {
+        PersistError { message: m.into() }
+    }
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model load error: {}", self.message)
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn parse_floats(line: &str, expect: Option<usize>) -> Result<Vec<f64>, PersistError> {
+    let vals: Result<Vec<f64>, _> = line.split_whitespace().map(str::parse::<f64>).collect();
+    let vals = vals.map_err(|e| PersistError::new(format!("bad float: {e}")))?;
+    if let Some(n) = expect {
+        if vals.len() != n {
+            return Err(PersistError::new(format!("expected {n} floats, got {}", vals.len())));
+        }
+    }
+    Ok(vals)
+}
+
+impl SchemaClassifier {
+    /// Serialize the trained weights to a text blob.
+    pub fn save_to_string(&self) -> String {
+        let (wt, wc) = self.weights();
+        let mut s = String::from("schema-classifier v1\n");
+        for w in [wt, wc] {
+            for (i, x) in w.iter().enumerate() {
+                if i > 0 {
+                    s.push(' ');
+                }
+                let _ = write!(s, "{x:?}");
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Reload a classifier saved by [`Self::save_to_string`].
+    pub fn load_from_string(text: &str) -> Result<Self, PersistError> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(|| PersistError::new("empty input"))?;
+        if header != "schema-classifier v1" {
+            return Err(PersistError::new(format!("unknown header `{header}`")));
+        }
+        let n = crate::features::ITEM_FEATURES;
+        let wt = parse_floats(lines.next().ok_or_else(|| PersistError::new("missing table weights"))?, Some(n))?;
+        let wc = parse_floats(lines.next().ok_or_else(|| PersistError::new("missing column weights"))?, Some(n))?;
+        Ok(SchemaClassifier::from_weights(
+            wt.try_into().expect("length checked"),
+            wc.try_into().expect("length checked"),
+        ))
+    }
+}
+
+impl SkeletonPredictor {
+    /// Serialize the fitted predictor (skeleton vocabulary, priors, per-cue
+    /// likelihoods) to a text blob.
+    pub fn save_to_string(&self) -> String {
+        let (skeletons, priors, likes) = self.tables();
+        let mut s = String::from("skeleton-predictor v1\n");
+        let _ = writeln!(s, "{}", skeletons.len());
+        for (i, skel) in skeletons.iter().enumerate() {
+            let _ = writeln!(s, "{skel}");
+            let _ = write!(s, "{:?}", priors[i]);
+            for (l0, l1) in &likes[i] {
+                let _ = write!(s, " {l0:?} {l1:?}");
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Reload a predictor saved by [`Self::save_to_string`].
+    pub fn load_from_string(text: &str) -> Result<Self, PersistError> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(|| PersistError::new("empty input"))?;
+        if header != "skeleton-predictor v1" {
+            return Err(PersistError::new(format!("unknown header `{header}`")));
+        }
+        let n: usize = lines
+            .next()
+            .ok_or_else(|| PersistError::new("missing count"))?
+            .trim()
+            .parse()
+            .map_err(|e| PersistError::new(format!("bad count: {e}")))?;
+        let mut skeletons = Vec::with_capacity(n);
+        let mut priors = Vec::with_capacity(n);
+        let mut likes = Vec::with_capacity(n);
+        for i in 0..n {
+            let skel_line = lines
+                .next()
+                .ok_or_else(|| PersistError::new(format!("missing skeleton {i}")))?;
+            let skel = sqlkit::Skeleton::parse(skel_line);
+            // A skeleton must survive text round-trip; otherwise the file is corrupt.
+            if skel.to_string() != skel_line {
+                return Err(PersistError::new(format!(
+                    "skeleton line {i} does not round-trip: `{skel_line}`"
+                )));
+            }
+            let nums = parse_floats(
+                lines.next().ok_or_else(|| PersistError::new(format!("missing weights {i}")))?,
+                Some(1 + 2 * crate::skeleton_model::NUM_CUES),
+            )?;
+            skeletons.push(skel);
+            priors.push(nums[0]);
+            likes.push(
+                nums[1..]
+                    .chunks_exact(2)
+                    .map(|c| (c[0], c[1]))
+                    .collect::<Vec<(f64, f64)>>(),
+            );
+        }
+        Ok(SkeletonPredictor::from_tables(skeletons, priors, likes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::TrainConfig;
+    use spidergen::{generate_suite, GenConfig};
+
+    #[test]
+    fn classifier_roundtrips_exactly() {
+        let suite = generate_suite(&GenConfig::tiny(71));
+        let clf = SchemaClassifier::train(&suite.train, TrainConfig::default());
+        let text = clf.save_to_string();
+        let loaded = SchemaClassifier::load_from_string(&text).unwrap();
+        // Identical scores on every dev example.
+        for ex in suite.dev.examples.iter().take(10) {
+            let db = suite.dev.db_of(ex);
+            assert_eq!(clf.score_tables(&ex.nl, db), loaded.score_tables(&ex.nl, db));
+            assert_eq!(clf.score_columns(&ex.nl, db), loaded.score_columns(&ex.nl, db));
+        }
+    }
+
+    #[test]
+    fn predictor_roundtrips_exactly() {
+        let suite = generate_suite(&GenConfig::tiny(72));
+        let model = SkeletonPredictor::train(&suite.train);
+        let text = model.save_to_string();
+        let loaded = SkeletonPredictor::load_from_string(&text).unwrap();
+        assert_eq!(loaded.vocabulary_size(), model.vocabulary_size());
+        for ex in suite.dev.examples.iter().take(10) {
+            let db = suite.dev.db_of(ex);
+            let a = model.predict(&ex.nl, db, 3);
+            let b = loaded.predict(&ex.nl, db, 3);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.skeleton, y.skeleton);
+                assert!((x.probability - y.probability).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected() {
+        assert!(SchemaClassifier::load_from_string("").is_err());
+        assert!(SchemaClassifier::load_from_string("wrong header\n1 2 3\n").is_err());
+        assert!(SchemaClassifier::load_from_string("schema-classifier v1\n1 2\n1 2\n").is_err());
+        assert!(SkeletonPredictor::load_from_string("skeleton-predictor v1\n2\nSELECT _ FROM _\n0.5").is_err());
+        assert!(SkeletonPredictor::load_from_string("skeleton-predictor v1\nnot-a-number").is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! The four-level skeleton automaton (§IV-C2).
+//!
+//! Each abstraction level gets its own automaton: a trie of skeleton-token state
+//! transitions from `<START>`, with the indices of matching demonstrations stored
+//! in the `<END>` state of their token sequence. Matching a predicted skeleton
+//! walks the trie; an absent transition returns the empty list, exactly as the
+//! paper specifies. Out-of-vocabulary tokens in predicted skeletons are already
+//! removed by [`Skeleton::parse`].
+
+use serde::{Deserialize, Serialize};
+use sqlkit::{Level, SkelTok, Skeleton};
+use std::collections::HashMap;
+
+/// Automaton for one abstraction level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Automaton {
+    level: Level,
+    nodes: Vec<Node>,
+}
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct Node {
+    edges: HashMap<SkelTok, usize>,
+    /// Demonstration indices whose skeleton ends at this state (the `<END>` store).
+    end_demos: Vec<usize>,
+}
+
+impl Automaton {
+    /// Build the automaton at `level` over the demonstration skeletons.
+    pub fn build(level: Level, skeletons: &[Skeleton]) -> Self {
+        let mut nodes = vec![Node::default()];
+        for (idx, skel) in skeletons.iter().enumerate() {
+            let mut state = 0usize;
+            for tok in skel.at_level(level) {
+                state = match nodes[state].edges.get(&tok) {
+                    Some(next) => *next,
+                    None => {
+                        nodes.push(Node::default());
+                        let next = nodes.len() - 1;
+                        nodes[state].edges.insert(tok, next);
+                        next
+                    }
+                };
+            }
+            nodes[state].end_demos.push(idx);
+        }
+        Automaton { level, nodes }
+    }
+
+    /// The level this automaton abstracts at.
+    pub fn level(&self) -> Level {
+        self.level
+    }
+
+    /// Demonstrations whose state sequence is identical to the (abstracted)
+    /// predicted skeleton. Empty when the sequence is absent.
+    pub fn matches(&self, predicted: &Skeleton) -> &[usize] {
+        let mut state = 0usize;
+        for tok in predicted.at_level(self.level) {
+            match self.nodes[state].edges.get(&tok) {
+                Some(next) => state = *next,
+                None => return &[],
+            }
+        }
+        &self.nodes[state].end_demos
+    }
+
+    /// Number of distinct `<END>` states (distinct abstracted skeletons) — the
+    /// statistic behind the paper's 912:708:363:59 ratio.
+    pub fn end_state_count(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.end_demos.is_empty()).count()
+    }
+
+    /// Total number of trie states.
+    pub fn state_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// All four automata over one demonstration pool.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AutomatonSet {
+    /// Per-level automata, Detail first (the `A` of Algorithm 1).
+    pub levels: Vec<Automaton>,
+}
+
+impl AutomatonSet {
+    /// Build all four levels.
+    pub fn build(skeletons: &[Skeleton]) -> Self {
+        AutomatonSet {
+            levels: Level::ALL.iter().map(|l| Automaton::build(*l, skeletons)).collect(),
+        }
+    }
+
+    /// `A[i]` of Algorithm 1.
+    pub fn at(&self, level: Level) -> &Automaton {
+        &self.levels[level.index()]
+    }
+
+    /// End-state counts per level (Detail, Keywords, Structure, Clause).
+    pub fn end_state_ratio(&self) -> [usize; 4] {
+        let mut out = [0; 4];
+        for (i, a) in self.levels.iter().enumerate() {
+            out[i] = a.end_state_count();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlkit::parse;
+
+    fn skels(sqls: &[&str]) -> Vec<Skeleton> {
+        sqls.iter().map(|s| Skeleton::from_query(&parse(s).unwrap())).collect()
+    }
+
+    #[test]
+    fn detail_match_requires_identical_sequence() {
+        let pool = skels(&[
+            "SELECT a FROM t WHERE b = 1",
+            "SELECT a FROM t WHERE b > 1",
+            "SELECT a, c FROM t WHERE b = 1",
+        ]);
+        let a = Automaton::build(Level::Detail, &pool);
+        let q = Skeleton::parse("SELECT _ FROM _ WHERE _ = _");
+        assert_eq!(a.matches(&q), &[0]);
+        let q = Skeleton::parse("SELECT _ FROM _ WHERE _ != _");
+        assert!(a.matches(&q).is_empty());
+    }
+
+    #[test]
+    fn structure_level_merges_comparison_operators() {
+        let pool = skels(&["SELECT a FROM t WHERE b = 1", "SELECT a FROM t WHERE b > 1"]);
+        let a = Automaton::build(Level::Structure, &pool);
+        let q = Skeleton::parse("SELECT _ FROM _ WHERE _ <= _");
+        assert_eq!(a.matches(&q), &[0, 1]);
+    }
+
+    #[test]
+    fn clause_level_merges_heavily() {
+        let pool = skels(&[
+            "SELECT a FROM t WHERE b = 1",
+            "SELECT a, c FROM t WHERE b > 1 AND c = 2",
+            "SELECT COUNT(*) FROM t WHERE b LIKE 'x'",
+        ]);
+        let set = AutomatonSet::build(&pool);
+        let ratio = set.end_state_ratio();
+        // Monotone coarsening: end states never increase with abstraction.
+        assert!(ratio[0] >= ratio[1] && ratio[1] >= ratio[2] && ratio[2] >= ratio[3]);
+        assert_eq!(ratio[3], 1, "all three share SELECT FROM WHERE at clause level");
+        let q = Skeleton::parse("SELECT _ FROM _ WHERE _ BETWEEN _ AND _");
+        assert_eq!(set.at(Level::Clause).matches(&q).len(), 3);
+    }
+
+    #[test]
+    fn empty_prediction_matches_nothing_at_detail() {
+        let pool = skels(&["SELECT a FROM t"]);
+        let set = AutomatonSet::build(&pool);
+        let empty = Skeleton::parse("zzz");
+        assert!(empty.is_empty());
+        // The empty sequence ends at <START>, which has no end demos here.
+        assert!(set.at(Level::Detail).matches(&empty).is_empty());
+    }
+
+    #[test]
+    fn end_states_store_all_duplicates() {
+        let pool = skels(&[
+            "SELECT a FROM t WHERE b = 1",
+            "SELECT x FROM u WHERE y = 'k'",
+            "SELECT p FROM q WHERE r = 2.5",
+        ]);
+        let a = Automaton::build(Level::Detail, &pool);
+        let q = Skeleton::parse("SELECT _ FROM _ WHERE _ = _");
+        assert_eq!(a.matches(&q), &[0, 1, 2]);
+        assert_eq!(a.end_state_count(), 1);
+        assert!(a.state_count() > 5);
+    }
+}

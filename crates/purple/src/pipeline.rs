@@ -1,0 +1,443 @@
+//! The end-to-end PURPLE pipeline (Fig. 3): Schema Pruning → Skeleton Prediction →
+//! Demonstration Selection → LLM call → Database Adaption, wired as an
+//! [`eval::Translator`] so every experiment runs through the same harness.
+
+use crate::adaption::{adapt_sql, consistency_vote};
+use crate::automaton::AutomatonSet;
+use crate::generation::{synthesize_demonstration, DemoMode};
+use crate::pruning::{PruneConfig, PrunedSchema, SchemaPruner};
+use crate::selection::{random_fill, select_demonstrations, SelectionConfig};
+use engine::Database;
+use eval::{Translation, Translator};
+use llm::{Demonstration, GenerationRequest, LlmProfile, LlmService, Prompt};
+use nlmodel::{SchemaClassifier, SkeletonPredictor, SkeletonPrediction, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spidergen::types::{Benchmark, Example};
+use sqlkit::Skeleton;
+
+/// PURPLE configuration, including every ablation/robustness knob of §V.
+#[derive(Debug, Clone)]
+pub struct PurpleConfig {
+    /// LLM tier.
+    pub profile: LlmProfile,
+    /// Prompt token budget (`len` of Fig. 11; paper default 3072).
+    pub len_budget: u64,
+    /// Consistency sample count (`num` of Fig. 11; paper default 30).
+    pub num_consistency: usize,
+    /// Beam size for skeleton prediction (paper: top-3).
+    pub top_k_skeletons: usize,
+    /// Schema pruning on/off ("-Schema Pruning" ablation).
+    pub use_pruning: bool,
+    /// Pruning parameters (Steiner toggle inside: "-Steiner Tree" ablation).
+    pub prune: PruneConfig,
+    /// Automaton-based selection on/off ("-Demonstration Selection": random demos).
+    pub use_selection: bool,
+    /// Selection parameters (p0 / growth / Fig. 12 noise knobs).
+    pub selection: SelectionConfig,
+    /// Database adaption + consistency vote on/off ("-Database Adaption").
+    pub use_adaption: bool,
+    /// Use the gold skeleton instead of predictions ("+Oracle Skeleton").
+    pub oracle_skeleton: bool,
+    /// Demonstration sourcing: retrieval (the paper), generation (§VII future
+    /// work), or hybrid.
+    pub demo_mode: DemoMode,
+    /// Number of demonstrations requested before budget fitting.
+    pub demo_target: usize,
+    /// Base seed for per-example determinism.
+    pub seed: u64,
+}
+
+impl PurpleConfig {
+    /// The paper's default configuration on a given model tier.
+    pub fn default_with(profile: LlmProfile) -> Self {
+        PurpleConfig {
+            profile,
+            len_budget: 3072,
+            num_consistency: 30,
+            top_k_skeletons: 3,
+            use_pruning: true,
+            prune: PruneConfig::default(),
+            use_selection: true,
+            selection: SelectionConfig::default(),
+            use_adaption: true,
+            oracle_skeleton: false,
+            demo_mode: DemoMode::Retrieve,
+            demo_target: 24,
+            seed: 0x9e3779b9,
+        }
+    }
+}
+
+/// A structured trace of one translation: what each module saw and decided.
+/// Returned by [`Purple::run_traced`] for debugging, error analysis, and the
+/// trace example binary.
+#[derive(Debug, Clone)]
+pub struct TranslationTrace {
+    /// The pruned schema used in the prompt.
+    pub pruned: PrunedSchema,
+    /// Fraction of columns pruned away (0 when pruning is off).
+    pub prune_quality: f64,
+    /// Whether the pruned schema covered every item the gold SQL needs.
+    pub recall_covered: bool,
+    /// Top-k skeleton predictions with probabilities.
+    pub predictions: Vec<SkeletonPrediction>,
+    /// Demonstration-pool indices selected (Algorithm 1 + random fill), in
+    /// prompt order.
+    pub selected: Vec<usize>,
+    /// Demonstrations that survived budget fitting.
+    pub demos_in_prompt: usize,
+    /// Demonstrations dropped by the token budget.
+    pub dropped_by_budget: usize,
+    /// Finest abstraction level at which an in-context demonstration matched the
+    /// required skeleton.
+    pub support_level: Option<sqlkit::Level>,
+    /// Adaption fixes applied across consistency samples.
+    pub fixes: Vec<&'static str>,
+    /// The final SQL.
+    pub sql: String,
+    /// Billed prompt tokens.
+    pub prompt_tokens: u64,
+    /// Billed output tokens.
+    pub output_tokens: u64,
+}
+
+/// The trained, pool-loaded PURPLE system.
+pub struct Purple {
+    cfg: PurpleConfig,
+    classifier: SchemaClassifier,
+    predictor: SkeletonPredictor,
+    /// Prompt-ready demonstrations, aligned with `automata` indices.
+    pool: Vec<Demonstration>,
+    automata: AutomatonSet,
+    service: LlmService,
+    counter: u64,
+}
+
+impl Purple {
+    /// Train the sub-models on the training split and precompute the demonstration
+    /// pool (each demonstration's schema pruned by the same module, §III-A).
+    pub fn new(train: &Benchmark, cfg: PurpleConfig) -> Self {
+        let classifier = SchemaClassifier::train(train, TrainConfig::default());
+        let predictor = SkeletonPredictor::train(train);
+        let pruner = SchemaPruner::new(&classifier, cfg.prune);
+        let mut pool = Vec::with_capacity(train.examples.len());
+        let mut skeletons = Vec::with_capacity(train.examples.len());
+        for ex in &train.examples {
+            let db = train.db_of(ex);
+            let pruned = pruner.prune(&ex.nl, db);
+            let skeleton = Skeleton::from_query(&ex.query);
+            skeletons.push(skeleton.clone());
+            pool.push(Demonstration {
+                schema_text: pruned.to_text(&db.schema),
+                full_schema_text: db.schema.to_prompt_text(None),
+                nl: ex.nl.clone(),
+                sql: ex.sql.clone(),
+                skeleton,
+            });
+        }
+        let automata = AutomatonSet::build(&skeletons);
+        let service = LlmService::new(cfg.profile);
+        Purple { cfg, classifier, predictor, pool, automata, service, counter: 0 }
+    }
+
+    /// The automaton set (for the §IV-C3 end-state statistics).
+    pub fn automata(&self) -> &AutomatonSet {
+        &self.automata
+    }
+
+    /// The trained classifier (shared with baselines).
+    pub fn classifier(&self) -> &SchemaClassifier {
+        &self.classifier
+    }
+
+    /// The trained skeleton predictor.
+    pub fn predictor(&self) -> &SkeletonPredictor {
+        &self.predictor
+    }
+
+    /// Demonstration pool size.
+    pub fn pool_size(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// The prompt-ready demonstration pool (shared with baseline systems).
+    pub fn pool(&self) -> &[Demonstration] {
+        &self.pool
+    }
+
+    /// Attach a shared cost ledger: every LLM call this system makes is recorded
+    /// (§V-D budget accounting).
+    pub fn attach_ledger(&mut self, ledger: std::sync::Arc<llm::CostLedger>) {
+        self.service = LlmService::with_ledger(self.cfg.profile, ledger);
+    }
+
+    /// Reconfigure (ablations / budget sweeps / model swaps) without retraining.
+    pub fn with_config(&self, cfg: PurpleConfig) -> Purple {
+        let service = LlmService::new(cfg.profile);
+        Purple {
+            cfg,
+            classifier: self.classifier.clone(),
+            predictor: self.predictor.clone(),
+            pool: self.pool.clone(),
+            automata: self.automata.clone(),
+            service,
+            counter: 0,
+        }
+    }
+
+    fn predictions(&self, ex: &Example, db: &Database) -> Vec<SkeletonPrediction> {
+        if self.cfg.oracle_skeleton {
+            vec![SkeletonPrediction {
+                skeleton: Skeleton::from_query(&ex.query),
+                probability: 1.0,
+            }]
+        } else {
+            self.predictor.predict(&ex.nl, db, self.cfg.top_k_skeletons)
+        }
+    }
+
+    /// Translate one example, returning the SQL and token accounting.
+    pub fn run(&mut self, ex: &Example, db: &Database) -> Translation {
+        self.run_traced(ex, db).0
+    }
+
+    /// Translate one example and return the full module-by-module trace.
+    pub fn run_traced(&mut self, ex: &Example, db: &Database) -> (Translation, TranslationTrace) {
+        self.counter += 1;
+        let seed = self.cfg.seed.wrapping_mul(0x100000001b3).wrapping_add(self.counter);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // --- Step 1: schema pruning -----------------------------------------
+        // Recall failures propagate (§III-B1: "It is important to keep high recall
+        // to reduce the risk of error propagation"): when the pruned schema misses
+        // items the gold SQL needs, the LLM cannot reference them and schema
+        // linking degrades sharply.
+        let mut recall_noise = 0.0;
+        let mut recall_covered = true;
+        let pruned = if self.cfg.use_pruning {
+            let pruner = SchemaPruner::new(&self.classifier, self.cfg.prune);
+            let pruned = pruner.prune(&ex.nl, db);
+            let used = nlmodel::used_items(&ex.query, &db.schema);
+            if !pruned.covers(&used.tables, &used.columns) {
+                recall_noise = 0.30;
+                recall_covered = false;
+            }
+            pruned
+        } else {
+            PrunedSchema::full(&db.schema)
+        };
+        let schema_text = pruned.to_text(&db.schema);
+        let prune_quality = pruned.quality(&db.schema);
+
+        // --- Step 2: skeleton prediction ------------------------------------
+        let predictions = self.predictions(ex, db);
+
+        // --- Step 3: demonstration selection --------------------------------
+        let mut selected = if matches!(self.cfg.demo_mode, DemoMode::Generate) {
+            Vec::new()
+        } else if self.cfg.use_selection {
+            select_demonstrations(
+                &self.automata,
+                &predictions,
+                &self.cfg.selection,
+                self.pool.len(),
+                &mut rng,
+            )
+        } else {
+            Vec::new()
+        };
+        if !matches!(self.cfg.demo_mode, DemoMode::Generate) {
+            random_fill(&mut selected, self.pool.len(), self.cfg.demo_target, &mut rng);
+        }
+
+        // --- Step 4: prompt + LLM call ---------------------------------------
+        // Without the pruning module, demonstrations ship their full schemas too
+        // (§III-A prunes demo schemas with the same module), consuming budget that
+        // would otherwise carry more composition knowledge.
+        let mut demonstrations: Vec<Demonstration> = Vec::new();
+        if matches!(self.cfg.demo_mode, DemoMode::Generate | DemoMode::Hybrid) {
+            // §VII future work: synthesize demonstrations exhibiting each predicted
+            // skeleton directly on the current schema. Several samples per
+            // prediction diversify values/columns.
+            for pred in &predictions {
+                for _ in 0..3 {
+                    if let Some(d) =
+                        synthesize_demonstration(&pred.skeleton, db, &pruned, &mut rng)
+                    {
+                        demonstrations.push(d);
+                    }
+                }
+            }
+        }
+        if !matches!(self.cfg.demo_mode, DemoMode::Generate) {
+            demonstrations.extend(selected.iter().map(|i| {
+                let mut d = self.pool[*i].clone();
+                if !self.cfg.use_pruning {
+                    d.schema_text = d.full_schema_text.clone();
+                }
+                d
+            }));
+        }
+        let mut prompt = Prompt {
+            instruction: "You are a SQLite expert. Answer the question with one SQL query."
+                .to_string(),
+            demonstrations,
+            schema_text,
+            nl: ex.nl.clone(),
+        };
+        let dropped_by_budget = prompt.fit_to_budget(self.cfg.len_budget);
+        let demos_in_prompt = prompt.demonstrations.len();
+        let n = self.cfg.num_consistency;
+        let response = self.service.complete(&GenerationRequest {
+            prompt: &prompt,
+            gold: &ex.query,
+            db,
+            linking_noise: ex.linking_noise + recall_noise,
+            prune_quality,
+            instruction_quality: 0.3,
+            cot: false,
+            n,
+            seed,
+            extra_output_tokens: 0,
+        });
+
+        // --- Step 5: database adaption + consistency -------------------------
+        // The "-Database Adaption" ablation removes the repair loop but keeps the
+        // plain execution-consistency vote (§IV-D2 is shared with C3/DAIL-SQL).
+        let (sql, fixes) = if self.cfg.use_adaption {
+            let v = consistency_vote(&response.samples, db, &mut rng);
+            (v.sql, v.fixes)
+        } else {
+            (crate::adaption::raw_vote(&response.samples, db), Vec::new())
+        };
+        let trace = TranslationTrace {
+            pruned,
+            prune_quality,
+            recall_covered,
+            predictions,
+            selected,
+            demos_in_prompt,
+            dropped_by_budget,
+            support_level: response.support_level,
+            fixes,
+            sql: sql.clone(),
+            prompt_tokens: response.prompt_tokens,
+            output_tokens: response.output_tokens,
+        };
+        (
+            Translation {
+                sql,
+                prompt_tokens: response.prompt_tokens,
+                output_tokens: response.output_tokens,
+            },
+            trace,
+        )
+    }
+
+    /// Adapt a raw SQL string against a database (exposed for the Table-2 demo and
+    /// the error-adaption example binary).
+    pub fn adapt(&self, sql: &str, db: &Database, seed: u64) -> crate::adaption::AdaptResult {
+        adapt_sql(sql, db, &mut StdRng::seed_from_u64(seed))
+    }
+}
+
+impl Translator for Purple {
+    fn name(&self) -> String {
+        format!("PURPLE ({})", self.cfg.profile.name)
+    }
+
+    fn translate(&mut self, example: &Example, db: &Database) -> Translation {
+        self.run(example, db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eval::evaluate;
+    use llm::CHATGPT;
+    use spidergen::{generate_suite, GenConfig};
+
+    fn small_purple() -> (spidergen::Suite, Purple) {
+        let suite = generate_suite(&GenConfig::tiny(77));
+        let mut cfg = PurpleConfig::default_with(CHATGPT);
+        cfg.num_consistency = 5;
+        let p = Purple::new(&suite.train, cfg);
+        (suite, p)
+    }
+
+    #[test]
+    fn purple_beats_random_selection_on_em() {
+        // With a small demo budget the automaton's targeting matters most: random
+        // demos rarely contain the required composition, selected ones mostly do.
+        let mut gen = GenConfig::tiny(77);
+        gen.dev_examples = 80;
+        let suite = generate_suite(&gen);
+        let mut cfg = PurpleConfig::default_with(CHATGPT);
+        cfg.num_consistency = 5;
+        cfg.demo_target = 5;
+        let mut purple = Purple::new(&suite.train, cfg.clone());
+        let base = evaluate(&mut purple, &suite.dev, None);
+        let mut ablated_cfg = cfg;
+        ablated_cfg.use_selection = false;
+        let mut ablated = purple.with_config(ablated_cfg);
+        let rand_report = evaluate(&mut ablated, &suite.dev, None);
+        assert!(
+            base.overall.em_pct() > rand_report.overall.em_pct(),
+            "selection {:.1} should beat random {:.1}",
+            base.overall.em_pct(),
+            rand_report.overall.em_pct()
+        );
+    }
+
+    #[test]
+    fn purple_produces_mostly_executable_sql() {
+        let (suite, mut purple) = small_purple();
+        let mut executable = 0;
+        for ex in suite.dev.examples.iter().take(20) {
+            let db = suite.dev.db_of(ex);
+            let t = purple.run(ex, db);
+            if sqlkit::parse(&t.sql)
+                .ok()
+                .map(|q| engine::execute(db, &q).is_ok())
+                .unwrap_or(false)
+            {
+                executable += 1;
+            }
+            assert!(t.prompt_tokens > 0);
+            assert!(t.prompt_tokens <= 3072);
+        }
+        assert!(executable >= 18, "only {executable}/20 executable");
+    }
+
+    #[test]
+    fn translation_is_deterministic() {
+        let (suite, mut p1) = small_purple();
+        let (_, mut p2) = small_purple();
+        for ex in suite.dev.examples.iter().take(5) {
+            let db = suite.dev.db_of(ex);
+            assert_eq!(p1.run(ex, db).sql, p2.run(ex, db).sql);
+        }
+    }
+
+    #[test]
+    fn automaton_ratio_is_monotone_like_the_paper() {
+        let (_, purple) = small_purple();
+        let ratio = purple.automata().end_state_ratio();
+        assert!(ratio[0] >= ratio[1] && ratio[1] >= ratio[2] && ratio[2] >= ratio[3]);
+        assert!(ratio[3] >= 1);
+    }
+
+    #[test]
+    fn budget_caps_prompt_tokens() {
+        let (suite, purple) = small_purple();
+        let mut cfg = PurpleConfig::default_with(CHATGPT);
+        cfg.num_consistency = 2;
+        cfg.len_budget = 512;
+        let mut tight = purple.with_config(cfg);
+        let ex = &suite.dev.examples[0];
+        let t = tight.run(ex, suite.dev.db_of(ex));
+        assert!(t.prompt_tokens <= 512, "prompt {} exceeds budget", t.prompt_tokens);
+    }
+}

@@ -1,0 +1,605 @@
+//! Schema Pruning (§IV-A): classifier thresholding + Steiner-tree connectivity
+//! with a redundant boundary, plus the RESDSQL-style top-k baseline used by the
+//! "-Steiner Tree" ablation (Table 6).
+
+use engine::Database;
+use nlmodel::SchemaClassifier;
+use serde::{Deserialize, Serialize};
+use sqlkit::Schema;
+use std::collections::HashSet;
+
+/// Pruning hyper-parameters (the paper sets τp = 0.5, τn = 5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PruneConfig {
+    /// Relevance threshold τp for tables and columns.
+    pub tau_p: f64,
+    /// Minimum kept columns per table τn (keeps table semantics).
+    pub tau_n: usize,
+    /// Use the Steiner-tree strategy; `false` falls back to RESDSQL-style top-k
+    /// (the "-Steiner Tree" ablation).
+    pub steiner: bool,
+    /// Top-k tables for the non-Steiner fallback.
+    pub topk_tables: usize,
+    /// Top-k columns for the non-Steiner fallback.
+    pub topk_columns: usize,
+}
+
+impl Default for PruneConfig {
+    fn default() -> Self {
+        PruneConfig { tau_p: 0.5, tau_n: 5, steiner: true, topk_tables: 4, topk_columns: 5 }
+    }
+}
+
+/// The pruned schema: kept tables with their kept column indices, plus prompt text.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrunedSchema {
+    /// `(table index, kept column indices)` pairs, in schema order.
+    pub keep: Vec<(usize, Vec<usize>)>,
+}
+
+impl PrunedSchema {
+    /// The full (unpruned) schema, for ablations.
+    pub fn full(schema: &Schema) -> Self {
+        PrunedSchema {
+            keep: schema
+                .tables
+                .iter()
+                .enumerate()
+                .map(|(ti, t)| (ti, (0..t.columns.len()).collect()))
+                .collect(),
+        }
+    }
+
+    /// Kept table indices.
+    pub fn tables(&self) -> Vec<usize> {
+        self.keep.iter().map(|(t, _)| *t).collect()
+    }
+
+    /// Render as prompt text.
+    pub fn to_text(&self, schema: &Schema) -> String {
+        schema.to_prompt_text(Some(&self.keep))
+    }
+
+    /// Fraction of the schema's columns pruned away, in [0, 1]. Feeds the LLM
+    /// simulator's prompt-complexity channel: tighter schemas mean fewer
+    /// confusable items (§IV-A's "simplifies the inference task").
+    pub fn quality(&self, schema: &Schema) -> f64 {
+        let total = schema.total_columns().max(1);
+        let kept: usize = self.keep.iter().map(|(_, cols)| cols.len()).sum();
+        1.0 - (kept as f64 / total as f64).min(1.0)
+    }
+
+    /// Recall of the pruned schema against a set of gold tables/columns.
+    pub fn covers(&self, tables: &HashSet<usize>, columns: &HashSet<sqlkit::ColumnId>) -> bool {
+        let kept_tables: HashSet<usize> = self.tables().into_iter().collect();
+        if !tables.is_subset(&kept_tables) {
+            return false;
+        }
+        columns.iter().all(|c| {
+            self.keep
+                .iter()
+                .any(|(t, cols)| *t == c.table && cols.contains(&c.column))
+        })
+    }
+}
+
+/// The pruning module: classifier + connectivity strategy.
+pub struct SchemaPruner<'a> {
+    classifier: &'a SchemaClassifier,
+    cfg: PruneConfig,
+}
+
+impl<'a> SchemaPruner<'a> {
+    /// Create a pruner over a trained classifier.
+    pub fn new(classifier: &'a SchemaClassifier, cfg: PruneConfig) -> Self {
+        SchemaPruner { classifier, cfg }
+    }
+
+    /// Prune the schema for one question.
+    pub fn prune(&self, nl: &str, db: &Database) -> PrunedSchema {
+        let t_scores = self.classifier.score_tables(nl, db);
+        let c_scores = self.classifier.score_columns(nl, db);
+        let kept_tables = if self.cfg.steiner {
+            self.steiner_tables(&t_scores, &db.schema)
+        } else {
+            self.topk_tables(&t_scores)
+        };
+        let mut keep = Vec::new();
+        for ti in kept_tables {
+            let table = &db.schema.tables[ti];
+            let scores = &c_scores[ti];
+            let mut cols: Vec<usize> = if self.cfg.steiner {
+                (0..table.columns.len())
+                    .filter(|ci| scores[*ci] > self.cfg.tau_p)
+                    .collect()
+            } else {
+                // RESDSQL fallback: plain top-k columns.
+                let mut ranked: Vec<usize> = (0..table.columns.len()).collect();
+                ranked.sort_by(|a, b| scores[*b].total_cmp(&scores[*a]));
+                ranked.truncate(self.cfg.topk_columns);
+                ranked
+            };
+            // Always keep the primary key.
+            if let Some(pk) = table.primary_key {
+                if !cols.contains(&pk) {
+                    cols.push(pk);
+                }
+            }
+            // Keep FK endpoints between kept... (added below, after we know tables)
+            // τn: pad with the highest-scoring remaining columns.
+            if cols.len() < self.cfg.tau_n.min(table.columns.len()) {
+                let mut ranked: Vec<usize> = (0..table.columns.len())
+                    .filter(|ci| !cols.contains(ci))
+                    .collect();
+                ranked.sort_by(|a, b| scores[*b].total_cmp(&scores[*a]));
+                for ci in ranked {
+                    if cols.len() >= self.cfg.tau_n.min(table.columns.len()) {
+                        break;
+                    }
+                    cols.push(ci);
+                }
+            }
+            cols.sort_unstable();
+            keep.push((ti, cols));
+        }
+        // FK endpoints between kept tables must survive, or joins are unwritable.
+        let kept_set: HashSet<usize> = keep.iter().map(|(t, _)| *t).collect();
+        for fk in &db.schema.foreign_keys {
+            if kept_set.contains(&fk.from.table) && kept_set.contains(&fk.to.table) {
+                for end in [fk.from, fk.to] {
+                    if let Some((_, cols)) = keep.iter_mut().find(|(t, _)| *t == end.table) {
+                        if !cols.contains(&end.column) {
+                            cols.push(end.column);
+                            cols.sort_unstable();
+                        }
+                    }
+                }
+            }
+        }
+        PrunedSchema { keep }
+    }
+
+    fn topk_tables(&self, scores: &[f64]) -> Vec<usize> {
+        let mut ranked: Vec<usize> = (0..scores.len()).collect();
+        ranked.sort_by(|a, b| scores[*b].total_cmp(&scores[*a]));
+        ranked.truncate(self.cfg.topk_tables);
+        ranked.sort_unstable();
+        ranked
+    }
+
+    /// Steiner-tree table selection with the redundant boundary.
+    fn steiner_tables(&self, scores: &[f64], schema: &Schema) -> Vec<usize> {
+        let n = scores.len();
+        let mut terminals: Vec<usize> =
+            (0..n).filter(|ti| scores[*ti] > self.cfg.tau_p).collect();
+        if terminals.is_empty() {
+            // Nothing above threshold: take the single best table.
+            let best = (0..n).max_by(|a, b| scores[*a].total_cmp(&scores[*b]));
+            terminals.extend(best);
+        }
+        let mut kept = steiner_tree_auto(schema, &terminals);
+        // Redundant boundary: the highest-probability sub-threshold table joins in
+        // if it is adjacent to the tree (§IV-A's recall optimization).
+        let candidate = (0..n)
+            .filter(|ti| !kept.contains(ti) && scores[*ti] <= self.cfg.tau_p)
+            .max_by(|a, b| scores[*a].total_cmp(&scores[*b]));
+        if let Some(c) = candidate {
+            let adjacent =
+                kept.iter().any(|k| schema.fk_between(*k, c).is_some());
+            if adjacent {
+                kept.insert(c);
+            }
+        }
+        let mut out: Vec<usize> = kept.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Exact minimum Steiner tree over the FK graph (unit edge weights) via the
+/// Dreyfus–Wagner dynamic program — "burst search" is feasible because benchmark
+/// schemas are small (§IV-A: larger databases are future work). Returns the node
+/// set of the tree; disconnected terminals are all kept (each in its own
+/// component), matching the recall-first design.
+pub fn steiner_tree(schema: &Schema, terminals: &[usize]) -> HashSet<usize> {
+    let n = schema.tables.len();
+    let mut out: HashSet<usize> = terminals.iter().copied().collect();
+    if terminals.len() <= 1 || n == 0 {
+        return out;
+    }
+    // All-pairs shortest paths (BFS per node over FK adjacency).
+    let mut adj = vec![Vec::new(); n];
+    for fk in &schema.foreign_keys {
+        let (a, b) = (fk.from.table, fk.to.table);
+        if a != b {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+    }
+    const INF: usize = usize::MAX / 4;
+    let mut dist = vec![vec![INF; n]; n];
+    let mut via = vec![vec![usize::MAX; n]; n]; // predecessor for path recovery
+    for s in 0..n {
+        dist[s][s] = 0;
+        let mut queue = std::collections::VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                if dist[s][v] == INF {
+                    dist[s][v] = dist[s][u] + 1;
+                    via[s][v] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    // Group terminals into connected components; solve each component exactly.
+    let mut remaining: Vec<usize> = terminals.to_vec();
+    while let Some(root) = remaining.first().copied() {
+        let group: Vec<usize> =
+            remaining.iter().copied().filter(|t| dist[root][*t] < INF).collect();
+        remaining.retain(|t| dist[root][*t] == INF);
+        if group.len() == 1 {
+            continue;
+        }
+        // Dreyfus–Wagner over this component.
+        let k = group.len();
+        let full = (1usize << k) - 1;
+        // dp[mask][v] = min cost of a tree connecting group[mask] ∪ {v}.
+        let mut dp = vec![vec![INF; n]; 1 << k];
+        for (i, t) in group.iter().enumerate() {
+            for v in 0..n {
+                if dist[*t][v] < INF {
+                    dp[1 << i][v] = dist[*t][v];
+                }
+            }
+        }
+        let mut choice: Vec<Vec<Choice>> = vec![vec![Choice::None; n]; 1 << k];
+        for mask in 1..=full {
+            if mask.count_ones() <= 1 {
+                continue;
+            }
+            // Merge two subtrees at v.
+            for v in 0..n {
+                let mut sub = (mask - 1) & mask;
+                while sub > 0 {
+                    let other = mask ^ sub;
+                    if dp[sub][v] < INF && dp[other][v] < INF {
+                        let cost = dp[sub][v] + dp[other][v];
+                        if cost < dp[mask][v] {
+                            dp[mask][v] = cost;
+                            choice[mask][v] = Choice::Merge(sub);
+                        }
+                    }
+                    sub = (sub - 1) & mask;
+                }
+            }
+            // Grow along shortest paths.
+            let snapshot: Vec<usize> = dp[mask].clone();
+            for v in 0..n {
+                for u in 0..n {
+                    if snapshot[u] < INF && dist[u][v] < INF {
+                        let cost = snapshot[u] + dist[u][v];
+                        if cost < dp[mask][v] {
+                            dp[mask][v] = cost;
+                            choice[mask][v] = Choice::Path(u);
+                        }
+                    }
+                }
+            }
+        }
+        // Recover the best tree's node set.
+        let best_v = (0..n)
+            .min_by_key(|v| dp[full][*v])
+            .expect("component has at least one node");
+        collect_nodes(full, best_v, &group, &choice, &via, &mut out);
+    }
+    out
+}
+
+/// Mehlhorn-style 2-approximation of the Steiner tree, for large schemas where the
+/// Dreyfus–Wagner DP's `O(3^k)` bitmask blows up — the paper's §IV-A future work
+/// ("Incorporating new algorithms for the larger database"). Builds the metric
+/// closure over the terminals (BFS per terminal), takes its minimum spanning tree
+/// (Prim), and expands MST edges back into graph paths. Cost is at most twice the
+/// optimum; node set always contains every terminal.
+pub fn steiner_tree_approx(schema: &Schema, terminals: &[usize]) -> HashSet<usize> {
+    let n = schema.tables.len();
+    let mut out: HashSet<usize> = terminals.iter().copied().collect();
+    if terminals.len() <= 1 || n == 0 {
+        return out;
+    }
+    let mut adj = vec![Vec::new(); n];
+    for fk in &schema.foreign_keys {
+        let (a, b) = (fk.from.table, fk.to.table);
+        if a != b {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+    }
+    const INF: usize = usize::MAX / 4;
+    // BFS from each terminal, remembering predecessors for path recovery.
+    let mut dist = vec![vec![INF; n]; terminals.len()];
+    let mut via = vec![vec![usize::MAX; n]; terminals.len()];
+    for (i, t) in terminals.iter().enumerate() {
+        dist[i][*t] = 0;
+        let mut queue = std::collections::VecDeque::from([*t]);
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                if dist[i][v] == INF {
+                    dist[i][v] = dist[i][u] + 1;
+                    via[i][v] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    // Prim over the terminal metric closure (disconnected terminals stay isolated).
+    let k = terminals.len();
+    let mut in_tree = vec![false; k];
+    let mut best = vec![(INF, usize::MAX); k]; // (cost, parent terminal index)
+    in_tree[0] = true;
+    for j in 1..k {
+        best[j] = (dist[0][terminals[j]], 0);
+    }
+    for _ in 1..k {
+        let Some(next) = (0..k)
+            .filter(|j| !in_tree[*j] && best[*j].0 < INF)
+            .min_by_key(|j| best[*j].0)
+        else {
+            break; // remaining terminals are disconnected
+        };
+        in_tree[next] = true;
+        // Materialize the path parent -> next.
+        let (_, parent) = best[next];
+        let mut v = terminals[next];
+        out.insert(v);
+        while v != terminals[parent] && v != usize::MAX {
+            out.insert(v);
+            v = via[parent][v];
+        }
+        for j in 0..k {
+            if !in_tree[j] {
+                let d = dist[next][terminals[j]];
+                if d < best[j].0 {
+                    best[j] = (d, next);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Terminal-count threshold above which the pruner switches from the exact
+/// Dreyfus–Wagner DP to the 2-approximation.
+pub const EXACT_STEINER_MAX_TERMINALS: usize = 10;
+
+/// Exact Steiner tree for small terminal sets, 2-approximation beyond
+/// [`EXACT_STEINER_MAX_TERMINALS`]: the production entry point.
+pub fn steiner_tree_auto(schema: &Schema, terminals: &[usize]) -> HashSet<usize> {
+    if terminals.len() <= EXACT_STEINER_MAX_TERMINALS {
+        steiner_tree(schema, terminals)
+    } else {
+        steiner_tree_approx(schema, terminals)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Choice {
+    None,
+    Merge(usize),
+    Path(usize),
+}
+
+fn collect_nodes(
+    mask: usize,
+    v: usize,
+    group: &[usize],
+    choice: &[Vec<Choice>],
+    via: &[Vec<usize>],
+    out: &mut HashSet<usize>,
+) {
+    out.insert(v);
+    match choice[mask][v] {
+        Choice::None => {
+            // Base case: a single terminal connected to v by a shortest path.
+            if mask.count_ones() == 1 {
+                let i = mask.trailing_zeros() as usize;
+                add_path(group[i], v, via, out);
+            }
+        }
+        Choice::Merge(sub) => {
+            collect_nodes(sub, v, group, choice, via, out);
+            collect_nodes(mask ^ sub, v, group, choice, via, out);
+        }
+        Choice::Path(u) => {
+            // Add the path nodes between u and v, then continue from u.
+            add_path(u, v, via, out);
+            collect_nodes(mask, u, group, choice, via, out);
+        }
+    }
+}
+
+fn add_path(s: usize, mut v: usize, via: &[Vec<usize>], out: &mut HashSet<usize>) {
+    out.insert(s);
+    while v != s && v != usize::MAX {
+        out.insert(v);
+        v = via[s][v];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlkit::{Column, ColumnId, ColumnType, ForeignKey, Table};
+
+    /// A chain schema a - b - c - d plus an isolated e.
+    fn chain_schema() -> Schema {
+        let mut s = Schema::new("chain");
+        for name in ["a", "b", "c", "d", "e"] {
+            s.tables.push(Table {
+                name: name.into(),
+                display: name.into(),
+                columns: vec![Column::new("id", ColumnType::Int)],
+                primary_key: Some(0),
+            });
+        }
+        for (f, t) in [(0usize, 1usize), (1, 2), (2, 3)] {
+            s.foreign_keys.push(ForeignKey {
+                from: ColumnId { table: f, column: 0 },
+                to: ColumnId { table: t, column: 0 },
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn steiner_connects_terminals_through_intermediates() {
+        let s = chain_schema();
+        let tree = steiner_tree(&s, &[0, 3]);
+        assert_eq!(tree, HashSet::from([0, 1, 2, 3]), "chain path must be complete");
+        let tree = steiner_tree(&s, &[0, 2]);
+        assert_eq!(tree, HashSet::from([0, 1, 2]));
+        let tree = steiner_tree(&s, &[1]);
+        assert_eq!(tree, HashSet::from([1]));
+    }
+
+    #[test]
+    fn steiner_keeps_disconnected_terminals() {
+        let s = chain_schema();
+        let tree = steiner_tree(&s, &[0, 4]);
+        assert!(tree.contains(&0) && tree.contains(&4));
+        // No spurious bridge exists.
+        assert_eq!(tree.len(), 2);
+    }
+
+    #[test]
+    fn steiner_star_topology_uses_hub() {
+        // hub 0 connected to 1,2,3; terminals 1,2,3 -> tree must include hub.
+        let mut s = Schema::new("star");
+        for name in ["hub", "x", "y", "z"] {
+            s.tables.push(Table {
+                name: name.into(),
+                display: name.into(),
+                columns: vec![Column::new("id", ColumnType::Int)],
+                primary_key: Some(0),
+            });
+        }
+        for t in 1..4usize {
+            s.foreign_keys.push(ForeignKey {
+                from: ColumnId { table: t, column: 0 },
+                to: ColumnId { table: 0, column: 0 },
+            });
+        }
+        let tree = steiner_tree(&s, &[1, 2, 3]);
+        assert_eq!(tree, HashSet::from([0, 1, 2, 3]));
+    }
+
+    /// A random-ish grid schema for exact-vs-approx comparisons.
+    fn grid_schema(w: usize, h: usize) -> Schema {
+        let mut s = Schema::new("grid");
+        for i in 0..w * h {
+            s.tables.push(Table {
+                name: format!("t{i}"),
+                display: format!("t{i}"),
+                columns: vec![Column::new("id", ColumnType::Int)],
+                primary_key: Some(0),
+            });
+        }
+        let idx = |x: usize, y: usize| y * w + x;
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    s.foreign_keys.push(ForeignKey {
+                        from: ColumnId { table: idx(x, y), column: 0 },
+                        to: ColumnId { table: idx(x + 1, y), column: 0 },
+                    });
+                }
+                if y + 1 < h {
+                    s.foreign_keys.push(ForeignKey {
+                        from: ColumnId { table: idx(x, y), column: 0 },
+                        to: ColumnId { table: idx(x, y + 1), column: 0 },
+                    });
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn approx_contains_terminals_and_is_connected_on_grid() {
+        let s = grid_schema(5, 4);
+        let terminals = [0usize, 4, 19, 10];
+        let tree = steiner_tree_approx(&s, &terminals);
+        for t in terminals {
+            assert!(tree.contains(&t));
+        }
+        // Connectivity: BFS within the tree from terminal 0 reaches all terminals.
+        let mut adj = vec![Vec::new(); s.tables.len()];
+        for fk in &s.foreign_keys {
+            adj[fk.from.table].push(fk.to.table);
+            adj[fk.to.table].push(fk.from.table);
+        }
+        let mut seen = HashSet::from([0usize]);
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                if tree.contains(&v) && seen.insert(v) {
+                    queue.push_back(v);
+                }
+            }
+        }
+        for t in terminals {
+            assert!(seen.contains(&t), "terminal {t} disconnected in approx tree");
+        }
+    }
+
+    #[test]
+    fn approx_cost_is_within_twice_exact_on_small_instances() {
+        let s = grid_schema(4, 3);
+        for terminals in [vec![0usize, 3, 8], vec![0, 11], vec![1, 6, 10, 3]] {
+            let exact = steiner_tree(&s, &terminals);
+            let approx = steiner_tree_approx(&s, &terminals);
+            assert!(
+                approx.len() <= exact.len() * 2,
+                "approx {} vs exact {} for {terminals:?}",
+                approx.len(),
+                exact.len()
+            );
+            for t in &terminals {
+                assert!(approx.contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn auto_switches_to_approx_for_many_terminals() {
+        let s = grid_schema(6, 4);
+        // 12 terminals: beyond the exact threshold, must not hang.
+        let terminals: Vec<usize> = (0..24).step_by(2).collect();
+        let tree = steiner_tree_auto(&s, &terminals);
+        for t in &terminals {
+            assert!(tree.contains(t));
+        }
+    }
+
+    #[test]
+    fn approx_keeps_disconnected_terminals() {
+        let s = chain_schema(); // a-b-c-d plus isolated e
+        let tree = steiner_tree_approx(&s, &[0, 3, 4]);
+        assert!(tree.contains(&4));
+        assert!(tree.is_superset(&HashSet::from([0, 1, 2, 3])));
+    }
+
+    #[test]
+    fn pruned_schema_full_keeps_everything() {
+        let s = chain_schema();
+        let p = PrunedSchema::full(&s);
+        assert_eq!(p.keep.len(), 5);
+        assert!(p.covers(
+            &HashSet::from([0, 4]),
+            &HashSet::from([ColumnId { table: 0, column: 0 }])
+        ));
+        assert!(!PrunedSchema { keep: vec![(0, vec![0])] }
+            .covers(&HashSet::from([1]), &HashSet::new()));
+    }
+}

@@ -1,0 +1,270 @@
+//! Database instantiation: perturb a domain template into a concrete database
+//! (schema variation + seeded data population).
+//!
+//! Perturbation is what turns 24 domains into 146 distinct training databases, the
+//! way Spider's 200 databases span fewer latent domains: optional columns are
+//! dropped, some columns are renamed to a synonym, and row counts / values are
+//! re-sampled per database.
+
+use crate::domains::{ColTemplate, DomainTemplate, TableTemplate};
+use crate::pools::ValuePool;
+use engine::{Database, Value};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use sqlkit::{Column, ColumnId, ColumnType, ForeignKey, Schema, Table};
+
+/// A generated database together with its (post-perturbation) template, whose
+/// table/column indices align 1:1 with the schema. NL generation and variant
+/// transforms read synonyms, FK phrases and value pools from here.
+#[derive(Debug, Clone)]
+pub struct GeneratedDb {
+    /// The database (schema + rows).
+    pub database: Database,
+    /// The aligned template.
+    pub template: DomainTemplate,
+}
+
+impl GeneratedDb {
+    /// Value pool of a column.
+    pub fn pool(&self, col: ColumnId) -> &ValuePool {
+        &self.template.tables[col.table].columns[col.column].pool
+    }
+
+    /// FK phrase between two tables (either direction), if the template defines one.
+    pub fn fk_phrase(&self, a: usize, b: usize) -> Option<&str> {
+        self.template
+            .fks
+            .iter()
+            .find(|f| (f.from.0 == a && f.to.0 == b) || (f.from.0 == b && f.to.0 == a))
+            .map(|f| f.phrase.as_str())
+    }
+}
+
+/// Knobs controlling perturbation strength.
+#[derive(Debug, Clone, Copy)]
+pub struct PerturbConfig {
+    /// Probability of dropping each optional column.
+    pub drop_optional: f64,
+    /// Probability of renaming a column to one of its synonyms.
+    pub rename_column: f64,
+}
+
+impl Default for PerturbConfig {
+    fn default() -> Self {
+        PerturbConfig { drop_optional: 0.25, rename_column: 0.12 }
+    }
+}
+
+/// Instantiate a template into a concrete database.
+pub fn instantiate(
+    template: &DomainTemplate,
+    db_id: &str,
+    rng: &mut StdRng,
+    cfg: PerturbConfig,
+) -> GeneratedDb {
+    let perturbed = perturb(template, rng, cfg);
+    let schema = build_schema(&perturbed, db_id);
+    let database = populate(schema, &perturbed, rng);
+    GeneratedDb { database, template: perturbed }
+}
+
+fn perturb(template: &DomainTemplate, rng: &mut StdRng, cfg: PerturbConfig) -> DomainTemplate {
+    let mut out = template.clone();
+    // Maps original column index -> new index (or None when dropped), per table.
+    let mut col_maps: Vec<Vec<Option<usize>>> = Vec::new();
+    for t in &mut out.tables {
+        let mut map = vec![None; t.columns.len()];
+        let mut kept: Vec<ColTemplate> = Vec::new();
+        for (ci, c) in t.columns.iter().enumerate() {
+            let is_fk = matches!(c.pool, ValuePool::Fk(_));
+            if c.optional && !is_fk && ci != t.pk && rng.random_bool(cfg.drop_optional) {
+                continue;
+            }
+            let mut c = c.clone();
+            if !is_fk && ci != t.pk && !c.synonyms.is_empty() && rng.random_bool(cfg.rename_column)
+            {
+                let syn = c.synonyms.choose(rng).expect("non-empty").clone();
+                let renamed = syn.replace(' ', "_");
+                // Keep the original name available as a synonym for linking features.
+                c.synonyms.retain(|s| *s != syn);
+                c.synonyms.push(c.display.clone());
+                c.display = syn;
+                c.name = renamed;
+            }
+            map[ci] = Some(kept.len());
+            kept.push(c);
+        }
+        t.pk = map[t.pk].expect("pk is never dropped");
+        t.columns = kept;
+        col_maps.push(map);
+    }
+    // Remap FK endpoints; FK columns are never dropped.
+    for f in &mut out.fks {
+        f.from.1 = col_maps[f.from.0][f.from.1].expect("fk column never dropped");
+        f.to.1 = col_maps[f.to.0][f.to.1].expect("fk target never dropped");
+    }
+    // Remap Fk pools is unnecessary: they point at tables, which are stable.
+    out
+}
+
+fn build_schema(template: &DomainTemplate, db_id: &str) -> Schema {
+    let mut schema = Schema::new(db_id);
+    for t in &template.tables {
+        schema.tables.push(Table {
+            name: t.name.clone(),
+            display: t.display.clone(),
+            columns: t
+                .columns
+                .iter()
+                .map(|c| Column {
+                    name: c.name.clone(),
+                    display: c.display.clone(),
+                    ty: c.ty,
+                })
+                .collect(),
+            primary_key: Some(t.pk),
+        });
+    }
+    for f in &template.fks {
+        schema.foreign_keys.push(ForeignKey {
+            from: ColumnId { table: f.from.0, column: f.from.1 },
+            to: ColumnId { table: f.to.0, column: f.to.1 },
+        });
+    }
+    schema
+}
+
+fn populate(schema: Schema, template: &DomainTemplate, rng: &mut StdRng) -> Database {
+    // Pre-draw row counts so FK pools can reference parent keys regardless of order.
+    let counts: Vec<usize> = template
+        .tables
+        .iter()
+        .map(|t: &TableTemplate| rng.random_range(t.rows.0..=t.rows.1))
+        .collect();
+    let mut db = Database::empty(schema);
+    for (ti, t) in template.tables.iter().enumerate() {
+        for row_index in 0..counts[ti] {
+            let mut row: Vec<Value> = Vec::with_capacity(t.columns.len());
+            for c in &t.columns {
+                let parent_keys: Vec<i64> = match c.pool {
+                    ValuePool::Fk(p) => (1..=counts[p] as i64).collect(),
+                    _ => Vec::new(),
+                };
+                let mut v = c.pool.sample(rng, row_index, &parent_keys);
+                // Occasional NULLs in optional columns exercise three-valued logic.
+                if c.optional && rng.random_bool(0.06) {
+                    v = Value::Null;
+                }
+                // Coerce float pools feeding Int columns and vice versa.
+                v = coerce(v, c.ty);
+                row.push(v);
+            }
+            db.insert(ti, row);
+        }
+    }
+    db
+}
+
+fn coerce(v: Value, ty: ColumnType) -> Value {
+    match (v, ty) {
+        (Value::Float(x), ColumnType::Int) => Value::Int(x as i64),
+        (Value::Int(i), ColumnType::Float) => Value::Float(i as f64),
+        (v, _) => v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::all_domains;
+    use rand::SeedableRng;
+
+    #[test]
+    fn instantiation_is_deterministic() {
+        let d = &all_domains()[0];
+        let a = instantiate(d, "tv_1", &mut StdRng::seed_from_u64(5), PerturbConfig::default());
+        let b = instantiate(d, "tv_1", &mut StdRng::seed_from_u64(5), PerturbConfig::default());
+        assert_eq!(a.database.schema, b.database.schema);
+        assert_eq!(a.database.rows, b.database.rows);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let d = &all_domains()[0];
+        let a = instantiate(d, "tv_1", &mut StdRng::seed_from_u64(5), PerturbConfig::default());
+        let b = instantiate(d, "tv_2", &mut StdRng::seed_from_u64(6), PerturbConfig::default());
+        assert!(a.database.rows != b.database.rows || a.database.schema != b.database.schema);
+    }
+
+    #[test]
+    fn fk_values_reference_existing_parents() {
+        for d in all_domains() {
+            let mut rng = StdRng::seed_from_u64(11);
+            let g = instantiate(&d, "x", &mut rng, PerturbConfig::default());
+            for f in &g.template.fks {
+                let parent_count = g.database.rows[f.to.0].len() as i64;
+                for row in &g.database.rows[f.from.0] {
+                    match &row[f.from.1] {
+                        Value::Int(v) => {
+                            assert!(*v >= 1 && *v <= parent_count, "{}: dangling fk", d.name)
+                        }
+                        Value::Null => {}
+                        other => panic!("fk value must be int/null, got {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn template_alignment_with_schema() {
+        for d in all_domains() {
+            let mut rng = StdRng::seed_from_u64(3);
+            let g = instantiate(&d, "x", &mut rng, PerturbConfig::default());
+            assert_eq!(g.template.tables.len(), g.database.schema.tables.len());
+            for (tt, st) in g.template.tables.iter().zip(&g.database.schema.tables) {
+                assert_eq!(tt.name, st.name);
+                assert_eq!(tt.columns.len(), st.columns.len());
+                for (tc, sc) in tt.columns.iter().zip(&st.columns) {
+                    assert_eq!(tc.name, sc.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn perturbation_drops_and_renames_across_seeds() {
+        // Over many instantiations, at least one dropped column and one rename
+        // should occur somewhere.
+        let d = &all_domains()[0];
+        let base_cols: usize = d.tables.iter().map(|t| t.columns.len()).sum();
+        let mut saw_drop = false;
+        let mut saw_rename = false;
+        for seed in 0..30 {
+            let g = instantiate(d, "x", &mut StdRng::seed_from_u64(seed), PerturbConfig::default());
+            let cols: usize = g.template.tables.iter().map(|t| t.columns.len()).sum();
+            if cols < base_cols {
+                saw_drop = true;
+            }
+            for (tt, ot) in g.template.tables.iter().zip(&d.tables) {
+                for tc in &tt.columns {
+                    if !ot.columns.iter().any(|oc| oc.name == tc.name) {
+                        saw_rename = true;
+                    }
+                }
+            }
+        }
+        assert!(saw_drop, "no optional column ever dropped");
+        assert!(saw_rename, "no column ever renamed");
+    }
+
+    #[test]
+    fn executable_against_engine() {
+        use sqlkit::parse;
+        let d = &all_domains()[0];
+        let g = instantiate(d, "tv_1", &mut StdRng::seed_from_u64(5), PerturbConfig::default());
+        let q = parse("SELECT COUNT(*) FROM tv_channel").unwrap();
+        let rs = engine::execute(&g.database, &q).unwrap();
+        assert_eq!(rs.rows.len(), 1);
+    }
+}

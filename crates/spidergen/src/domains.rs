@@ -1,0 +1,1404 @@
+//! Domain templates: the cross-domain content library behind the generated
+//! benchmark. Each template defines tables, typed columns with value pools and
+//! synonyms, primary/foreign keys, and the relationship phrases NL generation uses
+//! to verbalize joins.
+//!
+//! Twenty-six domains are defined; five (`concert`, `world`, `tennis`, `battle`,
+//! `museum`) are reserved for the validation split so dev databases come from
+//! domains never seen in training, preserving Spider's cross-domain setting.
+
+use crate::pools::ValuePool;
+use serde::{Deserialize, Serialize};
+use sqlkit::ColumnType;
+
+/// A column in a domain template.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColTemplate {
+    /// SQL identifier.
+    pub name: String,
+    /// NL display phrase.
+    pub display: String,
+    /// Synonyms used by the SYN variant and the schema classifier features.
+    pub synonyms: Vec<String>,
+    /// Value type.
+    pub ty: ColumnType,
+    /// How values are generated.
+    pub pool: ValuePool,
+    /// Whether schema perturbation may drop this column.
+    pub optional: bool,
+}
+
+/// A table in a domain template.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableTemplate {
+    /// SQL identifier.
+    pub name: String,
+    /// NL display phrase (singular-ish).
+    pub display: String,
+    /// Synonyms for the SYN variant.
+    pub synonyms: Vec<String>,
+    /// Columns; index 0 is conventionally the primary key.
+    pub columns: Vec<ColTemplate>,
+    /// Primary-key column index.
+    pub pk: usize,
+    /// Row-count range for population.
+    pub rows: (usize, usize),
+}
+
+/// A foreign-key edge with its NL relationship phrase ("performed in", "written by").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FkTemplate {
+    /// Referencing (table, column) indices.
+    pub from: (usize, usize),
+    /// Referenced (table, column) indices.
+    pub to: (usize, usize),
+    /// Verb phrase linking child to parent in NL ("belongs to", "aired on").
+    pub phrase: String,
+}
+
+/// A full domain template.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DomainTemplate {
+    /// Domain name, used as the db_id prefix.
+    pub name: String,
+    /// Tables.
+    pub tables: Vec<TableTemplate>,
+    /// Foreign keys.
+    pub fks: Vec<FkTemplate>,
+}
+
+fn col(
+    name: &str,
+    synonyms: &[&str],
+    ty: ColumnType,
+    pool: ValuePool,
+    optional: bool,
+) -> ColTemplate {
+    ColTemplate {
+        name: name.to_string(),
+        display: name.replace('_', " "),
+        synonyms: synonyms.iter().map(|s| s.to_string()).collect(),
+        ty,
+        pool,
+        optional,
+    }
+}
+
+fn id_col() -> ColTemplate {
+    col("id", &[], ColumnType::Int, ValuePool::Id, false)
+}
+
+fn fk_col(name: &str, parent: usize) -> ColTemplate {
+    col(name, &[], ColumnType::Int, ValuePool::Fk(parent), false)
+}
+
+fn table(
+    name: &str,
+    synonyms: &[&str],
+    rows: (usize, usize),
+    columns: Vec<ColTemplate>,
+) -> TableTemplate {
+    TableTemplate {
+        name: name.to_string(),
+        display: name.replace('_', " "),
+        synonyms: synonyms.iter().map(|s| s.to_string()).collect(),
+        columns,
+        pk: 0,
+        rows,
+    }
+}
+
+fn fk(from: (usize, usize), to: (usize, usize), phrase: &str) -> FkTemplate {
+    FkTemplate { from, to, phrase: phrase.to_string() }
+}
+
+use ColumnType::{Float, Int, Text};
+
+// Per-domain builders. Each is a small data constructor; see `all_domains`.
+
+fn d_tv() -> DomainTemplate {
+    DomainTemplate {
+        name: "tv".into(),
+        tables: vec![
+            table(
+                "tv_channel",
+                &["network", "station"],
+                (6, 14),
+                vec![
+                    id_col(),
+                    col("series_name", &["series"], Text, ValuePool::Title, false),
+                    col("country", &["nation"], Text, ValuePool::Country, false),
+                    col("language", &["tongue"], Text, ValuePool::words(&["English", "Italian", "French", "Japanese"]), true),
+                    col("rating", &["score"], Float, ValuePool::FloatRange(1.0, 10.0), true),
+                ],
+            ),
+            table(
+                "cartoon",
+                &["animated show", "animation"],
+                (10, 25),
+                vec![
+                    id_col(),
+                    col("title", &["name"], Text, ValuePool::Title, false),
+                    col("written_by", &["writer", "author"], Text, ValuePool::PersonName, false),
+                    fk_col("channel", 0),
+                    col("original_air_date", &["air year"], Int, ValuePool::Year, true),
+                ],
+            ),
+        ],
+        fks: vec![fk((1, 3), (0, 0), "broadcast on")],
+    }
+}
+
+fn d_concert() -> DomainTemplate {
+    DomainTemplate {
+        name: "concert".into(),
+        tables: vec![
+            table(
+                "stadium",
+                &["arena", "venue"],
+                (5, 10),
+                vec![
+                    id_col(),
+                    col("name", &[], Text, ValuePool::Title, false),
+                    col("location", &["place", "city"], Text, ValuePool::City, false),
+                    col("capacity", &["size"], Int, ValuePool::IntRange(500, 90000), false),
+                    col("average_attendance", &["attendance"], Int, ValuePool::IntRange(100, 60000), true),
+                ],
+            ),
+            table(
+                "singer",
+                &["artist", "vocalist"],
+                (8, 16),
+                vec![
+                    id_col(),
+                    col("name", &[], Text, ValuePool::PersonName, false),
+                    col("country", &["nation"], Text, ValuePool::Country, false),
+                    col("age", &["years old"], Int, ValuePool::IntRange(18, 70), false),
+                    col("is_male", &["gender"], Text, ValuePool::words(&["T", "F"]), true),
+                ],
+            ),
+            table(
+                "concert",
+                &["show", "performance"],
+                (10, 22),
+                vec![
+                    id_col(),
+                    col("concert_name", &["name"], Text, ValuePool::Title, false),
+                    col("theme", &["topic"], Text, ValuePool::words(&["Free choice", "Party", "Awards", "Classic"]), true),
+                    fk_col("stadium_id", 0),
+                    col("year", &[], Int, ValuePool::Year, false),
+                ],
+            ),
+            table(
+                "singer_in_concert",
+                &["lineup"],
+                (12, 30),
+                vec![id_col(), fk_col("concert_id", 2), fk_col("singer_id", 1)],
+            ),
+        ],
+        fks: vec![
+            fk((2, 3), (0, 0), "held at"),
+            fk((3, 1), (2, 0), "booked for"),
+            fk((3, 2), (1, 0), "performed by"),
+        ],
+    }
+}
+
+fn d_pets() -> DomainTemplate {
+    DomainTemplate {
+        name: "pets".into(),
+        tables: vec![
+            table(
+                "student",
+                &["pupil"],
+                (10, 20),
+                vec![
+                    id_col(),
+                    col("last_name", &["family name", "surname"], Text, ValuePool::LastName, false),
+                    col("age", &[], Int, ValuePool::IntRange(17, 30), false),
+                    col("major", &["field of study"], Text, ValuePool::words(&["CS", "Math", "History", "Biology"]), true),
+                    col("city_code", &["home city"], Text, ValuePool::City, true),
+                ],
+            ),
+            table(
+                "pets",
+                &["animals"],
+                (8, 18),
+                vec![
+                    id_col(),
+                    col("pet_type", &["kind", "species"], Text, ValuePool::words(&["cat", "dog", "bird", "lizard"]), false),
+                    col("pet_age", &["age"], Int, ValuePool::IntRange(1, 15), false),
+                    col("weight", &[], Float, ValuePool::FloatRange(0.5, 60.0), true),
+                ],
+            ),
+            table(
+                "has_pet",
+                &["ownership"],
+                (8, 20),
+                vec![id_col(), fk_col("student_id", 0), fk_col("pet_id", 1)],
+            ),
+        ],
+        fks: vec![fk((2, 1), (0, 0), "owned by"), fk((2, 2), (1, 0), "keeps")],
+    }
+}
+
+fn d_world() -> DomainTemplate {
+    DomainTemplate {
+        name: "world".into(),
+        tables: vec![
+            table(
+                "country",
+                &["nation", "state"],
+                (8, 12),
+                vec![
+                    id_col(),
+                    col("name", &[], Text, ValuePool::Country, false),
+                    col("continent", &["region"], Text, ValuePool::words(&["Europe", "Asia", "America", "Africa"]), false),
+                    col("population", &["number of people"], Int, ValuePool::IntRange(100_000, 900_000_000), false),
+                    col("surface_area", &["area"], Float, ValuePool::FloatRange(1000.0, 9_000_000.0), true),
+                    col("indepyear", &["independence year"], Int, ValuePool::Year, true),
+                ],
+            ),
+            table(
+                "city",
+                &["town", "municipality"],
+                (12, 26),
+                vec![
+                    id_col(),
+                    col("name", &[], Text, ValuePool::City, false),
+                    fk_col("country_id", 0),
+                    col("population", &["inhabitants"], Int, ValuePool::IntRange(10_000, 20_000_000), false),
+                ],
+            ),
+            table(
+                "countrylanguage",
+                &["language"],
+                (10, 24),
+                vec![
+                    id_col(),
+                    fk_col("country_id", 0),
+                    col("language", &["tongue"], Text, ValuePool::words(&["English", "French", "Spanish", "Hindi", "Japanese"]), false),
+                    col("isofficial", &["official"], Text, ValuePool::words(&["T", "F"]), false),
+                    col("percentage", &["share"], Float, ValuePool::FloatRange(0.5, 99.9), true),
+                ],
+            ),
+        ],
+        fks: vec![fk((1, 2), (0, 0), "located in"), fk((2, 1), (0, 0), "spoken in")],
+    }
+}
+
+fn d_college() -> DomainTemplate {
+    DomainTemplate {
+        name: "college".into(),
+        tables: vec![
+            table(
+                "department",
+                &["dept", "faculty"],
+                (4, 8),
+                vec![
+                    id_col(),
+                    col("dept_name", &["name"], Text, ValuePool::words(&["Physics", "History", "CS", "Music", "Law", "Biology"]), false),
+                    col("building", &["location"], Text, ValuePool::Title, true),
+                    col("budget", &["funds"], Float, ValuePool::FloatRange(10_000.0, 900_000.0), false),
+                ],
+            ),
+            table(
+                "instructor",
+                &["professor", "teacher", "lecturer"],
+                (8, 18),
+                vec![
+                    id_col(),
+                    col("name", &[], Text, ValuePool::PersonName, false),
+                    fk_col("dept_id", 0),
+                    col("salary", &["pay", "wage"], Float, ValuePool::FloatRange(40_000.0, 200_000.0), false),
+                ],
+            ),
+            table(
+                "course",
+                &["class", "subject"],
+                (10, 20),
+                vec![
+                    id_col(),
+                    col("title", &["name"], Text, ValuePool::Title, false),
+                    fk_col("dept_id", 0),
+                    col("credits", &["units"], Int, ValuePool::IntRange(1, 6), false),
+                ],
+            ),
+        ],
+        fks: vec![fk((1, 2), (0, 0), "works in"), fk((2, 2), (0, 0), "offered by")],
+    }
+}
+
+fn d_flights() -> DomainTemplate {
+    DomainTemplate {
+        name: "flights".into(),
+        tables: vec![
+            table(
+                "airline",
+                &["carrier"],
+                (4, 9),
+                vec![
+                    id_col(),
+                    col("airline_name", &["name"], Text, ValuePool::Title, false),
+                    col("country", &["nation"], Text, ValuePool::Country, false),
+                    col("abbreviation", &["code"], Text, ValuePool::words(&["UA", "AF", "JL", "BA", "LH", "AZ"]), true),
+                ],
+            ),
+            table(
+                "airport",
+                &["airfield"],
+                (5, 11),
+                vec![
+                    id_col(),
+                    col("airport_name", &["name"], Text, ValuePool::Title, false),
+                    col("city", &["town"], Text, ValuePool::City, false),
+                    col("country", &[], Text, ValuePool::Country, true),
+                ],
+            ),
+            table(
+                "flight",
+                &["route"],
+                (14, 30),
+                vec![
+                    id_col(),
+                    fk_col("airline_id", 0),
+                    fk_col("source_airport", 1),
+                    fk_col("dest_airport", 1),
+                    col("distance", &["length"], Int, ValuePool::IntRange(100, 9000), false),
+                    col("price", &["fare", "cost"], Float, ValuePool::FloatRange(50.0, 2000.0), true),
+                ],
+            ),
+        ],
+        fks: vec![
+            fk((2, 1), (0, 0), "operated by"),
+            fk((2, 2), (1, 0), "departing from"),
+            fk((2, 3), (1, 0), "arriving at"),
+        ],
+    }
+}
+
+fn d_employee() -> DomainTemplate {
+    DomainTemplate {
+        name: "employee".into(),
+        tables: vec![
+            table(
+                "shop",
+                &["store", "outlet"],
+                (4, 9),
+                vec![
+                    id_col(),
+                    col("shop_name", &["name"], Text, ValuePool::Title, false),
+                    col("location", &["city"], Text, ValuePool::City, false),
+                    col("number_products", &["product count"], Int, ValuePool::IntRange(10, 500), true),
+                ],
+            ),
+            table(
+                "employee",
+                &["worker", "staff member"],
+                (8, 18),
+                vec![
+                    id_col(),
+                    col("name", &[], Text, ValuePool::PersonName, false),
+                    col("age", &[], Int, ValuePool::IntRange(18, 65), false),
+                    col("city", &["hometown"], Text, ValuePool::City, true),
+                ],
+            ),
+            table(
+                "hiring",
+                &["employment record"],
+                (8, 18),
+                vec![
+                    id_col(),
+                    fk_col("shop_id", 0),
+                    fk_col("employee_id", 1),
+                    col("start_year", &["start"], Int, ValuePool::Year, false),
+                    col("is_full_time", &["full time"], Text, ValuePool::words(&["T", "F"]), true),
+                ],
+            ),
+        ],
+        fks: vec![fk((2, 1), (0, 0), "hired at"), fk((2, 2), (1, 0), "employs")],
+    }
+}
+
+fn d_orchestra() -> DomainTemplate {
+    DomainTemplate {
+        name: "orchestra".into(),
+        tables: vec![
+            table(
+                "conductor",
+                &["maestro", "music director"],
+                (5, 10),
+                vec![
+                    id_col(),
+                    col("name", &[], Text, ValuePool::PersonName, false),
+                    col("age", &[], Int, ValuePool::IntRange(30, 80), false),
+                    col("nationality", &["country"], Text, ValuePool::Country, false),
+                ],
+            ),
+            table(
+                "orchestra",
+                &["ensemble", "philharmonic"],
+                (6, 12),
+                vec![
+                    id_col(),
+                    col("orchestra_name", &["name"], Text, ValuePool::Title, false),
+                    fk_col("conductor_id", 0),
+                    col("record_company", &["label"], Text, ValuePool::Title, true),
+                    col("year_founded", &["founded"], Int, ValuePool::Year, true),
+                ],
+            ),
+            table(
+                "performance",
+                &["show"],
+                (10, 20),
+                vec![
+                    id_col(),
+                    fk_col("orchestra_id", 1),
+                    col("type", &["kind"], Text, ValuePool::words(&["Symphony", "Opera", "Ballet", "Chamber"]), false),
+                    col("attendance", &["audience size"], Int, ValuePool::IntRange(100, 5000), false),
+                ],
+            ),
+        ],
+        fks: vec![fk((1, 2), (0, 0), "led by"), fk((2, 1), (1, 0), "given by")],
+    }
+}
+
+fn d_battle() -> DomainTemplate {
+    DomainTemplate {
+        name: "battle".into(),
+        tables: vec![
+            table(
+                "battle",
+                &["engagement", "fight"],
+                (6, 12),
+                vec![
+                    id_col(),
+                    col("battle_name", &["name"], Text, ValuePool::Title, false),
+                    col("date_year", &["year"], Int, ValuePool::Year, false),
+                    col("result", &["outcome"], Text, ValuePool::words(&["Victory", "Defeat", "Draw"]), false),
+                ],
+            ),
+            table(
+                "ship",
+                &["vessel"],
+                (8, 18),
+                vec![
+                    id_col(),
+                    col("ship_name", &["name"], Text, ValuePool::Title, false),
+                    fk_col("lost_in_battle", 0),
+                    col("tonnage", &["weight"], Int, ValuePool::IntRange(500, 60000), true),
+                    col("ship_type", &["class"], Text, ValuePool::words(&["Brig", "Frigate", "Cruiser", "Destroyer"]), false),
+                ],
+            ),
+            table(
+                "death",
+                &["casualty record"],
+                (6, 14),
+                vec![
+                    id_col(),
+                    fk_col("caused_by_ship_id", 1),
+                    col("killed", &["deaths"], Int, ValuePool::IntRange(0, 900), false),
+                    col("injured", &["wounded"], Int, ValuePool::IntRange(0, 900), true),
+                ],
+            ),
+        ],
+        fks: vec![fk((1, 2), (0, 0), "lost in"), fk((2, 1), (1, 0), "caused by")],
+    }
+}
+
+fn d_museum() -> DomainTemplate {
+    DomainTemplate {
+        name: "museum".into(),
+        tables: vec![
+            table(
+                "museum",
+                &["gallery"],
+                (5, 10),
+                vec![
+                    id_col(),
+                    col("name", &[], Text, ValuePool::Title, false),
+                    col("num_of_staff", &["staff size"], Int, ValuePool::IntRange(5, 120), false),
+                    col("open_year", &["opened"], Int, ValuePool::Year, false),
+                ],
+            ),
+            table(
+                "visitor",
+                &["guest"],
+                (8, 16),
+                vec![
+                    id_col(),
+                    col("name", &[], Text, ValuePool::PersonName, false),
+                    col("age", &[], Int, ValuePool::IntRange(6, 80), false),
+                    col("level_of_membership", &["membership level"], Int, ValuePool::IntRange(1, 8), true),
+                ],
+            ),
+            table(
+                "visit",
+                &["trip"],
+                (10, 22),
+                vec![
+                    id_col(),
+                    fk_col("museum_id", 0),
+                    fk_col("visitor_id", 1),
+                    col("num_of_ticket", &["tickets"], Int, ValuePool::IntRange(1, 10), false),
+                    col("total_spent", &["spending"], Float, ValuePool::FloatRange(5.0, 500.0), true),
+                ],
+            ),
+        ],
+        fks: vec![fk((2, 1), (0, 0), "made to"), fk((2, 2), (1, 0), "made by")],
+    }
+}
+
+fn d_tennis() -> DomainTemplate {
+    DomainTemplate {
+        name: "tennis".into(),
+        tables: vec![
+            table(
+                "players",
+                &["competitors"],
+                (10, 20),
+                vec![
+                    id_col(),
+                    col("first_name", &[], Text, ValuePool::FirstName, false),
+                    col("last_name", &[], Text, ValuePool::LastName, false),
+                    col("country_code", &["country"], Text, ValuePool::Country, false),
+                    col("birth_date", &["born"], Int, ValuePool::Year, true),
+                ],
+            ),
+            table(
+                "matches",
+                &["games"],
+                (12, 26),
+                vec![
+                    id_col(),
+                    fk_col("winner_id", 0),
+                    fk_col("loser_id", 0),
+                    col("year", &["season"], Int, ValuePool::Year, false),
+                    col("minutes", &["duration"], Int, ValuePool::IntRange(40, 300), true),
+                ],
+            ),
+            table(
+                "rankings",
+                &["standings"],
+                (10, 20),
+                vec![
+                    id_col(),
+                    fk_col("player_id", 0),
+                    col("ranking", &["rank", "position"], Int, ValuePool::IntRange(1, 200), false),
+                    col("ranking_points", &["points"], Int, ValuePool::IntRange(10, 12000), false),
+                ],
+            ),
+        ],
+        fks: vec![
+            fk((1, 1), (0, 0), "won by"),
+            fk((1, 2), (0, 0), "lost by"),
+            fk((2, 1), (0, 0), "held by"),
+        ],
+    }
+}
+
+fn d_car() -> DomainTemplate {
+    DomainTemplate {
+        name: "car".into(),
+        tables: vec![
+            table(
+                "car_makers",
+                &["manufacturers"],
+                (5, 10),
+                vec![
+                    id_col(),
+                    col("maker", &["brand", "name"], Text, ValuePool::Title, false),
+                    col("country", &[], Text, ValuePool::Country, false),
+                ],
+            ),
+            table(
+                "model_list",
+                &["models"],
+                (8, 16),
+                vec![
+                    id_col(),
+                    fk_col("maker", 0),
+                    col("model", &["model name"], Text, ValuePool::Title, false),
+                ],
+            ),
+            table(
+                "cars_data",
+                &["car records"],
+                (10, 22),
+                vec![
+                    id_col(),
+                    fk_col("model_id", 1),
+                    col("mpg", &["fuel economy"], Float, ValuePool::FloatRange(10.0, 50.0), false),
+                    col("horsepower", &["power"], Int, ValuePool::IntRange(50, 500), false),
+                    col("weight", &[], Int, ValuePool::IntRange(1500, 5000), false),
+                    col("year", &[], Int, ValuePool::Year, false),
+                ],
+            ),
+        ],
+        fks: vec![fk((1, 1), (0, 0), "produced by"), fk((2, 1), (1, 0), "recorded for")],
+    }
+}
+
+fn d_poker() -> DomainTemplate {
+    DomainTemplate {
+        name: "poker".into(),
+        tables: vec![
+            table(
+                "people",
+                &["persons"],
+                (8, 16),
+                vec![
+                    id_col(),
+                    col("name", &[], Text, ValuePool::PersonName, false),
+                    col("nationality", &["country"], Text, ValuePool::Country, false),
+                    col("height", &[], Float, ValuePool::FloatRange(150.0, 210.0), true),
+                ],
+            ),
+            table(
+                "poker_player",
+                &["card player"],
+                (6, 14),
+                vec![
+                    id_col(),
+                    fk_col("people_id", 0),
+                    col("final_table_made", &["final tables"], Int, ValuePool::IntRange(0, 40), false),
+                    col("earnings", &["winnings", "money won"], Float, ValuePool::FloatRange(1000.0, 4_000_000.0), false),
+                ],
+            ),
+        ],
+        fks: vec![fk((1, 1), (0, 0), "is")],
+    }
+}
+
+fn d_network() -> DomainTemplate {
+    DomainTemplate {
+        name: "network".into(),
+        tables: vec![
+            table(
+                "person",
+                &["user", "member"],
+                (10, 20),
+                vec![
+                    id_col(),
+                    col("name", &[], Text, ValuePool::FirstName, false),
+                    col("age", &[], Int, ValuePool::IntRange(13, 60), false),
+                    col("gender", &["sex"], Text, ValuePool::words(&["male", "female"]), true),
+                    col("job", &["occupation"], Text, ValuePool::words(&["student", "engineer", "doctor", "chef"]), false),
+                ],
+            ),
+            table(
+                "friend",
+                &["friendship"],
+                (10, 26),
+                vec![
+                    id_col(),
+                    fk_col("person_id", 0),
+                    fk_col("friend_id", 0),
+                    col("year", &["since"], Int, ValuePool::Year, true),
+                ],
+            ),
+        ],
+        fks: vec![fk((1, 1), (0, 0), "declared by"), fk((1, 2), (0, 0), "friends with")],
+    }
+}
+
+fn d_courses() -> DomainTemplate {
+    DomainTemplate {
+        name: "courses".into(),
+        tables: vec![
+            table(
+                "student",
+                &["pupil", "learner"],
+                (10, 20),
+                vec![
+                    id_col(),
+                    col("name", &[], Text, ValuePool::PersonName, false),
+                    col("year_enrolled", &["enrollment year"], Int, ValuePool::Year, false),
+                    col("gpa", &["grade average"], Float, ValuePool::FloatRange(1.0, 4.0), true),
+                ],
+            ),
+            table(
+                "course",
+                &["class"],
+                (6, 14),
+                vec![
+                    id_col(),
+                    col("course_name", &["name", "title"], Text, ValuePool::Title, false),
+                    col("credits", &["units"], Int, ValuePool::IntRange(1, 6), false),
+                ],
+            ),
+            table(
+                "registration",
+                &["enrollment"],
+                (12, 28),
+                vec![
+                    id_col(),
+                    fk_col("student_id", 0),
+                    fk_col("course_id", 1),
+                    col("grade", &["mark"], Float, ValuePool::FloatRange(0.0, 100.0), true),
+                ],
+            ),
+        ],
+        fks: vec![fk((2, 1), (0, 0), "made by"), fk((2, 2), (1, 0), "enrolled in")],
+    }
+}
+
+fn d_dorm() -> DomainTemplate {
+    DomainTemplate {
+        name: "dorm".into(),
+        tables: vec![
+            table(
+                "dorm",
+                &["residence hall", "dormitory"],
+                (4, 9),
+                vec![
+                    id_col(),
+                    col("dorm_name", &["name"], Text, ValuePool::Title, false),
+                    col("student_capacity", &["capacity"], Int, ValuePool::IntRange(50, 800), false),
+                    col("gender", &[], Text, ValuePool::words(&["X", "M", "F"]), true),
+                ],
+            ),
+            table(
+                "student",
+                &["resident"],
+                (10, 22),
+                vec![
+                    id_col(),
+                    col("last_name", &["surname"], Text, ValuePool::LastName, false),
+                    col("age", &[], Int, ValuePool::IntRange(17, 27), false),
+                    col("major", &["study field"], Text, ValuePool::words(&["CS", "Econ", "Art", "Physics"]), false),
+                ],
+            ),
+            table(
+                "lives_in",
+                &["housing assignment"],
+                (10, 22),
+                vec![id_col(), fk_col("student_id", 1), fk_col("dorm_id", 0), col("room_number", &["room"], Int, ValuePool::IntRange(100, 999), true)],
+            ),
+        ],
+        fks: vec![fk((2, 1), (1, 0), "held by"), fk((2, 2), (0, 0), "assigned to")],
+    }
+}
+
+fn d_game() -> DomainTemplate {
+    DomainTemplate {
+        name: "game".into(),
+        tables: vec![
+            table(
+                "video_game",
+                &["game", "title"],
+                (8, 16),
+                vec![
+                    id_col(),
+                    col("game_name", &["name"], Text, ValuePool::Title, false),
+                    col("genre", &["type"], Text, ValuePool::words(&["RPG", "Shooter", "Puzzle", "Racing"]), false),
+                    col("year_released", &["release year"], Int, ValuePool::Year, false),
+                ],
+            ),
+            table(
+                "player",
+                &["gamer"],
+                (10, 20),
+                vec![
+                    id_col(),
+                    col("gamer_tag", &["handle", "nickname"], Text, ValuePool::FirstName, false),
+                    col("country", &[], Text, ValuePool::Country, true),
+                ],
+            ),
+            table(
+                "plays",
+                &["play record"],
+                (12, 26),
+                vec![
+                    id_col(),
+                    fk_col("player_id", 1),
+                    fk_col("game_id", 0),
+                    col("hours", &["playtime"], Int, ValuePool::IntRange(1, 800), false),
+                ],
+            ),
+        ],
+        fks: vec![fk((2, 1), (1, 0), "logged by"), fk((2, 2), (0, 0), "spent on")],
+    }
+}
+
+fn d_hospital() -> DomainTemplate {
+    DomainTemplate {
+        name: "hospital".into(),
+        tables: vec![
+            table(
+                "physician",
+                &["doctor"],
+                (6, 14),
+                vec![
+                    id_col(),
+                    col("name", &[], Text, ValuePool::PersonName, false),
+                    col("position", &["title"], Text, ValuePool::words(&["Attending", "Resident", "Intern", "Chief"]), false),
+                    col("salary", &["pay"], Float, ValuePool::FloatRange(60_000.0, 400_000.0), true),
+                ],
+            ),
+            table(
+                "patient",
+                &["case"],
+                (10, 22),
+                vec![
+                    id_col(),
+                    col("name", &[], Text, ValuePool::PersonName, false),
+                    col("age", &[], Int, ValuePool::IntRange(1, 95), false),
+                    col("insurance", &["coverage"], Text, ValuePool::words(&["Basic", "Plus", "Premium"]), true),
+                ],
+            ),
+            table(
+                "appointment",
+                &["visit"],
+                (12, 26),
+                vec![
+                    id_col(),
+                    fk_col("physician_id", 0),
+                    fk_col("patient_id", 1),
+                    col("year", &[], Int, ValuePool::Year, false),
+                ],
+            ),
+        ],
+        fks: vec![fk((2, 1), (0, 0), "attended by"), fk((2, 2), (1, 0), "booked for")],
+    }
+}
+
+fn d_insurance() -> DomainTemplate {
+    DomainTemplate {
+        name: "insurance".into(),
+        tables: vec![
+            table(
+                "customer",
+                &["client", "policyholder"],
+                (8, 18),
+                vec![
+                    id_col(),
+                    col("customer_name", &["name"], Text, ValuePool::PersonName, false),
+                    col("city", &[], Text, ValuePool::City, true),
+                ],
+            ),
+            table(
+                "policy",
+                &["contract", "plan"],
+                (10, 20),
+                vec![
+                    id_col(),
+                    fk_col("customer_id", 0),
+                    col("policy_type", &["type"], Text, ValuePool::words(&["Life", "Auto", "Home", "Travel"]), false),
+                    col("premium", &["monthly cost"], Float, ValuePool::FloatRange(20.0, 900.0), false),
+                ],
+            ),
+            table(
+                "claim",
+                &["filing"],
+                (8, 18),
+                vec![
+                    id_col(),
+                    fk_col("policy_id", 1),
+                    col("amount_claimed", &["claim amount"], Float, ValuePool::FloatRange(100.0, 50_000.0), false),
+                    col("status", &["state"], Text, ValuePool::words(&["Open", "Settled", "Denied"]), false),
+                ],
+            ),
+        ],
+        fks: vec![fk((1, 1), (0, 0), "held by"), fk((2, 1), (1, 0), "filed against")],
+    }
+}
+
+fn d_library() -> DomainTemplate {
+    DomainTemplate {
+        name: "library".into(),
+        tables: vec![
+            table(
+                "author",
+                &["writer"],
+                (6, 14),
+                vec![
+                    id_col(),
+                    col("name", &[], Text, ValuePool::PersonName, false),
+                    col("country", &["nationality"], Text, ValuePool::Country, true),
+                ],
+            ),
+            table(
+                "book",
+                &["volume", "publication"],
+                (10, 24),
+                vec![
+                    id_col(),
+                    col("title", &["name"], Text, ValuePool::Title, false),
+                    fk_col("author_id", 0),
+                    col("publication_year", &["published"], Int, ValuePool::Year, false),
+                    col("pages", &["length"], Int, ValuePool::IntRange(60, 1200), true),
+                ],
+            ),
+            table(
+                "loan",
+                &["borrowing"],
+                (10, 22),
+                vec![
+                    id_col(),
+                    fk_col("book_id", 1),
+                    col("member_name", &["borrower"], Text, ValuePool::PersonName, false),
+                    col("weeks_kept", &["loan length"], Int, ValuePool::IntRange(1, 12), false),
+                ],
+            ),
+        ],
+        fks: vec![fk((1, 2), (0, 0), "written by"), fk((2, 1), (1, 0), "taken out on")],
+    }
+}
+
+fn d_movie() -> DomainTemplate {
+    DomainTemplate {
+        name: "movie".into(),
+        tables: vec![
+            table(
+                "director",
+                &["filmmaker"],
+                (5, 12),
+                vec![
+                    id_col(),
+                    col("name", &[], Text, ValuePool::PersonName, false),
+                    col("birth_year", &["born"], Int, ValuePool::Year, true),
+                ],
+            ),
+            table(
+                "movie",
+                &["film", "picture"],
+                (10, 22),
+                vec![
+                    id_col(),
+                    col("title", &["name"], Text, ValuePool::Title, false),
+                    fk_col("director_id", 0),
+                    col("genre", &["category"], Text, ValuePool::words(&["Drama", "Comedy", "Action", "Horror"]), false),
+                    col("year", &["release year"], Int, ValuePool::Year, false),
+                    col("budget", &["cost"], Float, ValuePool::FloatRange(100_000.0, 200_000_000.0), true),
+                ],
+            ),
+            table(
+                "review",
+                &["rating record"],
+                (12, 26),
+                vec![
+                    id_col(),
+                    fk_col("movie_id", 1),
+                    col("stars", &["rating", "score"], Int, ValuePool::IntRange(1, 5), false),
+                    col("reviewer", &["critic"], Text, ValuePool::PersonName, true),
+                ],
+            ),
+        ],
+        fks: vec![fk((1, 2), (0, 0), "directed by"), fk((2, 1), (1, 0), "written about")],
+    }
+}
+
+fn d_store() -> DomainTemplate {
+    DomainTemplate {
+        name: "store".into(),
+        tables: vec![
+            table(
+                "product",
+                &["item", "good"],
+                (8, 18),
+                vec![
+                    id_col(),
+                    col("product_name", &["name"], Text, ValuePool::Title, false),
+                    col("category", &["type"], Text, ValuePool::words(&["Food", "Toys", "Books", "Garden"]), false),
+                    col("price", &["cost"], Float, ValuePool::FloatRange(1.0, 500.0), false),
+                ],
+            ),
+            table(
+                "customer",
+                &["shopper", "buyer"],
+                (8, 18),
+                vec![
+                    id_col(),
+                    col("customer_name", &["name"], Text, ValuePool::PersonName, false),
+                    col("city", &[], Text, ValuePool::City, true),
+                ],
+            ),
+            table(
+                "orders",
+                &["purchases"],
+                (12, 28),
+                vec![
+                    id_col(),
+                    fk_col("customer_id", 1),
+                    fk_col("product_id", 0),
+                    col("quantity", &["amount"], Int, ValuePool::IntRange(1, 20), false),
+                    col("year", &[], Int, ValuePool::Year, true),
+                ],
+            ),
+        ],
+        fks: vec![fk((2, 1), (1, 0), "placed by"), fk((2, 2), (0, 0), "made for")],
+    }
+}
+
+fn d_real_estate() -> DomainTemplate {
+    DomainTemplate {
+        name: "real_estate".into(),
+        tables: vec![
+            table(
+                "agent",
+                &["realtor", "broker"],
+                (5, 12),
+                vec![
+                    id_col(),
+                    col("name", &[], Text, ValuePool::PersonName, false),
+                    col("years_experience", &["experience"], Int, ValuePool::IntRange(1, 35), false),
+                ],
+            ),
+            table(
+                "property",
+                &["house", "listing"],
+                (10, 22),
+                vec![
+                    id_col(),
+                    col("address", &["location"], Text, ValuePool::Title, false),
+                    col("city", &[], Text, ValuePool::City, false),
+                    col("price", &["asking price", "value"], Float, ValuePool::FloatRange(50_000.0, 3_000_000.0), false),
+                    col("bedrooms", &["rooms"], Int, ValuePool::IntRange(1, 8), true),
+                ],
+            ),
+            table(
+                "sale",
+                &["transaction", "deal"],
+                (8, 18),
+                vec![
+                    id_col(),
+                    fk_col("property_id", 1),
+                    fk_col("agent_id", 0),
+                    col("sale_year", &["year sold"], Int, ValuePool::Year, false),
+                ],
+            ),
+        ],
+        fks: vec![fk((2, 1), (1, 0), "closed on"), fk((2, 2), (0, 0), "closed by")],
+    }
+}
+
+fn d_music() -> DomainTemplate {
+    DomainTemplate {
+        name: "music".into(),
+        tables: vec![
+            table(
+                "artist",
+                &["musician", "band"],
+                (6, 14),
+                vec![
+                    id_col(),
+                    col("artist_name", &["name"], Text, ValuePool::PersonName, false),
+                    col("country", &["origin"], Text, ValuePool::Country, false),
+                ],
+            ),
+            table(
+                "album",
+                &["record", "release"],
+                (10, 20),
+                vec![
+                    id_col(),
+                    col("title", &["name"], Text, ValuePool::Title, false),
+                    fk_col("artist_id", 0),
+                    col("year", &["release year"], Int, ValuePool::Year, false),
+                    col("sales", &["copies sold"], Int, ValuePool::IntRange(1000, 20_000_000), true),
+                ],
+            ),
+            table(
+                "track",
+                &["song"],
+                (14, 30),
+                vec![
+                    id_col(),
+                    col("track_name", &["name", "song title"], Text, ValuePool::Title, false),
+                    fk_col("album_id", 1),
+                    col("duration", &["length"], Int, ValuePool::IntRange(90, 600), false),
+                ],
+            ),
+        ],
+        fks: vec![fk((1, 2), (0, 0), "recorded by"), fk((2, 2), (1, 0), "included on")],
+    }
+}
+
+fn d_restaurant() -> DomainTemplate {
+    DomainTemplate {
+        name: "restaurant".into(),
+        tables: vec![
+            table(
+                "restaurant",
+                &["eatery", "diner"],
+                (6, 12),
+                vec![
+                    id_col(),
+                    col("restaurant_name", &["name"], Text, ValuePool::Title, false),
+                    col("city", &["location"], Text, ValuePool::City, false),
+                    col("rating", &["stars"], Float, ValuePool::FloatRange(1.0, 5.0), false),
+                ],
+            ),
+            table(
+                "dish",
+                &["menu item", "plate"],
+                (10, 22),
+                vec![
+                    id_col(),
+                    col("dish_name", &["name"], Text, ValuePool::Title, false),
+                    fk_col("restaurant_id", 0),
+                    col("price", &["cost"], Float, ValuePool::FloatRange(3.0, 80.0), false),
+                    col("is_vegetarian", &["vegetarian"], Text, ValuePool::words(&["T", "F"]), true),
+                ],
+            ),
+        ],
+        fks: vec![fk((1, 2), (0, 0), "served at")],
+    }
+}
+
+fn d_bank() -> DomainTemplate {
+    DomainTemplate {
+        name: "bank".into(),
+        tables: vec![
+            table(
+                "branch",
+                &["office"],
+                (4, 9),
+                vec![
+                    id_col(),
+                    col("branch_name", &["name"], Text, ValuePool::Title, false),
+                    col("city", &[], Text, ValuePool::City, false),
+                    col("assets", &["holdings"], Float, ValuePool::FloatRange(1e6, 5e8), true),
+                ],
+            ),
+            table(
+                "account",
+                &["bank account"],
+                (10, 22),
+                vec![
+                    id_col(),
+                    fk_col("branch_id", 0),
+                    col("owner_name", &["holder"], Text, ValuePool::PersonName, false),
+                    col("balance", &["funds"], Float, ValuePool::FloatRange(0.0, 250_000.0), false),
+                    col("account_type", &["type"], Text, ValuePool::words(&["Checking", "Savings", "Business"]), false),
+                ],
+            ),
+            table(
+                "transaction",
+                &["transfer"],
+                (12, 28),
+                vec![
+                    id_col(),
+                    fk_col("account_id", 1),
+                    col("amount", &["value"], Float, ValuePool::FloatRange(1.0, 20_000.0), false),
+                    col("year", &[], Int, ValuePool::Year, true),
+                ],
+            ),
+        ],
+        fks: vec![fk((1, 1), (0, 0), "opened at"), fk((2, 1), (1, 0), "posted to")],
+    }
+}
+
+fn d_voter() -> DomainTemplate {
+    DomainTemplate {
+        name: "voter".into(),
+        tables: vec![
+            table(
+                "area_code_state",
+                &["region"],
+                (5, 10),
+                vec![
+                    id_col(),
+                    col("area_code", &["code"], Int, ValuePool::IntRange(200, 999), false),
+                    col("state", &["province"], Text, ValuePool::words(&["NY", "CA", "TX", "WA", "FL"]), false),
+                ],
+            ),
+            table(
+                "votes",
+                &["ballots"],
+                (12, 26),
+                vec![
+                    id_col(),
+                    fk_col("state_id", 0),
+                    col("contestant_name", &["candidate"], Text, ValuePool::PersonName, false),
+                    col("num_votes", &["vote count"], Int, ValuePool::IntRange(10, 90000), false),
+                ],
+            ),
+        ],
+        fks: vec![fk((1, 1), (0, 0), "cast in")],
+    }
+}
+
+fn d_climbing() -> DomainTemplate {
+    DomainTemplate {
+        name: "climbing".into(),
+        tables: vec![
+            table(
+                "mountain",
+                &["peak", "summit"],
+                (6, 12),
+                vec![
+                    id_col(),
+                    col("mountain_name", &["name"], Text, ValuePool::Title, false),
+                    col("height", &["elevation", "altitude"], Int, ValuePool::IntRange(1000, 8900), false),
+                    col("country", &["nation"], Text, ValuePool::Country, false),
+                ],
+            ),
+            table(
+                "climber",
+                &["mountaineer", "alpinist"],
+                (8, 16),
+                vec![
+                    id_col(),
+                    col("name", &[], Text, ValuePool::PersonName, false),
+                    col("country", &[], Text, ValuePool::Country, true),
+                ],
+            ),
+            table(
+                "ascent",
+                &["climb"],
+                (10, 22),
+                vec![
+                    id_col(),
+                    fk_col("climber_id", 1),
+                    fk_col("mountain_id", 0),
+                    col("year", &[], Int, ValuePool::Year, false),
+                    col("days", &["duration"], Int, ValuePool::IntRange(1, 60), true),
+                ],
+            ),
+        ],
+        fks: vec![fk((2, 1), (1, 0), "made by"), fk((2, 2), (0, 0), "made on")],
+    }
+}
+
+fn d_theme_park() -> DomainTemplate {
+    DomainTemplate {
+        name: "theme_park".into(),
+        tables: vec![
+            table(
+                "park",
+                &["amusement park"],
+                (4, 9),
+                vec![
+                    id_col(),
+                    col("park_name", &["name"], Text, ValuePool::Title, false),
+                    col("city", &["location"], Text, ValuePool::City, false),
+                    col("annual_visitors", &["yearly visitors"], Int, ValuePool::IntRange(50_000, 20_000_000), true),
+                ],
+            ),
+            table(
+                "ride",
+                &["attraction"],
+                (10, 22),
+                vec![
+                    id_col(),
+                    col("ride_name", &["name"], Text, ValuePool::Title, false),
+                    fk_col("park_id", 0),
+                    col("max_speed", &["top speed"], Int, ValuePool::IntRange(20, 200), false),
+                    col("opened_year", &["opened"], Int, ValuePool::Year, true),
+                ],
+            ),
+        ],
+        fks: vec![fk((1, 2), (0, 0), "located in")],
+    }
+}
+
+/// Names of domains reserved exclusively for the validation-derived splits; train
+/// never perturbs these, preserving Spider's cross-domain evaluation setting.
+pub const DEV_DOMAINS: &[&str] = &["concert", "world", "tennis", "battle", "museum"];
+
+/// All domain templates (train + dev).
+pub fn all_domains() -> Vec<DomainTemplate> {
+    vec![
+        d_tv(),
+        d_concert(),
+        d_pets(),
+        d_world(),
+        d_college(),
+        d_flights(),
+        d_employee(),
+        d_orchestra(),
+        d_battle(),
+        d_museum(),
+        d_tennis(),
+        d_car(),
+        d_poker(),
+        d_network(),
+        d_courses(),
+        d_dorm(),
+        d_game(),
+        d_hospital(),
+        d_insurance(),
+        d_library(),
+        d_movie(),
+        d_store(),
+        d_real_estate(),
+        d_music(),
+        d_restaurant(),
+        d_bank(),
+        d_voter(),
+        d_climbing(),
+        d_theme_park(),
+    ]
+}
+
+/// Domains usable for the training split.
+pub fn train_domains() -> Vec<DomainTemplate> {
+    all_domains().into_iter().filter(|d| !DEV_DOMAINS.contains(&d.name.as_str())).collect()
+}
+
+/// Domains reserved for validation splits.
+pub fn dev_domains() -> Vec<DomainTemplate> {
+    all_domains().into_iter().filter(|d| DEV_DOMAINS.contains(&d.name.as_str())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn templates_are_internally_consistent() {
+        for d in all_domains() {
+            assert!(!d.tables.is_empty(), "{} has no tables", d.name);
+            for (ti, t) in d.tables.iter().enumerate() {
+                assert!(t.pk < t.columns.len(), "{}.{} pk out of range", d.name, t.name);
+                assert!(t.rows.0 <= t.rows.1);
+                assert!(!t.columns[t.pk].optional, "{}.{} pk must not be optional", d.name, t.name);
+                for c in &t.columns {
+                    if let ValuePool::Fk(parent) = c.pool {
+                        assert!(parent < d.tables.len(), "{}.{}.{} fk parent", d.name, t.name, c.name);
+                        assert!(parent != ti || t.name == "friend" || t.name == "matches",
+                            "self-FK only where modeled: {}.{}", d.name, t.name);
+                    }
+                }
+            }
+            for f in &d.fks {
+                let (ft, fc) = f.from;
+                let (tt, tc) = f.to;
+                assert!(ft < d.tables.len() && tt < d.tables.len());
+                assert!(fc < d.tables[ft].columns.len());
+                assert!(tc < d.tables[tt].columns.len());
+                // FK columns must be generated from the parent's keys.
+                assert!(
+                    matches!(d.tables[ft].columns[fc].pool, ValuePool::Fk(p) if p == tt),
+                    "{}: fk column {}.{} pool does not point at {}",
+                    d.name,
+                    d.tables[ft].name,
+                    d.tables[ft].columns[fc].name,
+                    d.tables[tt].name
+                );
+                assert!(!f.phrase.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn dev_and_train_domains_are_disjoint_and_cover_all() {
+        let train: Vec<String> = train_domains().iter().map(|d| d.name.clone()).collect();
+        let dev: Vec<String> = dev_domains().iter().map(|d| d.name.clone()).collect();
+        assert_eq!(dev.len(), DEV_DOMAINS.len());
+        for d in &dev {
+            assert!(!train.contains(d));
+        }
+        assert_eq!(train.len() + dev.len(), all_domains().len());
+        assert!(train.len() >= 20, "need enough train domains for 146 databases");
+    }
+
+    #[test]
+    fn self_fks_are_modeled_consistently() {
+        // network.friend and tennis.matches reference their own domain's person table.
+        let net = all_domains().into_iter().find(|d| d.name == "network").unwrap();
+        assert!(net.fks.iter().all(|f| f.to.0 == 0));
+    }
+}

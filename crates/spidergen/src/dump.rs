@@ -1,0 +1,145 @@
+//! SQL-dump export: render a generated database as standard `CREATE TABLE` +
+//! `INSERT` statements loadable into a real SQLite/MySQL instance, and a TSV
+//! export of (NL, SQL, db_id) example triples — interop hooks for inspecting the
+//! synthetic benchmark outside this repository.
+
+use crate::types::Benchmark;
+use engine::{Database, Value};
+use std::fmt::Write as _;
+
+fn sql_string_escape(s: &str) -> String {
+    s.replace('\'', "''")
+}
+
+fn value_sql(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(x) => {
+            if x.fract() == 0.0 {
+                format!("{x:.1}")
+            } else {
+                format!("{x}")
+            }
+        }
+        Value::Text(s) => format!("'{}'", sql_string_escape(s)),
+    }
+}
+
+/// Render a database as a SQL dump (`CREATE TABLE` with primary/foreign keys,
+/// then one multi-row `INSERT` per table).
+pub fn database_to_sql_dump(db: &Database) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "-- database: {}", db.schema.db_id);
+    for (ti, t) in db.schema.tables.iter().enumerate() {
+        let _ = writeln!(out, "CREATE TABLE {} (", t.name);
+        for (ci, c) in t.columns.iter().enumerate() {
+            let pk = if t.primary_key == Some(ci) { " PRIMARY KEY" } else { "" };
+            let comma = if ci + 1 < t.columns.len()
+                || db.schema.foreign_keys.iter().any(|f| f.from.table == ti)
+            {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  {} {}{pk}{comma}", c.name, c.ty);
+        }
+        let fks: Vec<_> =
+            db.schema.foreign_keys.iter().filter(|f| f.from.table == ti).collect();
+        for (i, f) in fks.iter().enumerate() {
+            let comma = if i + 1 < fks.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "  FOREIGN KEY ({}) REFERENCES {}({}){comma}",
+                db.schema.column(f.from).name,
+                db.schema.tables[f.to.table].name,
+                db.schema.column(f.to).name,
+            );
+        }
+        let _ = writeln!(out, ");");
+        if !db.rows[ti].is_empty() {
+            let _ = writeln!(out, "INSERT INTO {} VALUES", t.name);
+            for (ri, row) in db.rows[ti].iter().enumerate() {
+                let vals: Vec<String> = row.iter().map(value_sql).collect();
+                let term = if ri + 1 < db.rows[ti].len() { "," } else { ";" };
+                let _ = writeln!(out, "  ({}){term}", vals.join(", "));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a benchmark's examples as TSV: `db_id <TAB> nl <TAB> sql` per line.
+/// NL/SQL never contain tabs or newlines by construction; assert anyway.
+pub fn examples_to_tsv(bench: &Benchmark) -> String {
+    let mut out = String::new();
+    for ex in &bench.examples {
+        let db_id = &bench.databases[ex.db_index].schema.db_id;
+        debug_assert!(!ex.nl.contains('\t') && !ex.nl.contains('\n'));
+        debug_assert!(!ex.sql.contains('\t') && !ex.sql.contains('\n'));
+        let _ = writeln!(out, "{db_id}\t{}\t{}", ex.nl, ex.sql);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_suite, GenConfig};
+
+    #[test]
+    fn dump_contains_schema_and_rows() {
+        let suite = generate_suite(&GenConfig::tiny(81));
+        let db = &suite.dev.databases[0];
+        let dump = database_to_sql_dump(db);
+        assert!(dump.contains("CREATE TABLE"));
+        assert!(dump.contains("PRIMARY KEY"));
+        assert!(dump.contains("FOREIGN KEY"));
+        assert!(dump.contains("INSERT INTO"));
+        // Every table present.
+        for t in &db.schema.tables {
+            assert!(dump.contains(&format!("CREATE TABLE {}", t.name)), "{}", t.name);
+        }
+        // Statement count sanity: one semicolon-terminated INSERT per non-empty table.
+        let inserts = dump.matches("INSERT INTO").count();
+        let non_empty = db.rows.iter().filter(|r| !r.is_empty()).count();
+        assert_eq!(inserts, non_empty);
+    }
+
+    #[test]
+    fn dump_escapes_quotes() {
+        let mut db = engine::Database::empty({
+            let mut s = sqlkit::Schema::new("q");
+            s.tables.push(sqlkit::Table {
+                name: "t".into(),
+                display: "t".into(),
+                columns: vec![sqlkit::Column::new("name", sqlkit::ColumnType::Text)],
+                primary_key: None,
+            });
+            s
+        });
+        db.insert(0, vec![Value::Text("O'Brien".into())]);
+        let dump = database_to_sql_dump(&db);
+        assert!(dump.contains("'O''Brien'"), "{dump}");
+    }
+
+    #[test]
+    fn tsv_has_one_line_per_example_with_three_fields() {
+        let suite = generate_suite(&GenConfig::tiny(82));
+        let tsv = examples_to_tsv(&suite.dev);
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), suite.dev.examples.len());
+        for l in lines {
+            assert_eq!(l.split('\t').count(), 3, "{l}");
+        }
+    }
+
+    #[test]
+    fn null_and_float_values_render() {
+        assert_eq!(value_sql(&Value::Null), "NULL");
+        assert_eq!(value_sql(&Value::Float(2.0)), "2.0");
+        assert_eq!(value_sql(&Value::Float(2.5)), "2.5");
+        assert_eq!(value_sql(&Value::Int(-3)), "-3");
+    }
+}

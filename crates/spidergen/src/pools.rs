@@ -1,0 +1,211 @@
+//! Themed value pools used to populate database columns and to phrase constants in
+//! NL questions. Pools are deliberately small so that predicates select non-empty
+//! results and distinct queries occasionally coincide on execution results — the
+//! EX-overestimates-TS effect the paper measures (§V-A2).
+
+use engine::Value;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// First names.
+pub const FIRST_NAMES: &[&str] = &[
+    "Todd", "Joseph", "Maria", "Wei", "Aisha", "Carlos", "Yuki", "Elena", "Samuel", "Priya",
+    "Liam", "Fatima", "Noah", "Ingrid", "Mateo", "Hannah",
+];
+
+/// Last names.
+pub const LAST_NAMES: &[&str] = &[
+    "Casey", "Kuhr", "Goyer", "Smith", "Tanaka", "Garcia", "Okafor", "Novak", "Hansen", "Patel",
+    "Brown", "Kim", "Silva", "Dubois", "Larsen", "Moretti",
+];
+
+/// Countries paired with the demonym paraphrase used by the DK variant
+/// ("USA" is mentioned as "American" in Spider-DK-style questions).
+pub const COUNTRIES: &[(&str, &str)] = &[
+    ("USA", "American"),
+    ("UK", "British"),
+    ("France", "French"),
+    ("Italy", "Italian"),
+    ("Japan", "Japanese"),
+    ("Brazil", "Brazilian"),
+    ("India", "Indian"),
+    ("Canada", "Canadian"),
+    ("Germany", "German"),
+    ("Spain", "Spanish"),
+];
+
+/// Cities.
+pub const CITIES: &[&str] = &[
+    "Paris", "Tokyo", "Rome", "London", "Madrid", "Chicago", "Toronto", "Mumbai", "Berlin",
+    "Lyon", "Osaka", "Boston", "Milan", "Leeds", "Austin", "Salvador",
+];
+
+/// Color-ish categorical values.
+pub const COLORS: &[&str] =
+    &["Red", "Blue", "Green", "Black", "White", "Silver", "Gold", "Purple"];
+
+/// Genres / categories.
+pub const GENRES: &[&str] = &[
+    "Drama", "Comedy", "Action", "Documentary", "Horror", "Romance", "Thriller", "Animation",
+];
+
+/// Generic nouns used to synthesize titles ("The Silver Ball", "The Last Kite", ...).
+pub const TITLE_NOUNS: &[&str] = &[
+    "Ball", "Kite", "Rock", "Star", "River", "Garden", "Mirror", "Engine", "Harbor", "Signal",
+    "Forest", "Anchor", "Lantern", "Meadow", "Compass", "Summit", "Canyon", "Beacon",
+];
+
+/// Adjectives combined with [`TITLE_NOUNS`]: the product space keeps name-like
+/// columns near-unique (as real benchmark databases are), which matters for the
+/// equivalence-preserving rewrites of the LLM simulator.
+pub const TITLE_ADJECTIVES: &[&str] = &[
+    "Silver", "Last", "Hidden", "Broken", "Quiet", "Golden", "Distant", "Burning", "Frozen",
+    "Crimson", "Wandering", "Solemn",
+];
+
+/// How a column's values are produced during data population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ValuePool {
+    /// Sequential primary-key integers starting at 1.
+    Id,
+    /// Foreign key into another table of the same domain (by table index); values
+    /// are sampled from the parent's generated primary keys.
+    Fk(usize),
+    /// `First Last` person names.
+    PersonName,
+    /// First names only.
+    FirstName,
+    /// Last names only.
+    LastName,
+    /// Country names (with DK demonyms).
+    Country,
+    /// City names.
+    City,
+    /// `The <Noun>` titles.
+    Title,
+    /// One of a fixed word list.
+    Words(Vec<String>),
+    /// Uniform integer in a range (inclusive).
+    IntRange(i64, i64),
+    /// Uniform float in a range, rounded to 2 decimals.
+    FloatRange(f64, f64),
+    /// A year between 1950 and 2020.
+    Year,
+}
+
+impl ValuePool {
+    /// Convenience constructor for word pools.
+    pub fn words(ws: &[&str]) -> ValuePool {
+        ValuePool::Words(ws.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Sample one value. `row_index` feeds `Id`; `parent_keys` feeds `Fk`.
+    pub fn sample(&self, rng: &mut StdRng, row_index: usize, parent_keys: &[i64]) -> Value {
+        match self {
+            ValuePool::Id => Value::Int(row_index as i64 + 1),
+            ValuePool::Fk(_) => {
+                if parent_keys.is_empty() {
+                    Value::Null
+                } else {
+                    Value::Int(*parent_keys.choose(rng).expect("non-empty"))
+                }
+            }
+            ValuePool::PersonName => Value::Text(format!(
+                "{} {}",
+                FIRST_NAMES.choose(rng).expect("non-empty"),
+                LAST_NAMES.choose(rng).expect("non-empty")
+            )),
+            ValuePool::FirstName => {
+                Value::Text((*FIRST_NAMES.choose(rng).expect("non-empty")).to_string())
+            }
+            ValuePool::LastName => {
+                Value::Text((*LAST_NAMES.choose(rng).expect("non-empty")).to_string())
+            }
+            ValuePool::Country => {
+                Value::Text(COUNTRIES.choose(rng).expect("non-empty").0.to_string())
+            }
+            ValuePool::City => Value::Text((*CITIES.choose(rng).expect("non-empty")).to_string()),
+            ValuePool::Title => Value::Text(format!(
+                "The {} {}",
+                TITLE_ADJECTIVES.choose(rng).expect("non-empty"),
+                TITLE_NOUNS.choose(rng).expect("non-empty")
+            )),
+            ValuePool::Words(ws) => Value::Text(ws.choose(rng).expect("non-empty").clone()),
+            ValuePool::IntRange(lo, hi) => Value::Int(rng.random_range(*lo..=*hi)),
+            ValuePool::FloatRange(lo, hi) => {
+                let x: f64 = rng.random_range(*lo..*hi);
+                Value::Float((x * 100.0).round() / 100.0)
+            }
+            ValuePool::Year => Value::Int(rng.random_range(1950..=2020)),
+        }
+    }
+
+    /// The DK paraphrase for a value of this pool, if the domain defines one.
+    pub fn dk_paraphrase(&self, v: &Value) -> Option<String> {
+        match (self, v) {
+            (ValuePool::Country, Value::Text(s)) => COUNTRIES
+                .iter()
+                .find(|(c, _)| c == s)
+                .map(|(_, demonym)| (*demonym).to_string()),
+            (ValuePool::Year, Value::Int(y)) => Some(format!("the year {y}")),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pools_are_deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let p = ValuePool::PersonName;
+        for _ in 0..10 {
+            assert_eq!(p.sample(&mut a, 0, &[]), p.sample(&mut b, 0, &[]));
+        }
+    }
+
+    #[test]
+    fn id_pool_is_sequential() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(ValuePool::Id.sample(&mut rng, 0, &[]), Value::Int(1));
+        assert_eq!(ValuePool::Id.sample(&mut rng, 4, &[]), Value::Int(5));
+    }
+
+    #[test]
+    fn fk_pool_samples_parent_keys() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let keys = [10, 20, 30];
+        for _ in 0..20 {
+            match ValuePool::Fk(0).sample(&mut rng, 0, &keys) {
+                Value::Int(v) => assert!(keys.contains(&v)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(ValuePool::Fk(0).sample(&mut rng, 0, &[]), Value::Null);
+    }
+
+    #[test]
+    fn dk_paraphrase_for_countries() {
+        let p = ValuePool::Country;
+        assert_eq!(p.dk_paraphrase(&Value::Text("USA".into())), Some("American".into()));
+        assert_eq!(p.dk_paraphrase(&Value::Text("Atlantis".into())), None);
+        assert_eq!(ValuePool::City.dk_paraphrase(&Value::Text("Paris".into())), None);
+    }
+
+    #[test]
+    fn float_pool_rounds_to_cents() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            if let Value::Float(x) = ValuePool::FloatRange(0.0, 100.0).sample(&mut rng, 0, &[]) {
+                assert!((x * 100.0).fract().abs() < 1e-9);
+            } else {
+                panic!("expected float");
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Benchmark statistics, reproducing the columns of the paper's Table 3.
+
+use crate::types::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one benchmark split (one row of Table 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitStats {
+    /// Split name.
+    pub name: String,
+    /// Number of NL-SQL pairs.
+    pub queries: usize,
+    /// Number of databases.
+    pub databases: usize,
+    /// Average character length of NL questions.
+    pub avg_nl_len: f64,
+    /// Average character length of gold SQL.
+    pub avg_sql_len: f64,
+}
+
+/// Compute Table-3 statistics for a split.
+pub fn split_stats(b: &Benchmark) -> SplitStats {
+    let n = b.examples.len().max(1);
+    SplitStats {
+        name: b.name.clone(),
+        queries: b.examples.len(),
+        databases: b.databases.len(),
+        avg_nl_len: b.examples.iter().map(|e| e.nl.chars().count()).sum::<usize>() as f64
+            / n as f64,
+        avg_sql_len: b.examples.iter().map(|e| e.sql.chars().count()).sum::<usize>() as f64
+            / n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Benchmark;
+
+    #[test]
+    fn empty_split_does_not_divide_by_zero() {
+        let b = Benchmark { name: "x".into(), databases: vec![], examples: vec![] };
+        let s = split_stats(&b);
+        assert_eq!(s.queries, 0);
+        assert_eq!(s.avg_nl_len, 0.0);
+    }
+}

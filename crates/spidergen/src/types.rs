@@ -1,0 +1,142 @@
+//! Dataset types: examples, benchmarks and the NL realization structure.
+
+use engine::Database;
+use serde::{Deserialize, Serialize};
+use sqlkit::{ColumnId, Hardness, Query};
+
+/// One element of a compositional NL realization. Keeping mentions structured (not
+/// flat text) lets the DK / SYN / Realistic variant transforms re-render the same
+/// intent under a different lexicalization policy, exactly how those datasets were
+/// constructed from Spider.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NlPart {
+    /// Fixed carrier text ("What are the", "whose", ...).
+    Lit(String),
+    /// A mention of a table (rendered from its display name or a synonym).
+    TableMention {
+        /// Table index in the schema.
+        table: usize,
+    },
+    /// A mention of a column.
+    ColumnMention {
+        /// The column.
+        col: ColumnId,
+    },
+    /// A constant value mention (kept verbatim under SYN/Realistic; paraphrased
+    /// under DK).
+    ValueMention {
+        /// Rendered value text.
+        text: String,
+        /// Domain-knowledge paraphrase, when the domain defines one.
+        dk_paraphrase: Option<String>,
+    },
+}
+
+/// A structured NL question: the parts concatenate (space-separated where needed)
+/// into the surface string.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Realization {
+    /// Parts in surface order.
+    pub parts: Vec<NlPart>,
+}
+
+impl Realization {
+    /// Push a literal fragment.
+    pub fn lit(&mut self, s: impl Into<String>) {
+        self.parts.push(NlPart::Lit(s.into()));
+    }
+
+    /// All column mentions in surface order.
+    pub fn column_mentions(&self) -> Vec<ColumnId> {
+        self.parts
+            .iter()
+            .filter_map(|p| match p {
+                NlPart::ColumnMention { col } => Some(*col),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All table mentions in surface order.
+    pub fn table_mentions(&self) -> Vec<usize> {
+        self.parts
+            .iter()
+            .filter_map(|p| match p {
+                NlPart::TableMention { table } => Some(*table),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// How strongly the simulated LLM's schema linking is degraded for an example.
+/// `0.0` is plain Spider; the variant transforms raise it (§V-C).
+pub type LinkingNoise = f64;
+
+/// A single NL2SQL example.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Example {
+    /// Index of the database in the owning [`Benchmark`].
+    pub db_index: usize,
+    /// Natural-language question (surface form).
+    pub nl: String,
+    /// Gold SQL text.
+    pub sql: String,
+    /// Parsed gold query.
+    pub query: Query,
+    /// Structured NL realization (the variant transforms re-render this).
+    pub realization: Realization,
+    /// Linking-noise level injected by variant transforms.
+    pub linking_noise: LinkingNoise,
+    /// Official Spider hardness of the gold SQL.
+    pub hardness: Hardness,
+}
+
+/// A benchmark split: databases plus examples over them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Benchmark {
+    /// Split name ("train", "dev", "dk", "syn", "realistic").
+    pub name: String,
+    /// Databases (schema + data).
+    pub databases: Vec<Database>,
+    /// Examples.
+    pub examples: Vec<Example>,
+}
+
+impl Benchmark {
+    /// The database backing an example.
+    pub fn db_of(&self, ex: &Example) -> &Database {
+        &self.databases[ex.db_index]
+    }
+}
+
+/// The full generated suite, mirroring the paper's Table 3.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Suite {
+    /// Spider train analog: the demonstration pool.
+    pub train: Benchmark,
+    /// Spider validation analog.
+    pub dev: Benchmark,
+    /// Spider-DK analog.
+    pub dk: Benchmark,
+    /// Spider-SYN analog.
+    pub syn: Benchmark,
+    /// Spider-Realistic analog.
+    pub realistic: Benchmark,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn realization_collects_mentions() {
+        let mut r = Realization::default();
+        r.lit("what are the");
+        r.parts.push(NlPart::ColumnMention { col: ColumnId { table: 0, column: 1 } });
+        r.lit("of");
+        r.parts.push(NlPart::TableMention { table: 0 });
+        assert_eq!(r.column_mentions(), vec![ColumnId { table: 0, column: 1 }]);
+        assert_eq!(r.table_mentions(), vec![0]);
+    }
+}

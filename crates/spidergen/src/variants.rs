@@ -1,0 +1,55 @@
+//! Variant-split derivation: Spider-DK, Spider-SYN and Spider-Realistic are all
+//! constructed from the validation split by re-rendering the stored realizations
+//! under a different lexicalization policy (§V-A1).
+
+use crate::dbgen::GeneratedDb;
+use crate::nlgen::{render, Policy};
+use crate::types::{Benchmark, Example};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Derive a variant benchmark from the dev split.
+///
+/// * `policy` — lexicalization policy (SYN / DK / Realistic).
+/// * `n_dbs` — number of dev databases to keep (Spider-DK uses 10 of the 20).
+/// * `n_examples` — number of examples to keep (sampled without replacement when
+///   smaller than the pool).
+pub fn derive_variant(
+    name: &str,
+    dev: &Benchmark,
+    gdbs: &[GeneratedDb],
+    policy: Policy,
+    n_dbs: usize,
+    n_examples: usize,
+    rng: &mut StdRng,
+) -> Benchmark {
+    assert_eq!(dev.databases.len(), gdbs.len(), "gdbs must align with dev databases");
+    let n_dbs = n_dbs.min(dev.databases.len());
+    let mut pool: Vec<&Example> =
+        dev.examples.iter().filter(|e| e.db_index < n_dbs).collect();
+    if pool.len() > n_examples {
+        pool.shuffle(rng);
+        pool.truncate(n_examples);
+    }
+    let examples = pool
+        .into_iter()
+        .map(|e| {
+            let gdb = &gdbs[e.db_index];
+            let nl = render(&e.realization, gdb, policy, rng);
+            Example {
+                db_index: e.db_index,
+                nl,
+                sql: e.sql.clone(),
+                query: e.query.clone(),
+                realization: e.realization.clone(),
+                linking_noise: policy.linking_noise(),
+                hardness: e.hardness,
+            }
+        })
+        .collect();
+    Benchmark {
+        name: name.to_string(),
+        databases: dev.databases[..n_dbs].to_vec(),
+        examples,
+    }
+}

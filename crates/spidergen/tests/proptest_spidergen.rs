@@ -1,0 +1,131 @@
+//! Property tests of the benchmark generator: determinism, gold validity,
+//! variant-transform invariants, and rendering policies.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spidergen::dbgen::{instantiate, PerturbConfig};
+use spidergen::domains::all_domains;
+use spidergen::nlgen::{render, Policy};
+use spidergen::querygen::QueryGenerator;
+use spidergen::{generate_suite, split_stats, GenConfig};
+use sqlkit::Skeleton;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_seed_produces_a_valid_suite(seed in 0u64..500) {
+        let mut cfg = GenConfig::tiny(seed);
+        cfg.train_examples = 40;
+        cfg.dev_examples = 15;
+        cfg.train_dbs = 6;
+        cfg.dev_dbs = 3;
+        cfg.dk_dbs = 2;
+        cfg.dk_examples = 8;
+        cfg.realistic_examples = 8;
+        let suite = generate_suite(&cfg);
+        for split in [&suite.train, &suite.dev, &suite.dk, &suite.syn, &suite.realistic] {
+            for ex in &split.examples {
+                let q = sqlkit::parse(&ex.sql).expect("gold parses");
+                prop_assert_eq!(&q, &ex.query);
+                engine::execute(split.db_of(ex), &q).expect("gold executes");
+                prop_assert_eq!(sqlkit::hardness(&q), ex.hardness);
+                prop_assert!(!ex.nl.is_empty());
+                prop_assert!(ex.nl.ends_with('?'));
+            }
+        }
+        let stats = split_stats(&suite.train);
+        prop_assert_eq!(stats.queries, 40);
+        prop_assert_eq!(stats.databases, 6);
+        prop_assert!(stats.avg_nl_len > 10.0);
+    }
+
+    #[test]
+    fn query_generation_is_seed_deterministic(seed in 0u64..500) {
+        let d = &all_domains()[seed as usize % all_domains().len()];
+        let gdb = instantiate(d, "x", &mut StdRng::seed_from_u64(seed), PerturbConfig::default());
+        let g = QueryGenerator::new(&gdb);
+        let a: Vec<String> = (0..8)
+            .filter_map(|i| {
+                g.generate(&mut StdRng::seed_from_u64(seed * 100 + i)).map(|(q, _)| q.to_string())
+            })
+            .collect();
+        let b: Vec<String> = (0..8)
+            .filter_map(|i| {
+                g.generate(&mut StdRng::seed_from_u64(seed * 100 + i)).map(|(q, _)| q.to_string())
+            })
+            .collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rendering_policies_never_panic_and_stay_nonempty(seed in 0u64..200) {
+        let d = &all_domains()[seed as usize % all_domains().len()];
+        let gdb = instantiate(d, "x", &mut StdRng::seed_from_u64(seed), PerturbConfig::default());
+        let g = QueryGenerator::new(&gdb);
+        let mut rng = StdRng::seed_from_u64(seed + 1);
+        for _ in 0..6 {
+            if let Some((_, realization)) = g.generate(&mut rng) {
+                for policy in [Policy::Plain, Policy::Syn, Policy::Dk, Policy::Realistic] {
+                    let s = render(&realization, &gdb, policy, &mut rng);
+                    prop_assert!(s.len() > 5, "empty rendering under {policy:?}");
+                    prop_assert!(s.ends_with('?'));
+                    // Capitalized first character.
+                    prop_assert!(s.chars().next().unwrap().is_uppercase()
+                        || !s.chars().next().unwrap().is_alphabetic());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn variants_preserve_queries_and_database_prefixes() {
+    let suite = generate_suite(&GenConfig::tiny(31));
+    // DK keeps a prefix of dev databases and only examples over them.
+    assert!(suite.dk.databases.len() < suite.dev.databases.len());
+    for (a, b) in suite.dk.databases.iter().zip(&suite.dev.databases) {
+        assert_eq!(a.schema.db_id, b.schema.db_id);
+    }
+    for ex in &suite.dk.examples {
+        assert!(ex.db_index < suite.dk.databases.len());
+        // The gold query exists verbatim in dev.
+        assert!(
+            suite.dev.examples.iter().any(|d| d.sql == ex.sql),
+            "DK example not derived from dev: {}",
+            ex.sql
+        );
+    }
+}
+
+#[test]
+fn train_skeleton_distribution_covers_compound_shapes() {
+    let suite = generate_suite(&GenConfig::tiny(67));
+    let mut has_except = false;
+    let mut has_group = false;
+    let mut has_order_limit = false;
+    let mut has_subquery = false;
+    for ex in &suite.train.examples {
+        let text = Skeleton::from_query(&ex.query).to_string();
+        has_except |= text.contains("EXCEPT") || text.contains("INTERSECT") || text.contains("UNION");
+        has_group |= text.contains("GROUP BY");
+        has_order_limit |= text.contains("ORDER BY") && text.contains("LIMIT");
+        has_subquery |= text.contains("( SELECT");
+    }
+    assert!(has_except, "no set-operation skeletons in train");
+    assert!(has_group, "no GROUP BY skeletons in train");
+    assert!(has_order_limit, "no ORDER BY ... LIMIT skeletons in train");
+    assert!(has_subquery, "no nested subquery skeletons in train");
+}
+
+#[test]
+fn perturbation_strength_zero_reproduces_templates() {
+    let d = &all_domains()[0];
+    let cfg = PerturbConfig { drop_optional: 0.0, rename_column: 0.0 };
+    let g = instantiate(d, "x", &mut StdRng::seed_from_u64(1), cfg);
+    for (tt, st) in d.tables.iter().zip(&g.database.schema.tables) {
+        assert_eq!(tt.name, st.name);
+        assert_eq!(tt.columns.len(), st.columns.len());
+    }
+}

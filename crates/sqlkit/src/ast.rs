@@ -1,0 +1,661 @@
+//! Abstract syntax tree for the Spider SQL subset.
+//!
+//! The grammar follows Spider's evaluation grammar: single-level `SELECT` cores
+//! composed with `INTERSECT`/`UNION`/`EXCEPT`, equi-joins, conjunctive/disjunctive
+//! predicates with optional nested subqueries, aggregates, `GROUP BY`/`HAVING`,
+//! `ORDER BY`/`LIMIT`. A few deliberately-illegal shapes are representable (unknown
+//! function calls, multi-argument aggregates) so that hallucinated SQL from the LLM
+//! simulator can be parsed and then repaired by the Database Adaption module.
+
+use serde::{Deserialize, Serialize};
+
+/// Set operator combining two query blocks (the paper's `<IUE>` class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SetOp {
+    /// `INTERSECT`
+    Intersect,
+    /// `UNION`
+    Union,
+    /// `EXCEPT`
+    Except,
+}
+
+impl SetOp {
+    /// SQL keyword for this operator.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            SetOp::Intersect => "INTERSECT",
+            SetOp::Union => "UNION",
+            SetOp::Except => "EXCEPT",
+        }
+    }
+}
+
+/// Aggregate functions (the paper's `<AGG>` class, Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// `COUNT`
+    Count,
+    /// `MAX`
+    Max,
+    /// `MIN`
+    Min,
+    /// `SUM`
+    Sum,
+    /// `AVG`
+    Avg,
+}
+
+impl AggFunc {
+    /// SQL keyword for this function.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Max => "MAX",
+            AggFunc::Min => "MIN",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+        }
+    }
+}
+
+/// Arithmetic operators between value units (the paper's `<OP>` class, Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl ArithOp {
+    /// SQL symbol for this operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        }
+    }
+}
+
+/// Comparison operators (the paper's `<CMP>` class, Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=` (also lexes `<>`)
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `LIKE`
+    Like,
+    /// `NOT LIKE`
+    NotLike,
+    /// `IN`
+    In,
+    /// `NOT IN`
+    NotIn,
+    /// `BETWEEN _ AND _`
+    Between,
+}
+
+impl CmpOp {
+    /// SQL text for this operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Like => "LIKE",
+            CmpOp::NotLike => "NOT LIKE",
+            CmpOp::In => "IN",
+            CmpOp::NotIn => "NOT IN",
+            CmpOp::Between => "BETWEEN",
+        }
+    }
+
+    /// The negation-free counterpart used for canonical comparisons.
+    pub fn negated(self) -> Option<CmpOp> {
+        match self {
+            CmpOp::Like => Some(CmpOp::NotLike),
+            CmpOp::NotLike => Some(CmpOp::Like),
+            CmpOp::In => Some(CmpOp::NotIn),
+            CmpOp::NotIn => Some(CmpOp::In),
+            CmpOp::Eq => Some(CmpOp::Ne),
+            CmpOp::Ne => Some(CmpOp::Eq),
+            _ => None,
+        }
+    }
+}
+
+/// Literal constant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Literal {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `NULL`
+    Null,
+}
+
+impl Eq for Literal {}
+
+impl std::hash::Hash for Literal {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Literal::Int(i) => {
+                0u8.hash(state);
+                i.hash(state);
+            }
+            Literal::Float(f) => {
+                1u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Literal::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+            Literal::Null => 3u8.hash(state),
+        }
+    }
+}
+
+/// A possibly table-qualified column reference as written in SQL
+/// (`T1.country`, `country`). Qualifiers may be aliases; resolution to the
+/// schema happens in the engine / canonicalizer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ColumnRef {
+    /// Optional table name or alias qualifier.
+    pub table: Option<String>,
+    /// Column identifier.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Unqualified reference.
+    pub fn bare(column: impl Into<String>) -> Self {
+        ColumnRef { table: None, column: column.into() }
+    }
+
+    /// Qualified reference.
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef { table: Some(table.into()), column: column.into() }
+    }
+}
+
+/// A scalar value expression: column, `*`, literal, arithmetic, or a function call
+/// (only hallucinated SQL uses non-aggregate functions; the engine rejects them).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ValUnit {
+    /// Plain column reference.
+    Column(ColumnRef),
+    /// `*` (only valid inside `COUNT(*)` or as the sole select item).
+    Star,
+    /// Constant literal.
+    Literal(Literal),
+    /// Binary arithmetic between two value units.
+    Arith {
+        /// Operator.
+        op: ArithOp,
+        /// Left operand.
+        left: Box<ValUnit>,
+        /// Right operand.
+        right: Box<ValUnit>,
+    },
+    /// Non-aggregate function call (e.g. a hallucinated `CONCAT(a, b)`).
+    Func {
+        /// Function name, upper-cased by the parser.
+        name: String,
+        /// Arguments.
+        args: Vec<ValUnit>,
+    },
+}
+
+impl ValUnit {
+    /// All column references inside this unit, in syntactic order.
+    pub fn columns(&self) -> Vec<&ColumnRef> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a ColumnRef>) {
+        match self {
+            ValUnit::Column(c) => out.push(c),
+            ValUnit::Arith { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            ValUnit::Func { args, .. } => {
+                for a in args {
+                    a.collect_columns(out);
+                }
+            }
+            ValUnit::Star | ValUnit::Literal(_) => {}
+        }
+    }
+}
+
+/// An optionally-aggregated expression, e.g. `COUNT(DISTINCT country)`.
+///
+/// `extra_args` is non-empty only for hallucinated multi-argument aggregates such as
+/// `COUNT(DISTINCT series_name, content)` (Table 2 of the paper); the engine rejects
+/// those and the adaption module splits them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggExpr {
+    /// Aggregate function, or `None` for a bare value unit.
+    pub func: Option<AggFunc>,
+    /// `DISTINCT` inside the aggregate.
+    pub distinct: bool,
+    /// The (first) argument.
+    pub unit: ValUnit,
+    /// Extra illegal arguments for hallucinated aggregates.
+    pub extra_args: Vec<ValUnit>,
+}
+
+impl AggExpr {
+    /// A bare, unaggregated unit.
+    pub fn unit(unit: ValUnit) -> Self {
+        AggExpr { func: None, distinct: false, unit, extra_args: Vec::new() }
+    }
+
+    /// An aggregate over a unit.
+    pub fn agg(func: AggFunc, unit: ValUnit) -> Self {
+        AggExpr { func: Some(func), distinct: false, unit, extra_args: Vec::new() }
+    }
+
+    /// `COUNT(*)`.
+    pub fn count_star() -> Self {
+        AggExpr::agg(AggFunc::Count, ValUnit::Star)
+    }
+}
+
+/// A single item in the select list, with optional output alias.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectItem {
+    /// The expression.
+    pub expr: AggExpr,
+    /// `AS alias` on the output column, if present.
+    pub alias: Option<String>,
+}
+
+impl SelectItem {
+    /// Item without alias.
+    pub fn expr(expr: AggExpr) -> Self {
+        SelectItem { expr, alias: None }
+    }
+}
+
+/// A table source in `FROM`: a named table or a parenthesized subquery.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TableRef {
+    /// `name [AS alias]`
+    Named {
+        /// Table name.
+        name: String,
+        /// Optional alias (`AS T1`).
+        alias: Option<String>,
+    },
+    /// `(SELECT ...) [AS alias]`
+    Subquery {
+        /// The derived-table query.
+        query: Box<Query>,
+        /// Optional alias.
+        alias: Option<String>,
+    },
+}
+
+impl TableRef {
+    /// Named table without alias.
+    pub fn named(name: impl Into<String>) -> Self {
+        TableRef::Named { name: name.into(), alias: None }
+    }
+
+    /// Named table with alias.
+    pub fn aliased(name: impl Into<String>, alias: impl Into<String>) -> Self {
+        TableRef::Named { name: name.into(), alias: Some(alias.into()) }
+    }
+
+    /// The alias if present, else the table name for named tables.
+    pub fn binding_name(&self) -> Option<&str> {
+        match self {
+            TableRef::Named { name, alias } => Some(alias.as_deref().unwrap_or(name)),
+            TableRef::Subquery { alias, .. } => alias.as_deref(),
+        }
+    }
+}
+
+/// One `JOIN table ON a = b [AND c = d ...]` step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Join {
+    /// Joined table.
+    pub table: TableRef,
+    /// Equi-join conditions; empty models a hallucinated bare `JOIN` (cross join).
+    pub on: Vec<(ColumnRef, ColumnRef)>,
+}
+
+/// `FROM first [JOIN ...]*`
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FromClause {
+    /// First table source.
+    pub first: TableRef,
+    /// Subsequent joins in order.
+    pub joins: Vec<Join>,
+}
+
+impl FromClause {
+    /// Single-table from clause.
+    pub fn table(name: impl Into<String>) -> Self {
+        FromClause { first: TableRef::named(name), joins: Vec::new() }
+    }
+
+    /// All table refs: first plus joined, in order.
+    pub fn table_refs(&self) -> Vec<&TableRef> {
+        let mut v = vec![&self.first];
+        v.extend(self.joins.iter().map(|j| &j.table));
+        v
+    }
+
+    /// Number of table sources.
+    pub fn len(&self) -> usize {
+        1 + self.joins.len()
+    }
+
+    /// Always false: a `FROM` clause has at least one source.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Right-hand side of a predicate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Operand {
+    /// Constant.
+    Literal(Literal),
+    /// Column (column-vs-column comparisons).
+    Column(ColumnRef),
+    /// Scalar or row subquery.
+    Subquery(Box<Query>),
+}
+
+/// A single comparison predicate. `BETWEEN` carries its upper bound in `right2`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Predicate {
+    /// Left side (may be aggregated inside `HAVING`).
+    pub left: AggExpr,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub right: Operand,
+    /// Second operand for `BETWEEN`.
+    pub right2: Option<Operand>,
+}
+
+/// Boolean combination of predicates. Spider's grammar only nests via AND/OR chains,
+/// which we keep as a binary tree in syntactic order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Condition {
+    /// Conjunction.
+    And(Box<Condition>, Box<Condition>),
+    /// Disjunction.
+    Or(Box<Condition>, Box<Condition>),
+    /// Leaf predicate.
+    Pred(Predicate),
+}
+
+impl Condition {
+    /// Flatten to `(predicate, joined_by_or_with_previous)` pairs in syntactic order,
+    /// mirroring Spider's condition representation.
+    pub fn flatten(&self) -> Vec<(&Predicate, bool)> {
+        let mut out = Vec::new();
+        self.flatten_into(&mut out, false);
+        out
+    }
+
+    fn flatten_into<'a>(&'a self, out: &mut Vec<(&'a Predicate, bool)>, or_with_prev: bool) {
+        match self {
+            Condition::Pred(p) => out.push((p, or_with_prev)),
+            Condition::And(l, r) => {
+                l.flatten_into(out, or_with_prev);
+                r.flatten_into(out, false);
+            }
+            Condition::Or(l, r) => {
+                l.flatten_into(out, or_with_prev);
+                r.flatten_into(out, true);
+            }
+        }
+    }
+
+    /// Number of leaf predicates.
+    pub fn num_predicates(&self) -> usize {
+        match self {
+            Condition::Pred(_) => 1,
+            Condition::And(l, r) | Condition::Or(l, r) => l.num_predicates() + r.num_predicates(),
+        }
+    }
+
+    /// Number of `OR` connectives.
+    pub fn num_or(&self) -> usize {
+        match self {
+            Condition::Pred(_) => 0,
+            Condition::And(l, r) => l.num_or() + r.num_or(),
+            Condition::Or(l, r) => 1 + l.num_or() + r.num_or(),
+        }
+    }
+
+    /// Combine a list of predicates with `AND`.
+    pub fn all(mut preds: Vec<Condition>) -> Option<Condition> {
+        let first = if preds.is_empty() { return None } else { preds.remove(0) };
+        Some(preds.into_iter().fold(first, |acc, p| Condition::And(Box::new(acc), Box::new(p))))
+    }
+}
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OrderDir {
+    /// `ASC` (default).
+    Asc,
+    /// `DESC`.
+    Desc,
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderItem {
+    /// Sort expression (may be an aggregate, e.g. `ORDER BY COUNT(*)`).
+    pub expr: AggExpr,
+    /// Direction.
+    pub dir: OrderDir,
+}
+
+/// One `SELECT` block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectCore {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// Select list.
+    pub items: Vec<SelectItem>,
+    /// `FROM` clause.
+    pub from: FromClause,
+    /// `WHERE` condition.
+    pub where_clause: Option<Condition>,
+    /// `GROUP BY` keys.
+    pub group_by: Vec<ColumnRef>,
+    /// `HAVING` condition.
+    pub having: Option<Condition>,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<OrderItem>,
+    /// `LIMIT n`.
+    pub limit: Option<u64>,
+}
+
+impl SelectCore {
+    /// Minimal `SELECT <item> FROM <table>` core.
+    pub fn simple(item: AggExpr, table: impl Into<String>) -> Self {
+        SelectCore {
+            distinct: false,
+            items: vec![SelectItem::expr(item)],
+            from: FromClause::table(table),
+            where_clause: None,
+            group_by: Vec::new(),
+            having: None,
+            order_by: Vec::new(),
+            limit: None,
+        }
+    }
+}
+
+/// A full query: one core, optionally combined with another query by a set operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// The first select block.
+    pub core: SelectCore,
+    /// Optional `INTERSECT`/`UNION`/`EXCEPT` continuation.
+    pub compound: Option<(SetOp, Box<Query>)>,
+}
+
+impl Query {
+    /// Query consisting of a single core.
+    pub fn single(core: SelectCore) -> Self {
+        Query { core, compound: None }
+    }
+
+    /// Iterate over every select core in this query, including compound parts and
+    /// nested subqueries (in `FROM` and in predicates), depth-first.
+    pub fn all_cores(&self) -> Vec<&SelectCore> {
+        let mut out = Vec::new();
+        self.collect_cores(&mut out);
+        out
+    }
+
+    fn collect_cores<'a>(&'a self, out: &mut Vec<&'a SelectCore>) {
+        out.push(&self.core);
+        for tr in self.core.from.table_refs() {
+            if let TableRef::Subquery { query, .. } = tr {
+                query.collect_cores(out);
+            }
+        }
+        for cond in [&self.core.where_clause, &self.core.having].into_iter().flatten() {
+            for (p, _) in cond.flatten() {
+                for operand in [Some(&p.right), p.right2.as_ref()].into_iter().flatten() {
+                    if let Operand::Subquery(q) = operand {
+                        q.collect_cores(out);
+                    }
+                }
+            }
+        }
+        if let Some((_, q)) = &self.compound {
+            q.collect_cores(out);
+        }
+    }
+
+    /// Count of nested sub-selects (everything beyond the first core).
+    pub fn nesting_count(&self) -> usize {
+        self.all_cores().len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn condition_flatten_preserves_or_links() {
+        // a AND b OR c   parsed as Or(And(a,b), c) by standard precedence would be
+        // different; here we construct And(a, Or(b, c)).
+        let p = |col: &str| {
+            Condition::Pred(Predicate {
+                left: AggExpr::unit(ValUnit::Column(ColumnRef::bare(col))),
+                op: CmpOp::Eq,
+                right: Operand::Literal(Literal::Int(1)),
+                right2: None,
+            })
+        };
+        let cond = Condition::And(
+            Box::new(p("a")),
+            Box::new(Condition::Or(Box::new(p("b")), Box::new(p("c")))),
+        );
+        let flat = cond.flatten();
+        assert_eq!(flat.len(), 3);
+        assert!(!flat[0].1);
+        assert!(!flat[1].1);
+        assert!(flat[2].1);
+        assert_eq!(cond.num_predicates(), 3);
+        assert_eq!(cond.num_or(), 1);
+    }
+
+    #[test]
+    fn all_cores_walks_compound_and_subqueries() {
+        let inner = Query::single(SelectCore::simple(
+            AggExpr::unit(ValUnit::Column(ColumnRef::bare("channel"))),
+            "cartoon",
+        ));
+        let mut core = SelectCore::simple(
+            AggExpr::unit(ValUnit::Column(ColumnRef::bare("country"))),
+            "tv_channel",
+        );
+        core.where_clause = Some(Condition::Pred(Predicate {
+            left: AggExpr::unit(ValUnit::Column(ColumnRef::bare("id"))),
+            op: CmpOp::NotIn,
+            right: Operand::Subquery(Box::new(inner)),
+            right2: None,
+        }));
+        let rhs = Query::single(SelectCore::simple(
+            AggExpr::unit(ValUnit::Column(ColumnRef::bare("country"))),
+            "tv_channel",
+        ));
+        let q = Query { core, compound: Some((SetOp::Except, Box::new(rhs))) };
+        assert_eq!(q.all_cores().len(), 3);
+        assert_eq!(q.nesting_count(), 2);
+    }
+
+    #[test]
+    fn condition_all_builds_conjunction() {
+        let p = Condition::Pred(Predicate {
+            left: AggExpr::unit(ValUnit::Star),
+            op: CmpOp::Eq,
+            right: Operand::Literal(Literal::Null),
+            right2: None,
+        });
+        assert!(Condition::all(vec![]).is_none());
+        assert_eq!(Condition::all(vec![p.clone()]).unwrap().num_predicates(), 1);
+        assert_eq!(Condition::all(vec![p.clone(), p.clone(), p]).unwrap().num_predicates(), 3);
+    }
+
+    #[test]
+    fn valunit_columns_walks_arith_and_func() {
+        let v = ValUnit::Arith {
+            op: ArithOp::Sub,
+            left: Box::new(ValUnit::Column(ColumnRef::bare("a"))),
+            right: Box::new(ValUnit::Func {
+                name: "CONCAT".into(),
+                args: vec![
+                    ValUnit::Column(ColumnRef::qualified("t", "b")),
+                    ValUnit::Literal(Literal::Str(" ".into())),
+                ],
+            }),
+        };
+        let cols = v.columns();
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0].column, "a");
+        assert_eq!(cols[1].column, "b");
+    }
+}

@@ -1,0 +1,420 @@
+//! Canonicalization of queries for Exact-Set Match (EM) comparison.
+//!
+//! Spider's official EM metric compares SQL at the component level: each clause is
+//! compared as a set, table aliases are resolved, identifier case is ignored, and
+//! constant values are masked. Two queries are an exact-set match iff their
+//! [`CanonQuery`] forms are equal.
+
+use crate::ast::*;
+use crate::schema::Schema;
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Canonical column: `(table, column)` lower-cased, aliases resolved. A column whose
+/// table could not be resolved keeps an empty table name.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct CanonCol {
+    /// Resolved table name (lower-case), or empty when unresolvable.
+    pub table: String,
+    /// Column name (lower-case).
+    pub column: String,
+}
+
+/// Canonical value unit with literals masked.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum CanonUnit {
+    /// Column reference.
+    Col(CanonCol),
+    /// `*`
+    Star,
+    /// Any literal (masked).
+    Value,
+    /// Arithmetic combination.
+    Arith(ArithOp, Box<CanonUnit>, Box<CanonUnit>),
+    /// Function call (name kept so hallucinated functions never EM-match).
+    Func(String, Vec<CanonUnit>),
+}
+
+/// Canonical aggregated expression.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct CanonAgg {
+    /// Aggregate function.
+    pub func: Option<AggFunc>,
+    /// `DISTINCT` inside the aggregate.
+    pub distinct: bool,
+    /// Argument.
+    pub unit: CanonUnit,
+}
+
+/// Canonical predicate operand.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum CanonOperand {
+    /// Any literal (masked).
+    Value,
+    /// Column.
+    Col(CanonCol),
+    /// Nested subquery, canonicalized recursively.
+    Subquery(Box<CanonQuery>),
+}
+
+/// Canonical predicate. `BETWEEN` bounds are masked like all values.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub struct CanonPred {
+    /// Left expression.
+    pub left: CanonAgg,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub right: CanonOperand,
+}
+
+/// Canonical condition: a multiset of predicates plus the number of `OR` connectives
+/// (Spider compares condition units as sets and the and/or shape separately).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default, Serialize)]
+pub struct CanonCond {
+    /// Predicate multiset.
+    pub preds: BTreeMap<CanonPred, usize>,
+    /// Number of OR connectives.
+    pub num_or: usize,
+}
+
+/// Canonical form of a full query. Equality of two `CanonQuery` values is the EM
+/// verdict.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub struct CanonQuery {
+    /// `SELECT DISTINCT` flag.
+    pub distinct: bool,
+    /// Select list as a multiset (Spider treats it as unordered).
+    pub select: BTreeMap<CanonAgg, usize>,
+    /// Tables in `FROM` (named tables only) as a set.
+    pub from_tables: BTreeSet<String>,
+    /// Derived tables in `FROM`, canonicalized.
+    pub from_subqueries: Vec<CanonQuery>,
+    /// Join conditions as a set of unordered column pairs.
+    pub join_conds: BTreeSet<(CanonCol, CanonCol)>,
+    /// `WHERE`.
+    pub where_cond: CanonCond,
+    /// `GROUP BY` keys as a set.
+    pub group_by: BTreeSet<CanonCol>,
+    /// `HAVING`.
+    pub having: CanonCond,
+    /// `ORDER BY` sequence (order matters for EM).
+    pub order_by: Vec<(CanonAgg, OrderDir)>,
+    /// Whether a LIMIT is present (the count itself is a value, masked).
+    pub has_limit: bool,
+    /// Set-operator continuation.
+    pub compound: Option<(SetOp, Box<CanonQuery>)>,
+}
+
+/// Compute the canonical form of `q` against `schema`.
+pub fn canonicalize(q: &Query, schema: &Schema) -> CanonQuery {
+    canon_query(q, schema)
+}
+
+/// Exact-set match: do the two queries have identical canonical forms?
+pub fn exact_set_match(a: &Query, b: &Query, schema: &Schema) -> bool {
+    canonicalize(a, schema) == canonicalize(b, schema)
+}
+
+/// Per-core name scope: alias -> real table name (lower-case).
+struct Scope {
+    bindings: Vec<(String, String)>, // (binding name lower, table name lower)
+    tables: Vec<String>,             // table names in FROM, lower
+}
+
+impl Scope {
+    fn of_core(core: &SelectCore) -> Scope {
+        let mut bindings = Vec::new();
+        let mut tables = Vec::new();
+        for tr in core.from.table_refs() {
+            if let TableRef::Named { name, alias } = tr {
+                let name_l = name.to_ascii_lowercase();
+                if let Some(a) = alias {
+                    bindings.push((a.to_ascii_lowercase(), name_l.clone()));
+                }
+                bindings.push((name_l.clone(), name_l.clone()));
+                tables.push(name_l);
+            }
+        }
+        Scope { bindings, tables }
+    }
+
+    fn resolve(&self, c: &ColumnRef, schema: &Schema) -> CanonCol {
+        let column = c.column.to_ascii_lowercase();
+        if let Some(t) = &c.table {
+            let t_l = t.to_ascii_lowercase();
+            let real = self
+                .bindings
+                .iter()
+                .find(|(b, _)| *b == t_l)
+                .map(|(_, r)| r.clone())
+                .unwrap_or(t_l);
+            return CanonCol { table: real, column };
+        }
+        // Unqualified: find the FROM table containing this column.
+        for t in &self.tables {
+            if let Some(ti) = schema.table_index(t) {
+                if schema.tables[ti].column_index(&column).is_some() {
+                    return CanonCol { table: t.clone(), column };
+                }
+            }
+        }
+        CanonCol { table: String::new(), column }
+    }
+}
+
+fn canon_query(q: &Query, schema: &Schema) -> CanonQuery {
+    let core = &q.core;
+    let scope = Scope::of_core(core);
+
+    let mut select: BTreeMap<CanonAgg, usize> = BTreeMap::new();
+    for item in &core.items {
+        *select.entry(canon_agg(&item.expr, &scope, schema)).or_insert(0) += 1;
+    }
+
+    let mut from_tables = BTreeSet::new();
+    let mut from_subqueries = Vec::new();
+    for tr in core.from.table_refs() {
+        match tr {
+            TableRef::Named { name, .. } => {
+                from_tables.insert(name.to_ascii_lowercase());
+            }
+            TableRef::Subquery { query, .. } => {
+                from_subqueries.push(canon_query(query, schema));
+            }
+        }
+    }
+
+    let mut join_conds = BTreeSet::new();
+    for j in &core.from.joins {
+        for (l, r) in &j.on {
+            let a = scope.resolve(l, schema);
+            let b = scope.resolve(r, schema);
+            let pair = if a <= b { (a, b) } else { (b, a) };
+            join_conds.insert(pair);
+        }
+    }
+
+    CanonQuery {
+        distinct: core.distinct,
+        select,
+        from_tables,
+        from_subqueries,
+        join_conds,
+        where_cond: canon_cond(core.where_clause.as_ref(), &scope, schema),
+        group_by: core.group_by.iter().map(|g| scope.resolve(g, schema)).collect(),
+        having: canon_cond(core.having.as_ref(), &scope, schema),
+        order_by: core
+            .order_by
+            .iter()
+            .map(|o| (canon_agg(&o.expr, &scope, schema), o.dir))
+            .collect(),
+        has_limit: core.limit.is_some(),
+        compound: q
+            .compound
+            .as_ref()
+            .map(|(op, rhs)| (*op, Box::new(canon_query(rhs, schema)))),
+    }
+}
+
+fn canon_cond(c: Option<&Condition>, scope: &Scope, schema: &Schema) -> CanonCond {
+    let mut out = CanonCond::default();
+    let Some(c) = c else { return out };
+    out.num_or = c.num_or();
+    for (p, _) in c.flatten() {
+        let pred = CanonPred {
+            left: canon_agg(&p.left, scope, schema),
+            op: p.op,
+            right: canon_operand(&p.right, scope, schema),
+        };
+        *out.preds.entry(pred).or_insert(0) += 1;
+    }
+    out
+}
+
+fn canon_operand(o: &Operand, scope: &Scope, schema: &Schema) -> CanonOperand {
+    match o {
+        Operand::Literal(_) => CanonOperand::Value,
+        Operand::Column(c) => CanonOperand::Col(scope.resolve(c, schema)),
+        Operand::Subquery(q) => CanonOperand::Subquery(Box::new(canon_query(q, schema))),
+    }
+}
+
+fn canon_agg(a: &AggExpr, scope: &Scope, schema: &Schema) -> CanonAgg {
+    // Hallucinated extra aggregate arguments keep the expression from ever matching
+    // a legal one: fold them into a Func wrapper.
+    let unit = if a.extra_args.is_empty() {
+        canon_unit(&a.unit, scope, schema)
+    } else {
+        let mut args = vec![canon_unit(&a.unit, scope, schema)];
+        args.extend(a.extra_args.iter().map(|e| canon_unit(e, scope, schema)));
+        CanonUnit::Func("<multi-arg>".into(), args)
+    };
+    CanonAgg { func: a.func, distinct: a.distinct, unit }
+}
+
+fn canon_unit(v: &ValUnit, scope: &Scope, schema: &Schema) -> CanonUnit {
+    match v {
+        ValUnit::Column(c) => CanonUnit::Col(scope.resolve(c, schema)),
+        ValUnit::Star => CanonUnit::Star,
+        ValUnit::Literal(_) => CanonUnit::Value,
+        ValUnit::Arith { op, left, right } => CanonUnit::Arith(
+            *op,
+            Box::new(canon_unit(left, scope, schema)),
+            Box::new(canon_unit(right, scope, schema)),
+        ),
+        ValUnit::Func { name, args } => CanonUnit::Func(
+            name.clone(),
+            args.iter().map(|a| canon_unit(a, scope, schema)).collect(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::schema::{Column, ColumnId, ColumnType, ForeignKey, Table};
+
+    fn schema() -> Schema {
+        let mut s = Schema::new("tvdb");
+        s.tables.push(Table {
+            name: "tv_channel".into(),
+            display: "tv channel".into(),
+            columns: vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("country", ColumnType::Text),
+            ],
+            primary_key: Some(0),
+        });
+        s.tables.push(Table {
+            name: "cartoon".into(),
+            display: "cartoon".into(),
+            columns: vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("written_by", ColumnType::Text),
+                Column::new("channel", ColumnType::Int),
+            ],
+            primary_key: Some(0),
+        });
+        s.foreign_keys.push(ForeignKey {
+            from: ColumnId { table: 1, column: 2 },
+            to: ColumnId { table: 0, column: 0 },
+        });
+        s
+    }
+
+    fn em(a: &str, b: &str) -> bool {
+        let s = schema();
+        exact_set_match(&parse(a).unwrap(), &parse(b).unwrap(), &s)
+    }
+
+    #[test]
+    fn alias_and_case_insensitive_match() {
+        assert!(em(
+            "SELECT T1.country FROM tv_channel AS T1 JOIN cartoon AS T2 ON T1.id = T2.channel",
+            "SELECT TV_CHANNEL.Country FROM TV_CHANNEL JOIN CARTOON ON tv_channel.ID = \
+             cartoon.Channel",
+        ));
+    }
+
+    #[test]
+    fn values_are_masked() {
+        assert!(em(
+            "SELECT country FROM tv_channel WHERE id = 5",
+            "SELECT country FROM tv_channel WHERE id = 99",
+        ));
+        // ...but operators are not.
+        assert!(!em(
+            "SELECT country FROM tv_channel WHERE id = 5",
+            "SELECT country FROM tv_channel WHERE id > 5",
+        ));
+    }
+
+    #[test]
+    fn where_conjunct_order_is_ignored() {
+        assert!(em(
+            "SELECT country FROM tv_channel WHERE id = 1 AND country = 'US'",
+            "SELECT country FROM tv_channel WHERE country = 'x' AND id = 2",
+        ));
+        // AND vs OR differ.
+        assert!(!em(
+            "SELECT country FROM tv_channel WHERE id = 1 AND country = 'US'",
+            "SELECT country FROM tv_channel WHERE id = 1 OR country = 'US'",
+        ));
+    }
+
+    #[test]
+    fn select_order_is_ignored_but_multiplicity_counts() {
+        assert!(em(
+            "SELECT id, country FROM tv_channel",
+            "SELECT country, id FROM tv_channel",
+        ));
+        assert!(!em("SELECT id FROM tv_channel", "SELECT id, id FROM tv_channel"));
+    }
+
+    #[test]
+    fn order_by_sequence_matters() {
+        assert!(!em(
+            "SELECT id FROM tv_channel ORDER BY id ASC, country DESC",
+            "SELECT id FROM tv_channel ORDER BY country DESC, id ASC",
+        ));
+        assert!(!em(
+            "SELECT id FROM tv_channel ORDER BY id ASC",
+            "SELECT id FROM tv_channel ORDER BY id DESC",
+        ));
+    }
+
+    #[test]
+    fn limit_presence_matters_value_does_not() {
+        assert!(em(
+            "SELECT id FROM tv_channel LIMIT 1",
+            "SELECT id FROM tv_channel LIMIT 3",
+        ));
+        assert!(!em("SELECT id FROM tv_channel LIMIT 1", "SELECT id FROM tv_channel"));
+    }
+
+    #[test]
+    fn except_vs_not_in_do_not_match() {
+        assert!(!em(
+            "SELECT country FROM tv_channel EXCEPT SELECT T1.country FROM tv_channel AS T1 JOIN \
+             cartoon AS T2 ON T1.id = T2.channel WHERE T2.written_by = 'Todd Casey'",
+            "SELECT country FROM tv_channel WHERE id NOT IN (SELECT channel FROM cartoon WHERE \
+             written_by = 'Todd Casey')",
+        ));
+    }
+
+    #[test]
+    fn join_condition_direction_is_ignored() {
+        assert!(em(
+            "SELECT country FROM tv_channel JOIN cartoon ON tv_channel.id = cartoon.channel",
+            "SELECT country FROM tv_channel JOIN cartoon ON cartoon.channel = tv_channel.id",
+        ));
+    }
+
+    #[test]
+    fn unqualified_columns_resolve_via_schema() {
+        assert!(em(
+            "SELECT written_by FROM cartoon JOIN tv_channel ON cartoon.channel = tv_channel.id \
+             WHERE country = 'US'",
+            "SELECT cartoon.written_by FROM cartoon JOIN tv_channel ON cartoon.channel = \
+             tv_channel.id WHERE tv_channel.country = 'US'",
+        ));
+    }
+
+    #[test]
+    fn distinct_flag_matters() {
+        assert!(!em("SELECT DISTINCT id FROM cartoon", "SELECT id FROM cartoon"));
+        assert!(!em("SELECT COUNT(DISTINCT id) FROM cartoon", "SELECT COUNT(id) FROM cartoon"));
+    }
+
+    #[test]
+    fn subqueries_canonicalize_recursively() {
+        assert!(em(
+            "SELECT country FROM tv_channel WHERE id IN (SELECT channel FROM cartoon WHERE \
+             written_by = 'A')",
+            "SELECT country FROM tv_channel WHERE id IN (SELECT cartoon.channel FROM cartoon \
+             WHERE cartoon.written_by = 'B')",
+        ));
+    }
+}

@@ -1,0 +1,29 @@
+//! Error type shared by the lexer and parser.
+
+use std::fmt;
+
+/// A lexing or parsing failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+}
+
+impl ParseError {
+    /// Create an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ParseError { message: message.into() }
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,200 @@
+//! Spider's official SQL hardness classification.
+//!
+//! The evaluation in the paper's Fig. 9 buckets the validation set by the hardness
+//! levels computed by Spider's official evaluation script (`evaluation.py`). This is
+//! a faithful port of its `eval_hardness` logic to our AST.
+
+use crate::ast::*;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Spider hardness level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Hardness {
+    /// Single-clause queries.
+    Easy,
+    /// A couple of components.
+    Medium,
+    /// Several components or one nesting.
+    Hard,
+    /// Heavy composition and/or nesting.
+    Extra,
+}
+
+impl Hardness {
+    /// All levels in ascending difficulty.
+    pub const ALL: [Hardness; 4] = [Hardness::Easy, Hardness::Medium, Hardness::Hard, Hardness::Extra];
+
+    /// Display name used in tables/figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hardness::Easy => "easy",
+            Hardness::Medium => "medium",
+            Hardness::Hard => "hard",
+            Hardness::Extra => "extra",
+        }
+    }
+}
+
+impl fmt::Display for Hardness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Component-1 count of the official script: presence of WHERE, GROUP BY, ORDER BY,
+/// LIMIT, JOIN, plus each OR and each LIKE.
+fn count_component1(core: &SelectCore) -> usize {
+    let mut count = 0;
+    if core.where_clause.is_some() {
+        count += 1;
+    }
+    if !core.group_by.is_empty() {
+        count += 1;
+    }
+    if !core.order_by.is_empty() {
+        count += 1;
+    }
+    if core.limit.is_some() {
+        count += 1;
+    }
+    if core.from.len() > 1 {
+        count += 1;
+    }
+    for cond in [&core.where_clause, &core.having].into_iter().flatten() {
+        count += cond.num_or();
+        count += cond
+            .flatten()
+            .iter()
+            .filter(|(p, _)| matches!(p.op, CmpOp::Like | CmpOp::NotLike))
+            .count();
+    }
+    count
+}
+
+/// Component-2 count: number of nested query blocks (set operators and subqueries).
+fn count_component2(q: &Query) -> usize {
+    q.nesting_count()
+}
+
+/// "Others" count: >1 aggregation, >1 select column, >1 where condition,
+/// >1 group-by key each add one.
+fn count_others(core: &SelectCore) -> usize {
+    let mut count = 0;
+    let mut agg_count = core.items.iter().filter(|i| i.expr.func.is_some()).count();
+    agg_count += core.order_by.iter().filter(|o| o.expr.func.is_some()).count();
+    for cond in [&core.where_clause, &core.having].into_iter().flatten() {
+        agg_count += cond.flatten().iter().filter(|(p, _)| p.left.func.is_some()).count();
+    }
+    if agg_count > 1 {
+        count += 1;
+    }
+    if core.items.len() > 1 {
+        count += 1;
+    }
+    if core.where_clause.as_ref().map_or(0, |c| c.num_predicates()) > 1 {
+        count += 1;
+    }
+    if core.group_by.len() > 1 {
+        count += 1;
+    }
+    count
+}
+
+/// Classify a query into Spider's four hardness levels.
+pub fn hardness(q: &Query) -> Hardness {
+    let comp1 = count_component1(&q.core);
+    let comp2 = count_component2(q);
+    let others = count_others(&q.core);
+
+    if comp1 <= 1 && others == 0 && comp2 == 0 {
+        Hardness::Easy
+    } else if (others <= 2 && comp1 <= 1 && comp2 == 0)
+        || (comp1 <= 2 && others < 2 && comp2 == 0)
+    {
+        Hardness::Medium
+    } else if (others > 2 && comp1 <= 2 && comp2 == 0)
+        || (2 < comp1 && comp1 <= 3 && others <= 2 && comp2 == 0)
+        || (comp1 <= 1 && others == 0 && comp2 <= 1)
+    {
+        Hardness::Hard
+    } else {
+        Hardness::Extra
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn h(sql: &str) -> Hardness {
+        hardness(&parse(sql).unwrap())
+    }
+
+    #[test]
+    fn easy_queries() {
+        assert_eq!(h("SELECT country FROM tv_channel"), Hardness::Easy);
+        assert_eq!(h("SELECT COUNT(*) FROM cartoon"), Hardness::Easy);
+        assert_eq!(h("SELECT name FROM people WHERE age > 30"), Hardness::Easy);
+    }
+
+    #[test]
+    fn medium_queries() {
+        assert_eq!(h("SELECT name, age FROM people WHERE age > 30"), Hardness::Medium);
+        assert_eq!(
+            h("SELECT T1.a FROM t AS T1 JOIN u AS T2 ON T1.x = T2.y WHERE T2.b = 1"),
+            Hardness::Medium
+        );
+        assert_eq!(h("SELECT a FROM t GROUP BY a ORDER BY a ASC"), Hardness::Medium);
+    }
+
+    #[test]
+    fn hard_queries() {
+        assert_eq!(
+            h("SELECT a FROM t WHERE x = 1 AND y = 2 GROUP BY a HAVING COUNT(*) > 1 ORDER BY a \
+               ASC"),
+            Hardness::Hard
+        );
+        // One nesting, otherwise easy.
+        assert_eq!(
+            h("SELECT a FROM t WHERE b IN (SELECT c FROM u)"),
+            Hardness::Hard
+        );
+        // The paper's Fig. 1 gold query: one nesting (EXCEPT), clean outer core —
+        // the official script rates this "hard" (comp1 <= 1, others == 0, comp2 <= 1).
+        assert_eq!(
+            h("SELECT country FROM tv_channel EXCEPT SELECT T1.country FROM tv_channel AS T1 \
+               JOIN cartoon AS T2 ON T1.id = T2.channel WHERE T2.written_by = 'Todd Casey'"),
+            Hardness::Hard
+        );
+    }
+
+    #[test]
+    fn extra_queries() {
+        // Nesting plus extra components on the outer core -> extra.
+        assert_eq!(
+            h("SELECT a FROM t WHERE b IN (SELECT c FROM u) AND d = 2"),
+            Hardness::Extra
+        );
+        assert_eq!(
+            h("SELECT a, COUNT(*) FROM t JOIN u ON t.x = u.y WHERE t.b > 1 GROUP BY a HAVING \
+               COUNT(*) > 2 ORDER BY COUNT(*) DESC LIMIT 5"),
+            Hardness::Extra
+        );
+    }
+
+    #[test]
+    fn like_and_or_count_toward_component1() {
+        assert_eq!(h("SELECT a FROM t WHERE b LIKE '%x%'"), Hardness::Medium);
+        // WHERE(1) + OR(1) = comp1 2, others: where preds > 1 -> 1 -> medium
+        assert_eq!(h("SELECT a FROM t WHERE b = 1 OR c = 2"), Hardness::Medium);
+    }
+
+    #[test]
+    fn hardness_is_stable_under_value_changes() {
+        let a = h("SELECT a FROM t WHERE b = 1");
+        let b = h("SELECT a FROM t WHERE b = 'long string value here'");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,45 @@
+//! # sqlkit
+//!
+//! SQL toolkit for the PURPLE reproduction: lexer, recursive-descent parser and AST
+//! for the Spider SQL subset, canonical pretty-printing, **SQL skeleton** extraction
+//! with the paper's four-level abstraction hierarchy (§II-C, §IV-C1), Exact-Set
+//! Match canonicalization, the official Spider hardness classifier, and the shared
+//! relational schema model.
+//!
+//! ```
+//! use sqlkit::{parse, Skeleton, Level};
+//!
+//! let q = parse("SELECT Country FROM TV_CHANNEL EXCEPT SELECT T1.Country FROM TV_CHANNEL \
+//!                AS T1 JOIN CARTOON AS T2 ON T1.id = T2.Channel WHERE T2.Written_by = 'X'")
+//!     .unwrap();
+//! let skel = Skeleton::from_query(&q);
+//! assert_eq!(
+//!     skel.to_string(),
+//!     "SELECT _ FROM _ EXCEPT SELECT _ FROM _ JOIN _ ON _ = _ WHERE _ = _"
+//! );
+//! // Clause level: SELECT FROM <IUE> SELECT FROM WHERE
+//! assert_eq!(skel.at_level(Level::Clause).len(), 6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod canon;
+pub mod error;
+pub mod hardness;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod schema;
+pub mod skeleton;
+
+pub use ast::{
+    AggExpr, AggFunc, ArithOp, CmpOp, ColumnRef, Condition, FromClause, Join, Literal, Operand,
+    OrderDir, OrderItem, Predicate, Query, SelectCore, SelectItem, SetOp, TableRef, ValUnit,
+};
+pub use canon::{canonicalize, exact_set_match, CanonQuery};
+pub use error::ParseError;
+pub use hardness::{hardness, Hardness};
+pub use parser::parse;
+pub use schema::{Column, ColumnId, ColumnType, ForeignKey, Schema, Table};
+pub use skeleton::{Level, SkelTok, Skeleton};

@@ -1,0 +1,711 @@
+//! Recursive-descent parser for the Spider SQL subset.
+//!
+//! Accepts everything the benchmark generator and the LLM simulator emit, including
+//! deliberately-invalid shapes the Database Adaption module must repair (unknown
+//! function calls, multi-argument aggregates, bare `JOIN` without `ON`). Join types
+//! `INNER`/`LEFT [OUTER] JOIN` are accepted and treated as inner joins, matching
+//! Spider's evaluation which only contains equi-inner-joins.
+
+use crate::ast::*;
+use crate::error::ParseError;
+use crate::lexer::{tokenize, Token};
+
+/// Parse a SQL string into a [`Query`].
+pub fn parse(sql: &str) -> Result<Query, ParseError> {
+    let toks = tokenize(sql)?;
+    let mut p = Parser { toks, pos: 0 };
+    let q = p.query()?;
+    if p.pos != p.toks.len() {
+        return Err(ParseError::new(format!(
+            "trailing tokens after query, starting with `{}`",
+            p.toks[p.pos]
+        )));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.toks.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Keyword(k)) if *k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Sym(t)) if *t == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(ParseError::new(format!("expected keyword {kw}, found {}", self.describe())))
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(ParseError::new(format!("expected `{s}`, found {}", self.describe())))
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self.peek() {
+            Some(t) => format!("`{t}`"),
+            None => "end of input".to_string(),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(ParseError::new(format!(
+                "expected identifier, found {}",
+                other.map(|t| format!("`{t}`")).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    // query := select_core (setop query)?
+    fn query(&mut self) -> Result<Query, ParseError> {
+        let core = self.select_core()?;
+        let compound = if self.eat_kw("INTERSECT") {
+            Some((SetOp::Intersect, Box::new(self.query()?)))
+        } else if self.eat_kw("UNION") {
+            // UNION ALL is treated as UNION: Spider's evaluation does not
+            // distinguish them, and the engine de-duplicates set operations.
+            self.eat_kw("ALL");
+            Some((SetOp::Union, Box::new(self.query()?)))
+        } else if self.eat_kw("EXCEPT") {
+            Some((SetOp::Except, Box::new(self.query()?)))
+        } else {
+            None
+        };
+        Ok(Query { core, compound })
+    }
+
+    fn select_core(&mut self) -> Result<SelectCore, ParseError> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut items = vec![self.select_item()?];
+        while self.eat_sym(",") {
+            items.push(self.select_item()?);
+        }
+        self.expect_kw("FROM")?;
+        let from = self.from_clause()?;
+        let where_clause = if self.eat_kw("WHERE") { Some(self.condition()?) } else { None };
+        let mut group_by = Vec::new();
+        let mut having = None;
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            group_by.push(self.column_ref()?);
+            while self.eat_sym(",") {
+                group_by.push(self.column_ref()?);
+            }
+            if self.eat_kw("HAVING") {
+                having = Some(self.condition()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            order_by.push(self.order_item()?);
+            while self.eat_sym(",") {
+                order_by.push(self.order_item()?);
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as u64),
+                other => {
+                    return Err(ParseError::new(format!(
+                        "expected non-negative integer after LIMIT, found {}",
+                        other.map(|t| format!("`{t}`")).unwrap_or_else(|| "end of input".into())
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(SelectCore { distinct, items, from, where_clause, group_by, having, order_by, limit })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        let expr = self.agg_expr()?;
+        let alias = if self.eat_kw("AS") { Some(self.ident()?) } else { None };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn order_item(&mut self) -> Result<OrderItem, ParseError> {
+        let expr = self.agg_expr()?;
+        let dir = if self.eat_kw("DESC") {
+            OrderDir::Desc
+        } else {
+            self.eat_kw("ASC");
+            OrderDir::Asc
+        };
+        Ok(OrderItem { expr, dir })
+    }
+
+    fn agg_keyword(&mut self) -> Option<AggFunc> {
+        let f = match self.peek() {
+            Some(Token::Keyword("COUNT")) => AggFunc::Count,
+            Some(Token::Keyword("MAX")) => AggFunc::Max,
+            Some(Token::Keyword("MIN")) => AggFunc::Min,
+            Some(Token::Keyword("SUM")) => AggFunc::Sum,
+            Some(Token::Keyword("AVG")) => AggFunc::Avg,
+            _ => return None,
+        };
+        // Only treat as an aggregate when followed by `(` — otherwise an LLM may have
+        // used e.g. `max` as a column identifier.
+        if matches!(self.peek2(), Some(Token::Sym("("))) {
+            self.pos += 1;
+            Some(f)
+        } else {
+            None
+        }
+    }
+
+    fn agg_expr(&mut self) -> Result<AggExpr, ParseError> {
+        if let Some(func) = self.agg_keyword() {
+            self.expect_sym("(")?;
+            let distinct = self.eat_kw("DISTINCT");
+            let unit = self.val_unit()?;
+            let mut extra_args = Vec::new();
+            while self.eat_sym(",") {
+                // Illegal multi-argument aggregate (Aggregation-Hallucination): keep
+                // it parseable so the adaption module can split it.
+                extra_args.push(self.val_unit()?);
+            }
+            self.expect_sym(")")?;
+            Ok(AggExpr { func: Some(func), distinct, unit, extra_args })
+        } else {
+            Ok(AggExpr::unit(self.val_unit()?))
+        }
+    }
+
+    // val_unit := primary ((+|-|*|/) primary)*   left-associative
+    fn val_unit(&mut self) -> Result<ValUnit, ParseError> {
+        let mut left = self.primary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Sym("+")) => ArithOp::Add,
+                Some(Token::Sym("-")) => ArithOp::Sub,
+                Some(Token::Sym("*")) => ArithOp::Mul,
+                Some(Token::Sym("/")) => ArithOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.primary()?;
+            left = ValUnit::Arith { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn primary(&mut self) -> Result<ValUnit, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Sym("*")) => {
+                self.pos += 1;
+                Ok(ValUnit::Star)
+            }
+            Some(Token::Sym("(")) => {
+                self.pos += 1;
+                let inner = self.val_unit()?;
+                self.expect_sym(")")?;
+                Ok(inner)
+            }
+            Some(Token::Int(n)) => {
+                self.pos += 1;
+                Ok(ValUnit::Literal(Literal::Int(n)))
+            }
+            Some(Token::Float(x)) => {
+                self.pos += 1;
+                Ok(ValUnit::Literal(Literal::Float(x)))
+            }
+            Some(Token::Sym("-")) => {
+                self.pos += 1;
+                match self.next() {
+                    Some(Token::Int(n)) => Ok(ValUnit::Literal(Literal::Int(-n))),
+                    Some(Token::Float(x)) => Ok(ValUnit::Literal(Literal::Float(-x))),
+                    _ => Err(ParseError::new("expected number after unary `-`")),
+                }
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(ValUnit::Literal(Literal::Str(s)))
+            }
+            Some(Token::Keyword("NULL")) => {
+                self.pos += 1;
+                Ok(ValUnit::Literal(Literal::Null))
+            }
+            Some(Token::Ident(name)) => {
+                self.pos += 1;
+                if self.eat_sym("(") {
+                    // Non-aggregate function call (Function-Hallucination).
+                    let mut args = Vec::new();
+                    if !self.eat_sym(")") {
+                        args.push(self.val_unit()?);
+                        while self.eat_sym(",") {
+                            args.push(self.val_unit()?);
+                        }
+                        self.expect_sym(")")?;
+                    }
+                    return Ok(ValUnit::Func { name: name.to_ascii_uppercase(), args });
+                }
+                if self.eat_sym(".") {
+                    if self.eat_sym("*") {
+                        // `T1.*` — treated as star (qualifier dropped, matching
+                        // Spider's evaluation which only sees `*` in COUNT).
+                        return Ok(ValUnit::Star);
+                    }
+                    let col = self.ident()?;
+                    return Ok(ValUnit::Column(ColumnRef::qualified(name, col)));
+                }
+                Ok(ValUnit::Column(ColumnRef::bare(name)))
+            }
+            other => Err(ParseError::new(format!(
+                "expected value expression, found {}",
+                other.map(|t| format!("`{t}`")).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef, ParseError> {
+        let first = self.ident()?;
+        if self.eat_sym(".") {
+            let col = self.ident()?;
+            Ok(ColumnRef::qualified(first, col))
+        } else {
+            Ok(ColumnRef::bare(first))
+        }
+    }
+
+    #[allow(clippy::wrong_self_convention)] // parses a FROM clause; not a conversion
+    fn from_clause(&mut self) -> Result<FromClause, ParseError> {
+        let first = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            // `, table` is an implicit cross join; `JOIN table [ON ...]` is explicit.
+            if self.eat_sym(",") {
+                let table = self.table_ref()?;
+                joins.push(Join { table, on: Vec::new() });
+                continue;
+            }
+            // INNER/LEFT [OUTER] prefixes.
+            let saved = self.pos;
+            self.eat_kw("INNER");
+            if self.eat_kw("LEFT") {
+                self.eat_kw("OUTER");
+            }
+            if !self.eat_kw("JOIN") {
+                self.pos = saved;
+                break;
+            }
+            let table = self.table_ref()?;
+            let mut on = Vec::new();
+            if self.eat_kw("ON") {
+                loop {
+                    let l = self.column_ref()?;
+                    self.expect_sym("=")?;
+                    let r = self.column_ref()?;
+                    on.push((l, r));
+                    if !self.eat_kw("AND") {
+                        break;
+                    }
+                }
+            }
+            joins.push(Join { table, on });
+        }
+        Ok(FromClause { first, joins })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        if matches!(self.peek(), Some(Token::Sym("(")))
+            && matches!(self.peek2(), Some(Token::Keyword("SELECT")))
+        {
+            self.pos += 1;
+            let q = self.query()?;
+            self.expect_sym(")")?;
+            let alias = self.table_alias()?;
+            return Ok(TableRef::Subquery { query: Box::new(q), alias });
+        }
+        let name = self.ident()?;
+        let alias = self.table_alias()?;
+        Ok(TableRef::Named { name, alias })
+    }
+
+    fn table_alias(&mut self) -> Result<Option<String>, ParseError> {
+        if self.eat_kw("AS") {
+            return Ok(Some(self.ident()?));
+        }
+        // Implicit alias: `FROM tv_channel t` — only when the next token is a lone
+        // identifier not followed by `.` (which would be a qualified column, i.e. we
+        // are already past the FROM list) and not itself a join/clause keyword.
+        if let (Some(Token::Ident(_)), next2) = (self.peek(), self.peek2()) {
+            if !matches!(next2, Some(Token::Sym("."))) && !matches!(next2, Some(Token::Sym("("))) {
+                if let Some(Token::Ident(a)) = self.next() {
+                    return Ok(Some(a));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    // condition := and_cond (OR and_cond)*
+    fn condition(&mut self) -> Result<Condition, ParseError> {
+        let mut left = self.and_condition()?;
+        while self.eat_kw("OR") {
+            let right = self.and_condition()?;
+            left = Condition::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_condition(&mut self) -> Result<Condition, ParseError> {
+        let mut left = self.cond_atom()?;
+        while self.eat_kw("AND") {
+            let right = self.cond_atom()?;
+            left = Condition::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn cond_atom(&mut self) -> Result<Condition, ParseError> {
+        // Parenthesized condition vs. parenthesized value: a `(` followed by SELECT is
+        // never valid at condition start in this subset, so `(` here means a grouped
+        // boolean expression unless the contents parse as a value comparison.
+        if matches!(self.peek(), Some(Token::Sym("(")))
+            && !matches!(self.peek2(), Some(Token::Keyword("SELECT")))
+        {
+            let saved = self.pos;
+            self.pos += 1;
+            if let Ok(inner) = self.condition() {
+                if self.eat_sym(")") {
+                    // Could still be the left side of a comparison only in exotic
+                    // cases we don't support; treat as a grouped condition.
+                    return Ok(inner);
+                }
+            }
+            self.pos = saved;
+        }
+        Ok(Condition::Pred(self.predicate()?))
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, ParseError> {
+        let left = self.agg_expr()?;
+        // IS [NOT] NULL normalizes to `= NULL` / `!= NULL`; the engine evaluates
+        // equality against NULL as the IS test (SQLite-style convenience).
+        if self.eat_kw("IS") {
+            let neg = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Predicate {
+                left,
+                op: if neg { CmpOp::Ne } else { CmpOp::Eq },
+                right: Operand::Literal(Literal::Null),
+                right2: None,
+            });
+        }
+        let negated = self.eat_kw("NOT");
+        let op = if self.eat_kw("IN") {
+            if negated {
+                CmpOp::NotIn
+            } else {
+                CmpOp::In
+            }
+        } else if self.eat_kw("LIKE") {
+            if negated {
+                CmpOp::NotLike
+            } else {
+                CmpOp::Like
+            }
+        } else if self.eat_kw("BETWEEN") {
+            if negated {
+                return Err(ParseError::new("NOT BETWEEN is not supported in this subset"));
+            }
+            CmpOp::Between
+        } else if negated {
+            return Err(ParseError::new("expected IN or LIKE after NOT"));
+        } else {
+            match self.next() {
+                Some(Token::Sym("=")) => CmpOp::Eq,
+                Some(Token::Sym("!=")) => CmpOp::Ne,
+                Some(Token::Sym("<")) => CmpOp::Lt,
+                Some(Token::Sym("<=")) => CmpOp::Le,
+                Some(Token::Sym(">")) => CmpOp::Gt,
+                Some(Token::Sym(">=")) => CmpOp::Ge,
+                other => {
+                    return Err(ParseError::new(format!(
+                        "expected comparison operator, found {}",
+                        other.map(|t| format!("`{t}`")).unwrap_or_else(|| "end of input".into())
+                    )))
+                }
+            }
+        };
+        if op == CmpOp::Between {
+            let lo = self.operand()?;
+            self.expect_kw("AND")?;
+            let hi = self.operand()?;
+            return Ok(Predicate { left, op, right: lo, right2: Some(hi) });
+        }
+        let right = self.operand()?;
+        Ok(Predicate { left, op, right, right2: None })
+    }
+
+    fn operand(&mut self) -> Result<Operand, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Sym("(")) => {
+                if matches!(self.peek2(), Some(Token::Keyword("SELECT"))) {
+                    self.pos += 1;
+                    let q = self.query()?;
+                    self.expect_sym(")")?;
+                    Ok(Operand::Subquery(Box::new(q)))
+                } else {
+                    // Parenthesized literal list for IN (v1, v2, ...) is not part of
+                    // Spider's grammar; reject with a clear message.
+                    Err(ParseError::new("expected subquery after `(`"))
+                }
+            }
+            Some(Token::Int(n)) => {
+                self.pos += 1;
+                Ok(Operand::Literal(Literal::Int(n)))
+            }
+            Some(Token::Float(x)) => {
+                self.pos += 1;
+                Ok(Operand::Literal(Literal::Float(x)))
+            }
+            Some(Token::Sym("-")) => {
+                self.pos += 1;
+                match self.next() {
+                    Some(Token::Int(n)) => Ok(Operand::Literal(Literal::Int(-n))),
+                    Some(Token::Float(x)) => Ok(Operand::Literal(Literal::Float(-x))),
+                    _ => Err(ParseError::new("expected number after unary `-`")),
+                }
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Operand::Literal(Literal::Str(s)))
+            }
+            Some(Token::Keyword("NULL")) => {
+                self.pos += 1;
+                Ok(Operand::Literal(Literal::Null))
+            }
+            Some(Token::Ident(_)) => Ok(Operand::Column(self.column_ref()?)),
+            other => Err(ParseError::new(format!(
+                "expected operand, found {}",
+                other.map(|t| format!("`{t}`")).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig1_gold_sql() {
+        let sql = "SELECT Country FROM TV_CHANNEL EXCEPT SELECT T1.Country FROM TV_CHANNEL AS T1 \
+                   JOIN CARTOON AS T2 ON T1.id = T2.Channel WHERE T2.Written_by = 'Todd Casey'";
+        let q = parse(sql).unwrap();
+        assert!(matches!(q.compound, Some((SetOp::Except, _))));
+        let (_, rhs) = q.compound.as_ref().unwrap();
+        assert_eq!(rhs.core.from.len(), 2);
+        assert_eq!(rhs.core.from.joins[0].on.len(), 1);
+        assert!(rhs.core.where_clause.is_some());
+    }
+
+    #[test]
+    fn parses_not_in_subquery() {
+        let sql = "SELECT Country FROM TV_CHANNEL WHERE id NOT IN (SELECT Channel FROM CARTOON \
+                   WHERE Written_by = 'Todd Casey')";
+        let q = parse(sql).unwrap();
+        let cond = q.core.where_clause.unwrap();
+        let flat = cond.flatten();
+        assert_eq!(flat[0].0.op, CmpOp::NotIn);
+        assert!(matches!(flat[0].0.right, Operand::Subquery(_)));
+    }
+
+    #[test]
+    fn parses_group_having_order_limit() {
+        let sql = "SELECT written_by, COUNT(*) FROM cartoon GROUP BY written_by HAVING COUNT(*) \
+                   >= 2 ORDER BY COUNT(*) DESC, written_by ASC LIMIT 3";
+        let q = parse(sql).unwrap();
+        assert_eq!(q.core.group_by.len(), 1);
+        assert!(q.core.having.is_some());
+        assert_eq!(q.core.order_by.len(), 2);
+        assert_eq!(q.core.order_by[0].dir, OrderDir::Desc);
+        assert_eq!(q.core.limit, Some(3));
+        let having = q.core.having.unwrap().flatten()[0].0.clone();
+        assert_eq!(having.left.func, Some(AggFunc::Count));
+        assert_eq!(having.op, CmpOp::Ge);
+    }
+
+    #[test]
+    fn parses_between_and_like() {
+        let q = parse("SELECT a FROM t WHERE b BETWEEN 1 AND 5 AND c LIKE '%x%'").unwrap();
+        let flat_len = q.core.where_clause.as_ref().unwrap().flatten().len();
+        assert_eq!(flat_len, 2);
+        let preds = q.core.where_clause.unwrap();
+        let flat = preds.flatten();
+        assert_eq!(flat[0].0.op, CmpOp::Between);
+        assert!(flat[0].0.right2.is_some());
+        assert_eq!(flat[1].0.op, CmpOp::Like);
+    }
+
+    #[test]
+    fn parses_or_precedence() {
+        let q = parse("SELECT a FROM t WHERE x = 1 AND y = 2 OR z = 3").unwrap();
+        // AND binds tighter: Or(And(x,y), z)
+        match q.core.where_clause.unwrap() {
+            Condition::Or(l, _) => assert!(matches!(*l, Condition::And(_, _))),
+            other => panic!("expected OR at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_arithmetic_value_units() {
+        let q = parse("SELECT max_speed - min_speed FROM cars WHERE horsepower * 2 > 300")
+            .unwrap();
+        assert!(matches!(q.core.items[0].expr.unit, ValUnit::Arith { op: ArithOp::Sub, .. }));
+    }
+
+    #[test]
+    fn parses_from_subquery() {
+        let q = parse(
+            "SELECT t.cnt FROM (SELECT COUNT(*) AS cnt FROM cartoon GROUP BY channel) AS t \
+             ORDER BY t.cnt DESC LIMIT 1",
+        )
+        .unwrap();
+        assert!(matches!(q.core.from.first, TableRef::Subquery { .. }));
+    }
+
+    #[test]
+    fn parses_scalar_subquery_comparison() {
+        let q = parse("SELECT name FROM people WHERE age > (SELECT AVG(age) FROM people)").unwrap();
+        let flat = q.core.where_clause.unwrap();
+        assert!(matches!(flat.flatten()[0].0.right, Operand::Subquery(_)));
+    }
+
+    #[test]
+    fn parses_hallucinated_shapes() {
+        // Function hallucination
+        let q = parse("SELECT CONCAT(first_name, ' ', last_name) AS full_name FROM players")
+            .unwrap();
+        assert!(matches!(&q.core.items[0].expr.unit, ValUnit::Func { name, args } if name == "CONCAT" && args.len() == 3));
+        assert_eq!(q.core.items[0].alias.as_deref(), Some("full_name"));
+        // Multi-argument aggregate hallucination
+        let q = parse("SELECT COUNT(DISTINCT series_name, content) FROM tv_channel").unwrap();
+        assert_eq!(q.core.items[0].expr.extra_args.len(), 1);
+        assert!(q.core.items[0].expr.distinct);
+    }
+
+    #[test]
+    fn parses_comma_join_and_bare_join() {
+        let q = parse("SELECT a FROM t1, t2 WHERE t1.x = t2.y").unwrap();
+        assert_eq!(q.core.from.len(), 2);
+        assert!(q.core.from.joins[0].on.is_empty());
+        let q = parse("SELECT a FROM t1 JOIN t2").unwrap();
+        assert!(q.core.from.joins[0].on.is_empty());
+    }
+
+    #[test]
+    fn parses_inner_and_left_join_as_inner() {
+        let q = parse("SELECT a FROM t1 INNER JOIN t2 ON t1.x = t2.y LEFT OUTER JOIN t3 ON t2.z = t3.w")
+            .unwrap();
+        assert_eq!(q.core.from.joins.len(), 2);
+        assert_eq!(q.core.from.joins[1].on.len(), 1);
+    }
+
+    #[test]
+    fn parses_is_null_as_eq_null() {
+        let q = parse("SELECT a FROM t WHERE b IS NOT NULL").unwrap();
+        let flat = q.core.where_clause.unwrap();
+        let p = flat.flatten()[0].0.clone();
+        assert_eq!(p.op, CmpOp::Ne);
+        assert!(matches!(p.right, Operand::Literal(Literal::Null)));
+    }
+
+    #[test]
+    fn parses_implicit_table_alias() {
+        let q = parse("SELECT t.a FROM widgets t WHERE t.a = 1").unwrap();
+        match &q.core.from.first {
+            TableRef::Named { name, alias } => {
+                assert_eq!(name, "widgets");
+                assert_eq!(alias.as_deref(), Some("t"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_union_all_as_union() {
+        let q = parse("SELECT a FROM t UNION ALL SELECT b FROM u").unwrap();
+        assert!(matches!(q.compound, Some((SetOp::Union, _))));
+    }
+
+    #[test]
+    fn parses_parenthesized_condition() {
+        let q = parse("SELECT a FROM t WHERE (x = 1 OR y = 2) AND z = 3").unwrap();
+        match q.core.where_clause.unwrap() {
+            Condition::And(l, _) => assert!(matches!(*l, Condition::Or(_, _))),
+            other => panic!("expected AND at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("SELECT a").is_err());
+        assert!(parse("SELECT a FROM t WHERE").is_err());
+        assert!(parse("SELECT a FROM t LIMIT x").is_err());
+        assert!(parse("SELECT a FROM t WHERE a IN (1, 2)").is_err());
+        assert!(parse("SELECT a FROM t extra garbage here").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn negative_literals() {
+        let q = parse("SELECT a FROM t WHERE b > -5 AND c = -1.5").unwrap();
+        let flat = q.core.where_clause.unwrap();
+        let preds = flat.flatten();
+        assert!(matches!(preds[0].0.right, Operand::Literal(Literal::Int(-5))));
+        assert!(matches!(preds[1].0.right, Operand::Literal(Literal::Float(f)) if f == -1.5));
+    }
+
+    #[test]
+    fn count_star_with_qualifier() {
+        let q = parse("SELECT COUNT(T1.*) FROM t AS T1").unwrap();
+        assert!(matches!(q.core.items[0].expr.unit, ValUnit::Star));
+    }
+}

@@ -1,0 +1,258 @@
+//! Canonical SQL text rendering for the AST.
+//!
+//! `Display` output re-parses to an equal AST (round-trip property-tested in
+//! `tests/proptest_roundtrip.rs`).
+
+use crate::ast::*;
+use std::fmt;
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() {
+                    // Keep a decimal point so the literal re-lexes as a float.
+                    write!(f, "{x:.1}")
+                } else {
+                    let s = format!("{x}");
+                    if s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                        // Exponent notation / non-finite values do not re-lex;
+                        // fall back to plain decimal (benchmark data never produces
+                        // such extremes, this is a safety net for arbitrary input).
+                        write!(f, "{x:.10}")
+                    } else {
+                        write!(f, "{s}")
+                    }
+                }
+            }
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+impl fmt::Display for ValUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValUnit::Column(c) => write!(f, "{c}"),
+            ValUnit::Star => write!(f, "*"),
+            ValUnit::Literal(l) => write!(f, "{l}"),
+            ValUnit::Arith { op, left, right } => {
+                write!(f, "{left} {} {right}", op.symbol())
+            }
+            ValUnit::Func { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for AggExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.func {
+            Some(func) => {
+                write!(f, "{}(", func.keyword())?;
+                if self.distinct {
+                    write!(f, "DISTINCT ")?;
+                }
+                write!(f, "{}", self.unit)?;
+                for e in &self.extra_args {
+                    write!(f, ", {e}")?;
+                }
+                write!(f, ")")
+            }
+            None => write!(f, "{}", self.unit),
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableRef::Named { name, alias } => {
+                write!(f, "{name}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+            TableRef::Subquery { query, alias } => {
+                write!(f, "({query})")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Literal(l) => write!(f, "{l}"),
+            Operand::Column(c) => write!(f, "{c}"),
+            Operand::Subquery(q) => write!(f, "({q})"),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.op == CmpOp::Between {
+            let hi = self.right2.as_ref().expect("BETWEEN always has an upper bound");
+            return write!(f, "{} BETWEEN {} AND {hi}", self.left, self.right);
+        }
+        write!(f, "{} {} {}", self.left, self.op.symbol(), self.right)
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::Pred(p) => write!(f, "{p}"),
+            Condition::And(l, r) => {
+                write_cond_side(f, l, false)?;
+                write!(f, " AND ")?;
+                write_cond_side(f, r, false)
+            }
+            Condition::Or(l, r) => {
+                write!(f, "{l} OR {r}")
+            }
+        }
+    }
+}
+
+/// AND's children need parentheses when they are ORs (AND binds tighter when
+/// re-parsed).
+fn write_cond_side(f: &mut fmt::Formatter<'_>, c: &Condition, _right: bool) -> fmt::Result {
+    if matches!(c, Condition::Or(_, _)) {
+        write!(f, "({c})")
+    } else {
+        write!(f, "{c}")
+    }
+}
+
+impl fmt::Display for SelectCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", item.expr)?;
+            if let Some(a) = &item.alias {
+                write!(f, " AS {a}")?;
+            }
+        }
+        write!(f, " FROM {}", self.from.first)?;
+        for j in &self.from.joins {
+            write!(f, " JOIN {}", j.table)?;
+            for (i, (l, r)) in j.on.iter().enumerate() {
+                write!(f, " {} {l} = {r}", if i == 0 { "ON" } else { "AND" })?;
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", o.expr)?;
+                match o.dir {
+                    OrderDir::Asc => write!(f, " ASC")?,
+                    OrderDir::Desc => write!(f, " DESC")?,
+                }
+            }
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.core)?;
+        if let Some((op, rhs)) = &self.compound {
+            write!(f, " {} {rhs}", op.keyword())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse;
+
+    fn roundtrip(sql: &str) {
+        let q1 = parse(sql).unwrap();
+        let text = q1.to_string();
+        let q2 = parse(&text).unwrap_or_else(|e| panic!("re-parse of `{text}` failed: {e}"));
+        assert_eq!(q1, q2, "roundtrip changed AST for `{sql}` -> `{text}`");
+    }
+
+    #[test]
+    fn roundtrips_representative_queries() {
+        for sql in [
+            "SELECT Country FROM TV_CHANNEL EXCEPT SELECT T1.Country FROM TV_CHANNEL AS T1 JOIN \
+             CARTOON AS T2 ON T1.id = T2.Channel WHERE T2.Written_by = 'Todd Casey'",
+            "SELECT COUNT(DISTINCT country) FROM tv_channel WHERE language = 'English'",
+            "SELECT written_by, COUNT(*) FROM cartoon GROUP BY written_by HAVING COUNT(*) >= 2 \
+             ORDER BY COUNT(*) DESC LIMIT 3",
+            "SELECT a FROM t WHERE b BETWEEN 1 AND 5 OR c NOT LIKE '%x%'",
+            "SELECT name FROM people WHERE age > (SELECT AVG(age) FROM people)",
+            "SELECT t.cnt FROM (SELECT COUNT(*) AS cnt FROM cartoon GROUP BY channel) AS t",
+            "SELECT max_speed - min_speed FROM cars",
+            "SELECT a FROM t WHERE (x = 1 OR y = 2) AND z = 3",
+            "SELECT a FROM t WHERE x = -3 AND y = 'O''Brien'",
+            "SELECT CONCAT(a, ' ', b) FROM t",
+            "SELECT COUNT(DISTINCT a, b) FROM t",
+        ] {
+            roundtrip(sql);
+        }
+    }
+
+    #[test]
+    fn float_literals_keep_decimal_point() {
+        let q = parse("SELECT a FROM t WHERE b = 2.0").unwrap();
+        assert!(q.to_string().contains("2.0"));
+        roundtrip("SELECT a FROM t WHERE b = 2.0");
+    }
+}

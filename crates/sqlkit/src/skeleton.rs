@@ -1,0 +1,617 @@
+//! SQL skeletons and the four-level abstraction hierarchy (§II-C, §IV-C1).
+//!
+//! A skeleton keeps every operational keyword of a SQL query and replaces each
+//! database-specific element (table, column, value, alias) with a placeholder `_`.
+//! The gold SQL of the paper's Fig. 1 becomes:
+//!
+//! ```text
+//! SELECT _ FROM _ EXCEPT SELECT _ FROM _ JOIN _ ON _ = _ WHERE _ = _
+//! ```
+//!
+//! The four abstraction levels progressively mask detail:
+//!
+//! 1. **Detail** — the skeleton as-is, placeholders included.
+//! 2. **Keywords** — placeholders (and pure punctuation) removed; only SQL keywords
+//!    and operators remain.
+//! 3. **Structure** — operator classes per Fig. 7: aggregates → `<AGG>`, comparisons
+//!    → `<CMP>`, set operators → `<IUE>`, arithmetic → `<OP>`.
+//! 4. **Clause** — only principal clause keywords (`SELECT`, `FROM`, `WHERE`,
+//!    `GROUP BY`, `HAVING`, `ORDER BY`, `LIMIT`) plus `<IUE>`.
+
+use crate::ast::*;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Abstraction level of a skeleton (§IV-C1). Lower = finer-grained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Level {
+    /// Level 1: placeholders preserved.
+    Detail,
+    /// Level 2: keywords only.
+    Keywords,
+    /// Level 3: operator classes (`<AGG>`, `<CMP>`, `<IUE>`, `<OP>`).
+    Structure,
+    /// Level 4: principal clauses only.
+    Clause,
+}
+
+impl Level {
+    /// All levels, finest first (the matching order of Algorithm 1).
+    pub const ALL: [Level; 4] = [Level::Detail, Level::Keywords, Level::Structure, Level::Clause];
+
+    /// 0-based index of this level.
+    pub fn index(self) -> usize {
+        match self {
+            Level::Detail => 0,
+            Level::Keywords => 1,
+            Level::Structure => 2,
+            Level::Clause => 3,
+        }
+    }
+}
+
+/// One token of a skeleton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SkelTok {
+    /// `_` — a masked database-specific element.
+    Ph,
+    /// `SELECT`
+    Select,
+    /// `DISTINCT`
+    Distinct,
+    /// `FROM`
+    From,
+    /// `JOIN`
+    Join,
+    /// `ON`
+    On,
+    /// `WHERE`
+    Where,
+    /// `GROUP BY` (single composite token)
+    GroupBy,
+    /// `HAVING`
+    Having,
+    /// `ORDER BY` (single composite token)
+    OrderBy,
+    /// `LIMIT`
+    Limit,
+    /// `AND` (boolean connective; join `ON ... AND ...` also uses this)
+    And,
+    /// `OR`
+    Or,
+    /// `ASC`
+    Asc,
+    /// `DESC`
+    Desc,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// Aggregate function keyword.
+    Agg(AggFunc),
+    /// Comparison operator.
+    Cmp(CmpOp),
+    /// Set operator.
+    Iue(SetOp),
+    /// Arithmetic operator.
+    Arith(ArithOp),
+    /// `<AGG>` class token (appears only at Structure/Clause level).
+    ClassAgg,
+    /// `<CMP>` class token.
+    ClassCmp,
+    /// `<IUE>` class token.
+    ClassIue,
+    /// `<OP>` class token.
+    ClassOp,
+}
+
+impl fmt::Display for SkelTok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkelTok::Ph => write!(f, "_"),
+            SkelTok::Select => write!(f, "SELECT"),
+            SkelTok::Distinct => write!(f, "DISTINCT"),
+            SkelTok::From => write!(f, "FROM"),
+            SkelTok::Join => write!(f, "JOIN"),
+            SkelTok::On => write!(f, "ON"),
+            SkelTok::Where => write!(f, "WHERE"),
+            SkelTok::GroupBy => write!(f, "GROUP BY"),
+            SkelTok::Having => write!(f, "HAVING"),
+            SkelTok::OrderBy => write!(f, "ORDER BY"),
+            SkelTok::Limit => write!(f, "LIMIT"),
+            SkelTok::And => write!(f, "AND"),
+            SkelTok::Or => write!(f, "OR"),
+            SkelTok::Asc => write!(f, "ASC"),
+            SkelTok::Desc => write!(f, "DESC"),
+            SkelTok::LParen => write!(f, "("),
+            SkelTok::RParen => write!(f, ")"),
+            SkelTok::Comma => write!(f, ","),
+            SkelTok::Agg(a) => write!(f, "{}", a.keyword()),
+            SkelTok::Cmp(c) => write!(f, "{}", c.symbol()),
+            SkelTok::Iue(s) => write!(f, "{}", s.keyword()),
+            SkelTok::Arith(o) => write!(f, "{}", o.symbol()),
+            SkelTok::ClassAgg => write!(f, "<AGG>"),
+            SkelTok::ClassCmp => write!(f, "<CMP>"),
+            SkelTok::ClassIue => write!(f, "<IUE>"),
+            SkelTok::ClassOp => write!(f, "<OP>"),
+        }
+    }
+}
+
+/// A Detail-level SQL skeleton: the masked token sequence of a query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Skeleton {
+    tokens: Vec<SkelTok>,
+}
+
+impl Skeleton {
+    /// Wrap a raw token sequence.
+    pub fn from_tokens(tokens: Vec<SkelTok>) -> Self {
+        Skeleton { tokens }
+    }
+
+    /// The Detail-level token sequence.
+    pub fn tokens(&self) -> &[SkelTok] {
+        &self.tokens
+    }
+
+    /// True if the skeleton has no tokens (e.g. parsing an all-OOV prediction).
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Extract the skeleton of a parsed query (§II-C: every database-specific
+    /// entity — tables, columns, values, aliases — is replaced by `_`).
+    pub fn from_query(q: &Query) -> Self {
+        let mut toks = Vec::new();
+        emit_query(q, &mut toks);
+        Skeleton { tokens: toks }
+    }
+
+    /// Abstract this skeleton to the given level, producing the state sequence the
+    /// automaton consumes at that level.
+    pub fn at_level(&self, level: Level) -> Vec<SkelTok> {
+        match level {
+            Level::Detail => self.tokens.clone(),
+            Level::Keywords => self
+                .tokens
+                .iter()
+                .copied()
+                .filter(|t| !matches!(t, SkelTok::Ph | SkelTok::Comma | SkelTok::LParen | SkelTok::RParen))
+                .collect(),
+            Level::Structure => self
+                .at_level(Level::Keywords)
+                .into_iter()
+                .map(structure_map)
+                .collect(),
+            Level::Clause => self
+                .at_level(Level::Structure)
+                .into_iter()
+                .filter(|t| {
+                    matches!(
+                        t,
+                        SkelTok::Select
+                            | SkelTok::From
+                            | SkelTok::Where
+                            | SkelTok::GroupBy
+                            | SkelTok::Having
+                            | SkelTok::OrderBy
+                            | SkelTok::Limit
+                            | SkelTok::ClassIue
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Parse a skeleton from text. Unknown (out-of-vocabulary) tokens are dropped,
+    /// as prescribed for predicted skeletons in §IV-C2.
+    pub fn parse(text: &str) -> Self {
+        let mut toks = Vec::new();
+        let words = split_skeleton_text(text);
+        let mut i = 0;
+        while i < words.len() {
+            let w = words[i].to_ascii_uppercase();
+            let two = if i + 1 < words.len() {
+                format!("{w} {}", words[i + 1].to_ascii_uppercase())
+            } else {
+                String::new()
+            };
+            let (tok, adv) = match two.as_str() {
+                "GROUP BY" => (Some(SkelTok::GroupBy), 2),
+                "ORDER BY" => (Some(SkelTok::OrderBy), 2),
+                "NOT IN" => (Some(SkelTok::Cmp(CmpOp::NotIn)), 2),
+                "NOT LIKE" => (Some(SkelTok::Cmp(CmpOp::NotLike)), 2),
+                _ => (single_token(&w), 1),
+            };
+            if let Some(t) = tok {
+                toks.push(t);
+            }
+            i += adv;
+        }
+        Skeleton { tokens: toks }
+    }
+}
+
+impl fmt::Display for Skeleton {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", render(&self.tokens))
+    }
+}
+
+/// Render a token sequence as space-separated text.
+pub fn render(tokens: &[SkelTok]) -> String {
+    let mut out = String::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&t.to_string());
+    }
+    out
+}
+
+fn structure_map(t: SkelTok) -> SkelTok {
+    match t {
+        SkelTok::Agg(_) => SkelTok::ClassAgg,
+        SkelTok::Cmp(_) => SkelTok::ClassCmp,
+        SkelTok::Iue(_) => SkelTok::ClassIue,
+        SkelTok::Arith(_) => SkelTok::ClassOp,
+        other => other,
+    }
+}
+
+fn split_skeleton_text(text: &str) -> Vec<&str> {
+    // Split on whitespace; parens and commas may be glued to neighbors in model
+    // output, so split those off too.
+    let mut out = Vec::new();
+    for word in text.split_whitespace() {
+        let mut rest = word;
+        while let Some(stripped) = rest.strip_prefix(['(', ')', ',']) {
+            out.push(&rest[..1]);
+            rest = stripped;
+        }
+        let mut tail = Vec::new();
+        while let Some(stripped) = rest.strip_suffix([')', '(', ',']) {
+            tail.push(&rest[rest.len() - 1..]);
+            rest = stripped;
+        }
+        if !rest.is_empty() {
+            out.push(rest);
+        }
+        out.extend(tail.into_iter().rev());
+    }
+    out
+}
+
+fn single_token(w: &str) -> Option<SkelTok> {
+    Some(match w {
+        "_" => SkelTok::Ph,
+        "SELECT" => SkelTok::Select,
+        "DISTINCT" => SkelTok::Distinct,
+        "FROM" => SkelTok::From,
+        "JOIN" => SkelTok::Join,
+        "ON" => SkelTok::On,
+        "WHERE" => SkelTok::Where,
+        "HAVING" => SkelTok::Having,
+        "LIMIT" => SkelTok::Limit,
+        "AND" => SkelTok::And,
+        "OR" => SkelTok::Or,
+        "ASC" => SkelTok::Asc,
+        "DESC" => SkelTok::Desc,
+        "(" => SkelTok::LParen,
+        ")" => SkelTok::RParen,
+        "," => SkelTok::Comma,
+        "COUNT" => SkelTok::Agg(AggFunc::Count),
+        "MAX" => SkelTok::Agg(AggFunc::Max),
+        "MIN" => SkelTok::Agg(AggFunc::Min),
+        "SUM" => SkelTok::Agg(AggFunc::Sum),
+        "AVG" => SkelTok::Agg(AggFunc::Avg),
+        "=" => SkelTok::Cmp(CmpOp::Eq),
+        "!=" | "<>" => SkelTok::Cmp(CmpOp::Ne),
+        "<" => SkelTok::Cmp(CmpOp::Lt),
+        "<=" => SkelTok::Cmp(CmpOp::Le),
+        ">" => SkelTok::Cmp(CmpOp::Gt),
+        ">=" => SkelTok::Cmp(CmpOp::Ge),
+        "LIKE" => SkelTok::Cmp(CmpOp::Like),
+        "IN" => SkelTok::Cmp(CmpOp::In),
+        "BETWEEN" => SkelTok::Cmp(CmpOp::Between),
+        "INTERSECT" => SkelTok::Iue(SetOp::Intersect),
+        "UNION" => SkelTok::Iue(SetOp::Union),
+        "EXCEPT" => SkelTok::Iue(SetOp::Except),
+        "+" => SkelTok::Arith(ArithOp::Add),
+        "-" => SkelTok::Arith(ArithOp::Sub),
+        "*" => SkelTok::Arith(ArithOp::Mul),
+        "/" => SkelTok::Arith(ArithOp::Div),
+        "<AGG>" => SkelTok::ClassAgg,
+        "<CMP>" => SkelTok::ClassCmp,
+        "<IUE>" => SkelTok::ClassIue,
+        "<OP>" => SkelTok::ClassOp,
+        // Out-of-vocabulary token: dropped (§IV-C2).
+        _ => return None,
+    })
+}
+
+fn emit_query(q: &Query, out: &mut Vec<SkelTok>) {
+    emit_core(&q.core, out);
+    if let Some((op, rhs)) = &q.compound {
+        out.push(SkelTok::Iue(*op));
+        emit_query(rhs, out);
+    }
+}
+
+fn emit_core(c: &SelectCore, out: &mut Vec<SkelTok>) {
+    out.push(SkelTok::Select);
+    if c.distinct {
+        out.push(SkelTok::Distinct);
+    }
+    for (i, item) in c.items.iter().enumerate() {
+        if i > 0 {
+            out.push(SkelTok::Comma);
+        }
+        emit_agg(&item.expr, out);
+    }
+    out.push(SkelTok::From);
+    emit_table_ref(&c.from.first, out);
+    for j in &c.from.joins {
+        out.push(SkelTok::Join);
+        emit_table_ref(&j.table, out);
+        for (i, _) in j.on.iter().enumerate() {
+            out.push(if i == 0 { SkelTok::On } else { SkelTok::And });
+            out.push(SkelTok::Ph);
+            out.push(SkelTok::Cmp(CmpOp::Eq));
+            out.push(SkelTok::Ph);
+        }
+    }
+    if let Some(w) = &c.where_clause {
+        out.push(SkelTok::Where);
+        emit_condition(w, out);
+    }
+    if !c.group_by.is_empty() {
+        out.push(SkelTok::GroupBy);
+        for (i, _) in c.group_by.iter().enumerate() {
+            if i > 0 {
+                out.push(SkelTok::Comma);
+            }
+            out.push(SkelTok::Ph);
+        }
+    }
+    if let Some(h) = &c.having {
+        out.push(SkelTok::Having);
+        emit_condition(h, out);
+    }
+    if !c.order_by.is_empty() {
+        out.push(SkelTok::OrderBy);
+        for (i, o) in c.order_by.iter().enumerate() {
+            if i > 0 {
+                out.push(SkelTok::Comma);
+            }
+            emit_agg(&o.expr, out);
+            match o.dir {
+                OrderDir::Asc => out.push(SkelTok::Asc),
+                OrderDir::Desc => out.push(SkelTok::Desc),
+            }
+        }
+    }
+    if c.limit.is_some() {
+        out.push(SkelTok::Limit);
+        out.push(SkelTok::Ph);
+    }
+}
+
+fn emit_table_ref(t: &TableRef, out: &mut Vec<SkelTok>) {
+    match t {
+        TableRef::Named { .. } => out.push(SkelTok::Ph),
+        TableRef::Subquery { query, .. } => {
+            out.push(SkelTok::LParen);
+            emit_query(query, out);
+            out.push(SkelTok::RParen);
+        }
+    }
+}
+
+fn emit_agg(a: &AggExpr, out: &mut Vec<SkelTok>) {
+    match a.func {
+        Some(f) => {
+            out.push(SkelTok::Agg(f));
+            out.push(SkelTok::LParen);
+            if a.distinct {
+                out.push(SkelTok::Distinct);
+            }
+            emit_val_unit(&a.unit, out);
+            for e in &a.extra_args {
+                out.push(SkelTok::Comma);
+                emit_val_unit(e, out);
+            }
+            out.push(SkelTok::RParen);
+        }
+        None => emit_val_unit(&a.unit, out),
+    }
+}
+
+fn emit_val_unit(v: &ValUnit, out: &mut Vec<SkelTok>) {
+    match v {
+        // Columns, `*`, values and (hallucinated) function calls are all
+        // database-specific detail: a single placeholder.
+        ValUnit::Column(_) | ValUnit::Star | ValUnit::Literal(_) | ValUnit::Func { .. } => {
+            out.push(SkelTok::Ph)
+        }
+        ValUnit::Arith { op, left, right } => {
+            emit_val_unit(left, out);
+            out.push(SkelTok::Arith(*op));
+            emit_val_unit(right, out);
+        }
+    }
+}
+
+fn emit_condition(c: &Condition, out: &mut Vec<SkelTok>) {
+    match c {
+        Condition::And(l, r) => {
+            emit_condition(l, out);
+            out.push(SkelTok::And);
+            emit_condition(r, out);
+        }
+        Condition::Or(l, r) => {
+            emit_condition(l, out);
+            out.push(SkelTok::Or);
+            emit_condition(r, out);
+        }
+        Condition::Pred(p) => {
+            emit_agg(&p.left, out);
+            out.push(SkelTok::Cmp(p.op));
+            emit_operand(&p.right, out);
+            if p.op == CmpOp::Between {
+                out.push(SkelTok::And);
+                if let Some(hi) = &p.right2 {
+                    emit_operand(hi, out);
+                }
+            }
+        }
+    }
+}
+
+fn emit_operand(o: &Operand, out: &mut Vec<SkelTok>) {
+    match o {
+        Operand::Literal(_) | Operand::Column(_) => out.push(SkelTok::Ph),
+        Operand::Subquery(q) => {
+            out.push(SkelTok::LParen);
+            emit_query(q, out);
+            out.push(SkelTok::RParen);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn skel(sql: &str) -> Skeleton {
+        Skeleton::from_query(&parse(sql).unwrap())
+    }
+
+    #[test]
+    fn fig1_gold_skeleton_matches_paper() {
+        let s = skel(
+            "SELECT Country FROM TV_CHANNEL EXCEPT SELECT T1.Country FROM TV_CHANNEL AS T1 JOIN \
+             CARTOON AS T2 ON T1.id = T2.Channel WHERE T2.Written_by = 'Todd Casey'",
+        );
+        assert_eq!(s.to_string(), "SELECT _ FROM _ EXCEPT SELECT _ FROM _ JOIN _ ON _ = _ WHERE _ = _");
+    }
+
+    #[test]
+    fn keywords_level_drops_placeholders() {
+        let s = skel("SELECT COUNT(DISTINCT country) FROM tv_channel WHERE language = 'English'");
+        assert_eq!(s.to_string(), "SELECT COUNT ( DISTINCT _ ) FROM _ WHERE _ = _");
+        assert_eq!(render(&s.at_level(Level::Keywords)), "SELECT COUNT DISTINCT FROM WHERE =");
+    }
+
+    #[test]
+    fn structure_level_applies_fig7_classes() {
+        let s = skel(
+            "SELECT a FROM t WHERE b >= 2 INTERSECT SELECT MAX(c) FROM u WHERE d LIKE 'x'",
+        );
+        assert_eq!(
+            render(&s.at_level(Level::Structure)),
+            "SELECT FROM WHERE <CMP> <IUE> SELECT <AGG> FROM WHERE <CMP>"
+        );
+    }
+
+    #[test]
+    fn clause_level_keeps_principal_clauses() {
+        let s = skel(
+            "SELECT written_by, COUNT(*) FROM cartoon WHERE channel = 1 GROUP BY written_by \
+             HAVING COUNT(*) > 2 ORDER BY COUNT(*) DESC LIMIT 3",
+        );
+        assert_eq!(
+            render(&s.at_level(Level::Clause)),
+            "SELECT FROM WHERE GROUP BY HAVING ORDER BY LIMIT"
+        );
+    }
+
+    #[test]
+    fn except_vs_not_in_differ_at_every_level() {
+        // The paper's Fig. 1 distinction: EXCEPT-with-join vs NOT IN must not merge,
+        // even at Clause level (the <IUE> token survives).
+        let gold = skel(
+            "SELECT Country FROM TV_CHANNEL EXCEPT SELECT T1.Country FROM TV_CHANNEL AS T1 JOIN \
+             CARTOON AS T2 ON T1.id = T2.Channel WHERE T2.Written_by = 'x'",
+        );
+        let wrong = skel(
+            "SELECT Country FROM TV_CHANNEL WHERE id NOT IN (SELECT Channel FROM CARTOON WHERE \
+             Written_by = 'x')",
+        );
+        for level in Level::ALL {
+            assert_ne!(gold.at_level(level), wrong.at_level(level), "merged at {level:?}");
+        }
+    }
+
+    #[test]
+    fn dail_sql_keyword_set_collision_is_separated_by_order() {
+        // §IV-C1's motivating example: same keywords, different order. Jaccard
+        // (set) similarity sees them as identical; our sequences do not.
+        let a = skel(
+            "SELECT x FROM t JOIN u ON t.a = u.b WHERE t.c = 1 EXCEPT SELECT x FROM t",
+        );
+        let b = skel(
+            "SELECT x FROM t EXCEPT SELECT x FROM t JOIN u ON t.a = u.b WHERE t.c = 1",
+        );
+        use std::collections::BTreeSet;
+        let set =
+            |s: &Skeleton| s.at_level(Level::Keywords).into_iter().collect::<BTreeSet<_>>();
+        assert_eq!(set(&a), set(&b), "keyword sets should collide");
+        assert_ne!(a.at_level(Level::Keywords), b.at_level(Level::Keywords));
+    }
+
+    #[test]
+    fn parse_roundtrips_detail_text() {
+        let s = skel(
+            "SELECT a, MAX(b) FROM t JOIN u ON t.x = u.y GROUP BY a ORDER BY MAX(b) DESC LIMIT 1",
+        );
+        let reparsed = Skeleton::parse(&s.to_string());
+        assert_eq!(s, reparsed);
+    }
+
+    #[test]
+    fn parse_drops_oov_tokens() {
+        let s = Skeleton::parse("SELECT banana _ FROM _ WHERE _ = _ zzz");
+        assert_eq!(s.to_string(), "SELECT _ FROM _ WHERE _ = _");
+        let empty = Skeleton::parse("foo bar baz");
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn parse_handles_glued_parens() {
+        let s = Skeleton::parse("SELECT _ FROM _ WHERE _ NOT IN (SELECT _ FROM _)");
+        assert_eq!(s.to_string(), "SELECT _ FROM _ WHERE _ NOT IN ( SELECT _ FROM _ )");
+    }
+
+    #[test]
+    fn between_skeleton_includes_and() {
+        let s = skel("SELECT a FROM t WHERE b BETWEEN 1 AND 5");
+        assert_eq!(s.to_string(), "SELECT _ FROM _ WHERE _ BETWEEN _ AND _");
+    }
+
+    #[test]
+    fn arithmetic_survives_at_structure_level() {
+        let s = skel("SELECT max_speed - min_speed FROM cars");
+        assert_eq!(render(&s.at_level(Level::Structure)), "SELECT <OP> FROM");
+        assert_eq!(s.to_string(), "SELECT _ - _ FROM _");
+    }
+
+    #[test]
+    fn abstraction_is_deterministic_and_monotone_in_length() {
+        let s = skel(
+            "SELECT a FROM t WHERE b = 1 AND c > 2 GROUP BY a HAVING COUNT(*) > 1 ORDER BY a \
+             ASC LIMIT 5",
+        );
+        let mut prev = usize::MAX;
+        for level in Level::ALL {
+            let n = s.at_level(level).len();
+            assert!(n <= prev, "abstraction should never grow the sequence");
+            prev = n;
+        }
+    }
+}

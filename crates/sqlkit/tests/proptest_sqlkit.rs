@@ -1,0 +1,283 @@
+//! Property-based tests for sqlkit: printer/parser round-trip, skeleton invariants,
+//! canonicalization reflexivity.
+
+use proptest::prelude::*;
+use sqlkit::ast::*;
+use sqlkit::skeleton::render;
+use sqlkit::{canonicalize, parse, Level, Schema, Skeleton};
+
+fn ident() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "id", "name", "country", "channel", "written_by", "age", "total", "price", "city",
+        "customer_id", "year", "rating",
+    ])
+    .prop_map(str::to_string)
+}
+
+fn table_name() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["tv_channel", "cartoon", "customer", "invoice", "people"])
+        .prop_map(str::to_string)
+}
+
+fn literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        any::<i64>().prop_map(Literal::Int),
+        (-1_000_000.0..1_000_000.0f64)
+            .prop_filter("exponent-free display", |x| !format!("{x}").contains('e'))
+            .prop_map(Literal::Float),
+        "[a-zA-Z' %_]{0,12}".prop_map(Literal::Str),
+        Just(Literal::Null),
+    ]
+}
+
+fn column_ref() -> impl Strategy<Value = ColumnRef> {
+    (prop::option::of(table_name()), ident())
+        .prop_map(|(t, c)| ColumnRef { table: t, column: c })
+}
+
+fn val_unit() -> BoxedStrategy<ValUnit> {
+    let leaf = prop_oneof![
+        column_ref().prop_map(ValUnit::Column),
+        literal().prop_map(ValUnit::Literal),
+    ];
+    // Left-associative arithmetic only: the printer emits flat chains and the parser
+    // re-associates to the left, so right-leaning trees would not round-trip.
+    (leaf.clone(), prop::collection::vec((arith_op(), leaf), 0..2))
+        .prop_map(|(first, rest)| {
+            rest.into_iter().fold(first, |acc, (op, r)| ValUnit::Arith {
+                op,
+                left: Box::new(acc),
+                right: Box::new(r),
+            })
+        })
+        .boxed()
+}
+
+fn arith_op() -> impl Strategy<Value = ArithOp> {
+    prop::sample::select(vec![ArithOp::Add, ArithOp::Sub, ArithOp::Mul, ArithOp::Div])
+}
+
+fn agg_func() -> impl Strategy<Value = AggFunc> {
+    prop::sample::select(vec![AggFunc::Count, AggFunc::Max, AggFunc::Min, AggFunc::Sum, AggFunc::Avg])
+}
+
+fn agg_expr() -> BoxedStrategy<AggExpr> {
+    prop_oneof![
+        val_unit().prop_map(AggExpr::unit),
+        (agg_func(), any::<bool>(), val_unit()).prop_map(|(f, d, u)| AggExpr {
+            func: Some(f),
+            distinct: d,
+            unit: u,
+            extra_args: Vec::new(),
+        }),
+        Just(AggExpr::count_star()),
+    ]
+    .boxed()
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop::sample::select(vec![
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+        CmpOp::Like,
+        CmpOp::NotLike,
+    ])
+}
+
+fn predicate() -> BoxedStrategy<Predicate> {
+    prop_oneof![
+        (agg_expr(), cmp_op(), literal()).prop_map(|(l, op, v)| Predicate {
+            left: l,
+            op,
+            right: Operand::Literal(v),
+            right2: None,
+        }),
+        (agg_expr(), literal(), literal()).prop_map(|(l, lo, hi)| Predicate {
+            left: l,
+            op: CmpOp::Between,
+            right: Operand::Literal(lo),
+            right2: Some(Operand::Literal(hi)),
+        }),
+        (agg_expr(), column_ref()).prop_map(|(l, c)| Predicate {
+            left: l,
+            op: CmpOp::Eq,
+            right: Operand::Column(c),
+            right2: None,
+        }),
+    ]
+    .boxed()
+}
+
+fn condition() -> BoxedStrategy<Condition> {
+    // Left-associative boolean chains, mirroring the parser's associativity. An OR
+    // child on the left of an AND is printed parenthesized and survives round-trip,
+    // but mixing arbitrary nesting would not; chains are what Spider SQL contains.
+    (predicate(), prop::collection::vec((any::<bool>(), predicate()), 0..3)).prop_map(
+        |(first, rest)| {
+            rest.into_iter().fold(Condition::Pred(first), |acc, (is_or, p)| {
+                let rhs = Box::new(Condition::Pred(p));
+                if is_or {
+                    Condition::Or(Box::new(acc), rhs)
+                } else {
+                    Condition::And(Box::new(acc), rhs)
+                }
+            })
+        },
+    )
+    .boxed()
+}
+
+fn from_clause() -> BoxedStrategy<FromClause> {
+    (
+        table_name(),
+        prop::collection::vec((table_name(), column_ref(), column_ref()), 0..2),
+    )
+        .prop_map(|(first, joins)| {
+            let use_aliases = !joins.is_empty();
+            let first_ref = if use_aliases {
+                TableRef::aliased(first, "T1")
+            } else {
+                TableRef::named(first)
+            };
+            FromClause {
+                first: first_ref,
+                joins: joins
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (t, l, r))| Join {
+                        table: TableRef::aliased(t, format!("T{}", i + 2)),
+                        on: vec![(l, r)],
+                    })
+                    .collect(),
+            }
+        })
+        .boxed()
+}
+
+fn select_core() -> BoxedStrategy<SelectCore> {
+    (
+        any::<bool>(),
+        prop::collection::vec(agg_expr(), 1..3),
+        from_clause(),
+        prop::option::of(condition()),
+        prop::collection::vec(column_ref(), 0..2),
+        prop::option::of(condition()),
+        prop::collection::vec((agg_expr(), any::<bool>()), 0..2),
+        prop::option::of(0u64..100),
+    )
+        .prop_map(
+            |(distinct, items, from, where_clause, group_by, having, order_by, limit)| SelectCore {
+                distinct,
+                items: items.into_iter().map(SelectItem::expr).collect(),
+                from,
+                where_clause,
+                // HAVING requires GROUP BY in our grammar.
+                having: if group_by.is_empty() { None } else { having },
+                group_by,
+                order_by: order_by
+                    .into_iter()
+                    .map(|(e, desc)| OrderItem {
+                        expr: e,
+                        dir: if desc { OrderDir::Desc } else { OrderDir::Asc },
+                    })
+                    .collect(),
+                limit,
+            },
+        )
+        .boxed()
+}
+
+fn query() -> BoxedStrategy<Query> {
+    (select_core(), prop::option::of((set_op(), select_core())))
+        .prop_map(|(core, compound)| Query {
+            core,
+            compound: compound.map(|(op, rhs)| (op, Box::new(Query::single(rhs)))),
+        })
+        .boxed()
+}
+
+fn set_op() -> impl Strategy<Value = SetOp> {
+    prop::sample::select(vec![SetOp::Intersect, SetOp::Union, SetOp::Except])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn printer_parser_roundtrip(q in query()) {
+        let text = q.to_string();
+        let reparsed = parse(&text)
+            .unwrap_or_else(|e| panic!("failed to re-parse `{text}`: {e}"));
+        prop_assert_eq!(q, reparsed, "round-trip changed AST for `{}`", text);
+    }
+
+    #[test]
+    fn skeleton_text_roundtrip(q in query()) {
+        let skel = Skeleton::from_query(&q);
+        let reparsed = Skeleton::parse(&skel.to_string());
+        prop_assert_eq!(&skel, &reparsed);
+    }
+
+    #[test]
+    fn abstraction_never_grows(q in query()) {
+        let skel = Skeleton::from_query(&q);
+        let mut prev = usize::MAX;
+        for level in Level::ALL {
+            let n = skel.at_level(level).len();
+            prop_assert!(n <= prev, "level {:?} grew the sequence", level);
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn detail_equality_implies_equality_at_all_levels(a in query(), b in query()) {
+        let sa = Skeleton::from_query(&a);
+        let sb = Skeleton::from_query(&b);
+        if sa == sb {
+            for level in Level::ALL {
+                prop_assert_eq!(sa.at_level(level), sb.at_level(level));
+            }
+        }
+    }
+
+    #[test]
+    fn keywords_equality_implies_structure_and_clause_equality(a in query(), b in query()) {
+        // Higher abstraction levels are functions of the Keywords level, so a match
+        // at Keywords must persist upward (the generalization hierarchy of §IV-C1).
+        let sa = Skeleton::from_query(&a);
+        let sb = Skeleton::from_query(&b);
+        if sa.at_level(Level::Keywords) == sb.at_level(Level::Keywords) {
+            prop_assert_eq!(sa.at_level(Level::Structure), sb.at_level(Level::Structure));
+            prop_assert_eq!(sa.at_level(Level::Clause), sb.at_level(Level::Clause));
+        }
+    }
+
+    #[test]
+    fn canonicalization_is_reflexive_and_value_blind(q in query()) {
+        let schema = Schema::new("empty");
+        let c1 = canonicalize(&q, &schema);
+        let c2 = canonicalize(&q, &schema);
+        prop_assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn skeleton_parse_never_panics(s in "[a-zA-Z_()<>=, ]{0,60}") {
+        let _ = Skeleton::parse(&s);
+    }
+
+    #[test]
+    fn rendered_levels_reparse_to_same_tokens(q in query()) {
+        // Rendering any abstraction level and re-tokenizing it must be stable
+        // (the automaton stores token sequences; text is the transport format).
+        let skel = Skeleton::from_query(&q);
+        for level in [Level::Detail, Level::Keywords, Level::Structure, Level::Clause] {
+            let toks = skel.at_level(level);
+            let reparsed = Skeleton::parse(&render(&toks));
+            prop_assert_eq!(toks, reparsed.tokens().to_vec());
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: generate a benchmark, train PURPLE, translate one question, and
+//! score a split.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use purple_repro::prelude::*;
+
+fn main() {
+    // 1. A small cross-domain benchmark suite (Spider analog): training split
+    //    (demonstration pool) over one set of domains, validation over unseen ones.
+    let suite = generate_suite(&GenConfig::tiny(42));
+    println!(
+        "suite: {} train examples over {} databases, {} dev examples over {} databases",
+        suite.train.examples.len(),
+        suite.train.databases.len(),
+        suite.dev.examples.len(),
+        suite.dev.databases.len()
+    );
+
+    // 2. Train PURPLE: schema classifier (focal loss), skeleton predictor,
+    //    demonstration pool with pruned schemas, and the four-level automaton.
+    let mut system = Purple::new(&suite.train, PurpleConfig::default_with(CHATGPT));
+    let ratio = system.automata().end_state_ratio();
+    println!(
+        "automaton end states (Detail:Keywords:Structure:Clause) = {}:{}:{}:{}",
+        ratio[0], ratio[1], ratio[2], ratio[3]
+    );
+
+    // 3. Translate one validation question end-to-end.
+    let ex = &suite.dev.examples[0];
+    let db = suite.dev.db_of(ex);
+    let t = system.run(ex, db);
+    println!("\nNL:        {}", ex.nl);
+    println!("gold SQL:  {}", ex.sql);
+    println!("predicted: {}", t.sql);
+    println!("tokens:    {} prompt + {} output", t.prompt_tokens, t.output_tokens);
+
+    // 4. Execute the prediction against the database.
+    match parse(&t.sql).map(|q| execute(db, &q)) {
+        Ok(Ok(rs)) => println!("result:    {} rows x {} cols", rs.rows.len(), rs.columns.len()),
+        Ok(Err(e)) => println!("execution error: {e}"),
+        Err(e) => println!("parse error: {e}"),
+    }
+
+    // 5. Score the whole validation split (EM = exact-set match, EX = execution).
+    let report = evaluate(&mut system, &suite.dev, None);
+    println!("\n{}", report.summary());
+}

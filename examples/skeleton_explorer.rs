@@ -1,0 +1,64 @@
+//! Skeleton explorer: parse SQL from the command line (or built-in samples), print
+//! its skeleton at all four abstraction levels (§IV-C1), and show which training
+//! demonstrations each level would match.
+//!
+//! ```sh
+//! cargo run --release --example skeleton_explorer
+//! cargo run --release --example skeleton_explorer -- "SELECT a FROM t WHERE b > 2"
+//! ```
+
+use purple_repro::prelude::*;
+use sqlkit::skeleton::render;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let samples: Vec<String> = if args.is_empty() {
+        vec![
+            "SELECT Country FROM tv_channel EXCEPT SELECT T1.Country FROM tv_channel AS T1 \
+             JOIN cartoon AS T2 ON T1.id = T2.channel WHERE T2.written_by = 'Todd Casey'"
+                .to_string(),
+            "SELECT Country FROM tv_channel WHERE id NOT IN (SELECT channel FROM cartoon WHERE \
+             written_by = 'Todd Casey')"
+                .to_string(),
+            "SELECT written_by, COUNT(*) FROM cartoon GROUP BY written_by HAVING COUNT(*) >= 2 \
+             ORDER BY COUNT(*) DESC LIMIT 1"
+                .to_string(),
+        ]
+    } else {
+        vec![args.join(" ")]
+    };
+
+    // Build a demonstration automaton from a small generated training split.
+    let suite = generate_suite(&GenConfig::tiny(1));
+    let skeletons: Vec<Skeleton> =
+        suite.train.examples.iter().map(|e| Skeleton::from_query(&e.query)).collect();
+    let automata = purple::AutomatonSet::build(&skeletons);
+    let ratio = automata.end_state_ratio();
+    println!(
+        "demonstration pool: {} examples, end states {}:{}:{}:{} across levels\n",
+        skeletons.len(),
+        ratio[0],
+        ratio[1],
+        ratio[2],
+        ratio[3]
+    );
+
+    for sql in samples {
+        let q = match parse(&sql) {
+            Ok(q) => q,
+            Err(e) => {
+                eprintln!("parse error for `{sql}`: {e}");
+                continue;
+            }
+        };
+        let skel = Skeleton::from_query(&q);
+        println!("SQL:      {sql}");
+        println!("hardness: {}", sqlkit::hardness(&q));
+        for level in Level::ALL {
+            let toks = skel.at_level(level);
+            let matches = automata.at(level).matches(&skel).len();
+            println!("  {:<10} [{:>3} demo matches]  {}", format!("{level:?}"), matches, render(&toks));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,66 @@
+//! Trace a PURPLE translation module by module: pruned schema, skeleton beam,
+//! selected demonstrations and their abstraction-level support, budget effects,
+//! adaption fixes, and the final vote.
+//!
+//! ```sh
+//! cargo run --release --example trace_translation
+//! ```
+
+use purple_repro::prelude::*;
+
+fn main() {
+    let suite = generate_suite(&GenConfig::tiny(2025));
+    let mut system = Purple::new(&suite.train, PurpleConfig::default_with(CHATGPT));
+
+    // Pick the hardest example for an interesting trace.
+    let ex = suite
+        .dev
+        .examples
+        .iter()
+        .max_by_key(|e| e.hardness)
+        .expect("non-empty dev split");
+    let db = suite.dev.db_of(ex);
+
+    println!("NL:       {}", ex.nl);
+    println!("gold SQL: {}", ex.sql);
+    println!("hardness: {}\n", ex.hardness);
+
+    let (_, trace) = system.run_traced(ex, db);
+
+    println!("== Step 1: schema pruning ==");
+    println!(
+        "kept {} of {} tables ({}% of columns pruned away); gold coverage: {}",
+        trace.pruned.keep.len(),
+        db.schema.tables.len(),
+        (trace.prune_quality * 100.0).round(),
+        if trace.recall_covered { "complete" } else { "MISSED ITEMS (error propagation!)" }
+    );
+    println!("{}", trace.pruned.to_text(&db.schema));
+
+    println!("== Step 2: skeleton prediction (top-{}) ==", trace.predictions.len());
+    for p in &trace.predictions {
+        println!("  p={:.2}  {}", p.probability, p.skeleton);
+    }
+
+    println!("\n== Step 3: demonstration selection ==");
+    println!(
+        "selected {} demonstrations ({} in prompt after the {}-token budget, {} dropped)",
+        trace.selected.len(),
+        trace.demos_in_prompt,
+        3072,
+        trace.dropped_by_budget
+    );
+    println!("composition support in context: {:?}", trace.support_level);
+
+    println!("\n== Step 4+5: LLM call, adaption, consistency ==");
+    println!("tokens: {} prompt + {} output", trace.prompt_tokens, trace.output_tokens);
+    if trace.fixes.is_empty() {
+        println!("no repairs needed across samples");
+    } else {
+        println!("repairs applied: {:?}", trace.fixes);
+    }
+    println!("\nfinal SQL: {}", trace.sql);
+    let em = eval::em_match_str(&trace.sql, &ex.query, &db.schema);
+    let exm = eval::ex_match_str(&trace.sql, &ex.query, db);
+    println!("exact-set match: {em}, execution match: {exm}");
+}

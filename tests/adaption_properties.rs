@@ -1,0 +1,130 @@
+//! Property-based integration tests of the hallucination-injection / database-
+//! adaption loop: for gold queries drawn from the generator, every injected
+//! Table-2 error must be diagnosed with the right category, and the adaption
+//! module must restore executability — usually to the exact gold semantics.
+
+use proptest::prelude::*;
+use purple_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fixtures() -> &'static (Suite, Vec<(usize, Query)>) {
+    static FIX: std::sync::OnceLock<(Suite, Vec<(usize, Query)>)> = std::sync::OnceLock::new();
+    FIX.get_or_init(|| {
+        let suite = generate_suite(&GenConfig::tiny(555));
+        let goldens: Vec<(usize, Query)> =
+            suite.dev.examples.iter().map(|e| (e.db_index, e.query.clone())).collect();
+        (suite, goldens)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn injected_hallucinations_are_diagnosed_and_repaired(seed in 0u64..10_000) {
+        let (suite, goldens) = fixtures();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (db_index, gold) = &goldens[(seed as usize) % goldens.len()];
+        let db = &suite.dev.databases[*db_index];
+        let mut q = gold.clone();
+        let Some(category) = llm::writer::inject_hallucination(&mut q, db, &mut rng) else {
+            // Query shape admits no injection — that is fine.
+            return Ok(());
+        };
+        let broken_sql = q.to_string();
+        // The engine must fail with exactly the injected category.
+        let err = engine::execute(db, &q);
+        prop_assert!(err.is_err(), "injected {category} but `{broken_sql}` executed");
+        prop_assert_eq!(err.unwrap_err().category(), category);
+        // Adaption restores executability.
+        let fixed = purple::adapt_sql(&broken_sql, db, &mut rng);
+        prop_assert!(
+            fixed.executable,
+            "adaption failed to repair {category}: `{broken_sql}` -> `{}`",
+            fixed.sql
+        );
+        prop_assert!(fixed.fixes.contains(&category), "fix log {:?} missing {category}", fixed.fixes);
+    }
+
+    #[test]
+    fn adaption_leaves_valid_gold_sql_untouched(ix in 0usize..1000) {
+        let (suite, goldens) = fixtures();
+        let (db_index, gold) = &goldens[ix % goldens.len()];
+        let db = &suite.dev.databases[*db_index];
+        let sql = gold.to_string();
+        let mut rng = StdRng::seed_from_u64(ix as u64);
+        let r = purple::adapt_sql(&sql, db, &mut rng);
+        prop_assert!(r.executable);
+        prop_assert!(r.fixes.is_empty(), "gold SQL should need no fixes, got {:?}", r.fixes);
+        prop_assert_eq!(r.sql, sql);
+    }
+
+    #[test]
+    fn near_miss_rewrites_always_parse_and_usually_execute(seed in 0u64..10_000) {
+        let (suite, goldens) = fixtures();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (db_index, gold) = &goldens[(seed as usize) % goldens.len()];
+        let db = &suite.dev.databases[*db_index];
+        if let Some(m) = llm::rewrites::near_miss(gold, db, 0.7, &mut rng) {
+            let text = m.to_string();
+            let reparsed = parse(&text);
+            prop_assert!(reparsed.is_ok(), "near-miss `{text}` does not parse");
+            prop_assert_eq!(reparsed.unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn consistency_vote_is_order_insensitive_for_clean_samples(seed in 0u64..1000) {
+        let (suite, goldens) = fixtures();
+        let (db_index, gold) = &goldens[(seed as usize) % goldens.len()];
+        let db = &suite.dev.databases[*db_index];
+        let sql = gold.to_string();
+        // Identical clean samples in any order vote to the same SQL.
+        let samples = vec![sql.clone(), sql.clone(), sql.clone()];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = purple::consistency_vote(&samples, db, &mut rng);
+        prop_assert!(v.executable);
+        prop_assert_eq!(v.sql, sql);
+    }
+}
+
+#[test]
+fn every_category_is_injectable_somewhere_on_dev() {
+    let (suite, goldens) = fixtures();
+    let mut seen: std::collections::HashSet<&'static str> = std::collections::HashSet::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    // Dev goldens plus crafted COUNT(DISTINCT <col>) probes per database, so the
+    // aggregation injector always has an applicable shape regardless of which
+    // patterns the sampled dev split happens to contain.
+    let mut probes: Vec<(usize, Query)> = goldens.clone();
+    for (di, db) in suite.dev.databases.iter().enumerate() {
+        if let Some(t) = db.schema.tables.first() {
+            if let Some(c) = t.columns.iter().find(|c| Some(&c.name) != t.primary_key.map(|pk| &t.columns[pk].name)) {
+                let sql = format!("SELECT COUNT(DISTINCT {}) FROM {}", c.name, t.name);
+                if let Ok(q) = parse(&sql) {
+                    probes.push((di, q));
+                }
+            }
+        }
+    }
+    for (db_index, gold) in &probes {
+        let db = &suite.dev.databases[*db_index];
+        for _ in 0..4 {
+            let mut q = gold.clone();
+            if let Some(c) = llm::writer::inject_hallucination(&mut q, db, &mut rng) {
+                seen.insert(c);
+            }
+        }
+    }
+    for expected in [
+        "function-hallucination",
+        "aggregation-hallucination",
+        "schema-hallucination",
+        "table-column-mismatch",
+        "column-ambiguity",
+        "missing-table",
+    ] {
+        assert!(seen.contains(expected), "category {expected} never injectable; saw {seen:?}");
+    }
+}

@@ -1,0 +1,104 @@
+//! The calibration contract: the qualitative claims EXPERIMENTS.md records must
+//! hold whenever the Table-4 matrix is regenerated. The full check runs at medium
+//! scale and takes ~30s, so it is `#[ignore]`d by default:
+//!
+//! ```sh
+//! cargo test --release --test calibration_contract -- --ignored
+//! ```
+
+use bench_harness::{experiments as exp, ReproContext, Scale};
+
+fn em(rows: &[exp::Row], name: &str) -> f64 {
+    rows.iter()
+        .find(|r| r.system == name)
+        .unwrap_or_else(|| panic!("row {name} missing"))
+        .em
+}
+
+fn ex(rows: &[exp::Row], name: &str) -> f64 {
+    rows.iter().find(|r| r.system == name).expect("row").ex
+}
+
+fn ts(rows: &[exp::Row], name: &str) -> f64 {
+    rows.iter().find(|r| r.system == name).expect("row").ts
+}
+
+#[test]
+#[ignore = "medium-scale regeneration (~1 minute); run with -- --ignored"]
+fn table4_orderings_hold_at_medium_scale() {
+    let mut ctx = ReproContext::build(Scale::Medium, 42);
+    let rows = exp::table4(&mut ctx);
+
+    // 1. PURPLE tops the LLM systems on every metric, on both tiers.
+    for metric in [em, ex, ts] {
+        for baseline in [
+            "ChatGPT-SQL (ChatGPT)",
+            "C3 (ChatGPT)",
+            "Zero-shot (GPT4)",
+            "Few-shot (GPT4)",
+            "DIN-SQL (GPT4)",
+            "DAIL-SQL (GPT4)",
+        ] {
+            assert!(
+                metric(&rows, "PURPLE (GPT4)") > metric(&rows, baseline),
+                "PURPLE (GPT4) must beat {baseline}"
+            );
+        }
+    }
+
+    // 2. PURPLE (ChatGPT) beats every GPT-4 baseline on EM — the paper's headline.
+    for baseline in ["Zero-shot (GPT4)", "Few-shot (GPT4)", "DIN-SQL (GPT4)", "DAIL-SQL (GPT4)"] {
+        assert!(
+            em(&rows, "PURPLE (ChatGPT)") > em(&rows, baseline),
+            "PURPLE (ChatGPT) EM must beat {baseline}"
+        );
+    }
+
+    // 3. The EM << EX signature for zero-shot strategies (Table 1).
+    for sys in ["ChatGPT-SQL (ChatGPT)", "C3 (ChatGPT)", "Zero-shot (GPT4)"] {
+        assert!(
+            ex(&rows, sys) > em(&rows, sys) + 15.0,
+            "{sys} must show the EM<<EX signature"
+        );
+    }
+
+    // 4. TS <= EX for every row (the distilled suite removes coincidences).
+    for r in &rows {
+        assert!(r.ts <= r.ex + 0.001, "{}: TS {} > EX {}", r.system, r.ts, r.ex);
+    }
+
+    // 5. Demonstration quality ordering on EM: zero-shot < few-shot < DAIL < PURPLE.
+    assert!(em(&rows, "Zero-shot (GPT4)") < em(&rows, "Few-shot (GPT4)"));
+    assert!(em(&rows, "Few-shot (GPT4)") < em(&rows, "DAIL-SQL (GPT4)"));
+    assert!(em(&rows, "DAIL-SQL (GPT4)") < em(&rows, "PURPLE (GPT4)"));
+
+    // 6. The PLM family clusters at high EM (above every non-PURPLE LLM system).
+    for plm in ["PICARD", "RASAT", "RESDSQL", "Graphix-T5"] {
+        assert!(em(&rows, plm) > em(&rows, "DIN-SQL (GPT4)"), "{plm} EM too low");
+    }
+}
+
+#[test]
+#[ignore = "medium-scale regeneration (~30s); run with -- --ignored"]
+fn ablation_signs_hold_at_medium_scale() {
+    let ctx = ReproContext::build(Scale::Medium, 42);
+    let rows = exp::table6(&ctx);
+    let base_em = em(&rows, "PURPLE (ChatGPT)");
+    let base_ex = ex(&rows, "PURPLE (ChatGPT)");
+    assert!(em(&rows, "-Schema Pruning") < base_em);
+    assert!(em(&rows, "-Demonstration Selection") + 5.0 < base_em, "selection is the big one");
+    assert!(ex(&rows, "-Database Adaption") < base_ex);
+    assert!(em(&rows, "+Oracle Skeleton") >= base_em);
+}
+
+#[test]
+fn tiny_scale_smoke_of_the_same_contract() {
+    // A fast, always-on subset of the contract.
+    let mut ctx = ReproContext::build(Scale::Tiny, 42);
+    let rows = exp::table4(&mut ctx);
+    assert!(em(&rows, "PURPLE (GPT4)") > em(&rows, "ChatGPT-SQL (ChatGPT)"));
+    assert!(ex(&rows, "C3 (ChatGPT)") > em(&rows, "C3 (ChatGPT)"));
+    for r in &rows {
+        assert!(r.ts <= r.ex + 0.001);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests of the execution engine's SQL semantics, driven by the
+//! benchmark generator's (query, database) pairs — every invariant here must hold
+//! for arbitrary generated workloads.
+
+use proptest::prelude::*;
+use purple_repro::prelude::*;
+use sqlkit::ast::{Condition, OrderDir};
+
+fn fixtures() -> &'static Suite {
+    static SUITE: std::sync::OnceLock<Suite> = std::sync::OnceLock::new();
+    SUITE.get_or_init(|| generate_suite(&GenConfig::tiny(777)))
+}
+
+fn pick(suite: &Suite, ix: usize) -> (&engine::Database, &Query) {
+    let ex = &suite.dev.examples[ix % suite.dev.examples.len()];
+    (suite.dev.db_of(ex), &ex.query)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn where_filter_never_grows_the_result(ix in 0usize..10_000) {
+        let suite = fixtures();
+        let (db, q) = pick(suite, ix);
+        if q.compound.is_some() || q.core.where_clause.is_none() || q.core.limit.is_some() {
+            return Ok(());
+        }
+        let filtered = execute(db, q).expect("gold executes");
+        let mut unfiltered = q.clone();
+        unfiltered.core.where_clause = None;
+        if let Ok(all) = execute(db, &unfiltered) {
+            prop_assert!(
+                filtered.rows.len() <= all.rows.len(),
+                "WHERE grew rows: {} > {}",
+                filtered.rows.len(),
+                all.rows.len()
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_never_grows_the_result(ix in 0usize..10_000) {
+        let suite = fixtures();
+        let (db, q) = pick(suite, ix);
+        if q.compound.is_some() || q.core.limit.is_some() {
+            return Ok(());
+        }
+        let base = execute(db, q).expect("gold executes");
+        let mut d = q.clone();
+        d.core.distinct = true;
+        let dd = execute(db, &d).expect("distinct executes");
+        prop_assert!(dd.rows.len() <= base.rows.len());
+        // Idempotence: DISTINCT twice equals once.
+        let ddd = execute(db, &d).expect("distinct re-executes");
+        prop_assert!(dd.same_result(&ddd, false));
+    }
+
+    #[test]
+    fn limit_caps_row_count(ix in 0usize..10_000, n in 0u64..5) {
+        let suite = fixtures();
+        let (db, q) = pick(suite, ix);
+        if q.compound.is_some() {
+            return Ok(());
+        }
+        let mut lq = q.clone();
+        lq.core.limit = Some(n);
+        let rs = execute(db, &lq).expect("limited query executes");
+        prop_assert!(rs.rows.len() as u64 <= n);
+    }
+
+    #[test]
+    fn set_operation_cardinalities(ix in 0usize..10_000) {
+        let suite = fixtures();
+        let (db, q) = pick(suite, ix);
+        if q.compound.is_some() || !q.core.order_by.is_empty() || q.core.limit.is_some() {
+            return Ok(());
+        }
+        let base = execute(db, q).expect("executes");
+        for (op, check) in [
+            (sqlkit::SetOp::Union, "union"),
+            (sqlkit::SetOp::Intersect, "intersect"),
+            (sqlkit::SetOp::Except, "except"),
+        ] {
+            let compound = Query {
+                core: q.core.clone(),
+                compound: Some((op, Box::new(q.clone()))),
+            };
+            let rs = execute(db, &compound).expect("set op executes");
+            match check {
+                // q OP q over identical operands:
+                "union" | "intersect" => {
+                    // both equal the de-duplicated base
+                    prop_assert!(rs.rows.len() <= base.rows.len());
+                    let mut dq = q.clone();
+                    dq.core.distinct = true;
+                    let dedup = execute(db, &dq).expect("distinct executes");
+                    prop_assert!(
+                        rs.same_result(&dedup, false),
+                        "self-{check} must equal DISTINCT base"
+                    );
+                }
+                _ => prop_assert!(rs.rows.is_empty(), "q EXCEPT q must be empty"),
+            }
+        }
+    }
+
+    #[test]
+    fn order_by_direction_reversal_reverses_extremes(ix in 0usize..10_000) {
+        let suite = fixtures();
+        let (db, q) = pick(suite, ix);
+        if q.compound.is_some() || q.core.order_by.len() != 1 || q.core.limit.is_some() {
+            return Ok(());
+        }
+        let asc_rs = {
+            let mut a = q.clone();
+            a.core.order_by[0].dir = OrderDir::Asc;
+            execute(db, &a).expect("asc executes")
+        };
+        let desc_rs = {
+            let mut d = q.clone();
+            d.core.order_by[0].dir = OrderDir::Desc;
+            execute(db, &d).expect("desc executes")
+        };
+        // Same multiset, reversed-or-equal first/last rows under a total ordering.
+        prop_assert!(asc_rs.same_result(&desc_rs, false));
+    }
+
+    #[test]
+    fn conjunction_is_commutative(ix in 0usize..10_000) {
+        let suite = fixtures();
+        let (db, q) = pick(suite, ix);
+        let Some(Condition::And(l, r)) = q.core.where_clause.clone() else { return Ok(()) };
+        let mut swapped = q.clone();
+        swapped.core.where_clause = Some(Condition::And(r, l));
+        let a = execute(db, q).expect("executes");
+        let b = execute(db, &swapped).expect("swapped executes");
+        prop_assert!(a.same_result(&b, engine::order_matters(q)));
+    }
+
+    #[test]
+    fn execution_is_deterministic(ix in 0usize..10_000) {
+        let suite = fixtures();
+        let (db, q) = pick(suite, ix);
+        let a = execute(db, q).expect("executes");
+        let b = execute(db, q).expect("re-executes");
+        prop_assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn em_is_reflexive_and_ex_matches_self(ix in 0usize..10_000) {
+        let suite = fixtures();
+        let ex = &suite.dev.examples[ix % suite.dev.examples.len()];
+        let db = suite.dev.db_of(ex);
+        prop_assert!(eval::em_match(&ex.query, &ex.query, &db.schema));
+        prop_assert!(eval::ex_match(&ex.query, &ex.query, db));
+    }
+}
