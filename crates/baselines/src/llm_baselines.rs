@@ -35,10 +35,6 @@ impl SharedModels {
     }
 }
 
-fn seed_for(base: u64, counter: u64) -> u64 {
-    base.wrapping_mul(0x100000001b3).wrapping_add(counter)
-}
-
 /// Which baseline strategy to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Strategy {
@@ -65,7 +61,6 @@ pub struct LlmBaseline {
     profile: LlmProfile,
     service: LlmService,
     models: SharedModels,
-    counter: u64,
     seed: u64,
 }
 
@@ -77,14 +72,14 @@ impl LlmBaseline {
             profile,
             service: LlmService::new(profile),
             models,
-            counter: 0,
             seed: 0x51ec7e11,
         }
     }
 
-    /// Attach a shared cost ledger recording every LLM call.
-    pub fn attach_ledger(&mut self, ledger: std::sync::Arc<llm::CostLedger>) {
-        self.service = LlmService::with_ledger(self.profile, ledger);
+    /// Attach a shared cost ledger, builder-style: every LLM call is recorded.
+    pub fn with_ledger(mut self, ledger: std::sync::Arc<llm::CostLedger>) -> Self {
+        self.service = LlmService::new(self.profile).with_ledger(ledger);
+        self
     }
 
     /// Jaccard similarity of two token sets (DAIL-SQL's similarity function; the
@@ -145,9 +140,8 @@ impl Translator for LlmBaseline {
         format!("{s} ({})", self.profile.name)
     }
 
-    fn translate(&mut self, ex: &Example, db: &Database) -> Translation {
-        self.counter += 1;
-        let seed = seed_for(self.seed, self.counter);
+    fn translate(&self, idx: usize, ex: &Example, db: &Database) -> Translation {
+        let seed = eval::seed_for(self.seed, idx);
 
         // Per-strategy prompt composition.
         let (instruction, demos, instruction_quality, cot, n, extra_out, pruned) =
@@ -174,9 +168,15 @@ impl Translator for LlmBaseline {
                     6000,
                     true,
                 ),
-                Strategy::ZeroShot => {
-                    ("Write a SQL query for the question.".to_string(), Vec::new(), 0.0, false, 1, 0, false)
-                }
+                Strategy::ZeroShot => (
+                    "Write a SQL query for the question.".to_string(),
+                    Vec::new(),
+                    0.0,
+                    false,
+                    1,
+                    0,
+                    false,
+                ),
                 Strategy::FewShot => {
                     let idx = fixed_demo_indices(self.models.pool.len(), 8, 7);
                     let demos: Vec<Demonstration> =
@@ -217,12 +217,8 @@ impl Translator for LlmBaseline {
             (PrunedSchema::full(&db.schema).to_text(&db.schema), 0.0)
         };
 
-        let mut prompt = Prompt {
-            instruction,
-            demonstrations: demos,
-            schema_text,
-            nl: ex.nl.clone(),
-        };
+        let mut prompt =
+            Prompt { instruction, demonstrations: demos, schema_text, nl: ex.nl.clone() };
         // Baselines fit to the raw context limit; DAIL-SQL controls to ~3k.
         let budget = match self.strategy {
             Strategy::DailSql => 3000,
@@ -279,8 +275,8 @@ mod tests {
 
     fn run(strategy: Strategy, profile: LlmProfile) -> (f64, f64) {
         let (suite, models) = setup();
-        let mut t = LlmBaseline::new(strategy, profile, models);
-        let r = evaluate(&mut t, &suite.dev, None);
+        let t = LlmBaseline::new(strategy, profile, models);
+        let r = evaluate(&t, &suite.dev, None);
         (r.overall.em_pct(), r.overall.ex_pct())
     }
 
@@ -295,10 +291,7 @@ mod tests {
     fn demonstration_quality_orders_strategies() {
         let (em_zero, _) = run(Strategy::ChatGptSql, CHATGPT);
         let (em_dail, _) = run(Strategy::DailSql, CHATGPT);
-        assert!(
-            em_dail > em_zero,
-            "DAIL {em_dail:.1} should beat zero-shot {em_zero:.1}"
-        );
+        assert!(em_dail > em_zero, "DAIL {em_dail:.1} should beat zero-shot {em_zero:.1}");
     }
 
     #[test]
@@ -314,8 +307,8 @@ mod tests {
     #[test]
     fn c3_consumes_many_output_tokens() {
         let (suite, models) = setup();
-        let mut c3 = LlmBaseline::new(Strategy::C3, CHATGPT, models);
-        let r = evaluate(&mut c3, &suite.dev, None);
+        let c3 = LlmBaseline::new(Strategy::C3, CHATGPT, models);
+        let r = evaluate(&c3, &suite.dev, None);
         assert!(r.avg_output_tokens > 5000.0, "C3 output {:.0}", r.avg_output_tokens);
         assert!(r.avg_prompt_tokens < 2000.0, "C3 prunes its input: {:.0}", r.avg_prompt_tokens);
     }

@@ -90,7 +90,6 @@ pub struct PlmTranslator {
     cfg: PlmConfig,
     predictor: Arc<SkeletonPredictor>,
     profile: LlmProfile,
-    counter: u64,
 }
 
 impl PlmTranslator {
@@ -107,7 +106,7 @@ impl PlmTranslator {
             equivalent_bias: 0.45,
             ..CHATGPT
         };
-        PlmTranslator { cfg, predictor, profile, counter: 0 }
+        PlmTranslator { cfg, predictor, profile }
     }
 }
 
@@ -116,11 +115,10 @@ impl Translator for PlmTranslator {
         self.cfg.name.to_string()
     }
 
-    fn translate(&mut self, ex: &Example, db: &Database) -> Translation {
-        self.counter += 1;
-        let seed = 0x9d2c5680u64
-            .wrapping_mul(self.counter)
-            .wrapping_add(self.cfg.name.len() as u64);
+    fn translate(&self, idx: usize, ex: &Example, db: &Database) -> Translation {
+        // idx + 1 reproduces the historical 1-based call counter.
+        let seed =
+            0x9d2c5680u64.wrapping_mul(idx as u64 + 1).wrapping_add(self.cfg.name.len() as u64);
         let mut rng = StdRng::seed_from_u64(seed);
 
         let gold_skel = Skeleton::from_query(&ex.query);
@@ -166,11 +164,11 @@ mod tests {
     fn plm_rows_have_high_em_and_larger_ex_minus_ts_gap() {
         let suite = generate_suite(&GenConfig::tiny(66));
         let predictor = Arc::new(SkeletonPredictor::train(&suite.train));
-        let mut resdsql = PlmTranslator::new(RESDSQL, predictor.clone());
-        let r = evaluate(&mut resdsql, &suite.dev, None);
+        let resdsql = PlmTranslator::new(RESDSQL, predictor.clone());
+        let r = evaluate(&resdsql, &suite.dev, None);
         assert!(r.overall.em_pct() > 50.0, "RESDSQL EM too low: {:.1}", r.overall.em_pct());
-        let mut picard = PlmTranslator::new(PICARD, predictor);
-        let rp = evaluate(&mut picard, &suite.dev, None);
+        let picard = PlmTranslator::new(PICARD, predictor);
+        let rp = evaluate(&picard, &suite.dev, None);
         assert!(
             r.overall.em_pct() >= rp.overall.em_pct(),
             "RESDSQL {:.1} should be at least PICARD {:.1}",
@@ -186,8 +184,8 @@ mod tests {
         let unconstrained = PlmConfig { constrained: false, fidelity: 0.0, beam: 4, ..PICARD };
         let constrained = PlmConfig { constrained: true, fidelity: 0.0, beam: 4, ..PICARD };
         let em = |cfg| {
-            let mut t = PlmTranslator::new(cfg, predictor.clone());
-            evaluate(&mut t, &suite.dev, None).overall.em_pct()
+            let t = PlmTranslator::new(cfg, predictor.clone());
+            evaluate(&t, &suite.dev, None).overall.em_pct()
         };
         assert!(em(constrained) > em(unconstrained));
     }

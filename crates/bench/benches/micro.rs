@@ -144,6 +144,27 @@ fn bench_steiner_exact_vs_approx(c: &mut Criterion) {
     });
 }
 
+fn bench_evaluate_serial_vs_parallel(c: &mut Criterion) {
+    // Full-split evaluation of PURPLE, serial vs. example-parallel. The configs
+    // are identical, so the two benches also double as a smoke check that
+    // `evaluate_par` does the same amount of work per example.
+    let suite = generate_suite(&GenConfig::tiny(7));
+    let cfg = purple::PurpleConfig {
+        num_consistency: 3,
+        ..purple::PurpleConfig::default_with(llm::CHATGPT)
+    };
+    let system = purple::Purple::new(&suite.train, cfg);
+    let mut group = c.benchmark_group("evaluate");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(eval::evaluate(&system, &suite.dev, None)))
+    });
+    group.bench_function("parallel_4_jobs", |b| {
+        b.iter(|| black_box(eval::evaluate_par(&system, &suite.dev, None, 4)))
+    });
+    group.finish();
+}
+
 fn bench_engine(c: &mut Criterion) {
     let suite = generate_suite(&GenConfig::tiny(7));
     let ex = suite
@@ -184,6 +205,7 @@ criterion_group!(
     bench_selection,
     bench_steiner,
     bench_steiner_exact_vs_approx,
+    bench_evaluate_serial_vs_parallel,
     bench_engine,
     bench_adaption
 );

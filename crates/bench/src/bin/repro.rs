@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the PURPLE paper.
 //!
 //! ```text
-//! repro [--scale tiny|medium|full] [--seed N] [EXPERIMENTS...]
+//! repro [--scale tiny|medium|full] [--seed N] [--jobs N] [EXPERIMENTS...]
 //!
 //! EXPERIMENTS: --table1 --table2 --table3 --table4 --table5 --table6
 //!              --fig9 --fig10 --fig11 --fig12 --automaton-stats --all
@@ -17,6 +17,7 @@ use std::time::Instant;
 struct Args {
     scale: Option<Scale>,
     seed: u64,
+    jobs: Option<usize>,
     table1: bool,
     table2: bool,
     table3: bool,
@@ -56,6 +57,17 @@ fn parse_args() -> Args {
                     eprintln!("--seed needs an integer");
                     std::process::exit(2);
                 });
+            }
+            "--jobs" => {
+                let jobs = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--jobs needs a positive integer");
+                    std::process::exit(2);
+                });
+                if jobs == 0 {
+                    eprintln!("--jobs needs a positive integer");
+                    std::process::exit(2);
+                }
+                args.jobs = Some(jobs);
             }
             "--table1" => {
                 args.table1 = true;
@@ -145,8 +157,10 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "repro [--scale tiny|medium|full] [--seed N] [--table1..6] [--fig9..12] \
-                     [--automaton-stats] [--all]"
+                    "repro [--scale tiny|medium|full] [--seed N] [--jobs N] [--table1..6] \
+                     [--fig9..12] [--automaton-stats] [--all]\n\n\
+                     --jobs N  worker threads for per-example evaluation \
+                     (default: available parallelism); results are identical for any N"
                 );
                 std::process::exit(0);
             }
@@ -178,6 +192,10 @@ fn main() {
     let t0 = Instant::now();
     eprintln!("[repro] building context (scale {scale:?}, seed {})...", args.seed);
     let mut ctx = ReproContext::build(scale, args.seed);
+    if let Some(jobs) = args.jobs {
+        ctx.jobs = jobs;
+    }
+    eprintln!("[repro] evaluating with {} worker thread(s)", ctx.jobs);
     eprintln!(
         "[repro] suite ready: train {} ex / {} dbs, dev {} ex / {} dbs ({:.1}s)",
         ctx.suite.train.examples.len(),

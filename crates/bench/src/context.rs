@@ -51,6 +51,9 @@ pub struct ReproContext {
     pub dev_suites: Option<Vec<TestSuite>>,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads for example-level parallel evaluation
+    /// ([`eval::evaluate_par`]); defaults to the machine's available parallelism.
+    pub jobs: usize,
 }
 
 impl ReproContext {
@@ -59,7 +62,8 @@ impl ReproContext {
         let suite = generate_suite(&scale.gen_config(seed));
         let purple = Purple::new(&suite.train, PurpleConfig::default_with(CHATGPT));
         let models = SharedModels::from_purple(&purple);
-        ReproContext { suite, purple, models, dev_suites: None, seed }
+        let jobs = default_jobs();
+        ReproContext { suite, purple, models, dev_suites: None, seed, jobs }
     }
 
     /// Build (or get) the distilled dev test suites.
@@ -70,4 +74,9 @@ impl ReproContext {
         }
         self.dev_suites.as_ref().expect("just built")
     }
+}
+
+/// The machine's available parallelism, falling back to 1 when undetectable.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }

@@ -6,7 +6,7 @@
 
 use crate::context::ReproContext;
 use baselines::{LlmBaseline, PlmTranslator, Strategy, ALL_PLM};
-use eval::{evaluate, EvalReport, Translator};
+use eval::{evaluate, evaluate_par, EvalReport, Translator};
 use llm::{CHATGPT, GPT4};
 use purple::{Growth, PurpleConfig, SelectionConfig};
 use serde::Serialize;
@@ -39,11 +39,15 @@ fn row(report: &EvalReport, paper: (f64, f64, f64)) -> Row {
 
 /// Build a baseline translator by strategy/profile.
 fn baseline(ctx: &ReproContext, s: Strategy, profile: llm::LlmProfile) -> LlmBaseline {
-    LlmBaseline::new(s, profile, baselines::SharedModels {
-        classifier: ctx.models.classifier.clone(),
-        predictor: ctx.models.predictor.clone(),
-        pool: ctx.models.pool.clone(),
-    })
+    LlmBaseline::new(
+        s,
+        profile,
+        baselines::SharedModels {
+            classifier: ctx.models.classifier.clone(),
+            predictor: ctx.models.predictor.clone(),
+            pool: ctx.models.pool.clone(),
+        },
+    )
 }
 
 /// PURPLE on a profile with the default configuration.
@@ -78,7 +82,7 @@ pub fn table4(ctx: &mut ReproContext) -> Vec<Row> {
     let suites = ctx.dev_suites.clone().expect("built above");
     let dev = &ctx.suite.dev;
 
-    let mut systems: Vec<Box<dyn Translator + Send>> = Vec::new();
+    let mut systems: Vec<Box<dyn Translator + Sync>> = Vec::new();
     for cfg in ALL_PLM {
         systems.push(Box::new(PlmTranslator::new(cfg, ctx.models.predictor.clone())));
     }
@@ -91,23 +95,12 @@ pub fn table4(ctx: &mut ReproContext) -> Vec<Row> {
     systems.push(Box::new(purple_with(ctx, CHATGPT)));
     systems.push(Box::new(purple_with(ctx, GPT4)));
 
-    let reports: Vec<EvalReport> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = systems
-            .into_iter()
-            .map(|mut sys| {
-                let suites = &suites;
-                scope.spawn(move |_| evaluate(sys.as_mut(), dev, Some(suites)))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("evaluation thread panicked")).collect()
-    })
-    .expect("scope");
-
-    reports
+    let reports: Vec<EvalReport> = systems
         .iter()
-        .enumerate()
-        .map(|(i, r)| row(r, TABLE4_PAPER[i].1))
-        .collect()
+        .map(|sys| evaluate_par(sys.as_ref(), dev, Some(&suites), ctx.jobs))
+        .collect();
+
+    reports.iter().enumerate().map(|(i, r)| row(r, TABLE4_PAPER[i].1)).collect()
 }
 
 /// Table 1 is the LLM-strategy subset of Table 4 (EM/EX only).
@@ -141,7 +134,7 @@ pub struct HardnessRow {
 /// Fig. 9 systems: C3(3.5), DIN(4), DAIL(4), PURPLE(3.5), PURPLE(4).
 pub fn fig9(ctx: &ReproContext) -> Vec<HardnessRow> {
     let dev = &ctx.suite.dev;
-    let mut systems: Vec<Box<dyn Translator + Send>> = vec![
+    let systems: Vec<Box<dyn Translator + Sync>> = vec![
         Box::new(baseline(ctx, Strategy::ChatGptSql, CHATGPT)),
         Box::new(baseline(ctx, Strategy::C3, CHATGPT)),
         Box::new(baseline(ctx, Strategy::DinSql, GPT4)),
@@ -149,14 +142,8 @@ pub fn fig9(ctx: &ReproContext) -> Vec<HardnessRow> {
         Box::new(purple_with(ctx, CHATGPT)),
         Box::new(purple_with(ctx, GPT4)),
     ];
-    let reports: Vec<EvalReport> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = systems
-            .iter_mut()
-            .map(|sys| scope.spawn(move |_| evaluate(sys.as_mut(), dev, None)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("thread")).collect()
-    })
-    .expect("scope");
+    let reports: Vec<EvalReport> =
+        systems.iter().map(|sys| evaluate_par(sys.as_ref(), dev, None, ctx.jobs)).collect();
     reports
         .into_iter()
         .map(|r| HardnessRow {
@@ -213,13 +200,12 @@ pub const FIG10_PAPER: &[(&str, &str, (f64, f64))] = &[
 pub fn fig10(ctx: &ReproContext) -> Vec<VariantRow> {
     let mut out = Vec::new();
     let splits = [&ctx.suite.dk, &ctx.suite.syn, &ctx.suite.realistic];
-    for (mk, name) in [
-        (Strategy::ChatGptSql, "ChatGPT-SQL (ChatGPT)"),
-        (Strategy::C3, "C3 (ChatGPT)"),
-    ] {
+    for (mk, name) in
+        [(Strategy::ChatGptSql, "ChatGPT-SQL (ChatGPT)"), (Strategy::C3, "C3 (ChatGPT)")]
+    {
         for split in splits {
-            let mut t = baseline(ctx, mk, CHATGPT);
-            let r = evaluate(&mut t, split, None);
+            let t = baseline(ctx, mk, CHATGPT);
+            let r = evaluate_par(&t, split, None, ctx.jobs);
             out.push(VariantRow {
                 system: name.to_string(),
                 split: split.name.clone(),
@@ -230,8 +216,8 @@ pub fn fig10(ctx: &ReproContext) -> Vec<VariantRow> {
         }
     }
     for split in splits {
-        let mut t = purple_with(ctx, CHATGPT);
-        let r = evaluate(&mut t, split, None);
+        let t = purple_with(ctx, CHATGPT);
+        let r = evaluate_par(&t, split, None, ctx.jobs);
         out.push(VariantRow {
             system: "PURPLE (ChatGPT)".to_string(),
             split: split.name.clone(),
@@ -282,38 +268,29 @@ pub fn fig11(ctx: &ReproContext) -> Vec<BudgetCell> {
     let dev = &ctx.suite.dev;
     let cells: Vec<(u64, usize)> =
         lens.iter().flat_map(|l| nums.iter().map(move |n| (*l, *n))).collect();
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = cells
-            .iter()
-            .map(|(len, num)| {
-                let (len, num) = (*len, *num);
-                let ctx = &*ctx;
-                scope.spawn(move |_| {
-                    // A single API call must fit prompt + all sampled completions.
-                    let available =
-                        len + num as u64 * EST_SAMPLE_TOKENS <= llm::CONTEXT_LIMIT;
-                    if !available {
-                        return BudgetCell { len, num, available, em: 0.0, ex: 0.0, tokens: 0.0 };
-                    }
-                    let mut cfg = PurpleConfig::default_with(CHATGPT);
-                    cfg.len_budget = len;
-                    cfg.num_consistency = num;
-                    let mut p = ctx.purple.with_config(cfg);
-                    let r = evaluate(&mut p, dev, None);
-                    BudgetCell {
-                        len,
-                        num,
-                        available,
-                        em: r.overall.em_pct(),
-                        ex: r.overall.ex_pct(),
-                        tokens: r.avg_prompt_tokens + r.avg_output_tokens,
-                    }
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("thread")).collect()
-    })
-    .expect("scope")
+    cells
+        .into_iter()
+        .map(|(len, num)| {
+            // A single API call must fit prompt + all sampled completions.
+            let available = len + num as u64 * EST_SAMPLE_TOKENS <= llm::CONTEXT_LIMIT;
+            if !available {
+                return BudgetCell { len, num, available, em: 0.0, ex: 0.0, tokens: 0.0 };
+            }
+            let mut cfg = PurpleConfig::default_with(CHATGPT);
+            cfg.len_budget = len;
+            cfg.num_consistency = num;
+            let p = ctx.purple.with_config(cfg);
+            let r = evaluate_par(&p, dev, None, ctx.jobs);
+            BudgetCell {
+                len,
+                num,
+                available,
+                em: r.overall.em_pct(),
+                ex: r.overall.ex_pct(),
+                tokens: r.avg_prompt_tokens + r.avg_output_tokens,
+            }
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -335,12 +312,30 @@ pub struct RobustRow {
 pub fn fig12_left(ctx: &ReproContext) -> Vec<RobustRow> {
     let dev = &ctx.suite.dev;
     let variants: Vec<(String, SelectionConfig)> = vec![
-        ("p0=1 Linear-1".into(), SelectionConfig { p0: 1, growth: Growth::Linear(1), ..Default::default() }),
-        ("p0=2 Linear-1".into(), SelectionConfig { p0: 2, growth: Growth::Linear(1), ..Default::default() }),
-        ("p0=3 Linear-1".into(), SelectionConfig { p0: 3, growth: Growth::Linear(1), ..Default::default() }),
-        ("p0=1 Linear-2".into(), SelectionConfig { p0: 1, growth: Growth::Linear(2), ..Default::default() }),
-        ("p0=1 Linear-3".into(), SelectionConfig { p0: 1, growth: Growth::Linear(3), ..Default::default() }),
-        ("p0=1 Exp-2".into(), SelectionConfig { p0: 1, growth: Growth::Exp(2), ..Default::default() }),
+        (
+            "p0=1 Linear-1".into(),
+            SelectionConfig { p0: 1, growth: Growth::Linear(1), ..Default::default() },
+        ),
+        (
+            "p0=2 Linear-1".into(),
+            SelectionConfig { p0: 2, growth: Growth::Linear(1), ..Default::default() },
+        ),
+        (
+            "p0=3 Linear-1".into(),
+            SelectionConfig { p0: 3, growth: Growth::Linear(1), ..Default::default() },
+        ),
+        (
+            "p0=1 Linear-2".into(),
+            SelectionConfig { p0: 1, growth: Growth::Linear(2), ..Default::default() },
+        ),
+        (
+            "p0=1 Linear-3".into(),
+            SelectionConfig { p0: 1, growth: Growth::Linear(3), ..Default::default() },
+        ),
+        (
+            "p0=1 Exp-2".into(),
+            SelectionConfig { p0: 1, growth: Growth::Exp(2), ..Default::default() },
+        ),
     ];
     run_selection_variants(ctx, dev, variants)
 }
@@ -365,23 +360,16 @@ fn run_selection_variants(
     dev: &spidergen::Benchmark,
     variants: Vec<(String, SelectionConfig)>,
 ) -> Vec<RobustRow> {
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = variants
-            .into_iter()
-            .map(|(label, sel)| {
-                let ctx = &*ctx;
-                scope.spawn(move |_| {
-                    let mut cfg = PurpleConfig::default_with(CHATGPT);
-                    cfg.selection = sel;
-                    let mut p = ctx.purple.with_config(cfg);
-                    let r = evaluate(&mut p, dev, None);
-                    RobustRow { label, em: r.overall.em_pct(), ex: r.overall.ex_pct() }
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("thread")).collect()
-    })
-    .expect("scope")
+    variants
+        .into_iter()
+        .map(|(label, sel)| {
+            let mut cfg = PurpleConfig::default_with(CHATGPT);
+            cfg.selection = sel;
+            let p = ctx.purple.with_config(cfg);
+            let r = evaluate_par(&p, dev, None, ctx.jobs);
+            RobustRow { label, em: r.overall.em_pct(), ex: r.overall.ex_pct() }
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -403,7 +391,7 @@ pub const TABLE5_PAPER: &[(&str, f64, f64)] = &[
 /// Run Table 5.
 pub fn table5(ctx: &ReproContext) -> Vec<Row> {
     let dev = &ctx.suite.dev;
-    let mut systems: Vec<Box<dyn Translator + Send>> = vec![
+    let systems: Vec<Box<dyn Translator + Sync>> = vec![
         Box::new(baseline(ctx, Strategy::DinSql, GPT4)),
         Box::new(baseline(ctx, Strategy::DinSql, CHATGPT)),
         Box::new(baseline(ctx, Strategy::C3, GPT4)),
@@ -413,14 +401,8 @@ pub fn table5(ctx: &ReproContext) -> Vec<Row> {
         Box::new(purple_with(ctx, GPT4)),
         Box::new(purple_with(ctx, CHATGPT)),
     ];
-    let reports: Vec<EvalReport> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = systems
-            .iter_mut()
-            .map(|sys| scope.spawn(move |_| evaluate(sys.as_mut(), dev, None)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("thread")).collect()
-    })
-    .expect("scope");
+    let reports: Vec<EvalReport> =
+        systems.iter().map(|sys| evaluate_par(sys.as_ref(), dev, None, ctx.jobs)).collect();
     reports
         .iter()
         .enumerate()
@@ -474,20 +456,13 @@ pub fn table6(ctx: &ReproContext) -> Vec<Row> {
             c
         }),
     ];
-    let reports: Vec<(String, EvalReport)> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = variants
-            .into_iter()
-            .map(|(label, cfg)| {
-                let ctx = &*ctx;
-                scope.spawn(move |_| {
-                    let mut p = ctx.purple.with_config(cfg);
-                    (label.to_string(), evaluate(&mut p, dev, None))
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("thread")).collect()
-    })
-    .expect("scope");
+    let reports: Vec<(String, EvalReport)> = variants
+        .into_iter()
+        .map(|(label, cfg)| {
+            let p = ctx.purple.with_config(cfg);
+            (label.to_string(), evaluate_par(&p, dev, None, ctx.jobs))
+        })
+        .collect();
     reports
         .iter()
         .enumerate()
@@ -561,7 +536,9 @@ pub fn table2(ctx: &ReproContext) -> Vec<AdaptionDemo> {
             let mut q = ex.query.clone();
             if inject(&mut q, db, &mut rng).is_some() {
                 let broken = q.to_string();
-                let Err(e) = engine::execute(db, &q) else { continue };
+                let Err(e) = engine::execute(db, &q) else {
+                    continue;
+                };
                 let fixed = ctx.purple.adapt(&broken, db, 7);
                 out.push(AdaptionDemo {
                     category: label.to_string(),
@@ -591,7 +568,11 @@ pub fn table2(ctx: &ReproContext) -> Vec<AdaptionDemo> {
 fn crafted_demo(
     ctx: &ReproContext,
     label: &str,
-    inject: fn(&mut sqlkit::Query, &engine::Database, &mut rand::rngs::StdRng) -> Option<&'static str>,
+    inject: fn(
+        &mut sqlkit::Query,
+        &engine::Database,
+        &mut rand::rngs::StdRng,
+    ) -> Option<&'static str>,
     rng: &mut rand::rngs::StdRng,
 ) -> Option<AdaptionDemo> {
     let db = ctx.suite.dev.databases.first()?;
@@ -601,10 +582,14 @@ fn crafted_demo(
                 continue;
             }
             let sql = format!("SELECT COUNT(DISTINCT {}) FROM {}", col.name, table.name);
-            let Ok(mut q) = sqlkit::parse(&sql) else { continue };
+            let Ok(mut q) = sqlkit::parse(&sql) else {
+                continue;
+            };
             if inject(&mut q, db, rng).is_some() {
                 let broken = q.to_string();
-                let Err(e) = engine::execute(db, &q) else { continue };
+                let Err(e) = engine::execute(db, &q) else {
+                    continue;
+                };
                 let fixed = ctx.purple.adapt(&broken, db, 7);
                 return Some(AdaptionDemo {
                     category: label.to_string(),
@@ -635,10 +620,6 @@ pub fn support_stats(ctx: &ReproContext) -> Vec<(String, [usize; 5])> {
     let mut purple_hist = [0usize; 5];
     let mut dail_hist = [0usize; 5];
     let mut random_hist = [0usize; 5];
-
-    let mut purple = purple_with(ctx, CHATGPT);
-    let mut dail = baseline(ctx, Strategy::DailSql, CHATGPT);
-    let _ = (&mut purple, &mut dail);
 
     // Re-derive the selections the strategies would make.
     let automata = ctx.purple.automata();
@@ -701,14 +682,11 @@ fn dail_like_selection(
         }
         a.intersection(b).count() as f64 / a.union(b).count() as f64
     };
-    let q_tokens: BTreeSet<String> =
-        nlmodel::features::tokenize_nl(&ex.nl).into_iter().collect();
+    let q_tokens: BTreeSet<String> = nlmodel::features::tokenize_nl(&ex.nl).into_iter().collect();
     let pred = ctx.models.predictor.predict(&ex.nl, db, 1);
     let pred_kw: BTreeSet<String> = pred
         .first()
-        .map(|p| {
-            p.skeleton.at_level(Level::Keywords).into_iter().map(|t| t.to_string()).collect()
-        })
+        .map(|p| p.skeleton.at_level(Level::Keywords).into_iter().map(|t| t.to_string()).collect())
         .unwrap_or_default();
     let mut scored: Vec<(usize, f64)> = ctx
         .models
@@ -740,9 +718,13 @@ pub fn rewrite_stats(ctx: &ReproContext) -> (f64, f64, f64) {
     let mut total = 0usize;
     for ex in &ctx.suite.dev.examples {
         let db = ctx.suite.dev.db_of(ex);
-        let Ok(gold_rs) = engine::execute(db, &ex.query) else { continue };
+        let Ok(gold_rs) = engine::execute(db, &ex.query) else {
+            continue;
+        };
         for _ in 0..8 {
-            let Some(m) = near_miss(&ex.query, db, 0.72, &mut rng) else { continue };
+            let Some(m) = near_miss(&ex.query, db, 0.72, &mut rng) else {
+                continue;
+            };
             total += 1;
             let eq = equivalent_rewrites(&ex.query).contains(&m)
                 || !corrupting_rewrites(&ex.query).contains(&m);
@@ -774,27 +756,16 @@ pub fn extension_generation(ctx: &ReproContext) -> Vec<RobustRow> {
         ("generation (§VII)", DemoMode::Generate),
         ("hybrid", DemoMode::Hybrid),
     ];
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = variants
-            .iter()
-            .map(|(label, mode)| {
-                let ctx = &*ctx;
-                scope.spawn(move |_| {
-                    let mut cfg = PurpleConfig::default_with(CHATGPT);
-                    cfg.demo_mode = *mode;
-                    let mut p = ctx.purple.with_config(cfg);
-                    let r = evaluate(&mut p, dev, None);
-                    RobustRow {
-                        label: label.to_string(),
-                        em: r.overall.em_pct(),
-                        ex: r.overall.ex_pct(),
-                    }
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("thread")).collect()
-    })
-    .expect("scope")
+    variants
+        .iter()
+        .map(|(label, mode)| {
+            let mut cfg = PurpleConfig::default_with(CHATGPT);
+            cfg.demo_mode = *mode;
+            let p = ctx.purple.with_config(cfg);
+            let r = evaluate_par(&p, dev, None, ctx.jobs);
+            RobustRow { label: label.to_string(), em: r.overall.em_pct(), ex: r.overall.ex_pct() }
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -813,8 +784,8 @@ pub fn seed_sweep(scale: crate::context::Scale, seeds: &[u64]) -> Vec<(u64, f64,
                 let seed = *seed;
                 scope.spawn(move |_| {
                     let ctx = crate::context::ReproContext::build(scale, seed);
-                    let mut p = ctx.purple.with_config(PurpleConfig::default_with(CHATGPT));
-                    let r = evaluate(&mut p, &ctx.suite.dev, None);
+                    let p = ctx.purple.with_config(PurpleConfig::default_with(CHATGPT));
+                    let r = evaluate(&p, &ctx.suite.dev, None);
                     (seed, r.overall.em_pct(), r.overall.ex_pct())
                 })
             })
@@ -869,20 +840,21 @@ pub fn model_stats(ctx: &ReproContext) -> String {
 /// misses go, in the paper's vocabulary (wrong composition vs linking vs values).
 pub fn error_analysis(ctx: &ReproContext) -> Vec<(String, eval::ErrorReport)> {
     let dev = &ctx.suite.dev;
-    let mut systems: Vec<Box<dyn Translator + Send>> = vec![
+    let systems: Vec<Box<dyn Translator + Sync>> = vec![
         Box::new(baseline(ctx, Strategy::ChatGptSql, CHATGPT)),
         Box::new(purple_with(ctx, CHATGPT)),
     ];
     crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = systems
-            .iter_mut()
+            .iter()
             .map(|sys| {
+                let sys = sys.as_ref();
                 scope.spawn(move |_| {
                     let name = sys.name();
                     let mut report = eval::ErrorReport::default();
-                    for ex in &dev.examples {
+                    for (i, ex) in dev.examples.iter().enumerate() {
                         let db = dev.db_of(ex);
-                        let t = sys.translate(ex, db);
+                        let t = sys.translate(i, ex, db);
                         report.add(eval::classify(&t.sql, &ex.query, db));
                     }
                     (name, report)
@@ -924,16 +896,14 @@ pub fn cost_report(ctx: &ReproContext) -> Vec<CostRow> {
     let mut out = Vec::new();
     for (name, strategy, profile) in configs {
         let ledger = llm::CostLedger::shared();
-        let mut t = baseline(ctx, strategy, profile);
-        t.attach_ledger(ledger.clone());
-        let r = evaluate(&mut t, dev, None);
+        let t = baseline(ctx, strategy, profile).with_ledger(ledger.clone());
+        let r = evaluate_par(&t, dev, None, ctx.jobs);
         out.push(cost_row(name, ledger.totals(), &profile, dev.examples.len(), r.overall.em_pct()));
     }
     for profile in [CHATGPT, GPT4] {
         let ledger = llm::CostLedger::shared();
-        let mut p = purple_with(ctx, profile);
-        p.attach_ledger(ledger.clone());
-        let r = evaluate(&mut p, dev, None);
+        let p = purple_with(ctx, profile).with_ledger(ledger.clone());
+        let r = evaluate_par(&p, dev, None, ctx.jobs);
         out.push(cost_row(
             &format!("PURPLE ({})", profile.name),
             ledger.totals(),

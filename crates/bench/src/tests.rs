@@ -66,9 +66,8 @@ fn fig11_marks_the_overflow_cell_na() {
     assert!(!na.is_empty(), "at least one N/A cell expected");
     assert!(na.iter().all(|c| c.len == 3072 && c.num == 40));
     // Tokens grow with the budget among available cells at fixed num.
-    let t = |len: u64, num: usize| {
-        cells.iter().find(|c| c.len == len && c.num == num).unwrap().tokens
-    };
+    let t =
+        |len: u64, num: usize| cells.iter().find(|c| c.len == len && c.num == num).unwrap().tokens;
     assert!(t(3072, 10) > t(512, 10));
     let text = report::render_fig11(&cells);
     assert!(text.contains("N/A"));
@@ -80,8 +79,8 @@ fn fig12_left_is_stable_and_right_degrades_with_drop() {
     let left = exp::fig12_left(&context);
     assert_eq!(left.len(), 6);
     let em: Vec<f64> = left.iter().map(|r| r.em).collect();
-    let spread = em.iter().cloned().fold(f64::MIN, f64::max)
-        - em.iter().cloned().fold(f64::MAX, f64::min);
+    let spread =
+        em.iter().cloned().fold(f64::MIN, f64::max) - em.iter().cloned().fold(f64::MAX, f64::min);
     assert!(spread <= 10.0, "hyper-parameter spread too large: {spread:.1}");
 
     let right = exp::fig12_right(&context);

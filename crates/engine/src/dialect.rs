@@ -75,7 +75,9 @@ impl ScalarFunc {
                 _ => Value::Null,
             },
             ScalarFunc::Round => {
-                let Some(x) = args[0].as_f64() else { return Value::Null };
+                let Some(x) = args[0].as_f64() else {
+                    return Value::Null;
+                };
                 let digits = args.get(1).and_then(|v| v.as_f64()).unwrap_or(0.0) as i32;
                 let scale = 10f64.powi(digits);
                 Value::Float((x * scale).round() / scale)
@@ -171,7 +173,7 @@ pub fn map_function(name: &str, target: &Dialect) -> Option<&'static str> {
         other => other,
     };
     let f = Dialect::mysql().function(canonical)?; // source universe: all we model
-    // A mapping that does not change the spelling is no repair at all.
+                                                   // A mapping that does not change the spelling is no repair at all.
     if target.function(f.name()).is_some() && !upper.eq_ignore_ascii_case(f.name()) {
         Some(f.name())
     } else {

@@ -107,7 +107,10 @@ impl fmt::Display for ExecError {
                 write!(f, "wrong number of arguments to aggregate {func}(): {args}")
             }
             ExecError::SetOpArity { left, right } => {
-                write!(f, "SELECTs to the left and right of set operator have {left} and {right} columns")
+                write!(
+                    f,
+                    "SELECTs to the left and right of set operator have {left} and {right} columns"
+                )
             }
             ExecError::Unsupported { message } => write!(f, "unsupported: {message}"),
         }

@@ -37,10 +37,7 @@ impl ResultSet {
             return false;
         }
         if ordered {
-            self.rows
-                .iter()
-                .zip(&other.rows)
-                .all(|(a, b)| rows_close(a, b))
+            self.rows.iter().zip(&other.rows).all(|(a, b)| rows_close(a, b))
         } else {
             // Multiset comparison via sorting with the engine's total order.
             let key = |r: &Row| r.clone();
@@ -97,8 +94,11 @@ pub fn explain(db: &Database, q: &Query) -> Result<String, ExecError> {
 fn explain_into(db: &Database, q: &Query, depth: usize, out: &mut String) -> Result<(), ExecError> {
     let pad = "  ".repeat(depth);
     let core = &q.core;
-    out.push_str(&format!("{pad}SCAN {}
-", source_name(&core.from.first)));
+    out.push_str(&format!(
+        "{pad}SCAN {}
+",
+        source_name(&core.from.first)
+    ));
     if let TableRef::Subquery { query, .. } = &core.from.first {
         explain_into(db, query, depth + 1, out)?;
     }
@@ -110,20 +110,28 @@ fn explain_into(db: &Database, q: &Query, depth: usize, out: &mut String) -> Res
         } else {
             "HASH JOIN (multi-key)"
         };
-        out.push_str(&format!("{pad}{strategy} {}
-", source_name(&j.table)));
+        out.push_str(&format!(
+            "{pad}{strategy} {}
+",
+            source_name(&j.table)
+        ));
         if let TableRef::Subquery { query, .. } = &j.table {
             explain_into(db, query, depth + 1, out)?;
         }
     }
     if let Some(w) = &core.where_clause {
-        out.push_str(&format!("{pad}FILTER ({} predicates)
-", w.num_predicates()));
+        out.push_str(&format!(
+            "{pad}FILTER ({} predicates)
+",
+            w.num_predicates()
+        ));
         for (p, _) in w.flatten() {
             for operand in [Some(&p.right), p.right2.as_ref()].into_iter().flatten() {
                 if let Operand::Subquery(sub) = operand {
-                    out.push_str(&format!("{pad}  SUBQUERY (materialized once)
-"));
+                    out.push_str(&format!(
+                        "{pad}  SUBQUERY (materialized once)
+"
+                    ));
                     explain_into(db, sub, depth + 2, out)?;
                 }
             }
@@ -131,31 +139,48 @@ fn explain_into(db: &Database, q: &Query, depth: usize, out: &mut String) -> Res
     }
     let has_agg = core.items.iter().any(|i| i.expr.func.is_some());
     if !core.group_by.is_empty() {
-        out.push_str(&format!("{pad}GROUP BY ({} keys)
-", core.group_by.len()));
+        out.push_str(&format!(
+            "{pad}GROUP BY ({} keys)
+",
+            core.group_by.len()
+        ));
     } else if has_agg || core.having.is_some() {
-        out.push_str(&format!("{pad}AGGREGATE (single group)
-"));
+        out.push_str(&format!(
+            "{pad}AGGREGATE (single group)
+"
+        ));
     }
     if core.having.is_some() {
-        out.push_str(&format!("{pad}HAVING
-"));
+        out.push_str(&format!(
+            "{pad}HAVING
+"
+        ));
     }
     if core.distinct {
-        out.push_str(&format!("{pad}DISTINCT
-"));
+        out.push_str(&format!(
+            "{pad}DISTINCT
+"
+        ));
     }
     if !core.order_by.is_empty() {
-        out.push_str(&format!("{pad}SORT ({} keys)
-", core.order_by.len()));
+        out.push_str(&format!(
+            "{pad}SORT ({} keys)
+",
+            core.order_by.len()
+        ));
     }
     if let Some(n) = core.limit {
-        out.push_str(&format!("{pad}LIMIT {n}
-"));
+        out.push_str(&format!(
+            "{pad}LIMIT {n}
+"
+        ));
     }
     if let Some((op, rhs)) = &q.compound {
-        out.push_str(&format!("{pad}{} (hash set semantics)
-", op.keyword()));
+        out.push_str(&format!(
+            "{pad}{} (hash set semantics)
+",
+            op.keyword()
+        ));
         explain_into(db, rhs, depth, out)?;
     }
     // Compile-time validation matches `execute`: run it on an empty clone so the
@@ -182,7 +207,9 @@ fn source_name(tr: &TableRef) -> String {
 /// Execute a query against a database.
 pub fn execute(db: &Database, q: &Query) -> Result<ResultSet, ExecError> {
     let left = exec_core(db, &q.core)?;
-    let Some((op, rhs)) = &q.compound else { return Ok(left) };
+    let Some((op, rhs)) = &q.compound else {
+        return Ok(left);
+    };
     let right = execute(db, rhs)?;
     if left.columns.len() != right.columns.len() {
         return Err(ExecError::SetOpArity { left: left.columns.len(), right: right.columns.len() });
@@ -264,9 +291,10 @@ impl Env {
                     });
                 }
                 return match owner_table(db, &col) {
-                    Some(owner) => {
-                        Err(ExecError::MissingTable { column: c.column.clone(), owner_table: owner })
-                    }
+                    Some(owner) => Err(ExecError::MissingTable {
+                        column: c.column.clone(),
+                        owner_table: owner,
+                    }),
                     None => Err(ExecError::UnknownColumn { column: c.column.clone() }),
                 };
             }
@@ -282,11 +310,8 @@ impl Env {
             return Err(ExecError::UnknownTable { name: q.clone() });
         }
         // Unqualified.
-        let hits: Vec<&BoundSource> = self
-            .sources
-            .iter()
-            .filter(|s| s.col_names.contains(&col))
-            .collect();
+        let hits: Vec<&BoundSource> =
+            self.sources.iter().filter(|s| s.col_names.contains(&col)).collect();
         match hits.len() {
             1 => {
                 let src = hits[0];
@@ -308,11 +333,7 @@ impl Env {
 }
 
 fn owner_table(db: &Database, col_lower: &str) -> Option<String> {
-    db.schema
-        .tables
-        .iter()
-        .find(|t| t.column_index(col_lower).is_some())
-        .map(|t| t.name.clone())
+    db.schema.tables.iter().find(|t| t.column_index(col_lower).is_some()).map(|t| t.name.clone())
 }
 
 // ---------------------------------------------------------------------------
@@ -371,10 +392,8 @@ fn compile_val_unit(v: &ValUnit, env: &Env, db: &Database) -> Result<CExpr, Exec
         ValUnit::Func { name, args } => {
             // Resolve arguments first: a hallucinated function over a hallucinated
             // column should report the deepest error deterministically left-to-right.
-            let compiled: Vec<CExpr> = args
-                .iter()
-                .map(|a| compile_val_unit(a, env, db))
-                .collect::<Result<_, _>>()?;
+            let compiled: Vec<CExpr> =
+                args.iter().map(|a| compile_val_unit(a, env, db)).collect::<Result<_, _>>()?;
             // The database's dialect decides which scalar functions exist
             // (SQLite has no CONCAT — the paper's Function-Hallucination).
             let Some(f) = db.dialect.function(name) else {
@@ -717,21 +736,11 @@ fn exec_core(db: &Database, core: &SelectCore) -> Result<ResultSet, ExecError> {
             .unwrap_or_else(|| output_name(&item.expr));
         select.push((compile_agg(&item.expr, &env, db)?, name));
     }
-    let where_c = core
-        .where_clause
-        .as_ref()
-        .map(|c| compile_cond(c, &env, db, false))
-        .transpose()?;
-    let group_cols: Vec<usize> = core
-        .group_by
-        .iter()
-        .map(|g| env.resolve(g, db))
-        .collect::<Result<_, _>>()?;
-    let having_c = core
-        .having
-        .as_ref()
-        .map(|c| compile_cond(c, &env, db, true))
-        .transpose()?;
+    let where_c =
+        core.where_clause.as_ref().map(|c| compile_cond(c, &env, db, false)).transpose()?;
+    let group_cols: Vec<usize> =
+        core.group_by.iter().map(|g| env.resolve(g, db)).collect::<Result<_, _>>()?;
+    let having_c = core.having.as_ref().map(|c| compile_cond(c, &env, db, true)).transpose()?;
     let order: Vec<(OrderTarget, OrderDir)> = core
         .order_by
         .iter()
@@ -751,10 +760,9 @@ fn exec_core(db: &Database, core: &SelectCore) -> Result<ResultSet, ExecError> {
 
     // --- Phase 3: WHERE ----------------------------------------------------
     let filtered: Vec<Row> = match &where_c {
-        Some(c) => joined
-            .into_iter()
-            .filter(|r| eval_cond(c, &[r], Some(r)) == Some(true))
-            .collect(),
+        Some(c) => {
+            joined.into_iter().filter(|r| eval_cond(c, &[r], Some(r)) == Some(true)).collect()
+        }
         None => joined,
     };
 
@@ -776,9 +784,7 @@ fn exec_core(db: &Database, core: &SelectCore) -> Result<ResultSet, ExecError> {
 
     if aggregate_path {
         if select_all {
-            return Err(ExecError::Unsupported {
-                message: "SELECT * with aggregation".into(),
-            });
+            return Err(ExecError::Unsupported { message: "SELECT * with aggregation".into() });
         }
         let groups = build_groups(&filtered, &group_cols);
         for group in groups {

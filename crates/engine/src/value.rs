@@ -110,18 +110,15 @@ impl Value {
         }
         if let (Value::Int(a), Value::Int(b)) = (self.int_view(), other.int_view()) {
             return match op {
-                ArithOp::Add => a
-                    .checked_add(b)
-                    .map(Value::Int)
-                    .unwrap_or(Value::Float(a as f64 + b as f64)),
-                ArithOp::Sub => a
-                    .checked_sub(b)
-                    .map(Value::Int)
-                    .unwrap_or(Value::Float(a as f64 - b as f64)),
-                ArithOp::Mul => a
-                    .checked_mul(b)
-                    .map(Value::Int)
-                    .unwrap_or(Value::Float(a as f64 * b as f64)),
+                ArithOp::Add => {
+                    a.checked_add(b).map(Value::Int).unwrap_or(Value::Float(a as f64 + b as f64))
+                }
+                ArithOp::Sub => {
+                    a.checked_sub(b).map(Value::Int).unwrap_or(Value::Float(a as f64 - b as f64))
+                }
+                ArithOp::Mul => {
+                    a.checked_mul(b).map(Value::Int).unwrap_or(Value::Float(a as f64 * b as f64))
+                }
                 ArithOp::Div => {
                     if b == 0 {
                         Value::Null
@@ -175,8 +172,7 @@ impl PartialEq for Value {
     fn eq(&self, other: &Self) -> bool {
         // Structural equality used for grouping / DISTINCT / result comparison:
         // NULL equals NULL here (SQL's three-valued equality lives in `sql_eq`).
-        self.total_cmp(other) == Ordering::Equal
-            && self.class_rank() == other.class_rank()
+        self.total_cmp(other) == Ordering::Equal && self.class_rank() == other.class_rank()
             || (self.is_null() && other.is_null())
     }
 }
@@ -269,10 +265,7 @@ mod tests {
         assert_eq!(Value::Int(5).arith(ArithOp::Div, &Value::Int(2)), Value::Int(2));
         assert_eq!(Value::Int(-5).arith(ArithOp::Div, &Value::Int(2)), Value::Int(-2));
         assert_eq!(Value::Int(5).arith(ArithOp::Div, &Value::Int(0)), Value::Null);
-        assert_eq!(
-            Value::Float(5.0).arith(ArithOp::Div, &Value::Int(2)),
-            Value::Float(2.5)
-        );
+        assert_eq!(Value::Float(5.0).arith(ArithOp::Div, &Value::Int(2)), Value::Float(2.5));
     }
 
     #[test]
@@ -289,9 +282,7 @@ mod tests {
 
     #[test]
     fn like_wildcards() {
-        let t = |s: &str, p: &str| {
-            Value::Text(s.into()).sql_like(&Value::Text(p.into())).unwrap()
-        };
+        let t = |s: &str, p: &str| Value::Text(s.into()).sql_like(&Value::Text(p.into())).unwrap();
         assert!(t("Todd Casey", "%Casey"));
         assert!(t("Todd Casey", "Todd%"));
         assert!(t("Todd Casey", "%odd%"));

@@ -252,10 +252,8 @@ fn arithmetic_in_select_and_where() {
 #[test]
 fn table_column_mismatch_error() {
     let db = tv_db();
-    let e = err(
-        &db,
-        "SELECT T2.title FROM cartoon AS T1 JOIN tv_channel AS T2 ON T1.channel = T2.id",
-    );
+    let e =
+        err(&db, "SELECT T2.title FROM cartoon AS T1 JOIN tv_channel AS T2 ON T1.channel = T2.id");
     match &e {
         ExecError::TableColumnMismatch { binding, column, correct_table } => {
             assert_eq!(binding, "T2");
@@ -376,8 +374,12 @@ fn not_in_with_null_in_set_matches_sql_semantics() {
     let mut db = tv_db();
     // Insert a cartoon with NULL channel: NOT IN over a set containing NULL is
     // never true.
-    db.insert(1, vec![Value::Int(9), Value::Text("X".into()), Value::Text("A".into()), Value::Null]);
-    let rs = run(&db, "SELECT country FROM tv_channel WHERE id NOT IN (SELECT channel FROM cartoon)");
+    db.insert(
+        1,
+        vec![Value::Int(9), Value::Text("X".into()), Value::Text("A".into()), Value::Null],
+    );
+    let rs =
+        run(&db, "SELECT country FROM tv_channel WHERE id NOT IN (SELECT channel FROM cartoon)");
     assert!(rs.rows.is_empty());
 }
 
@@ -462,7 +464,9 @@ fn explain_covers_set_ops_and_subqueries() {
     .unwrap();
     assert!(plan.contains("SUBQUERY"), "{plan}");
     assert!(plan.contains("EXCEPT"), "{plan}");
-    let cartesian = engine::explain(&db, &parse("SELECT tv_channel.id FROM tv_channel, cartoon").unwrap()).unwrap();
+    let cartesian =
+        engine::explain(&db, &parse("SELECT tv_channel.id FROM tv_channel, cartoon").unwrap())
+            .unwrap();
     assert!(cartesian.contains("CARTESIAN"), "{cartesian}");
 }
 

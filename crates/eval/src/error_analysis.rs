@@ -49,7 +49,9 @@ impl FailureMode {
 
 /// Classify one prediction against its gold query and database.
 pub fn classify(pred_sql: &str, gold: &Query, db: &Database) -> FailureMode {
-    let Ok(pred) = parse(pred_sql) else { return FailureMode::ParseError };
+    let Ok(pred) = parse(pred_sql) else {
+        return FailureMode::ParseError;
+    };
     if execute(db, &pred).is_err() {
         return FailureMode::ExecutionError;
     }
@@ -106,12 +108,7 @@ impl ErrorReport {
     pub fn render(&self) -> String {
         let mut s = String::new();
         for (mode, n) in &self.counts {
-            s.push_str(&format!(
-                "  {:<22} {:>6}  ({:>5.1}%)\n",
-                mode.label(),
-                n,
-                self.pct(*mode)
-            ));
+            s.push_str(&format!("  {:<22} {:>6}  ({:>5.1}%)\n", mode.label(), n, self.pct(*mode)));
         }
         s
     }
@@ -139,7 +136,11 @@ mod tests {
         for (i, (n, g)) in [("a", "x"), ("b", "y"), ("c", "y")].iter().enumerate() {
             db.insert(
                 0,
-                vec![Value::Int(i as i64 + 1), Value::Text(n.to_string()), Value::Text(g.to_string())],
+                vec![
+                    Value::Int(i as i64 + 1),
+                    Value::Text(n.to_string()),
+                    Value::Text(g.to_string()),
+                ],
             );
         }
         db

@@ -1,6 +1,8 @@
 //! Evaluation harness: run any NL2SQL translator over a benchmark split and report
 //! EM / EX / TS accuracy, per-hardness breakdown (Fig. 9), and token consumption
-//! (Fig. 11).
+//! (Fig. 11). Evaluation is available serially ([`evaluate`]) and across worker
+//! threads ([`evaluate_par`]); both produce identical reports because translators
+//! are stateless (`&self`) and seeded purely by example position.
 
 use crate::metrics::{em_match_str, ex_match_str};
 use crate::testsuite::{build_suite, ts_match_str, SuiteConfig, TestSuite};
@@ -20,15 +22,31 @@ pub struct Translation {
 }
 
 /// An NL2SQL system under evaluation.
+///
+/// `translate` takes `&self` so a single instance can serve many examples
+/// concurrently; all per-call randomness must derive from `idx`, the position of
+/// the example within its split (see [`seed_for`]). Two calls with the same
+/// `(idx, example, db)` must return the same translation regardless of order or
+/// thread interleaving — [`evaluate_par`] relies on this contract.
 pub trait Translator {
     /// Display name ("PURPLE (ChatGPT)").
     fn name(&self) -> String;
-    /// Translate one example against its database.
-    fn translate(&mut self, example: &Example, db: &Database) -> Translation;
+    /// Translate the example at position `idx` of its split against its database.
+    fn translate(&self, idx: usize, example: &Example, db: &Database) -> Translation;
+}
+
+/// Derive the per-example RNG seed from a system base seed and the example's
+/// position within its split.
+///
+/// The `idx + 1` term reproduces the historical per-translator call counter
+/// (which started at 1), so reports are bit-identical to those produced by the
+/// earlier stateful harness while remaining order- and thread-independent.
+pub fn seed_for(base: u64, idx: usize) -> u64 {
+    base.wrapping_mul(0x100000001b3).wrapping_add(idx as u64 + 1)
 }
 
 /// Accuracy within one hardness bucket.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Bucket {
     /// Examples in the bucket.
     pub n: usize,
@@ -64,7 +82,7 @@ fn pct(hits: usize, n: usize) -> f64 {
 }
 
 /// Full evaluation report for one system on one split.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EvalReport {
     /// System name.
     pub system: String,
@@ -112,56 +130,134 @@ pub fn build_suites(bench: &Benchmark, cfg: SuiteConfig, seed: u64) -> Vec<TestS
         .iter()
         .enumerate()
         .map(|(di, db)| {
-            let probes: Vec<&sqlkit::Query> = bench
-                .examples
-                .iter()
-                .filter(|e| e.db_index == di)
-                .map(|e| &e.query)
-                .collect();
+            let probes: Vec<&sqlkit::Query> =
+                bench.examples.iter().filter(|e| e.db_index == di).map(|e| &e.query).collect();
             build_suite(db, &probes, cfg, seed.wrapping_add(di as u64))
         })
         .collect()
 }
 
-/// Evaluate a translator over a split. `suites` enables the TS metric.
-pub fn evaluate(
-    translator: &mut dyn Translator,
-    bench: &Benchmark,
+/// Metric outcome of a single example; merged in example order by `assemble` so
+/// serial and parallel evaluation fold to identical reports.
+struct ExampleScore {
+    prompt_tokens: u64,
+    output_tokens: u64,
+    em: bool,
+    ex: bool,
+    ts: bool,
+    hardness: usize,
+}
+
+fn score_example(
+    translator: &dyn Translator,
+    idx: usize,
+    ex: &Example,
+    db: &Database,
     suites: Option<&[TestSuite]>,
+) -> ExampleScore {
+    let t = translator.translate(idx, ex, db);
+    ExampleScore {
+        prompt_tokens: t.prompt_tokens,
+        output_tokens: t.output_tokens,
+        em: em_match_str(&t.sql, &ex.query, &db.schema),
+        ex: ex_match_str(&t.sql, &ex.query, db),
+        ts: match suites {
+            Some(suites) => ts_match_str(&t.sql, &ex.query, &suites[ex.db_index]),
+            None => false,
+        },
+        hardness: ex.hardness as usize,
+    }
+}
+
+fn assemble(
+    system: String,
+    split: String,
+    scores: impl Iterator<Item = ExampleScore>,
+    n: usize,
+    has_ts: bool,
 ) -> EvalReport {
     let mut overall = Bucket::default();
     let mut by_hardness = [Bucket::default(); 4];
     let mut prompt_tokens = 0u64;
     let mut output_tokens = 0u64;
-    for ex in &bench.examples {
-        let db = bench.db_of(ex);
-        let t = translator.translate(ex, db);
-        prompt_tokens += t.prompt_tokens;
-        output_tokens += t.output_tokens;
-        let em = em_match_str(&t.sql, &ex.query, &db.schema);
-        let exm = ex_match_str(&t.sql, &ex.query, db);
-        let tsm = match suites {
-            Some(suites) => ts_match_str(&t.sql, &ex.query, &suites[ex.db_index]),
-            None => false,
-        };
-        let h = ex.hardness as usize;
-        for b in [&mut overall, &mut by_hardness[h]] {
+    for s in scores {
+        prompt_tokens += s.prompt_tokens;
+        output_tokens += s.output_tokens;
+        for b in [&mut overall, &mut by_hardness[s.hardness]] {
             b.n += 1;
-            b.em += em as usize;
-            b.ex += exm as usize;
-            b.ts += tsm as usize;
+            b.em += s.em as usize;
+            b.ex += s.ex as usize;
+            b.ts += s.ts as usize;
         }
     }
-    let n = bench.examples.len().max(1) as f64;
+    let denom = n.max(1) as f64;
     EvalReport {
-        system: translator.name(),
-        split: bench.name.clone(),
+        system,
+        split,
         overall,
         by_hardness,
-        avg_prompt_tokens: prompt_tokens as f64 / n,
-        avg_output_tokens: output_tokens as f64 / n,
-        has_ts: suites.is_some(),
+        avg_prompt_tokens: prompt_tokens as f64 / denom,
+        avg_output_tokens: output_tokens as f64 / denom,
+        has_ts,
     }
+}
+
+/// Evaluate a translator over a split. `suites` enables the TS metric.
+pub fn evaluate(
+    translator: &dyn Translator,
+    bench: &Benchmark,
+    suites: Option<&[TestSuite]>,
+) -> EvalReport {
+    let scores = bench
+        .examples
+        .iter()
+        .enumerate()
+        .map(|(idx, ex)| score_example(translator, idx, ex, bench.db_of(ex), suites));
+    assemble(translator.name(), bench.name.clone(), scores, bench.examples.len(), suites.is_some())
+}
+
+/// Evaluate a translator over a split using up to `jobs` worker threads.
+///
+/// Examples are scored in contiguous chunks on scoped worker threads, then the
+/// per-example scores are folded in example order — the resulting
+/// [`EvalReport`] is identical to [`evaluate`]'s for any `jobs`, including the
+/// floating-point token averages (the summation order is fixed). `jobs` is
+/// clamped to `1..=examples`; with one job (or fewer than two examples) this
+/// delegates to the serial path.
+pub fn evaluate_par(
+    translator: &(dyn Translator + Sync),
+    bench: &Benchmark,
+    suites: Option<&[TestSuite]>,
+    jobs: usize,
+) -> EvalReport {
+    let n = bench.examples.len();
+    let jobs = jobs.clamp(1, n.max(1));
+    if jobs == 1 || n < 2 {
+        return evaluate(translator, bench, suites);
+    }
+    let mut scores: Vec<Option<ExampleScore>> = Vec::with_capacity(n);
+    scores.resize_with(n, || None);
+    let chunk = n.div_ceil(jobs);
+    crossbeam::thread::scope(|scope| {
+        for (ci, out) in scores.chunks_mut(chunk).enumerate() {
+            let start = ci * chunk;
+            scope.spawn(move |_| {
+                for (off, slot) in out.iter_mut().enumerate() {
+                    let idx = start + off;
+                    let ex = &bench.examples[idx];
+                    *slot = Some(score_example(translator, idx, ex, bench.db_of(ex), suites));
+                }
+            });
+        }
+    })
+    .expect("evaluation worker panicked");
+    assemble(
+        translator.name(),
+        bench.name.clone(),
+        scores.into_iter().map(|s| s.expect("all examples scored")),
+        n,
+        suites.is_some(),
+    )
 }
 
 /// A trivial translator that echoes the gold SQL — the harness's upper bound and a
@@ -172,7 +268,7 @@ impl Translator for OracleTranslator {
     fn name(&self) -> String {
         "Oracle (gold echo)".into()
     }
-    fn translate(&mut self, example: &Example, _db: &Database) -> Translation {
+    fn translate(&self, _idx: usize, example: &Example, _db: &Database) -> Translation {
         Translation { sql: example.sql.clone(), prompt_tokens: 0, output_tokens: 0 }
     }
 }
@@ -186,7 +282,7 @@ mod tests {
     fn oracle_scores_100_on_all_metrics() {
         let suite = generate_suite(&GenConfig::tiny(21));
         let suites = build_suites(&suite.dev, SuiteConfig::default(), 5);
-        let report = evaluate(&mut OracleTranslator, &suite.dev, Some(&suites));
+        let report = evaluate(&OracleTranslator, &suite.dev, Some(&suites));
         assert_eq!(report.overall.em_pct(), 100.0, "EM");
         assert_eq!(report.overall.ex_pct(), 100.0, "EX");
         assert_eq!(report.overall.ts_pct(), 100.0, "TS");
@@ -202,12 +298,12 @@ mod tests {
             fn name(&self) -> String {
                 "garbage".into()
             }
-            fn translate(&mut self, _e: &Example, _db: &Database) -> Translation {
+            fn translate(&self, _idx: usize, _e: &Example, _db: &Database) -> Translation {
                 Translation { sql: "SELECT".into(), prompt_tokens: 10, output_tokens: 2 }
             }
         }
         let suite = generate_suite(&GenConfig::tiny(22));
-        let report = evaluate(&mut Garbage, &suite.dev, None);
+        let report = evaluate(&Garbage, &suite.dev, None);
         assert_eq!(report.overall.em_pct(), 0.0);
         assert_eq!(report.overall.ex_pct(), 0.0);
         assert!(!report.has_ts);
@@ -217,7 +313,62 @@ mod tests {
     #[test]
     fn summary_formats() {
         let suite = generate_suite(&GenConfig::tiny(23));
-        let report = evaluate(&mut OracleTranslator, &suite.dev, None);
+        let report = evaluate(&OracleTranslator, &suite.dev, None);
         assert!(report.summary().contains("EM 100.0%"));
+    }
+
+    /// A translator whose output depends on `idx` in a way that would expose
+    /// any misrouting of example positions across worker chunks.
+    struct IdxSensitive;
+    impl Translator for IdxSensitive {
+        fn name(&self) -> String {
+            "idx-sensitive".into()
+        }
+        fn translate(&self, idx: usize, e: &Example, _db: &Database) -> Translation {
+            let seed = seed_for(0xabcd, idx);
+            Translation {
+                // Echo gold only on even-seeded positions: metrics then encode
+                // exactly which idx each example was scored with.
+                sql: if seed.is_multiple_of(2) { e.sql.clone() } else { "SELECT".into() },
+                prompt_tokens: seed % 97,
+                output_tokens: seed % 13,
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_serial_for_any_job_count() {
+        let suite = generate_suite(&GenConfig::tiny(24));
+        let suites = build_suites(&suite.dev, SuiteConfig::default(), 7);
+        let serial = evaluate(&IdxSensitive, &suite.dev, Some(&suites));
+        for jobs in [1, 2, 4, 33] {
+            let par = evaluate_par(&IdxSensitive, &suite.dev, Some(&suites), jobs);
+            assert_eq!(serial, par, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_evaluation_handles_degenerate_inputs() {
+        let mut suite = generate_suite(&GenConfig::tiny(25));
+        // jobs=0 clamps to 1; an empty split must not panic.
+        let report = evaluate_par(&OracleTranslator, &suite.dev, None, 0);
+        assert_eq!(report.overall.em_pct(), 100.0);
+        suite.dev.examples.clear();
+        let empty = evaluate_par(&OracleTranslator, &suite.dev, None, 8);
+        assert_eq!(empty.overall.n, 0);
+        assert_eq!(empty.avg_prompt_tokens, 0.0);
+    }
+
+    #[test]
+    fn seed_for_matches_historical_counter_sequence() {
+        // The stateful harness seeded call k (1-based) with
+        // base * 0x100000001b3 + k; position idx is call idx+1.
+        let base = 41u64;
+        let mut counter = 0u64;
+        for idx in 0..10 {
+            counter += 1;
+            let old = base.wrapping_mul(0x100000001b3).wrapping_add(counter);
+            assert_eq!(seed_for(base, idx), old);
+        }
     }
 }

@@ -9,12 +9,19 @@
 pub mod error_analysis;
 pub mod harness;
 pub mod metrics;
+pub mod reportio;
 pub mod testsuite;
 
 #[cfg(test)]
 mod testsuite_tests_extra;
 
 pub use error_analysis::{classify, ErrorReport, FailureMode};
-pub use harness::{build_suites, evaluate, Bucket, EvalReport, OracleTranslator, Translation, Translator};
+pub use harness::{
+    build_suites, evaluate, evaluate_par, seed_for, Bucket, EvalReport, OracleTranslator,
+    Translation, Translator,
+};
 pub use metrics::{em_match, em_match_str, ex_match, ex_match_str};
-pub use testsuite::{build_suite, fuzz_instance, mutate, ts_match, ts_match_str, SuiteConfig, TestSuite};
+pub use reportio::{report_from_json, report_to_json};
+pub use testsuite::{
+    build_suite, fuzz_instance, mutate, ts_match, ts_match_str, SuiteConfig, TestSuite,
+};

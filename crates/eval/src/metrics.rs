@@ -21,8 +21,12 @@ pub fn em_match_str(pred_sql: &str, gold: &Query, schema: &Schema) -> bool {
 /// exactly when the gold query orders its output (mirroring Spider's evaluation,
 /// which string-matches `ORDER BY` in the gold SQL).
 pub fn ex_match(pred: &Query, gold: &Query, db: &Database) -> bool {
-    let Ok(pred_rs) = execute(db, pred) else { return false };
-    let Ok(gold_rs) = execute(db, gold) else { return false };
+    let Ok(pred_rs) = execute(db, pred) else {
+        return false;
+    };
+    let Ok(gold_rs) = execute(db, gold) else {
+        return false;
+    };
     pred_rs.same_result(&gold_rs, order_matters(gold))
 }
 
@@ -53,10 +57,15 @@ mod tests {
             primary_key: Some(0),
         });
         let mut db = Database::empty(s);
-        for (i, (n, g)) in
-            [("a", "x"), ("b", "x"), ("c", "y")].iter().enumerate()
-        {
-            db.insert(0, vec![Value::Int(i as i64 + 1), Value::Text(n.to_string()), Value::Text(g.to_string())]);
+        for (i, (n, g)) in [("a", "x"), ("b", "x"), ("c", "y")].iter().enumerate() {
+            db.insert(
+                0,
+                vec![
+                    Value::Int(i as i64 + 1),
+                    Value::Text(n.to_string()),
+                    Value::Text(g.to_string()),
+                ],
+            );
         }
         db
     }

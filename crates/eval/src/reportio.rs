@@ -1,0 +1,421 @@
+//! JSON persistence for [`EvalReport`]: a dependency-free writer/parser pair so
+//! reports survive a round trip through disk or pipes. The types also carry
+//! serde derives; this module stands in for `serde_json`, which is not part of
+//! the workspace dependency set.
+
+use crate::harness::{Bucket, EvalReport};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Serialize a report to a JSON object string.
+///
+/// Field order matches struct declaration order. `f64` fields are written with
+/// enough precision ({:?}, i.e. shortest round-trippable form) that
+/// [`report_from_json`] recovers them bit-exactly.
+pub fn report_to_json(report: &EvalReport) -> String {
+    let mut out = String::with_capacity(256);
+    out.push('{');
+    write!(out, "\"system\":{},", escape(&report.system)).unwrap();
+    write!(out, "\"split\":{},", escape(&report.split)).unwrap();
+    write!(out, "\"overall\":{},", bucket_to_json(&report.overall)).unwrap();
+    out.push_str("\"by_hardness\":[");
+    for (i, b) in report.by_hardness.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&bucket_to_json(b));
+    }
+    out.push_str("],");
+    write!(out, "\"avg_prompt_tokens\":{:?},", report.avg_prompt_tokens).unwrap();
+    write!(out, "\"avg_output_tokens\":{:?},", report.avg_output_tokens).unwrap();
+    write!(out, "\"has_ts\":{}", report.has_ts).unwrap();
+    out.push('}');
+    out
+}
+
+fn bucket_to_json(b: &Bucket) -> String {
+    format!("{{\"n\":{},\"em\":{},\"ex\":{},\"ts\":{}}}", b.n, b.em, b.ex, b.ts)
+}
+
+/// Parse a report written by [`report_to_json`] (or any equivalent JSON object;
+/// field order does not matter, unknown fields are rejected).
+pub fn report_from_json(text: &str) -> Result<EvalReport, String> {
+    let value = Parser { bytes: text.as_bytes(), pos: 0 }.parse_document()?;
+    let obj = value.as_object("report")?;
+    let mut report = EvalReport {
+        system: String::new(),
+        split: String::new(),
+        overall: Bucket::default(),
+        by_hardness: [Bucket::default(); 4],
+        avg_prompt_tokens: 0.0,
+        avg_output_tokens: 0.0,
+        has_ts: false,
+    };
+    for (key, val) in obj {
+        match key.as_str() {
+            "system" => report.system = val.as_string("system")?,
+            "split" => report.split = val.as_string("split")?,
+            "overall" => report.overall = bucket_from_value(val, "overall")?,
+            "by_hardness" => {
+                let items = val.as_array("by_hardness")?;
+                if items.len() != 4 {
+                    return Err(format!("by_hardness has {} entries, expected 4", items.len()));
+                }
+                for (i, item) in items.iter().enumerate() {
+                    report.by_hardness[i] = bucket_from_value(item, "by_hardness[i]")?;
+                }
+            }
+            "avg_prompt_tokens" => report.avg_prompt_tokens = val.as_f64("avg_prompt_tokens")?,
+            "avg_output_tokens" => report.avg_output_tokens = val.as_f64("avg_output_tokens")?,
+            "has_ts" => report.has_ts = val.as_bool("has_ts")?,
+            other => return Err(format!("unknown report field `{other}`")),
+        }
+    }
+    Ok(report)
+}
+
+fn bucket_from_value(value: &JsonValue, what: &str) -> Result<Bucket, String> {
+    let obj = value.as_object(what)?;
+    let mut b = Bucket::default();
+    for (key, val) in obj {
+        let n = val.as_usize(key)?;
+        match key.as_str() {
+            "n" => b.n = n,
+            "em" => b.em = n,
+            "ex" => b.ex = n,
+            "ts" => b.ts = n,
+            other => return Err(format!("unknown bucket field `{other}`")),
+        }
+    }
+    Ok(b)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).unwrap();
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal JSON value tree. Numbers keep their source text so integer widths
+/// and float precision are decided by the caller, not the parser.
+enum JsonValue {
+    Str(String),
+    Num(String),
+    Bool(bool),
+    Array(Vec<JsonValue>),
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    fn as_object(&self, what: &str) -> Result<&BTreeMap<String, JsonValue>, String> {
+        match self {
+            JsonValue::Object(m) => Ok(m),
+            _ => Err(format!("{what}: expected object")),
+        }
+    }
+    fn as_array(&self, what: &str) -> Result<&[JsonValue], String> {
+        match self {
+            JsonValue::Array(v) => Ok(v),
+            _ => Err(format!("{what}: expected array")),
+        }
+    }
+    fn as_string(&self, what: &str) -> Result<String, String> {
+        match self {
+            JsonValue::Str(s) => Ok(s.clone()),
+            _ => Err(format!("{what}: expected string")),
+        }
+    }
+    fn as_bool(&self, what: &str) -> Result<bool, String> {
+        match self {
+            JsonValue::Bool(b) => Ok(*b),
+            _ => Err(format!("{what}: expected bool")),
+        }
+    }
+    fn as_f64(&self, what: &str) -> Result<f64, String> {
+        match self {
+            JsonValue::Num(s) => s.parse().map_err(|e| format!("{what}: {e}")),
+            _ => Err(format!("{what}: expected number")),
+        }
+    }
+    fn as_usize(&self, what: &str) -> Result<usize, String> {
+        match self {
+            JsonValue::Num(s) => s.parse().map_err(|e| format!("{what}: {e}")),
+            _ => Err(format!("{what}: expected integer")),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn parse_document(mut self) -> Result<JsonValue, String> {
+        let value = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing input at byte {}", self.pos));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of input".into())
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != byte {
+            return Err(format!(
+                "expected `{}` at byte {}, got `{}`",
+                byte as char, self.pos, got as char
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek()? {
+            b'{' => self.parse_object(),
+            b'[' => self.parse_array(),
+            b'"' => Ok(JsonValue::Str(self.parse_string()?)),
+            b't' => self.parse_keyword("true", JsonValue::Bool(true)),
+            b'f' => self.parse_keyword("false", JsonValue::Bool(false)),
+            _ => self.parse_number(),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected `{word}` at byte {}", self.pos))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            if map.insert(key.clone(), value).is_some() {
+                return Err(format!("duplicate key `{key}`"));
+            }
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                c => {
+                    return Err(format!(
+                        "expected `,` or `}}` at byte {}, got `{}`",
+                        self.pos, c as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                c => {
+                    return Err(format!(
+                        "expected `,` or `]` at byte {}, got `{}`",
+                        self.pos, c as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let Some(&b) = rest.first() else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("invalid \\u{code:04x}"))?,
+                            );
+                        }
+                        other => return Err(format!("unknown escape `\\{}`", other as char)),
+                    }
+                }
+                _ => {
+                    // Consume the full UTF-8 sequence starting at b.
+                    let len = utf8_len(b)?;
+                    let start = self.pos - 1;
+                    let chunk =
+                        self.bytes.get(start..start + len).ok_or("truncated UTF-8 sequence")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected a value at byte {start}"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        // Validate it is a number now so type errors surface at parse time.
+        text.parse::<f64>().map_err(|e| format!("bad number `{text}`: {e}"))?;
+        Ok(JsonValue::Num(text.to_string()))
+    }
+}
+
+fn utf8_len(first: u8) -> Result<usize, String> {
+    match first {
+        0x00..=0x7f => Ok(1),
+        0xc0..=0xdf => Ok(2),
+        0xe0..=0xef => Ok(3),
+        0xf0..=0xf7 => Ok(4),
+        other => Err(format!("invalid UTF-8 lead byte {other:#x}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EvalReport {
+        EvalReport {
+            system: "PURPLE (\"quoted\" \\ name)\n".into(),
+            split: "dev — Spider".into(),
+            overall: Bucket { n: 100, em: 77, ex: 81, ts: 79 },
+            by_hardness: [
+                Bucket { n: 25, em: 24, ex: 25, ts: 25 },
+                Bucket { n: 35, em: 28, ex: 30, ts: 29 },
+                Bucket { n: 25, em: 17, ex: 18, ts: 17 },
+                Bucket { n: 15, em: 8, ex: 8, ts: 8 },
+            ],
+            avg_prompt_tokens: 5990.333333333333,
+            avg_output_tokens: 27.49,
+            has_ts: true,
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let report = sample();
+        let json = report_to_json(&report);
+        let back = report_from_json(&json).expect("parses");
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn round_trip_is_idempotent_text() {
+        let json = report_to_json(&sample());
+        let again = report_to_json(&report_from_json(&json).unwrap());
+        assert_eq!(json, again);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(report_from_json("").is_err());
+        assert!(report_from_json("{").is_err());
+        assert!(report_from_json("[]").is_err());
+        assert!(report_from_json("{\"system\":1}").is_err());
+        assert!(report_from_json("{\"bogus\":true}").is_err());
+        let json = report_to_json(&sample());
+        assert!(report_from_json(&format!("{json}x")).is_err(), "trailing input");
+    }
+
+    #[test]
+    fn accepts_whitespace_and_field_reordering() {
+        let json = "{ \"has_ts\": false, \"system\": \"s\", \"split\": \"d\",\n \
+                    \"overall\": {\"n\":1,\"em\":0,\"ex\":1,\"ts\":0},\n \
+                    \"by_hardness\": [{\"n\":1,\"em\":0,\"ex\":1,\"ts\":0},{},{},{}],\n \
+                    \"avg_prompt_tokens\": 1.5, \"avg_output_tokens\": 2 }";
+        // Empty bucket objects default all counters to zero.
+        let report = report_from_json(json).expect("parses");
+        assert_eq!(report.overall.ex, 1);
+        assert_eq!(report.by_hardness[1], Bucket::default());
+        assert_eq!(report.avg_prompt_tokens, 1.5);
+        assert_eq!(report.avg_output_tokens, 2.0);
+    }
+}

@@ -62,10 +62,8 @@ pub fn build_suite(
         .collect();
 
     // A neighbor is "alive" while no kept instance distinguishes it from its gold.
-    let mut alive: Vec<bool> = neighbors
-        .iter()
-        .map(|(i, m)| !distinguishes(db, probes[*i], m))
-        .collect();
+    let mut alive: Vec<bool> =
+        neighbors.iter().map(|(i, m)| !distinguishes(db, probes[*i], m)).collect();
 
     for c in 0..cfg.candidates {
         if kept.len() >= cfg.max_kept || !alive.iter().any(|a| *a) {
@@ -95,8 +93,12 @@ pub fn build_suite(
 pub fn ts_match(pred: &Query, gold: &Query, suite: &TestSuite) -> bool {
     let ordered = order_matters(gold);
     for db in &suite.databases {
-        let Ok(gold_rs) = execute(db, gold) else { continue };
-        let Ok(pred_rs) = execute(db, pred) else { return false };
+        let Ok(gold_rs) = execute(db, gold) else {
+            continue;
+        };
+        let Ok(pred_rs) = execute(db, pred) else {
+            return false;
+        };
         if !pred_rs.same_result(&gold_rs, ordered) {
             return false;
         }
@@ -332,7 +334,11 @@ mod tests {
         for (i, (n, g)) in [("a", "x"), ("b", "x"), ("c", "y")].iter().enumerate() {
             db.insert(
                 0,
-                vec![Value::Int(i as i64 + 1), Value::Text(n.to_string()), Value::Text(g.to_string())],
+                vec![
+                    Value::Int(i as i64 + 1),
+                    Value::Text(n.to_string()),
+                    Value::Text(g.to_string()),
+                ],
             );
         }
         db

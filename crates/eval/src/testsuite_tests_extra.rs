@@ -21,13 +21,8 @@ fn db() -> Database {
         primary_key: Some(0),
     });
     let mut db = Database::empty(s);
-    for (i, (n, x)) in
-        [("a", 1.5), ("b", 2.5), ("c", 3.5), ("d", 4.5)].iter().enumerate()
-    {
-        db.insert(
-            0,
-            vec![Value::Int(i as i64 + 1), Value::Text(n.to_string()), Value::Float(*x)],
-        );
+    for (i, (n, x)) in [("a", 1.5), ("b", 2.5), ("c", 3.5), ("d", 4.5)].iter().enumerate() {
+        db.insert(0, vec![Value::Int(i as i64 + 1), Value::Text(n.to_string()), Value::Float(*x)]);
     }
     db
 }

@@ -45,11 +45,16 @@ pub fn add_redundant_join(q: &Query, db: &engine::Database) -> Option<Query> {
     if q.compound.is_some()
         || q.core.from.len() != 1
         || !q.core.group_by.is_empty()
-        || q.core.items.iter().any(|i| matches!(i.expr.unit, ValUnit::Star) && i.expr.func.is_none())
+        || q.core
+            .items
+            .iter()
+            .any(|i| matches!(i.expr.unit, ValUnit::Star) && i.expr.func.is_none())
     {
         return None;
     }
-    let TableRef::Named { name, alias: None } = &q.core.from.first else { return None };
+    let TableRef::Named { name, alias: None } = &q.core.from.first else {
+        return None;
+    };
     let ti = db.schema.table_index(name)?;
     let (other, fk) = db.schema.fk_neighbors(ti).into_iter().next()?;
     // The generator's FK columns are non-null, so the inner join is lossless.
@@ -138,7 +143,9 @@ fn shift_integer_boundary(q: &Query) -> Option<Query> {
         match c {
             Condition::And(l, r) | Condition::Or(l, r) => shift(l) || shift(r),
             Condition::Pred(p) => {
-                let Operand::Literal(Literal::Int(v)) = &mut p.right else { return false };
+                let Operand::Literal(Literal::Int(v)) = &mut p.right else {
+                    return false;
+                };
                 match p.op {
                     CmpOp::Ge => {
                         p.op = CmpOp::Gt;
@@ -179,17 +186,11 @@ fn count_star_to_count_pk(q: &Query) -> Option<Query> {
     let mut out = q.clone();
     // Count the group key when grouping, else fall back to `id`, the universal
     // primary key of the generated schemas.
-    let col = out
-        .core
-        .group_by
-        .first()
-        .cloned()
-        .unwrap_or_else(|| ColumnRef::bare("id"));
-    let item = out
-        .core
-        .items
-        .iter_mut()
-        .find(|i| i.expr.func == Some(AggFunc::Count) && matches!(i.expr.unit, ValUnit::Star))?;
+    let col = out.core.group_by.first().cloned().unwrap_or_else(|| ColumnRef::bare("id"));
+    let item =
+        out.core.items.iter_mut().find(|i| {
+            i.expr.func == Some(AggFunc::Count) && matches!(i.expr.unit, ValUnit::Star)
+        })?;
     item.expr.unit = ValUnit::Column(col);
     Some(out)
 }
@@ -315,9 +316,13 @@ fn match_join(core: &SelectCore) -> Option<JoinShape> {
     if core.from.joins.len() != 1 {
         return None;
     }
-    let TableRef::Named { name: t1_name, .. } = &core.from.first else { return None };
+    let TableRef::Named { name: t1_name, .. } = &core.from.first else {
+        return None;
+    };
     let join = &core.from.joins[0];
-    let TableRef::Named { name: t2_name, .. } = &join.table else { return None };
+    let TableRef::Named { name: t2_name, .. } = &join.table else {
+        return None;
+    };
     if join.on.len() != 1 {
         return None;
     }
@@ -352,7 +357,9 @@ fn except_to_not_in(q: &Query) -> Option<Query> {
         return None;
     }
     let shape = match_join(&rhs.core)?;
-    let TableRef::Named { name: left_t, .. } = &q.core.from.first else { return None };
+    let TableRef::Named { name: left_t, .. } = &q.core.from.first else {
+        return None;
+    };
     if !shape.t1_name.eq_ignore_ascii_case(left_t) || !q.core.from.joins.is_empty() {
         return None;
     }
@@ -386,14 +393,24 @@ fn not_in_to_except(q: &Query) -> Option<Query> {
     if p.op != CmpOp::NotIn {
         return None;
     }
-    let Operand::Subquery(sub) = &p.right else { return None };
+    let Operand::Subquery(sub) = &p.right else {
+        return None;
+    };
     if sub.compound.is_some() || sub.core.from.len() != 1 {
         return None;
     }
-    let ValUnit::Column(outer_key) = &p.left.unit else { return None };
-    let ValUnit::Column(inner_key) = &sub.core.items.first()?.expr.unit else { return None };
-    let TableRef::Named { name: t1, .. } = &q.core.from.first else { return None };
-    let TableRef::Named { name: t2, .. } = &sub.core.from.first else { return None };
+    let ValUnit::Column(outer_key) = &p.left.unit else {
+        return None;
+    };
+    let ValUnit::Column(inner_key) = &sub.core.items.first()?.expr.unit else {
+        return None;
+    };
+    let TableRef::Named { name: t1, .. } = &q.core.from.first else {
+        return None;
+    };
+    let TableRef::Named { name: t2, .. } = &sub.core.from.first else {
+        return None;
+    };
     let mut left = q.core.clone();
     left.where_clause = None;
     let right = SelectCore {
@@ -426,10 +443,7 @@ fn not_in_to_except(q: &Query) -> Option<Query> {
         order_by: vec![],
         limit: None,
     };
-    Some(Query {
-        core: left,
-        compound: Some((SetOp::Except, Box::new(Query::single(right)))),
-    })
+    Some(Query { core: left, compound: Some((SetOp::Except, Box::new(Query::single(right)))) })
 }
 
 /// `WHERE k IN (SELECT f FROM u WHERE P)` → join form.
@@ -442,14 +456,24 @@ fn in_to_join(q: &Query) -> Option<Query> {
     if p.op != CmpOp::In {
         return None;
     }
-    let Operand::Subquery(sub) = &p.right else { return None };
+    let Operand::Subquery(sub) = &p.right else {
+        return None;
+    };
     if sub.compound.is_some() || sub.core.from.len() != 1 {
         return None;
     }
-    let ValUnit::Column(outer_key) = &p.left.unit else { return None };
-    let ValUnit::Column(inner_key) = &sub.core.items.first()?.expr.unit else { return None };
-    let TableRef::Named { name: t1, .. } = &q.core.from.first else { return None };
-    let TableRef::Named { name: t2, .. } = &sub.core.from.first else { return None };
+    let ValUnit::Column(outer_key) = &p.left.unit else {
+        return None;
+    };
+    let ValUnit::Column(inner_key) = &sub.core.items.first()?.expr.unit else {
+        return None;
+    };
+    let TableRef::Named { name: t1, .. } = &q.core.from.first else {
+        return None;
+    };
+    let TableRef::Named { name: t2, .. } = &sub.core.from.first else {
+        return None;
+    };
     let core = SelectCore {
         // DISTINCT compensates for join fan-out — the LLM sometimes remembers it,
         // modeled by keeping the original distinct flag (near-equivalence).
@@ -508,7 +532,9 @@ fn join_to_in(q: &Query) -> Option<Query> {
     let t2_binding = q.core.from.joins[0].table.binding_name()?.to_ascii_lowercase();
     if let Some(w) = &q.core.where_clause {
         for (p, _) in w.flatten() {
-            let ValUnit::Column(c) = &p.left.unit else { return None };
+            let ValUnit::Column(c) = &p.left.unit else {
+                return None;
+            };
             if c.table.as_deref().map(|t| t.to_ascii_lowercase()) != Some(t2_binding.clone()) {
                 return None;
             }
@@ -560,8 +586,12 @@ fn order_limit_to_extremum(q: &Query) -> Option<Query> {
     if o.expr.func.is_some() {
         return None;
     }
-    let ValUnit::Column(key) = &o.expr.unit else { return None };
-    let TableRef::Named { name, .. } = &q.core.from.first else { return None };
+    let ValUnit::Column(key) = &o.expr.unit else {
+        return None;
+    };
+    let TableRef::Named { name, .. } = &q.core.from.first else {
+        return None;
+    };
     let func = if o.dir == OrderDir::Desc { AggFunc::Max } else { AggFunc::Min };
     let mut inner =
         SelectCore::simple(AggExpr::agg(func, ValUnit::Column(key.clone())), name.clone());
@@ -640,8 +670,7 @@ fn union_to_or(q: &Query) -> Option<Query> {
         return None;
     };
     let mut core = q.core.clone();
-    core.where_clause =
-        Some(Condition::Or(Box::new(w1.clone()), Box::new(w2.clone())));
+    core.where_clause = Some(Condition::Or(Box::new(w1.clone()), Box::new(w2.clone())));
     // UNION de-duplicates; the equivalent single-core form needs DISTINCT. The
     // simulated LLM remembers that (this is the *equivalent* family).
     core.distinct = true;
@@ -741,11 +770,10 @@ fn wrong_agg(q: &Query) -> Option<Query> {
 
 fn toggle_count_distinct(q: &Query) -> Option<Query> {
     let mut out = q.clone();
-    let item = out
-        .core
-        .items
-        .iter_mut()
-        .find(|i| i.expr.func == Some(AggFunc::Count) && !matches!(i.expr.unit, ValUnit::Star))?;
+    let item =
+        out.core.items.iter_mut().find(|i| {
+            i.expr.func == Some(AggFunc::Count) && !matches!(i.expr.unit, ValUnit::Star)
+        })?;
     item.expr.distinct = !item.expr.distinct;
     Some(out)
 }
@@ -803,13 +831,17 @@ fn except_to_wrong_not_in(q: &Query) -> Option<Query> {
         return None;
     }
     let shape = match_join(&rhs.core)?;
-    let TableRef::Named { name: left_t, .. } = &q.core.from.first else { return None };
+    let TableRef::Named { name: left_t, .. } = &q.core.from.first else {
+        return None;
+    };
     if !shape.t1_name.eq_ignore_ascii_case(left_t) {
         return None;
     }
     // Compare the *select* column against the child fk values — type-confused and
     // semantically wrong, but executable.
-    let ValUnit::Column(sel) = &q.core.items.first()?.expr.unit else { return None };
+    let ValUnit::Column(sel) = &q.core.items.first()?.expr.unit else {
+        return None;
+    };
     let mut inner = SelectCore::simple(
         AggExpr::unit(ValUnit::Column(ColumnRef::bare(shape.t2_col))),
         shape.t2_name,

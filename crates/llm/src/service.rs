@@ -79,13 +79,11 @@ impl LlmService {
         LlmService { profile, ledger: None }
     }
 
-    /// Attach a shared cost ledger: every `complete` call records its billed
-    /// prompt/output tokens (§V-D budget accounting).
-    pub fn with_ledger(
-        profile: LlmProfile,
-        ledger: std::sync::Arc<crate::ledger::CostLedger>,
-    ) -> Self {
-        LlmService { profile, ledger: Some(ledger) }
+    /// Attach a shared cost ledger, builder-style: every `complete` call records
+    /// its billed prompt/output tokens (§V-D budget accounting).
+    pub fn with_ledger(mut self, ledger: std::sync::Arc<crate::ledger::CostLedger>) -> Self {
+        self.ledger = Some(ledger);
+        self
     }
 
     /// The model profile.
@@ -312,7 +310,8 @@ mod tests {
         let exact = Skeleton::parse("SELECT _ FROM _ WHERE _ = _");
         let clauseish = Skeleton::parse("SELECT _ , _ FROM _ WHERE _ > _ AND _ = _");
         let (p_none, _) = svc.composition_probability(&required, &[], &gold, 0.0, false);
-        let (p_clause, _) = svc.composition_probability(&required, &[&clauseish], &gold, 0.0, false);
+        let (p_clause, _) =
+            svc.composition_probability(&required, &[&clauseish], &gold, 0.0, false);
         let (p_exact, _) = svc.composition_probability(&required, &[&exact], &gold, 0.0, false);
         let (p_instr, _) = svc.composition_probability(&required, &[], &gold, 1.0, false);
         assert!(p_none < p_clause && p_clause < p_exact);

@@ -36,8 +36,7 @@ pub fn write_sample(
     if rng.random_bool(profile.value_error) {
         inject_value_error(&mut q, db, rng);
     }
-    let p_h = profile.halluc_rate
-        * if schema_pruned { profile.pruned_halluc_factor } else { 1.0 };
+    let p_h = profile.halluc_rate * if schema_pruned { profile.pruned_halluc_factor } else { 1.0 };
     if rng.random_bool(p_h) {
         inject_hallucination(&mut q, db, rng);
     }
@@ -76,8 +75,12 @@ pub fn inject_linking_slip(q: &mut Query, db: &Database, rng: &mut StdRng) -> bo
     // Prefer slipping a select column; fall back to a where column.
     let candidates: Vec<usize> = (0..q.core.items.len()).collect();
     for idx in candidates {
-        let ValUnit::Column(c) = &q.core.items[idx].expr.unit else { continue };
-        let Some(ti) = owning_table(q, c, db) else { continue };
+        let ValUnit::Column(c) = &q.core.items[idx].expr.unit else {
+            continue;
+        };
+        let Some(ti) = owning_table(q, c, db) else {
+            continue;
+        };
         let table = &db.schema.tables[ti];
         let current = c.column.to_ascii_lowercase();
         let siblings: Vec<&str> = table
@@ -98,7 +101,9 @@ pub fn inject_linking_slip(q: &mut Query, db: &Database, rng: &mut StdRng) -> bo
 
 /// Perturb one constant in the WHERE clause: wrong value, right shape.
 pub fn inject_value_error(q: &mut Query, db: &Database, rng: &mut StdRng) -> bool {
-    let Some(w) = &mut q.core.where_clause else { return false };
+    let Some(w) = &mut q.core.where_clause else {
+        return false;
+    };
     fn has_literal(c: &Condition) -> bool {
         match c {
             Condition::And(l, r) | Condition::Or(l, r) => has_literal(l) || has_literal(r),
@@ -123,8 +128,12 @@ pub fn inject_value_error(q: &mut Query, db: &Database, rng: &mut StdRng) -> boo
             }
         }
     }
-    let Some(pred) = first_literal_pred(w) else { return false };
-    let Operand::Literal(lit) = &mut pred.right else { return false };
+    let Some(pred) = first_literal_pred(w) else {
+        return false;
+    };
+    let Operand::Literal(lit) = &mut pred.right else {
+        return false;
+    };
     *lit = match lit.clone() {
         Literal::Int(i) => Literal::Int(i + if rng.random_bool(0.5) { 1 } else { -1 }),
         Literal::Float(x) => Literal::Float(x * 1.1 + 1.0),
@@ -186,7 +195,9 @@ pub fn inject_function_halluc(
 ) -> Option<&'static str> {
     for idx in 0..q.core.items.len() {
         let item = &q.core.items[idx];
-        let ValUnit::Column(c) = &item.expr.unit else { continue };
+        let ValUnit::Column(c) = &item.expr.unit else {
+            continue;
+        };
         if item.expr.func.is_some() {
             continue;
         }
@@ -222,7 +233,9 @@ pub fn inject_agg_multi(q: &mut Query, db: &Database, _rng: &mut StdRng) -> Opti
         if item.expr.func != Some(AggFunc::Count) || matches!(item.expr.unit, ValUnit::Star) {
             continue;
         }
-        let ValUnit::Column(c) = &item.expr.unit else { continue };
+        let ValUnit::Column(c) = &item.expr.unit else {
+            continue;
+        };
         let ti = owning_table(q, c, db)?;
         let other = db.schema.tables[ti]
             .columns
@@ -239,7 +252,9 @@ pub fn inject_agg_multi(q: &mut Query, db: &Database, _rng: &mut StdRng) -> Opti
 /// Mangle a column name into a near-miss identifier (Schema-Hallucination).
 pub fn inject_schema_col(q: &mut Query, db: &Database, rng: &mut StdRng) -> Option<&'static str> {
     for item in &mut q.core.items {
-        let ValUnit::Column(c) = &mut item.expr.unit else { continue };
+        let ValUnit::Column(c) = &mut item.expr.unit else {
+            continue;
+        };
         let mangled = if rng.random_bool(0.5) {
             format!("{}s", c.column)
         } else {
@@ -256,7 +271,11 @@ pub fn inject_schema_col(q: &mut Query, db: &Database, rng: &mut StdRng) -> Opti
 }
 
 /// In a join, move a column to the wrong alias (Table-Column-Mismatch).
-pub fn inject_wrong_qualifier(q: &mut Query, db: &Database, _rng: &mut StdRng) -> Option<&'static str> {
+pub fn inject_wrong_qualifier(
+    q: &mut Query,
+    db: &Database,
+    _rng: &mut StdRng,
+) -> Option<&'static str> {
     if q.core.from.joins.is_empty() {
         return None;
     }
@@ -282,8 +301,12 @@ pub fn inject_wrong_qualifier(q: &mut Query, db: &Database, _rng: &mut StdRng) -
         None
     };
     for item in &mut q.core.items {
-        let ValUnit::Column(c) = &mut item.expr.unit else { continue };
-        let Some(current) = c.table.clone() else { continue };
+        let ValUnit::Column(c) = &mut item.expr.unit else {
+            continue;
+        };
+        let Some(current) = c.table.clone() else {
+            continue;
+        };
         for other in &bindings {
             if other.eq_ignore_ascii_case(&current) {
                 continue;
@@ -316,14 +339,13 @@ pub fn inject_ambiguity(q: &mut Query, db: &Database, _rng: &mut StdRng) -> Opti
         })
         .collect();
     let ambiguous = |col: &str| {
-        from_tables
-            .iter()
-            .filter(|ti| db.schema.tables[**ti].column_index(col).is_some())
-            .count()
+        from_tables.iter().filter(|ti| db.schema.tables[**ti].column_index(col).is_some()).count()
             > 1
     };
     for item in &mut q.core.items {
-        let ValUnit::Column(c) = &mut item.expr.unit else { continue };
+        let ValUnit::Column(c) = &mut item.expr.unit else {
+            continue;
+        };
         if c.table.is_some() && ambiguous(&c.column) {
             c.table = None;
             return Some("column-ambiguity");
@@ -346,7 +368,11 @@ pub fn inject_ambiguity(q: &mut Query, db: &Database, _rng: &mut StdRng) -> Opti
 /// Remove a join but keep table-qualified references to the removed table
 /// (Missing-Table). The adaption fixer re-joins it via the FK path, recovering the
 /// original query.
-pub fn inject_missing_table(q: &mut Query, db: &Database, _rng: &mut StdRng) -> Option<&'static str> {
+pub fn inject_missing_table(
+    q: &mut Query,
+    db: &Database,
+    _rng: &mut StdRng,
+) -> Option<&'static str> {
     if q.core.from.joins.len() != 1 {
         return None;
     }
@@ -440,17 +466,16 @@ mod tests {
             to: ColumnId { table: 0, column: 0 },
         });
         let mut d = Database::empty(s);
-        d.insert(
-            0,
-            vec![Value::Int(1), Value::Text("Sky".into()), Value::Text("Italy".into())],
-        );
-        d.insert(
-            0,
-            vec![Value::Int(2), Value::Text("Rai".into()), Value::Text("USA".into())],
-        );
+        d.insert(0, vec![Value::Int(1), Value::Text("Sky".into()), Value::Text("Italy".into())]);
+        d.insert(0, vec![Value::Int(2), Value::Text("Rai".into()), Value::Text("USA".into())]);
         d.insert(
             1,
-            vec![Value::Int(1), Value::Text("Ball".into()), Value::Text("Todd".into()), Value::Int(1)],
+            vec![
+                Value::Int(1),
+                Value::Text("Ball".into()),
+                Value::Text("Todd".into()),
+                Value::Int(1),
+            ],
         );
         d
     }
@@ -505,10 +530,9 @@ mod tests {
         assert_eq!(r, Some("table-column-mismatch"));
         assert_eq!(engine::execute(&db, &q).unwrap_err().category(), "table-column-mismatch");
 
-        let mut q = parse(
-            "SELECT T1.id FROM tv_channel AS T1 JOIN cartoon AS T2 ON T1.id = T2.channel",
-        )
-        .unwrap();
+        let mut q =
+            parse("SELECT T1.id FROM tv_channel AS T1 JOIN cartoon AS T2 ON T1.id = T2.channel")
+                .unwrap();
         assert_eq!(inject_ambiguity(&mut q, &db, &mut rng), Some("column-ambiguity"));
         assert_eq!(engine::execute(&db, &q).unwrap_err().category(), "column-ambiguity");
 

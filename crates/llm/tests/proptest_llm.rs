@@ -1,7 +1,9 @@
 //! Property tests of the LLM substrate: tokenizer monotonicity, prompt budget
 //! fitting, profile-mechanism monotonicity, and service determinism.
 
-use llm::{count_tokens, Demonstration, GenerationRequest, LlmService, Prompt, CHATGPT, CONTEXT_LIMIT};
+use llm::{
+    count_tokens, Demonstration, GenerationRequest, LlmService, Prompt, CHATGPT, CONTEXT_LIMIT,
+};
 use proptest::prelude::*;
 use sqlkit::Skeleton;
 

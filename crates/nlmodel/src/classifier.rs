@@ -129,7 +129,12 @@ impl SchemaClassifier {
         db.schema
             .tables
             .iter()
-            .map(|t| self.score(&self.w_table, &item_features(&nl_lower, &words, &t.display, false, false)))
+            .map(|t| {
+                self.score(
+                    &self.w_table,
+                    &item_features(&nl_lower, &words, &t.display, false, false),
+                )
+            })
             .collect()
     }
 

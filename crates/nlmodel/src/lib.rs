@@ -18,7 +18,7 @@ pub mod persist;
 pub mod skeleton_model;
 
 pub use classifier::{SchemaClassifier, TrainConfig};
+pub use labels::{used_items, UsedItems};
 pub use metrics::{classifier_report, skeleton_topk_recall, ClassifierReport, Prf};
 pub use persist::PersistError;
-pub use labels::{used_items, UsedItems};
 pub use skeleton_model::{cues, SkeletonPrediction, SkeletonPredictor, NUM_CUES};

@@ -65,8 +65,14 @@ impl SchemaClassifier {
             return Err(PersistError::new(format!("unknown header `{header}`")));
         }
         let n = crate::features::ITEM_FEATURES;
-        let wt = parse_floats(lines.next().ok_or_else(|| PersistError::new("missing table weights"))?, Some(n))?;
-        let wc = parse_floats(lines.next().ok_or_else(|| PersistError::new("missing column weights"))?, Some(n))?;
+        let wt = parse_floats(
+            lines.next().ok_or_else(|| PersistError::new("missing table weights"))?,
+            Some(n),
+        )?;
+        let wc = parse_floats(
+            lines.next().ok_or_else(|| PersistError::new("missing column weights"))?,
+            Some(n),
+        )?;
         Ok(SchemaClassifier::from_weights(
             wt.try_into().expect("length checked"),
             wc.try_into().expect("length checked"),
@@ -109,9 +115,8 @@ impl SkeletonPredictor {
         let mut priors = Vec::with_capacity(n);
         let mut likes = Vec::with_capacity(n);
         for i in 0..n {
-            let skel_line = lines
-                .next()
-                .ok_or_else(|| PersistError::new(format!("missing skeleton {i}")))?;
+            let skel_line =
+                lines.next().ok_or_else(|| PersistError::new(format!("missing skeleton {i}")))?;
             let skel = sqlkit::Skeleton::parse(skel_line);
             // A skeleton must survive text round-trip; otherwise the file is corrupt.
             if skel.to_string() != skel_line {
@@ -125,12 +130,8 @@ impl SkeletonPredictor {
             )?;
             skeletons.push(skel);
             priors.push(nums[0]);
-            likes.push(
-                nums[1..]
-                    .chunks_exact(2)
-                    .map(|c| (c[0], c[1]))
-                    .collect::<Vec<(f64, f64)>>(),
-            );
+            likes
+                .push(nums[1..].chunks_exact(2).map(|c| (c[0], c[1])).collect::<Vec<(f64, f64)>>());
         }
         Ok(SkeletonPredictor::from_tables(skeletons, priors, likes))
     }
@@ -180,7 +181,10 @@ mod tests {
         assert!(SchemaClassifier::load_from_string("").is_err());
         assert!(SchemaClassifier::load_from_string("wrong header\n1 2 3\n").is_err());
         assert!(SchemaClassifier::load_from_string("schema-classifier v1\n1 2\n1 2\n").is_err());
-        assert!(SkeletonPredictor::load_from_string("skeleton-predictor v1\n2\nSELECT _ FROM _\n0.5").is_err());
+        assert!(SkeletonPredictor::load_from_string(
+            "skeleton-predictor v1\n2\nSELECT _ FROM _\n0.5"
+        )
+        .is_err());
         assert!(SkeletonPredictor::load_from_string("skeleton-predictor v1\nnot-a-number").is_err());
     }
 }

@@ -29,32 +29,32 @@ pub fn cues(nl: &str, db: &Database) -> [bool; NUM_CUES] {
         }
     }
     [
-        has("how many"),                                   // 0 count
-        has("different"),                                  // 1 distinct
-        has("average"),                                    // 2 avg
-        has("total"),                                      // 3 sum
-        has("maximum"),                                    // 4 max
-        has("minimum"),                                    // 5 min
-        has("highest") || has("most"),                     // 6 order desc limit
-        has("lowest") || has("fewest"),                    // 7 order asc limit
-        has("top "),                                       // 8 top-n
-        has("sorted"),                                     // 9 order by
-        has("descending"),                                 // 10
-        has("ascending"),                                  // 11
-        has("at least"),                                   // 12 >=
-        has("at most"),                                    // 13 <=
-        has("greater") || has("more than") || has("over"), // 14 >
-        has("less than") || has("under"),                  // 15 <
-        has("between"),                                    // 16
-        has("containing") || has("contains"),              // 17 LIKE
-        has("not ") || has(" no ") || has("have no"),      // 18 negation
-        has("both") || has("and also"),                    // 19 intersect
-        has("either"),                                     // 20 union
-        has("each"),                                       // 21 group by
+        has("how many"),                                      // 0 count
+        has("different"),                                     // 1 distinct
+        has("average"),                                       // 2 avg
+        has("total"),                                         // 3 sum
+        has("maximum"),                                       // 4 max
+        has("minimum"),                                       // 5 min
+        has("highest") || has("most"),                        // 6 order desc limit
+        has("lowest") || has("fewest"),                       // 7 order asc limit
+        has("top "),                                          // 8 top-n
+        has("sorted"),                                        // 9 order by
+        has("descending"),                                    // 10
+        has("ascending"),                                     // 11
+        has("at least"),                                      // 12 >=
+        has("at most"),                                       // 13 <=
+        has("greater") || has("more than") || has("over"),    // 14 >
+        has("less than") || has("under"),                     // 15 <
+        has("between"),                                       // 16
+        has("containing") || has("contains"),                 // 17 LIKE
+        has("not ") || has(" no ") || has("have no"),         // 18 negation
+        has("both") || has("and also"),                       // 19 intersect
+        has("either"),                                        // 20 union
+        has("each"),                                          // 21 group by
         has("above the average") || has("below the average"), // 22 scalar sub
-        has("that have"),                                  // 23 in-subquery
-        words.iter().filter(|w| *w == "and").count() >= 2, // 24 multi-predicate
-        table_mentions >= 2,                               // 25 join
+        has("that have"),                                     // 23 in-subquery
+        words.iter().filter(|w| *w == "and").count() >= 2,    // 24 multi-predicate
+        table_mentions >= 2,                                  // 25 join
     ]
 }
 

@@ -182,7 +182,9 @@ fn all_cores(q: &Query) -> Vec<&SelectCore> {
 fn apply_fix(q: &mut Query, e: &ExecError, db: &Database, rng: &mut StdRng) -> bool {
     match e {
         ExecError::TableColumnMismatch { binding, column, correct_table } => {
-            let Some(correct) = correct_table else { return false };
+            let Some(correct) = correct_table else {
+                return false;
+            };
             let mut changed = false;
             visit_columns_mut(q, &mut |c| {
                 if c.column.eq_ignore_ascii_case(column)
@@ -196,7 +198,9 @@ fn apply_fix(q: &mut Query, e: &ExecError, db: &Database, rng: &mut StdRng) -> b
         }
         ExecError::AmbiguousColumn { column, candidates } => {
             // "We randomly assign the column to one of its potential tables."
-            let Some(pick) = candidates.choose(rng).cloned() else { return false };
+            let Some(pick) = candidates.choose(rng).cloned() else {
+                return false;
+            };
             let mut changed = false;
             visit_columns_mut(q, &mut |c| {
                 if c.table.is_none() && c.column.eq_ignore_ascii_case(column) {
@@ -225,18 +229,17 @@ fn apply_fix(q: &mut Query, e: &ExecError, db: &Database, rng: &mut StdRng) -> b
                 for c in &t.columns {
                     let name = c.name.to_ascii_lowercase();
                     let d = levenshtein(&target, &name);
-                    let prefix = target
-                        .bytes()
-                        .zip(name.bytes())
-                        .take_while(|(a, b)| a == b)
-                        .count();
+                    let prefix =
+                        target.bytes().zip(name.bytes()).take_while(|(a, b)| a == b).count();
                     let key = (d, usize::MAX - prefix, c.name.clone());
                     if best.as_ref().map(|b| (key.0, key.1) < (b.0, b.1)).unwrap_or(true) {
                         best = Some(key);
                     }
                 }
             }
-            let Some((_, _, replacement)) = best else { return false };
+            let Some((_, _, replacement)) = best else {
+                return false;
+            };
             if replacement.eq_ignore_ascii_case(column) {
                 return false;
             }
@@ -254,9 +257,13 @@ fn apply_fix(q: &mut Query, e: &ExecError, db: &Database, rng: &mut StdRng) -> b
                 .schema
                 .tables
                 .iter()
-                .map(|t| (levenshtein(&name.to_ascii_lowercase(), &t.name.to_ascii_lowercase()), &t.name))
+                .map(|t| {
+                    (levenshtein(&name.to_ascii_lowercase(), &t.name.to_ascii_lowercase()), &t.name)
+                })
                 .min_by_key(|(d, _)| *d);
-            let Some((d, replacement)) = best else { return false };
+            let Some((d, replacement)) = best else {
+                return false;
+            };
             // Far-off names are aliases gone missing, not typos; bail out.
             if d > 4 {
                 return false;
@@ -298,7 +305,9 @@ fn join_in_missing_table(q: &mut Query, owner_table: &str, db: &Database) -> boo
     // The error may originate in any core; fix the first core whose FROM lacks the
     // owner but references it.
     fn fix_core(core: &mut SelectCore, owner_table: &str, db: &Database) -> bool {
-        let Some(owner_ti) = db.schema.table_index(owner_table) else { return false };
+        let Some(owner_ti) = db.schema.table_index(owner_table) else {
+            return false;
+        };
         let from_tables: Vec<(String, usize)> = core
             .from
             .table_refs()
@@ -317,11 +326,8 @@ fn join_in_missing_table(q: &mut Query, owner_table: &str, db: &Database) -> boo
         // Find an FK between the owner and any bound table.
         for (binding, ti) in &from_tables {
             if let Some(fk) = db.schema.fk_between(*ti, owner_ti) {
-                let (bound_end, owner_end) = if fk.from.table == *ti {
-                    (fk.from, fk.to)
-                } else {
-                    (fk.to, fk.from)
-                };
+                let (bound_end, owner_end) =
+                    if fk.from.table == *ti { (fk.from, fk.to) } else { (fk.to, fk.from) };
                 let bound_col = db.schema.column(bound_end).name.clone();
                 let owner_col = db.schema.column(owner_end).name.clone();
                 core.from.joins.push(Join {
@@ -447,12 +453,7 @@ fn split_aggregates(core: &mut SelectCore, changed: &mut bool) {
         let mut units = vec![item.expr.unit];
         units.extend(item.expr.extra_args);
         for unit in units {
-            new_items.push(SelectItem::expr(AggExpr {
-                func,
-                distinct,
-                unit,
-                extra_args: vec![],
-            }));
+            new_items.push(SelectItem::expr(AggExpr { func, distinct, unit, extra_args: vec![] }));
         }
     }
     core.items = new_items;
@@ -598,7 +599,15 @@ mod tests {
         let mut d = Database::empty(s);
         d.insert(0, vec![Value::Int(1), Value::Text("Sky".into()), Value::Text("Italy".into())]);
         d.insert(0, vec![Value::Int(2), Value::Text("Rai".into()), Value::Text("USA".into())]);
-        d.insert(1, vec![Value::Int(1), Value::Text("Ball".into()), Value::Text("Todd".into()), Value::Int(1)]);
+        d.insert(
+            1,
+            vec![
+                Value::Int(1),
+                Value::Text("Ball".into()),
+                Value::Text("Todd".into()),
+                Value::Int(1),
+            ],
+        );
         d
     }
 
@@ -609,12 +618,15 @@ mod tests {
     #[test]
     fn fixes_table_column_mismatch() {
         // `title` hangs off the wrong alias (Table 2 row 1).
-        let r = adapt(
-            "SELECT T2.title FROM cartoon AS T1 JOIN tv_channel AS T2 ON T1.channel = T2.id",
-        );
+        let r =
+            adapt("SELECT T2.title FROM cartoon AS T1 JOIN tv_channel AS T2 ON T1.channel = T2.id");
         assert!(r.executable, "{}", r.sql);
         assert_eq!(r.fixes, vec!["table-column-mismatch"]);
-        assert!(r.sql.contains("T1.title") || r.sql.to_lowercase().contains("t1.title"), "{}", r.sql);
+        assert!(
+            r.sql.contains("T1.title") || r.sql.to_lowercase().contains("t1.title"),
+            "{}",
+            r.sql
+        );
     }
 
     #[test]
@@ -685,7 +697,11 @@ mod tests {
         let r = adapt("SELECT COUNT(DISTINCT series_name, country) FROM tv_channel");
         assert!(r.executable, "{}", r.sql);
         assert_eq!(r.fixes, vec!["aggregation-hallucination"]);
-        assert!(r.sql.contains("COUNT(DISTINCT series_name), COUNT(DISTINCT country)"), "{}", r.sql);
+        assert!(
+            r.sql.contains("COUNT(DISTINCT series_name), COUNT(DISTINCT country)"),
+            "{}",
+            r.sql
+        );
     }
 
     #[test]
@@ -729,10 +745,8 @@ mod tests {
     fn consistency_vote_skips_unfixable_samples() {
         let d = db();
         let mut rng = StdRng::seed_from_u64(2);
-        let samples = vec![
-            "totally not sql".to_string(),
-            "SELECT country FROM tv_channel".to_string(),
-        ];
+        let samples =
+            vec!["totally not sql".to_string(), "SELECT country FROM tv_channel".to_string()];
         let v = consistency_vote(&samples, &d, &mut rng);
         assert!(v.executable);
         assert!(v.sql.contains("country"));

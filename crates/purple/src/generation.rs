@@ -230,10 +230,8 @@ impl<'a> Synthesizer<'a> {
                 on,
             });
         }
-        let from = FromClause {
-            first: TableRef::named(self.db.schema.tables[first].name.clone()),
-            joins,
-        };
+        let from =
+            FromClause { first: TableRef::named(self.db.schema.tables[first].name.clone()), joins };
         // Now fill the select items against the full scope.
         let items = self.fill_items(item_shapes, &scope)?;
 
@@ -245,7 +243,8 @@ impl<'a> Synthesizer<'a> {
                 if !self.eat_ph() {
                     return None;
                 }
-                let col = self.pick_column(&scope, Some(ColumnType::Text))
+                let col = self
+                    .pick_column(&scope, Some(ColumnType::Text))
                     .or_else(|| self.pick_column(&scope, None))?;
                 group_by.push(self.colref(col, &scope));
                 if !self.eat(SkelTok::Comma) {
@@ -253,8 +252,7 @@ impl<'a> Synthesizer<'a> {
                 }
             }
         }
-        let having =
-            if self.eat(SkelTok::Having) { Some(self.condition(&scope)?) } else { None };
+        let having = if self.eat(SkelTok::Having) { Some(self.condition(&scope)?) } else { None };
         let mut order_by = Vec::new();
         if self.eat(SkelTok::OrderBy) {
             loop {
@@ -325,10 +323,7 @@ impl<'a> Synthesizer<'a> {
     }
 
     fn fill_items(&mut self, shapes: Vec<AggShape>, scope: &Scope) -> Option<Vec<SelectItem>> {
-        shapes
-            .into_iter()
-            .map(|s| self.fill_agg(s, scope).map(SelectItem::expr))
-            .collect()
+        shapes.into_iter().map(|s| self.fill_agg(s, scope).map(SelectItem::expr)).collect()
     }
 
     fn fill_agg(&mut self, shape: AggShape, scope: &Scope) -> Option<AggExpr> {
@@ -336,9 +331,8 @@ impl<'a> Synthesizer<'a> {
             Some(AggFunc::Count) if !shape.distinct => Some(AggExpr::count_star()),
             Some(f) => {
                 let want = if f == AggFunc::Count { None } else { Some(ColumnType::Int) };
-                let col = self
-                    .pick_column(scope, want)
-                    .or_else(|| self.pick_column(scope, None))?;
+                let col =
+                    self.pick_column(scope, want).or_else(|| self.pick_column(scope, None))?;
                 Some(AggExpr {
                     func: Some(f),
                     distinct: shape.distinct,
@@ -381,7 +375,9 @@ impl<'a> Synthesizer<'a> {
     fn predicate(&mut self, scope: &Scope) -> Option<Predicate> {
         let left_shape = self.agg_shape()?;
         let left = self.fill_agg(left_shape, scope)?;
-        let Some(SkelTok::Cmp(op)) = self.peek() else { return None };
+        let Some(SkelTok::Cmp(op)) = self.peek() else {
+            return None;
+        };
         self.pos += 1;
         // Subquery operand?
         if self.peek() == Some(SkelTok::LParen) {

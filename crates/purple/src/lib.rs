@@ -24,8 +24,11 @@ pub mod pruning;
 pub mod selection;
 
 pub use adaption::{adapt_sql, consistency_vote, AdaptResult, VoteOutcome, MAX_ATTEMPTS};
-pub use generation::{synthesize_demonstration, DemoMode};
 pub use automaton::{Automaton, AutomatonSet};
+pub use generation::{synthesize_demonstration, DemoMode};
 pub use pipeline::{Purple, PurpleConfig, TranslationTrace};
-pub use pruning::{steiner_tree, steiner_tree_approx, steiner_tree_auto, PruneConfig, PrunedSchema, SchemaPruner, EXACT_STEINER_MAX_TERMINALS};
+pub use pruning::{
+    steiner_tree, steiner_tree_approx, steiner_tree_auto, PruneConfig, PrunedSchema, SchemaPruner,
+    EXACT_STEINER_MAX_TERMINALS,
+};
 pub use selection::{random_fill, select_demonstrations, Growth, SelectionConfig};

@@ -10,7 +10,7 @@ use crate::selection::{random_fill, select_demonstrations, SelectionConfig};
 use engine::Database;
 use eval::{Translation, Translator};
 use llm::{Demonstration, GenerationRequest, LlmProfile, LlmService, Prompt};
-use nlmodel::{SchemaClassifier, SkeletonPredictor, SkeletonPrediction, TrainConfig};
+use nlmodel::{SchemaClassifier, SkeletonPrediction, SkeletonPredictor, TrainConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spidergen::types::{Benchmark, Example};
@@ -111,7 +111,6 @@ pub struct Purple {
     pool: Vec<Demonstration>,
     automata: AutomatonSet,
     service: LlmService,
-    counter: u64,
 }
 
 impl Purple {
@@ -138,7 +137,7 @@ impl Purple {
         }
         let automata = AutomatonSet::build(&skeletons);
         let service = LlmService::new(cfg.profile);
-        Purple { cfg, classifier, predictor, pool, automata, service, counter: 0 }
+        Purple { cfg, classifier, predictor, pool, automata, service }
     }
 
     /// The automaton set (for the §IV-C3 end-state statistics).
@@ -166,10 +165,11 @@ impl Purple {
         &self.pool
     }
 
-    /// Attach a shared cost ledger: every LLM call this system makes is recorded
-    /// (§V-D budget accounting).
-    pub fn attach_ledger(&mut self, ledger: std::sync::Arc<llm::CostLedger>) {
-        self.service = LlmService::with_ledger(self.cfg.profile, ledger);
+    /// Attach a shared cost ledger, builder-style: every LLM call this system
+    /// makes is recorded (§V-D budget accounting).
+    pub fn with_ledger(mut self, ledger: std::sync::Arc<llm::CostLedger>) -> Self {
+        self.service = LlmService::new(self.cfg.profile).with_ledger(ledger);
+        self
     }
 
     /// Reconfigure (ablations / budget sweeps / model swaps) without retraining.
@@ -182,30 +182,45 @@ impl Purple {
             pool: self.pool.clone(),
             automata: self.automata.clone(),
             service,
-            counter: 0,
         }
     }
 
     fn predictions(&self, ex: &Example, db: &Database) -> Vec<SkeletonPrediction> {
         if self.cfg.oracle_skeleton {
-            vec![SkeletonPrediction {
-                skeleton: Skeleton::from_query(&ex.query),
-                probability: 1.0,
-            }]
+            vec![SkeletonPrediction { skeleton: Skeleton::from_query(&ex.query), probability: 1.0 }]
         } else {
             self.predictor.predict(&ex.nl, db, self.cfg.top_k_skeletons)
         }
     }
 
-    /// Translate one example, returning the SQL and token accounting.
-    pub fn run(&mut self, ex: &Example, db: &Database) -> Translation {
-        self.run_traced(ex, db).0
+    /// Translate one standalone example (position 0), returning the SQL and
+    /// token accounting. Equivalent to `run_at(0, ..)`.
+    pub fn run(&self, ex: &Example, db: &Database) -> Translation {
+        self.run_at(0, ex, db)
     }
 
-    /// Translate one example and return the full module-by-module trace.
-    pub fn run_traced(&mut self, ex: &Example, db: &Database) -> (Translation, TranslationTrace) {
-        self.counter += 1;
-        let seed = self.cfg.seed.wrapping_mul(0x100000001b3).wrapping_add(self.counter);
+    /// Translate the example at position `idx` of its split, returning the SQL
+    /// and token accounting.
+    pub fn run_at(&self, idx: usize, ex: &Example, db: &Database) -> Translation {
+        self.run_traced_at(idx, ex, db).0
+    }
+
+    /// Translate one standalone example (position 0) with the full
+    /// module-by-module trace. Equivalent to `run_traced_at(0, ..)`.
+    pub fn run_traced(&self, ex: &Example, db: &Database) -> (Translation, TranslationTrace) {
+        self.run_traced_at(0, ex, db)
+    }
+
+    /// Translate the example at position `idx` of its split and return the full
+    /// module-by-module trace. All randomness derives from the config seed and
+    /// `idx`, so calls are order- and thread-independent.
+    pub fn run_traced_at(
+        &self,
+        idx: usize,
+        ex: &Example,
+        db: &Database,
+    ) -> (Translation, TranslationTrace) {
+        let seed = eval::seed_for(self.cfg.seed, idx);
         let mut rng = StdRng::seed_from_u64(seed);
 
         // --- Step 1: schema pruning -----------------------------------------
@@ -262,8 +277,7 @@ impl Purple {
             // prediction diversify values/columns.
             for pred in &predictions {
                 for _ in 0..3 {
-                    if let Some(d) =
-                        synthesize_demonstration(&pred.skeleton, db, &pruned, &mut rng)
+                    if let Some(d) = synthesize_demonstration(&pred.skeleton, db, &pruned, &mut rng)
                     {
                         demonstrations.push(d);
                     }
@@ -347,8 +361,8 @@ impl Translator for Purple {
         format!("PURPLE ({})", self.cfg.profile.name)
     }
 
-    fn translate(&mut self, example: &Example, db: &Database) -> Translation {
-        self.run(example, db)
+    fn translate(&self, idx: usize, example: &Example, db: &Database) -> Translation {
+        self.run_at(idx, example, db)
     }
 }
 
@@ -377,12 +391,12 @@ mod tests {
         let mut cfg = PurpleConfig::default_with(CHATGPT);
         cfg.num_consistency = 5;
         cfg.demo_target = 5;
-        let mut purple = Purple::new(&suite.train, cfg.clone());
-        let base = evaluate(&mut purple, &suite.dev, None);
+        let purple = Purple::new(&suite.train, cfg.clone());
+        let base = evaluate(&purple, &suite.dev, None);
         let mut ablated_cfg = cfg;
         ablated_cfg.use_selection = false;
-        let mut ablated = purple.with_config(ablated_cfg);
-        let rand_report = evaluate(&mut ablated, &suite.dev, None);
+        let ablated = purple.with_config(ablated_cfg);
+        let rand_report = evaluate(&ablated, &suite.dev, None);
         assert!(
             base.overall.em_pct() > rand_report.overall.em_pct(),
             "selection {:.1} should beat random {:.1}",
@@ -393,15 +407,12 @@ mod tests {
 
     #[test]
     fn purple_produces_mostly_executable_sql() {
-        let (suite, mut purple) = small_purple();
+        let (suite, purple) = small_purple();
         let mut executable = 0;
-        for ex in suite.dev.examples.iter().take(20) {
+        for (i, ex) in suite.dev.examples.iter().take(20).enumerate() {
             let db = suite.dev.db_of(ex);
-            let t = purple.run(ex, db);
-            if sqlkit::parse(&t.sql)
-                .ok()
-                .map(|q| engine::execute(db, &q).is_ok())
-                .unwrap_or(false)
+            let t = purple.run_at(i, ex, db);
+            if sqlkit::parse(&t.sql).ok().map(|q| engine::execute(db, &q).is_ok()).unwrap_or(false)
             {
                 executable += 1;
             }
@@ -413,11 +424,11 @@ mod tests {
 
     #[test]
     fn translation_is_deterministic() {
-        let (suite, mut p1) = small_purple();
-        let (_, mut p2) = small_purple();
-        for ex in suite.dev.examples.iter().take(5) {
+        let (suite, p1) = small_purple();
+        let (_, p2) = small_purple();
+        for (i, ex) in suite.dev.examples.iter().take(5).enumerate() {
             let db = suite.dev.db_of(ex);
-            assert_eq!(p1.run(ex, db).sql, p2.run(ex, db).sql);
+            assert_eq!(p1.run_at(i, ex, db).sql, p2.run_at(i, ex, db).sql);
         }
     }
 
@@ -435,7 +446,7 @@ mod tests {
         let mut cfg = PurpleConfig::default_with(CHATGPT);
         cfg.num_consistency = 2;
         cfg.len_budget = 512;
-        let mut tight = purple.with_config(cfg);
+        let tight = purple.with_config(cfg);
         let ex = &suite.dev.examples[0];
         let t = tight.run(ex, suite.dev.db_of(ex));
         assert!(t.prompt_tokens <= 512, "prompt {} exceeds budget", t.prompt_tokens);

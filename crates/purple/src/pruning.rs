@@ -75,11 +75,9 @@ impl PrunedSchema {
         if !tables.is_subset(&kept_tables) {
             return false;
         }
-        columns.iter().all(|c| {
-            self.keep
-                .iter()
-                .any(|(t, cols)| *t == c.table && cols.contains(&c.column))
-        })
+        columns
+            .iter()
+            .all(|c| self.keep.iter().any(|(t, cols)| *t == c.table && cols.contains(&c.column)))
     }
 }
 
@@ -109,9 +107,7 @@ impl<'a> SchemaPruner<'a> {
             let table = &db.schema.tables[ti];
             let scores = &c_scores[ti];
             let mut cols: Vec<usize> = if self.cfg.steiner {
-                (0..table.columns.len())
-                    .filter(|ci| scores[*ci] > self.cfg.tau_p)
-                    .collect()
+                (0..table.columns.len()).filter(|ci| scores[*ci] > self.cfg.tau_p).collect()
             } else {
                 // RESDSQL fallback: plain top-k columns.
                 let mut ranked: Vec<usize> = (0..table.columns.len()).collect();
@@ -128,9 +124,8 @@ impl<'a> SchemaPruner<'a> {
             // Keep FK endpoints between kept... (added below, after we know tables)
             // τn: pad with the highest-scoring remaining columns.
             if cols.len() < self.cfg.tau_n.min(table.columns.len()) {
-                let mut ranked: Vec<usize> = (0..table.columns.len())
-                    .filter(|ci| !cols.contains(ci))
-                    .collect();
+                let mut ranked: Vec<usize> =
+                    (0..table.columns.len()).filter(|ci| !cols.contains(ci)).collect();
                 ranked.sort_by(|a, b| scores[*b].total_cmp(&scores[*a]));
                 for ci in ranked {
                     if cols.len() >= self.cfg.tau_n.min(table.columns.len()) {
@@ -170,8 +165,7 @@ impl<'a> SchemaPruner<'a> {
     /// Steiner-tree table selection with the redundant boundary.
     fn steiner_tables(&self, scores: &[f64], schema: &Schema) -> Vec<usize> {
         let n = scores.len();
-        let mut terminals: Vec<usize> =
-            (0..n).filter(|ti| scores[*ti] > self.cfg.tau_p).collect();
+        let mut terminals: Vec<usize> = (0..n).filter(|ti| scores[*ti] > self.cfg.tau_p).collect();
         if terminals.is_empty() {
             // Nothing above threshold: take the single best table.
             let best = (0..n).max_by(|a, b| scores[*a].total_cmp(&scores[*b]));
@@ -184,8 +178,7 @@ impl<'a> SchemaPruner<'a> {
             .filter(|ti| !kept.contains(ti) && scores[*ti] <= self.cfg.tau_p)
             .max_by(|a, b| scores[*a].total_cmp(&scores[*b]));
         if let Some(c) = candidate {
-            let adjacent =
-                kept.iter().any(|k| schema.fk_between(*k, c).is_some());
+            let adjacent = kept.iter().any(|k| schema.fk_between(*k, c).is_some());
             if adjacent {
                 kept.insert(c);
             }
@@ -288,9 +281,7 @@ pub fn steiner_tree(schema: &Schema, terminals: &[usize]) -> HashSet<usize> {
             }
         }
         // Recover the best tree's node set.
-        let best_v = (0..n)
-            .min_by_key(|v| dp[full][*v])
-            .expect("component has at least one node");
+        let best_v = (0..n).min_by_key(|v| dp[full][*v]).expect("component has at least one node");
         collect_nodes(full, best_v, &group, &choice, &via, &mut out);
     }
     out
@@ -342,9 +333,8 @@ pub fn steiner_tree_approx(schema: &Schema, terminals: &[usize]) -> HashSet<usiz
         best[j] = (dist[0][terminals[j]], 0);
     }
     for _ in 1..k {
-        let Some(next) = (0..k)
-            .filter(|j| !in_tree[*j] && best[*j].0 < INF)
-            .min_by_key(|j| best[*j].0)
+        let Some(next) =
+            (0..k).filter(|j| !in_tree[*j] && best[*j].0 < INF).min_by_key(|j| best[*j].0)
         else {
             break; // remaining terminals are disconnected
         };
@@ -595,11 +585,11 @@ mod tests {
         let s = chain_schema();
         let p = PrunedSchema::full(&s);
         assert_eq!(p.keep.len(), 5);
-        assert!(p.covers(
-            &HashSet::from([0, 4]),
-            &HashSet::from([ColumnId { table: 0, column: 0 }])
-        ));
-        assert!(!PrunedSchema { keep: vec![(0, vec![0])] }
-            .covers(&HashSet::from([1]), &HashSet::new()));
+        assert!(
+            p.covers(&HashSet::from([0, 4]), &HashSet::from([ColumnId { table: 0, column: 0 }]))
+        );
+        assert!(
+            !PrunedSchema { keep: vec![(0, vec![0])] }.covers(&HashSet::from([1]), &HashSet::new())
+        );
     }
 }

@@ -78,8 +78,7 @@ pub fn select_demonstrations(
     }
 
     // Build the preferential matching sequence I (lines 2-5).
-    let levels: Vec<Level> =
-        Level::ALL.iter().copied().skip(cfg.masking_number.min(3)).collect();
+    let levels: Vec<Level> = Level::ALL.iter().copied().skip(cfg.masking_number.min(3)).collect();
     let mut cells: Vec<std::collections::VecDeque<usize>> = Vec::new();
     for level in &levels {
         for pred in &preds {
@@ -121,17 +120,11 @@ pub fn select_demonstrations(
 
 /// Fill the tail of a selection with random unused demonstrations, "to fully
 /// utilize the budget" (§IV-C3).
-pub fn random_fill(
-    selected: &mut Vec<usize>,
-    pool_size: usize,
-    target: usize,
-    rng: &mut StdRng,
-) {
+pub fn random_fill(selected: &mut Vec<usize>, pool_size: usize, target: usize, rng: &mut StdRng) {
     if selected.len() >= target || pool_size == 0 {
         return;
     }
-    let mut unused: Vec<usize> =
-        (0..pool_size).filter(|i| !selected.contains(i)).collect();
+    let mut unused: Vec<usize> = (0..pool_size).filter(|i| !selected.contains(i)).collect();
     unused.shuffle(rng);
     for d in unused {
         if selected.len() >= target {
@@ -149,12 +142,12 @@ mod tests {
 
     fn pool() -> Vec<Skeleton> {
         [
-            "SELECT a FROM t WHERE b = 1",                       // 0: exact match target
-            "SELECT a FROM t WHERE b = 'x'",                     // 1: same detail skeleton
-            "SELECT a FROM t WHERE b > 2",                       // 2: structure-level sibling
-            "SELECT a, c FROM t WHERE b = 1",                    // 3: keywords differ, clause same
-            "SELECT COUNT(*) FROM t GROUP BY a",                 // 4: unrelated
-            "SELECT a FROM t WHERE b = 1 AND c = 2",             // 5: clause-level sibling
+            "SELECT a FROM t WHERE b = 1",           // 0: exact match target
+            "SELECT a FROM t WHERE b = 'x'",         // 1: same detail skeleton
+            "SELECT a FROM t WHERE b > 2",           // 2: structure-level sibling
+            "SELECT a, c FROM t WHERE b = 1",        // 3: keywords differ, clause same
+            "SELECT COUNT(*) FROM t GROUP BY a",     // 4: unrelated
+            "SELECT a FROM t WHERE b = 1 AND c = 2", // 5: clause-level sibling
         ]
         .iter()
         .map(|s| Skeleton::from_query(&parse(s).unwrap()))
@@ -170,13 +163,7 @@ mod tests {
         let autos = AutomatonSet::build(&pool());
         let preds = vec![pred("SELECT _ FROM _ WHERE _ = _", 0.9)];
         let mut rng = StdRng::seed_from_u64(1);
-        let sel = select_demonstrations(
-            &autos,
-            &preds,
-            &SelectionConfig::default(),
-            6,
-            &mut rng,
-        );
+        let sel = select_demonstrations(&autos, &preds, &SelectionConfig::default(), 6, &mut rng);
         // Detail-level matches (0, 1) must precede structure-level (2).
         let pos = |d: usize| sel.iter().position(|x| *x == d).unwrap();
         assert!(pos(0) < pos(2));
@@ -194,8 +181,7 @@ mod tests {
             pred("SELECT _ FROM _ WHERE _ = _", 0.3),
         ];
         let mut rng = StdRng::seed_from_u64(2);
-        let sel =
-            select_demonstrations(&autos, &preds, &SelectionConfig::default(), 6, &mut rng);
+        let sel = select_demonstrations(&autos, &preds, &SelectionConfig::default(), 6, &mut rng);
         // Round 1 (p=1) pops from cell (Detail, pred1) = demo 3.
         assert_eq!(sel[0], 3);
     }

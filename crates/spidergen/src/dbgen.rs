@@ -116,11 +116,7 @@ fn build_schema(template: &DomainTemplate, db_id: &str) -> Schema {
             columns: t
                 .columns
                 .iter()
-                .map(|c| Column {
-                    name: c.name.clone(),
-                    display: c.display.clone(),
-                    ty: c.ty,
-                })
+                .map(|c| Column { name: c.name.clone(), display: c.display.clone(), ty: c.ty })
                 .collect(),
             primary_key: Some(t.pk),
         });

@@ -128,7 +128,13 @@ fn d_tv() -> DomainTemplate {
                     id_col(),
                     col("series_name", &["series"], Text, ValuePool::Title, false),
                     col("country", &["nation"], Text, ValuePool::Country, false),
-                    col("language", &["tongue"], Text, ValuePool::words(&["English", "Italian", "French", "Japanese"]), true),
+                    col(
+                        "language",
+                        &["tongue"],
+                        Text,
+                        ValuePool::words(&["English", "Italian", "French", "Japanese"]),
+                        true,
+                    ),
                     col("rating", &["score"], Float, ValuePool::FloatRange(1.0, 10.0), true),
                 ],
             ),
@@ -162,7 +168,13 @@ fn d_concert() -> DomainTemplate {
                     col("name", &[], Text, ValuePool::Title, false),
                     col("location", &["place", "city"], Text, ValuePool::City, false),
                     col("capacity", &["size"], Int, ValuePool::IntRange(500, 90000), false),
-                    col("average_attendance", &["attendance"], Int, ValuePool::IntRange(100, 60000), true),
+                    col(
+                        "average_attendance",
+                        &["attendance"],
+                        Int,
+                        ValuePool::IntRange(100, 60000),
+                        true,
+                    ),
                 ],
             ),
             table(
@@ -184,7 +196,13 @@ fn d_concert() -> DomainTemplate {
                 vec![
                     id_col(),
                     col("concert_name", &["name"], Text, ValuePool::Title, false),
-                    col("theme", &["topic"], Text, ValuePool::words(&["Free choice", "Party", "Awards", "Classic"]), true),
+                    col(
+                        "theme",
+                        &["topic"],
+                        Text,
+                        ValuePool::words(&["Free choice", "Party", "Awards", "Classic"]),
+                        true,
+                    ),
                     fk_col("stadium_id", 0),
                     col("year", &[], Int, ValuePool::Year, false),
                 ],
@@ -216,7 +234,13 @@ fn d_pets() -> DomainTemplate {
                     id_col(),
                     col("last_name", &["family name", "surname"], Text, ValuePool::LastName, false),
                     col("age", &[], Int, ValuePool::IntRange(17, 30), false),
-                    col("major", &["field of study"], Text, ValuePool::words(&["CS", "Math", "History", "Biology"]), true),
+                    col(
+                        "major",
+                        &["field of study"],
+                        Text,
+                        ValuePool::words(&["CS", "Math", "History", "Biology"]),
+                        true,
+                    ),
                     col("city_code", &["home city"], Text, ValuePool::City, true),
                 ],
             ),
@@ -226,7 +250,13 @@ fn d_pets() -> DomainTemplate {
                 (8, 18),
                 vec![
                     id_col(),
-                    col("pet_type", &["kind", "species"], Text, ValuePool::words(&["cat", "dog", "bird", "lizard"]), false),
+                    col(
+                        "pet_type",
+                        &["kind", "species"],
+                        Text,
+                        ValuePool::words(&["cat", "dog", "bird", "lizard"]),
+                        false,
+                    ),
                     col("pet_age", &["age"], Int, ValuePool::IntRange(1, 15), false),
                     col("weight", &[], Float, ValuePool::FloatRange(0.5, 60.0), true),
                 ],
@@ -253,9 +283,27 @@ fn d_world() -> DomainTemplate {
                 vec![
                     id_col(),
                     col("name", &[], Text, ValuePool::Country, false),
-                    col("continent", &["region"], Text, ValuePool::words(&["Europe", "Asia", "America", "Africa"]), false),
-                    col("population", &["number of people"], Int, ValuePool::IntRange(100_000, 900_000_000), false),
-                    col("surface_area", &["area"], Float, ValuePool::FloatRange(1000.0, 9_000_000.0), true),
+                    col(
+                        "continent",
+                        &["region"],
+                        Text,
+                        ValuePool::words(&["Europe", "Asia", "America", "Africa"]),
+                        false,
+                    ),
+                    col(
+                        "population",
+                        &["number of people"],
+                        Int,
+                        ValuePool::IntRange(100_000, 900_000_000),
+                        false,
+                    ),
+                    col(
+                        "surface_area",
+                        &["area"],
+                        Float,
+                        ValuePool::FloatRange(1000.0, 9_000_000.0),
+                        true,
+                    ),
                     col("indepyear", &["independence year"], Int, ValuePool::Year, true),
                 ],
             ),
@@ -267,7 +315,13 @@ fn d_world() -> DomainTemplate {
                     id_col(),
                     col("name", &[], Text, ValuePool::City, false),
                     fk_col("country_id", 0),
-                    col("population", &["inhabitants"], Int, ValuePool::IntRange(10_000, 20_000_000), false),
+                    col(
+                        "population",
+                        &["inhabitants"],
+                        Int,
+                        ValuePool::IntRange(10_000, 20_000_000),
+                        false,
+                    ),
                 ],
             ),
             table(
@@ -277,7 +331,13 @@ fn d_world() -> DomainTemplate {
                 vec![
                     id_col(),
                     fk_col("country_id", 0),
-                    col("language", &["tongue"], Text, ValuePool::words(&["English", "French", "Spanish", "Hindi", "Japanese"]), false),
+                    col(
+                        "language",
+                        &["tongue"],
+                        Text,
+                        ValuePool::words(&["English", "French", "Spanish", "Hindi", "Japanese"]),
+                        false,
+                    ),
                     col("isofficial", &["official"], Text, ValuePool::words(&["T", "F"]), false),
                     col("percentage", &["share"], Float, ValuePool::FloatRange(0.5, 99.9), true),
                 ],
@@ -297,9 +357,21 @@ fn d_college() -> DomainTemplate {
                 (4, 8),
                 vec![
                     id_col(),
-                    col("dept_name", &["name"], Text, ValuePool::words(&["Physics", "History", "CS", "Music", "Law", "Biology"]), false),
+                    col(
+                        "dept_name",
+                        &["name"],
+                        Text,
+                        ValuePool::words(&["Physics", "History", "CS", "Music", "Law", "Biology"]),
+                        false,
+                    ),
                     col("building", &["location"], Text, ValuePool::Title, true),
-                    col("budget", &["funds"], Float, ValuePool::FloatRange(10_000.0, 900_000.0), false),
+                    col(
+                        "budget",
+                        &["funds"],
+                        Float,
+                        ValuePool::FloatRange(10_000.0, 900_000.0),
+                        false,
+                    ),
                 ],
             ),
             table(
@@ -310,7 +382,13 @@ fn d_college() -> DomainTemplate {
                     id_col(),
                     col("name", &[], Text, ValuePool::PersonName, false),
                     fk_col("dept_id", 0),
-                    col("salary", &["pay", "wage"], Float, ValuePool::FloatRange(40_000.0, 200_000.0), false),
+                    col(
+                        "salary",
+                        &["pay", "wage"],
+                        Float,
+                        ValuePool::FloatRange(40_000.0, 200_000.0),
+                        false,
+                    ),
                 ],
             ),
             table(
@@ -341,7 +419,13 @@ fn d_flights() -> DomainTemplate {
                     id_col(),
                     col("airline_name", &["name"], Text, ValuePool::Title, false),
                     col("country", &["nation"], Text, ValuePool::Country, false),
-                    col("abbreviation", &["code"], Text, ValuePool::words(&["UA", "AF", "JL", "BA", "LH", "AZ"]), true),
+                    col(
+                        "abbreviation",
+                        &["code"],
+                        Text,
+                        ValuePool::words(&["UA", "AF", "JL", "BA", "LH", "AZ"]),
+                        true,
+                    ),
                 ],
             ),
             table(
@@ -365,7 +449,13 @@ fn d_flights() -> DomainTemplate {
                     fk_col("source_airport", 1),
                     fk_col("dest_airport", 1),
                     col("distance", &["length"], Int, ValuePool::IntRange(100, 9000), false),
-                    col("price", &["fare", "cost"], Float, ValuePool::FloatRange(50.0, 2000.0), true),
+                    col(
+                        "price",
+                        &["fare", "cost"],
+                        Float,
+                        ValuePool::FloatRange(50.0, 2000.0),
+                        true,
+                    ),
                 ],
             ),
         ],
@@ -389,7 +479,13 @@ fn d_employee() -> DomainTemplate {
                     id_col(),
                     col("shop_name", &["name"], Text, ValuePool::Title, false),
                     col("location", &["city"], Text, ValuePool::City, false),
-                    col("number_products", &["product count"], Int, ValuePool::IntRange(10, 500), true),
+                    col(
+                        "number_products",
+                        &["product count"],
+                        Int,
+                        ValuePool::IntRange(10, 500),
+                        true,
+                    ),
                 ],
             ),
             table(
@@ -454,8 +550,20 @@ fn d_orchestra() -> DomainTemplate {
                 vec![
                     id_col(),
                     fk_col("orchestra_id", 1),
-                    col("type", &["kind"], Text, ValuePool::words(&["Symphony", "Opera", "Ballet", "Chamber"]), false),
-                    col("attendance", &["audience size"], Int, ValuePool::IntRange(100, 5000), false),
+                    col(
+                        "type",
+                        &["kind"],
+                        Text,
+                        ValuePool::words(&["Symphony", "Opera", "Ballet", "Chamber"]),
+                        false,
+                    ),
+                    col(
+                        "attendance",
+                        &["audience size"],
+                        Int,
+                        ValuePool::IntRange(100, 5000),
+                        false,
+                    ),
                 ],
             ),
         ],
@@ -475,7 +583,13 @@ fn d_battle() -> DomainTemplate {
                     id_col(),
                     col("battle_name", &["name"], Text, ValuePool::Title, false),
                     col("date_year", &["year"], Int, ValuePool::Year, false),
-                    col("result", &["outcome"], Text, ValuePool::words(&["Victory", "Defeat", "Draw"]), false),
+                    col(
+                        "result",
+                        &["outcome"],
+                        Text,
+                        ValuePool::words(&["Victory", "Defeat", "Draw"]),
+                        false,
+                    ),
                 ],
             ),
             table(
@@ -487,7 +601,13 @@ fn d_battle() -> DomainTemplate {
                     col("ship_name", &["name"], Text, ValuePool::Title, false),
                     fk_col("lost_in_battle", 0),
                     col("tonnage", &["weight"], Int, ValuePool::IntRange(500, 60000), true),
-                    col("ship_type", &["class"], Text, ValuePool::words(&["Brig", "Frigate", "Cruiser", "Destroyer"]), false),
+                    col(
+                        "ship_type",
+                        &["class"],
+                        Text,
+                        ValuePool::words(&["Brig", "Frigate", "Cruiser", "Destroyer"]),
+                        false,
+                    ),
                 ],
             ),
             table(
@@ -529,7 +649,13 @@ fn d_museum() -> DomainTemplate {
                     id_col(),
                     col("name", &[], Text, ValuePool::PersonName, false),
                     col("age", &[], Int, ValuePool::IntRange(6, 80), false),
-                    col("level_of_membership", &["membership level"], Int, ValuePool::IntRange(1, 8), true),
+                    col(
+                        "level_of_membership",
+                        &["membership level"],
+                        Int,
+                        ValuePool::IntRange(1, 8),
+                        true,
+                    ),
                 ],
             ),
             table(
@@ -541,7 +667,13 @@ fn d_museum() -> DomainTemplate {
                     fk_col("museum_id", 0),
                     fk_col("visitor_id", 1),
                     col("num_of_ticket", &["tickets"], Int, ValuePool::IntRange(1, 10), false),
-                    col("total_spent", &["spending"], Float, ValuePool::FloatRange(5.0, 500.0), true),
+                    col(
+                        "total_spent",
+                        &["spending"],
+                        Float,
+                        ValuePool::FloatRange(5.0, 500.0),
+                        true,
+                    ),
                 ],
             ),
         ],
@@ -661,8 +793,20 @@ fn d_poker() -> DomainTemplate {
                 vec![
                     id_col(),
                     fk_col("people_id", 0),
-                    col("final_table_made", &["final tables"], Int, ValuePool::IntRange(0, 40), false),
-                    col("earnings", &["winnings", "money won"], Float, ValuePool::FloatRange(1000.0, 4_000_000.0), false),
+                    col(
+                        "final_table_made",
+                        &["final tables"],
+                        Int,
+                        ValuePool::IntRange(0, 40),
+                        false,
+                    ),
+                    col(
+                        "earnings",
+                        &["winnings", "money won"],
+                        Float,
+                        ValuePool::FloatRange(1000.0, 4_000_000.0),
+                        false,
+                    ),
                 ],
             ),
         ],
@@ -683,7 +827,13 @@ fn d_network() -> DomainTemplate {
                     col("name", &[], Text, ValuePool::FirstName, false),
                     col("age", &[], Int, ValuePool::IntRange(13, 60), false),
                     col("gender", &["sex"], Text, ValuePool::words(&["male", "female"]), true),
-                    col("job", &["occupation"], Text, ValuePool::words(&["student", "engineer", "doctor", "chef"]), false),
+                    col(
+                        "job",
+                        &["occupation"],
+                        Text,
+                        ValuePool::words(&["student", "engineer", "doctor", "chef"]),
+                        false,
+                    ),
                 ],
             ),
             table(
@@ -754,7 +904,13 @@ fn d_dorm() -> DomainTemplate {
                 vec![
                     id_col(),
                     col("dorm_name", &["name"], Text, ValuePool::Title, false),
-                    col("student_capacity", &["capacity"], Int, ValuePool::IntRange(50, 800), false),
+                    col(
+                        "student_capacity",
+                        &["capacity"],
+                        Int,
+                        ValuePool::IntRange(50, 800),
+                        false,
+                    ),
                     col("gender", &[], Text, ValuePool::words(&["X", "M", "F"]), true),
                 ],
             ),
@@ -766,14 +922,25 @@ fn d_dorm() -> DomainTemplate {
                     id_col(),
                     col("last_name", &["surname"], Text, ValuePool::LastName, false),
                     col("age", &[], Int, ValuePool::IntRange(17, 27), false),
-                    col("major", &["study field"], Text, ValuePool::words(&["CS", "Econ", "Art", "Physics"]), false),
+                    col(
+                        "major",
+                        &["study field"],
+                        Text,
+                        ValuePool::words(&["CS", "Econ", "Art", "Physics"]),
+                        false,
+                    ),
                 ],
             ),
             table(
                 "lives_in",
                 &["housing assignment"],
                 (10, 22),
-                vec![id_col(), fk_col("student_id", 1), fk_col("dorm_id", 0), col("room_number", &["room"], Int, ValuePool::IntRange(100, 999), true)],
+                vec![
+                    id_col(),
+                    fk_col("student_id", 1),
+                    fk_col("dorm_id", 0),
+                    col("room_number", &["room"], Int, ValuePool::IntRange(100, 999), true),
+                ],
             ),
         ],
         fks: vec![fk((2, 1), (1, 0), "held by"), fk((2, 2), (0, 0), "assigned to")],
@@ -791,7 +958,13 @@ fn d_game() -> DomainTemplate {
                 vec![
                     id_col(),
                     col("game_name", &["name"], Text, ValuePool::Title, false),
-                    col("genre", &["type"], Text, ValuePool::words(&["RPG", "Shooter", "Puzzle", "Racing"]), false),
+                    col(
+                        "genre",
+                        &["type"],
+                        Text,
+                        ValuePool::words(&["RPG", "Shooter", "Puzzle", "Racing"]),
+                        false,
+                    ),
                     col("year_released", &["release year"], Int, ValuePool::Year, false),
                 ],
             ),
@@ -832,8 +1005,20 @@ fn d_hospital() -> DomainTemplate {
                 vec![
                     id_col(),
                     col("name", &[], Text, ValuePool::PersonName, false),
-                    col("position", &["title"], Text, ValuePool::words(&["Attending", "Resident", "Intern", "Chief"]), false),
-                    col("salary", &["pay"], Float, ValuePool::FloatRange(60_000.0, 400_000.0), true),
+                    col(
+                        "position",
+                        &["title"],
+                        Text,
+                        ValuePool::words(&["Attending", "Resident", "Intern", "Chief"]),
+                        false,
+                    ),
+                    col(
+                        "salary",
+                        &["pay"],
+                        Float,
+                        ValuePool::FloatRange(60_000.0, 400_000.0),
+                        true,
+                    ),
                 ],
             ),
             table(
@@ -844,7 +1029,13 @@ fn d_hospital() -> DomainTemplate {
                     id_col(),
                     col("name", &[], Text, ValuePool::PersonName, false),
                     col("age", &[], Int, ValuePool::IntRange(1, 95), false),
-                    col("insurance", &["coverage"], Text, ValuePool::words(&["Basic", "Plus", "Premium"]), true),
+                    col(
+                        "insurance",
+                        &["coverage"],
+                        Text,
+                        ValuePool::words(&["Basic", "Plus", "Premium"]),
+                        true,
+                    ),
                 ],
             ),
             table(
@@ -884,8 +1075,20 @@ fn d_insurance() -> DomainTemplate {
                 vec![
                     id_col(),
                     fk_col("customer_id", 0),
-                    col("policy_type", &["type"], Text, ValuePool::words(&["Life", "Auto", "Home", "Travel"]), false),
-                    col("premium", &["monthly cost"], Float, ValuePool::FloatRange(20.0, 900.0), false),
+                    col(
+                        "policy_type",
+                        &["type"],
+                        Text,
+                        ValuePool::words(&["Life", "Auto", "Home", "Travel"]),
+                        false,
+                    ),
+                    col(
+                        "premium",
+                        &["monthly cost"],
+                        Float,
+                        ValuePool::FloatRange(20.0, 900.0),
+                        false,
+                    ),
                 ],
             ),
             table(
@@ -895,8 +1098,20 @@ fn d_insurance() -> DomainTemplate {
                 vec![
                     id_col(),
                     fk_col("policy_id", 1),
-                    col("amount_claimed", &["claim amount"], Float, ValuePool::FloatRange(100.0, 50_000.0), false),
-                    col("status", &["state"], Text, ValuePool::words(&["Open", "Settled", "Denied"]), false),
+                    col(
+                        "amount_claimed",
+                        &["claim amount"],
+                        Float,
+                        ValuePool::FloatRange(100.0, 50_000.0),
+                        false,
+                    ),
+                    col(
+                        "status",
+                        &["state"],
+                        Text,
+                        ValuePool::words(&["Open", "Settled", "Denied"]),
+                        false,
+                    ),
                 ],
             ),
         ],
@@ -968,9 +1183,21 @@ fn d_movie() -> DomainTemplate {
                     id_col(),
                     col("title", &["name"], Text, ValuePool::Title, false),
                     fk_col("director_id", 0),
-                    col("genre", &["category"], Text, ValuePool::words(&["Drama", "Comedy", "Action", "Horror"]), false),
+                    col(
+                        "genre",
+                        &["category"],
+                        Text,
+                        ValuePool::words(&["Drama", "Comedy", "Action", "Horror"]),
+                        false,
+                    ),
                     col("year", &["release year"], Int, ValuePool::Year, false),
-                    col("budget", &["cost"], Float, ValuePool::FloatRange(100_000.0, 200_000_000.0), true),
+                    col(
+                        "budget",
+                        &["cost"],
+                        Float,
+                        ValuePool::FloatRange(100_000.0, 200_000_000.0),
+                        true,
+                    ),
                 ],
             ),
             table(
@@ -1000,7 +1227,13 @@ fn d_store() -> DomainTemplate {
                 vec![
                     id_col(),
                     col("product_name", &["name"], Text, ValuePool::Title, false),
-                    col("category", &["type"], Text, ValuePool::words(&["Food", "Toys", "Books", "Garden"]), false),
+                    col(
+                        "category",
+                        &["type"],
+                        Text,
+                        ValuePool::words(&["Food", "Toys", "Books", "Garden"]),
+                        false,
+                    ),
                     col("price", &["cost"], Float, ValuePool::FloatRange(1.0, 500.0), false),
                 ],
             ),
@@ -1042,7 +1275,13 @@ fn d_real_estate() -> DomainTemplate {
                 vec![
                     id_col(),
                     col("name", &[], Text, ValuePool::PersonName, false),
-                    col("years_experience", &["experience"], Int, ValuePool::IntRange(1, 35), false),
+                    col(
+                        "years_experience",
+                        &["experience"],
+                        Int,
+                        ValuePool::IntRange(1, 35),
+                        false,
+                    ),
                 ],
             ),
             table(
@@ -1053,7 +1292,13 @@ fn d_real_estate() -> DomainTemplate {
                     id_col(),
                     col("address", &["location"], Text, ValuePool::Title, false),
                     col("city", &[], Text, ValuePool::City, false),
-                    col("price", &["asking price", "value"], Float, ValuePool::FloatRange(50_000.0, 3_000_000.0), false),
+                    col(
+                        "price",
+                        &["asking price", "value"],
+                        Float,
+                        ValuePool::FloatRange(50_000.0, 3_000_000.0),
+                        false,
+                    ),
                     col("bedrooms", &["rooms"], Int, ValuePool::IntRange(1, 8), true),
                 ],
             ),
@@ -1096,7 +1341,13 @@ fn d_music() -> DomainTemplate {
                     col("title", &["name"], Text, ValuePool::Title, false),
                     fk_col("artist_id", 0),
                     col("year", &["release year"], Int, ValuePool::Year, false),
-                    col("sales", &["copies sold"], Int, ValuePool::IntRange(1000, 20_000_000), true),
+                    col(
+                        "sales",
+                        &["copies sold"],
+                        Int,
+                        ValuePool::IntRange(1000, 20_000_000),
+                        true,
+                    ),
                 ],
             ),
             table(
@@ -1139,7 +1390,13 @@ fn d_restaurant() -> DomainTemplate {
                     col("dish_name", &["name"], Text, ValuePool::Title, false),
                     fk_col("restaurant_id", 0),
                     col("price", &["cost"], Float, ValuePool::FloatRange(3.0, 80.0), false),
-                    col("is_vegetarian", &["vegetarian"], Text, ValuePool::words(&["T", "F"]), true),
+                    col(
+                        "is_vegetarian",
+                        &["vegetarian"],
+                        Text,
+                        ValuePool::words(&["T", "F"]),
+                        true,
+                    ),
                 ],
             ),
         ],
@@ -1171,7 +1428,13 @@ fn d_bank() -> DomainTemplate {
                     fk_col("branch_id", 0),
                     col("owner_name", &["holder"], Text, ValuePool::PersonName, false),
                     col("balance", &["funds"], Float, ValuePool::FloatRange(0.0, 250_000.0), false),
-                    col("account_type", &["type"], Text, ValuePool::words(&["Checking", "Savings", "Business"]), false),
+                    col(
+                        "account_type",
+                        &["type"],
+                        Text,
+                        ValuePool::words(&["Checking", "Savings", "Business"]),
+                        false,
+                    ),
                 ],
             ),
             table(
@@ -1201,7 +1464,13 @@ fn d_voter() -> DomainTemplate {
                 vec![
                     id_col(),
                     col("area_code", &["code"], Int, ValuePool::IntRange(200, 999), false),
-                    col("state", &["province"], Text, ValuePool::words(&["NY", "CA", "TX", "WA", "FL"]), false),
+                    col(
+                        "state",
+                        &["province"],
+                        Text,
+                        ValuePool::words(&["NY", "CA", "TX", "WA", "FL"]),
+                        false,
+                    ),
                 ],
             ),
             table(
@@ -1231,7 +1500,13 @@ fn d_climbing() -> DomainTemplate {
                 vec![
                     id_col(),
                     col("mountain_name", &["name"], Text, ValuePool::Title, false),
-                    col("height", &["elevation", "altitude"], Int, ValuePool::IntRange(1000, 8900), false),
+                    col(
+                        "height",
+                        &["elevation", "altitude"],
+                        Int,
+                        ValuePool::IntRange(1000, 8900),
+                        false,
+                    ),
                     col("country", &["nation"], Text, ValuePool::Country, false),
                 ],
             ),
@@ -1274,7 +1549,13 @@ fn d_theme_park() -> DomainTemplate {
                     id_col(),
                     col("park_name", &["name"], Text, ValuePool::Title, false),
                     col("city", &["location"], Text, ValuePool::City, false),
-                    col("annual_visitors", &["yearly visitors"], Int, ValuePool::IntRange(50_000, 20_000_000), true),
+                    col(
+                        "annual_visitors",
+                        &["yearly visitors"],
+                        Int,
+                        ValuePool::IntRange(50_000, 20_000_000),
+                        true,
+                    ),
                 ],
             ),
             table(
@@ -1357,9 +1638,19 @@ mod tests {
                 assert!(!t.columns[t.pk].optional, "{}.{} pk must not be optional", d.name, t.name);
                 for c in &t.columns {
                     if let ValuePool::Fk(parent) = c.pool {
-                        assert!(parent < d.tables.len(), "{}.{}.{} fk parent", d.name, t.name, c.name);
-                        assert!(parent != ti || t.name == "friend" || t.name == "matches",
-                            "self-FK only where modeled: {}.{}", d.name, t.name);
+                        assert!(
+                            parent < d.tables.len(),
+                            "{}.{}.{} fk parent",
+                            d.name,
+                            t.name,
+                            c.name
+                        );
+                        assert!(
+                            parent != ti || t.name == "friend" || t.name == "matches",
+                            "self-FK only where modeled: {}.{}",
+                            d.name,
+                            t.name
+                        );
                     }
                 }
             }

@@ -44,8 +44,7 @@ pub fn database_to_sql_dump(db: &Database) -> String {
             };
             let _ = writeln!(out, "  {} {}{pk}{comma}", c.name, c.ty);
         }
-        let fks: Vec<_> =
-            db.schema.foreign_keys.iter().filter(|f| f.from.table == ti).collect();
+        let fks: Vec<_> = db.schema.foreign_keys.iter().filter(|f| f.from.table == ti).collect();
         for (i, f) in fks.iter().enumerate() {
             let comma = if i + 1 < fks.len() { "," } else { "" };
             let _ = writeln!(

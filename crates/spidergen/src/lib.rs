@@ -152,11 +152,7 @@ pub fn generate_suite(cfg: &GenConfig) -> Suite {
     Suite { train, dev, dk, syn, realistic }
 }
 
-fn make_dbs(
-    templates: &[domains::DomainTemplate],
-    n: usize,
-    rng: &mut StdRng,
-) -> Vec<GeneratedDb> {
+fn make_dbs(templates: &[domains::DomainTemplate], n: usize, rng: &mut StdRng) -> Vec<GeneratedDb> {
     (0..n)
         .map(|i| {
             let t = &templates[i % templates.len()];
@@ -180,7 +176,9 @@ fn make_split(
         attempts += 1;
         let gdb = &gdbs[db_index];
         let generator = QueryGenerator::new(gdb);
-        let Some((query, realization)) = generator.generate(rng) else { continue };
+        let Some((query, realization)) = generator.generate(rng) else {
+            continue;
+        };
         let nl = render(&realization, gdb, Policy::Plain, rng);
         let sql = query.to_string();
         let hardness = hardness(&query);
@@ -269,8 +267,7 @@ mod tests {
         let train_ids: Vec<&str> =
             s.train.databases.iter().map(|d| d.schema.db_id.as_str()).collect();
         for d in &s.dev.databases {
-            let domain =
-                d.schema.db_id.rsplit_once('_').map(|(p, _)| p).unwrap_or(&d.schema.db_id);
+            let domain = d.schema.db_id.rsplit_once('_').map(|(p, _)| p).unwrap_or(&d.schema.db_id);
             assert!(
                 !train_ids.iter().any(|t| t.starts_with(domain)),
                 "dev domain {domain} leaked into train"

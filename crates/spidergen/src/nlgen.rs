@@ -69,11 +69,7 @@ pub fn render(r: &Realization, gdb: &GeneratedDb, policy: Policy, rng: &mut StdR
                         } else {
                             // No synonym: keep only the head word, dropping the
                             // schema-exact compound ("series name" -> "name").
-                            c.display
-                                .split_whitespace()
-                                .last()
-                                .unwrap_or(&c.display)
-                                .to_string()
+                            c.display.split_whitespace().last().unwrap_or(&c.display).to_string()
                         }
                     }
                     Policy::Dk if !c.synonyms.is_empty() && rng.random_bool(0.4) => {

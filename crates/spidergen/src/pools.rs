@@ -37,18 +37,16 @@ pub const COUNTRIES: &[(&str, &str)] = &[
 
 /// Cities.
 pub const CITIES: &[&str] = &[
-    "Paris", "Tokyo", "Rome", "London", "Madrid", "Chicago", "Toronto", "Mumbai", "Berlin",
-    "Lyon", "Osaka", "Boston", "Milan", "Leeds", "Austin", "Salvador",
+    "Paris", "Tokyo", "Rome", "London", "Madrid", "Chicago", "Toronto", "Mumbai", "Berlin", "Lyon",
+    "Osaka", "Boston", "Milan", "Leeds", "Austin", "Salvador",
 ];
 
 /// Color-ish categorical values.
-pub const COLORS: &[&str] =
-    &["Red", "Blue", "Green", "Black", "White", "Silver", "Gold", "Purple"];
+pub const COLORS: &[&str] = &["Red", "Blue", "Green", "Black", "White", "Silver", "Gold", "Purple"];
 
 /// Genres / categories.
-pub const GENRES: &[&str] = &[
-    "Drama", "Comedy", "Action", "Documentary", "Horror", "Romance", "Thriller", "Animation",
-];
+pub const GENRES: &[&str] =
+    &["Drama", "Comedy", "Action", "Documentary", "Horror", "Romance", "Thriller", "Animation"];
 
 /// Generic nouns used to synthesize titles ("The Silver Ball", "The Last Kite", ...).
 pub const TITLE_NOUNS: &[&str] = &[
@@ -60,8 +58,18 @@ pub const TITLE_NOUNS: &[&str] = &[
 /// columns near-unique (as real benchmark databases are), which matters for the
 /// equivalence-preserving rewrites of the LLM simulator.
 pub const TITLE_ADJECTIVES: &[&str] = &[
-    "Silver", "Last", "Hidden", "Broken", "Quiet", "Golden", "Distant", "Burning", "Frozen",
-    "Crimson", "Wandering", "Solemn",
+    "Silver",
+    "Last",
+    "Hidden",
+    "Broken",
+    "Quiet",
+    "Golden",
+    "Distant",
+    "Burning",
+    "Frozen",
+    "Crimson",
+    "Wandering",
+    "Solemn",
 ];
 
 /// How a column's values are produced during data population.
@@ -144,10 +152,9 @@ impl ValuePool {
     /// The DK paraphrase for a value of this pool, if the domain defines one.
     pub fn dk_paraphrase(&self, v: &Value) -> Option<String> {
         match (self, v) {
-            (ValuePool::Country, Value::Text(s)) => COUNTRIES
-                .iter()
-                .find(|(c, _)| c == s)
-                .map(|(_, demonym)| (*demonym).to_string()),
+            (ValuePool::Country, Value::Text(s)) => {
+                COUNTRIES.iter().find(|(c, _)| c == s).map(|(_, demonym)| (*demonym).to_string())
+            }
             (ValuePool::Year, Value::Int(y)) => Some(format!("the year {y}")),
             _ => None,
         }

@@ -357,11 +357,8 @@ impl<'a> QueryGenerator<'a> {
         let t = self.pick_table(rng);
         let n_items = if rng.random_bool(0.35) { 2 } else { 1 };
         let mut cols = Vec::new();
-        let mut pool: Vec<ColumnId> = self
-            .categorical_cols(t)
-            .into_iter()
-            .chain(self.numeric_cols(t))
-            .collect();
+        let mut pool: Vec<ColumnId> =
+            self.categorical_cols(t).into_iter().chain(self.numeric_cols(t)).collect();
         pool.shuffle(rng);
         for id in pool.into_iter().take(n_items) {
             cols.push(id);
@@ -490,11 +487,7 @@ impl<'a> QueryGenerator<'a> {
         r.parts.extend(pred_r.parts);
 
         // FROM sel_t AS T1 JOIN pred_t AS T2 ON fk
-        let (t1_fk, t2_fk) = if sel_t == fk_from.0 {
-            (fk_from, fk_to)
-        } else {
-            (fk_to, fk_from)
-        };
+        let (t1_fk, t2_fk) = if sel_t == fk_from.0 { (fk_from, fk_to) } else { (fk_to, fk_from) };
         // Sometimes rank the joined result, pushing the query into hard/extra
         // territory (Spider's join+order+limit compositions).
         let mut order_by = vec![];
@@ -530,8 +523,14 @@ impl<'a> QueryGenerator<'a> {
                 joins: vec![Join {
                     table: TableRef::aliased(self.table_name(pred_t), "T2"),
                     on: vec![(
-                        ColumnRef::qualified("T1", self.col_name(ColumnId { table: t1_fk.0, column: t1_fk.1 })),
-                        ColumnRef::qualified("T2", self.col_name(ColumnId { table: t2_fk.0, column: t2_fk.1 })),
+                        ColumnRef::qualified(
+                            "T1",
+                            self.col_name(ColumnId { table: t1_fk.0, column: t1_fk.1 }),
+                        ),
+                        ColumnRef::qualified(
+                            "T2",
+                            self.col_name(ColumnId { table: t2_fk.0, column: t2_fk.1 }),
+                        ),
                     )],
                 }],
             },
@@ -799,16 +798,23 @@ impl<'a> QueryGenerator<'a> {
         );
         let right = SelectCore {
             distinct: false,
-            items: vec![SelectItem::expr(AggExpr::unit(ValUnit::Column(
-                ColumnRef::qualified("T1", self.col_name(sel)),
-            )))],
+            items: vec![SelectItem::expr(AggExpr::unit(ValUnit::Column(ColumnRef::qualified(
+                "T1",
+                self.col_name(sel),
+            ))))],
             from: FromClause {
                 first: TableRef::aliased(self.table_name(parent), "T1"),
                 joins: vec![Join {
                     table: TableRef::aliased(self.table_name(child), "T2"),
                     on: vec![(
-                        ColumnRef::qualified("T1", self.col_name(ColumnId { table: fk_to.0, column: fk_to.1 })),
-                        ColumnRef::qualified("T2", self.col_name(ColumnId { table: fk_from.0, column: fk_from.1 })),
+                        ColumnRef::qualified(
+                            "T1",
+                            self.col_name(ColumnId { table: fk_to.0, column: fk_to.1 }),
+                        ),
+                        ColumnRef::qualified(
+                            "T2",
+                            self.col_name(ColumnId { table: fk_from.0, column: fk_from.1 }),
+                        ),
                     )],
                 }],
             },
@@ -818,10 +824,8 @@ impl<'a> QueryGenerator<'a> {
             order_by: vec![],
             limit: None,
         };
-        let q = Query {
-            core: left,
-            compound: Some((SetOp::Except, Box::new(Query::single(right)))),
-        };
+        let q =
+            Query { core: left, compound: Some((SetOp::Except, Box::new(Query::single(right)))) };
         Some((q, r))
     }
 
@@ -852,10 +856,7 @@ impl<'a> QueryGenerator<'a> {
             self.table_name(t),
         );
         right.where_clause = Some(p2);
-        Some((
-            Query { core: left, compound: Some((op, Box::new(Query::single(right)))) },
-            r,
-        ))
+        Some((Query { core: left, compound: Some((op, Box::new(Query::single(right)))) }, r))
     }
 
     fn between(&self, rng: &mut StdRng) -> Option<Generated> {
@@ -864,11 +865,7 @@ impl<'a> QueryGenerator<'a> {
         let key = *self.numeric_cols(t).choose(rng)?;
         let a = self.sample_value(key, rng);
         let b = self.sample_value(key, rng);
-        let (lo, hi) = if a.total_cmp(&b) == std::cmp::Ordering::Greater {
-            (b, a)
-        } else {
-            (a, b)
-        };
+        let (lo, hi) = if a.total_cmp(&b) == std::cmp::Ordering::Greater { (b, a) } else { (a, b) };
         let mut r = Realization::default();
         r.lit("what are the");
         r.parts.push(NlPart::ColumnMention { col: sel });
@@ -955,13 +952,22 @@ impl<'a> QueryGenerator<'a> {
                 joins: vec![Join {
                     table: TableRef::aliased(self.table_name(child), "T2"),
                     on: vec![(
-                        ColumnRef::qualified("T1", self.col_name(ColumnId { table: fk_to.0, column: fk_to.1 })),
-                        ColumnRef::qualified("T2", self.col_name(ColumnId { table: fk_from.0, column: fk_from.1 })),
+                        ColumnRef::qualified(
+                            "T1",
+                            self.col_name(ColumnId { table: fk_to.0, column: fk_to.1 }),
+                        ),
+                        ColumnRef::qualified(
+                            "T2",
+                            self.col_name(ColumnId { table: fk_from.0, column: fk_from.1 }),
+                        ),
                     )],
                 }],
             },
             where_clause: None,
-            group_by: vec![ColumnRef::qualified("T1", self.col_name(ColumnId { table: fk_to.0, column: fk_to.1 }))],
+            group_by: vec![ColumnRef::qualified(
+                "T1",
+                self.col_name(ColumnId { table: fk_to.0, column: fk_to.1 }),
+            )],
             having: None,
             order_by: vec![OrderItem {
                 expr: AggExpr::count_star(),
@@ -1017,10 +1023,7 @@ impl<'a> QueryGenerator<'a> {
             distinct: false,
             items: vec![
                 SelectItem::expr(AggExpr::unit(ValUnit::Column(self.colref(key, false)))),
-                SelectItem {
-                    expr: AggExpr::count_star(),
-                    alias: Some("cnt".into()),
-                },
+                SelectItem { expr: AggExpr::count_star(), alias: Some("cnt".into()) },
             ],
             from: FromClause::table(self.table_name(t)),
             where_clause: None,
@@ -1031,9 +1034,10 @@ impl<'a> QueryGenerator<'a> {
         };
         let outer = SelectCore {
             distinct: false,
-            items: vec![SelectItem::expr(AggExpr::unit(ValUnit::Column(
-                ColumnRef::qualified("d", self.col_name(key)),
-            )))],
+            items: vec![SelectItem::expr(AggExpr::unit(ValUnit::Column(ColumnRef::qualified(
+                "d",
+                self.col_name(key),
+            ))))],
             from: FromClause {
                 first: TableRef::Subquery {
                     query: Box::new(Query::single(inner)),
@@ -1081,9 +1085,7 @@ impl<'a> QueryGenerator<'a> {
         r.parts.push(self.value_mention(num, &v));
         let core = SelectCore {
             distinct: false,
-            items: vec![SelectItem::expr(AggExpr::unit(ValUnit::Column(
-                self.colref(key, false),
-            )))],
+            items: vec![SelectItem::expr(AggExpr::unit(ValUnit::Column(self.colref(key, false))))],
             from: FromClause::table(self.table_name(t)),
             where_clause: None,
             group_by: vec![self.colref(key, false)],
@@ -1192,11 +1194,7 @@ mod tests {
         let pairs = gen_many(500);
         let distinct: std::collections::HashSet<String> =
             pairs.iter().map(|(q, _)| Skeleton::from_query(q).to_string()).collect();
-        assert!(
-            distinct.len() > 40,
-            "expected varied skeletons, got {}",
-            distinct.len()
-        );
+        assert!(distinct.len() > 40, "expected varied skeletons, got {}", distinct.len());
     }
 
     #[test]

@@ -25,8 +25,7 @@ pub fn derive_variant(
 ) -> Benchmark {
     assert_eq!(dev.databases.len(), gdbs.len(), "gdbs must align with dev databases");
     let n_dbs = n_dbs.min(dev.databases.len());
-    let mut pool: Vec<&Example> =
-        dev.examples.iter().filter(|e| e.db_index < n_dbs).collect();
+    let mut pool: Vec<&Example> = dev.examples.iter().filter(|e| e.db_index < n_dbs).collect();
     if pool.len() > n_examples {
         pool.shuffle(rng);
         pool.truncate(n_examples);
@@ -47,9 +46,5 @@ pub fn derive_variant(
             }
         })
         .collect();
-    Benchmark {
-        name: name.to_string(),
-        databases: dev.databases[..n_dbs].to_vec(),
-        examples,
-    }
+    Benchmark { name: name.to_string(), databases: dev.databases[..n_dbs].to_vec(), examples }
 }

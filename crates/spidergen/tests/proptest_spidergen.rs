@@ -108,7 +108,8 @@ fn train_skeleton_distribution_covers_compound_shapes() {
     let mut has_subquery = false;
     for ex in &suite.train.examples {
         let text = Skeleton::from_query(&ex.query).to_string();
-        has_except |= text.contains("EXCEPT") || text.contains("INTERSECT") || text.contains("UNION");
+        has_except |=
+            text.contains("EXCEPT") || text.contains("INTERSECT") || text.contains("UNION");
         has_group |= text.contains("GROUP BY");
         has_order_limit |= text.contains("ORDER BY") && text.contains("LIMIT");
         has_subquery |= text.contains("( SELECT");

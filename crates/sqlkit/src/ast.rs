@@ -463,7 +463,11 @@ impl Condition {
 
     /// Combine a list of predicates with `AND`.
     pub fn all(mut preds: Vec<Condition>) -> Option<Condition> {
-        let first = if preds.is_empty() { return None } else { preds.remove(0) };
+        let first = if preds.is_empty() {
+            return None;
+        } else {
+            preds.remove(0)
+        };
         Some(preds.into_iter().fold(first, |acc, p| Condition::And(Box::new(acc), Box::new(p))))
     }
 }

@@ -210,10 +210,7 @@ fn canon_query(q: &Query, schema: &Schema) -> CanonQuery {
             .map(|o| (canon_agg(&o.expr, &scope, schema), o.dir))
             .collect(),
         has_limit: core.limit.is_some(),
-        compound: q
-            .compound
-            .as_ref()
-            .map(|(op, rhs)| (*op, Box::new(canon_query(rhs, schema)))),
+        compound: q.compound.as_ref().map(|(op, rhs)| (*op, Box::new(canon_query(rhs, schema)))),
     }
 }
 
@@ -346,10 +343,7 @@ mod tests {
 
     #[test]
     fn select_order_is_ignored_but_multiplicity_counts() {
-        assert!(em(
-            "SELECT id, country FROM tv_channel",
-            "SELECT country, id FROM tv_channel",
-        ));
+        assert!(em("SELECT id, country FROM tv_channel", "SELECT country, id FROM tv_channel",));
         assert!(!em("SELECT id FROM tv_channel", "SELECT id, id FROM tv_channel"));
     }
 
@@ -367,10 +361,7 @@ mod tests {
 
     #[test]
     fn limit_presence_matters_value_does_not() {
-        assert!(em(
-            "SELECT id FROM tv_channel LIMIT 1",
-            "SELECT id FROM tv_channel LIMIT 3",
-        ));
+        assert!(em("SELECT id FROM tv_channel LIMIT 1", "SELECT id FROM tv_channel LIMIT 3",));
         assert!(!em("SELECT id FROM tv_channel LIMIT 1", "SELECT id FROM tv_channel"));
     }
 

@@ -23,7 +23,8 @@ pub enum Hardness {
 
 impl Hardness {
     /// All levels in ascending difficulty.
-    pub const ALL: [Hardness; 4] = [Hardness::Easy, Hardness::Medium, Hardness::Hard, Hardness::Extra];
+    pub const ALL: [Hardness; 4] =
+        [Hardness::Easy, Hardness::Medium, Hardness::Hard, Hardness::Extra];
 
     /// Display name used in tables/figures.
     pub fn name(self) -> &'static str {
@@ -109,8 +110,7 @@ pub fn hardness(q: &Query) -> Hardness {
 
     if comp1 <= 1 && others == 0 && comp2 == 0 {
         Hardness::Easy
-    } else if (others <= 2 && comp1 <= 1 && comp2 == 0)
-        || (comp1 <= 2 && others < 2 && comp2 == 0)
+    } else if (others <= 2 && comp1 <= 1 && comp2 == 0) || (comp1 <= 2 && others < 2 && comp2 == 0)
     {
         Hardness::Medium
     } else if (others > 2 && comp1 <= 2 && comp2 == 0)
@@ -157,10 +157,7 @@ mod tests {
             Hardness::Hard
         );
         // One nesting, otherwise easy.
-        assert_eq!(
-            h("SELECT a FROM t WHERE b IN (SELECT c FROM u)"),
-            Hardness::Hard
-        );
+        assert_eq!(h("SELECT a FROM t WHERE b IN (SELECT c FROM u)"), Hardness::Hard);
         // The paper's Fig. 1 gold query: one nesting (EXCEPT), clean outer core —
         // the official script rates this "hard" (comp1 <= 1, others == 0, comp2 <= 1).
         assert_eq!(
@@ -173,10 +170,7 @@ mod tests {
     #[test]
     fn extra_queries() {
         // Nesting plus extra components on the outer core -> extra.
-        assert_eq!(
-            h("SELECT a FROM t WHERE b IN (SELECT c FROM u) AND d = 2"),
-            Hardness::Extra
-        );
+        assert_eq!(h("SELECT a FROM t WHERE b IN (SELECT c FROM u) AND d = 2"), Hardness::Extra);
         assert_eq!(
             h("SELECT a, COUNT(*) FROM t JOIN u ON t.x = u.y WHERE t.b > 1 GROUP BY a HAVING \
                COUNT(*) > 2 ORDER BY COUNT(*) DESC LIMIT 5"),

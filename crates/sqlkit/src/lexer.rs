@@ -40,9 +40,40 @@ impl fmt::Display for Token {
 
 /// All recognized keywords. Anything else alphabetic lexes as an identifier.
 pub const KEYWORDS: &[&str] = &[
-    "SELECT", "DISTINCT", "FROM", "JOIN", "ON", "AS", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
-    "LIMIT", "AND", "OR", "NOT", "IN", "LIKE", "BETWEEN", "INTERSECT", "UNION", "EXCEPT", "ASC",
-    "DESC", "COUNT", "MAX", "MIN", "SUM", "AVG", "NULL", "IS", "INNER", "LEFT", "OUTER", "ALL",
+    "SELECT",
+    "DISTINCT",
+    "FROM",
+    "JOIN",
+    "ON",
+    "AS",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "ORDER",
+    "LIMIT",
+    "AND",
+    "OR",
+    "NOT",
+    "IN",
+    "LIKE",
+    "BETWEEN",
+    "INTERSECT",
+    "UNION",
+    "EXCEPT",
+    "ASC",
+    "DESC",
+    "COUNT",
+    "MAX",
+    "MIN",
+    "SUM",
+    "AVG",
+    "NULL",
+    "IS",
+    "INNER",
+    "LEFT",
+    "OUTER",
+    "ALL",
 ];
 
 fn keyword_of(word: &str) -> Option<&'static str> {

@@ -595,8 +595,7 @@ mod tests {
 
     #[test]
     fn parses_arithmetic_value_units() {
-        let q = parse("SELECT max_speed - min_speed FROM cars WHERE horsepower * 2 > 300")
-            .unwrap();
+        let q = parse("SELECT max_speed - min_speed FROM cars WHERE horsepower * 2 > 300").unwrap();
         assert!(matches!(q.core.items[0].expr.unit, ValUnit::Arith { op: ArithOp::Sub, .. }));
     }
 
@@ -620,9 +619,11 @@ mod tests {
     #[test]
     fn parses_hallucinated_shapes() {
         // Function hallucination
-        let q = parse("SELECT CONCAT(first_name, ' ', last_name) AS full_name FROM players")
-            .unwrap();
-        assert!(matches!(&q.core.items[0].expr.unit, ValUnit::Func { name, args } if name == "CONCAT" && args.len() == 3));
+        let q =
+            parse("SELECT CONCAT(first_name, ' ', last_name) AS full_name FROM players").unwrap();
+        assert!(
+            matches!(&q.core.items[0].expr.unit, ValUnit::Func { name, args } if name == "CONCAT" && args.len() == 3)
+        );
         assert_eq!(q.core.items[0].alias.as_deref(), Some("full_name"));
         // Multi-argument aggregate hallucination
         let q = parse("SELECT COUNT(DISTINCT series_name, content) FROM tv_channel").unwrap();
@@ -641,8 +642,10 @@ mod tests {
 
     #[test]
     fn parses_inner_and_left_join_as_inner() {
-        let q = parse("SELECT a FROM t1 INNER JOIN t2 ON t1.x = t2.y LEFT OUTER JOIN t3 ON t2.z = t3.w")
-            .unwrap();
+        let q = parse(
+            "SELECT a FROM t1 INNER JOIN t2 ON t1.x = t2.y LEFT OUTER JOIN t3 ON t2.z = t3.w",
+        )
+        .unwrap();
         assert_eq!(q.core.from.joins.len(), 2);
         assert_eq!(q.core.from.joins[1].on.len(), 1);
     }

@@ -49,7 +49,11 @@ impl Column {
     }
 
     /// Constructor with an explicit display phrase.
-    pub fn with_display(name: impl Into<String>, display: impl Into<String>, ty: ColumnType) -> Self {
+    pub fn with_display(
+        name: impl Into<String>,
+        display: impl Into<String>,
+        ty: ColumnType,
+    ) -> Self {
         Column { name: name.into(), display: display.into(), ty }
     }
 }

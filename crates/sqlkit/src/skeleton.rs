@@ -179,13 +179,13 @@ impl Skeleton {
                 .tokens
                 .iter()
                 .copied()
-                .filter(|t| !matches!(t, SkelTok::Ph | SkelTok::Comma | SkelTok::LParen | SkelTok::RParen))
+                .filter(|t| {
+                    !matches!(t, SkelTok::Ph | SkelTok::Comma | SkelTok::LParen | SkelTok::RParen)
+                })
                 .collect(),
-            Level::Structure => self
-                .at_level(Level::Keywords)
-                .into_iter()
-                .map(structure_map)
-                .collect(),
+            Level::Structure => {
+                self.at_level(Level::Keywords).into_iter().map(structure_map).collect()
+            }
             Level::Clause => self
                 .at_level(Level::Structure)
                 .into_iter()
@@ -498,7 +498,10 @@ mod tests {
             "SELECT Country FROM TV_CHANNEL EXCEPT SELECT T1.Country FROM TV_CHANNEL AS T1 JOIN \
              CARTOON AS T2 ON T1.id = T2.Channel WHERE T2.Written_by = 'Todd Casey'",
         );
-        assert_eq!(s.to_string(), "SELECT _ FROM _ EXCEPT SELECT _ FROM _ JOIN _ ON _ = _ WHERE _ = _");
+        assert_eq!(
+            s.to_string(),
+            "SELECT _ FROM _ EXCEPT SELECT _ FROM _ JOIN _ ON _ = _ WHERE _ = _"
+        );
     }
 
     #[test]
@@ -510,9 +513,8 @@ mod tests {
 
     #[test]
     fn structure_level_applies_fig7_classes() {
-        let s = skel(
-            "SELECT a FROM t WHERE b >= 2 INTERSECT SELECT MAX(c) FROM u WHERE d LIKE 'x'",
-        );
+        let s =
+            skel("SELECT a FROM t WHERE b >= 2 INTERSECT SELECT MAX(c) FROM u WHERE d LIKE 'x'");
         assert_eq!(
             render(&s.at_level(Level::Structure)),
             "SELECT FROM WHERE <CMP> <IUE> SELECT <AGG> FROM WHERE <CMP>"
@@ -552,15 +554,10 @@ mod tests {
     fn dail_sql_keyword_set_collision_is_separated_by_order() {
         // §IV-C1's motivating example: same keywords, different order. Jaccard
         // (set) similarity sees them as identical; our sequences do not.
-        let a = skel(
-            "SELECT x FROM t JOIN u ON t.a = u.b WHERE t.c = 1 EXCEPT SELECT x FROM t",
-        );
-        let b = skel(
-            "SELECT x FROM t EXCEPT SELECT x FROM t JOIN u ON t.a = u.b WHERE t.c = 1",
-        );
+        let a = skel("SELECT x FROM t JOIN u ON t.a = u.b WHERE t.c = 1 EXCEPT SELECT x FROM t");
+        let b = skel("SELECT x FROM t EXCEPT SELECT x FROM t JOIN u ON t.a = u.b WHERE t.c = 1");
         use std::collections::BTreeSet;
-        let set =
-            |s: &Skeleton| s.at_level(Level::Keywords).into_iter().collect::<BTreeSet<_>>();
+        let set = |s: &Skeleton| s.at_level(Level::Keywords).into_iter().collect::<BTreeSet<_>>();
         assert_eq!(set(&a), set(&b), "keyword sets should collide");
         assert_ne!(a.at_level(Level::Keywords), b.at_level(Level::Keywords));
     }

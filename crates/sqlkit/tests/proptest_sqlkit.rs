@@ -8,8 +8,18 @@ use sqlkit::{canonicalize, parse, Level, Schema, Skeleton};
 
 fn ident() -> impl Strategy<Value = String> {
     prop::sample::select(vec![
-        "id", "name", "country", "channel", "written_by", "age", "total", "price", "city",
-        "customer_id", "year", "rating",
+        "id",
+        "name",
+        "country",
+        "channel",
+        "written_by",
+        "age",
+        "total",
+        "price",
+        "city",
+        "customer_id",
+        "year",
+        "rating",
     ])
     .prop_map(str::to_string)
 }
@@ -31,15 +41,12 @@ fn literal() -> impl Strategy<Value = Literal> {
 }
 
 fn column_ref() -> impl Strategy<Value = ColumnRef> {
-    (prop::option::of(table_name()), ident())
-        .prop_map(|(t, c)| ColumnRef { table: t, column: c })
+    (prop::option::of(table_name()), ident()).prop_map(|(t, c)| ColumnRef { table: t, column: c })
 }
 
 fn val_unit() -> BoxedStrategy<ValUnit> {
-    let leaf = prop_oneof![
-        column_ref().prop_map(ValUnit::Column),
-        literal().prop_map(ValUnit::Literal),
-    ];
+    let leaf =
+        prop_oneof![column_ref().prop_map(ValUnit::Column), literal().prop_map(ValUnit::Literal),];
     // Left-associative arithmetic only: the printer emits flat chains and the parser
     // re-associates to the left, so right-leaning trees would not round-trip.
     (leaf.clone(), prop::collection::vec((arith_op(), leaf), 0..2))
@@ -58,7 +65,13 @@ fn arith_op() -> impl Strategy<Value = ArithOp> {
 }
 
 fn agg_func() -> impl Strategy<Value = AggFunc> {
-    prop::sample::select(vec![AggFunc::Count, AggFunc::Max, AggFunc::Min, AggFunc::Sum, AggFunc::Avg])
+    prop::sample::select(vec![
+        AggFunc::Count,
+        AggFunc::Max,
+        AggFunc::Min,
+        AggFunc::Sum,
+        AggFunc::Avg,
+    ])
 }
 
 fn agg_expr() -> BoxedStrategy<AggExpr> {
@@ -116,8 +129,8 @@ fn condition() -> BoxedStrategy<Condition> {
     // Left-associative boolean chains, mirroring the parser's associativity. An OR
     // child on the left of an AND is printed parenthesized and survives round-trip,
     // but mixing arbitrary nesting would not; chains are what Spider SQL contains.
-    (predicate(), prop::collection::vec((any::<bool>(), predicate()), 0..3)).prop_map(
-        |(first, rest)| {
+    (predicate(), prop::collection::vec((any::<bool>(), predicate()), 0..3))
+        .prop_map(|(first, rest)| {
             rest.into_iter().fold(Condition::Pred(first), |acc, (is_or, p)| {
                 let rhs = Box::new(Condition::Pred(p));
                 if is_or {
@@ -126,23 +139,16 @@ fn condition() -> BoxedStrategy<Condition> {
                     Condition::And(Box::new(acc), rhs)
                 }
             })
-        },
-    )
-    .boxed()
+        })
+        .boxed()
 }
 
 fn from_clause() -> BoxedStrategy<FromClause> {
-    (
-        table_name(),
-        prop::collection::vec((table_name(), column_ref(), column_ref()), 0..2),
-    )
+    (table_name(), prop::collection::vec((table_name(), column_ref(), column_ref()), 0..2))
         .prop_map(|(first, joins)| {
             let use_aliases = !joins.is_empty();
-            let first_ref = if use_aliases {
-                TableRef::aliased(first, "T1")
-            } else {
-                TableRef::named(first)
-            };
+            let first_ref =
+                if use_aliases { TableRef::aliased(first, "T1") } else { TableRef::named(first) };
             FromClause {
                 first: first_ref,
                 joins: joins
@@ -169,8 +175,8 @@ fn select_core() -> BoxedStrategy<SelectCore> {
         prop::collection::vec((agg_expr(), any::<bool>()), 0..2),
         prop::option::of(0u64..100),
     )
-        .prop_map(
-            |(distinct, items, from, where_clause, group_by, having, order_by, limit)| SelectCore {
+        .prop_map(|(distinct, items, from, where_clause, group_by, having, order_by, limit)| {
+            SelectCore {
                 distinct,
                 items: items.into_iter().map(SelectItem::expr).collect(),
                 from,
@@ -186,8 +192,8 @@ fn select_core() -> BoxedStrategy<SelectCore> {
                     })
                     .collect(),
                 limit,
-            },
-        )
+            }
+        })
         .boxed()
 }
 

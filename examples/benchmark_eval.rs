@@ -18,17 +18,25 @@ fn main() {
     // Distilled test suites give the TS metric (EX minus coincidences).
     let ts = build_suites(&suite.dev, SuiteConfig::default(), 9);
 
-    let mut systems: Vec<Box<dyn Translator>> = vec![
-        Box::new(LlmBaseline::new(Strategy::ChatGptSql, CHATGPT, SharedModels {
-            classifier: models.classifier.clone(),
-            predictor: models.predictor.clone(),
-            pool: models.pool.clone(),
-        })),
-        Box::new(LlmBaseline::new(Strategy::FewShot, GPT4, SharedModels {
-            classifier: models.classifier.clone(),
-            predictor: models.predictor.clone(),
-            pool: models.pool.clone(),
-        })),
+    let systems: Vec<Box<dyn Translator + Sync>> = vec![
+        Box::new(LlmBaseline::new(
+            Strategy::ChatGptSql,
+            CHATGPT,
+            SharedModels {
+                classifier: models.classifier.clone(),
+                predictor: models.predictor.clone(),
+                pool: models.pool.clone(),
+            },
+        )),
+        Box::new(LlmBaseline::new(
+            Strategy::FewShot,
+            GPT4,
+            SharedModels {
+                classifier: models.classifier.clone(),
+                predictor: models.predictor.clone(),
+                pool: models.pool.clone(),
+            },
+        )),
         Box::new(LlmBaseline::new(Strategy::DailSql, GPT4, models)),
         Box::new(purple_sys.with_config(PurpleConfig::default_with(CHATGPT))),
         Box::new(purple_sys.with_config(PurpleConfig::default_with(GPT4))),
@@ -38,9 +46,10 @@ fn main() {
         "{:<24} {:>6} {:>6} {:>6}   {:>9} {:>9} {:>9} {:>9}",
         "system", "EM%", "EX%", "TS%", "easy", "medium", "hard", "extra"
     );
-    for sys in systems.iter_mut() {
-        let r = evaluate(sys.as_mut(), &suite.dev, Some(&ts));
-        let cell = |i: usize| format!("{:.0}/{:.0}", r.by_hardness[i].em_pct(), r.by_hardness[i].ex_pct());
+    for sys in systems.iter() {
+        let r = evaluate_par(sys.as_ref(), &suite.dev, Some(&ts), 4);
+        let cell =
+            |i: usize| format!("{:.0}/{:.0}", r.by_hardness[i].em_pct(), r.by_hardness[i].ex_pct());
         println!(
             "{:<24} {:>6.1} {:>6.1} {:>6.1}   {:>9} {:>9} {:>9} {:>9}",
             r.system,

@@ -13,7 +13,10 @@ fn main() {
     let suite = generate_suite(&cfg);
     let base = Purple::new(&suite.train, PurpleConfig::default_with(CHATGPT));
 
-    println!("{:>6} {:>5} {:>8} {:>7} {:>7} {:>11}", "len", "num", "status", "EM%", "EX%", "avg tokens");
+    println!(
+        "{:>6} {:>5} {:>8} {:>7} {:>7} {:>11}",
+        "len", "num", "status", "EM%", "EX%", "avg tokens"
+    );
     for len in [512u64, 1024, 2048, 3072] {
         for num in [1usize, 10, 30, 40] {
             // A single API call must fit the prompt plus all sampled completions
@@ -25,8 +28,8 @@ fn main() {
             let mut pc = PurpleConfig::default_with(CHATGPT);
             pc.len_budget = len;
             pc.num_consistency = num;
-            let mut system = base.with_config(pc);
-            let r = evaluate(&mut system, &suite.dev, None);
+            let system = base.with_config(pc);
+            let r = evaluate(&system, &suite.dev, None);
             println!(
                 "{len:>6} {num:>5} {:>8} {:>7.1} {:>7.1} {:>11.0}",
                 "ok",

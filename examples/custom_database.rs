@@ -72,8 +72,7 @@ fn main() {
     for (label, sql) in [("gold (EXCEPT)", gold), ("C3-style (NOT IN)", not_in)] {
         let q = parse(sql).expect("parses");
         let rs = execute(&db, &q).expect("executes");
-        let rows: Vec<String> =
-            rs.rows.iter().map(|r| r[0].to_string()).collect();
+        let rows: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
         println!("{label:<20} -> {rows:?}");
     }
     println!("(different results on this data: the Fig. 1 de-duplication trap)\n");

@@ -21,7 +21,7 @@ fn main() {
 
     // 2. Train PURPLE: schema classifier (focal loss), skeleton predictor,
     //    demonstration pool with pruned schemas, and the four-level automaton.
-    let mut system = Purple::new(&suite.train, PurpleConfig::default_with(CHATGPT));
+    let system = Purple::new(&suite.train, PurpleConfig::default_with(CHATGPT));
     let ratio = system.automata().end_state_ratio();
     println!(
         "automaton end states (Detail:Keywords:Structure:Clause) = {}:{}:{}:{}",
@@ -45,6 +45,6 @@ fn main() {
     }
 
     // 5. Score the whole validation split (EM = exact-set match, EX = execution).
-    let report = evaluate(&mut system, &suite.dev, None);
+    let report = evaluate(&system, &suite.dev, None);
     println!("\n{}", report.summary());
 }

@@ -57,7 +57,12 @@ fn main() {
         for level in Level::ALL {
             let toks = skel.at_level(level);
             let matches = automata.at(level).matches(&skel).len();
-            println!("  {:<10} [{:>3} demo matches]  {}", format!("{level:?}"), matches, render(&toks));
+            println!(
+                "  {:<10} [{:>3} demo matches]  {}",
+                format!("{level:?}"),
+                matches,
+                render(&toks)
+            );
         }
         println!();
     }

@@ -10,15 +10,10 @@ use purple_repro::prelude::*;
 
 fn main() {
     let suite = generate_suite(&GenConfig::tiny(2025));
-    let mut system = Purple::new(&suite.train, PurpleConfig::default_with(CHATGPT));
+    let system = Purple::new(&suite.train, PurpleConfig::default_with(CHATGPT));
 
     // Pick the hardest example for an interesting trace.
-    let ex = suite
-        .dev
-        .examples
-        .iter()
-        .max_by_key(|e| e.hardness)
-        .expect("non-empty dev split");
+    let ex = suite.dev.examples.iter().max_by_key(|e| e.hardness).expect("non-empty dev split");
     let db = suite.dev.db_of(ex);
 
     println!("NL:       {}", ex.nl);

@@ -20,15 +20,17 @@
 //!
 //! // 2. Train PURPLE on the training split (classifier + skeleton predictor +
 //! //    demonstration pool + four-level automata).
-//! let mut system = Purple::new(&suite.train, PurpleConfig::default_with(CHATGPT));
+//! let system = Purple::new(&suite.train, PurpleConfig::default_with(CHATGPT));
 //!
 //! // 3. Translate a validation question.
 //! let ex = &suite.dev.examples[0];
 //! let translation = system.run(ex, suite.dev.db_of(ex));
 //! assert!(!translation.sql.is_empty());
 //!
-//! // 4. Score the whole split.
-//! let report = evaluate(&mut system, &suite.dev, None);
+//! // 4. Score the whole split — serially, or across worker threads with
+//! //    bit-identical results (seeds derive from the example index).
+//! let report = evaluate(&system, &suite.dev, None);
+//! assert_eq!(report, evaluate_par(&system, &suite.dev, None, 4));
 //! assert!(report.overall.em_pct() > 0.0);
 //! ```
 //!
@@ -48,7 +50,7 @@ pub use sqlkit;
 pub mod prelude {
     pub use baselines::{LlmBaseline, PlmTranslator, SharedModels, Strategy, ALL_PLM};
     pub use engine::{execute, Database, ResultSet, Value};
-    pub use eval::{build_suites, evaluate, SuiteConfig, Translation, Translator};
+    pub use eval::{build_suites, evaluate, evaluate_par, SuiteConfig, Translation, Translator};
     pub use llm::{LlmService, Prompt, CHATGPT, GPT4};
     pub use purple::{Purple, PurpleConfig};
     pub use spidergen::{generate_suite, GenConfig, Suite};

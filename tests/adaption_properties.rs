@@ -100,7 +100,11 @@ fn every_category_is_injectable_somewhere_on_dev() {
     let mut probes: Vec<(usize, Query)> = goldens.clone();
     for (di, db) in suite.dev.databases.iter().enumerate() {
         if let Some(t) = db.schema.tables.first() {
-            if let Some(c) = t.columns.iter().find(|c| Some(&c.name) != t.primary_key.map(|pk| &t.columns[pk].name)) {
+            if let Some(c) = t
+                .columns
+                .iter()
+                .find(|c| Some(&c.name) != t.primary_key.map(|pk| &t.columns[pk].name))
+            {
                 let sql = format!("SELECT COUNT(DISTINCT {}) FROM {}", c.name, t.name);
                 if let Ok(q) = parse(&sql) {
                     probes.push((di, q));

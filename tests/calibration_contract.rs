@@ -9,10 +9,7 @@
 use bench_harness::{experiments as exp, ReproContext, Scale};
 
 fn em(rows: &[exp::Row], name: &str) -> f64 {
-    rows.iter()
-        .find(|r| r.system == name)
-        .unwrap_or_else(|| panic!("row {name} missing"))
-        .em
+    rows.iter().find(|r| r.system == name).unwrap_or_else(|| panic!("row {name} missing")).em
 }
 
 fn ex(rows: &[exp::Row], name: &str) -> f64 {
@@ -56,10 +53,7 @@ fn table4_orderings_hold_at_medium_scale() {
 
     // 3. The EM << EX signature for zero-shot strategies (Table 1).
     for sys in ["ChatGPT-SQL (ChatGPT)", "C3 (ChatGPT)", "Zero-shot (GPT4)"] {
-        assert!(
-            ex(&rows, sys) > em(&rows, sys) + 15.0,
-            "{sys} must show the EM<<EX signature"
-        );
+        assert!(ex(&rows, sys) > em(&rows, sys) + 15.0, "{sys} must show the EM<<EX signature");
     }
 
     // 4. TS <= EX for every row (the distilled suite removes coincidences).

@@ -13,12 +13,12 @@ fn suite() -> Suite {
 #[test]
 fn purple_end_to_end_beats_zero_shot_on_both_metrics() {
     let suite = suite();
-    let mut system = Purple::new(&suite.train, PurpleConfig::default_with(CHATGPT));
-    let purple_report = evaluate(&mut system, &suite.dev, None);
+    let system = Purple::new(&suite.train, PurpleConfig::default_with(CHATGPT));
+    let purple_report = evaluate(&system, &suite.dev, None);
 
     let models = SharedModels::from_purple(&system);
-    let mut zero = LlmBaseline::new(Strategy::ChatGptSql, CHATGPT, models);
-    let zero_report = evaluate(&mut zero, &suite.dev, None);
+    let zero = LlmBaseline::new(Strategy::ChatGptSql, CHATGPT, models);
+    let zero_report = evaluate(&zero, &suite.dev, None);
 
     assert!(
         purple_report.overall.em_pct() > zero_report.overall.em_pct() + 10.0,
@@ -45,8 +45,8 @@ fn purple_end_to_end_beats_zero_shot_on_both_metrics() {
 fn ts_never_exceeds_ex_and_em_is_value_blind() {
     let suite = suite();
     let ts = build_suites(&suite.dev, SuiteConfig::default(), 3);
-    let mut system = Purple::new(&suite.train, PurpleConfig::default_with(CHATGPT));
-    let report = evaluate(&mut system, &suite.dev, Some(&ts));
+    let system = Purple::new(&suite.train, PurpleConfig::default_with(CHATGPT));
+    let report = evaluate(&system, &suite.dev, Some(&ts));
     assert!(
         report.overall.ts <= report.overall.ex,
         "TS hits {} cannot exceed EX hits {} (suite includes the original instance)",
@@ -60,10 +60,10 @@ fn ts_never_exceeds_ex_and_em_is_value_blind() {
 fn gpt4_profile_dominates_chatgpt_for_purple() {
     let suite = suite();
     let base = Purple::new(&suite.train, PurpleConfig::default_with(CHATGPT));
-    let mut chatgpt = base.with_config(PurpleConfig::default_with(CHATGPT));
-    let mut gpt4 = base.with_config(PurpleConfig::default_with(GPT4));
-    let r35 = evaluate(&mut chatgpt, &suite.dev, None);
-    let r4 = evaluate(&mut gpt4, &suite.dev, None);
+    let chatgpt = base.with_config(PurpleConfig::default_with(CHATGPT));
+    let gpt4 = base.with_config(PurpleConfig::default_with(GPT4));
+    let r35 = evaluate(&chatgpt, &suite.dev, None);
+    let r4 = evaluate(&gpt4, &suite.dev, None);
     assert!(
         r4.overall.em_pct() >= r35.overall.em_pct(),
         "GPT4 {:.1} vs ChatGPT {:.1}",
@@ -75,13 +75,13 @@ fn gpt4_profile_dominates_chatgpt_for_purple() {
 #[test]
 fn predictions_parse_and_mostly_execute() {
     let suite = suite();
-    let mut system = Purple::new(&suite.train, PurpleConfig::default_with(CHATGPT));
+    let system = Purple::new(&suite.train, PurpleConfig::default_with(CHATGPT));
     let mut parseable = 0;
     let mut executable = 0;
     let n = 40.min(suite.dev.examples.len());
-    for ex in suite.dev.examples.iter().take(n) {
+    for (i, ex) in suite.dev.examples.iter().take(n).enumerate() {
         let db = suite.dev.db_of(ex);
-        let t = system.run(ex, db);
+        let t = system.run_at(i, ex, db);
         if let Ok(q) = parse(&t.sql) {
             parseable += 1;
             if execute(db, &q).is_ok() {
@@ -97,11 +97,11 @@ fn predictions_parse_and_mostly_execute() {
 fn variant_splits_are_harder_than_dev() {
     let suite = suite();
     let base = Purple::new(&suite.train, PurpleConfig::default_with(CHATGPT));
-    let mut on_dev = base.with_config(PurpleConfig::default_with(CHATGPT));
-    let dev_em = evaluate(&mut on_dev, &suite.dev, None).overall.em_pct();
+    let on_dev = base.with_config(PurpleConfig::default_with(CHATGPT));
+    let dev_em = evaluate(&on_dev, &suite.dev, None).overall.em_pct();
     for split in [&suite.dk, &suite.syn] {
-        let mut sys = base.with_config(PurpleConfig::default_with(CHATGPT));
-        let em = evaluate(&mut sys, split, None).overall.em_pct();
+        let sys = base.with_config(PurpleConfig::default_with(CHATGPT));
+        let em = evaluate(&sys, split, None).overall.em_pct();
         assert!(
             em <= dev_em + 5.0,
             "{} EM {:.1} should not beat plain dev {:.1} by a margin",
@@ -116,12 +116,12 @@ fn variant_splits_are_harder_than_dev() {
 fn oracle_skeleton_does_not_hurt() {
     let suite = suite();
     let base = Purple::new(&suite.train, PurpleConfig::default_with(CHATGPT));
-    let mut default_sys = base.with_config(PurpleConfig::default_with(CHATGPT));
+    let default_sys = base.with_config(PurpleConfig::default_with(CHATGPT));
     let mut oracle_cfg = PurpleConfig::default_with(CHATGPT);
     oracle_cfg.oracle_skeleton = true;
-    let mut oracle_sys = base.with_config(oracle_cfg);
-    let d = evaluate(&mut default_sys, &suite.dev, None).overall.em_pct();
-    let o = evaluate(&mut oracle_sys, &suite.dev, None).overall.em_pct();
+    let oracle_sys = base.with_config(oracle_cfg);
+    let d = evaluate(&default_sys, &suite.dev, None).overall.em_pct();
+    let o = evaluate(&oracle_sys, &suite.dev, None).overall.em_pct();
     assert!(o + 3.0 >= d, "oracle skeleton {:.1} should not trail default {:.1}", o, d);
 }
 
@@ -133,14 +133,10 @@ fn token_budgets_are_respected_end_to_end() {
         let mut cfg = PurpleConfig::default_with(CHATGPT);
         cfg.len_budget = len;
         cfg.num_consistency = 3;
-        let mut sys = base.with_config(cfg);
-        for ex in suite.dev.examples.iter().take(10) {
-            let t = sys.run(ex, suite.dev.db_of(ex));
-            assert!(
-                t.prompt_tokens <= len,
-                "prompt {} exceeded budget {len}",
-                t.prompt_tokens
-            );
+        let sys = base.with_config(cfg);
+        for (i, ex) in suite.dev.examples.iter().take(10).enumerate() {
+            let t = sys.run_at(i, ex, suite.dev.db_of(ex));
+            assert!(t.prompt_tokens <= len, "prompt {} exceeded budget {len}", t.prompt_tokens);
         }
     }
 }
@@ -149,12 +145,12 @@ fn token_budgets_are_respected_end_to_end() {
 fn traced_run_is_consistent_with_plain_run() {
     let suite = suite();
     let base = Purple::new(&suite.train, PurpleConfig::default_with(CHATGPT));
-    let mut a = base.with_config(PurpleConfig::default_with(CHATGPT));
-    let mut b = base.with_config(PurpleConfig::default_with(CHATGPT));
-    for ex in suite.dev.examples.iter().take(8) {
+    let a = base.with_config(PurpleConfig::default_with(CHATGPT));
+    let b = base.with_config(PurpleConfig::default_with(CHATGPT));
+    for (i, ex) in suite.dev.examples.iter().take(8).enumerate() {
         let db = suite.dev.db_of(ex);
-        let plain = a.run(ex, db);
-        let (traced, trace) = b.run_traced(ex, db);
+        let plain = a.run_at(i, ex, db);
+        let (traced, trace) = b.run_traced_at(i, ex, db);
         assert_eq!(plain.sql, traced.sql);
         assert_eq!(trace.sql, traced.sql);
         assert_eq!(trace.prompt_tokens, traced.prompt_tokens);

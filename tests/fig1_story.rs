@@ -94,10 +94,7 @@ fn fig2_demonstration_matches_gold_at_structure_level_only() {
     assert_ne!(gold_skel.at_level(Level::Keywords), fig2_skel.at_level(Level::Keywords));
     assert_eq!(gold_skel.at_level(Level::Structure), fig2_skel.at_level(Level::Structure));
     assert_eq!(gold_skel.at_level(Level::Clause), fig2_skel.at_level(Level::Clause));
-    assert_eq!(
-        llm::LlmService::support_level(&gold_skel, &[&fig2_skel]),
-        Some(Level::Structure)
-    );
+    assert_eq!(llm::LlmService::support_level(&gold_skel, &[&fig2_skel]), Some(Level::Structure));
 }
 
 #[test]
@@ -137,8 +134,7 @@ fn composition_support_raises_the_simulated_llms_odds() {
         .unwrap(),
     );
     let (p_without, _) = svc.composition_probability(&required, &[], &gold, 0.0, false);
-    let (p_with, level) =
-        svc.composition_probability(&required, &[&fig2_skel], &gold, 0.0, false);
+    let (p_with, level) = svc.composition_probability(&required, &[&fig2_skel], &gold, 0.0, false);
     assert_eq!(level, Some(Level::Structure));
     assert!(
         p_with > p_without + 0.10,
