@@ -4,9 +4,10 @@
 
 use crate::common::{fixed_demo_indices, raw_vote};
 use engine::Database;
-use eval::{Translation, Translator};
+use eval::{Job, RunOutcome, Translation, Translator};
 use llm::{Demonstration, GenerationRequest, LlmProfile, LlmService, Prompt, CONTEXT_LIMIT};
 use nlmodel::{SchemaClassifier, SkeletonPredictor};
+use obs::{Clock, Counter, Fixer, Gauge, MetricsRegistry, Stage};
 use purple::{PruneConfig, PrunedSchema, SchemaPruner};
 use spidergen::types::Example;
 use sqlkit::Level;
@@ -62,6 +63,8 @@ pub struct LlmBaseline {
     service: LlmService,
     models: SharedModels,
     seed: u64,
+    metrics: Option<Arc<MetricsRegistry>>,
+    clock: Clock,
 }
 
 impl LlmBaseline {
@@ -73,12 +76,24 @@ impl LlmBaseline {
             service: LlmService::new(profile),
             models,
             seed: 0x51ec7e11,
+            metrics: None,
+            clock: Clock::default(),
         }
     }
 
     /// Attach a shared cost ledger, builder-style: every LLM call is recorded.
     pub fn with_ledger(mut self, ledger: std::sync::Arc<llm::CostLedger>) -> Self {
         self.service = LlmService::new(self.profile).with_ledger(ledger);
+        self
+    }
+
+    /// Attach a shared metrics registry, builder-style (same convention as
+    /// [`purple::Purple::with_metrics`]): each run records into a private
+    /// registry and absorbs the snapshot into this one. Adopts the registry's
+    /// clock.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.clock = metrics.clock();
+        self.metrics = Some(metrics);
         self
     }
 
@@ -140,10 +155,16 @@ impl Translator for LlmBaseline {
         format!("{s} ({})", self.profile.name)
     }
 
-    fn translate(&self, idx: usize, ex: &Example, db: &Database) -> Translation {
-        let seed = eval::seed_for(self.seed, idx);
+    fn run(&self, job: Job<'_>) -> RunOutcome {
+        let (ex, db) = (job.example, job.db);
+        let seed = job.seed(self.seed);
+        let reg = MetricsRegistry::new(self.clock);
 
-        // Per-strategy prompt composition.
+        // Per-strategy prompt composition. DAIL-SQL's retrieval runs the
+        // skeleton predictor internally, so the whole composition step counts
+        // as demonstration selection.
+        let span = reg.span(Stage::DemoSelection);
+        reg.set_gauge(Gauge::PoolSize, self.models.pool.len() as u64);
         let (instruction, demos, instruction_quality, cot, n, extra_out, pruned) =
             match self.strategy {
                 Strategy::ChatGptSql => (
@@ -208,7 +229,9 @@ impl Translator for LlmBaseline {
                     ("Answer like the examples.".to_string(), demos, 0.2, false, 8, 0, true)
                 }
             };
+        span.finish(demos.len() as u64);
 
+        let span = reg.span(Stage::SchemaPruning);
         let (schema_text, prune_quality) = if pruned {
             let pruner = SchemaPruner::new(&self.models.classifier, PruneConfig::default());
             let p = pruner.prune(&ex.nl, db);
@@ -216,7 +239,10 @@ impl Translator for LlmBaseline {
         } else {
             (PrunedSchema::full(&db.schema).to_text(&db.schema), 0.0)
         };
+        let schema_cols: usize = db.schema.tables.iter().map(|t| t.columns.len()).sum();
+        span.finish(schema_cols as u64);
 
+        let span = reg.span(Stage::PromptAssembly);
         let mut prompt =
             Prompt { instruction, demonstrations: demos, schema_text, nl: ex.nl.clone() };
         // Baselines fit to the raw context limit; DAIL-SQL controls to ~3k.
@@ -225,34 +251,57 @@ impl Translator for LlmBaseline {
             _ => CONTEXT_LIMIT,
         };
         prompt.fit_to_budget(budget);
+        reg.set_gauge(Gauge::DemosInPrompt, prompt.demonstrations.len() as u64);
+        span.finish(prompt.token_len());
 
-        let response = self.service.complete(&GenerationRequest {
-            prompt: &prompt,
-            gold: &ex.query,
-            db,
-            linking_noise: ex.linking_noise,
-            prune_quality,
-            instruction_quality,
-            cot,
-            n,
-            seed,
-            extra_output_tokens: extra_out,
-        });
+        let response = self.service.complete(
+            &GenerationRequest::for_prompt(&prompt, &ex.query, db)
+                .linking_noise(ex.linking_noise)
+                .prune_quality(prune_quality)
+                .instruction_quality(instruction_quality)
+                .cot(cot)
+                .n(n)
+                .seed(seed)
+                .extra_output_tokens(extra_out)
+                .metrics(&reg),
+        );
 
         // DIN-SQL self-corrects (its final module); C3/DAIL vote; the rest emit raw.
         let sql = match self.strategy {
             Strategy::DinSql => {
+                let span = reg.span(Stage::Adaption);
                 let mut rng = rand::SeedableRng::seed_from_u64(seed ^ 0xd1);
-                purple::adapt_sql(&response.samples[0], db, &mut rng).sql
+                let fixed = purple::adapt_sql(&response.samples[0], db, &mut rng);
+                reg.count(Counter::Samples, 1);
+                if !fixed.fixes.is_empty() {
+                    let bucket = if fixed.executable {
+                        Counter::RepairedSamples
+                    } else {
+                        Counter::UnrepairedSamples
+                    };
+                    reg.count(bucket, 1);
+                }
+                for fix in &fixed.fixes {
+                    if let Some(fixer) = Fixer::from_category(fix) {
+                        reg.record_fix(fixer, fixed.executable);
+                    }
+                }
+                span.finish(1);
+                fixed.sql
             }
-            Strategy::C3 | Strategy::DailSql => raw_vote(&response.samples, db),
+            Strategy::C3 | Strategy::DailSql => raw_vote(&response.samples, db, Some(&reg)),
             _ => response.samples[0].clone(),
         };
-        Translation {
+        let translation = Translation {
             sql,
             prompt_tokens: response.prompt_tokens,
             output_tokens: response.output_tokens,
+        };
+        let metrics = reg.snapshot();
+        if let Some(shared) = &self.metrics {
+            shared.absorb(&metrics);
         }
+        RunOutcome { translation, metrics }
     }
 }
 

@@ -12,14 +12,13 @@
 //! right composition even where our stand-in misses (documented in DESIGN.md §5).
 //! Slot filling then introduces linking/value errors at PLM-typical rates.
 
-use engine::Database;
-use eval::{Translation, Translator};
+use eval::{Job, RunOutcome, Translation, Translator};
 use llm::writer::write_sample;
 use llm::{count_tokens, LlmProfile, CHATGPT};
 use nlmodel::SkeletonPredictor;
+use obs::{Counter, MetricsRegistry, Stage};
 use rand::prelude::*;
 use rand::rngs::StdRng;
-use spidergen::types::Example;
 use sqlkit::Skeleton;
 use std::sync::Arc;
 
@@ -115,12 +114,16 @@ impl Translator for PlmTranslator {
         self.cfg.name.to_string()
     }
 
-    fn translate(&self, idx: usize, ex: &Example, db: &Database) -> Translation {
+    fn run(&self, job: Job<'_>) -> RunOutcome {
+        let (ex, db) = (job.example, job.db);
         // idx + 1 reproduces the historical 1-based call counter.
-        let seed =
-            0x9d2c5680u64.wrapping_mul(idx as u64 + 1).wrapping_add(self.cfg.name.len() as u64);
+        let seed = job.seed.unwrap_or_else(|| {
+            0x9d2c5680u64.wrapping_mul(job.idx as u64 + 1).wrapping_add(self.cfg.name.len() as u64)
+        });
         let mut rng = StdRng::seed_from_u64(seed);
+        let reg = MetricsRegistry::default();
 
+        let span = reg.span(Stage::SkeletonPrediction);
         let gold_skel = Skeleton::from_query(&ex.query);
         let beam = self.predictor.predict(&ex.nl, db, self.cfg.beam);
         let decoded_ok = if self.cfg.constrained {
@@ -131,6 +134,7 @@ impl Translator for PlmTranslator {
         } else {
             beam.first().map(|p| p.skeleton == gold_skel).unwrap_or(false)
         };
+        span.finish(beam.len() as u64);
         let composition_ok = decoded_ok || rng.random_bool(self.cfg.fidelity);
 
         // Variants degrade PLM schema linking too (Fig. 10's premise): fine-tuned
@@ -144,12 +148,16 @@ impl Translator for PlmTranslator {
             composition_ok,
             &mut rng,
         );
-        Translation {
+        let translation = Translation {
             sql: sql.clone(),
             // Local inference: no API tokens; report raw text sizes for reference.
             prompt_tokens: count_tokens(&ex.nl),
             output_tokens: count_tokens(&sql),
-        }
+        };
+        reg.count(Counter::Samples, 1);
+        reg.count(Counter::PromptTokens, translation.prompt_tokens);
+        reg.count(Counter::OutputTokens, translation.output_tokens);
+        RunOutcome { translation, metrics: reg.snapshot() }
     }
 }
 

@@ -119,7 +119,9 @@ fn bench_translate_latency(c: &mut Criterion) {
     let system = context.purple.with_config(purple::PurpleConfig::default_with(llm::CHATGPT));
     let ex = &context.suite.dev.examples[0];
     let db = context.suite.dev.db_of(ex);
-    c.bench_function("pipeline/translate_one_query", |b| b.iter(|| black_box(system.run(ex, db))));
+    c.bench_function("pipeline/translate_one_query", |b| {
+        b.iter(|| black_box(system.run(eval::Job::new(0, ex, db))))
+    });
 }
 
 criterion_group!(

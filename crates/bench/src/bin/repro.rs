@@ -1,7 +1,8 @@
 //! `repro` — regenerate every table and figure of the PURPLE paper.
 //!
 //! ```text
-//! repro [--scale tiny|medium|full] [--seed N] [--jobs N] [EXPERIMENTS...]
+//! repro [--scale tiny|medium|full] [--seed N] [--jobs N] [--metrics PATH]
+//!       [--wall-clock] [EXPERIMENTS...]
 //!
 //! EXPERIMENTS: --table1 --table2 --table3 --table4 --table5 --table6
 //!              --fig9 --fig10 --fig11 --fig12 --automaton-stats --all
@@ -18,6 +19,8 @@ struct Args {
     scale: Option<Scale>,
     seed: u64,
     jobs: Option<usize>,
+    metrics: Option<String>,
+    wall_clock: bool,
     table1: bool,
     table2: bool,
     table3: bool,
@@ -68,6 +71,18 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 }
                 args.jobs = Some(jobs);
+            }
+            "--metrics" => {
+                let path = it.next().unwrap_or_default();
+                if path.is_empty() {
+                    eprintln!("--metrics needs an output path");
+                    std::process::exit(2);
+                }
+                args.metrics = Some(path);
+                any = true;
+            }
+            "--wall-clock" => {
+                args.wall_clock = true;
             }
             "--table1" => {
                 args.table1 = true;
@@ -158,9 +173,13 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "repro [--scale tiny|medium|full] [--seed N] [--jobs N] [--table1..6] \
-                     [--fig9..12] [--automaton-stats] [--all]\n\n\
-                     --jobs N  worker threads for per-example evaluation \
-                     (default: available parallelism); results are identical for any N"
+                     [--fig9..12] [--automaton-stats] [--metrics PATH] [--wall-clock] [--all]\n\n\
+                     --jobs N        worker threads for per-example evaluation \
+                     (default: available parallelism); results are identical for any N\n\
+                     --metrics PATH  run an instrumented PURPLE dev evaluation and dump \
+                     per-stage metrics JSON to PATH (byte-identical for any --jobs)\n\
+                     --wall-clock    record real elapsed nanoseconds in --metrics spans \
+                     instead of deterministic work units"
                 );
                 std::process::exit(0);
             }
@@ -319,6 +338,26 @@ fn main() {
         let (ex_mu, ex_sd) = exp::mean_std(&rows.iter().map(|r| r.2).collect::<Vec<_>>());
         println!("  mean ± std     EM {em_mu:.1} ± {em_sd:.1}   EX {ex_mu:.1} ± {ex_sd:.1}");
         println!();
+    }
+    if let Some(path) = &args.metrics {
+        eprintln!(
+            "[repro] running instrumented evaluation ({:.1}s)...",
+            t0.elapsed().as_secs_f64()
+        );
+        let report = exp::metrics_eval(&ctx, args.wall_clock);
+        let json = eval::metrics_to_json(&report.metrics);
+        // Self-check: the dump must round-trip through our own parser.
+        let parsed = eval::metrics_from_json(&json).unwrap_or_else(|e| {
+            eprintln!("metrics JSON failed to round-trip: {e}");
+            std::process::exit(1);
+        });
+        assert_eq!(parsed, report.metrics, "metrics JSON round-trip mismatch");
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("{}", report::render_metrics(&report.metrics));
+        eprintln!("[repro] metrics written to {path}");
     }
     if args.generation {
         eprintln!(

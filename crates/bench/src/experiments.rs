@@ -854,7 +854,7 @@ pub fn error_analysis(ctx: &ReproContext) -> Vec<(String, eval::ErrorReport)> {
                     let mut report = eval::ErrorReport::default();
                     for (i, ex) in dev.examples.iter().enumerate() {
                         let db = dev.db_of(ex);
-                        let t = sys.translate(i, ex, db);
+                        let t = sys.run(eval::Job::new(i, ex, db)).translation;
                         report.add(eval::classify(&t.sql, &ex.query, db));
                     }
                     (name, report)
@@ -930,4 +930,19 @@ fn cost_row(
         usd_total: usd,
         em,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline observability (DESIGN.md §8): instrumented PURPLE dev evaluation
+// ---------------------------------------------------------------------------
+
+/// Run PURPLE (ChatGPT) over the dev split with full stage instrumentation and
+/// return the report, whose [`EvalReport::metrics`] aggregate is folded in
+/// example order — byte-identical for any `ctx.jobs`. With `wall_clock`, spans
+/// record real elapsed nanoseconds instead of deterministic work units (useful
+/// for profiling, but no longer reproducible across runs or thread counts).
+pub fn metrics_eval(ctx: &ReproContext, wall_clock: bool) -> EvalReport {
+    let clock = if wall_clock { obs::Clock::Wall } else { obs::Clock::Virtual };
+    let p = purple_with(ctx, CHATGPT).with_clock(clock);
+    evaluate_par(&p, &ctx.suite.dev, None, ctx.jobs)
 }

@@ -184,3 +184,43 @@ pub fn render_automaton(ratio: [usize; 4]) -> String {
         ratio[0], ratio[1], ratio[2], ratio[3]
     )
 }
+
+/// Render the aggregated pipeline metrics (DESIGN.md §8): per-stage span stats,
+/// per-fixer hit/success counts, event counters, and gauges.
+pub fn render_metrics(m: &obs::StageMetrics) -> String {
+    let unit = match m.clock {
+        obs::Clock::Virtual => "work units",
+        obs::Clock::Wall => "ns",
+    };
+    let mut s = String::new();
+    s.push_str(&format!("Pipeline metrics (latency in {unit})\n"));
+    s.push_str(&hr(66));
+    s.push('\n');
+    s.push_str(&format!("{:<22} {:>8} {:>14} {:>14}\n", "stage", "calls", "mean", "max"));
+    for stage in obs::Stage::ALL {
+        let st = m.stage(stage);
+        s.push_str(&format!(
+            "{:<22} {:>8} {:>14.1} {:>14}\n",
+            stage.name(),
+            st.calls,
+            st.latency.mean(),
+            st.latency.max
+        ));
+    }
+    s.push_str(&format!("\n{:<26} {:>8} {:>10}\n", "adaption fixer", "hits", "successes"));
+    for fixer in obs::Fixer::ALL {
+        let f = m.fixer(fixer);
+        s.push_str(&format!("{:<26} {:>8} {:>10}\n", fixer.name(), f.hits, f.successes));
+    }
+    s.push('\n');
+    for counter in obs::Counter::ALL {
+        s.push_str(&format!("{:<22} {}\n", counter.name(), m.counter(counter)));
+    }
+    for gauge in obs::Gauge::ALL {
+        match m.gauge(gauge) {
+            Some(v) => s.push_str(&format!("{:<22} {v}\n", gauge.name())),
+            None => s.push_str(&format!("{:<22} unset\n", gauge.name())),
+        }
+    }
+    s
+}

@@ -7,6 +7,7 @@
 use crate::metrics::{em_match_str, ex_match_str};
 use crate::testsuite::{build_suite, ts_match_str, SuiteConfig, TestSuite};
 use engine::Database;
+use obs::StageMetrics;
 use serde::{Deserialize, Serialize};
 use spidergen::types::{Benchmark, Example};
 
@@ -21,18 +22,98 @@ pub struct Translation {
     pub output_tokens: u64,
 }
 
+/// One unit of translation work: which example to translate, against which
+/// database, and how the run should be observed.
+///
+/// A `Job` is the single argument of [`Translator::run`]. Construct one with
+/// [`Job::new`] and chain options:
+///
+/// ```ignore
+/// let outcome = system.run(Job::new(idx, example, db).with_trace(true));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Job<'a> {
+    /// Position of the example within its split. All per-run randomness must
+    /// derive from this (via [`Job::seed`]) so evaluation is order- and
+    /// thread-independent.
+    pub idx: usize,
+    /// The natural-language example to translate.
+    pub example: &'a Example,
+    /// The database the example targets.
+    pub db: &'a Database,
+    /// Request a step-by-step trace record where the translator supports one
+    /// (e.g. `purple`'s `TranslationTrace`; ignored by translators without
+    /// traces).
+    pub trace: bool,
+    /// Optional seed override; when `None`, [`Job::seed`] derives the seed
+    /// from the translator's base seed and `idx` (the usual path).
+    pub seed: Option<u64>,
+}
+
+impl<'a> Job<'a> {
+    /// A job for the example at position `idx` of its split.
+    pub fn new(idx: usize, example: &'a Example, db: &'a Database) -> Self {
+        Job { idx, example, db, trace: false, seed: None }
+    }
+
+    /// Request (or suppress) trace capture.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Pin the per-run RNG seed, overriding the [`seed_for`] derivation.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// The RNG seed for this job: the explicit override if set, else
+    /// [`seed_for`]`(base, idx)`.
+    pub fn seed(&self, base: u64) -> u64 {
+        self.seed.unwrap_or_else(|| seed_for(base, self.idx))
+    }
+}
+
+/// What one [`Translator::run`] call produced: the translation plus the
+/// per-run metrics snapshot (empty for uninstrumented translators).
+#[derive(Debug, Clone, Default)]
+pub struct RunOutcome {
+    /// The predicted SQL and its token cost.
+    pub translation: Translation,
+    /// Per-stage metrics recorded during this run.
+    pub metrics: StageMetrics,
+}
+
+impl RunOutcome {
+    /// An outcome with no metrics — the shape uninstrumented translators return.
+    pub fn bare(translation: Translation) -> Self {
+        RunOutcome { translation, metrics: StageMetrics::default() }
+    }
+}
+
 /// An NL2SQL system under evaluation.
 ///
-/// `translate` takes `&self` so a single instance can serve many examples
-/// concurrently; all per-call randomness must derive from `idx`, the position of
-/// the example within its split (see [`seed_for`]). Two calls with the same
-/// `(idx, example, db)` must return the same translation regardless of order or
-/// thread interleaving — [`evaluate_par`] relies on this contract.
+/// `run` takes `&self` so a single instance can serve many examples
+/// concurrently; all per-call randomness must derive from the job (see
+/// [`Job::seed`]). Two calls with the same job must return the same translation
+/// regardless of order or thread interleaving — [`evaluate_par`] relies on this
+/// contract, and it extends to metrics: a run's [`StageMetrics`] must be a pure
+/// function of the job (guaranteed by the default [`obs::Clock::Virtual`]).
+///
+/// # Instrumentation convention
+///
+/// Translators that support shared observability expose builder-style
+/// `with_ledger(Arc<CostLedger>)` and `with_metrics(Arc<MetricsRegistry>)`
+/// methods (`Purple`, `LlmBaseline`, and `LlmService` all do). Each `run`
+/// records into a private per-run registry first and publishes the finished
+/// snapshot into the shared registry in one atomic step, so concurrent runs
+/// never interleave partial metrics.
 pub trait Translator {
     /// Display name ("PURPLE (ChatGPT)").
     fn name(&self) -> String;
-    /// Translate the example at position `idx` of its split against its database.
-    fn translate(&self, idx: usize, example: &Example, db: &Database) -> Translation;
+    /// Translate one job, returning the translation and per-run metrics.
+    fn run(&self, job: Job<'_>) -> RunOutcome;
 }
 
 /// Derive the per-example RNG seed from a system base seed and the example's
@@ -98,6 +179,9 @@ pub struct EvalReport {
     pub avg_output_tokens: f64,
     /// Whether TS was computed.
     pub has_ts: bool,
+    /// Aggregated per-stage metrics, folded from per-example snapshots in
+    /// example order (identical for any worker count).
+    pub metrics: StageMetrics,
 }
 
 impl EvalReport {
@@ -146,6 +230,7 @@ struct ExampleScore {
     ex: bool,
     ts: bool,
     hardness: usize,
+    metrics: StageMetrics,
 }
 
 fn score_example(
@@ -155,7 +240,8 @@ fn score_example(
     db: &Database,
     suites: Option<&[TestSuite]>,
 ) -> ExampleScore {
-    let t = translator.translate(idx, ex, db);
+    let outcome = translator.run(Job::new(idx, ex, db));
+    let t = &outcome.translation;
     ExampleScore {
         prompt_tokens: t.prompt_tokens,
         output_tokens: t.output_tokens,
@@ -166,6 +252,7 @@ fn score_example(
             None => false,
         },
         hardness: ex.hardness as usize,
+        metrics: outcome.metrics,
     }
 }
 
@@ -180,9 +267,11 @@ fn assemble(
     let mut by_hardness = [Bucket::default(); 4];
     let mut prompt_tokens = 0u64;
     let mut output_tokens = 0u64;
+    let mut metrics = StageMetrics::default();
     for s in scores {
         prompt_tokens += s.prompt_tokens;
         output_tokens += s.output_tokens;
+        metrics.merge(&s.metrics);
         for b in [&mut overall, &mut by_hardness[s.hardness]] {
             b.n += 1;
             b.em += s.em as usize;
@@ -199,6 +288,7 @@ fn assemble(
         avg_prompt_tokens: prompt_tokens as f64 / denom,
         avg_output_tokens: output_tokens as f64 / denom,
         has_ts,
+        metrics,
     }
 }
 
@@ -268,8 +358,12 @@ impl Translator for OracleTranslator {
     fn name(&self) -> String {
         "Oracle (gold echo)".into()
     }
-    fn translate(&self, _idx: usize, example: &Example, _db: &Database) -> Translation {
-        Translation { sql: example.sql.clone(), prompt_tokens: 0, output_tokens: 0 }
+    fn run(&self, job: Job<'_>) -> RunOutcome {
+        RunOutcome::bare(Translation {
+            sql: job.example.sql.clone(),
+            prompt_tokens: 0,
+            output_tokens: 0,
+        })
     }
 }
 
@@ -298,8 +392,12 @@ mod tests {
             fn name(&self) -> String {
                 "garbage".into()
             }
-            fn translate(&self, _idx: usize, _e: &Example, _db: &Database) -> Translation {
-                Translation { sql: "SELECT".into(), prompt_tokens: 10, output_tokens: 2 }
+            fn run(&self, _job: Job<'_>) -> RunOutcome {
+                RunOutcome::bare(Translation {
+                    sql: "SELECT".into(),
+                    prompt_tokens: 10,
+                    output_tokens: 2,
+                })
             }
         }
         let suite = generate_suite(&GenConfig::tiny(22));
@@ -324,14 +422,24 @@ mod tests {
         fn name(&self) -> String {
             "idx-sensitive".into()
         }
-        fn translate(&self, idx: usize, e: &Example, _db: &Database) -> Translation {
-            let seed = seed_for(0xabcd, idx);
-            Translation {
-                // Echo gold only on even-seeded positions: metrics then encode
-                // exactly which idx each example was scored with.
-                sql: if seed.is_multiple_of(2) { e.sql.clone() } else { "SELECT".into() },
-                prompt_tokens: seed % 97,
-                output_tokens: seed % 13,
+        fn run(&self, job: Job<'_>) -> RunOutcome {
+            let seed = job.seed(0xabcd);
+            let mut metrics = StageMetrics::default();
+            metrics.observe(obs::Stage::LlmCall, seed % 41);
+            metrics.count(obs::Counter::PromptTokens, seed % 97);
+            RunOutcome {
+                translation: Translation {
+                    // Echo gold only on even-seeded positions: metrics then
+                    // encode exactly which idx each example was scored with.
+                    sql: if seed.is_multiple_of(2) {
+                        job.example.sql.clone()
+                    } else {
+                        "SELECT".into()
+                    },
+                    prompt_tokens: seed % 97,
+                    output_tokens: seed % 13,
+                },
+                metrics,
             }
         }
     }

@@ -17,11 +17,11 @@ mod testsuite_tests_extra;
 
 pub use error_analysis::{classify, ErrorReport, FailureMode};
 pub use harness::{
-    build_suites, evaluate, evaluate_par, seed_for, Bucket, EvalReport, OracleTranslator,
-    Translation, Translator,
+    build_suites, evaluate, evaluate_par, seed_for, Bucket, EvalReport, Job, OracleTranslator,
+    RunOutcome, Translation, Translator,
 };
 pub use metrics::{em_match, em_match_str, ex_match, ex_match_str};
-pub use reportio::{report_from_json, report_to_json};
+pub use reportio::{metrics_from_json, metrics_to_json, report_from_json, report_to_json};
 pub use testsuite::{
     build_suite, fuzz_instance, mutate, ts_match, ts_match_str, SuiteConfig, TestSuite,
 };

@@ -4,6 +4,7 @@
 //! the workspace dependency set.
 
 use crate::harness::{Bucket, EvalReport};
+use obs::{Clock, Counter, Fixer, Gauge, GaugeSlot, Histogram, Stage, StageMetrics, NUM_BUCKETS};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -28,8 +29,82 @@ pub fn report_to_json(report: &EvalReport) -> String {
     out.push_str("],");
     write!(out, "\"avg_prompt_tokens\":{:?},", report.avg_prompt_tokens).unwrap();
     write!(out, "\"avg_output_tokens\":{:?},", report.avg_output_tokens).unwrap();
-    write!(out, "\"has_ts\":{}", report.has_ts).unwrap();
+    write!(out, "\"has_ts\":{},", report.has_ts).unwrap();
+    write!(out, "\"metrics\":{}", metrics_to_json(&report.metrics)).unwrap();
     out.push('}');
+    out
+}
+
+/// Serialize a [`StageMetrics`] snapshot to a JSON object string.
+///
+/// Stages, fixers, counters, and gauges are keyed by their stable names
+/// ([`Stage::name`] etc.) and written in declaration order, so equal snapshots
+/// always produce byte-identical text; an unset gauge is written as `null`.
+pub fn metrics_to_json(m: &StageMetrics) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push('{');
+    write!(out, "\"clock\":{},", escape(m.clock.name())).unwrap();
+    out.push_str("\"stages\":{");
+    for (i, stage) in Stage::ALL.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let s = m.stage(stage);
+        write!(
+            out,
+            "{}:{{\"calls\":{},\"latency\":{}}}",
+            escape(stage.name()),
+            s.calls,
+            histogram_to_json(&s.latency)
+        )
+        .unwrap();
+    }
+    out.push_str("},\"fixers\":{");
+    for (i, fixer) in Fixer::ALL.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let f = m.fixer(fixer);
+        write!(
+            out,
+            "{}:{{\"hits\":{},\"successes\":{}}}",
+            escape(fixer.name()),
+            f.hits,
+            f.successes
+        )
+        .unwrap();
+    }
+    out.push_str("},\"counters\":{");
+    for (i, counter) in Counter::ALL.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(out, "{}:{}", escape(counter.name()), m.counter(counter)).unwrap();
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, gauge) in Gauge::ALL.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match m.gauge(gauge) {
+            Some(v) => write!(out, "{}:{}", escape(gauge.name()), v).unwrap(),
+            None => write!(out, "{}:null", escape(gauge.name())).unwrap(),
+        }
+    }
+    out.push_str("}}");
+    out
+}
+
+fn histogram_to_json(h: &Histogram) -> String {
+    let mut out = String::with_capacity(128);
+    out.push_str("{\"buckets\":[");
+    for (i, b) in h.buckets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(out, "{b}").unwrap();
+    }
+    write!(out, "],\"count\":{},\"sum\":{},\"max\":{}}}", h.count, h.sum, h.max).unwrap();
     out
 }
 
@@ -50,6 +125,7 @@ pub fn report_from_json(text: &str) -> Result<EvalReport, String> {
         avg_prompt_tokens: 0.0,
         avg_output_tokens: 0.0,
         has_ts: false,
+        metrics: StageMetrics::default(),
     };
     for (key, val) in obj {
         match key.as_str() {
@@ -68,10 +144,105 @@ pub fn report_from_json(text: &str) -> Result<EvalReport, String> {
             "avg_prompt_tokens" => report.avg_prompt_tokens = val.as_f64("avg_prompt_tokens")?,
             "avg_output_tokens" => report.avg_output_tokens = val.as_f64("avg_output_tokens")?,
             "has_ts" => report.has_ts = val.as_bool("has_ts")?,
+            "metrics" => report.metrics = metrics_from_value(val)?,
             other => return Err(format!("unknown report field `{other}`")),
         }
     }
     Ok(report)
+}
+
+/// Parse a standalone metrics document written by [`metrics_to_json`].
+pub fn metrics_from_json(text: &str) -> Result<StageMetrics, String> {
+    let value = Parser { bytes: text.as_bytes(), pos: 0 }.parse_document()?;
+    metrics_from_value(&value)
+}
+
+fn metrics_from_value(value: &JsonValue) -> Result<StageMetrics, String> {
+    let obj = value.as_object("metrics")?;
+    let mut m = StageMetrics::default();
+    for (key, val) in obj {
+        match key.as_str() {
+            "clock" => {
+                let name = val.as_string("clock")?;
+                m.clock =
+                    Clock::from_name(&name).ok_or_else(|| format!("unknown clock `{name}`"))?;
+            }
+            "stages" => {
+                for (name, stage_val) in val.as_object("stages")? {
+                    let stage =
+                        Stage::from_name(name).ok_or_else(|| format!("unknown stage `{name}`"))?;
+                    let entry = &mut m.stages[stage.index()];
+                    for (field, v) in stage_val.as_object(name)? {
+                        match field.as_str() {
+                            "calls" => entry.calls = v.as_u64(field)?,
+                            "latency" => entry.latency = histogram_from_value(v, name)?,
+                            other => return Err(format!("unknown stage field `{other}`")),
+                        }
+                    }
+                }
+            }
+            "fixers" => {
+                for (name, fixer_val) in val.as_object("fixers")? {
+                    let fixer = Fixer::from_category(name)
+                        .ok_or_else(|| format!("unknown fixer `{name}`"))?;
+                    let entry = &mut m.fixers[fixer.index()];
+                    for (field, v) in fixer_val.as_object(name)? {
+                        match field.as_str() {
+                            "hits" => entry.hits = v.as_u64(field)?,
+                            "successes" => entry.successes = v.as_u64(field)?,
+                            other => return Err(format!("unknown fixer field `{other}`")),
+                        }
+                    }
+                }
+            }
+            "counters" => {
+                for (name, v) in val.as_object("counters")? {
+                    let counter = Counter::from_name(name)
+                        .ok_or_else(|| format!("unknown counter `{name}`"))?;
+                    m.counters.0[counter.index()] = v.as_u64(name)?;
+                }
+            }
+            "gauges" => {
+                for (name, v) in val.as_object("gauges")? {
+                    let gauge =
+                        Gauge::from_name(name).ok_or_else(|| format!("unknown gauge `{name}`"))?;
+                    m.gauges[gauge.index()] = if v.is_null() {
+                        GaugeSlot::default()
+                    } else {
+                        GaugeSlot { set: true, value: v.as_u64(name)? }
+                    };
+                }
+            }
+            other => return Err(format!("unknown metrics field `{other}`")),
+        }
+    }
+    Ok(m)
+}
+
+fn histogram_from_value(value: &JsonValue, what: &str) -> Result<Histogram, String> {
+    let obj = value.as_object(what)?;
+    let mut h = Histogram::default();
+    for (key, val) in obj {
+        match key.as_str() {
+            "buckets" => {
+                let items = val.as_array("buckets")?;
+                if items.len() != NUM_BUCKETS {
+                    return Err(format!(
+                        "{what}: histogram has {} buckets, expected {NUM_BUCKETS}",
+                        items.len()
+                    ));
+                }
+                for (i, item) in items.iter().enumerate() {
+                    h.buckets[i] = item.as_u64("buckets[i]")?;
+                }
+            }
+            "count" => h.count = val.as_u64(key)?,
+            "sum" => h.sum = val.as_u64(key)?,
+            "max" => h.max = val.as_u64(key)?,
+            other => return Err(format!("unknown histogram field `{other}`")),
+        }
+    }
+    Ok(h)
 }
 
 fn bucket_from_value(value: &JsonValue, what: &str) -> Result<Bucket, String> {
@@ -113,6 +284,7 @@ fn escape(s: &str) -> String {
 /// Minimal JSON value tree. Numbers keep their source text so integer widths
 /// and float precision are decided by the caller, not the parser.
 enum JsonValue {
+    Null,
     Str(String),
     Num(String),
     Bool(bool),
@@ -156,6 +328,15 @@ impl JsonValue {
             JsonValue::Num(s) => s.parse().map_err(|e| format!("{what}: {e}")),
             _ => Err(format!("{what}: expected integer")),
         }
+    }
+    fn as_u64(&self, what: &str) -> Result<u64, String> {
+        match self {
+            JsonValue::Num(s) => s.parse().map_err(|e| format!("{what}: {e}")),
+            _ => Err(format!("{what}: expected integer")),
+        }
+    }
+    fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
     }
 }
 
@@ -204,6 +385,7 @@ impl Parser<'_> {
             b'"' => Ok(JsonValue::Str(self.parse_string()?)),
             b't' => self.parse_keyword("true", JsonValue::Bool(true)),
             b'f' => self.parse_keyword("false", JsonValue::Bool(false)),
+            b'n' => self.parse_keyword("null", JsonValue::Null),
             _ => self.parse_number(),
         }
     }
@@ -376,7 +558,22 @@ mod tests {
             avg_prompt_tokens: 5990.333333333333,
             avg_output_tokens: 27.49,
             has_ts: true,
+            metrics: sample_metrics(),
         }
+    }
+
+    fn sample_metrics() -> StageMetrics {
+        let mut m = StageMetrics::default();
+        m.observe(Stage::SchemaPruning, 12);
+        m.observe(Stage::LlmCall, 4096);
+        m.observe(Stage::LlmCall, u64::MAX); // exercises the overflow bucket
+        m.count(Counter::LlmCalls, 2);
+        m.count(Counter::PromptTokens, 4100);
+        m.record_fix(Fixer::MissingTable, true);
+        m.record_fix(Fixer::SchemaHallucination, false);
+        m.set_gauge(Gauge::DemosInPrompt, 4);
+        // PoolSize left unset: serialized as null.
+        m
     }
 
     #[test]
@@ -411,11 +608,35 @@ mod tests {
                     \"overall\": {\"n\":1,\"em\":0,\"ex\":1,\"ts\":0},\n \
                     \"by_hardness\": [{\"n\":1,\"em\":0,\"ex\":1,\"ts\":0},{},{},{}],\n \
                     \"avg_prompt_tokens\": 1.5, \"avg_output_tokens\": 2 }";
-        // Empty bucket objects default all counters to zero.
+        // Empty bucket objects default all counters to zero; a report with no
+        // metrics section defaults to an empty snapshot.
         let report = report_from_json(json).expect("parses");
         assert_eq!(report.overall.ex, 1);
         assert_eq!(report.by_hardness[1], Bucket::default());
         assert_eq!(report.avg_prompt_tokens, 1.5);
         assert_eq!(report.avg_output_tokens, 2.0);
+        assert!(report.metrics.is_empty());
+    }
+
+    #[test]
+    fn metrics_round_trip_preserves_every_field() {
+        let metrics = sample_metrics();
+        let json = metrics_to_json(&metrics);
+        assert!(json.contains("\"pool_size\":null"), "unset gauge is null: {json}");
+        let back = metrics_from_json(&json).expect("parses");
+        assert_eq!(metrics, back);
+        assert_eq!(json, metrics_to_json(&back), "re-serialization is byte-identical");
+    }
+
+    #[test]
+    fn metrics_rejects_unknown_names() {
+        assert!(metrics_from_json("{\"stages\":{\"warp-drive\":{}}}").is_err());
+        assert!(metrics_from_json("{\"counters\":{\"bogus\":1}}").is_err());
+        assert!(metrics_from_json("{\"clock\":\"sundial\"}").is_err());
+        assert!(
+            metrics_from_json("{\"stages\":{\"llm-call\":{\"latency\":{\"buckets\":[1,2]}}}}")
+                .is_err(),
+            "wrong bucket count"
+        );
     }
 }

@@ -26,6 +26,13 @@ impl Totals {
 }
 
 /// A shared, thread-safe token/cost accumulator.
+///
+/// All three fields of [`Totals`] live behind one mutex, so every operation is
+/// atomic with respect to the others: a [`CostLedger::record`] concurrent with
+/// [`CostLedger::reset`] either lands entirely before the reset (and is wiped)
+/// or entirely after (and survives whole) — `totals` can never observe a call
+/// counted without its tokens. This matches the `obs::MetricsRegistry`
+/// convention; `evaluate_par` workers rely on it when sharing one ledger.
 #[derive(Debug, Default)]
 pub struct CostLedger {
     inner: Mutex<Totals>,
@@ -50,9 +57,17 @@ impl CostLedger {
         *self.inner.lock()
     }
 
-    /// Reset to zero.
+    /// Reset to zero, atomically with respect to concurrent [`CostLedger::record`]
+    /// calls (no partially-recorded call can straddle the reset).
     pub fn reset(&self) {
         *self.inner.lock() = Totals::default();
+    }
+
+    /// Atomically snapshot the totals and reset them, so no call recorded
+    /// between the two steps is lost or double-counted.
+    pub fn drain(&self) -> Totals {
+        let mut t = self.inner.lock();
+        std::mem::take(&mut *t)
     }
 }
 
@@ -82,6 +97,53 @@ mod tests {
         assert!(pricey > cheap * 10.0, "{pricey} vs {cheap}");
         // ChatGPT at the paper's default budget: ~fractions of a cent per query.
         assert!(cheap < 0.01);
+    }
+
+    #[test]
+    fn reset_is_atomic_with_respect_to_concurrent_records() {
+        // Writers record calls with a fixed tokens-per-call ratio while a
+        // reaper drains concurrently. Atomicity means every observed snapshot
+        // (and the final residue) keeps the ratio intact — a torn record or a
+        // lost update would break calls*[10,1] == [prompt,output] — and the
+        // reaped + residual totals must account for every call exactly once.
+        const WRITERS: u64 = 4;
+        const CALLS: u64 = 5_000;
+        let ledger = CostLedger::shared();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let mut reaped = Totals::default();
+        std::thread::scope(|scope| {
+            let writers: Vec<_> = (0..WRITERS)
+                .map(|_| {
+                    let ledger = ledger.clone();
+                    scope.spawn(move || {
+                        for _ in 0..CALLS {
+                            ledger.record(10, 1);
+                        }
+                    })
+                })
+                .collect();
+            let reaper = scope.spawn(|| {
+                let mut acc = Totals::default();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let t = ledger.drain();
+                    assert_eq!(t.prompt_tokens, t.calls * 10, "torn record observed");
+                    assert_eq!(t.output_tokens, t.calls, "torn record observed");
+                    acc.calls += t.calls;
+                    acc.prompt_tokens += t.prompt_tokens;
+                    acc.output_tokens += t.output_tokens;
+                }
+                acc
+            });
+            for w in writers {
+                w.join().unwrap();
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            reaped = reaper.join().unwrap();
+        });
+        let rest = ledger.totals();
+        assert_eq!(reaped.calls + rest.calls, WRITERS * CALLS);
+        assert_eq!(reaped.prompt_tokens + rest.prompt_tokens, WRITERS * CALLS * 10);
+        assert_eq!(reaped.output_tokens + rest.output_tokens, WRITERS * CALLS);
     }
 
     #[test]

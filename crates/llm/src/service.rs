@@ -25,6 +25,17 @@ use rand::rngs::StdRng;
 use sqlkit::{hardness, Level, Query, Skeleton};
 
 /// One generation request.
+///
+/// Construct with the [`GenerationRequest::for_prompt`] builder and chain the
+/// options that differ from the defaults; new observability fields can then be
+/// added without breaking construction sites:
+///
+/// ```ignore
+/// let req = GenerationRequest::for_prompt(&prompt, &gold, &db)
+///     .n(10)
+///     .seed(job_seed)
+///     .metrics(&registry);
+/// ```
 #[derive(Debug)]
 pub struct GenerationRequest<'a> {
     /// The assembled prompt.
@@ -50,6 +61,79 @@ pub struct GenerationRequest<'a> {
     /// Additional output tokens the strategy emits beyond SQL (CoT reasoning
     /// text, C3's uncontrolled chatter); added once per call.
     pub extra_output_tokens: u64,
+    /// Per-request metrics registry: `complete` records its llm-call span,
+    /// token counters, and context-overflow events here. Takes precedence over
+    /// any registry attached to the service with `with_metrics`.
+    pub metrics: Option<&'a obs::MetricsRegistry>,
+}
+
+impl<'a> GenerationRequest<'a> {
+    /// A request with the default knobs: no linking noise, unpruned schema, no
+    /// instruction engineering, no CoT, one sample, seed 0, no extra output
+    /// tokens, no metrics.
+    pub fn for_prompt(prompt: &'a Prompt, gold: &'a Query, db: &'a Database) -> Self {
+        GenerationRequest {
+            prompt,
+            gold,
+            db,
+            linking_noise: 0.0,
+            prune_quality: 0.0,
+            instruction_quality: 0.0,
+            cot: false,
+            n: 1,
+            seed: 0,
+            extra_output_tokens: 0,
+            metrics: None,
+        }
+    }
+
+    /// Set the linking noise (variant splits).
+    pub fn linking_noise(mut self, v: f64) -> Self {
+        self.linking_noise = v;
+        self
+    }
+
+    /// Set the schema-pruning quality.
+    pub fn prune_quality(mut self, v: f64) -> Self {
+        self.prune_quality = v;
+        self
+    }
+
+    /// Set the instruction-engineering quality.
+    pub fn instruction_quality(mut self, v: f64) -> Self {
+        self.instruction_quality = v;
+        self
+    }
+
+    /// Enable/disable chain-of-thought prompting.
+    pub fn cot(mut self, on: bool) -> Self {
+        self.cot = on;
+        self
+    }
+
+    /// Set the number of samples.
+    pub fn n(mut self, n: usize) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// Set the determinism seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the extra (non-SQL) output tokens billed once per call.
+    pub fn extra_output_tokens(mut self, tokens: u64) -> Self {
+        self.extra_output_tokens = tokens;
+        self
+    }
+
+    /// Record this request's metrics into a registry.
+    pub fn metrics(mut self, registry: &'a obs::MetricsRegistry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
 }
 
 /// The service's response.
@@ -71,18 +155,28 @@ pub struct GenerationResponse {
 pub struct LlmService {
     profile: LlmProfile,
     ledger: Option<std::sync::Arc<crate::ledger::CostLedger>>,
+    metrics: Option<std::sync::Arc<obs::MetricsRegistry>>,
 }
 
 impl LlmService {
     /// A service instance for a model tier.
     pub fn new(profile: LlmProfile) -> Self {
-        LlmService { profile, ledger: None }
+        LlmService { profile, ledger: None, metrics: None }
     }
 
     /// Attach a shared cost ledger, builder-style: every `complete` call records
     /// its billed prompt/output tokens (§V-D budget accounting).
     pub fn with_ledger(mut self, ledger: std::sync::Arc<crate::ledger::CostLedger>) -> Self {
         self.ledger = Some(ledger);
+        self
+    }
+
+    /// Attach a shared metrics registry, builder-style (same convention as
+    /// `with_ledger`): every `complete` call without a per-request registry
+    /// records its llm-call span, token counters, and context-overflow events
+    /// here.
+    pub fn with_metrics(mut self, metrics: std::sync::Arc<obs::MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 
@@ -130,6 +224,8 @@ impl LlmService {
 
     /// Run a generation request.
     pub fn complete(&self, req: &GenerationRequest<'_>) -> GenerationResponse {
+        let registry = req.metrics.or(self.metrics.as_deref());
+        let span = registry.map(|r| r.span(obs::Stage::LlmCall));
         let mut rng = StdRng::seed_from_u64(req.seed);
         let full_tokens = req.prompt.token_len();
         let prompt_tokens = full_tokens.min(CONTEXT_LIMIT);
@@ -250,6 +346,17 @@ impl LlmService {
         if let Some(ledger) = &self.ledger {
             ledger.record(prompt_tokens, output_tokens);
         }
+        if let Some(reg) = registry {
+            reg.count(obs::Counter::LlmCalls, 1);
+            reg.count(obs::Counter::PromptTokens, prompt_tokens);
+            reg.count(obs::Counter::OutputTokens, output_tokens);
+            if full_tokens > CONTEXT_LIMIT {
+                reg.count(obs::Counter::ContextOverflows, 1);
+            }
+        }
+        if let Some(span) = span {
+            span.finish(prompt_tokens + output_tokens);
+        }
         GenerationResponse { samples, prompt_tokens, output_tokens, support_level }
     }
 }
@@ -334,18 +441,8 @@ mod tests {
             nl: "what is the name of t with id 1?".into(),
         };
         let svc = LlmService::new(CHATGPT);
-        let req = GenerationRequest {
-            prompt: &prompt,
-            gold: &gold,
-            db: &db,
-            linking_noise: 0.0,
-            prune_quality: 1.0,
-            instruction_quality: 0.0,
-            cot: false,
-            n: 5,
-            seed: 99,
-            extra_output_tokens: 0,
-        };
+        let req =
+            GenerationRequest::for_prompt(&prompt, &gold, &db).prune_quality(1.0).n(5).seed(99);
         let a = svc.complete(&req);
         let b = svc.complete(&req);
         assert_eq!(a.samples, b.samples);
@@ -367,21 +464,21 @@ mod tests {
             nl: "q?".into(),
         };
         let svc = LlmService::new(CHATGPT);
-        let req = GenerationRequest {
-            prompt: &prompt,
-            gold: &gold,
-            db: &db,
-            linking_noise: 0.0,
-            prune_quality: 0.0,
-            instruction_quality: 0.0,
-            cot: false,
-            n: 1,
-            seed: 1,
-            extra_output_tokens: 0,
-        };
+        let reg = obs::MetricsRegistry::new(obs::Clock::Virtual);
+        let req = GenerationRequest::for_prompt(&prompt, &gold, &db).seed(1).metrics(&reg);
         let resp = svc.complete(&req);
         assert_eq!(resp.support_level, None);
         assert_eq!(resp.prompt_tokens, CONTEXT_LIMIT);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(obs::Counter::ContextOverflows), 1);
+        assert_eq!(snap.counter(obs::Counter::LlmCalls), 1);
+        assert_eq!(snap.counter(obs::Counter::PromptTokens), resp.prompt_tokens);
+        assert_eq!(snap.counter(obs::Counter::OutputTokens), resp.output_tokens);
+        assert_eq!(
+            snap.stage(obs::Stage::LlmCall).latency.sum,
+            resp.prompt_tokens + resp.output_tokens,
+            "virtual llm-call span covers billed tokens"
+        );
     }
 
     #[test]
@@ -395,18 +492,7 @@ mod tests {
             nl: "q?".into(),
         };
         let svc = LlmService::new(CHATGPT);
-        let mk = |n: usize| GenerationRequest {
-            prompt: &prompt,
-            gold: &gold,
-            db: &db,
-            linking_noise: 0.0,
-            prune_quality: 0.0,
-            instruction_quality: 0.0,
-            cot: false,
-            n,
-            seed: 5,
-            extra_output_tokens: 0,
-        };
+        let mk = |n: usize| GenerationRequest::for_prompt(&prompt, &gold, &db).n(n).seed(5);
         let one = svc.complete(&mk(1));
         let ten = svc.complete(&mk(10));
         assert!(ten.output_tokens > one.output_tokens * 5);

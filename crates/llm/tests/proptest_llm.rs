@@ -96,18 +96,8 @@ proptest! {
             nl: "what is the b of t with a 1?".into(),
         };
         let svc = LlmService::new(CHATGPT);
-        let req = GenerationRequest {
-            prompt: &prompt,
-            gold: &gold,
-            db: &db,
-            linking_noise: 0.0,
-            prune_quality: 0.5,
-            instruction_quality: 0.0,
-            cot: false,
-            n,
-            seed,
-            extra_output_tokens: 0,
-        };
+        let req =
+            GenerationRequest::for_prompt(&prompt, &gold, &db).prune_quality(0.5).n(n).seed(seed);
         let a = svc.complete(&req);
         let b = svc.complete(&req);
         prop_assert_eq!(&a.samples, &b.samples);

@@ -1,0 +1,236 @@
+//! # purple-obs
+//!
+//! The pipeline observability layer: a hand-rolled, `Sync`, allocation-light
+//! metrics registry (counters, gauges, and fixed-bucket latency histograms) plus
+//! a [`Span`] guard for timing scopes. Every stage of the PURPLE pipeline —
+//! schema pruning, skeleton prediction, demonstration selection, prompt
+//! assembly, the LLM call, the six adaption fixers, and the consistency vote —
+//! records into one of these registries, and the per-run [`StageMetrics`]
+//! snapshots merge deterministically across evaluation workers (DESIGN.md §8).
+//!
+//! Two clocks are supported: [`Clock::Virtual`] (the default) measures spans in
+//! deterministic *work units* declared by the instrumented code, so aggregated
+//! metrics are byte-identical for any thread count; [`Clock::Wall`] measures
+//! real monotonic nanoseconds for profiling, at the cost of byte-stability.
+
+#![warn(missing_docs)]
+
+mod registry;
+mod snapshot;
+
+pub use registry::{Clock, MetricsRegistry, Span};
+pub use snapshot::{
+    CounterBlock, FixerStats, GaugeSlot, Histogram, StageMetrics, StageStats, NUM_BUCKETS,
+};
+
+/// A pipeline stage with its own call counter and latency histogram.
+///
+/// The seven stages cover the four PURPLE modules of the paper's Fig. 3 plus
+/// the prompt-assembly and vote sub-steps the ablations (Table VIII, §VII)
+/// reason about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Stage {
+    /// Schema Pruning (§IV-A): classifier thresholding + Steiner connectivity.
+    SchemaPruning,
+    /// Skeleton Prediction (§IV-B): the trained top-k predictor.
+    SkeletonPrediction,
+    /// Demonstration Selection (§IV-C): Algorithm 1 over the automaton set.
+    DemoSelection,
+    /// Prompt assembly and token-budget fitting (Fig. 11's `len`).
+    PromptAssembly,
+    /// The LLM generation call (tokens in/out, context overflows).
+    LlmCall,
+    /// Database Adaption (§IV-D1): the repair loop over all samples.
+    Adaption,
+    /// Execution-consistency vote (§IV-D2).
+    ConsistencyVote,
+}
+
+impl Stage {
+    /// Number of stages (array dimension of [`StageMetrics::stages`]).
+    pub const COUNT: usize = 7;
+
+    /// Every stage, in pipeline order. This order is the serialization order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::SchemaPruning,
+        Stage::SkeletonPrediction,
+        Stage::DemoSelection,
+        Stage::PromptAssembly,
+        Stage::LlmCall,
+        Stage::Adaption,
+        Stage::ConsistencyVote,
+    ];
+
+    /// Stable kebab-case name used in JSON and report tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::SchemaPruning => "schema-pruning",
+            Stage::SkeletonPrediction => "skeleton-prediction",
+            Stage::DemoSelection => "demo-selection",
+            Stage::PromptAssembly => "prompt-assembly",
+            Stage::LlmCall => "llm-call",
+            Stage::Adaption => "adaption",
+            Stage::ConsistencyVote => "consistency-vote",
+        }
+    }
+
+    /// Parse a [`Stage::name`] back.
+    pub fn from_name(name: &str) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Array index (position within [`Stage::ALL`]).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// One of the six Database-Adaption fixers of Table 2, each with hit/success
+/// counters (a *hit* is one application of the fixer inside the repair loop; a
+/// *success* is a hit whose sample ended up executable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Fixer {
+    /// Column attached to the wrong alias (Table 2 row 1).
+    TableColumnMismatch,
+    /// Unqualified column resolvable to several tables (row 2).
+    ColumnAmbiguity,
+    /// Column whose owner table is absent from FROM (row 3).
+    MissingTable,
+    /// Misspelled / nonexistent table or column (row 4).
+    SchemaHallucination,
+    /// Unsupported function spelling (row 5).
+    FunctionHallucination,
+    /// Multi-argument aggregate (row 6).
+    AggregationHallucination,
+}
+
+impl Fixer {
+    /// Number of fixers (array dimension of [`StageMetrics::fixers`]).
+    pub const COUNT: usize = 6;
+
+    /// Every fixer, in Table-2 order. This order is the serialization order.
+    pub const ALL: [Fixer; Fixer::COUNT] = [
+        Fixer::TableColumnMismatch,
+        Fixer::ColumnAmbiguity,
+        Fixer::MissingTable,
+        Fixer::SchemaHallucination,
+        Fixer::FunctionHallucination,
+        Fixer::AggregationHallucination,
+    ];
+
+    /// Stable category label, identical to `engine::ExecError::category`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fixer::TableColumnMismatch => "table-column-mismatch",
+            Fixer::ColumnAmbiguity => "column-ambiguity",
+            Fixer::MissingTable => "missing-table",
+            Fixer::SchemaHallucination => "schema-hallucination",
+            Fixer::FunctionHallucination => "function-hallucination",
+            Fixer::AggregationHallucination => "aggregation-hallucination",
+        }
+    }
+
+    /// Map an `engine::ExecError::category` label to its fixer.
+    pub fn from_category(category: &str) -> Option<Fixer> {
+        Fixer::ALL.into_iter().find(|f| f.name() == category)
+    }
+
+    /// Array index (position within [`Fixer::ALL`]).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A monotonically increasing event/total counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Counter {
+    /// LLM generation calls issued.
+    LlmCalls,
+    /// Billed prompt tokens across all LLM calls.
+    PromptTokens,
+    /// Billed output tokens across all LLM calls.
+    OutputTokens,
+    /// LLM calls whose prompt exceeded the context limit and was truncated.
+    ContextOverflows,
+    /// Consistency samples generated.
+    Samples,
+    /// Samples that needed repair and ended up executable.
+    RepairedSamples,
+    /// Samples that needed repair and stayed broken.
+    UnrepairedSamples,
+}
+
+impl Counter {
+    /// Number of counters (array dimension of [`CounterBlock`]).
+    pub const COUNT: usize = 7;
+
+    /// Every counter, in serialization order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::LlmCalls,
+        Counter::PromptTokens,
+        Counter::OutputTokens,
+        Counter::ContextOverflows,
+        Counter::Samples,
+        Counter::RepairedSamples,
+        Counter::UnrepairedSamples,
+    ];
+
+    /// Stable snake_case name used in JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::LlmCalls => "llm_calls",
+            Counter::PromptTokens => "prompt_tokens",
+            Counter::OutputTokens => "output_tokens",
+            Counter::ContextOverflows => "context_overflows",
+            Counter::Samples => "samples",
+            Counter::RepairedSamples => "repaired_samples",
+            Counter::UnrepairedSamples => "unrepaired_samples",
+        }
+    }
+
+    /// Parse a [`Counter::name`] back.
+    pub fn from_name(name: &str) -> Option<Counter> {
+        Counter::ALL.into_iter().find(|c| c.name() == name)
+    }
+
+    /// Array index (position within [`Counter::ALL`]).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A last-value gauge. Merging folds in example order, so the aggregated value
+/// is the final example's — deterministic for any worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Gauge {
+    /// Demonstrations that survived budget fitting in the latest prompt.
+    DemosInPrompt,
+    /// Demonstration-pool size of the translator.
+    PoolSize,
+}
+
+impl Gauge {
+    /// Number of gauges (array dimension of [`StageMetrics::gauges`]).
+    pub const COUNT: usize = 2;
+
+    /// Every gauge, in serialization order.
+    pub const ALL: [Gauge; Gauge::COUNT] = [Gauge::DemosInPrompt, Gauge::PoolSize];
+
+    /// Stable snake_case name used in JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::DemosInPrompt => "demos_in_prompt",
+            Gauge::PoolSize => "pool_size",
+        }
+    }
+
+    /// Parse a [`Gauge::name`] back.
+    pub fn from_name(name: &str) -> Option<Gauge> {
+        Gauge::ALL.into_iter().find(|g| g.name() == name)
+    }
+
+    /// Array index (position within [`Gauge::ALL`]).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}

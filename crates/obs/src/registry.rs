@@ -1,0 +1,288 @@
+//! The thread-safe metrics registry and its RAII [`Span`] guard.
+
+use crate::{Counter, Fixer, Gauge, Stage, StageMetrics};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How span durations are measured.
+///
+/// The default, [`Clock::Virtual`], records the deterministic *work units*
+/// declared by the instrumented code (column counts, token counts, sample
+/// counts), so aggregated metrics are byte-identical across thread counts and
+/// machines. [`Clock::Wall`] records real monotonic nanoseconds for profiling,
+/// at the cost of byte-stability.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Clock {
+    /// Deterministic work units declared via [`Span::set_work`]/[`Span::finish`].
+    #[default]
+    Virtual,
+    /// Real elapsed monotonic nanoseconds.
+    Wall,
+}
+
+impl Clock {
+    /// Stable name used in JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Clock::Virtual => "virtual",
+            Clock::Wall => "wall",
+        }
+    }
+
+    /// Parse a [`Clock::name`] back.
+    pub fn from_name(name: &str) -> Option<Clock> {
+        match name {
+            "virtual" => Some(Clock::Virtual),
+            "wall" => Some(Clock::Wall),
+            _ => None,
+        }
+    }
+}
+
+/// A `Sync`, allocation-light metrics registry.
+///
+/// All state lives in fixed-size arrays behind a single `parking_lot` mutex,
+/// so the record path never allocates and [`MetricsRegistry::reset`] /
+/// [`MetricsRegistry::snapshot`] are atomic with respect to concurrent
+/// recording: an observer sees either all of a recorded event or none of it,
+/// never a torn half (the convention `CostLedger` in `purple-llm` also
+/// follows).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    clock: Clock,
+    inner: Mutex<StageMetrics>,
+}
+
+impl MetricsRegistry {
+    /// A registry using the given clock.
+    pub fn new(clock: Clock) -> Self {
+        MetricsRegistry { clock, inner: Mutex::new(StageMetrics::empty(clock)) }
+    }
+
+    /// A shareable registry (the shape `with_metrics` builders take).
+    pub fn shared(clock: Clock) -> Arc<Self> {
+        Arc::new(Self::new(clock))
+    }
+
+    /// The clock this registry measures spans with.
+    pub fn clock(&self) -> Clock {
+        self.clock
+    }
+
+    /// Open a timing span for a stage. The span records when dropped (or via
+    /// [`Span::finish`]); under [`Clock::Virtual`] its value is the declared
+    /// work, under [`Clock::Wall`] the elapsed nanoseconds.
+    pub fn span(&self, stage: Stage) -> Span<'_> {
+        Span {
+            reg: self,
+            stage,
+            start: match self.clock {
+                Clock::Wall => Some(Instant::now()),
+                Clock::Virtual => None,
+            },
+            work: 0,
+            done: false,
+        }
+    }
+
+    /// Record one latency observation for a stage directly (no span).
+    pub fn observe(&self, stage: Stage, value: u64) {
+        self.inner.lock().observe(stage, value);
+    }
+
+    /// Add to a counter.
+    pub fn count(&self, counter: Counter, by: u64) {
+        self.inner.lock().count(counter, by);
+    }
+
+    /// Set a gauge to its latest value.
+    pub fn set_gauge(&self, gauge: Gauge, value: u64) {
+        self.inner.lock().set_gauge(gauge, value);
+    }
+
+    /// Record one fixer application (`success` = the sample it repaired ended
+    /// up executable).
+    pub fn record_fix(&self, fixer: Fixer, success: bool) {
+        self.inner.lock().record_fix(fixer, success);
+    }
+
+    /// Fold a finished snapshot into this registry in one critical section —
+    /// this is how per-run registries publish into a shared one without
+    /// interleaving with other runs' events.
+    pub fn absorb(&self, snapshot: &StageMetrics) {
+        self.inner.lock().merge(snapshot);
+    }
+
+    /// Copy out the current totals.
+    pub fn snapshot(&self) -> StageMetrics {
+        *self.inner.lock()
+    }
+
+    /// Zero every metric, atomically with respect to concurrent recording.
+    pub fn reset(&self) {
+        *self.inner.lock() = StageMetrics::empty(self.clock);
+    }
+
+    /// Atomically copy out the current totals and zero the registry, so no
+    /// event recorded between the two steps can be lost or double-counted.
+    pub fn drain(&self) -> StageMetrics {
+        let mut guard = self.inner.lock();
+        std::mem::replace(&mut *guard, StageMetrics::empty(self.clock))
+    }
+}
+
+/// RAII guard for one stage timing. Created by [`MetricsRegistry::span`];
+/// records on drop.
+#[must_use = "a span records when it goes out of scope; binding it to `_` drops it immediately"]
+pub struct Span<'a> {
+    reg: &'a MetricsRegistry,
+    stage: Stage,
+    start: Option<Instant>,
+    work: u64,
+    done: bool,
+}
+
+impl Span<'_> {
+    /// Declare the deterministic work units this span covered (used as the
+    /// recorded value under [`Clock::Virtual`]; ignored under [`Clock::Wall`]).
+    pub fn set_work(&mut self, work: u64) {
+        self.work = work;
+    }
+
+    /// Close the span now with the given work units.
+    pub fn finish(mut self, work: u64) {
+        self.work = work;
+        self.record();
+        self.done = true;
+    }
+
+    fn record(&self) {
+        let value = match self.start {
+            Some(start) => start.elapsed().as_nanos() as u64,
+            None => self.work,
+        };
+        self.reg.observe(self.stage, value);
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.record();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn virtual_spans_record_declared_work() {
+        let reg = MetricsRegistry::new(Clock::Virtual);
+        {
+            let mut span = reg.span(Stage::SchemaPruning);
+            span.set_work(42);
+        }
+        reg.span(Stage::SchemaPruning).finish(8);
+        let snap = reg.snapshot();
+        assert_eq!(snap.stage(Stage::SchemaPruning).calls, 2);
+        assert_eq!(snap.stage(Stage::SchemaPruning).latency.sum, 50);
+        assert_eq!(snap.stage(Stage::SchemaPruning).latency.max, 42);
+    }
+
+    #[test]
+    fn wall_spans_record_elapsed_nanos() {
+        let reg = MetricsRegistry::new(Clock::Wall);
+        {
+            let mut span = reg.span(Stage::LlmCall);
+            span.set_work(7); // ignored under Wall
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.stage(Stage::LlmCall).calls, 1);
+        assert!(snap.stage(Stage::LlmCall).latency.sum >= 1_000_000);
+    }
+
+    #[test]
+    fn drain_is_atomic_and_preserves_total_under_contention() {
+        // N writers hammer one counter while a reaper drains repeatedly; the
+        // reaped snapshots plus the final residue must sum to exactly the
+        // number of events — no loss, no double count.
+        const WRITERS: usize = 4;
+        const EVENTS: u64 = 5_000;
+        let reg = MetricsRegistry::shared(Clock::Virtual);
+        let stop = AtomicBool::new(false);
+        let mut reaped = 0u64;
+        std::thread::scope(|scope| {
+            let writers: Vec<_> = (0..WRITERS)
+                .map(|_| {
+                    let reg = Arc::clone(&reg);
+                    scope.spawn(move || {
+                        for _ in 0..EVENTS {
+                            reg.count(Counter::Samples, 1);
+                        }
+                    })
+                })
+                .collect();
+            let reaper = scope.spawn(|| {
+                let mut total = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    total += reg.drain().counter(Counter::Samples);
+                }
+                total
+            });
+            for w in writers {
+                w.join().unwrap();
+            }
+            stop.store(true, Ordering::Relaxed);
+            reaped = reaper.join().unwrap();
+        });
+        let residue = reg.snapshot().counter(Counter::Samples);
+        assert_eq!(reaped + residue, WRITERS as u64 * EVENTS);
+    }
+
+    #[test]
+    fn reset_and_record_do_not_tear() {
+        // Concurrent record + reset: after everything joins, a final drain
+        // must observe internally consistent state (count == bucket sum).
+        let reg = MetricsRegistry::shared(Clock::Virtual);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let reg = Arc::clone(&reg);
+                scope.spawn(move || {
+                    for i in 0..2_000u64 {
+                        reg.observe(Stage::Adaption, t * 1000 + i);
+                        if i % 97 == 0 {
+                            reg.reset();
+                        }
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        let h = &snap.stage(Stage::Adaption).latency;
+        assert_eq!(h.count, h.buckets.iter().sum::<u64>());
+        assert_eq!(snap.stage(Stage::Adaption).calls, h.count);
+    }
+
+    #[test]
+    fn absorb_matches_elementwise_merge() {
+        let local = MetricsRegistry::new(Clock::Virtual);
+        local.count(Counter::LlmCalls, 3);
+        local.record_fix(Fixer::SchemaHallucination, false);
+        local.set_gauge(Gauge::PoolSize, 190);
+        let snap = local.snapshot();
+
+        let shared = MetricsRegistry::new(Clock::Virtual);
+        shared.absorb(&snap);
+        shared.absorb(&snap);
+        let agg = shared.snapshot();
+        assert_eq!(agg.counter(Counter::LlmCalls), 6);
+        assert_eq!(agg.fixer(Fixer::SchemaHallucination).hits, 2);
+        assert_eq!(agg.gauge(Gauge::PoolSize), Some(190));
+    }
+}

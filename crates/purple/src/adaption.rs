@@ -6,10 +6,28 @@
 //! undesired side effects to the valid SQL" (§IV-D1).
 
 use engine::{execute, Database, ExecError};
+use obs::{Counter, Fixer, MetricsRegistry, Stage};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use sqlkit::ast::*;
 use sqlkit::{parse, Query};
+
+/// Record one sample's adaption outcome: each applied fix is a *hit* for its
+/// fixer, a *success* when the sample ended up executable; samples that needed
+/// repair also bump the repaired/unrepaired counters.
+fn record_adaption(reg: &MetricsRegistry, result: &AdaptResult) {
+    reg.count(Counter::Samples, 1);
+    for category in &result.fixes {
+        if let Some(fixer) = Fixer::from_category(category) {
+            reg.record_fix(fixer, result.executable);
+        }
+    }
+    if !result.fixes.is_empty() {
+        let c =
+            if result.executable { Counter::RepairedSamples } else { Counter::UnrepairedSamples };
+        reg.count(c, 1);
+    }
+}
 
 /// Result of adapting one SQL string.
 #[derive(Debug, Clone)]
@@ -492,8 +510,21 @@ pub struct VoteOutcome {
 
 /// Majority vote over *raw* samples by execution result, without any repair — the
 /// plain execution-consistency of C3 / DAIL-SQL, and what remains of §IV-D when the
-/// "-Database Adaption" ablation removes the fixers.
-pub fn raw_vote(samples: &[String], db: &Database) -> String {
+/// "-Database Adaption" ablation removes the fixers. When a registry is given,
+/// the vote is timed as the consistency-vote stage and the samples are counted.
+pub fn raw_vote(samples: &[String], db: &Database, metrics: Option<&MetricsRegistry>) -> String {
+    let span = metrics.map(|r| r.span(Stage::ConsistencyVote));
+    if let Some(reg) = metrics {
+        reg.count(Counter::Samples, samples.len() as u64);
+    }
+    let result = raw_vote_inner(samples, db);
+    if let Some(span) = span {
+        span.finish(samples.len() as u64);
+    }
+    result
+}
+
+fn raw_vote_inner(samples: &[String], db: &Database) -> String {
     let mut keys: Vec<Option<String>> = Vec::with_capacity(samples.len());
     for s in samples {
         let key = parse(s).ok().and_then(|q| execute(db, &q).ok()).map(result_key);
@@ -526,12 +557,25 @@ fn result_key(rs: engine::ResultSet) -> String {
 
 /// Adapt every sample, execute the executable ones, and return the first sample
 /// whose result agrees with the consensus (§IV-D2).
-pub fn consistency_vote(samples: &[String], db: &Database, rng: &mut StdRng) -> VoteOutcome {
+///
+/// When a registry is given, the repair loop is timed as the adaption stage
+/// (per-fixer hit/success counters included) and the tally as the
+/// consistency-vote stage.
+pub fn consistency_vote(
+    samples: &[String],
+    db: &Database,
+    rng: &mut StdRng,
+    metrics: Option<&MetricsRegistry>,
+) -> VoteOutcome {
+    let adapt_span = metrics.map(|r| r.span(Stage::Adaption));
     let mut adapted: Vec<AdaptResult> = Vec::with_capacity(samples.len());
     let mut keys: Vec<Option<String>> = Vec::with_capacity(samples.len());
     let mut fixes = Vec::new();
     for s in samples {
         let a = adapt_sql(s, db, rng);
+        if let Some(reg) = metrics {
+            record_adaption(reg, &a);
+        }
         fixes.extend(a.fixes.iter().copied());
         let key = if a.executable {
             parse(&a.sql).ok().and_then(|q| execute(db, &q).ok()).map(result_key)
@@ -541,6 +585,22 @@ pub fn consistency_vote(samples: &[String], db: &Database, rng: &mut StdRng) -> 
         keys.push(key);
         adapted.push(a);
     }
+    if let Some(span) = adapt_span {
+        span.finish(samples.len() as u64);
+    }
+    let vote_span = metrics.map(|r| r.span(Stage::ConsistencyVote));
+    let outcome = tally(adapted, keys, fixes);
+    if let Some(span) = vote_span {
+        span.finish(samples.len() as u64);
+    }
+    outcome
+}
+
+fn tally(
+    adapted: Vec<AdaptResult>,
+    keys: Vec<Option<String>>,
+    fixes: Vec<&'static str>,
+) -> VoteOutcome {
     // Majority result key.
     let mut counts: std::collections::HashMap<&String, usize> = std::collections::HashMap::new();
     for k in keys.iter().flatten() {
@@ -736,7 +796,7 @@ mod tests {
             "SELECT country FROM tv_channel WHERE id = 2".to_string(),
             "SELECT country FROM tv_channel WHERE id = 1".to_string(),
         ];
-        let v = consistency_vote(&samples, &d, &mut rng);
+        let v = consistency_vote(&samples, &d, &mut rng, None);
         assert!(v.executable);
         assert!(v.sql.contains("id = 1"), "{}", v.sql);
     }
@@ -747,11 +807,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let samples =
             vec!["totally not sql".to_string(), "SELECT country FROM tv_channel".to_string()];
-        let v = consistency_vote(&samples, &d, &mut rng);
+        let v = consistency_vote(&samples, &d, &mut rng, None);
         assert!(v.executable);
         assert!(v.sql.contains("country"));
         // And when nothing works, the first sample comes back.
-        let v = consistency_vote(&["garbage".to_string()], &d, &mut rng);
+        let v = consistency_vote(&["garbage".to_string()], &d, &mut rng, None);
         assert!(!v.executable);
         assert_eq!(v.sql, "garbage");
     }

@@ -26,7 +26,7 @@ pub mod selection;
 pub use adaption::{adapt_sql, consistency_vote, AdaptResult, VoteOutcome, MAX_ATTEMPTS};
 pub use automaton::{Automaton, AutomatonSet};
 pub use generation::{synthesize_demonstration, DemoMode};
-pub use pipeline::{Purple, PurpleConfig, TranslationTrace};
+pub use pipeline::{Purple, PurpleConfig, RunOutcome, TranslationTrace};
 pub use pruning::{
     steiner_tree, steiner_tree_approx, steiner_tree_auto, PruneConfig, PrunedSchema, SchemaPruner,
     EXACT_STEINER_MAX_TERMINALS,

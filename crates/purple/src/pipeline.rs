@@ -1,6 +1,11 @@
 //! The end-to-end PURPLE pipeline (Fig. 3): Schema Pruning → Skeleton Prediction →
 //! Demonstration Selection → LLM call → Database Adaption, wired as an
 //! [`eval::Translator`] so every experiment runs through the same harness.
+//!
+//! The single entry point is [`Purple::run`], which takes an [`eval::Job`] and
+//! returns a [`RunOutcome`]: the translation, an optional module-by-module
+//! [`TranslationTrace`] (when the job asks for one), and a per-run
+//! [`obs::StageMetrics`] snapshot covering every stage (DESIGN.md §8).
 
 use crate::adaption::{adapt_sql, consistency_vote};
 use crate::automaton::AutomatonSet;
@@ -8,13 +13,15 @@ use crate::generation::{synthesize_demonstration, DemoMode};
 use crate::pruning::{PruneConfig, PrunedSchema, SchemaPruner};
 use crate::selection::{random_fill, select_demonstrations, SelectionConfig};
 use engine::Database;
-use eval::{Translation, Translator};
+use eval::{Job, Translation, Translator};
 use llm::{Demonstration, GenerationRequest, LlmProfile, LlmService, Prompt};
 use nlmodel::{SchemaClassifier, SkeletonPrediction, SkeletonPredictor, TrainConfig};
+use obs::{Clock, Gauge, MetricsRegistry, Stage, StageMetrics};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spidergen::types::{Benchmark, Example};
 use sqlkit::Skeleton;
+use std::sync::Arc;
 
 /// PURPLE configuration, including every ablation/robustness knob of §V.
 #[derive(Debug, Clone)]
@@ -70,7 +77,8 @@ impl PurpleConfig {
 }
 
 /// A structured trace of one translation: what each module saw and decided.
-/// Returned by [`Purple::run_traced`] for debugging, error analysis, and the
+/// Captured by [`Purple::run`] when the job asks for it
+/// ([`Job::with_trace`]`(true)`) — used for debugging, error analysis, and the
 /// trace example binary.
 #[derive(Debug, Clone)]
 pub struct TranslationTrace {
@@ -102,6 +110,21 @@ pub struct TranslationTrace {
     pub output_tokens: u64,
 }
 
+/// Everything one [`Purple::run`] call produced.
+///
+/// Richer than [`eval::RunOutcome`] (which the [`Translator`] impl reduces to):
+/// PURPLE can additionally capture a module-by-module [`TranslationTrace`].
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The predicted SQL and its token cost.
+    pub translation: Translation,
+    /// The module-by-module trace, present iff the job set [`Job::with_trace`].
+    pub trace: Option<TranslationTrace>,
+    /// Per-stage metrics recorded during this run (also absorbed into the
+    /// shared registry when one is attached via [`Purple::with_metrics`]).
+    pub metrics: StageMetrics,
+}
+
 /// The trained, pool-loaded PURPLE system.
 pub struct Purple {
     cfg: PurpleConfig,
@@ -111,6 +134,11 @@ pub struct Purple {
     pool: Vec<Demonstration>,
     automata: AutomatonSet,
     service: LlmService,
+    /// Shared aggregate registry; per-run snapshots are absorbed into it.
+    metrics: Option<Arc<MetricsRegistry>>,
+    /// Clock for per-run span values (virtual work units by default, so
+    /// metrics stay byte-identical across thread counts).
+    clock: Clock,
 }
 
 impl Purple {
@@ -137,7 +165,16 @@ impl Purple {
         }
         let automata = AutomatonSet::build(&skeletons);
         let service = LlmService::new(cfg.profile);
-        Purple { cfg, classifier, predictor, pool, automata, service }
+        Purple {
+            cfg,
+            classifier,
+            predictor,
+            pool,
+            automata,
+            service,
+            metrics: None,
+            clock: Clock::default(),
+        }
     }
 
     /// The automaton set (for the §IV-C3 end-state statistics).
@@ -172,7 +209,26 @@ impl Purple {
         self
     }
 
+    /// Attach a shared metrics registry, builder-style: every [`Purple::run`]
+    /// records into a private per-run registry and absorbs the snapshot into
+    /// this one at the end, so concurrent runs never interleave partial stage
+    /// records. Also adopts the registry's clock for per-run spans.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.clock = metrics.clock();
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Choose the span clock: [`Clock::Virtual`] (default, deterministic work
+    /// units) or [`Clock::Wall`] (real elapsed nanoseconds).
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
+        self
+    }
+
     /// Reconfigure (ablations / budget sweeps / model swaps) without retraining.
+    /// Keeps the span clock but, like the fresh [`LlmService`], drops any
+    /// attached ledger or metrics registry.
     pub fn with_config(&self, cfg: PurpleConfig) -> Purple {
         let service = LlmService::new(cfg.profile);
         Purple {
@@ -182,6 +238,8 @@ impl Purple {
             pool: self.pool.clone(),
             automata: self.automata.clone(),
             service,
+            metrics: None,
+            clock: self.clock,
         }
     }
 
@@ -193,41 +251,25 @@ impl Purple {
         }
     }
 
-    /// Translate one standalone example (position 0), returning the SQL and
-    /// token accounting. Equivalent to `run_at(0, ..)`.
-    pub fn run(&self, ex: &Example, db: &Database) -> Translation {
-        self.run_at(0, ex, db)
-    }
-
-    /// Translate the example at position `idx` of its split, returning the SQL
-    /// and token accounting.
-    pub fn run_at(&self, idx: usize, ex: &Example, db: &Database) -> Translation {
-        self.run_traced_at(idx, ex, db).0
-    }
-
-    /// Translate one standalone example (position 0) with the full
-    /// module-by-module trace. Equivalent to `run_traced_at(0, ..)`.
-    pub fn run_traced(&self, ex: &Example, db: &Database) -> (Translation, TranslationTrace) {
-        self.run_traced_at(0, ex, db)
-    }
-
-    /// Translate the example at position `idx` of its split and return the full
-    /// module-by-module trace. All randomness derives from the config seed and
-    /// `idx`, so calls are order- and thread-independent.
-    pub fn run_traced_at(
-        &self,
-        idx: usize,
-        ex: &Example,
-        db: &Database,
-    ) -> (Translation, TranslationTrace) {
-        let seed = eval::seed_for(self.cfg.seed, idx);
+    /// Translate one job: the single entry point for the whole pipeline.
+    ///
+    /// All randomness derives from the config seed and [`Job::idx`] (or the
+    /// job's seed override), so calls are order- and thread-independent. Every
+    /// stage is timed under a span; the returned [`RunOutcome::metrics`] is the
+    /// complete per-run snapshot, and a trace is captured when
+    /// [`Job::with_trace`] asks for one.
+    pub fn run(&self, job: Job<'_>) -> RunOutcome {
+        let (ex, db) = (job.example, job.db);
+        let seed = job.seed(self.cfg.seed);
         let mut rng = StdRng::seed_from_u64(seed);
+        let reg = MetricsRegistry::new(self.clock);
 
         // --- Step 1: schema pruning -----------------------------------------
         // Recall failures propagate (§III-B1: "It is important to keep high recall
         // to reduce the risk of error propagation"): when the pruned schema misses
         // items the gold SQL needs, the LLM cannot reference them and schema
         // linking degrades sharply.
+        let span = reg.span(Stage::SchemaPruning);
         let mut recall_noise = 0.0;
         let mut recall_covered = true;
         let pruned = if self.cfg.use_pruning {
@@ -244,11 +286,17 @@ impl Purple {
         };
         let schema_text = pruned.to_text(&db.schema);
         let prune_quality = pruned.quality(&db.schema);
+        let schema_cols: usize = db.schema.tables.iter().map(|t| t.columns.len()).sum();
+        span.finish(schema_cols as u64);
 
         // --- Step 2: skeleton prediction ------------------------------------
+        let span = reg.span(Stage::SkeletonPrediction);
         let predictions = self.predictions(ex, db);
+        span.finish(predictions.len() as u64);
 
         // --- Step 3: demonstration selection --------------------------------
+        let span = reg.span(Stage::DemoSelection);
+        reg.set_gauge(Gauge::PoolSize, self.pool.len() as u64);
         let mut selected = if matches!(self.cfg.demo_mode, DemoMode::Generate) {
             Vec::new()
         } else if self.cfg.use_selection {
@@ -265,11 +313,13 @@ impl Purple {
         if !matches!(self.cfg.demo_mode, DemoMode::Generate) {
             random_fill(&mut selected, self.pool.len(), self.cfg.demo_target, &mut rng);
         }
+        span.finish(self.pool.len() as u64);
 
         // --- Step 4: prompt + LLM call ---------------------------------------
         // Without the pruning module, demonstrations ship their full schemas too
         // (§III-A prunes demo schemas with the same module), consuming budget that
         // would otherwise carry more composition knowledge.
+        let span = reg.span(Stage::PromptAssembly);
         let mut demonstrations: Vec<Demonstration> = Vec::new();
         if matches!(self.cfg.demo_mode, DemoMode::Generate | DemoMode::Hybrid) {
             // §VII future work: synthesize demonstrations exhibiting each predicted
@@ -302,30 +352,34 @@ impl Purple {
         };
         let dropped_by_budget = prompt.fit_to_budget(self.cfg.len_budget);
         let demos_in_prompt = prompt.demonstrations.len();
+        reg.set_gauge(Gauge::DemosInPrompt, demos_in_prompt as u64);
+        span.finish(prompt.token_len());
         let n = self.cfg.num_consistency;
-        let response = self.service.complete(&GenerationRequest {
-            prompt: &prompt,
-            gold: &ex.query,
-            db,
-            linking_noise: ex.linking_noise + recall_noise,
-            prune_quality,
-            instruction_quality: 0.3,
-            cot: false,
-            n,
-            seed,
-            extra_output_tokens: 0,
-        });
+        let response = self.service.complete(
+            &GenerationRequest::for_prompt(&prompt, &ex.query, db)
+                .linking_noise(ex.linking_noise + recall_noise)
+                .prune_quality(prune_quality)
+                .instruction_quality(0.3)
+                .n(n)
+                .seed(seed)
+                .metrics(&reg),
+        );
 
         // --- Step 5: database adaption + consistency -------------------------
         // The "-Database Adaption" ablation removes the repair loop but keeps the
         // plain execution-consistency vote (§IV-D2 is shared with C3/DAIL-SQL).
         let (sql, fixes) = if self.cfg.use_adaption {
-            let v = consistency_vote(&response.samples, db, &mut rng);
+            let v = consistency_vote(&response.samples, db, &mut rng, Some(&reg));
             (v.sql, v.fixes)
         } else {
-            (crate::adaption::raw_vote(&response.samples, db), Vec::new())
+            (crate::adaption::raw_vote(&response.samples, db, Some(&reg)), Vec::new())
         };
-        let trace = TranslationTrace {
+        let translation = Translation {
+            sql: sql.clone(),
+            prompt_tokens: response.prompt_tokens,
+            output_tokens: response.output_tokens,
+        };
+        let trace = job.trace.then_some(TranslationTrace {
             pruned,
             prune_quality,
             recall_covered,
@@ -335,18 +389,15 @@ impl Purple {
             dropped_by_budget,
             support_level: response.support_level,
             fixes,
-            sql: sql.clone(),
+            sql,
             prompt_tokens: response.prompt_tokens,
             output_tokens: response.output_tokens,
-        };
-        (
-            Translation {
-                sql,
-                prompt_tokens: response.prompt_tokens,
-                output_tokens: response.output_tokens,
-            },
-            trace,
-        )
+        });
+        let metrics = reg.snapshot();
+        if let Some(shared) = &self.metrics {
+            shared.absorb(&metrics);
+        }
+        RunOutcome { translation, trace, metrics }
     }
 
     /// Adapt a raw SQL string against a database (exposed for the Table-2 demo and
@@ -361,8 +412,9 @@ impl Translator for Purple {
         format!("PURPLE ({})", self.cfg.profile.name)
     }
 
-    fn translate(&self, idx: usize, example: &Example, db: &Database) -> Translation {
-        self.run_at(idx, example, db)
+    fn run(&self, job: Job<'_>) -> eval::RunOutcome {
+        let out = Purple::run(self, job);
+        eval::RunOutcome { translation: out.translation, metrics: out.metrics }
     }
 }
 
@@ -411,7 +463,7 @@ mod tests {
         let mut executable = 0;
         for (i, ex) in suite.dev.examples.iter().take(20).enumerate() {
             let db = suite.dev.db_of(ex);
-            let t = purple.run_at(i, ex, db);
+            let t = purple.run(Job::new(i, ex, db)).translation;
             if sqlkit::parse(&t.sql).ok().map(|q| engine::execute(db, &q).is_ok()).unwrap_or(false)
             {
                 executable += 1;
@@ -428,7 +480,8 @@ mod tests {
         let (_, p2) = small_purple();
         for (i, ex) in suite.dev.examples.iter().take(5).enumerate() {
             let db = suite.dev.db_of(ex);
-            assert_eq!(p1.run_at(i, ex, db).sql, p2.run_at(i, ex, db).sql);
+            let job = Job::new(i, ex, db);
+            assert_eq!(p1.run(job).translation.sql, p2.run(job).translation.sql);
         }
     }
 
@@ -448,7 +501,51 @@ mod tests {
         cfg.len_budget = 512;
         let tight = purple.with_config(cfg);
         let ex = &suite.dev.examples[0];
-        let t = tight.run(ex, suite.dev.db_of(ex));
+        let t = tight.run(Job::new(0, ex, suite.dev.db_of(ex))).translation;
         assert!(t.prompt_tokens <= 512, "prompt {} exceeds budget", t.prompt_tokens);
+    }
+
+    #[test]
+    fn run_records_every_stage_and_respects_trace_flag() {
+        let (suite, purple) = small_purple();
+        let ex = &suite.dev.examples[0];
+        let db = suite.dev.db_of(ex);
+
+        let plain = purple.run(Job::new(0, ex, db));
+        assert!(plain.trace.is_none(), "trace captured without being asked for");
+        let traced = purple.run(Job::new(0, ex, db).with_trace(true));
+        let trace = traced.trace.expect("trace requested but missing");
+        assert_eq!(trace.sql, traced.translation.sql);
+        assert_eq!(plain.translation.sql, traced.translation.sql);
+
+        // Every pipeline stage fired exactly once per run.
+        let m = &plain.metrics;
+        for stage in obs::Stage::ALL {
+            assert_eq!(m.stage(stage).calls, 1, "stage {} not spanned once", stage.name());
+        }
+        assert_eq!(m.counter(obs::Counter::LlmCalls), 1);
+        assert_eq!(m.counter(obs::Counter::PromptTokens), plain.translation.prompt_tokens);
+        assert_eq!(m.counter(obs::Counter::OutputTokens), plain.translation.output_tokens);
+        // The consistency vote saw one Samples increment per generated sample.
+        assert_eq!(m.counter(obs::Counter::Samples), 5);
+        assert_eq!(m.gauge(obs::Gauge::PoolSize), Some(purple.pool_size() as u64));
+        assert!(m.gauge(obs::Gauge::DemosInPrompt).is_some());
+        // Virtual clock: latency equals declared work, identical across runs.
+        assert_eq!(m.clock, Clock::Virtual);
+        assert_eq!(traced.metrics, *m);
+    }
+
+    #[test]
+    fn shared_registry_absorbs_per_run_snapshots() {
+        let (suite, purple) = small_purple();
+        let shared = MetricsRegistry::shared(Clock::Virtual);
+        let purple = purple.with_config(purple.cfg.clone()).with_metrics(shared.clone());
+        let mut merged = StageMetrics::default();
+        for (i, ex) in suite.dev.examples.iter().take(3).enumerate() {
+            let out = purple.run(Job::new(i, ex, suite.dev.db_of(ex)));
+            merged.merge(&out.metrics);
+        }
+        assert_eq!(shared.snapshot(), merged);
+        assert_eq!(shared.snapshot().counter(obs::Counter::LlmCalls), 3);
     }
 }

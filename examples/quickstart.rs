@@ -5,6 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use purple_repro::obs;
 use purple_repro::prelude::*;
 
 fn main() {
@@ -28,14 +29,21 @@ fn main() {
         ratio[0], ratio[1], ratio[2], ratio[3]
     );
 
-    // 3. Translate one validation question end-to-end.
+    // 3. Translate one validation question end-to-end. The outcome carries the
+    //    translation plus per-stage metrics from the observability layer.
     let ex = &suite.dev.examples[0];
     let db = suite.dev.db_of(ex);
-    let t = system.run(ex, db);
+    let outcome = system.run(Job::new(0, ex, db));
+    let t = &outcome.translation;
     println!("\nNL:        {}", ex.nl);
     println!("gold SQL:  {}", ex.sql);
     println!("predicted: {}", t.sql);
     println!("tokens:    {} prompt + {} output", t.prompt_tokens, t.output_tokens);
+    println!(
+        "metrics:   {} LLM call(s), {} consistency samples",
+        outcome.metrics.counter(obs::Counter::LlmCalls),
+        outcome.metrics.counter(obs::Counter::Samples)
+    );
 
     // 4. Execute the prediction against the database.
     match parse(&t.sql).map(|q| execute(db, &q)) {

@@ -20,7 +20,8 @@ fn main() {
     println!("gold SQL: {}", ex.sql);
     println!("hardness: {}\n", ex.hardness);
 
-    let (_, trace) = system.run_traced(ex, db);
+    let outcome = system.run(Job::new(0, ex, db).with_trace(true));
+    let trace = outcome.trace.expect("trace requested");
 
     println!("== Step 1: schema pruning ==");
     println!(

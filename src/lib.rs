@@ -22,10 +22,12 @@
 //! //    demonstration pool + four-level automata).
 //! let system = Purple::new(&suite.train, PurpleConfig::default_with(CHATGPT));
 //!
-//! // 3. Translate a validation question.
+//! // 3. Translate a validation question. `run` takes a Job and returns a
+//! //    RunOutcome: the translation plus per-stage metrics (and a trace on
+//! //    request via `Job::with_trace`).
 //! let ex = &suite.dev.examples[0];
-//! let translation = system.run(ex, suite.dev.db_of(ex));
-//! assert!(!translation.sql.is_empty());
+//! let outcome = system.run(Job::new(0, ex, suite.dev.db_of(ex)));
+//! assert!(!outcome.translation.sql.is_empty());
 //!
 //! // 4. Score the whole split — serially, or across worker threads with
 //! //    bit-identical results (seeds derive from the example index).
@@ -42,6 +44,7 @@ pub use engine;
 pub use eval;
 pub use llm;
 pub use nlmodel;
+pub use obs;
 pub use purple;
 pub use spidergen;
 pub use sqlkit;
@@ -50,9 +53,12 @@ pub use sqlkit;
 pub mod prelude {
     pub use baselines::{LlmBaseline, PlmTranslator, SharedModels, Strategy, ALL_PLM};
     pub use engine::{execute, Database, ResultSet, Value};
-    pub use eval::{build_suites, evaluate, evaluate_par, SuiteConfig, Translation, Translator};
+    pub use eval::{
+        build_suites, evaluate, evaluate_par, Job, SuiteConfig, Translation, Translator,
+    };
     pub use llm::{LlmService, Prompt, CHATGPT, GPT4};
-    pub use purple::{Purple, PurpleConfig};
+    pub use obs::{Clock, MetricsRegistry, StageMetrics};
+    pub use purple::{Purple, PurpleConfig, RunOutcome};
     pub use spidergen::{generate_suite, GenConfig, Suite};
     pub use sqlkit::{parse, Hardness, Level, Query, Schema, Skeleton};
 }

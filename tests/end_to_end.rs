@@ -81,7 +81,7 @@ fn predictions_parse_and_mostly_execute() {
     let n = 40.min(suite.dev.examples.len());
     for (i, ex) in suite.dev.examples.iter().take(n).enumerate() {
         let db = suite.dev.db_of(ex);
-        let t = system.run_at(i, ex, db);
+        let t = system.run(Job::new(i, ex, db)).translation;
         if let Ok(q) = parse(&t.sql) {
             parseable += 1;
             if execute(db, &q).is_ok() {
@@ -135,7 +135,7 @@ fn token_budgets_are_respected_end_to_end() {
         cfg.num_consistency = 3;
         let sys = base.with_config(cfg);
         for (i, ex) in suite.dev.examples.iter().take(10).enumerate() {
-            let t = sys.run_at(i, ex, suite.dev.db_of(ex));
+            let t = sys.run(Job::new(i, ex, suite.dev.db_of(ex))).translation;
             assert!(t.prompt_tokens <= len, "prompt {} exceeded budget {len}", t.prompt_tokens);
         }
     }
@@ -149,13 +149,17 @@ fn traced_run_is_consistent_with_plain_run() {
     let b = base.with_config(PurpleConfig::default_with(CHATGPT));
     for (i, ex) in suite.dev.examples.iter().take(8).enumerate() {
         let db = suite.dev.db_of(ex);
-        let plain = a.run_at(i, ex, db);
-        let (traced, trace) = b.run_traced_at(i, ex, db);
-        assert_eq!(plain.sql, traced.sql);
-        assert_eq!(trace.sql, traced.sql);
-        assert_eq!(trace.prompt_tokens, traced.prompt_tokens);
+        let plain = a.run(Job::new(i, ex, db));
+        let traced = b.run(Job::new(i, ex, db).with_trace(true));
+        assert!(plain.trace.is_none(), "trace must be opt-in");
+        let trace = traced.trace.expect("trace requested");
+        assert_eq!(plain.translation.sql, traced.translation.sql);
+        assert_eq!(trace.sql, traced.translation.sql);
+        assert_eq!(trace.prompt_tokens, traced.translation.prompt_tokens);
         assert!(trace.demos_in_prompt <= trace.selected.len());
         assert!(!trace.predictions.is_empty());
         assert!(trace.prune_quality >= 0.0 && trace.prune_quality <= 1.0);
+        // Tracing must not perturb the recorded metrics.
+        assert_eq!(plain.metrics, traced.metrics);
     }
 }
