@@ -9,13 +9,15 @@ use rand::rngs::StdRng;
 /// vote. Returns the first sample agreeing with the consensus, else the first
 /// sample. This is the plain execution-consistency of C3 / DAIL-SQL / SQL-PaLM,
 /// *without* the repair loop PURPLE adds. When a registry is given, the vote is
-/// spanned under [`obs::Stage::ConsistencyVote`] with per-sample counts.
+/// spanned under [`obs::Stage::ConsistencyVote`] with per-sample counts; when a
+/// recorder is given, a structured `voted` event is emitted.
 pub fn raw_vote(
     samples: &[String],
     db: &Database,
     metrics: Option<&obs::MetricsRegistry>,
+    events: Option<&obs::EventRecorder>,
 ) -> String {
-    purple::adaption::raw_vote(samples, db, metrics)
+    purple::adaption::raw_vote(samples, db, metrics, events)
 }
 
 /// Pick a fixed demonstration index set from a pool (the few-shot / DIN-SQL
@@ -56,16 +58,16 @@ mod tests {
             "SELECT id FROM t WHERE id = 2".to_string(),
             "SELECT id FROM t WHERE id = 1".to_string(),
         ];
-        assert_eq!(raw_vote(&samples, &d, None), "SELECT id FROM t WHERE id = 1");
+        assert_eq!(raw_vote(&samples, &d, None, None), "SELECT id FROM t WHERE id = 1");
     }
 
     #[test]
     fn raw_vote_ignores_broken_samples_and_falls_back() {
         let d = db();
         let samples = vec!["garbage".to_string(), "SELECT id FROM t".to_string()];
-        assert_eq!(raw_vote(&samples, &d, None), "SELECT id FROM t");
-        assert_eq!(raw_vote(&["x".to_string()], &d, None), "x");
-        assert_eq!(raw_vote(&[], &d, None), "");
+        assert_eq!(raw_vote(&samples, &d, None, None), "SELECT id FROM t");
+        assert_eq!(raw_vote(&["x".to_string()], &d, None, None), "x");
+        assert_eq!(raw_vote(&[], &d, None, None), "");
     }
 
     #[test]

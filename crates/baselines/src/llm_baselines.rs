@@ -7,7 +7,7 @@ use engine::Database;
 use eval::{Job, RunOutcome, Translation, Translator};
 use llm::{Demonstration, GenerationRequest, LlmProfile, LlmService, Prompt, CONTEXT_LIMIT};
 use nlmodel::{SchemaClassifier, SkeletonPredictor};
-use obs::{Clock, Counter, Fixer, Gauge, MetricsRegistry, Stage};
+use obs::{Clock, Counter, EventValue, Fixer, Gauge, MetricsRegistry, Stage};
 use purple::{PruneConfig, PrunedSchema, SchemaPruner};
 use spidergen::types::Example;
 use sqlkit::Level;
@@ -159,6 +159,7 @@ impl Translator for LlmBaseline {
         let (ex, db) = (job.example, job.db);
         let seed = job.seed(self.seed);
         let reg = MetricsRegistry::new(self.clock);
+        let rec = job.events.map(|sink| sink.recorder(job.idx));
 
         // Per-strategy prompt composition. DAIL-SQL's retrieval runs the
         // skeleton predictor internally, so the whole composition step counts
@@ -230,6 +231,16 @@ impl Translator for LlmBaseline {
                 }
             };
         span.finish(demos.len() as u64);
+        if let Some(rec) = &rec {
+            rec.emit(
+                Stage::DemoSelection.name(),
+                "selected",
+                &[
+                    ("selected", EventValue::U64(demos.len() as u64)),
+                    ("pool", EventValue::U64(self.models.pool.len() as u64)),
+                ],
+            );
+        }
 
         let span = reg.span(Stage::SchemaPruning);
         let (schema_text, prune_quality) = if pruned {
@@ -241,6 +252,17 @@ impl Translator for LlmBaseline {
         };
         let schema_cols: usize = db.schema.tables.iter().map(|t| t.columns.len()).sum();
         span.finish(schema_cols as u64);
+        if let Some(rec) = &rec {
+            rec.emit(
+                Stage::SchemaPruning.name(),
+                "pruned",
+                &[
+                    ("cols", EventValue::U64(schema_cols as u64)),
+                    ("quality", EventValue::F64(prune_quality)),
+                    ("pruned", EventValue::Bool(pruned)),
+                ],
+            );
+        }
 
         let span = reg.span(Stage::PromptAssembly);
         let mut prompt =
@@ -253,18 +275,30 @@ impl Translator for LlmBaseline {
         prompt.fit_to_budget(budget);
         reg.set_gauge(Gauge::DemosInPrompt, prompt.demonstrations.len() as u64);
         span.finish(prompt.token_len());
+        if let Some(rec) = &rec {
+            rec.emit(
+                Stage::PromptAssembly.name(),
+                "assembled",
+                &[
+                    ("demos_in_prompt", EventValue::U64(prompt.demonstrations.len() as u64)),
+                    ("prompt_tokens", EventValue::U64(prompt.token_len())),
+                ],
+            );
+        }
 
-        let response = self.service.complete(
-            &GenerationRequest::for_prompt(&prompt, &ex.query, db)
-                .linking_noise(ex.linking_noise)
-                .prune_quality(prune_quality)
-                .instruction_quality(instruction_quality)
-                .cot(cot)
-                .n(n)
-                .seed(seed)
-                .extra_output_tokens(extra_out)
-                .metrics(&reg),
-        );
+        let mut request = GenerationRequest::for_prompt(&prompt, &ex.query, db)
+            .linking_noise(ex.linking_noise)
+            .prune_quality(prune_quality)
+            .instruction_quality(instruction_quality)
+            .cot(cot)
+            .n(n)
+            .seed(seed)
+            .extra_output_tokens(extra_out)
+            .metrics(&reg);
+        if let Some(rec) = &rec {
+            request = request.events(rec);
+        }
+        let response = self.service.complete(&request);
 
         // DIN-SQL self-corrects (its final module); C3/DAIL vote; the rest emit raw.
         let sql = match self.strategy {
@@ -287,9 +321,21 @@ impl Translator for LlmBaseline {
                     }
                 }
                 span.finish(1);
+                if let Some(rec) = &rec {
+                    rec.emit(
+                        Stage::Adaption.name(),
+                        "repair",
+                        &[
+                            ("fixes", EventValue::U64(fixed.fixes.len() as u64)),
+                            ("executable", EventValue::Bool(fixed.executable)),
+                        ],
+                    );
+                }
                 fixed.sql
             }
-            Strategy::C3 | Strategy::DailSql => raw_vote(&response.samples, db, Some(&reg)),
+            Strategy::C3 | Strategy::DailSql => {
+                raw_vote(&response.samples, db, Some(&reg), rec.as_ref())
+            }
             _ => response.samples[0].clone(),
         };
         let translation = Translation {
@@ -300,6 +346,9 @@ impl Translator for LlmBaseline {
         let metrics = reg.snapshot();
         if let Some(shared) = &self.metrics {
             shared.absorb(&metrics);
+        }
+        if let (Some(sink), Some(rec)) = (job.events, rec) {
+            sink.publish(rec);
         }
         RunOutcome { translation, metrics }
     }

@@ -16,7 +16,7 @@ use eval::{Job, RunOutcome, Translation, Translator};
 use llm::writer::write_sample;
 use llm::{count_tokens, LlmProfile, CHATGPT};
 use nlmodel::SkeletonPredictor;
-use obs::{Counter, MetricsRegistry, Stage};
+use obs::{Counter, EventValue, MetricsRegistry, Stage};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use sqlkit::Skeleton;
@@ -122,6 +122,7 @@ impl Translator for PlmTranslator {
         });
         let mut rng = StdRng::seed_from_u64(seed);
         let reg = MetricsRegistry::default();
+        let rec = job.events.map(|sink| sink.recorder(job.idx));
 
         let span = reg.span(Stage::SkeletonPrediction);
         let gold_skel = Skeleton::from_query(&ex.query);
@@ -136,6 +137,17 @@ impl Translator for PlmTranslator {
         };
         span.finish(beam.len() as u64);
         let composition_ok = decoded_ok || rng.random_bool(self.cfg.fidelity);
+        if let Some(rec) = &rec {
+            rec.emit(
+                Stage::SkeletonPrediction.name(),
+                "decoded",
+                &[
+                    ("beam", EventValue::U64(beam.len() as u64)),
+                    ("constrained", EventValue::Bool(self.cfg.constrained)),
+                    ("composition_ok", EventValue::Bool(composition_ok)),
+                ],
+            );
+        }
 
         // Variants degrade PLM schema linking too (Fig. 10's premise): fine-tuned
         // linkers depend on lexical overlap even more than LLMs do.
@@ -157,6 +169,9 @@ impl Translator for PlmTranslator {
         reg.count(Counter::Samples, 1);
         reg.count(Counter::PromptTokens, translation.prompt_tokens);
         reg.count(Counter::OutputTokens, translation.output_tokens);
+        if let (Some(sink), Some(rec)) = (job.events, rec) {
+            sink.publish(rec);
+        }
         RunOutcome { translation, metrics: reg.snapshot() }
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--scale tiny|medium|full] [--seed N] [--jobs N] [--metrics PATH]
-//!       [--wall-clock] [EXPERIMENTS...]
+//!       [--diagnose PATH [--events PATH]] [--wall-clock] [EXPERIMENTS...]
 //!
 //! EXPERIMENTS: --table1 --table2 --table3 --table4 --table5 --table6
 //!              --fig9 --fig10 --fig11 --fig12 --automaton-stats --all
@@ -20,6 +20,8 @@ struct Args {
     seed: u64,
     jobs: Option<usize>,
     metrics: Option<String>,
+    diagnose: Option<String>,
+    events: Option<String>,
     wall_clock: bool,
     table1: bool,
     table2: bool,
@@ -79,6 +81,24 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 }
                 args.metrics = Some(path);
+                any = true;
+            }
+            "--diagnose" => {
+                let path = it.next().unwrap_or_default();
+                if path.is_empty() {
+                    eprintln!("--diagnose needs an output path");
+                    std::process::exit(2);
+                }
+                args.diagnose = Some(path);
+                any = true;
+            }
+            "--events" => {
+                let path = it.next().unwrap_or_default();
+                if path.is_empty() {
+                    eprintln!("--events needs an output path");
+                    std::process::exit(2);
+                }
+                args.events = Some(path);
                 any = true;
             }
             "--wall-clock" => {
@@ -173,11 +193,17 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "repro [--scale tiny|medium|full] [--seed N] [--jobs N] [--table1..6] \
-                     [--fig9..12] [--automaton-stats] [--metrics PATH] [--wall-clock] [--all]\n\n\
+                     [--fig9..12] [--automaton-stats] [--metrics PATH] \
+                     [--diagnose PATH [--events PATH]] [--wall-clock] [--all]\n\n\
                      --jobs N        worker threads for per-example evaluation \
                      (default: available parallelism); results are identical for any N\n\
                      --metrics PATH  run an instrumented PURPLE dev evaluation and dump \
                      per-stage metrics JSON to PATH (byte-identical for any --jobs)\n\
+                     --diagnose PATH run a traced PURPLE dev evaluation, attribute every \
+                     EX-loss to a pipeline module, and write the blame table as markdown \
+                     to PATH (byte-identical for any --jobs)\n\
+                     --events PATH   with --diagnose: also dump the structured trace \
+                     events as JSONL to PATH (byte-identical for any --jobs)\n\
                      --wall-clock    record real elapsed nanoseconds in --metrics spans \
                      instead of deterministic work units"
                 );
@@ -207,6 +233,10 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    if args.events.is_some() && args.diagnose.is_none() {
+        eprintln!("--events requires --diagnose");
+        std::process::exit(2);
+    }
     let scale = args.scale.unwrap_or(Scale::Medium);
     let t0 = Instant::now();
     eprintln!("[repro] building context (scale {scale:?}, seed {})...", args.seed);
@@ -358,6 +388,45 @@ fn main() {
         }
         println!("{}", report::render_metrics(&report.metrics));
         eprintln!("[repro] metrics written to {path}");
+    }
+    if let Some(path) = &args.diagnose {
+        eprintln!("[repro] running blame diagnosis ({:.1}s)...", t0.elapsed().as_secs_f64());
+        let out = exp::diagnose(&ctx);
+        let attribution = out.report.attribution.as_ref().expect("diagnose fills attribution");
+        // Self-check: the attribution must round-trip through our own parser,
+        // standalone and embedded in the full report.
+        let json = eval::attribution_to_json(attribution);
+        let parsed = eval::attribution_from_json(&json).unwrap_or_else(|e| {
+            eprintln!("attribution JSON failed to round-trip: {e}");
+            std::process::exit(1);
+        });
+        assert_eq!(&parsed, attribution, "attribution JSON round-trip mismatch");
+        let report_json = eval::report_to_json(&out.report);
+        let report_parsed = eval::report_from_json(&report_json).unwrap_or_else(|e| {
+            eprintln!("report JSON failed to round-trip: {e}");
+            std::process::exit(1);
+        });
+        assert_eq!(
+            report_parsed.attribution.as_ref(),
+            Some(attribution),
+            "report JSON round-trip lost attribution"
+        );
+        if let Err(e) = std::fs::write(path, &out.markdown) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        print!("{}", out.markdown);
+        eprintln!("[repro] blame table written to {path}");
+        if let Some(events_path) = &args.events {
+            if let Err(e) = std::fs::write(events_path, &out.events_jsonl) {
+                eprintln!("cannot write {events_path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "[repro] {} trace events written to {events_path}",
+                out.events_jsonl.lines().count()
+            );
+        }
     }
     if args.generation {
         eprintln!(

@@ -946,3 +946,52 @@ pub fn metrics_eval(ctx: &ReproContext, wall_clock: bool) -> EvalReport {
     let p = purple_with(ctx, CHATGPT).with_clock(clock);
     evaluate_par(&p, &ctx.suite.dev, None, ctx.jobs)
 }
+
+// ---------------------------------------------------------------------------
+// Failure attribution (DESIGN.md §9): per-module blame + structured events
+// ---------------------------------------------------------------------------
+
+/// Everything `repro --diagnose` produces in one pass.
+#[derive(Debug, Clone)]
+pub struct DiagnoseOutput {
+    /// The evaluation report with [`EvalReport::attribution`] filled in.
+    pub report: EvalReport,
+    /// Rendered blame table (the `--diagnose PATH` payload).
+    pub markdown: String,
+    /// Structured trace events as JSONL (the `--events PATH` payload).
+    pub events_jsonl: String,
+}
+
+/// Run PURPLE (ChatGPT) over the dev split with traces and structured events
+/// on, attribute every EX-loss to a pipeline module, and serialize the event
+/// stream. Verdicts are folded and events drained in example order, so both
+/// outputs are byte-identical for any `ctx.jobs`.
+pub fn diagnose(ctx: &ReproContext) -> DiagnoseOutput {
+    let p = purple_with(ctx, CHATGPT);
+    let dev = &ctx.suite.dev;
+    let sink = obs::EventSink::bounded(dev.examples.len(), obs::DEFAULT_EVENTS_PER_EXAMPLE);
+    let (mut report, verdicts) = eval::evaluate_with_par(
+        eval::Translator::name(&p),
+        dev,
+        None,
+        ctx.jobs,
+        |job: eval::Job<'_>| {
+            let (ex, db) = (job.example, job.db);
+            let out = p.run(job.with_trace(true).with_events(Some(&sink)));
+            let verdict = out.trace.as_ref().and_then(|t| t.blame(&ex.query, db));
+            (eval::RunOutcome { translation: out.translation, metrics: out.metrics }, verdict)
+        },
+    );
+    let mut attribution = eval::AttributionReport::default();
+    for v in &verdicts {
+        attribution.add(v.as_ref());
+    }
+    let markdown = format!(
+        "# Failure attribution: {} on dev\n\n{}",
+        report.system,
+        attribution.render_markdown()
+    );
+    report.attribution = Some(attribution);
+    let drained = sink.drain();
+    DiagnoseOutput { report, markdown, events_jsonl: obs::to_jsonl(&drained.events) }
+}

@@ -183,6 +183,63 @@ mod tests {
     }
 
     #[test]
+    fn wrong_value_vs_wrong_schema_linking_boundary() {
+        let db = db();
+        let gold = gold();
+        // Same skeleton, same schema items, only the constant differs: EM holds
+        // (values are masked) so the wrong result can only come from the value.
+        assert_eq!(
+            classify("SELECT name FROM t WHERE id = 3", &gold, &db),
+            FailureMode::WrongValue
+        );
+        // Same skeleton but a different schema item in the predicate: EM breaks
+        // while the shape is right — a linking slip, not a wrong value, even
+        // though the constant differs too.
+        assert_eq!(
+            classify("SELECT name FROM t WHERE grp = 'y'", &gold, &db),
+            FailureMode::WrongSchemaLinking
+        );
+        // Swapped columns with the gold constant land on the same side.
+        assert_eq!(
+            classify("SELECT grp FROM t WHERE id = 1", &gold, &db),
+            FailureMode::WrongSchemaLinking
+        );
+    }
+
+    #[test]
+    fn equivalent_form_outranks_skeleton_comparison() {
+        let db = db();
+        let gold = gold();
+        // Structurally different but EX-equal: EX is checked before skeletons,
+        // so this is the equivalence band, not wrong-composition.
+        assert_eq!(
+            classify("SELECT name FROM t WHERE id = 1 AND id = 1", &gold, &db),
+            FailureMode::EquivalentForm
+        );
+        // A schema-item substitution that happens to return the gold rows is
+        // also equivalent-form (grp = 'x' selects exactly row 1).
+        assert_eq!(
+            classify("SELECT name FROM t WHERE grp = 'x'", &gold, &db),
+            FailureMode::EquivalentForm
+        );
+    }
+
+    #[test]
+    fn execution_and_parse_failures_outrank_everything() {
+        let db = db();
+        let gold = gold();
+        // An unparsable prediction never reaches execution.
+        assert_eq!(classify("", &gold, &db), FailureMode::ParseError);
+        assert_eq!(classify("SELECT FROM WHERE", &gold, &db), FailureMode::ParseError);
+        // A parsable prediction over a hallucinated schema item fails at
+        // execution, before any EM/EX comparison.
+        assert_eq!(
+            classify("SELECT name FROM ghost WHERE id = 1", &gold, &db),
+            FailureMode::ExecutionError
+        );
+    }
+
+    #[test]
     fn report_accumulates_and_renders() {
         let mut r = ErrorReport::default();
         r.add(FailureMode::Correct);

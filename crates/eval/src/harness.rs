@@ -4,6 +4,7 @@
 //! threads ([`evaluate_par`]); both produce identical reports because translators
 //! are stateless (`&self`) and seeded purely by example position.
 
+use crate::attribution::AttributionReport;
 use crate::metrics::{em_match_str, ex_match_str};
 use crate::testsuite::{build_suite, ts_match_str, SuiteConfig, TestSuite};
 use engine::Database;
@@ -48,17 +49,27 @@ pub struct Job<'a> {
     /// Optional seed override; when `None`, [`Job::seed`] derives the seed
     /// from the translator's base seed and `idx` (the usual path).
     pub seed: Option<u64>,
+    /// Optional structured-event sink: translators that support trace events
+    /// record them into a per-run [`obs::EventRecorder`] and publish the
+    /// finished batch here (ignored by translators without events).
+    pub events: Option<&'a obs::EventSink>,
 }
 
 impl<'a> Job<'a> {
     /// A job for the example at position `idx` of its split.
     pub fn new(idx: usize, example: &'a Example, db: &'a Database) -> Self {
-        Job { idx, example, db, trace: false, seed: None }
+        Job { idx, example, db, trace: false, seed: None, events: None }
     }
 
     /// Request (or suppress) trace capture.
     pub fn with_trace(mut self, trace: bool) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Attach (or detach) a structured-event sink.
+    pub fn with_events(mut self, events: Option<&'a obs::EventSink>) -> Self {
+        self.events = events;
         self
     }
 
@@ -182,6 +193,9 @@ pub struct EvalReport {
     /// Aggregated per-stage metrics, folded from per-example snapshots in
     /// example order (identical for any worker count).
     pub metrics: StageMetrics,
+    /// Per-module failure attribution, when the evaluation ran with blame
+    /// analysis (`repro --diagnose`); `None` for plain evaluations.
+    pub attribution: Option<AttributionReport>,
 }
 
 impl EvalReport {
@@ -233,14 +247,12 @@ struct ExampleScore {
     metrics: StageMetrics,
 }
 
-fn score_example(
-    translator: &dyn Translator,
-    idx: usize,
+fn score_outcome(
+    outcome: RunOutcome,
     ex: &Example,
     db: &Database,
     suites: Option<&[TestSuite]>,
 ) -> ExampleScore {
-    let outcome = translator.run(Job::new(idx, ex, db));
     let t = &outcome.translation;
     ExampleScore {
         prompt_tokens: t.prompt_tokens,
@@ -254,6 +266,16 @@ fn score_example(
         hardness: ex.hardness as usize,
         metrics: outcome.metrics,
     }
+}
+
+fn score_example(
+    translator: &dyn Translator,
+    idx: usize,
+    ex: &Example,
+    db: &Database,
+    suites: Option<&[TestSuite]>,
+) -> ExampleScore {
+    score_outcome(translator.run(Job::new(idx, ex, db)), ex, db, suites)
 }
 
 fn assemble(
@@ -289,6 +311,7 @@ fn assemble(
         avg_output_tokens: output_tokens as f64 / denom,
         has_ts,
         metrics,
+        attribution: None,
     }
 }
 
@@ -348,6 +371,66 @@ pub fn evaluate_par(
         n,
         suites.is_some(),
     )
+}
+
+/// Evaluate with a custom per-job runner that yields an extra per-example
+/// value alongside the run outcome (e.g. a blame verdict derived from the
+/// run's trace).
+///
+/// The runner receives a bare [`Job`] and may decorate it
+/// (`job.with_trace(true).with_events(...)`) before running the system.
+/// Scores fold exactly like [`evaluate_par`]'s — in example order — and the
+/// extras come back as a `Vec` in example order, so both the report and the
+/// extras are identical for any `jobs` count.
+pub fn evaluate_with_par<T, F>(
+    system: String,
+    bench: &Benchmark,
+    suites: Option<&[TestSuite]>,
+    jobs: usize,
+    run: F,
+) -> (EvalReport, Vec<T>)
+where
+    T: Send,
+    F: Fn(Job<'_>) -> (RunOutcome, T) + Sync,
+{
+    let n = bench.examples.len();
+    let jobs = jobs.clamp(1, n.max(1));
+    let mut results: Vec<Option<(ExampleScore, T)>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let score_at = |idx: usize| {
+        let ex = &bench.examples[idx];
+        let db = bench.db_of(ex);
+        let (outcome, extra) = run(Job::new(idx, ex, db));
+        (score_outcome(outcome, ex, db, suites), extra)
+    };
+    if jobs == 1 || n < 2 {
+        for (idx, slot) in results.iter_mut().enumerate() {
+            *slot = Some(score_at(idx));
+        }
+    } else {
+        let chunk = n.div_ceil(jobs);
+        crossbeam::thread::scope(|scope| {
+            for (ci, out) in results.chunks_mut(chunk).enumerate() {
+                let start = ci * chunk;
+                let score_at = &score_at;
+                scope.spawn(move |_| {
+                    for (off, slot) in out.iter_mut().enumerate() {
+                        *slot = Some(score_at(start + off));
+                    }
+                });
+            }
+        })
+        .expect("evaluation worker panicked");
+    }
+    let mut scores = Vec::with_capacity(n);
+    let mut extras = Vec::with_capacity(n);
+    for r in results {
+        let (s, e) = r.expect("all examples scored");
+        scores.push(s);
+        extras.push(e);
+    }
+    let report = assemble(system, bench.name.clone(), scores.into_iter(), n, suites.is_some());
+    (report, extras)
 }
 
 /// A trivial translator that echoes the gold SQL — the harness's upper bound and a
@@ -453,6 +536,23 @@ mod tests {
             let par = evaluate_par(&IdxSensitive, &suite.dev, Some(&suites), jobs);
             assert_eq!(serial, par, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn evaluate_with_par_matches_serial_and_orders_extras() {
+        let suite = generate_suite(&GenConfig::tiny(24));
+        let run = |job: Job<'_>| (IdxSensitive.run(job), job.idx);
+        let (serial, base_extras) = evaluate_with_par("with-par".into(), &suite.dev, None, 1, run);
+        assert_eq!(base_extras, (0..suite.dev.examples.len()).collect::<Vec<_>>());
+        for jobs in [2, 4, 33] {
+            let (par, extras) = evaluate_with_par("with-par".into(), &suite.dev, None, jobs, run);
+            assert_eq!(serial, par, "jobs={jobs}");
+            assert_eq!(extras, base_extras, "jobs={jobs}");
+        }
+        // The plain harness produces the same report for the same runner.
+        let mut plain = evaluate(&IdxSensitive, &suite.dev, None);
+        plain.system = "with-par".into();
+        assert_eq!(plain, serial);
     }
 
     #[test]

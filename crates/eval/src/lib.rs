@@ -6,6 +6,7 @@
 
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod error_analysis;
 pub mod harness;
 pub mod metrics;
@@ -15,13 +16,17 @@ pub mod testsuite;
 #[cfg(test)]
 mod testsuite_tests_extra;
 
+pub use attribution::{attribute, AttributionReport, Blame, TraceSummary, Verdict};
 pub use error_analysis::{classify, ErrorReport, FailureMode};
 pub use harness::{
-    build_suites, evaluate, evaluate_par, seed_for, Bucket, EvalReport, Job, OracleTranslator,
-    RunOutcome, Translation, Translator,
+    build_suites, evaluate, evaluate_par, evaluate_with_par, seed_for, Bucket, EvalReport, Job,
+    OracleTranslator, RunOutcome, Translation, Translator,
 };
 pub use metrics::{em_match, em_match_str, ex_match, ex_match_str};
-pub use reportio::{metrics_from_json, metrics_to_json, report_from_json, report_to_json};
+pub use reportio::{
+    attribution_from_json, attribution_to_json, metrics_from_json, metrics_to_json,
+    report_from_json, report_to_json,
+};
 pub use testsuite::{
     build_suite, fuzz_instance, mutate, ts_match, ts_match_str, SuiteConfig, TestSuite,
 };

@@ -3,6 +3,7 @@
 //! serde derives; this module stands in for `serde_json`, which is not part of
 //! the workspace dependency set.
 
+use crate::attribution::{AttributionReport, Blame};
 use crate::harness::{Bucket, EvalReport};
 use obs::{Clock, Counter, Fixer, Gauge, GaugeSlot, Histogram, Stage, StageMetrics, NUM_BUCKETS};
 use std::collections::BTreeMap;
@@ -30,9 +31,70 @@ pub fn report_to_json(report: &EvalReport) -> String {
     write!(out, "\"avg_prompt_tokens\":{:?},", report.avg_prompt_tokens).unwrap();
     write!(out, "\"avg_output_tokens\":{:?},", report.avg_output_tokens).unwrap();
     write!(out, "\"has_ts\":{},", report.has_ts).unwrap();
-    write!(out, "\"metrics\":{}", metrics_to_json(&report.metrics)).unwrap();
+    write!(out, "\"metrics\":{},", metrics_to_json(&report.metrics)).unwrap();
+    match &report.attribution {
+        Some(a) => write!(out, "\"attribution\":{}", attribution_to_json(a)).unwrap(),
+        None => out.push_str("\"attribution\":null"),
+    }
     out.push('}');
     out
+}
+
+/// Serialize an [`AttributionReport`] to a JSON object string. Blame classes
+/// and error categories are keyed by their stable names in declaration order.
+pub fn attribution_to_json(a: &AttributionReport) -> String {
+    let mut out = String::with_capacity(256);
+    write!(out, "{{\"total\":{},\"ex_correct\":{},", a.total, a.ex_correct).unwrap();
+    out.push_str("\"counts\":{");
+    for (i, blame) in Blame::ALL.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(out, "{}:{}", escape(blame.name()), a.count(blame)).unwrap();
+    }
+    out.push_str("},\"llm_by_category\":{");
+    for (i, fixer) in Fixer::ALL.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(out, "{}:{}", escape(fixer.name()), a.llm_by_category[fixer.index()]).unwrap();
+    }
+    write!(out, "}},\"llm_uncategorized\":{}}}", a.llm_uncategorized).unwrap();
+    out
+}
+
+/// Parse a standalone attribution document written by [`attribution_to_json`].
+pub fn attribution_from_json(text: &str) -> Result<AttributionReport, String> {
+    let value = Parser { bytes: text.as_bytes(), pos: 0 }.parse_document()?;
+    attribution_from_value(&value)
+}
+
+fn attribution_from_value(value: &JsonValue) -> Result<AttributionReport, String> {
+    let obj = value.as_object("attribution")?;
+    let mut a = AttributionReport::default();
+    for (key, val) in obj {
+        match key.as_str() {
+            "total" => a.total = val.as_usize(key)?,
+            "ex_correct" => a.ex_correct = val.as_usize(key)?,
+            "counts" => {
+                for (name, v) in val.as_object("counts")? {
+                    let blame = Blame::from_name(name)
+                        .ok_or_else(|| format!("unknown blame class `{name}`"))?;
+                    a.counts[blame.index()] = v.as_usize(name)?;
+                }
+            }
+            "llm_by_category" => {
+                for (name, v) in val.as_object("llm_by_category")? {
+                    let fixer = Fixer::from_category(name)
+                        .ok_or_else(|| format!("unknown category `{name}`"))?;
+                    a.llm_by_category[fixer.index()] = v.as_usize(name)?;
+                }
+            }
+            "llm_uncategorized" => a.llm_uncategorized = val.as_usize(key)?,
+            other => return Err(format!("unknown attribution field `{other}`")),
+        }
+    }
+    Ok(a)
 }
 
 /// Serialize a [`StageMetrics`] snapshot to a JSON object string.
@@ -126,6 +188,7 @@ pub fn report_from_json(text: &str) -> Result<EvalReport, String> {
         avg_output_tokens: 0.0,
         has_ts: false,
         metrics: StageMetrics::default(),
+        attribution: None,
     };
     for (key, val) in obj {
         match key.as_str() {
@@ -145,6 +208,10 @@ pub fn report_from_json(text: &str) -> Result<EvalReport, String> {
             "avg_output_tokens" => report.avg_output_tokens = val.as_f64("avg_output_tokens")?,
             "has_ts" => report.has_ts = val.as_bool("has_ts")?,
             "metrics" => report.metrics = metrics_from_value(val)?,
+            "attribution" => {
+                report.attribution =
+                    if val.is_null() { None } else { Some(attribution_from_value(val)?) }
+            }
             other => return Err(format!("unknown report field `{other}`")),
         }
     }
@@ -559,7 +626,19 @@ mod tests {
             avg_output_tokens: 27.49,
             has_ts: true,
             metrics: sample_metrics(),
+            attribution: None,
         }
+    }
+
+    fn sample_attribution() -> AttributionReport {
+        let mut a = AttributionReport { total: 100, ex_correct: 81, ..Default::default() };
+        a.counts[Blame::PruningRecallMiss.index()] = 3;
+        a.counts[Blame::SkeletonTopKMiss.index()] = 4;
+        a.counts[Blame::LlmHallucination.index()] = 10;
+        a.counts[Blame::VoteMisselection.index()] = 2;
+        a.llm_by_category[Fixer::MissingTable.index()] = 6;
+        a.llm_uncategorized = 4;
+        a
     }
 
     fn sample_metrics() -> StageMetrics {
@@ -580,8 +659,27 @@ mod tests {
     fn round_trip_preserves_every_field() {
         let report = sample();
         let json = report_to_json(&report);
+        assert!(json.contains("\"attribution\":null"), "absent attribution is null: {json}");
         let back = report_from_json(&json).expect("parses");
         assert_eq!(report, back);
+    }
+
+    #[test]
+    fn attribution_round_trips_standalone_and_in_reports() {
+        let attribution = sample_attribution();
+        let json = attribution_to_json(&attribution);
+        let back = attribution_from_json(&json).expect("parses");
+        assert_eq!(attribution, back);
+        assert_eq!(json, attribution_to_json(&back), "re-serialization is byte-identical");
+        assert!(attribution_from_json("{\"counts\":{\"warp-core-breach\":1}}").is_err());
+        assert!(attribution_from_json("{\"bogus\":1}").is_err());
+
+        let mut report = sample();
+        report.attribution = Some(attribution);
+        let json = report_to_json(&report);
+        let back = report_from_json(&json).expect("parses");
+        assert_eq!(report, back);
+        assert_eq!(json, report_to_json(&back));
     }
 
     #[test]

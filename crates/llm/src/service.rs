@@ -65,6 +65,9 @@ pub struct GenerationRequest<'a> {
     /// token counters, and context-overflow events here. Takes precedence over
     /// any registry attached to the service with `with_metrics`.
     pub metrics: Option<&'a obs::MetricsRegistry>,
+    /// Per-request structured-event recorder: `complete` emits one `llm-call`
+    /// event (samples, billed tokens, support level) here.
+    pub events: Option<&'a obs::EventRecorder>,
 }
 
 impl<'a> GenerationRequest<'a> {
@@ -84,6 +87,7 @@ impl<'a> GenerationRequest<'a> {
             seed: 0,
             extra_output_tokens: 0,
             metrics: None,
+            events: None,
         }
     }
 
@@ -132,6 +136,12 @@ impl<'a> GenerationRequest<'a> {
     /// Record this request's metrics into a registry.
     pub fn metrics(mut self, registry: &'a obs::MetricsRegistry) -> Self {
         self.metrics = Some(registry);
+        self
+    }
+
+    /// Record this request's structured trace events into a recorder.
+    pub fn events(mut self, recorder: &'a obs::EventRecorder) -> Self {
+        self.events = Some(recorder);
         self
     }
 }
@@ -357,6 +367,24 @@ impl LlmService {
         if let Some(span) = span {
             span.finish(prompt_tokens + output_tokens);
         }
+        if let Some(rec) = req.events {
+            rec.emit(
+                obs::Stage::LlmCall.name(),
+                "completed",
+                &[
+                    ("samples", obs::EventValue::U64(samples.len() as u64)),
+                    ("prompt_tokens", obs::EventValue::U64(prompt_tokens)),
+                    ("output_tokens", obs::EventValue::U64(output_tokens)),
+                    ("overflow", obs::EventValue::Bool(full_tokens > CONTEXT_LIMIT)),
+                    (
+                        "support",
+                        obs::EventValue::Str(
+                            support_level.map_or("none".to_string(), |l| format!("{l:?}")),
+                        ),
+                    ),
+                ],
+            );
+        }
         GenerationResponse { samples, prompt_tokens, output_tokens, support_level }
     }
 }
@@ -479,6 +507,37 @@ mod tests {
             resp.prompt_tokens + resp.output_tokens,
             "virtual llm-call span covers billed tokens"
         );
+    }
+
+    #[test]
+    fn complete_emits_an_llm_call_event() {
+        let db = db();
+        let gold = parse("SELECT name FROM t WHERE id = 1").unwrap();
+        let prompt = Prompt {
+            instruction: String::new(),
+            demonstrations: vec![demo_with_skeleton("SELECT _ FROM _ WHERE _ = _")],
+            schema_text: "create table t (id int, name text)\n".into(),
+            nl: "q?".into(),
+        };
+        let svc = LlmService::new(CHATGPT);
+        let rec = obs::EventRecorder::new(3, 16);
+        let req = GenerationRequest::for_prompt(&prompt, &gold, &db).n(4).seed(7).events(&rec);
+        let resp = svc.complete(&req);
+        let sink = obs::EventSink::bounded(4, 16);
+        sink.publish(rec);
+        let drained = sink.drain();
+        assert_eq!(drained.events.len(), 1);
+        let e = &drained.events[0];
+        assert_eq!((e.example_idx, e.stage, e.kind), (3, "llm-call", "completed"));
+        assert!(e.fields.iter().any(|(k, v)| *k == "samples" && *v == obs::EventValue::U64(4)));
+        assert!(e
+            .fields
+            .iter()
+            .any(|(k, v)| *k == "prompt_tokens" && *v == obs::EventValue::U64(resp.prompt_tokens)));
+        assert!(e
+            .fields
+            .iter()
+            .any(|(k, v)| *k == "support" && *v == obs::EventValue::Str("Detail".into())));
     }
 
     #[test]

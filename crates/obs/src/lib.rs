@@ -12,12 +12,23 @@
 //! deterministic *work units* declared by the instrumented code, so aggregated
 //! metrics are byte-identical for any thread count; [`Clock::Wall`] measures
 //! real monotonic nanoseconds for profiling, at the cost of byte-stability.
+//!
+//! Beyond aggregate metrics, the [`events`] module provides a structured,
+//! bounded per-example trace-event log ([`Event`] / [`EventRecorder`] /
+//! [`EventSink`]): stages emit what they saw and decided for one example, and
+//! the sink drains in ascending example order so the JSONL stream is
+//! byte-identical for any worker count (DESIGN.md §9).
 
 #![warn(missing_docs)]
 
+pub mod events;
 mod registry;
 mod snapshot;
 
+pub use events::{
+    to_jsonl, DrainedEvents, Event, EventRecorder, EventSink, EventValue,
+    DEFAULT_EVENTS_PER_EXAMPLE, DEFAULT_MAX_EXAMPLES,
+};
 pub use registry::{Clock, MetricsRegistry, Span};
 pub use snapshot::{
     CounterBlock, FixerStats, GaugeSlot, Histogram, StageMetrics, StageStats, NUM_BUCKETS,

@@ -6,7 +6,7 @@
 //! undesired side effects to the valid SQL" (§IV-D1).
 
 use engine::{execute, Database, ExecError};
-use obs::{Counter, Fixer, MetricsRegistry, Stage};
+use obs::{Counter, EventRecorder, EventValue, Fixer, MetricsRegistry, Stage};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use sqlkit::ast::*;
@@ -506,25 +506,45 @@ pub struct VoteOutcome {
     pub executable: bool,
     /// All fixes applied across samples.
     pub fixes: Vec<&'static str>,
+    /// Every sample's post-adaption SQL, parallel to the input samples (what
+    /// the blame analyzer compares against the raw samples).
+    pub adapted: Vec<String>,
 }
 
 /// Majority vote over *raw* samples by execution result, without any repair — the
 /// plain execution-consistency of C3 / DAIL-SQL, and what remains of §IV-D when the
 /// "-Database Adaption" ablation removes the fixers. When a registry is given,
-/// the vote is timed as the consistency-vote stage and the samples are counted.
-pub fn raw_vote(samples: &[String], db: &Database, metrics: Option<&MetricsRegistry>) -> String {
+/// the vote is timed as the consistency-vote stage and the samples are counted;
+/// when a recorder is given, one `consistency-vote` event is emitted.
+pub fn raw_vote(
+    samples: &[String],
+    db: &Database,
+    metrics: Option<&MetricsRegistry>,
+    events: Option<&EventRecorder>,
+) -> String {
     let span = metrics.map(|r| r.span(Stage::ConsistencyVote));
     if let Some(reg) = metrics {
         reg.count(Counter::Samples, samples.len() as u64);
     }
-    let result = raw_vote_inner(samples, db);
+    let (result, executable) = raw_vote_inner(samples, db);
     if let Some(span) = span {
         span.finish(samples.len() as u64);
+    }
+    if let Some(rec) = events {
+        rec.emit(
+            Stage::ConsistencyVote.name(),
+            "voted",
+            &[
+                ("samples", EventValue::U64(samples.len() as u64)),
+                ("executable", EventValue::Bool(executable)),
+                ("adapted", EventValue::Bool(false)),
+            ],
+        );
     }
     result
 }
 
-fn raw_vote_inner(samples: &[String], db: &Database) -> String {
+fn raw_vote_inner(samples: &[String], db: &Database) -> (String, bool) {
     let mut keys: Vec<Option<String>> = Vec::with_capacity(samples.len());
     for s in samples {
         let key = parse(s).ok().and_then(|q| execute(db, &q).ok()).map(result_key);
@@ -538,11 +558,11 @@ fn raw_vote_inner(samples: &[String], db: &Database) -> String {
         let winner = winner.clone();
         for (s, k) in samples.iter().zip(&keys) {
             if k.as_deref() == Some(winner.as_str()) {
-                return s.clone();
+                return (s.clone(), true);
             }
         }
     }
-    samples.first().cloned().unwrap_or_default()
+    (samples.first().cloned().unwrap_or_default(), false)
 }
 
 fn result_key(rs: engine::ResultSet) -> String {
@@ -560,21 +580,38 @@ fn result_key(rs: engine::ResultSet) -> String {
 ///
 /// When a registry is given, the repair loop is timed as the adaption stage
 /// (per-fixer hit/success counters included) and the tally as the
-/// consistency-vote stage.
+/// consistency-vote stage. When a recorder is given, one `adaption`/`repair`
+/// event is emitted per sample the repair loop touched, plus one
+/// `consistency-vote` event for the tally.
 pub fn consistency_vote(
     samples: &[String],
     db: &Database,
     rng: &mut StdRng,
     metrics: Option<&MetricsRegistry>,
+    events: Option<&EventRecorder>,
 ) -> VoteOutcome {
     let adapt_span = metrics.map(|r| r.span(Stage::Adaption));
     let mut adapted: Vec<AdaptResult> = Vec::with_capacity(samples.len());
     let mut keys: Vec<Option<String>> = Vec::with_capacity(samples.len());
     let mut fixes = Vec::new();
-    for s in samples {
+    for (i, s) in samples.iter().enumerate() {
         let a = adapt_sql(s, db, rng);
         if let Some(reg) = metrics {
             record_adaption(reg, &a);
+        }
+        if let Some(rec) = events {
+            if !a.fixes.is_empty() {
+                rec.emit(
+                    Stage::Adaption.name(),
+                    "repair",
+                    &[
+                        ("sample", EventValue::U64(i as u64)),
+                        ("fixes", EventValue::U64(a.fixes.len() as u64)),
+                        ("category", EventValue::Str(a.fixes[0].to_string())),
+                        ("executable", EventValue::Bool(a.executable)),
+                    ],
+                );
+            }
         }
         fixes.extend(a.fixes.iter().copied());
         let key = if a.executable {
@@ -593,6 +630,17 @@ pub fn consistency_vote(
     if let Some(span) = vote_span {
         span.finish(samples.len() as u64);
     }
+    if let Some(rec) = events {
+        rec.emit(
+            Stage::ConsistencyVote.name(),
+            "voted",
+            &[
+                ("samples", EventValue::U64(samples.len() as u64)),
+                ("executable", EventValue::Bool(outcome.executable)),
+                ("adapted", EventValue::Bool(true)),
+            ],
+        );
+    }
     outcome
 }
 
@@ -601,6 +649,7 @@ fn tally(
     keys: Vec<Option<String>>,
     fixes: Vec<&'static str>,
 ) -> VoteOutcome {
+    let adapted_sql: Vec<String> = adapted.iter().map(|a| a.sql.clone()).collect();
     // Majority result key.
     let mut counts: std::collections::HashMap<&String, usize> = std::collections::HashMap::new();
     for k in keys.iter().flatten() {
@@ -610,15 +659,22 @@ fn tally(
     if let Some(w) = winner {
         for (a, k) in adapted.iter().zip(&keys) {
             if k.as_deref() == Some(w.as_str()) {
-                return VoteOutcome { sql: a.sql.clone(), executable: true, fixes };
+                return VoteOutcome {
+                    sql: a.sql.clone(),
+                    executable: true,
+                    fixes,
+                    adapted: adapted_sql,
+                };
             }
         }
     }
     // Nothing executable: fall back to the first sample.
     let first = adapted.into_iter().next();
     match first {
-        Some(a) => VoteOutcome { sql: a.sql, executable: a.executable, fixes },
-        None => VoteOutcome { sql: String::new(), executable: false, fixes },
+        Some(a) => {
+            VoteOutcome { sql: a.sql, executable: a.executable, fixes, adapted: adapted_sql }
+        }
+        None => VoteOutcome { sql: String::new(), executable: false, fixes, adapted: adapted_sql },
     }
 }
 
@@ -796,9 +852,11 @@ mod tests {
             "SELECT country FROM tv_channel WHERE id = 2".to_string(),
             "SELECT country FROM tv_channel WHERE id = 1".to_string(),
         ];
-        let v = consistency_vote(&samples, &d, &mut rng, None);
+        let v = consistency_vote(&samples, &d, &mut rng, None, None);
         assert!(v.executable);
         assert!(v.sql.contains("id = 1"), "{}", v.sql);
+        assert_eq!(v.adapted.len(), samples.len(), "one adapted SQL per sample");
+        assert_eq!(v.adapted, samples, "valid samples survive adaption untouched");
     }
 
     #[test]
@@ -807,12 +865,46 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let samples =
             vec!["totally not sql".to_string(), "SELECT country FROM tv_channel".to_string()];
-        let v = consistency_vote(&samples, &d, &mut rng, None);
+        let v = consistency_vote(&samples, &d, &mut rng, None, None);
         assert!(v.executable);
         assert!(v.sql.contains("country"));
         // And when nothing works, the first sample comes back.
-        let v = consistency_vote(&["garbage".to_string()], &d, &mut rng, None);
+        let v = consistency_vote(&["garbage".to_string()], &d, &mut rng, None, None);
         assert!(!v.executable);
         assert_eq!(v.sql, "garbage");
+    }
+
+    #[test]
+    fn votes_emit_repair_and_vote_events() {
+        let d = db();
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples = vec![
+            "SELECT countrys FROM tv_channel".to_string(),
+            "SELECT country FROM tv_channel".to_string(),
+        ];
+        let rec = EventRecorder::new(0, 16);
+        let v = consistency_vote(&samples, &d, &mut rng, None, Some(&rec));
+        assert!(v.executable);
+        let sink = obs::EventSink::bounded(1, 16);
+        sink.publish(rec);
+        let events = sink.drain().events;
+        let repair = events
+            .iter()
+            .find(|e| e.kind == "repair")
+            .expect("misspelled sample produces a repair event");
+        assert_eq!(repair.stage, "adaption");
+        assert!(
+            repair
+                .fields
+                .iter()
+                .any(|(k, f)| *k == "category"
+                    && *f == EventValue::Str("schema-hallucination".into()))
+        );
+        let voted = events.iter().find(|e| e.kind == "voted").expect("tally emits voted");
+        assert_eq!(voted.stage, "consistency-vote");
+
+        let rec = EventRecorder::new(0, 16);
+        raw_vote(&samples, &d, None, Some(&rec));
+        assert_eq!(rec.len(), 1, "raw vote emits exactly one event");
     }
 }

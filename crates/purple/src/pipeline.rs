@@ -16,7 +16,7 @@ use engine::Database;
 use eval::{Job, Translation, Translator};
 use llm::{Demonstration, GenerationRequest, LlmProfile, LlmService, Prompt};
 use nlmodel::{SchemaClassifier, SkeletonPrediction, SkeletonPredictor, TrainConfig};
-use obs::{Clock, Gauge, MetricsRegistry, Stage, StageMetrics};
+use obs::{Clock, EventValue, Gauge, MetricsRegistry, Stage, StageMetrics};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spidergen::types::{Benchmark, Example};
@@ -78,9 +78,10 @@ impl PurpleConfig {
 
 /// A structured trace of one translation: what each module saw and decided.
 /// Captured by [`Purple::run`] when the job asks for it
-/// ([`Job::with_trace`]`(true)`) — used for debugging, error analysis, and the
-/// trace example binary.
-#[derive(Debug, Clone)]
+/// ([`Job::with_trace`]`(true)`) — used for debugging, error analysis, blame
+/// attribution ([`TranslationTrace::blame`]), and the trace example binary.
+/// Serializable so traces can be dumped alongside the structured event stream.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct TranslationTrace {
     /// The pruned schema used in the prompt.
     pub pruned: PrunedSchema,
@@ -100,14 +101,42 @@ pub struct TranslationTrace {
     /// Finest abstraction level at which an in-context demonstration matched the
     /// required skeleton.
     pub support_level: Option<sqlkit::Level>,
+    /// Raw LLM samples, pre-adaption, in generation order.
+    pub samples: Vec<String>,
+    /// The samples post-adaption, parallel to `samples` (identical to
+    /// `samples` when adaption is off).
+    pub adapted: Vec<String>,
     /// Adaption fixes applied across consistency samples.
-    pub fixes: Vec<&'static str>,
+    pub fixes: Vec<String>,
     /// The final SQL.
     pub sql: String,
     /// Billed prompt tokens.
     pub prompt_tokens: u64,
     /// Billed output tokens.
     pub output_tokens: u64,
+}
+
+impl TranslationTrace {
+    /// Flatten this trace into the plain facts the blame analyzer consumes.
+    pub fn summary(&self, gold: &sqlkit::Query) -> eval::TraceSummary {
+        let required = Skeleton::from_query(gold);
+        eval::TraceSummary {
+            recall_covered: self.recall_covered,
+            gold_in_topk: self.predictions.iter().any(|p| p.skeleton == required),
+            support_level: self.support_level,
+            dropped_by_budget: self.dropped_by_budget,
+            samples: self.samples.clone(),
+            adapted: self.adapted.clone(),
+            fixes: self.fixes.clone(),
+            final_sql: self.sql.clone(),
+        }
+    }
+
+    /// Attribute this run's outcome to a pipeline module. `None` means the
+    /// final SQL was EX-correct — nothing to blame.
+    pub fn blame(&self, gold: &sqlkit::Query, db: &Database) -> Option<eval::Verdict> {
+        eval::attribute(&self.summary(gold), gold, db)
+    }
 }
 
 /// Everything one [`Purple::run`] call produced.
@@ -263,6 +292,7 @@ impl Purple {
         let seed = job.seed(self.cfg.seed);
         let mut rng = StdRng::seed_from_u64(seed);
         let reg = MetricsRegistry::new(self.clock);
+        let rec = job.events.map(|sink| sink.recorder(job.idx));
 
         // --- Step 1: schema pruning -----------------------------------------
         // Recall failures propagate (§III-B1: "It is important to keep high recall
@@ -288,11 +318,35 @@ impl Purple {
         let prune_quality = pruned.quality(&db.schema);
         let schema_cols: usize = db.schema.tables.iter().map(|t| t.columns.len()).sum();
         span.finish(schema_cols as u64);
+        if let Some(rec) = &rec {
+            rec.emit(
+                Stage::SchemaPruning.name(),
+                "pruned",
+                &[
+                    ("cols", EventValue::U64(schema_cols as u64)),
+                    ("quality", EventValue::F64(prune_quality)),
+                    ("recall_covered", EventValue::Bool(recall_covered)),
+                ],
+            );
+        }
 
         // --- Step 2: skeleton prediction ------------------------------------
         let span = reg.span(Stage::SkeletonPrediction);
         let predictions = self.predictions(ex, db);
         span.finish(predictions.len() as u64);
+        if let Some(rec) = &rec {
+            rec.emit(
+                Stage::SkeletonPrediction.name(),
+                "predicted",
+                &[
+                    ("beam", EventValue::U64(predictions.len() as u64)),
+                    (
+                        "top_prob",
+                        EventValue::F64(predictions.first().map_or(0.0, |p| p.probability)),
+                    ),
+                ],
+            );
+        }
 
         // --- Step 3: demonstration selection --------------------------------
         let span = reg.span(Stage::DemoSelection);
@@ -314,6 +368,16 @@ impl Purple {
             random_fill(&mut selected, self.pool.len(), self.cfg.demo_target, &mut rng);
         }
         span.finish(self.pool.len() as u64);
+        if let Some(rec) = &rec {
+            rec.emit(
+                Stage::DemoSelection.name(),
+                "selected",
+                &[
+                    ("selected", EventValue::U64(selected.len() as u64)),
+                    ("pool", EventValue::U64(self.pool.len() as u64)),
+                ],
+            );
+        }
 
         // --- Step 4: prompt + LLM call ---------------------------------------
         // Without the pruning module, demonstrations ship their full schemas too
@@ -354,32 +418,46 @@ impl Purple {
         let demos_in_prompt = prompt.demonstrations.len();
         reg.set_gauge(Gauge::DemosInPrompt, demos_in_prompt as u64);
         span.finish(prompt.token_len());
+        if let Some(rec) = &rec {
+            rec.emit(
+                Stage::PromptAssembly.name(),
+                "assembled",
+                &[
+                    ("demos_in_prompt", EventValue::U64(demos_in_prompt as u64)),
+                    ("dropped_by_budget", EventValue::U64(dropped_by_budget as u64)),
+                    ("prompt_tokens", EventValue::U64(prompt.token_len())),
+                ],
+            );
+        }
         let n = self.cfg.num_consistency;
-        let response = self.service.complete(
-            &GenerationRequest::for_prompt(&prompt, &ex.query, db)
-                .linking_noise(ex.linking_noise + recall_noise)
-                .prune_quality(prune_quality)
-                .instruction_quality(0.3)
-                .n(n)
-                .seed(seed)
-                .metrics(&reg),
-        );
+        let mut request = GenerationRequest::for_prompt(&prompt, &ex.query, db)
+            .linking_noise(ex.linking_noise + recall_noise)
+            .prune_quality(prune_quality)
+            .instruction_quality(0.3)
+            .n(n)
+            .seed(seed)
+            .metrics(&reg);
+        if let Some(rec) = &rec {
+            request = request.events(rec);
+        }
+        let response = self.service.complete(&request);
 
         // --- Step 5: database adaption + consistency -------------------------
         // The "-Database Adaption" ablation removes the repair loop but keeps the
         // plain execution-consistency vote (§IV-D2 is shared with C3/DAIL-SQL).
-        let (sql, fixes) = if self.cfg.use_adaption {
-            let v = consistency_vote(&response.samples, db, &mut rng, Some(&reg));
-            (v.sql, v.fixes)
+        let (sql, fixes, adapted) = if self.cfg.use_adaption {
+            let v = consistency_vote(&response.samples, db, &mut rng, Some(&reg), rec.as_ref());
+            (v.sql, v.fixes.iter().map(|f| f.to_string()).collect(), v.adapted)
         } else {
-            (crate::adaption::raw_vote(&response.samples, db, Some(&reg)), Vec::new())
+            let sql = crate::adaption::raw_vote(&response.samples, db, Some(&reg), rec.as_ref());
+            (sql, Vec::new(), response.samples.clone())
         };
         let translation = Translation {
             sql: sql.clone(),
             prompt_tokens: response.prompt_tokens,
             output_tokens: response.output_tokens,
         };
-        let trace = job.trace.then_some(TranslationTrace {
+        let trace = job.trace.then(|| TranslationTrace {
             pruned,
             prune_quality,
             recall_covered,
@@ -388,6 +466,8 @@ impl Purple {
             demos_in_prompt,
             dropped_by_budget,
             support_level: response.support_level,
+            samples: response.samples.clone(),
+            adapted,
             fixes,
             sql,
             prompt_tokens: response.prompt_tokens,
@@ -396,6 +476,9 @@ impl Purple {
         let metrics = reg.snapshot();
         if let Some(shared) = &self.metrics {
             shared.absorb(&metrics);
+        }
+        if let (Some(sink), Some(rec)) = (job.events, rec) {
+            sink.publish(rec);
         }
         RunOutcome { translation, trace, metrics }
     }
@@ -533,6 +616,57 @@ mod tests {
         // Virtual clock: latency equals declared work, identical across runs.
         assert_eq!(m.clock, Clock::Virtual);
         assert_eq!(traced.metrics, *m);
+    }
+
+    #[test]
+    fn run_emits_ordered_events_and_traces_carry_samples() {
+        let (suite, purple) = small_purple();
+        let sink = obs::EventSink::default();
+        let mut traces = Vec::new();
+        // Publish out of order to prove the drain sorts by example index.
+        for &i in &[2usize, 0, 1] {
+            let ex = &suite.dev.examples[i];
+            let db = suite.dev.db_of(ex);
+            let out = purple.run(Job::new(i, ex, db).with_trace(true).with_events(Some(&sink)));
+            let trace = out.trace.expect("trace requested");
+            assert_eq!(trace.samples.len(), 5);
+            assert_eq!(trace.adapted.len(), trace.samples.len());
+            traces.push((i, trace));
+        }
+        let drained = sink.drain();
+        assert_eq!(drained.dropped_batches, 0);
+        assert_eq!(drained.dropped_events, 0);
+        let idxs: Vec<usize> = drained.events.iter().map(|e| e.example_idx).collect();
+        let mut sorted = idxs.clone();
+        sorted.sort_unstable();
+        assert_eq!(idxs, sorted, "events not ordered by example index");
+        // Each run emits one event per pipeline stage the recorder covers.
+        for i in 0..3 {
+            let stages: Vec<&str> =
+                drained.events.iter().filter(|e| e.example_idx == i).map(|e| e.stage).collect();
+            for stage in [
+                Stage::SchemaPruning,
+                Stage::SkeletonPrediction,
+                Stage::DemoSelection,
+                Stage::PromptAssembly,
+                Stage::LlmCall,
+                Stage::ConsistencyVote,
+            ] {
+                assert!(
+                    stages.contains(&stage.name()),
+                    "example {i} missing stage {}",
+                    stage.name()
+                );
+            }
+        }
+        // Traces serialize (satellite: serde round-trip) and blame resolves.
+        for (i, trace) in &traces {
+            let ex = &suite.dev.examples[*i];
+            let db = suite.dev.db_of(ex);
+            let verdict = trace.blame(&ex.query, db);
+            let correct = eval::ex_match_str(&trace.sql, &ex.query, db);
+            assert_eq!(verdict.is_none(), correct, "blame disagrees with EX on example {i}");
+        }
     }
 
     #[test]

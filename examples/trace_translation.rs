@@ -59,4 +59,16 @@ fn main() {
     let em = eval::em_match_str(&trace.sql, &ex.query, &db.schema);
     let exm = eval::ex_match_str(&trace.sql, &ex.query, db);
     println!("exact-set match: {em}, execution match: {exm}");
+
+    println!("\n== Blame ==");
+    match trace.blame(&ex.query, db) {
+        None => println!("EX-correct: nothing to blame"),
+        Some(v) => {
+            println!("blamed module: {}", v.blame.name());
+            println!("failure mode:  {}", v.mode.label());
+            if let Some(cat) = v.category {
+                println!("fix category:  {}", cat.name());
+            }
+        }
+    }
 }

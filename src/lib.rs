@@ -54,10 +54,11 @@ pub mod prelude {
     pub use baselines::{LlmBaseline, PlmTranslator, SharedModels, Strategy, ALL_PLM};
     pub use engine::{execute, Database, ResultSet, Value};
     pub use eval::{
-        build_suites, evaluate, evaluate_par, Job, SuiteConfig, Translation, Translator,
+        attribute, build_suites, evaluate, evaluate_par, evaluate_with_par, AttributionReport,
+        Blame, Job, SuiteConfig, TraceSummary, Translation, Translator, Verdict,
     };
     pub use llm::{LlmService, Prompt, CHATGPT, GPT4};
-    pub use obs::{Clock, MetricsRegistry, StageMetrics};
+    pub use obs::{Clock, EventSink, MetricsRegistry, StageMetrics};
     pub use purple::{Purple, PurpleConfig, RunOutcome};
     pub use spidergen::{generate_suite, GenConfig, Suite};
     pub use sqlkit::{parse, Hardness, Level, Query, Schema, Skeleton};
