@@ -1,7 +1,7 @@
 //! Shared plumbing for the baseline systems: raw execution-consistency voting
 //! (without PURPLE's adaption fixers) and fixed demonstration sets.
 
-use engine::Database;
+use engine::{Database, SessionDb};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -18,6 +18,18 @@ pub fn raw_vote(
     events: Option<&obs::EventRecorder>,
 ) -> String {
     purple::adaption::raw_vote(samples, db, metrics, events)
+}
+
+/// [`raw_vote`] through a bound execution session: duplicate samples and
+/// repeated votes on the same database are served from the session's caches.
+/// Same result as [`raw_vote`] for the same inputs.
+pub fn raw_vote_with(
+    samples: &[String],
+    sdb: &SessionDb<'_, '_>,
+    metrics: Option<&obs::MetricsRegistry>,
+    events: Option<&obs::EventRecorder>,
+) -> String {
+    purple::adaption::raw_vote_with(samples, sdb, metrics, events)
 }
 
 /// Pick a fixed demonstration index set from a pool (the few-shot / DIN-SQL

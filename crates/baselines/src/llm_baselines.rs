@@ -2,8 +2,8 @@
 //! DIN-SQL and DAIL-SQL, each wired through the same simulated LLM service so
 //! the comparison isolates *strategy*, exactly as in the paper's §V-A3.
 
-use crate::common::{fixed_demo_indices, raw_vote};
-use engine::Database;
+use crate::common::{fixed_demo_indices, raw_vote_with};
+use engine::{Database, ExecSession};
 use eval::{Job, RunOutcome, Translation, Translator};
 use llm::{Demonstration, GenerationRequest, LlmProfile, LlmService, Prompt, CONTEXT_LIMIT};
 use nlmodel::{SchemaClassifier, SkeletonPredictor};
@@ -64,6 +64,7 @@ pub struct LlmBaseline {
     models: SharedModels,
     seed: u64,
     metrics: Option<Arc<MetricsRegistry>>,
+    session: Option<Arc<ExecSession>>,
     clock: Clock,
 }
 
@@ -77,6 +78,7 @@ impl LlmBaseline {
             models,
             seed: 0x51ec7e11,
             metrics: None,
+            session: None,
             clock: Clock::default(),
         }
     }
@@ -94,6 +96,14 @@ impl LlmBaseline {
     pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
         self.clock = metrics.clock();
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attach a shared execution session, builder-style (same convention as
+    /// [`purple::Purple::with_session`]): DIN-SQL's self-correction and the
+    /// C3 / DAIL-SQL votes execute through the session's memoizing caches.
+    pub fn with_session(mut self, session: Arc<ExecSession>) -> Self {
+        self.session = Some(session);
         self
     }
 
@@ -301,11 +311,13 @@ impl Translator for LlmBaseline {
         let response = self.service.complete(&request);
 
         // DIN-SQL self-corrects (its final module); C3/DAIL vote; the rest emit raw.
+        let session = self.session.clone().unwrap_or_else(ExecSession::disabled);
         let sql = match self.strategy {
             Strategy::DinSql => {
                 let span = reg.span(Stage::Adaption);
                 let mut rng = rand::SeedableRng::seed_from_u64(seed ^ 0xd1);
-                let fixed = purple::adapt_sql(&response.samples[0], db, &mut rng);
+                let fixed =
+                    purple::adapt_sql_with(&session.bind(db), &response.samples[0], &mut rng);
                 reg.count(Counter::Samples, 1);
                 if !fixed.fixes.is_empty() {
                     let bucket = if fixed.executable {
@@ -334,7 +346,7 @@ impl Translator for LlmBaseline {
                 fixed.sql
             }
             Strategy::C3 | Strategy::DailSql => {
-                raw_vote(&response.samples, db, Some(&reg), rec.as_ref())
+                raw_vote_with(&response.samples, &session.bind(db), Some(&reg), rec.as_ref())
             }
             _ => response.samples[0].clone(),
         };

@@ -1,0 +1,136 @@
+//! Execution-layer benchmark: the consistency vote through a warm shared
+//! [`ExecSession`] (cached) vs a disabled session (uncached), on a
+//! duplicate-heavy sample mix (30 samples, 8 distinct strings — the shape LLM
+//! sampling actually produces) and a distinct-heavy mix (30 distinct strings).
+//!
+//! `EXEC_BENCH_JSON=1 cargo bench --bench exec_cache` prints the manual timing
+//! summary recorded in BENCH_exec.json instead of running the criterion
+//! harness.
+
+use criterion::{criterion_group, BatchSize, Criterion};
+use engine::{Database, ExecSession, Value};
+use purple::consistency_vote_with;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqlkit::{Column, ColumnType, Schema, Table};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn db() -> Database {
+    let mut s = Schema::new("bench");
+    s.tables.push(Table {
+        name: "t".into(),
+        display: "t".into(),
+        columns: vec![
+            Column::new("id", ColumnType::Int),
+            Column::new("name", ColumnType::Text),
+            Column::new("grp", ColumnType::Text),
+        ],
+        primary_key: Some(0),
+    });
+    let mut db = Database::empty(s);
+    for i in 0..200i64 {
+        db.insert(
+            0,
+            vec![
+                Value::Int(i + 1),
+                Value::Text(format!("n{}", i % 37)),
+                Value::Text(format!("g{}", i % 5)),
+            ],
+        );
+    }
+    db
+}
+
+/// 30 samples over 8 distinct strings: the duplicate-heavy vote shape.
+fn duplicate_heavy() -> Vec<String> {
+    let distinct: Vec<String> =
+        (0..8).map(|k| format!("SELECT name FROM t WHERE grp = 'g{k}'")).collect();
+    (0..30).map(|i| distinct[i % distinct.len()].clone()).collect()
+}
+
+/// 30 distinct samples: every string must be adapted and executed.
+fn distinct_heavy() -> Vec<String> {
+    (0..30).map(|i| format!("SELECT name FROM t WHERE id = {}", i + 1)).collect()
+}
+
+fn vote(samples: &[String], db: &Database, session: &ExecSession) -> purple::VoteOutcome {
+    let mut rng = StdRng::seed_from_u64(11);
+    consistency_vote_with(samples, &session.bind(db), &mut rng, None, None)
+}
+
+fn bench_consistency_vote(c: &mut Criterion) {
+    let db = db();
+    let dup = duplicate_heavy();
+    let dis = distinct_heavy();
+    let mut group = c.benchmark_group("consistency_vote");
+    for (mix, samples) in [("duplicate_heavy", &dup), ("distinct_heavy", &dis)] {
+        let warm = ExecSession::shared();
+        vote(samples, &db, &warm); // pre-warm the parse/plan/result caches
+        group.bench_function(&format!("cached/{mix}"), |b| {
+            b.iter(|| black_box(vote(samples, &db, &warm)))
+        });
+        group.bench_function(&format!("uncached/{mix}"), |b| {
+            b.iter_batched(
+                ExecSession::disabled,
+                |s| black_box(vote(samples, &db, &s)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Microseconds per iteration after warmup.
+fn time_us<F: FnMut()>(mut f: F, iters: u32) -> f64 {
+    for _ in 0..5 {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e6 / f64::from(iters)
+}
+
+fn emit_json() {
+    let db = db();
+    let iters = 400;
+    let mut cells = Vec::new();
+    for (mix, samples) in
+        [("duplicate_heavy", duplicate_heavy()), ("distinct_heavy", distinct_heavy())]
+    {
+        let warm = ExecSession::shared();
+        vote(&samples, &db, &warm);
+        let cached = time_us(|| void(vote(&samples, &db, &warm)), iters);
+        let uncached = time_us(|| void(vote(&samples, &db, &ExecSession::disabled())), iters);
+        cells.push((mix, cached, uncached));
+    }
+    println!("{{");
+    println!("  \"bench\": \"consistency_vote\",");
+    println!("  \"samples_per_vote\": 30,");
+    println!("  \"iterations\": {iters},");
+    for (mix, cached, uncached) in &cells {
+        println!(
+            "  \"{mix}\": {{ \"cached_us\": {cached:.1}, \"uncached_us\": {uncached:.1}, \
+             \"speedup\": {:.2} }},",
+            uncached / cached
+        );
+    }
+    println!("  \"note\": \"manual Instant timing, bench profile\"");
+    println!("}}");
+}
+
+fn void<T>(t: T) {
+    black_box(t);
+}
+
+criterion_group!(exec_cache, bench_consistency_vote);
+
+fn main() {
+    if std::env::var_os("EXEC_BENCH_JSON").is_some() {
+        emit_json();
+    } else {
+        exec_cache();
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--scale tiny|medium|full] [--seed N] [--jobs N] [--metrics PATH]
-//!       [--diagnose PATH [--events PATH]] [--wall-clock] [EXPERIMENTS...]
+//!       [--diagnose PATH [--events PATH]] [--wall-clock] [--no-exec-cache]
+//!       [EXPERIMENTS...]
 //!
 //! EXPERIMENTS: --table1 --table2 --table3 --table4 --table5 --table6
 //!              --fig9 --fig10 --fig11 --fig12 --automaton-stats --all
@@ -23,6 +24,7 @@ struct Args {
     diagnose: Option<String>,
     events: Option<String>,
     wall_clock: bool,
+    no_exec_cache: bool,
     table1: bool,
     table2: bool,
     table3: bool,
@@ -103,6 +105,9 @@ fn parse_args() -> Args {
             }
             "--wall-clock" => {
                 args.wall_clock = true;
+            }
+            "--no-exec-cache" => {
+                args.no_exec_cache = true;
             }
             "--table1" => {
                 args.table1 = true;
@@ -205,7 +210,10 @@ fn parse_args() -> Args {
                      --events PATH   with --diagnose: also dump the structured trace \
                      events as JSONL to PATH (byte-identical for any --jobs)\n\
                      --wall-clock    record real elapsed nanoseconds in --metrics spans \
-                     instead of deterministic work units"
+                     instead of deterministic work units\n\
+                     --no-exec-cache disable the shared prepared-plan/result cache and \
+                     execute every query from scratch; reports are byte-identical with \
+                     or without the cache"
                 );
                 std::process::exit(0);
             }
@@ -243,6 +251,10 @@ fn main() {
     let mut ctx = ReproContext::build(scale, args.seed);
     if let Some(jobs) = args.jobs {
         ctx.jobs = jobs;
+    }
+    if args.no_exec_cache {
+        ctx.session = engine::ExecSession::disabled();
+        eprintln!("[repro] execution cache disabled (--no-exec-cache)");
     }
     eprintln!("[repro] evaluating with {} worker thread(s)", ctx.jobs);
     eprintln!(
@@ -387,6 +399,10 @@ fn main() {
             std::process::exit(1);
         }
         println!("{}", report::render_metrics(&report.metrics));
+        // Cache traffic is interleaving-dependent, so it is rendered to stdout
+        // only and never enters the metrics JSON (which stays byte-identical
+        // for any --jobs and with or without the cache).
+        println!("{}", ctx.session.stats().render());
         eprintln!("[repro] metrics written to {path}");
     }
     if let Some(path) = &args.diagnose {

@@ -2,10 +2,12 @@
 //! every table/figure reproduction.
 
 use baselines::SharedModels;
+use engine::ExecSession;
 use eval::{build_suites, SuiteConfig, TestSuite};
 use llm::CHATGPT;
 use purple::{Purple, PurpleConfig};
 use spidergen::{generate_suite, GenConfig, Suite};
+use std::sync::Arc;
 
 /// Experiment scale: trade wall-clock for statistical resolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +56,11 @@ pub struct ReproContext {
     /// Worker threads for example-level parallel evaluation
     /// ([`eval::evaluate_par`]); defaults to the machine's available parallelism.
     pub jobs: usize,
+    /// Shared execution session: every experiment's adaption loop, vote, and
+    /// scoring pass executes through its memoizing caches. Enabled by default;
+    /// swap in [`ExecSession::disabled`] (`repro --no-exec-cache`) to force
+    /// uncached execution — reports are byte-identical either way.
+    pub session: Arc<ExecSession>,
 }
 
 impl ReproContext {
@@ -63,7 +70,8 @@ impl ReproContext {
         let purple = Purple::new(&suite.train, PurpleConfig::default_with(CHATGPT));
         let models = SharedModels::from_purple(&purple);
         let jobs = default_jobs();
-        ReproContext { suite, purple, models, dev_suites: None, seed, jobs }
+        let session = ExecSession::shared();
+        ReproContext { suite, purple, models, dev_suites: None, seed, jobs, session }
     }
 
     /// Build (or get) the distilled dev test suites.

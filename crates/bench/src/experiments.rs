@@ -6,7 +6,7 @@
 
 use crate::context::ReproContext;
 use baselines::{LlmBaseline, PlmTranslator, Strategy, ALL_PLM};
-use eval::{evaluate, evaluate_par, EvalReport, Translator};
+use eval::{evaluate_par_with_session, EvalReport, Translator};
 use llm::{CHATGPT, GPT4};
 use purple::{Growth, PurpleConfig, SelectionConfig};
 use serde::Serialize;
@@ -37,7 +37,8 @@ fn row(report: &EvalReport, paper: (f64, f64, f64)) -> Row {
     }
 }
 
-/// Build a baseline translator by strategy/profile.
+/// Build a baseline translator by strategy/profile, executing through the
+/// context's shared session.
 fn baseline(ctx: &ReproContext, s: Strategy, profile: llm::LlmProfile) -> LlmBaseline {
     LlmBaseline::new(
         s,
@@ -48,11 +49,13 @@ fn baseline(ctx: &ReproContext, s: Strategy, profile: llm::LlmProfile) -> LlmBas
             pool: ctx.models.pool.clone(),
         },
     )
+    .with_session(ctx.session.clone())
 }
 
-/// PURPLE on a profile with the default configuration.
+/// PURPLE on a profile with the default configuration, executing through the
+/// context's shared session (`with_config` drops the attachment).
 fn purple_with(ctx: &ReproContext, profile: llm::LlmProfile) -> purple::Purple {
-    ctx.purple.with_config(PurpleConfig::default_with(profile))
+    ctx.purple.with_config(PurpleConfig::default_with(profile)).with_session(ctx.session.clone())
 }
 
 // ---------------------------------------------------------------------------
@@ -97,7 +100,9 @@ pub fn table4(ctx: &mut ReproContext) -> Vec<Row> {
 
     let reports: Vec<EvalReport> = systems
         .iter()
-        .map(|sys| evaluate_par(sys.as_ref(), dev, Some(&suites), ctx.jobs))
+        .map(|sys| {
+            evaluate_par_with_session(sys.as_ref(), dev, Some(&suites), ctx.jobs, &ctx.session)
+        })
         .collect();
 
     reports.iter().enumerate().map(|(i, r)| row(r, TABLE4_PAPER[i].1)).collect()
@@ -142,8 +147,10 @@ pub fn fig9(ctx: &ReproContext) -> Vec<HardnessRow> {
         Box::new(purple_with(ctx, CHATGPT)),
         Box::new(purple_with(ctx, GPT4)),
     ];
-    let reports: Vec<EvalReport> =
-        systems.iter().map(|sys| evaluate_par(sys.as_ref(), dev, None, ctx.jobs)).collect();
+    let reports: Vec<EvalReport> = systems
+        .iter()
+        .map(|sys| evaluate_par_with_session(sys.as_ref(), dev, None, ctx.jobs, &ctx.session))
+        .collect();
     reports
         .into_iter()
         .map(|r| HardnessRow {
@@ -205,7 +212,7 @@ pub fn fig10(ctx: &ReproContext) -> Vec<VariantRow> {
     {
         for split in splits {
             let t = baseline(ctx, mk, CHATGPT);
-            let r = evaluate_par(&t, split, None, ctx.jobs);
+            let r = evaluate_par_with_session(&t, split, None, ctx.jobs, &ctx.session);
             out.push(VariantRow {
                 system: name.to_string(),
                 split: split.name.clone(),
@@ -217,7 +224,7 @@ pub fn fig10(ctx: &ReproContext) -> Vec<VariantRow> {
     }
     for split in splits {
         let t = purple_with(ctx, CHATGPT);
-        let r = evaluate_par(&t, split, None, ctx.jobs);
+        let r = evaluate_par_with_session(&t, split, None, ctx.jobs, &ctx.session);
         out.push(VariantRow {
             system: "PURPLE (ChatGPT)".to_string(),
             split: split.name.clone(),
@@ -279,8 +286,8 @@ pub fn fig11(ctx: &ReproContext) -> Vec<BudgetCell> {
             let mut cfg = PurpleConfig::default_with(CHATGPT);
             cfg.len_budget = len;
             cfg.num_consistency = num;
-            let p = ctx.purple.with_config(cfg);
-            let r = evaluate_par(&p, dev, None, ctx.jobs);
+            let p = ctx.purple.with_config(cfg).with_session(ctx.session.clone());
+            let r = evaluate_par_with_session(&p, dev, None, ctx.jobs, &ctx.session);
             BudgetCell {
                 len,
                 num,
@@ -365,8 +372,8 @@ fn run_selection_variants(
         .map(|(label, sel)| {
             let mut cfg = PurpleConfig::default_with(CHATGPT);
             cfg.selection = sel;
-            let p = ctx.purple.with_config(cfg);
-            let r = evaluate_par(&p, dev, None, ctx.jobs);
+            let p = ctx.purple.with_config(cfg).with_session(ctx.session.clone());
+            let r = evaluate_par_with_session(&p, dev, None, ctx.jobs, &ctx.session);
             RobustRow { label, em: r.overall.em_pct(), ex: r.overall.ex_pct() }
         })
         .collect()
@@ -401,8 +408,10 @@ pub fn table5(ctx: &ReproContext) -> Vec<Row> {
         Box::new(purple_with(ctx, GPT4)),
         Box::new(purple_with(ctx, CHATGPT)),
     ];
-    let reports: Vec<EvalReport> =
-        systems.iter().map(|sys| evaluate_par(sys.as_ref(), dev, None, ctx.jobs)).collect();
+    let reports: Vec<EvalReport> = systems
+        .iter()
+        .map(|sys| evaluate_par_with_session(sys.as_ref(), dev, None, ctx.jobs, &ctx.session))
+        .collect();
     reports
         .iter()
         .enumerate()
@@ -459,8 +468,8 @@ pub fn table6(ctx: &ReproContext) -> Vec<Row> {
     let reports: Vec<(String, EvalReport)> = variants
         .into_iter()
         .map(|(label, cfg)| {
-            let p = ctx.purple.with_config(cfg);
-            (label.to_string(), evaluate_par(&p, dev, None, ctx.jobs))
+            let p = ctx.purple.with_config(cfg).with_session(ctx.session.clone());
+            (label.to_string(), evaluate_par_with_session(&p, dev, None, ctx.jobs, &ctx.session))
         })
         .collect();
     reports
@@ -536,7 +545,7 @@ pub fn table2(ctx: &ReproContext) -> Vec<AdaptionDemo> {
             let mut q = ex.query.clone();
             if inject(&mut q, db, &mut rng).is_some() {
                 let broken = q.to_string();
-                let Err(e) = engine::execute(db, &q) else {
+                let Err(e) = ctx.session.bind(db).execute(&q) else {
                     continue;
                 };
                 let fixed = ctx.purple.adapt(&broken, db, 7);
@@ -587,7 +596,7 @@ fn crafted_demo(
             };
             if inject(&mut q, db, rng).is_some() {
                 let broken = q.to_string();
-                let Err(e) = engine::execute(db, &q) else {
+                let Err(e) = ctx.session.bind(db).execute(&q) else {
                     continue;
                 };
                 let fixed = ctx.purple.adapt(&broken, db, 7);
@@ -718,7 +727,8 @@ pub fn rewrite_stats(ctx: &ReproContext) -> (f64, f64, f64) {
     let mut total = 0usize;
     for ex in &ctx.suite.dev.examples {
         let db = ctx.suite.dev.db_of(ex);
-        let Ok(gold_rs) = engine::execute(db, &ex.query) else {
+        let sdb = ctx.session.bind(db);
+        let Ok(gold_rs) = sdb.execute(&ex.query) else {
             continue;
         };
         for _ in 0..8 {
@@ -731,7 +741,7 @@ pub fn rewrite_stats(ctx: &ReproContext) -> (f64, f64, f64) {
             if eq {
                 eq_pick += 1;
             }
-            if let Ok(rs) = engine::execute(db, &m) {
+            if let Ok(rs) = sdb.execute(&m) {
                 if rs.same_result(&gold_rs, engine::order_matters(&ex.query)) {
                     preserved += 1;
                 }
@@ -761,8 +771,8 @@ pub fn extension_generation(ctx: &ReproContext) -> Vec<RobustRow> {
         .map(|(label, mode)| {
             let mut cfg = PurpleConfig::default_with(CHATGPT);
             cfg.demo_mode = *mode;
-            let p = ctx.purple.with_config(cfg);
-            let r = evaluate_par(&p, dev, None, ctx.jobs);
+            let p = ctx.purple.with_config(cfg).with_session(ctx.session.clone());
+            let r = evaluate_par_with_session(&p, dev, None, ctx.jobs, &ctx.session);
             RobustRow { label: label.to_string(), em: r.overall.em_pct(), ex: r.overall.ex_pct() }
         })
         .collect()
@@ -784,8 +794,11 @@ pub fn seed_sweep(scale: crate::context::Scale, seeds: &[u64]) -> Vec<(u64, f64,
                 let seed = *seed;
                 scope.spawn(move |_| {
                     let ctx = crate::context::ReproContext::build(scale, seed);
-                    let p = ctx.purple.with_config(PurpleConfig::default_with(CHATGPT));
-                    let r = evaluate(&p, &ctx.suite.dev, None);
+                    let p = ctx
+                        .purple
+                        .with_config(PurpleConfig::default_with(CHATGPT))
+                        .with_session(ctx.session.clone());
+                    let r = eval::evaluate_with_session(&p, &ctx.suite.dev, None, &ctx.session);
                     (seed, r.overall.em_pct(), r.overall.ex_pct())
                 })
             })
@@ -844,6 +857,7 @@ pub fn error_analysis(ctx: &ReproContext) -> Vec<(String, eval::ErrorReport)> {
         Box::new(baseline(ctx, Strategy::ChatGptSql, CHATGPT)),
         Box::new(purple_with(ctx, CHATGPT)),
     ];
+    let session = ctx.session.as_ref();
     crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = systems
             .iter()
@@ -855,7 +869,7 @@ pub fn error_analysis(ctx: &ReproContext) -> Vec<(String, eval::ErrorReport)> {
                     for (i, ex) in dev.examples.iter().enumerate() {
                         let db = dev.db_of(ex);
                         let t = sys.run(eval::Job::new(i, ex, db)).translation;
-                        report.add(eval::classify(&t.sql, &ex.query, db));
+                        report.add(eval::classify_with(&session.bind(db), &t.sql, &ex.query));
                     }
                     (name, report)
                 })
@@ -897,13 +911,13 @@ pub fn cost_report(ctx: &ReproContext) -> Vec<CostRow> {
     for (name, strategy, profile) in configs {
         let ledger = llm::CostLedger::shared();
         let t = baseline(ctx, strategy, profile).with_ledger(ledger.clone());
-        let r = evaluate_par(&t, dev, None, ctx.jobs);
+        let r = evaluate_par_with_session(&t, dev, None, ctx.jobs, &ctx.session);
         out.push(cost_row(name, ledger.totals(), &profile, dev.examples.len(), r.overall.em_pct()));
     }
     for profile in [CHATGPT, GPT4] {
         let ledger = llm::CostLedger::shared();
         let p = purple_with(ctx, profile).with_ledger(ledger.clone());
-        let r = evaluate_par(&p, dev, None, ctx.jobs);
+        let r = evaluate_par_with_session(&p, dev, None, ctx.jobs, &ctx.session);
         out.push(cost_row(
             &format!("PURPLE ({})", profile.name),
             ledger.totals(),
@@ -944,7 +958,7 @@ fn cost_row(
 pub fn metrics_eval(ctx: &ReproContext, wall_clock: bool) -> EvalReport {
     let clock = if wall_clock { obs::Clock::Wall } else { obs::Clock::Virtual };
     let p = purple_with(ctx, CHATGPT).with_clock(clock);
-    evaluate_par(&p, &ctx.suite.dev, None, ctx.jobs)
+    evaluate_par_with_session(&p, &ctx.suite.dev, None, ctx.jobs, &ctx.session)
 }
 
 // ---------------------------------------------------------------------------
@@ -975,6 +989,7 @@ pub fn diagnose(ctx: &ReproContext) -> DiagnoseOutput {
         dev,
         None,
         ctx.jobs,
+        &ctx.session,
         |job: eval::Job<'_>| {
             let (ex, db) = (job.example, job.db);
             let out = p.run(job.with_trace(true).with_events(Some(&sink)));

@@ -66,6 +66,49 @@ impl Database {
         self.rows.iter().map(Vec::len).sum()
     }
 
+    /// A stable 128-bit content fingerprint over schema, dialect, and every row.
+    ///
+    /// Used by [`crate::ExecSession`] as the database half of its cache keys, so
+    /// two `Database` values with identical content share cache entries while
+    /// any mutation (different rows, dialect, schema) keys separately. Pointer
+    /// identity is deliberately not used — it is unsound under reallocation.
+    ///
+    /// The hash is FNV-1a-128 over an unambiguous encoding: `Debug` of the
+    /// schema and dialect, then each table's rows with per-value type tags and
+    /// length prefixes (so `Text("1")` and `Int(1)` cannot collide).
+    pub fn fingerprint(&self) -> u128 {
+        use std::fmt::Write as _;
+        let mut h = Fnv128(FNV128_OFFSET);
+        // Debug output is a total, stable rendering of the schema/dialect trees.
+        let _ = write!(h, "{:?}|{:?}|", self.schema, self.dialect);
+        for table in &self.rows {
+            h.byte(0xF0);
+            h.bytes(&(table.len() as u64).to_le_bytes());
+            for row in table {
+                h.byte(0xF1);
+                for v in row {
+                    match v {
+                        Value::Null => h.byte(0),
+                        Value::Int(i) => {
+                            h.byte(1);
+                            h.bytes(&i.to_le_bytes());
+                        }
+                        Value::Float(f) => {
+                            h.byte(2);
+                            h.bytes(&f.to_bits().to_le_bytes());
+                        }
+                        Value::Text(s) => {
+                            h.byte(3);
+                            h.bytes(&(s.len() as u64).to_le_bytes());
+                            h.bytes(s.as_bytes());
+                        }
+                    }
+                }
+            }
+        }
+        h.0
+    }
+
     /// A small sample of distinct non-null values for a column, used when rendering
     /// representative values into prompts (§III-A, following BRIDGE).
     pub fn sample_values(&self, table: usize, column: usize, limit: usize) -> Vec<Value> {
@@ -81,6 +124,33 @@ impl Database {
             }
         }
         seen
+    }
+}
+
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013B;
+
+/// Minimal FNV-1a-128 accumulator. Implements `fmt::Write` so `Debug` renderings
+/// feed the hash without building intermediate strings.
+struct Fnv128(u128);
+
+impl Fnv128 {
+    #[inline]
+    fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ b as u128).wrapping_mul(FNV128_PRIME);
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+}
+
+impl std::fmt::Write for Fnv128 {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.bytes(s.as_bytes());
+        Ok(())
     }
 }
 
@@ -114,6 +184,23 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut d = db();
         d.insert(0, vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn fingerprint_is_content_addressed() {
+        let a = db();
+        let mut b = db();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "identical content, identical print");
+        b.insert(0, vec![Value::Int(1), Value::Text("x".into())]);
+        assert_ne!(a.fingerprint(), b.fingerprint(), "rows change the print");
+        let c = db().with_dialect(crate::Dialect::mysql());
+        assert_ne!(a.fingerprint(), c.fingerprint(), "dialect changes the print");
+        // Type tags keep Int(1) and Text("1") apart even at equal display width.
+        let mut d = db();
+        d.insert(0, vec![Value::Int(1), Value::Text("1".into())]);
+        let mut e = db();
+        e.insert(0, vec![Value::Int(1), Value::Text("1".into())]);
+        assert_eq!(d.fingerprint(), e.fingerprint());
     }
 
     #[test]

@@ -1,12 +1,19 @@
 //! Query executor.
 //!
-//! Execution happens in two phases, mirroring SQLite's prepare/step split:
+//! Execution happens in two explicit phases, mirroring SQLite's prepare/step split:
 //!
-//! 1. **Compile** — bind `FROM` sources (executing derived subqueries), resolve every
-//!    column reference to a flat index into the joined row, pre-execute uncorrelated
-//!    predicate subqueries, and validate functions/aggregates. All of the paper's
-//!    Table-2 error categories surface here, independent of data.
-//! 2. **Execute** — join, filter, group/aggregate, project, de-duplicate, sort, limit.
+//! 1. **[`prepare`]** — bind `FROM` sources (executing derived subqueries), resolve
+//!    every column reference to a flat index into the joined row, pre-execute
+//!    uncorrelated predicate subqueries, and validate functions/aggregates. All of
+//!    the paper's Table-2 error categories surface here, independent of data, so
+//!    `prepare` errors exactly when `execute` would.
+//! 2. **[`run`]** — join, filter, group/aggregate, project, de-duplicate, sort,
+//!    limit. Pure evaluation over a [`Plan`]; it cannot fail.
+//!
+//! [`execute`] is the thin compatibility wrapper (`prepare` + `run`). A [`Plan`]
+//! is reusable: callers that execute the same query repeatedly (the adaption
+//! vote, EX/TS scoring) keep plans in an [`ExecSession`](crate::ExecSession)
+//! instead of recompiling.
 //!
 //! Unsupported on purpose (documented substitution): correlated subqueries and
 //! non-aggregate SQL functions — SQLite's built-in scalar functions are outside the
@@ -39,11 +46,11 @@ impl ResultSet {
         if ordered {
             self.rows.iter().zip(&other.rows).all(|(a, b)| rows_close(a, b))
         } else {
-            // Multiset comparison via sorting with the engine's total order.
-            let key = |r: &Row| r.clone();
-            let mut a: Vec<Row> = self.rows.iter().map(key).collect();
-            let mut b: Vec<Row> = other.rows.iter().map(key).collect();
-            let cmp = |x: &Row, y: &Row| {
+            // Multiset comparison via sorting references with the engine's total
+            // order — no row is cloned.
+            let mut a: Vec<&Row> = self.rows.iter().collect();
+            let mut b: Vec<&Row> = other.rows.iter().collect();
+            let cmp = |x: &&Row, y: &&Row| {
                 x.iter()
                     .zip(y.iter())
                     .map(|(u, v)| u.total_cmp(v))
@@ -183,12 +190,12 @@ fn explain_into(db: &Database, q: &Query, depth: usize, out: &mut String) -> Res
         ));
         explain_into(db, rhs, depth, out)?;
     }
-    // Compile-time validation matches `execute`: run it on an empty clone so the
-    // plan report fails exactly when execution would fail to prepare. (The clone
+    // Compile-time validation matches `execute`: prepare against an empty clone,
+    // so the plan report fails exactly when preparation would fail. (The clone
     // is schema-only; no row work happens.)
     let mut probe = Database::empty(db.schema.clone());
     probe.dialect = db.dialect.clone();
-    execute(&probe, q)?;
+    prepare(&probe, q)?;
     Ok(())
 }
 
@@ -204,16 +211,111 @@ fn source_name(tr: &TableRef) -> String {
     }
 }
 
-/// Execute a query against a database.
+/// Execute a query against a database: [`prepare`] then [`run`].
 pub fn execute(db: &Database, q: &Query) -> Result<ResultSet, ExecError> {
-    let left = exec_core(db, &q.core)?;
-    let Some((op, rhs)) = &q.compound else {
-        return Ok(left);
-    };
-    let right = execute(db, rhs)?;
-    if left.columns.len() != right.columns.len() {
-        return Err(ExecError::SetOpArity { left: left.columns.len(), right: right.columns.len() });
+    Ok(run(&prepare(db, q)?, db))
+}
+
+// ---------------------------------------------------------------------------
+// Prepared plans
+// ---------------------------------------------------------------------------
+
+/// A prepared query: every name resolved to a flat row index, every expression
+/// compiled, derived tables and uncorrelated subqueries pre-executed. Produced
+/// by [`prepare`]; evaluated any number of times by [`run`].
+///
+/// A plan is only meaningful for the database it was prepared against: named
+/// tables are stored as indices into [`Database::rows`], and subqueries were
+/// materialized from that database's data at prepare time.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    core: CorePlan,
+    compound: Option<(SetOp, Box<Plan>)>,
+}
+
+impl Plan {
+    /// Output column names (aliases applied, lower-case).
+    pub fn columns(&self) -> &[String] {
+        &self.core.out_columns
     }
+}
+
+#[derive(Debug, Clone)]
+struct CorePlan {
+    /// FROM sources, first then join targets, in binding order.
+    sources: Vec<PlanSource>,
+    /// One step per JOIN, parallel to `sources[1..]`.
+    joins: Vec<JoinStep>,
+    select: Vec<(CAgg, String)>,
+    select_all: bool,
+    star_width: usize,
+    where_c: Option<CCond>,
+    group_cols: Vec<usize>,
+    having_c: Option<CCond>,
+    order: Vec<(OrderTarget, OrderDir)>,
+    distinct: bool,
+    limit: Option<u64>,
+    aggregate_path: bool,
+    out_columns: Vec<String>,
+}
+
+/// Where a bound FROM source reads its rows at run time.
+#[derive(Debug, Clone)]
+enum PlanSource {
+    /// A named table: read `db.rows[index]` when the plan runs.
+    Table(usize),
+    /// A derived table, materialized at prepare time.
+    Materialized(Vec<Row>),
+}
+
+impl PlanSource {
+    fn rows<'a>(&'a self, db: &'a Database) -> &'a [Row] {
+        match self {
+            PlanSource::Table(ti) => &db.rows[*ti],
+            PlanSource::Materialized(rows) => rows,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct JoinStep {
+    /// Offset of the join target's first column in the joined row.
+    right_offset: usize,
+    /// Resolved ON equality pairs (flat indices into the extended row).
+    on: Vec<(usize, usize)>,
+}
+
+/// Compile a query against a database without evaluating it.
+///
+/// Surfaces exactly the errors [`execute`] reports, in the same order — every
+/// error the engine can produce (the six Table-2 categories, set-op arity,
+/// unsupported constructs) is data-independent, so a successfully prepared
+/// plan always [`run`]s.
+pub fn prepare(db: &Database, q: &Query) -> Result<Plan, ExecError> {
+    let core = prepare_core(db, &q.core)?;
+    let compound = match &q.compound {
+        None => None,
+        Some((op, rhs)) => {
+            let rhs_plan = prepare(db, rhs)?;
+            let (left, right) = (core.out_columns.len(), rhs_plan.core.out_columns.len());
+            if left != right {
+                return Err(ExecError::SetOpArity { left, right });
+            }
+            Some((*op, Box::new(rhs_plan)))
+        }
+    };
+    Ok(Plan { core, compound })
+}
+
+/// Evaluate a prepared plan against the database it was prepared on: join,
+/// filter, group/aggregate, project, de-duplicate, sort, limit. Pure data work;
+/// every failure mode was already surfaced by [`prepare`].
+pub fn run(plan: &Plan, db: &Database) -> ResultSet {
+    let left = run_core(&plan.core, db);
+    let Some((op, rhs)) = &plan.compound else {
+        return left;
+    };
+    let right = run(rhs, db);
     let mut out_rows: Vec<Row> = Vec::new();
     let mut seen: HashSet<Row> = HashSet::new();
     match op {
@@ -241,7 +343,7 @@ pub fn execute(db: &Database, q: &Query) -> Result<ResultSet, ExecError> {
             }
         }
     }
-    Ok(ResultSet { columns: left.columns, rows: out_rows })
+    ResultSet { columns: left.columns, rows: out_rows }
 }
 
 // ---------------------------------------------------------------------------
@@ -254,8 +356,6 @@ struct BoundSource {
     name: String,
     /// Column names, lower-case.
     col_names: Vec<String>,
-    /// Materialized rows.
-    rows: Vec<Row>,
     /// Offset of this source's first column in the joined row.
     offset: usize,
 }
@@ -664,10 +764,12 @@ fn eval_cond(c: &CCond, group: &[&Row], rep: Option<&Row>) -> Option<bool> {
 }
 
 // ---------------------------------------------------------------------------
-// Core execution
+// Core preparation
 // ---------------------------------------------------------------------------
 
-fn bind_source(db: &Database, tr: &TableRef) -> Result<BoundSource, ExecError> {
+/// Bind one FROM source: resolve a named table to its index, or materialize a
+/// derived table. Returns the environment entry plus the run-time row source.
+fn bind_source(db: &Database, tr: &TableRef) -> Result<(BoundSource, PlanSource), ExecError> {
     match tr {
         TableRef::Named { name, alias } => {
             let ti = db
@@ -675,49 +777,57 @@ fn bind_source(db: &Database, tr: &TableRef) -> Result<BoundSource, ExecError> {
                 .table_index(name)
                 .ok_or_else(|| ExecError::UnknownTable { name: name.clone() })?;
             let t = &db.schema.tables[ti];
-            Ok(BoundSource {
-                name: alias.as_deref().unwrap_or(name).to_ascii_lowercase(),
-                col_names: t.columns.iter().map(|c| c.name.to_ascii_lowercase()).collect(),
-                rows: db.rows[ti].clone(),
-                offset: 0,
-            })
+            Ok((
+                BoundSource {
+                    name: alias.as_deref().unwrap_or(name).to_ascii_lowercase(),
+                    col_names: t.columns.iter().map(|c| c.name.to_ascii_lowercase()).collect(),
+                    offset: 0,
+                },
+                PlanSource::Table(ti),
+            ))
         }
         TableRef::Subquery { query, alias } => {
             let rs = execute(db, query)?;
-            Ok(BoundSource {
-                name: alias.as_deref().unwrap_or("").to_ascii_lowercase(),
-                col_names: rs.columns.clone(),
-                rows: rs.rows,
-                offset: 0,
-            })
+            Ok((
+                BoundSource {
+                    name: alias.as_deref().unwrap_or("").to_ascii_lowercase(),
+                    col_names: rs.columns.clone(),
+                    offset: 0,
+                },
+                PlanSource::Materialized(rs.rows),
+            ))
         }
     }
 }
 
-fn exec_core(db: &Database, core: &SelectCore) -> Result<ResultSet, ExecError> {
-    // --- Phase 1: bind FROM and join -------------------------------------
+/// Compile one SELECT core. Error order matches the historical fused executor
+/// exactly: bind first source, then per-join bind + ON resolution, then select
+/// items, WHERE, GROUP BY, HAVING, ORDER BY, and finally the data-independent
+/// aggregation checks.
+fn prepare_core(db: &Database, core: &SelectCore) -> Result<CorePlan, ExecError> {
+    // --- Phase 1: bind FROM and resolve join keys --------------------------
     let mut env = Env { sources: Vec::new(), width: 0 };
-    let mut joined: Vec<Row>;
+    let mut sources: Vec<PlanSource> = Vec::new();
+    let mut joins: Vec<JoinStep> = Vec::new();
     {
-        let mut first = bind_source(db, &core.from.first)?;
+        let (mut first, rows) = bind_source(db, &core.from.first)?;
         first.offset = 0;
         env.width = first.col_names.len();
-        joined = first.rows.clone();
         env.sources.push(first);
+        sources.push(rows);
     }
     for join in &core.from.joins {
-        let mut src = bind_source(db, &join.table)?;
+        let (mut src, rows) = bind_source(db, &join.table)?;
         src.offset = env.width;
         env.width += src.col_names.len();
-        let right_rows = std::mem::take(&mut src.rows);
         env.sources.push(src);
+        sources.push(rows);
         // Resolve ON conditions against the extended environment.
-        let mut on_pairs = Vec::new();
+        let mut on = Vec::new();
         for (l, r) in &join.on {
-            on_pairs.push((env.resolve(l, db)?, env.resolve(r, db)?));
+            on.push((env.resolve(l, db)?, env.resolve(r, db)?));
         }
-        let offset = env.sources.last().unwrap().offset;
-        joined = join_rows(joined, &right_rows, offset, &on_pairs);
+        joins.push(JoinStep { right_offset: env.sources.last().unwrap().offset, on });
     }
 
     // --- Phase 2: compile expressions -------------------------------------
@@ -758,18 +868,12 @@ fn exec_core(db: &Database, core: &SelectCore) -> Result<ResultSet, ExecError> {
         })
         .collect::<Result<_, _>>()?;
 
-    // --- Phase 3: WHERE ----------------------------------------------------
-    let filtered: Vec<Row> = match &where_c {
-        Some(c) => {
-            joined.into_iter().filter(|r| eval_cond(c, &[r], Some(r)) == Some(true)).collect()
-        }
-        None => joined,
-    };
-
-    // --- Phase 4: grouping / aggregation / projection ----------------------
     let has_agg = select.iter().any(|(a, _)| a.func.is_some())
         || order.iter().any(|(t, _)| matches!(t, OrderTarget::Expr(a) if a.func.is_some()));
     let aggregate_path = !group_cols.is_empty() || has_agg || having_c.is_some();
+    if aggregate_path && select_all {
+        return Err(ExecError::Unsupported { message: "SELECT * with aggregation".into() });
+    }
 
     let mut out_columns: Vec<String> = Vec::new();
     if select_all {
@@ -779,23 +883,58 @@ fn exec_core(db: &Database, core: &SelectCore) -> Result<ResultSet, ExecError> {
     }
     out_columns.extend(select.iter().map(|(_, n)| n.clone()));
 
+    Ok(CorePlan {
+        sources,
+        joins,
+        select,
+        select_all,
+        star_width,
+        where_c,
+        group_cols,
+        having_c,
+        order,
+        distinct: core.distinct,
+        limit: core.limit,
+        aggregate_path,
+        out_columns,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Core evaluation
+// ---------------------------------------------------------------------------
+
+fn run_core(p: &CorePlan, db: &Database) -> ResultSet {
+    // --- Join --------------------------------------------------------------
+    let mut joined: Vec<Row> = p.sources[0].rows(db).to_vec();
+    for (i, step) in p.joins.iter().enumerate() {
+        joined = join_rows(joined, p.sources[i + 1].rows(db), step.right_offset, &step.on);
+    }
+
+    // --- WHERE -------------------------------------------------------------
+    let filtered: Vec<Row> = match &p.where_c {
+        Some(c) => {
+            joined.into_iter().filter(|r| eval_cond(c, &[r], Some(r)) == Some(true)).collect()
+        }
+        None => joined,
+    };
+
+    // --- Grouping / aggregation / projection -------------------------------
     // (output row, sort keys)
     let mut produced: Vec<(Row, Vec<Value>)> = Vec::new();
 
-    if aggregate_path {
-        if select_all {
-            return Err(ExecError::Unsupported { message: "SELECT * with aggregation".into() });
-        }
-        let groups = build_groups(&filtered, &group_cols);
+    if p.aggregate_path {
+        let groups = build_groups(&filtered, &p.group_cols);
         for group in groups {
-            if let Some(h) = &having_c {
+            if let Some(h) = &p.having_c {
                 if eval_cond(h, &group, None) != Some(true) {
                     continue;
                 }
             }
-            let rep = representative_row(&select, &group);
-            let row: Row = select.iter().map(|(a, _)| eval_agg(a, &group, rep)).collect();
-            let keys: Vec<Value> = order
+            let rep = representative_row(&p.select, &group);
+            let row: Row = p.select.iter().map(|(a, _)| eval_agg(a, &group, rep)).collect();
+            let keys: Vec<Value> = p
+                .order
                 .iter()
                 .map(|(t, _)| match t {
                     OrderTarget::OutputCol(i) => row[*i].clone(),
@@ -806,18 +945,19 @@ fn exec_core(db: &Database, core: &SelectCore) -> Result<ResultSet, ExecError> {
         }
     } else {
         for r in &filtered {
-            let mut row: Row = Vec::with_capacity(out_columns.len());
-            if select_all {
+            let mut row: Row = Vec::with_capacity(p.out_columns.len());
+            if p.select_all {
                 row.extend(r.iter().cloned());
             }
-            for (a, _) in &select {
+            for (a, _) in &p.select {
                 row.push(eval_agg(a, &[r], Some(r)));
             }
-            let keys: Vec<Value> = order
+            let keys: Vec<Value> = p
+                .order
                 .iter()
                 .map(|(t, _)| match t {
                     OrderTarget::OutputCol(i) => {
-                        let base = if select_all { star_width } else { 0 };
+                        let base = if p.select_all { p.star_width } else { 0 };
                         row[base + *i].clone()
                     }
                     OrderTarget::Expr(a) => eval_agg(a, &[r], Some(r)),
@@ -827,14 +967,14 @@ fn exec_core(db: &Database, core: &SelectCore) -> Result<ResultSet, ExecError> {
         }
     }
 
-    // --- Phase 5: DISTINCT, ORDER BY, LIMIT --------------------------------
-    if core.distinct {
+    // --- DISTINCT, ORDER BY, LIMIT -----------------------------------------
+    if p.distinct {
         let mut seen: HashSet<Row> = HashSet::new();
         produced.retain(|(row, _)| seen.insert(row.clone()));
     }
-    if !order.is_empty() {
+    if !p.order.is_empty() {
         produced.sort_by(|(_, ka), (_, kb)| {
-            for ((_, dir), (a, b)) in order.iter().zip(ka.iter().zip(kb.iter())) {
+            for ((_, dir), (a, b)) in p.order.iter().zip(ka.iter().zip(kb.iter())) {
                 let ord = a.total_cmp(b);
                 let ord = if *dir == OrderDir::Desc { ord.reverse() } else { ord };
                 if ord != Ordering::Equal {
@@ -845,10 +985,10 @@ fn exec_core(db: &Database, core: &SelectCore) -> Result<ResultSet, ExecError> {
         });
     }
     let mut rows: Vec<Row> = produced.into_iter().map(|(r, _)| r).collect();
-    if let Some(n) = core.limit {
+    if let Some(n) = p.limit {
         rows.truncate(n as usize);
     }
-    Ok(ResultSet { columns: out_columns, rows })
+    ResultSet { columns: p.out_columns.clone(), rows }
 }
 
 #[derive(Debug, Clone)]
@@ -989,5 +1129,131 @@ fn output_name(a: &AggExpr) -> String {
     match (&a.func, &a.unit) {
         (None, ValUnit::Column(c)) => c.column.to_ascii_lowercase(),
         _ => format!("{a}").to_ascii_lowercase(),
+    }
+}
+
+#[cfg(test)]
+mod null_semantics {
+    //! Three-valued-logic edges at the prepare/run seam: the private evaluation
+    //! primitives (`kleene_and`/`kleene_or`/`eval_pred`) hold SQL NULL semantics
+    //! that the cache layer must preserve bit-for-bit.
+
+    use super::*;
+
+    #[test]
+    fn kleene_truth_tables() {
+        use kleene_and as and;
+        use kleene_or as or;
+        let (t, f, u) = (Some(true), Some(false), None);
+        // AND: FALSE dominates, UNKNOWN absorbs TRUE.
+        assert_eq!(and(t, t), t);
+        assert_eq!(and(t, f), f);
+        assert_eq!(and(f, u), f);
+        assert_eq!(and(u, f), f);
+        assert_eq!(and(t, u), u);
+        assert_eq!(and(u, t), u);
+        assert_eq!(and(u, u), u);
+        // OR: TRUE dominates, UNKNOWN absorbs FALSE.
+        assert_eq!(or(f, f), f);
+        assert_eq!(or(f, t), t);
+        assert_eq!(or(t, u), t);
+        assert_eq!(or(u, t), t);
+        assert_eq!(or(f, u), u);
+        assert_eq!(or(u, f), u);
+        assert_eq!(or(u, u), u);
+    }
+
+    fn pred(left: Value, op: CmpOp, right: COperand, right2: Option<COperand>) -> CPred {
+        CPred {
+            left: CAgg { func: None, distinct: false, expr: CExpr::Lit(left) },
+            op,
+            right,
+            right2,
+        }
+    }
+
+    fn eval(p: &CPred) -> Option<bool> {
+        let row: Row = vec![];
+        eval_pred(p, &[&row], Some(&row))
+    }
+
+    #[test]
+    fn eq_with_null_right_is_the_is_null_test() {
+        // `x = NULL` parses from IS NULL, so it must be the two-valued IS test.
+        let p = pred(Value::Null, CmpOp::Eq, COperand::Lit(Value::Null), None);
+        assert_eq!(eval(&p), Some(true));
+        let p = pred(Value::Int(1), CmpOp::Eq, COperand::Lit(Value::Null), None);
+        assert_eq!(eval(&p), Some(false));
+        let p = pred(Value::Null, CmpOp::Ne, COperand::Lit(Value::Null), None);
+        assert_eq!(eval(&p), Some(false));
+        let p = pred(Value::Int(1), CmpOp::Ne, COperand::Lit(Value::Null), None);
+        assert_eq!(eval(&p), Some(true));
+    }
+
+    #[test]
+    fn null_left_comparisons_are_unknown() {
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let p = pred(Value::Null, op, COperand::Lit(Value::Int(3)), None);
+            assert_eq!(eval(&p), None, "{op:?} with NULL left must be UNKNOWN");
+        }
+        let p = pred(Value::Null, CmpOp::Like, COperand::Lit(Value::Text("a%".into())), None);
+        assert_eq!(eval(&p), None);
+    }
+
+    #[test]
+    fn between_with_null_bound_is_kleene_and() {
+        // 5 BETWEEN 1 AND NULL: ge = TRUE, le = UNKNOWN -> UNKNOWN.
+        let p = pred(
+            Value::Int(5),
+            CmpOp::Between,
+            COperand::Lit(Value::Int(1)),
+            Some(COperand::Lit(Value::Null)),
+        );
+        assert_eq!(eval(&p), None);
+        // 0 BETWEEN 1 AND NULL: ge = FALSE dominates -> FALSE.
+        let p = pred(
+            Value::Int(0),
+            CmpOp::Between,
+            COperand::Lit(Value::Int(1)),
+            Some(COperand::Lit(Value::Null)),
+        );
+        assert_eq!(eval(&p), Some(false));
+    }
+
+    #[test]
+    fn in_and_not_in_null_traps() {
+        let list = COperand::SubColumn(vec![Value::Int(1), Value::Null, Value::Int(3)]);
+        // NULL IN (...) is always UNKNOWN.
+        let p = pred(Value::Null, CmpOp::In, list.clone(), None);
+        assert_eq!(eval(&p), None);
+        // A match short-circuits even past NULL members.
+        let p = pred(Value::Int(3), CmpOp::In, list.clone(), None);
+        assert_eq!(eval(&p), Some(true));
+        let p = pred(Value::Int(3), CmpOp::NotIn, list.clone(), None);
+        assert_eq!(eval(&p), Some(false));
+        // No match but a NULL member: the three-valued NOT IN trap.
+        let p = pred(Value::Int(2), CmpOp::In, list.clone(), None);
+        assert_eq!(eval(&p), None);
+        let p = pred(Value::Int(2), CmpOp::NotIn, list, None);
+        assert_eq!(eval(&p), None);
+        // Without NULL members, NOT IN over a non-matching list is TRUE.
+        let clean = COperand::SubColumn(vec![Value::Int(1), Value::Int(3)]);
+        let p = pred(Value::Int(2), CmpOp::NotIn, clean, None);
+        assert_eq!(eval(&p), Some(true));
+        // Empty list: IN is FALSE, NOT IN is TRUE, even for NULL-free lefts.
+        let empty = COperand::SubColumn(vec![]);
+        let p = pred(Value::Int(2), CmpOp::In, empty.clone(), None);
+        assert_eq!(eval(&p), Some(false));
+        let p = pred(Value::Int(2), CmpOp::NotIn, empty, None);
+        assert_eq!(eval(&p), Some(true));
+    }
+
+    #[test]
+    fn where_filter_keeps_only_definite_true() {
+        // The WHERE phase treats UNKNOWN like FALSE: only Some(true) survives.
+        let p = pred(Value::Null, CmpOp::Eq, COperand::Lit(Value::Int(1)), None);
+        let c = CCond::Pred(p);
+        let row: Row = vec![];
+        assert_ne!(eval_cond(&c, &[&row], Some(&row)), Some(true));
     }
 }

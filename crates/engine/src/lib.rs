@@ -22,10 +22,12 @@ pub mod database;
 pub mod dialect;
 pub mod error;
 pub mod exec;
+pub mod session;
 pub mod value;
 
 pub use database::{Database, Row};
 pub use dialect::{map_function, Dialect, ScalarFunc};
 pub use error::ExecError;
-pub use exec::{execute, explain, order_matters, ResultSet};
+pub use exec::{execute, explain, order_matters, prepare, run, Plan, ResultSet};
+pub use session::{ExecSession, SessionDb, DEFAULT_CACHE_CAPACITY};
 pub use value::Value;

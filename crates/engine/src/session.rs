@@ -1,0 +1,511 @@
+//! Shared execution session: a thread-safe, bounded memoization layer over
+//! [`prepare`]/[`run`].
+//!
+//! PURPLE's hottest loop is redundant execution: the consistency vote executes
+//! up to 30 samples per example (many byte-identical), then EX/TS scoring
+//! re-parses and re-executes predictions and golds across every test-suite
+//! database. An [`ExecSession`] sits in front of the engine and memoizes the
+//! three expensive stages independently:
+//!
+//! * **parse** — SQL text → AST, keyed by the raw string (db-independent);
+//! * **plan** — `(db fingerprint, canonical SQL)` → prepared [`Plan`];
+//! * **result** — `(db fingerprint, canonical SQL)` → executed [`ResultSet`].
+//!
+//! Keys use [`Database::fingerprint`] (content hash), never pointer identity,
+//! so logically identical databases share entries and mutated ones never alias.
+//! Values are `Arc`-shared and immutable; errors are memoized like successes.
+//!
+//! # Determinism
+//!
+//! The cache is *semantically invisible*: a hit returns exactly the value the
+//! miss path would have computed (engine execution is deterministic), so every
+//! consumer produces byte-identical output with the cache on, off, or shared
+//! across any number of threads. Hit/miss/eviction counters **are**
+//! interleaving-dependent, which is why they live in [`obs::CacheStats`] and
+//! are rendered to stdout only — never into the deterministic report surface.
+//!
+//! Each cache is an independent bounded LRU behind its own [`Mutex`]; lock
+//! scope is a hash lookup plus list splice, never an execution. Concurrent
+//! misses on one key may both compute — both compute the same value, so the
+//! second insert is a harmless overwrite.
+
+use crate::database::Database;
+use crate::error::ExecError;
+use crate::exec::{self, Plan, ResultSet};
+use obs::{CacheCounters, CacheStats, StageCacheCounters};
+use parking_lot::Mutex;
+use sqlkit::ast::Query;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// Default per-stage LRU capacity: comfortably holds a full Spider-scale eval
+/// run (dev split × vote samples) while bounding worst-case memory.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// Cache key for the per-database stages: (database fingerprint, canonical SQL).
+type DbKey = (u128, String);
+
+/// A shared, bounded, thread-safe execution cache. Thread one per run, exactly
+/// like `MetricsRegistry`: construct with [`ExecSession::shared`], hand clones
+/// of the `Arc` to every worker, and read [`ExecSession::stats`] at the end.
+pub struct ExecSession {
+    capacity: usize,
+    parse: Mutex<Lru<String, Option<Arc<Query>>>>,
+    plans: Mutex<Lru<DbKey, Result<Arc<Plan>, ExecError>>>,
+    results: Mutex<Lru<DbKey, Result<Arc<ResultSet>, ExecError>>>,
+    counters: CacheCounters,
+}
+
+impl std::fmt::Debug for ExecSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecSession")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ExecSession {
+    /// A session with the given per-stage LRU capacity. Capacity 0 disables
+    /// caching entirely (every call computes directly, no stats recorded).
+    pub fn new(capacity: usize) -> Self {
+        ExecSession {
+            capacity,
+            parse: Mutex::new(Lru::new(capacity)),
+            plans: Mutex::new(Lru::new(capacity)),
+            results: Mutex::new(Lru::new(capacity)),
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// The standard enabled session ([`DEFAULT_CACHE_CAPACITY`]), ready to share.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new(DEFAULT_CACHE_CAPACITY))
+    }
+
+    /// A pass-through session: identical API, no memoization. The uncached
+    /// reference path (`repro --no-exec-cache`).
+    pub fn disabled() -> Arc<Self> {
+        Arc::new(Self::new(0))
+    }
+
+    /// Whether this session actually caches.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Point-in-time snapshot of hit/miss/eviction counts and entry gauges.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            parse: self.counters.parse.snapshot(self.parse.lock().len() as u64),
+            plan: self.counters.plan.snapshot(self.plans.lock().len() as u64),
+            result: self.counters.result.snapshot(self.results.lock().len() as u64),
+        }
+    }
+
+    /// Parse SQL text, memoizing by the raw string. `None` means the text does
+    /// not parse (parse failures are memoized too — broken LLM samples repeat).
+    pub fn parse(&self, sql: &str) -> Option<Arc<Query>> {
+        if !self.is_enabled() {
+            return sqlkit::parse(sql).ok().map(Arc::new);
+        }
+        {
+            let mut cache = self.parse.lock();
+            if let Some(hit) = cache.get_ref(sql) {
+                self.counters.parse.hit();
+                return hit.clone();
+            }
+        }
+        self.counters.parse.miss();
+        let parsed = sqlkit::parse(sql).ok().map(Arc::new);
+        if self.parse.lock().insert(sql.to_string(), parsed.clone()) {
+            self.counters.parse.eviction();
+        }
+        parsed
+    }
+
+    /// Bind this session to a database, fixing the fingerprint half of the
+    /// cache key once. All plan/result traffic flows through the returned
+    /// [`SessionDb`].
+    pub fn bind<'s, 'd>(&'s self, db: &'d Database) -> SessionDb<'s, 'd> {
+        // A disabled session never consults keys, so skip the content hash.
+        let fp = if self.is_enabled() { db.fingerprint() } else { 0 };
+        SessionDb { session: self, db, fp }
+    }
+}
+
+/// An [`ExecSession`] bound to one database: the handle call sites actually
+/// execute through. Cheap to construct per (session, database) pair; the
+/// database content hash is computed once at bind time.
+#[derive(Clone, Copy)]
+pub struct SessionDb<'s, 'd> {
+    session: &'s ExecSession,
+    db: &'d Database,
+    fp: u128,
+}
+
+impl std::fmt::Debug for SessionDb<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionDb").field("fp", &self.fp).finish()
+    }
+}
+
+impl<'s, 'd> SessionDb<'s, 'd> {
+    /// The bound database.
+    pub fn db(&self) -> &'d Database {
+        self.db
+    }
+
+    /// The owning session.
+    pub fn session(&self) -> &'s ExecSession {
+        self.session
+    }
+
+    /// Prepare a query, memoized by `(db fingerprint, canonical SQL)`.
+    pub fn prepare(&self, q: &Query) -> Result<Arc<Plan>, ExecError> {
+        if !self.session.is_enabled() {
+            return exec::prepare(self.db, q).map(Arc::new);
+        }
+        let key = (self.fp, q.to_string());
+        lookup(&self.session.plans, &self.session.counters.plan, key, || {
+            exec::prepare(self.db, q).map(Arc::new)
+        })
+    }
+
+    /// Execute a query, memoized by `(db fingerprint, canonical SQL)`. Misses
+    /// go through the plan cache, so re-executing a query against a mutated
+    /// database recompiles at most once.
+    pub fn execute(&self, q: &Query) -> Result<Arc<ResultSet>, ExecError> {
+        if !self.session.is_enabled() {
+            return exec::execute(self.db, q).map(Arc::new);
+        }
+        let key = (self.fp, q.to_string());
+        {
+            let mut cache = self.session.results.lock();
+            if let Some(hit) = cache.get_ref(&key) {
+                self.session.counters.result.hit();
+                return hit.clone();
+            }
+        }
+        self.session.counters.result.miss();
+        // Compute outside any lock: plans can take milliseconds on join-heavy
+        // queries and must not serialize other workers.
+        let outcome = self.prepare_keyed(&key, q).map(|plan| Arc::new(exec::run(&plan, self.db)));
+        if self.session.results.lock().insert(key, outcome.clone()) {
+            self.session.counters.result.eviction();
+        }
+        outcome
+    }
+
+    /// Parse and execute SQL text. `None` means the text does not parse;
+    /// `Some(Err(_))` carries the engine error for repair/attribution.
+    pub fn execute_sql(&self, sql: &str) -> Option<Result<Arc<ResultSet>, ExecError>> {
+        let q = self.session.parse(sql)?;
+        Some(self.execute(&q))
+    }
+
+    /// Plan-cache lookup reusing an already-built key (avoids re-serializing
+    /// the query on the execute miss path).
+    fn prepare_keyed(&self, key: &(u128, String), q: &Query) -> Result<Arc<Plan>, ExecError> {
+        lookup(&self.session.plans, &self.session.counters.plan, key.clone(), || {
+            exec::prepare(self.db, q).map(Arc::new)
+        })
+    }
+}
+
+/// Shared hit-or-compute path over one LRU stage.
+fn lookup<K, V>(
+    cache: &Mutex<Lru<K, V>>,
+    counters: &StageCacheCounters,
+    key: K,
+    compute: impl FnOnce() -> V,
+) -> V
+where
+    K: Eq + Hash + Clone,
+    V: Clone,
+{
+    {
+        let mut guard = cache.lock();
+        if let Some(hit) = guard.get(&key) {
+            counters.hit();
+            return hit.clone();
+        }
+    }
+    counters.miss();
+    let value = compute();
+    if cache.lock().insert(key, value.clone()) {
+        counters.eviction();
+    }
+    value
+}
+
+// ---------------------------------------------------------------------------
+// Bounded LRU (hand-rolled: no external cache crates in the workspace)
+// ---------------------------------------------------------------------------
+
+const NIL: usize = usize::MAX;
+
+struct Node<K, V> {
+    key: K,
+    val: V,
+    prev: usize,
+    next: usize,
+}
+
+/// An O(1) bounded LRU: slab-allocated doubly-linked recency list plus a
+/// key → slot index. Not thread-safe on its own; callers wrap it in a `Mutex`.
+struct Lru<K, V> {
+    cap: usize,
+    map: HashMap<K, usize>,
+    nodes: Vec<Node<K, V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> Lru<K, V> {
+    fn new(cap: usize) -> Self {
+        Lru { cap, map: HashMap::new(), nodes: Vec::new(), free: Vec::new(), head: NIL, tail: NIL }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Look up a key, refreshing its recency on hit.
+    fn get(&mut self, key: &K) -> Option<&V> {
+        let ix = *self.map.get(key)?;
+        self.unlink(ix);
+        self.push_front(ix);
+        Some(&self.nodes[ix].val)
+    }
+
+    /// `get` for borrowed key forms (`&str` against `String` keys).
+    fn get_ref<Q>(&mut self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        let ix = *self.map.get(key)?;
+        self.unlink(ix);
+        self.push_front(ix);
+        Some(&self.nodes[ix].val)
+    }
+
+    /// Insert (or refresh) a key. Returns `true` when the bound forced an
+    /// eviction. Capacity 0 stores nothing.
+    fn insert(&mut self, key: K, val: V) -> bool {
+        if self.cap == 0 {
+            return false;
+        }
+        if let Some(&ix) = self.map.get(&key) {
+            self.nodes[ix].val = val;
+            self.unlink(ix);
+            self.push_front(ix);
+            return false;
+        }
+        let ix = match self.free.pop() {
+            Some(ix) => {
+                self.nodes[ix] = Node { key: key.clone(), val, prev: NIL, next: NIL };
+                ix
+            }
+            None => {
+                self.nodes.push(Node { key: key.clone(), val, prev: NIL, next: NIL });
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(key, ix);
+        self.push_front(ix);
+        if self.map.len() > self.cap {
+            let tail = self.tail;
+            debug_assert_ne!(tail, NIL);
+            self.unlink(tail);
+            self.map.remove(&self.nodes[tail].key);
+            self.free.push(tail);
+            return true;
+        }
+        false
+    }
+
+    fn unlink(&mut self, ix: usize) {
+        let (prev, next) = (self.nodes[ix].prev, self.nodes[ix].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else if self.head == ix {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else if self.tail == ix {
+            self.tail = prev;
+        }
+        self.nodes[ix].prev = NIL;
+        self.nodes[ix].next = NIL;
+    }
+
+    fn push_front(&mut self, ix: usize) {
+        self.nodes[ix].prev = NIL;
+        self.nodes[ix].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = ix;
+        }
+        self.head = ix;
+        if self.tail == NIL {
+            self.tail = ix;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use sqlkit::{Column, ColumnType, Schema, Table};
+
+    fn db() -> Database {
+        let mut schema = Schema::new("d");
+        schema.tables.push(Table {
+            name: "t".into(),
+            display: "t".into(),
+            columns: vec![Column::new("a", ColumnType::Int), Column::new("b", ColumnType::Text)],
+            primary_key: Some(0),
+        });
+        let mut d = Database::empty(schema);
+        for i in 0..5 {
+            d.insert(0, vec![Value::Int(i), Value::Text(format!("r{i}"))]);
+        }
+        d
+    }
+
+    #[test]
+    fn lru_is_bounded_and_evicts_least_recent() {
+        let mut lru: Lru<i32, i32> = Lru::new(2);
+        assert!(!lru.insert(1, 10));
+        assert!(!lru.insert(2, 20));
+        assert_eq!(lru.get(&1), Some(&10)); // refresh 1; 2 is now LRU
+        assert!(lru.insert(3, 30)); // evicts 2
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get(&2), None);
+        assert_eq!(lru.get(&1), Some(&10));
+        assert_eq!(lru.get(&3), Some(&30));
+        // Refreshing an existing key never evicts.
+        assert!(!lru.insert(3, 31));
+        assert_eq!(lru.get(&3), Some(&31));
+    }
+
+    #[test]
+    fn lru_capacity_zero_stores_nothing() {
+        let mut lru: Lru<i32, i32> = Lru::new(0);
+        assert!(!lru.insert(1, 10));
+        assert_eq!(lru.len(), 0);
+        assert_eq!(lru.get(&1), None);
+    }
+
+    #[test]
+    fn lru_slot_reuse_after_eviction() {
+        let mut lru: Lru<i32, i32> = Lru::new(3);
+        for i in 0..50 {
+            lru.insert(i, i);
+        }
+        assert_eq!(lru.len(), 3);
+        assert!(lru.nodes.len() <= 4, "evicted slots must be reused");
+        for i in 47..50 {
+            assert_eq!(lru.get(&i), Some(&i));
+        }
+    }
+
+    #[test]
+    fn session_memoizes_results_and_counts_traffic() {
+        let session = ExecSession::new(64);
+        let d = db();
+        let bound = session.bind(&d);
+        let q = sqlkit::parse("SELECT a FROM t WHERE a > 1").unwrap();
+        let first = bound.execute(&q).unwrap();
+        let second = bound.execute(&q).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "hit must return the same Arc");
+        let stats = session.stats();
+        assert_eq!(stats.result.misses, 1);
+        assert_eq!(stats.result.hits, 1);
+        assert_eq!(stats.plan.misses, 1);
+        assert_eq!(stats.result.entries, 1);
+    }
+
+    #[test]
+    fn session_results_match_direct_execution_including_errors() {
+        let session = ExecSession::new(64);
+        let d = db();
+        let bound = session.bind(&d);
+        for sql in ["SELECT a FROM t", "SELECT nope FROM t", "SELECT a FROM missing"] {
+            let q = sqlkit::parse(sql).unwrap();
+            let direct = exec::execute(&d, &q);
+            let cached = bound.execute(&q);
+            match (direct, cached) {
+                (Ok(rs), Ok(arc)) => assert_eq!(rs, *arc),
+                (Err(e1), Err(e2)) => assert_eq!(e1, e2),
+                other => panic!("cached path diverged: {other:?}"),
+            }
+            // Errors are memoized: the second lookup is a hit.
+            let _ = bound.execute(&q);
+        }
+        let stats = session.stats();
+        assert_eq!(stats.result.misses, 3);
+        assert_eq!(stats.result.hits, 3);
+    }
+
+    #[test]
+    fn mutated_database_keys_separately() {
+        let session = ExecSession::new(64);
+        let d1 = db();
+        let mut d2 = db();
+        d2.insert(0, vec![Value::Int(99), Value::Text("extra".into())]);
+        let q = sqlkit::parse("SELECT COUNT(*) FROM t").unwrap();
+        let r1 = session.bind(&d1).execute(&q).unwrap();
+        let r2 = session.bind(&d2).execute(&q).unwrap();
+        assert_eq!(r1.rows[0][0], Value::Int(5));
+        assert_eq!(r2.rows[0][0], Value::Int(6));
+        // Identical content shares entries even across separate values.
+        let d3 = db();
+        let r3 = session.bind(&d3).execute(&q).unwrap();
+        assert!(Arc::ptr_eq(&r1, &r3));
+    }
+
+    #[test]
+    fn parse_cache_memoizes_failures() {
+        let session = ExecSession::new(64);
+        assert!(session.parse("SELECT FROM WHERE").is_none());
+        assert!(session.parse("SELECT FROM WHERE").is_none());
+        let stats = session.stats();
+        assert_eq!(stats.parse.misses, 1);
+        assert_eq!(stats.parse.hits, 1);
+    }
+
+    #[test]
+    fn disabled_session_is_pass_through() {
+        let session = ExecSession::disabled();
+        assert!(!session.is_enabled());
+        let d = db();
+        let bound = session.bind(&d);
+        let q = sqlkit::parse("SELECT a FROM t").unwrap();
+        let a = bound.execute(&q).unwrap();
+        let b = bound.execute(&q).unwrap();
+        assert_eq!(*a, *b);
+        assert!(!Arc::ptr_eq(&a, &b), "disabled session must not memoize");
+        assert_eq!(session.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn eviction_counters_fire_under_churn() {
+        let session = ExecSession::new(2);
+        let d = db();
+        let bound = session.bind(&d);
+        for i in 0..6 {
+            let q = sqlkit::parse(&format!("SELECT a FROM t WHERE a = {i}")).unwrap();
+            bound.execute(&q).unwrap();
+        }
+        let stats = session.stats();
+        assert_eq!(stats.result.misses, 6);
+        assert_eq!(stats.result.evictions, 4);
+        assert_eq!(stats.result.entries, 2);
+    }
+}

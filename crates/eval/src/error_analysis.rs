@@ -3,10 +3,10 @@
 //! slips (right skeleton, wrong columns/tables), wrong constants (EM-exact but
 //! execution-different), execution errors, and parse failures.
 
-use crate::metrics::{em_match, ex_match};
-use engine::{execute, Database};
+use crate::metrics::{em_match, ex_match_with};
+use engine::{Database, ExecSession, SessionDb};
 use serde::{Deserialize, Serialize};
-use sqlkit::{exact_set_match, parse, Query, Skeleton};
+use sqlkit::{exact_set_match, Query, Skeleton};
 use std::collections::BTreeMap;
 
 /// Why a single prediction failed (or that it didn't).
@@ -49,14 +49,23 @@ impl FailureMode {
 
 /// Classify one prediction against its gold query and database.
 pub fn classify(pred_sql: &str, gold: &Query, db: &Database) -> FailureMode {
-    let Ok(pred) = parse(pred_sql) else {
+    classify_with(&ExecSession::disabled().bind(db), pred_sql, gold)
+}
+
+/// [`classify`] through a bound execution session: the prediction's parse and
+/// both executions are memoized, so re-classifying predictions already scored
+/// by the harness costs no extra engine runs. Returns exactly what
+/// [`classify`] returns for the same inputs.
+pub fn classify_with(sdb: &SessionDb<'_, '_>, pred_sql: &str, gold: &Query) -> FailureMode {
+    let Some(pred) = sdb.session().parse(pred_sql) else {
         return FailureMode::ParseError;
     };
-    if execute(db, &pred).is_err() {
+    if sdb.execute(&pred).is_err() {
         return FailureMode::ExecutionError;
     }
+    let db = sdb.db();
     let em = em_match(&pred, gold, &db.schema);
-    let ex = ex_match(&pred, gold, db);
+    let ex = ex_match_with(sdb, &pred, gold);
     if em && ex {
         return FailureMode::Correct;
     }
@@ -118,7 +127,7 @@ impl ErrorReport {
 mod tests {
     use super::*;
     use engine::Value;
-    use sqlkit::{Column, ColumnType, Schema, Table};
+    use sqlkit::{parse, Column, ColumnType, Schema, Table};
 
     fn db() -> Database {
         let mut s = Schema::new("d");
@@ -180,6 +189,25 @@ mod tests {
             classify("SELECT name FROM t WHERE id < 2", &gold, &db),
             FailureMode::EquivalentForm
         );
+    }
+
+    #[test]
+    fn session_classification_agrees_with_direct() {
+        let db = db();
+        let gold = gold();
+        let session = ExecSession::shared();
+        let sdb = session.bind(&db);
+        for pred in [
+            "SELECT name FROM t WHERE id = 1",
+            "not sql at all",
+            "SELECT nope FROM t WHERE id = 1",
+            "SELECT name FROM t WHERE id = 2",
+            "SELECT grp FROM t WHERE id = 1",
+            "SELECT name FROM t WHERE id = 1 OR id = 2",
+            "SELECT name FROM t WHERE id < 2",
+        ] {
+            assert_eq!(classify_with(&sdb, pred, &gold), classify(pred, &gold, &db), "{pred}");
+        }
     }
 
     #[test]

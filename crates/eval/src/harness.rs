@@ -5,9 +5,9 @@
 //! are stateless (`&self`) and seeded purely by example position.
 
 use crate::attribution::AttributionReport;
-use crate::metrics::{em_match_str, ex_match_str};
-use crate::testsuite::{build_suite, ts_match_str, SuiteConfig, TestSuite};
-use engine::Database;
+use crate::metrics::{em_match_str, ex_match_str_with};
+use crate::testsuite::{build_suite, ts_match_str_with, SuiteConfig, TestSuite};
+use engine::{Database, ExecSession};
 use obs::StageMetrics;
 use serde::{Deserialize, Serialize};
 use spidergen::types::{Benchmark, Example};
@@ -252,15 +252,17 @@ fn score_outcome(
     ex: &Example,
     db: &Database,
     suites: Option<&[TestSuite]>,
+    session: &ExecSession,
 ) -> ExampleScore {
     let t = &outcome.translation;
+    let sdb = session.bind(db);
     ExampleScore {
         prompt_tokens: t.prompt_tokens,
         output_tokens: t.output_tokens,
         em: em_match_str(&t.sql, &ex.query, &db.schema),
-        ex: ex_match_str(&t.sql, &ex.query, db),
+        ex: ex_match_str_with(&sdb, &t.sql, &ex.query),
         ts: match suites {
-            Some(suites) => ts_match_str(&t.sql, &ex.query, &suites[ex.db_index]),
+            Some(suites) => ts_match_str_with(session, &t.sql, &ex.query, &suites[ex.db_index]),
             None => false,
         },
         hardness: ex.hardness as usize,
@@ -274,8 +276,9 @@ fn score_example(
     ex: &Example,
     db: &Database,
     suites: Option<&[TestSuite]>,
+    session: &ExecSession,
 ) -> ExampleScore {
-    score_outcome(translator.run(Job::new(idx, ex, db)), ex, db, suites)
+    score_outcome(translator.run(Job::new(idx, ex, db)), ex, db, suites, session)
 }
 
 fn assemble(
@@ -316,16 +319,32 @@ fn assemble(
 }
 
 /// Evaluate a translator over a split. `suites` enables the TS metric.
+///
+/// Scoring executes without memoization; use [`evaluate_with_session`] to
+/// share an [`ExecSession`] across examples. Both produce identical reports.
 pub fn evaluate(
     translator: &dyn Translator,
     bench: &Benchmark,
     suites: Option<&[TestSuite]>,
 ) -> EvalReport {
+    evaluate_with_session(translator, bench, suites, &ExecSession::disabled())
+}
+
+/// [`evaluate`] with a shared execution session: gold-query runs (EX and each
+/// TS instance) are memoized across examples and across systems sharing the
+/// session. Cache state never feeds the report — only which executions are
+/// recomputed — so the [`EvalReport`] is byte-identical to [`evaluate`]'s.
+pub fn evaluate_with_session(
+    translator: &dyn Translator,
+    bench: &Benchmark,
+    suites: Option<&[TestSuite]>,
+    session: &ExecSession,
+) -> EvalReport {
     let scores = bench
         .examples
         .iter()
         .enumerate()
-        .map(|(idx, ex)| score_example(translator, idx, ex, bench.db_of(ex), suites));
+        .map(|(idx, ex)| score_example(translator, idx, ex, bench.db_of(ex), suites, session));
     assemble(translator.name(), bench.name.clone(), scores, bench.examples.len(), suites.is_some())
 }
 
@@ -343,10 +362,25 @@ pub fn evaluate_par(
     suites: Option<&[TestSuite]>,
     jobs: usize,
 ) -> EvalReport {
+    evaluate_par_with_session(translator, bench, suites, jobs, &ExecSession::disabled())
+}
+
+/// [`evaluate_par`] with a shared execution session. The session's caches are
+/// thread-safe and memoize values that are pure functions of (database,
+/// SQL), so worker interleaving can only change which thread pays for a
+/// computation — never its value — and the report stays identical to the
+/// serial, uncached one for any `jobs` count.
+pub fn evaluate_par_with_session(
+    translator: &(dyn Translator + Sync),
+    bench: &Benchmark,
+    suites: Option<&[TestSuite]>,
+    jobs: usize,
+    session: &ExecSession,
+) -> EvalReport {
     let n = bench.examples.len();
     let jobs = jobs.clamp(1, n.max(1));
     if jobs == 1 || n < 2 {
-        return evaluate(translator, bench, suites);
+        return evaluate_with_session(translator, bench, suites, session);
     }
     let mut scores: Vec<Option<ExampleScore>> = Vec::with_capacity(n);
     scores.resize_with(n, || None);
@@ -358,7 +392,8 @@ pub fn evaluate_par(
                 for (off, slot) in out.iter_mut().enumerate() {
                     let idx = start + off;
                     let ex = &bench.examples[idx];
-                    *slot = Some(score_example(translator, idx, ex, bench.db_of(ex), suites));
+                    *slot =
+                        Some(score_example(translator, idx, ex, bench.db_of(ex), suites, session));
                 }
             });
         }
@@ -381,12 +416,15 @@ pub fn evaluate_par(
 /// (`job.with_trace(true).with_events(...)`) before running the system.
 /// Scores fold exactly like [`evaluate_par`]'s — in example order — and the
 /// extras come back as a `Vec` in example order, so both the report and the
-/// extras are identical for any `jobs` count.
+/// extras are identical for any `jobs` count. Scoring goes through `session`;
+/// pass [`ExecSession::disabled`] for uncached evaluation (same report either
+/// way).
 pub fn evaluate_with_par<T, F>(
     system: String,
     bench: &Benchmark,
     suites: Option<&[TestSuite]>,
     jobs: usize,
+    session: &ExecSession,
     run: F,
 ) -> (EvalReport, Vec<T>)
 where
@@ -401,7 +439,7 @@ where
         let ex = &bench.examples[idx];
         let db = bench.db_of(ex);
         let (outcome, extra) = run(Job::new(idx, ex, db));
-        (score_outcome(outcome, ex, db, suites), extra)
+        (score_outcome(outcome, ex, db, suites, session), extra)
     };
     if jobs == 1 || n < 2 {
         for (idx, slot) in results.iter_mut().enumerate() {
@@ -542,10 +580,13 @@ mod tests {
     fn evaluate_with_par_matches_serial_and_orders_extras() {
         let suite = generate_suite(&GenConfig::tiny(24));
         let run = |job: Job<'_>| (IdxSensitive.run(job), job.idx);
-        let (serial, base_extras) = evaluate_with_par("with-par".into(), &suite.dev, None, 1, run);
+        let session = ExecSession::disabled();
+        let (serial, base_extras) =
+            evaluate_with_par("with-par".into(), &suite.dev, None, 1, &session, run);
         assert_eq!(base_extras, (0..suite.dev.examples.len()).collect::<Vec<_>>());
         for jobs in [2, 4, 33] {
-            let (par, extras) = evaluate_with_par("with-par".into(), &suite.dev, None, jobs, run);
+            let (par, extras) =
+                evaluate_with_par("with-par".into(), &suite.dev, None, jobs, &session, run);
             assert_eq!(serial, par, "jobs={jobs}");
             assert_eq!(extras, base_extras, "jobs={jobs}");
         }
@@ -553,6 +594,21 @@ mod tests {
         let mut plain = evaluate(&IdxSensitive, &suite.dev, None);
         plain.system = "with-par".into();
         assert_eq!(plain, serial);
+    }
+
+    #[test]
+    fn session_scoring_matches_uncached_for_any_job_count() {
+        let suite = generate_suite(&GenConfig::tiny(24));
+        let suites = build_suites(&suite.dev, SuiteConfig::default(), 7);
+        let uncached = evaluate(&IdxSensitive, &suite.dev, Some(&suites));
+        let session = ExecSession::shared();
+        for jobs in [1, 4] {
+            let cached =
+                evaluate_par_with_session(&IdxSensitive, &suite.dev, Some(&suites), jobs, &session);
+            assert_eq!(uncached, cached, "jobs={jobs}");
+        }
+        let stats = session.stats();
+        assert!(stats.result.hits > 0, "shared session saw no cache hits: {stats:?}");
     }
 
     #[test]

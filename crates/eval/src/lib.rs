@@ -17,16 +17,20 @@ pub mod testsuite;
 mod testsuite_tests_extra;
 
 pub use attribution::{attribute, AttributionReport, Blame, TraceSummary, Verdict};
-pub use error_analysis::{classify, ErrorReport, FailureMode};
+pub use error_analysis::{classify, classify_with, ErrorReport, FailureMode};
 pub use harness::{
-    build_suites, evaluate, evaluate_par, evaluate_with_par, seed_for, Bucket, EvalReport, Job,
-    OracleTranslator, RunOutcome, Translation, Translator,
+    build_suites, evaluate, evaluate_par, evaluate_par_with_session, evaluate_with_par,
+    evaluate_with_session, seed_for, Bucket, EvalReport, Job, OracleTranslator, RunOutcome,
+    Translation, Translator,
 };
-pub use metrics::{em_match, em_match_str, ex_match, ex_match_str};
+pub use metrics::{
+    em_match, em_match_str, ex_match, ex_match_str, ex_match_str_with, ex_match_with,
+};
 pub use reportio::{
     attribution_from_json, attribution_to_json, metrics_from_json, metrics_to_json,
     report_from_json, report_to_json,
 };
 pub use testsuite::{
-    build_suite, fuzz_instance, mutate, ts_match, ts_match_str, SuiteConfig, TestSuite,
+    build_suite, fuzz_instance, mutate, ts_match, ts_match_str, ts_match_str_with, ts_match_with,
+    SuiteConfig, TestSuite,
 };

@@ -1,6 +1,6 @@
 //! Exact-Set Match and Execution Match metrics (§V-A2).
 
-use engine::{execute, order_matters, Database};
+use engine::{execute, order_matters, Database, SessionDb};
 use sqlkit::{exact_set_match, parse, Query, Schema};
 
 /// Exact-Set Match: clause-level set comparison with values masked and aliases
@@ -35,6 +35,29 @@ pub fn ex_match_str(pred_sql: &str, gold: &Query, db: &Database) -> bool {
     match parse(pred_sql) {
         Ok(pred) => ex_match(&pred, gold, db),
         Err(_) => false,
+    }
+}
+
+/// [`ex_match`] through a bound execution session: plans and results are
+/// memoized per (database fingerprint, canonical SQL), so the gold query of an
+/// example costs one engine run no matter how many predictions it is scored
+/// against. Returns exactly what [`ex_match`] returns for the same inputs.
+pub fn ex_match_with(sdb: &SessionDb<'_, '_>, pred: &Query, gold: &Query) -> bool {
+    let Ok(pred_rs) = sdb.execute(pred) else {
+        return false;
+    };
+    let Ok(gold_rs) = sdb.execute(gold) else {
+        return false;
+    };
+    pred_rs.same_result(&gold_rs, order_matters(gold))
+}
+
+/// [`ex_match_str`] through a bound execution session; the parse result is
+/// memoized alongside plans and results.
+pub fn ex_match_str_with(sdb: &SessionDb<'_, '_>, pred_sql: &str, gold: &Query) -> bool {
+    match sdb.session().parse(pred_sql) {
+        Some(pred) => ex_match_with(sdb, &pred, gold),
+        None => false,
     }
 }
 
@@ -99,6 +122,30 @@ mod tests {
         assert!(!em_match_str("SELEC name FRM t", &gold, &db.schema));
         assert!(!ex_match_str("SELECT nope FROM t", &gold, &db));
         assert!(!ex_match_str("SELECT name FROM missing", &gold, &db));
+    }
+
+    #[test]
+    fn session_ex_agrees_with_direct_ex() {
+        let db = db();
+        let session = engine::ExecSession::shared();
+        let sdb = session.bind(&db);
+        let gold = parse("SELECT name FROM t WHERE id < 3").unwrap();
+        for pred_sql in [
+            "SELECT name FROM t WHERE grp = 'x'",
+            "SELECT name FROM t WHERE id = 2",
+            "SELECT nope FROM t",
+            "SELEC name FRM t",
+        ] {
+            assert_eq!(
+                ex_match_str_with(&sdb, pred_sql, &gold),
+                ex_match_str(pred_sql, &gold, &db),
+                "{pred_sql}"
+            );
+        }
+        // Scoring the same predictions again is served from the result cache.
+        let before = session.stats().result.hits;
+        assert!(ex_match_str_with(&sdb, "SELECT name FROM t WHERE grp = 'x'", &gold));
+        assert!(session.stats().result.hits > before);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! prediction to match the gold query's results on **every** instance in the suite,
 //! which strips away the coincidental-equality false positives of single-database EX.
 
-use engine::{execute, order_matters, Database, Value};
+use engine::{execute, order_matters, Database, ExecSession, Value};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use sqlkit::ast::*;
@@ -111,6 +111,41 @@ pub fn ts_match_str(pred_sql: &str, gold: &Query, suite: &TestSuite) -> bool {
     match sqlkit::parse(pred_sql) {
         Ok(pred) => ts_match(&pred, gold, suite),
         Err(_) => false,
+    }
+}
+
+/// [`ts_match`] through an execution session: every suite instance is bound to
+/// the session, so gold executions (one per instance) are memoized across all
+/// predictions scored against the same suite. Returns exactly what
+/// [`ts_match`] returns for the same inputs.
+pub fn ts_match_with(session: &ExecSession, pred: &Query, gold: &Query, suite: &TestSuite) -> bool {
+    let ordered = order_matters(gold);
+    for db in &suite.databases {
+        let sdb = session.bind(db);
+        let Ok(gold_rs) = sdb.execute(gold) else {
+            continue;
+        };
+        let Ok(pred_rs) = sdb.execute(pred) else {
+            return false;
+        };
+        if !pred_rs.same_result(&gold_rs, ordered) {
+            return false;
+        }
+    }
+    true
+}
+
+/// [`ts_match_str`] through an execution session; the parse result is memoized
+/// alongside plans and results.
+pub fn ts_match_str_with(
+    session: &ExecSession,
+    pred_sql: &str,
+    gold: &Query,
+    suite: &TestSuite,
+) -> bool {
+    match session.parse(pred_sql) {
+        Some(pred) => ts_match_with(session, &pred, gold, suite),
+        None => false,
     }
 }
 
@@ -377,6 +412,30 @@ mod tests {
         let suite = build_suite(&db, &[&gold], SuiteConfig::default(), 7);
         assert!(!crate::metrics::ex_match(&wrong, &gold, &db));
         assert!(!ts_match(&wrong, &gold, &suite));
+    }
+
+    #[test]
+    fn session_ts_agrees_with_direct_ts() {
+        let db = db();
+        let gold = parse("SELECT name FROM t WHERE id < 3").unwrap();
+        let coincident = parse("SELECT name FROM t WHERE grp = 'x'").unwrap();
+        let suite = build_suite(
+            &db,
+            &[&gold, &coincident],
+            SuiteConfig { candidates: 60, max_kept: 12, probe_queries: 8 },
+            1234,
+        );
+        let session = ExecSession::shared();
+        for pred in ["SELECT name FROM t WHERE id < 3", "SELECT name FROM t WHERE grp = 'x'"] {
+            assert_eq!(
+                ts_match_str_with(&session, pred, &gold, &suite),
+                ts_match_str(pred, &gold, &suite),
+                "{pred}"
+            );
+        }
+        // The gold executions were cached per suite instance on the first call
+        // and reused for the second prediction.
+        assert!(session.stats().result.hits as usize >= suite.databases.len());
     }
 
     #[test]

@@ -21,10 +21,12 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 pub mod events;
 mod registry;
 mod snapshot;
 
+pub use cache::{CacheCounters, CacheStats, StageCacheCounters, StageCacheStats};
 pub use events::{
     to_jsonl, DrainedEvents, Event, EventRecorder, EventSink, EventValue,
     DEFAULT_EVENTS_PER_EXAMPLE, DEFAULT_MAX_EXAMPLES,

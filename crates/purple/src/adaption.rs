@@ -4,13 +4,19 @@
 //!
 //! The fixers only run on SQL that fails to execute, so they "do not introduce
 //! undesired side effects to the valid SQL" (§IV-D1).
+//!
+//! All execution flows through an [`engine::SessionDb`], so the repair loop and
+//! the vote share one memoization layer: the 30 vote samples are typically a
+//! handful of distinct strings, and identical samples cost one execution. The
+//! `*_with` variants take an explicit bound session; the plain names keep their
+//! historical signatures and run uncached.
 
-use engine::{execute, Database, ExecError};
+use engine::{Database, ExecError, ExecSession, SessionDb};
 use obs::{Counter, EventRecorder, EventValue, Fixer, MetricsRegistry, Stage};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use sqlkit::ast::*;
-use sqlkit::{parse, Query};
+use sqlkit::Query;
 
 /// Record one sample's adaption outcome: each applied fix is a *hit* for its
 /// fixer, a *success* when the sample ended up executable; samples that needed
@@ -44,28 +50,50 @@ pub struct AdaptResult {
 /// up to five times").
 pub const MAX_ATTEMPTS: usize = 5;
 
-/// Adapt one SQL string to the database.
+/// Adapt one SQL string to the database (uncached compatibility form).
 pub fn adapt_sql(sql: &str, db: &Database, rng: &mut StdRng) -> AdaptResult {
-    let Ok(mut q) = parse(sql) else {
-        return AdaptResult { sql: sql.to_string(), executable: false, fixes: vec![] };
+    let session = ExecSession::disabled();
+    adapt_sql_with(&session.bind(db), sql, rng)
+}
+
+/// Adapt one SQL string through a bound execution session: every execution in
+/// the repair loop (and its final check) hits the session's plan/result caches.
+pub fn adapt_sql_with(sdb: &SessionDb<'_, '_>, sql: &str, rng: &mut StdRng) -> AdaptResult {
+    adapt_inner(sdb, sql, rng).0
+}
+
+/// The repair loop. The second return value reports whether the loop consumed
+/// any randomness (only the Column-Ambiguity fixer draws): rng-free outcomes
+/// are safe to replay for duplicate samples without touching the rng stream.
+fn adapt_inner(sdb: &SessionDb<'_, '_>, sql: &str, rng: &mut StdRng) -> (AdaptResult, bool) {
+    let Some(parsed) = sdb.session().parse(sql) else {
+        return (AdaptResult { sql: sql.to_string(), executable: false, fixes: vec![] }, false);
     };
+    let mut q = (*parsed).clone();
     let mut fixes = Vec::new();
+    let mut used_rng = false;
     for _ in 0..=MAX_ATTEMPTS {
-        match execute(db, &q) {
+        match sdb.execute(&q) {
             Ok(_) => {
-                return AdaptResult { sql: q.to_string(), executable: true, fixes };
+                return (AdaptResult { sql: q.to_string(), executable: true, fixes }, used_rng);
             }
             Err(e) => {
                 let category = e.category();
-                if !apply_fix(&mut q, &e, db, rng) {
-                    return AdaptResult { sql: q.to_string(), executable: false, fixes };
+                if matches!(e, ExecError::AmbiguousColumn { .. }) {
+                    used_rng = true;
+                }
+                if !apply_fix(&mut q, &e, sdb.db(), rng) {
+                    return (
+                        AdaptResult { sql: q.to_string(), executable: false, fixes },
+                        used_rng,
+                    );
                 }
                 fixes.push(category);
             }
         }
     }
-    let executable = execute(db, &q).is_ok();
-    AdaptResult { sql: q.to_string(), executable, fixes }
+    let executable = sdb.execute(&q).is_ok();
+    (AdaptResult { sql: q.to_string(), executable, fixes }, used_rng)
 }
 
 // ---------------------------------------------------------------------------
@@ -522,11 +550,23 @@ pub fn raw_vote(
     metrics: Option<&MetricsRegistry>,
     events: Option<&EventRecorder>,
 ) -> String {
+    let session = ExecSession::disabled();
+    raw_vote_with(samples, &session.bind(db), metrics, events)
+}
+
+/// [`raw_vote`] through a bound execution session: duplicate samples execute
+/// once and EX scoring later reuses the same cached results.
+pub fn raw_vote_with(
+    samples: &[String],
+    sdb: &SessionDb<'_, '_>,
+    metrics: Option<&MetricsRegistry>,
+    events: Option<&EventRecorder>,
+) -> String {
     let span = metrics.map(|r| r.span(Stage::ConsistencyVote));
     if let Some(reg) = metrics {
         reg.count(Counter::Samples, samples.len() as u64);
     }
-    let (result, executable) = raw_vote_inner(samples, db);
+    let (result, executable) = raw_vote_inner(samples, sdb);
     if let Some(span) = span {
         span.finish(samples.len() as u64);
     }
@@ -544,10 +584,10 @@ pub fn raw_vote(
     result
 }
 
-fn raw_vote_inner(samples: &[String], db: &Database) -> (String, bool) {
+fn raw_vote_inner(samples: &[String], sdb: &SessionDb<'_, '_>) -> (String, bool) {
     let mut keys: Vec<Option<String>> = Vec::with_capacity(samples.len());
     for s in samples {
-        let key = parse(s).ok().and_then(|q| execute(db, &q).ok()).map(result_key);
+        let key = sdb.execute_sql(s).and_then(|r| r.ok()).map(|rs| result_key(&rs));
         keys.push(key);
     }
     let mut counts: std::collections::HashMap<&String, usize> = std::collections::HashMap::new();
@@ -565,7 +605,7 @@ fn raw_vote_inner(samples: &[String], db: &Database) -> (String, bool) {
     (samples.first().cloned().unwrap_or_default(), false)
 }
 
-fn result_key(rs: engine::ResultSet) -> String {
+fn result_key(rs: &engine::ResultSet) -> String {
     let mut rows: Vec<String> = rs
         .rows
         .iter()
@@ -590,12 +630,51 @@ pub fn consistency_vote(
     metrics: Option<&MetricsRegistry>,
     events: Option<&EventRecorder>,
 ) -> VoteOutcome {
+    let session = ExecSession::disabled();
+    consistency_vote_with(samples, &session.bind(db), rng, metrics, events)
+}
+
+/// [`consistency_vote`] through a bound execution session.
+///
+/// Identical samples are deduplicated *before* adaption: the first occurrence
+/// runs the repair loop, later occurrences replay its memoized outcome, so 30
+/// samples with 8 distinct strings cost 8 repair loops. Two invariants keep
+/// this invisible:
+///
+/// * **rng stream** — outcomes whose repair drew randomness (Column-Ambiguity)
+///   are never memoized; those samples re-run the loop per occurrence, drawing
+///   exactly the values the undeduplicated code drew.
+/// * **reports** — metrics and repair events are recorded per *occurrence*,
+///   replayed or not, so `StageMetrics` and the event stream are byte-identical.
+pub fn consistency_vote_with(
+    samples: &[String],
+    sdb: &SessionDb<'_, '_>,
+    rng: &mut StdRng,
+    metrics: Option<&MetricsRegistry>,
+    events: Option<&EventRecorder>,
+) -> VoteOutcome {
     let adapt_span = metrics.map(|r| r.span(Stage::Adaption));
     let mut adapted: Vec<AdaptResult> = Vec::with_capacity(samples.len());
     let mut keys: Vec<Option<String>> = Vec::with_capacity(samples.len());
     let mut fixes = Vec::new();
+    let mut memo: std::collections::HashMap<&str, (AdaptResult, Option<String>)> =
+        std::collections::HashMap::new();
     for (i, s) in samples.iter().enumerate() {
-        let a = adapt_sql(s, db, rng);
+        let (a, key) = match memo.get(s.as_str()) {
+            Some((a, key)) => (a.clone(), key.clone()),
+            None => {
+                let (a, used_rng) = adapt_inner(sdb, s, rng);
+                let key = if a.executable {
+                    sdb.execute_sql(&a.sql).and_then(|r| r.ok()).map(|rs| result_key(&rs))
+                } else {
+                    None
+                };
+                if !used_rng {
+                    memo.insert(s.as_str(), (a.clone(), key.clone()));
+                }
+                (a, key)
+            }
+        };
         if let Some(reg) = metrics {
             record_adaption(reg, &a);
         }
@@ -614,11 +693,6 @@ pub fn consistency_vote(
             }
         }
         fixes.extend(a.fixes.iter().copied());
-        let key = if a.executable {
-            parse(&a.sql).ok().and_then(|q| execute(db, &q).ok()).map(result_key)
-        } else {
-            None
-        };
         keys.push(key);
         adapted.push(a);
     }
@@ -872,6 +946,39 @@ mod tests {
         let v = consistency_vote(&["garbage".to_string()], &d, &mut rng, None, None);
         assert!(!v.executable);
         assert_eq!(v.sql, "garbage");
+    }
+
+    #[test]
+    fn cached_vote_matches_uncached_including_rng_stream() {
+        let d = db();
+        // A duplicate-heavy mix exercising the memo (repeated strings), the
+        // rng-dependent ambiguity fixer (never memoized), and repairs.
+        let samples: Vec<String> = [
+            "SELECT id FROM tv_channel JOIN cartoon ON tv_channel.id = cartoon.channel",
+            "SELECT country FROM tv_channel WHERE id = 1",
+            "SELECT id FROM tv_channel JOIN cartoon ON tv_channel.id = cartoon.channel",
+            "SELECT countrys FROM tv_channel",
+            "SELECT country FROM tv_channel WHERE id = 1",
+            "SELECT country FROM tv_channel WHERE id = 1",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let uncached = consistency_vote(&samples, &d, &mut StdRng::seed_from_u64(11), None, None);
+        let session = ExecSession::shared();
+        let cached = consistency_vote_with(
+            &samples,
+            &session.bind(&d),
+            &mut StdRng::seed_from_u64(11),
+            None,
+            None,
+        );
+        assert_eq!(cached.sql, uncached.sql);
+        assert_eq!(cached.executable, uncached.executable);
+        assert_eq!(cached.fixes, uncached.fixes);
+        assert_eq!(cached.adapted, uncached.adapted, "per-sample SQL must be identical");
+        let stats = session.stats();
+        assert!(stats.result.hits > 0, "duplicate samples must hit the result cache");
     }
 
     #[test]

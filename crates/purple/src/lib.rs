@@ -23,7 +23,10 @@ pub mod pipeline;
 pub mod pruning;
 pub mod selection;
 
-pub use adaption::{adapt_sql, consistency_vote, AdaptResult, VoteOutcome, MAX_ATTEMPTS};
+pub use adaption::{
+    adapt_sql, adapt_sql_with, consistency_vote, consistency_vote_with, raw_vote, raw_vote_with,
+    AdaptResult, VoteOutcome, MAX_ATTEMPTS,
+};
 pub use automaton::{Automaton, AutomatonSet};
 pub use generation::{synthesize_demonstration, DemoMode};
 pub use pipeline::{Purple, PurpleConfig, RunOutcome, TranslationTrace};

@@ -7,12 +7,12 @@
 //! [`TranslationTrace`] (when the job asks for one), and a per-run
 //! [`obs::StageMetrics`] snapshot covering every stage (DESIGN.md §8).
 
-use crate::adaption::{adapt_sql, consistency_vote};
+use crate::adaption::{adapt_sql_with, consistency_vote_with, raw_vote_with};
 use crate::automaton::AutomatonSet;
 use crate::generation::{synthesize_demonstration, DemoMode};
 use crate::pruning::{PruneConfig, PrunedSchema, SchemaPruner};
 use crate::selection::{random_fill, select_demonstrations, SelectionConfig};
-use engine::Database;
+use engine::{Database, ExecSession};
 use eval::{Job, Translation, Translator};
 use llm::{Demonstration, GenerationRequest, LlmProfile, LlmService, Prompt};
 use nlmodel::{SchemaClassifier, SkeletonPrediction, SkeletonPredictor, TrainConfig};
@@ -165,6 +165,9 @@ pub struct Purple {
     service: LlmService,
     /// Shared aggregate registry; per-run snapshots are absorbed into it.
     metrics: Option<Arc<MetricsRegistry>>,
+    /// Shared execution cache for the adaption loop and vote; `None` runs
+    /// uncached (semantically identical, see `engine::session`).
+    session: Option<Arc<ExecSession>>,
     /// Clock for per-run span values (virtual work units by default, so
     /// metrics stay byte-identical across thread counts).
     clock: Clock,
@@ -202,6 +205,7 @@ impl Purple {
             automata,
             service,
             metrics: None,
+            session: None,
             clock: Clock::default(),
         }
     }
@@ -255,9 +259,18 @@ impl Purple {
         self
     }
 
+    /// Attach a shared execution session, builder-style: the adaption repair
+    /// loop and the consistency vote memoize parse/plan/result work in it,
+    /// threaded per run exactly like the metrics registry. Caching is
+    /// semantically invisible — outputs are byte-identical with or without it.
+    pub fn with_session(mut self, session: Arc<ExecSession>) -> Self {
+        self.session = Some(session);
+        self
+    }
+
     /// Reconfigure (ablations / budget sweeps / model swaps) without retraining.
     /// Keeps the span clock but, like the fresh [`LlmService`], drops any
-    /// attached ledger or metrics registry.
+    /// attached ledger, metrics registry, or execution session.
     pub fn with_config(&self, cfg: PurpleConfig) -> Purple {
         let service = LlmService::new(cfg.profile);
         Purple {
@@ -268,6 +281,7 @@ impl Purple {
             automata: self.automata.clone(),
             service,
             metrics: None,
+            session: None,
             clock: self.clock,
         }
     }
@@ -445,11 +459,14 @@ impl Purple {
         // --- Step 5: database adaption + consistency -------------------------
         // The "-Database Adaption" ablation removes the repair loop but keeps the
         // plain execution-consistency vote (§IV-D2 is shared with C3/DAIL-SQL).
+        let session = self.session.clone().unwrap_or_else(ExecSession::disabled);
+        let sdb = session.bind(db);
         let (sql, fixes, adapted) = if self.cfg.use_adaption {
-            let v = consistency_vote(&response.samples, db, &mut rng, Some(&reg), rec.as_ref());
+            let v =
+                consistency_vote_with(&response.samples, &sdb, &mut rng, Some(&reg), rec.as_ref());
             (v.sql, v.fixes.iter().map(|f| f.to_string()).collect(), v.adapted)
         } else {
-            let sql = crate::adaption::raw_vote(&response.samples, db, Some(&reg), rec.as_ref());
+            let sql = raw_vote_with(&response.samples, &sdb, Some(&reg), rec.as_ref());
             (sql, Vec::new(), response.samples.clone())
         };
         let translation = Translation {
@@ -484,9 +501,10 @@ impl Purple {
     }
 
     /// Adapt a raw SQL string against a database (exposed for the Table-2 demo and
-    /// the error-adaption example binary).
+    /// the error-adaption example binary). Uses the attached session when present.
     pub fn adapt(&self, sql: &str, db: &Database, seed: u64) -> crate::adaption::AdaptResult {
-        adapt_sql(sql, db, &mut StdRng::seed_from_u64(seed))
+        let session = self.session.clone().unwrap_or_else(ExecSession::disabled);
+        adapt_sql_with(&session.bind(db), sql, &mut StdRng::seed_from_u64(seed))
     }
 }
 
