@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# CI smoke checks against the release `repro` binary.
+#
+# Usage: ci/smoke.sh <metrics|cache|diagnose|diff>
+#
+# Every mode runs at --scale tiny and enforces the repository's determinism
+# contract: observable artifacts must be byte-identical for any --jobs count
+# (and, for `cache`, with the execution cache on or off).
+set -euo pipefail
+
+REPRO=${REPRO:-./target/release/repro}
+mode=${1:?usage: ci/smoke.sh <metrics|cache|diagnose|diff>}
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+# Run `repro --archive`, echoing the run id it prints.
+archive_run() {
+    "$REPRO" "$@" | sed -n 's/^run_id=//p'
+}
+
+case "$mode" in
+metrics)
+    "$REPRO" --scale tiny --jobs 2 --metrics "$work/metrics.json"
+    python3 -c "import json; m = json.load(open('$work/metrics.json')); assert m['counters']['llm_calls'] > 0, m"
+    ;;
+cache)
+    "$REPRO" --scale tiny --jobs 2 --metrics "$work/cached.json"
+    "$REPRO" --scale tiny --jobs 2 --metrics "$work/uncached.json" --no-exec-cache
+    cmp "$work/cached.json" "$work/uncached.json"
+    ;;
+diagnose)
+    "$REPRO" --scale tiny --jobs 1 --diagnose "$work/blame1.md" --events "$work/events1.jsonl"
+    "$REPRO" --scale tiny --jobs 4 --diagnose "$work/blame4.md" --events "$work/events4.jsonl"
+    cmp "$work/blame1.md" "$work/blame4.md"
+    cmp "$work/events1.jsonl" "$work/events4.jsonl"
+    python3 - "$work" <<'EOF'
+import json, sys
+work = sys.argv[1]
+md = open(f"{work}/blame1.md").read()
+for cls in ["pruning-recall-miss", "skeleton-topk-miss", "demo-support-gap",
+            "llm-hallucination", "adaption-regression", "vote-misselection"]:
+    assert f"| {cls} |" in md, f"missing blame row: {cls}"
+events = [json.loads(line) for line in open(f"{work}/events1.jsonl")]
+assert events, "no trace events emitted"
+assert all({"example", "seq", "stage", "kind", "fields"} <= e.keys() for e in events)
+EOF
+    ;;
+diff)
+    reg="$work/runs"
+    # 1. Archive the seed baseline (PURPLE/ChatGPT, seed 42).
+    base=$(archive_run --scale tiny --seed 42 --jobs 2 --archive "$reg")
+    test -n "$base"
+
+    # 2. Re-running the identical config must gate clean with an all-zero
+    #    diff, byte-identical between --jobs 1 and --jobs 4.
+    "$REPRO" --scale tiny --seed 42 --jobs 1 --archive "$reg" --baseline "$base" \
+        --gate --diff-out "$work/d1.md" --diff-json "$work/d1.json" >/dev/null
+    "$REPRO" --scale tiny --seed 42 --jobs 4 --archive "$reg" --baseline "$base" \
+        --gate --diff-out "$work/d4.md" --diff-json "$work/d4.json" >/dev/null
+    cmp "$work/d1.md" "$work/d4.md"
+    cmp "$work/d1.json" "$work/d4.json"
+    grep -q 'All-zero diff' "$work/d1.md"
+
+    # 3. Perturbing the model profile must produce flips, and the weaker
+    #    candidate must trip the gate (nonzero exit).
+    strong=$(archive_run --scale tiny --seed 42 --jobs 2 --archive "$reg" --profile gpt4)
+    test "$strong" != "$base"
+    if "$REPRO" --scale tiny --seed 42 --jobs 2 --archive "$reg" --baseline "$strong" \
+        --gate --diff-out "$work/regression.md" >/dev/null; then
+        echo "expected the gate to fail for the ChatGPT candidate vs the GPT4 baseline" >&2
+        exit 1
+    fi
+    grep -q 'regressed' "$work/regression.md"
+    ;;
+*)
+    echo "unknown mode \`$mode\` (metrics|cache|diagnose|diff)" >&2
+    exit 2
+    ;;
+esac

@@ -3,7 +3,8 @@
 //! ```text
 //! repro [--scale tiny|medium|full] [--seed N] [--jobs N] [--metrics PATH]
 //!       [--diagnose PATH [--events PATH]] [--wall-clock] [--no-exec-cache]
-//!       [EXPERIMENTS...]
+//!       [--archive DIR [--profile chatgpt|gpt4] [--baseline RUN [--gate]]]
+//!       [--only NAME] [EXPERIMENTS...]
 //!
 //! EXPERIMENTS: --table1 --table2 --table3 --table4 --table5 --table6
 //!              --fig9 --fig10 --fig11 --fig12 --automaton-stats --all
@@ -25,6 +26,15 @@ struct Args {
     events: Option<String>,
     wall_clock: bool,
     no_exec_cache: bool,
+    archive: Option<String>,
+    baseline: Option<String>,
+    gate: bool,
+    gate_ex: usize,
+    gate_ts: usize,
+    gate_blame: f64,
+    diff_out: Option<String>,
+    diff_json: Option<String>,
+    profile: Option<String>,
     table1: bool,
     table2: bool,
     table3: bool,
@@ -45,8 +55,39 @@ struct Args {
     cost: bool,
 }
 
+/// Turn an `--only NAME` value into the matching experiment flag. Returns
+/// false for names that don't exist.
+fn set_experiment(args: &mut Args, name: &str) -> bool {
+    match name {
+        "table1" => args.table1 = true,
+        "table2" => args.table2 = true,
+        "table3" => args.table3 = true,
+        "table4" => args.table4 = true,
+        "table5" => args.table5 = true,
+        "table6" => args.table6 = true,
+        "fig9" => args.fig9 = true,
+        "fig10" => args.fig10 = true,
+        "fig11" => args.fig11 = true,
+        "fig12" => args.fig12 = true,
+        "automaton-stats" => args.automaton = true,
+        "support-stats" => args.support = true,
+        "rewrite-stats" => args.rewrites = true,
+        "extension-generation" => args.generation = true,
+        "seed-sweep" => args.sweep = true,
+        "model-stats" => args.model_stats = true,
+        "error-analysis" => args.errors = true,
+        "cost-report" => args.cost = true,
+        _ => return false,
+    }
+    true
+}
+
+const EXPERIMENT_NAMES: &str = "table1 table2 table3 table4 table5 table6 fig9 fig10 fig11 \
+     fig12 automaton-stats support-stats rewrite-stats extension-generation seed-sweep \
+     model-stats error-analysis cost-report";
+
 fn parse_args() -> Args {
-    let mut args = Args { seed: 42, ..Default::default() };
+    let mut args = Args { seed: 42, gate_blame: 10.0, ..Default::default() };
     let mut any = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -105,6 +146,77 @@ fn parse_args() -> Args {
             }
             "--wall-clock" => {
                 args.wall_clock = true;
+            }
+            "--only" => {
+                let name = it.next().unwrap_or_default();
+                if !set_experiment(&mut args, &name) {
+                    eprintln!("unknown experiment `{name}`; valid names: {EXPERIMENT_NAMES}");
+                    std::process::exit(2);
+                }
+                any = true;
+            }
+            "--archive" => {
+                let dir = it.next().unwrap_or_default();
+                if dir.is_empty() {
+                    eprintln!("--archive needs a registry directory");
+                    std::process::exit(2);
+                }
+                args.archive = Some(dir);
+                any = true;
+            }
+            "--baseline" => {
+                let id = it.next().unwrap_or_default();
+                if id.is_empty() {
+                    eprintln!("--baseline needs a run id (or unique prefix, or `latest`)");
+                    std::process::exit(2);
+                }
+                args.baseline = Some(id);
+                any = true;
+            }
+            "--gate" => {
+                args.gate = true;
+            }
+            "--gate-ex" => {
+                args.gate_ex = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--gate-ex needs an integer threshold");
+                    std::process::exit(2);
+                });
+            }
+            "--gate-ts" => {
+                args.gate_ts = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--gate-ts needs an integer threshold");
+                    std::process::exit(2);
+                });
+            }
+            "--gate-blame" => {
+                args.gate_blame = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--gate-blame needs a percentage-point threshold");
+                    std::process::exit(2);
+                });
+            }
+            "--diff-out" => {
+                let path = it.next().unwrap_or_default();
+                if path.is_empty() {
+                    eprintln!("--diff-out needs an output path");
+                    std::process::exit(2);
+                }
+                args.diff_out = Some(path);
+            }
+            "--diff-json" => {
+                let path = it.next().unwrap_or_default();
+                if path.is_empty() {
+                    eprintln!("--diff-json needs an output path");
+                    std::process::exit(2);
+                }
+                args.diff_json = Some(path);
+            }
+            "--profile" => {
+                let p = it.next().unwrap_or_default();
+                if p != "chatgpt" && p != "gpt4" {
+                    eprintln!("unknown profile `{p}` (chatgpt|gpt4)");
+                    std::process::exit(2);
+                }
+                args.profile = Some(p);
             }
             "--no-exec-cache" => {
                 args.no_exec_cache = true;
@@ -213,7 +325,27 @@ fn parse_args() -> Args {
                      instead of deterministic work units\n\
                      --no-exec-cache disable the shared prepared-plan/result cache and \
                      execute every query from scratch; reports are byte-identical with \
-                     or without the cache"
+                     or without the cache\n\
+                     --only NAME     run a single experiment by name (repeatable); \
+                     names: table1..table6, fig9..fig12, automaton-stats, support-stats, \
+                     rewrite-stats, extension-generation, seed-sweep, model-stats, \
+                     error-analysis, cost-report\n\
+                     --archive DIR   run a full-fidelity PURPLE dev evaluation \
+                     (EM/EX/TS + metrics + attribution) and record it in the run \
+                     registry at DIR; prints `run_id=...` (byte-identical for any --jobs)\n\
+                     --profile P     LLM profile for --archive: chatgpt (default) or gpt4\n\
+                     --baseline RUN  with --archive: diff the fresh run against archived \
+                     run RUN (full id, unique prefix, or `latest`) and print the \
+                     markdown dashboard\n\
+                     --diff-out PATH with --baseline: also write the dashboard to PATH\n\
+                     --diff-json PATH with --baseline: also write the machine-readable \
+                     diff JSON to PATH\n\
+                     --gate          with --baseline: exit nonzero when the candidate \
+                     regresses past the thresholds\n\
+                     --gate-ex N     allowed EX hit->miss flips (default 0)\n\
+                     --gate-ts N     allowed TS hit->miss flips (default 0)\n\
+                     --gate-blame F  allowed blame-share growth in percentage points \
+                     (default 10.0)"
                 );
                 std::process::exit(0);
             }
@@ -243,6 +375,19 @@ fn main() {
     let args = parse_args();
     if args.events.is_some() && args.diagnose.is_none() {
         eprintln!("--events requires --diagnose");
+        std::process::exit(2);
+    }
+    if args.baseline.is_some() && args.archive.is_none() {
+        eprintln!("--baseline requires --archive (the registry holding the baseline run)");
+        std::process::exit(2);
+    }
+    if (args.gate || args.diff_out.is_some() || args.diff_json.is_some()) && args.baseline.is_none()
+    {
+        eprintln!("--gate/--diff-out/--diff-json require --baseline");
+        std::process::exit(2);
+    }
+    if args.profile.is_some() && args.archive.is_none() {
+        eprintln!("--profile requires --archive");
         std::process::exit(2);
     }
     let scale = args.scale.unwrap_or(Scale::Medium);
@@ -456,5 +601,103 @@ fn main() {
         }
         println!();
     }
+    if let Some(root) = &args.archive {
+        archive_and_diff(&args, &mut ctx, scale, root, &t0);
+    }
     eprintln!("[repro] done in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+/// `--archive` (and optional `--baseline`/`--gate`): run the full-fidelity
+/// evaluation, record it in the registry, diff against the baseline, render
+/// the dashboard, and enforce the gate thresholds.
+fn archive_and_diff(args: &Args, ctx: &mut ReproContext, scale: Scale, root: &str, t0: &Instant) {
+    eprintln!("[repro] running archival evaluation ({:.1}s)...", t0.elapsed().as_secs_f64());
+    let profile = match args.profile.as_deref() {
+        Some("gpt4") => llm::GPT4,
+        _ => llm::CHATGPT,
+    };
+    let report = exp::archive_eval(ctx, profile);
+    let manifest = eval::RunManifest {
+        system: report.system.clone(),
+        split: report.split.clone(),
+        scale: scale.name().to_string(),
+        seed: args.seed,
+        jobs: ctx.jobs,
+        profile: profile.name.to_string(),
+        config_fingerprint: eval::fingerprint(&format!(
+            "{:?}",
+            purple::PurpleConfig::default_with(profile)
+        )),
+        git_rev: eval::git_rev(std::path::Path::new(".")).unwrap_or_else(|| "unknown".into()),
+        schema_version: eval::REPORT_SCHEMA_VERSION,
+        examples: report.overall.n,
+    };
+    let registry = eval::RunRegistry::open(root).unwrap_or_else(|e| {
+        eprintln!("cannot open run registry at {root}: {e}");
+        std::process::exit(1);
+    });
+    let run_id = registry.record(&manifest, &report).unwrap_or_else(|e| {
+        eprintln!("cannot archive run: {e}");
+        std::process::exit(1);
+    });
+    println!("run_id={run_id}");
+    eprintln!(
+        "[repro] archived {} ({} examples) under {root}/{run_id}",
+        report.system, report.overall.n
+    );
+    let Some(reference) = &args.baseline else {
+        return;
+    };
+    let base_id = registry.resolve(reference).unwrap_or_else(|e| {
+        eprintln!("cannot resolve baseline `{reference}`: {e}");
+        std::process::exit(2);
+    });
+    let (_, base_report) = registry.load(&base_id).unwrap_or_else(|e| {
+        eprintln!("cannot load baseline {base_id}: {e}");
+        std::process::exit(2);
+    });
+    let diff = eval::diff_reports(&base_id, &base_report, &run_id, &report).unwrap_or_else(|e| {
+        eprintln!("cannot diff {run_id} against {base_id}: {e}");
+        std::process::exit(2);
+    });
+    // Self-check: the diff must round-trip through our own parser bit-exactly.
+    let json = eval::diff_to_json(&diff);
+    let parsed = eval::diff_from_json(&json).unwrap_or_else(|e| {
+        eprintln!("diff JSON failed to round-trip: {e}");
+        std::process::exit(1);
+    });
+    assert_eq!(parsed, diff, "diff JSON round-trip mismatch");
+    print!("{}", diff.render_markdown());
+    if let Some(path) = &args.diff_out {
+        if let Err(e) = std::fs::write(path, diff.render_markdown()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[repro] diff dashboard written to {path}");
+    }
+    if let Some(path) = &args.diff_json {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[repro] diff JSON written to {path}");
+    }
+    if args.gate {
+        let cfg = eval::GateConfig {
+            max_ex_regressions: args.gate_ex,
+            max_ts_regressions: args.gate_ts,
+            max_blame_share_increase: args.gate_blame,
+        };
+        let outcome = eval::gate(&diff, &cfg);
+        if outcome.passed {
+            eprintln!("[repro] gate passed: {run_id} vs baseline {base_id}");
+        } else {
+            eprintln!("[repro] gate FAILED: {run_id} vs baseline {base_id}");
+            for v in &outcome.violations {
+                eprintln!("  - {v}");
+            }
+            eprintln!("[repro] done in {:.1}s", t0.elapsed().as_secs_f64());
+            std::process::exit(1);
+        }
+    }
 }

@@ -31,6 +31,15 @@ impl Scale {
         }
     }
 
+    /// Stable lowercase name, recorded in run manifests.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Medium => "medium",
+            Scale::Full => "full",
+        }
+    }
+
     /// The generation config for this scale.
     pub fn gen_config(self, seed: u64) -> GenConfig {
         match self {

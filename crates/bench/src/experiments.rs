@@ -1010,3 +1010,38 @@ pub fn diagnose(ctx: &ReproContext) -> DiagnoseOutput {
     let drained = sink.drain();
     DiagnoseOutput { report, markdown, events_jsonl: obs::to_jsonl(&drained.events) }
 }
+
+// ---------------------------------------------------------------------------
+// Run registry (DESIGN.md §11): full-fidelity archived evaluation
+// ---------------------------------------------------------------------------
+
+/// Run PURPLE on a profile over the dev split at full fidelity — EM/EX *and*
+/// TS via the distilled suites, per-stage metrics, and per-module failure
+/// attribution — producing the report `repro --archive` records. Verdicts fold
+/// in example order, so the report is byte-identical for any `ctx.jobs`.
+pub fn archive_eval(ctx: &mut ReproContext, profile: llm::LlmProfile) -> EvalReport {
+    // Ensure suites exist before parallel evaluation borrows ctx immutably.
+    ctx.dev_suites();
+    let suites = ctx.dev_suites.clone().expect("built above");
+    let p = purple_with(ctx, profile);
+    let dev = &ctx.suite.dev;
+    let (mut report, verdicts) = eval::evaluate_with_par(
+        eval::Translator::name(&p),
+        dev,
+        Some(&suites),
+        ctx.jobs,
+        &ctx.session,
+        |job: eval::Job<'_>| {
+            let (ex, db) = (job.example, job.db);
+            let out = p.run(job.with_trace(true));
+            let verdict = out.trace.as_ref().and_then(|t| t.blame(&ex.query, db));
+            (eval::RunOutcome { translation: out.translation, metrics: out.metrics }, verdict)
+        },
+    );
+    let mut attribution = eval::AttributionReport::default();
+    for v in &verdicts {
+        attribution.add(v.as_ref());
+    }
+    report.attribution = Some(attribution);
+    report
+}

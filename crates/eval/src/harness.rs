@@ -137,6 +137,46 @@ pub fn seed_for(base: u64, idx: usize) -> u64 {
     base.wrapping_mul(0x100000001b3).wrapping_add(idx as u64 + 1)
 }
 
+/// One example's metric outcome, kept in example order inside
+/// [`EvalReport::examples`] so two archived runs of the same split can be
+/// diffed example-by-example (`eval::diff`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExampleOutcome {
+    /// Exact-set match.
+    pub em: bool,
+    /// Execution match.
+    pub ex: bool,
+    /// Test-suite match (always `false` when the run had no suites).
+    pub ts: bool,
+    /// Hardness level, 0 (easy) ..= 3 (extra).
+    pub hardness: u8,
+}
+
+impl ExampleOutcome {
+    /// Pack into a small integer for the JSON codec: bit 0 = EM, bit 1 = EX,
+    /// bit 2 = TS, bits 3.. = hardness.
+    pub fn pack(self) -> u64 {
+        (self.em as u64)
+            | (self.ex as u64) << 1
+            | (self.ts as u64) << 2
+            | (self.hardness as u64) << 3
+    }
+
+    /// Inverse of [`ExampleOutcome::pack`]; rejects out-of-range hardness.
+    pub fn unpack(v: u64) -> Result<Self, String> {
+        let hardness = v >> 3;
+        if hardness > 3 {
+            return Err(format!("packed example outcome {v} has hardness {hardness} > 3"));
+        }
+        Ok(ExampleOutcome {
+            em: v & 1 != 0,
+            ex: v & 2 != 0,
+            ts: v & 4 != 0,
+            hardness: hardness as u8,
+        })
+    }
+}
+
 /// Accuracy within one hardness bucket.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Bucket {
@@ -196,6 +236,9 @@ pub struct EvalReport {
     /// Per-module failure attribution, when the evaluation ran with blame
     /// analysis (`repro --diagnose`); `None` for plain evaluations.
     pub attribution: Option<AttributionReport>,
+    /// Per-example EM/EX/TS outcomes in example order. Empty only for reports
+    /// decoded from schema-v1 archives, which predate per-example capture.
+    pub examples: Vec<ExampleOutcome>,
 }
 
 impl EvalReport {
@@ -293,10 +336,12 @@ fn assemble(
     let mut prompt_tokens = 0u64;
     let mut output_tokens = 0u64;
     let mut metrics = StageMetrics::default();
+    let mut examples = Vec::with_capacity(n);
     for s in scores {
         prompt_tokens += s.prompt_tokens;
         output_tokens += s.output_tokens;
         metrics.merge(&s.metrics);
+        examples.push(ExampleOutcome { em: s.em, ex: s.ex, ts: s.ts, hardness: s.hardness as u8 });
         for b in [&mut overall, &mut by_hardness[s.hardness]] {
             b.n += 1;
             b.em += s.em as usize;
@@ -315,6 +360,7 @@ fn assemble(
         has_ts,
         metrics,
         attribution: None,
+        examples,
     }
 }
 

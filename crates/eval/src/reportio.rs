@@ -4,10 +4,16 @@
 //! the workspace dependency set.
 
 use crate::attribution::{AttributionReport, Blame};
-use crate::harness::{Bucket, EvalReport};
+use crate::harness::{Bucket, EvalReport, ExampleOutcome};
 use obs::{Clock, Counter, Fixer, Gauge, GaugeSlot, Histogram, Stage, StageMetrics, NUM_BUCKETS};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// The report schema version this codec writes. v1 predates `schema_version`
+/// and per-example outcomes; a missing `schema_version` on read means v1.
+/// Future versions are rejected with a descriptive error so archived runs from
+/// a newer binary never decode silently wrong.
+pub const REPORT_SCHEMA_VERSION: u64 = 2;
 
 /// Serialize a report to a JSON object string.
 ///
@@ -17,6 +23,7 @@ use std::fmt::Write as _;
 pub fn report_to_json(report: &EvalReport) -> String {
     let mut out = String::with_capacity(256);
     out.push('{');
+    write!(out, "\"schema_version\":{REPORT_SCHEMA_VERSION},").unwrap();
     write!(out, "\"system\":{},", escape(&report.system)).unwrap();
     write!(out, "\"split\":{},", escape(&report.split)).unwrap();
     write!(out, "\"overall\":{},", bucket_to_json(&report.overall)).unwrap();
@@ -33,10 +40,18 @@ pub fn report_to_json(report: &EvalReport) -> String {
     write!(out, "\"has_ts\":{},", report.has_ts).unwrap();
     write!(out, "\"metrics\":{},", metrics_to_json(&report.metrics)).unwrap();
     match &report.attribution {
-        Some(a) => write!(out, "\"attribution\":{}", attribution_to_json(a)).unwrap(),
-        None => out.push_str("\"attribution\":null"),
+        Some(a) => write!(out, "\"attribution\":{},", attribution_to_json(a)).unwrap(),
+        None => out.push_str("\"attribution\":null,"),
     }
-    out.push('}');
+    // Per-example outcomes, packed (bit 0 EM, bit 1 EX, bit 2 TS, bits 3.. hardness).
+    out.push_str("\"examples\":[");
+    for (i, e) in report.examples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(out, "{}", e.pack()).unwrap();
+    }
+    out.push_str("]}");
     out
 }
 
@@ -176,9 +191,23 @@ fn bucket_to_json(b: &Bucket) -> String {
 
 /// Parse a report written by [`report_to_json`] (or any equivalent JSON object;
 /// field order does not matter, unknown fields are rejected).
+///
+/// A document without `schema_version` is read as v1 (no per-example
+/// outcomes); a version newer than [`REPORT_SCHEMA_VERSION`] is rejected so
+/// archives written by a future binary fail loudly instead of decoding wrong.
 pub fn report_from_json(text: &str) -> Result<EvalReport, String> {
     let value = Parser { bytes: text.as_bytes(), pos: 0 }.parse_document()?;
     let obj = value.as_object("report")?;
+    // Validate the version before anything else so a future archive produces
+    // "unsupported schema_version", not "unknown field".
+    if let Some(v) = obj.get("schema_version") {
+        let v = v.as_u64("schema_version")?;
+        if v == 0 || v > REPORT_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported report schema_version {v}; this binary reads versions 1..={REPORT_SCHEMA_VERSION}"
+            ));
+        }
+    }
     let mut report = EvalReport {
         system: String::new(),
         split: String::new(),
@@ -189,9 +218,11 @@ pub fn report_from_json(text: &str) -> Result<EvalReport, String> {
         has_ts: false,
         metrics: StageMetrics::default(),
         attribution: None,
+        examples: Vec::new(),
     };
     for (key, val) in obj {
         match key.as_str() {
+            "schema_version" => {}
             "system" => report.system = val.as_string("system")?,
             "split" => report.split = val.as_string("split")?,
             "overall" => report.overall = bucket_from_value(val, "overall")?,
@@ -211,6 +242,13 @@ pub fn report_from_json(text: &str) -> Result<EvalReport, String> {
             "attribution" => {
                 report.attribution =
                     if val.is_null() { None } else { Some(attribution_from_value(val)?) }
+            }
+            "examples" => {
+                let items = val.as_array("examples")?;
+                report.examples = items
+                    .iter()
+                    .map(|item| ExampleOutcome::unpack(item.as_u64("examples[i]")?))
+                    .collect::<Result<Vec<_>, _>>()?;
             }
             other => return Err(format!("unknown report field `{other}`")),
         }
@@ -328,7 +366,7 @@ fn bucket_from_value(value: &JsonValue, what: &str) -> Result<Bucket, String> {
     Ok(b)
 }
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -350,7 +388,7 @@ fn escape(s: &str) -> String {
 
 /// Minimal JSON value tree. Numbers keep their source text so integer widths
 /// and float precision are decided by the caller, not the parser.
-enum JsonValue {
+pub(crate) enum JsonValue {
     Null,
     Str(String),
     Num(String),
@@ -360,60 +398,60 @@ enum JsonValue {
 }
 
 impl JsonValue {
-    fn as_object(&self, what: &str) -> Result<&BTreeMap<String, JsonValue>, String> {
+    pub(crate) fn as_object(&self, what: &str) -> Result<&BTreeMap<String, JsonValue>, String> {
         match self {
             JsonValue::Object(m) => Ok(m),
             _ => Err(format!("{what}: expected object")),
         }
     }
-    fn as_array(&self, what: &str) -> Result<&[JsonValue], String> {
+    pub(crate) fn as_array(&self, what: &str) -> Result<&[JsonValue], String> {
         match self {
             JsonValue::Array(v) => Ok(v),
             _ => Err(format!("{what}: expected array")),
         }
     }
-    fn as_string(&self, what: &str) -> Result<String, String> {
+    pub(crate) fn as_string(&self, what: &str) -> Result<String, String> {
         match self {
             JsonValue::Str(s) => Ok(s.clone()),
             _ => Err(format!("{what}: expected string")),
         }
     }
-    fn as_bool(&self, what: &str) -> Result<bool, String> {
+    pub(crate) fn as_bool(&self, what: &str) -> Result<bool, String> {
         match self {
             JsonValue::Bool(b) => Ok(*b),
             _ => Err(format!("{what}: expected bool")),
         }
     }
-    fn as_f64(&self, what: &str) -> Result<f64, String> {
+    pub(crate) fn as_f64(&self, what: &str) -> Result<f64, String> {
         match self {
             JsonValue::Num(s) => s.parse().map_err(|e| format!("{what}: {e}")),
             _ => Err(format!("{what}: expected number")),
         }
     }
-    fn as_usize(&self, what: &str) -> Result<usize, String> {
+    pub(crate) fn as_usize(&self, what: &str) -> Result<usize, String> {
         match self {
             JsonValue::Num(s) => s.parse().map_err(|e| format!("{what}: {e}")),
             _ => Err(format!("{what}: expected integer")),
         }
     }
-    fn as_u64(&self, what: &str) -> Result<u64, String> {
+    pub(crate) fn as_u64(&self, what: &str) -> Result<u64, String> {
         match self {
             JsonValue::Num(s) => s.parse().map_err(|e| format!("{what}: {e}")),
             _ => Err(format!("{what}: expected integer")),
         }
     }
-    fn is_null(&self) -> bool {
+    pub(crate) fn is_null(&self) -> bool {
         matches!(self, JsonValue::Null)
     }
 }
 
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+pub(crate) struct Parser<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl Parser<'_> {
-    fn parse_document(mut self) -> Result<JsonValue, String> {
+    pub(crate) fn parse_document(mut self) -> Result<JsonValue, String> {
         let value = self.parse_value()?;
         self.skip_ws();
         if self.pos != self.bytes.len() {
@@ -627,6 +665,11 @@ mod tests {
             has_ts: true,
             metrics: sample_metrics(),
             attribution: None,
+            examples: vec![
+                ExampleOutcome { em: true, ex: true, ts: true, hardness: 0 },
+                ExampleOutcome { em: false, ex: true, ts: false, hardness: 3 },
+                ExampleOutcome { em: false, ex: false, ts: false, hardness: 1 },
+            ],
         }
     }
 
@@ -660,8 +703,55 @@ mod tests {
         let report = sample();
         let json = report_to_json(&report);
         assert!(json.contains("\"attribution\":null"), "absent attribution is null: {json}");
+        assert!(
+            json.starts_with(&format!("{{\"schema_version\":{REPORT_SCHEMA_VERSION},")),
+            "version leads the document: {json}"
+        );
         let back = report_from_json(&json).expect("parses");
         assert_eq!(report, back);
+    }
+
+    #[test]
+    fn schema_versioning_accepts_v1_and_rejects_future() {
+        // A v1 document (no schema_version, no examples) still parses.
+        let report = sample();
+        let mut v1 = report_to_json(&report);
+        v1 = v1.replace(&format!("\"schema_version\":{REPORT_SCHEMA_VERSION},"), "");
+        let examples_field = {
+            let start = v1.find("\"examples\":").expect("examples field present");
+            v1[start..v1.len() - 1].to_string() // up to the closing brace
+        };
+        v1 = v1.replace(&format!(",{examples_field}"), "");
+        let back = report_from_json(&v1).expect("v1 parses");
+        assert!(back.examples.is_empty(), "v1 has no per-example outcomes");
+        assert_eq!(back.overall, report.overall);
+        // An explicit v1 tag is accepted too.
+        let tagged = format!("{{\"schema_version\":1,{}", &v1[1..]);
+        assert!(report_from_json(&tagged).is_ok(), "explicit v1 parses");
+        // Future versions are rejected with a descriptive error, not a field error.
+        let future = report_to_json(&report).replace(
+            &format!("\"schema_version\":{REPORT_SCHEMA_VERSION}"),
+            "\"schema_version\":99",
+        );
+        let err = report_from_json(&future).unwrap_err();
+        assert!(err.contains("unsupported report schema_version 99"), "{err}");
+        assert!(err.contains(&format!("1..={REPORT_SCHEMA_VERSION}")), "{err}");
+        // Version 0 is nonsense.
+        let zero = report_to_json(&report).replace(
+            &format!("\"schema_version\":{REPORT_SCHEMA_VERSION}"),
+            "\"schema_version\":0",
+        );
+        assert!(report_from_json(&zero).is_err());
+    }
+
+    #[test]
+    fn example_outcomes_pack_and_reject_bad_values() {
+        for v in 0..32u64 {
+            assert_eq!(ExampleOutcome::unpack(v).unwrap().pack(), v);
+        }
+        assert!(ExampleOutcome::unpack(32).is_err(), "hardness 4 is out of range");
+        let json = report_to_json(&sample()).replace("\"examples\":[", "\"examples\":[255,");
+        assert!(report_from_json(&json).is_err());
     }
 
     #[test]

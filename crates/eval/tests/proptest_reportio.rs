@@ -1,0 +1,144 @@
+//! Robustness properties of the archive codecs: any truncated or corrupted
+//! artifact must be rejected with a descriptive error (or, for benign
+//! mutations, parse to *some* value) — decoding must never panic. The run
+//! registry reads these files back from disk, so a crashing parser would turn
+//! a bad archive into a crashed gate instead of a failed load.
+
+use eval::harness::{Bucket, EvalReport, ExampleOutcome};
+use eval::registry::RunManifest;
+use eval::reportio::{report_from_json, report_to_json};
+use obs::{Counter, Fixer, Gauge, Stage, StageMetrics};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn sample_report() -> EvalReport {
+    let mut m = StageMetrics::default();
+    m.observe(Stage::SchemaPruning, 12);
+    m.observe(Stage::LlmCall, 4096);
+    m.observe(Stage::LlmCall, u64::MAX);
+    m.count(Counter::LlmCalls, 2);
+    m.count(Counter::PromptTokens, 4100);
+    m.record_fix(Fixer::MissingTable, true);
+    m.set_gauge(Gauge::DemosInPrompt, 4);
+    EvalReport {
+        system: "PURPLE (ChatGPT)".into(),
+        split: "dev".into(),
+        overall: Bucket { n: 3, em: 1, ex: 2, ts: 1 },
+        by_hardness: [
+            Bucket { n: 1, em: 1, ex: 1, ts: 1 },
+            Bucket { n: 1, em: 0, ex: 1, ts: 0 },
+            Bucket { n: 1, em: 0, ex: 0, ts: 0 },
+            Bucket { n: 0, em: 0, ex: 0, ts: 0 },
+        ],
+        avg_prompt_tokens: 5990.333333333333,
+        avg_output_tokens: 27.49,
+        has_ts: true,
+        metrics: m,
+        attribution: None,
+        examples: vec![
+            ExampleOutcome { em: true, ex: true, ts: true, hardness: 0 },
+            ExampleOutcome { em: false, ex: true, ts: false, hardness: 1 },
+            ExampleOutcome { em: false, ex: false, ts: false, hardness: 2 },
+        ],
+    }
+}
+
+fn sample_manifest() -> RunManifest {
+    RunManifest {
+        system: "PURPLE (ChatGPT)".into(),
+        split: "dev".into(),
+        scale: "tiny".into(),
+        seed: 42,
+        jobs: 4,
+        profile: "ChatGPT".into(),
+        config_fingerprint: "deadbeefdeadbeef".into(),
+        git_rev: "0123abc".into(),
+        schema_version: eval::REPORT_SCHEMA_VERSION,
+        examples: 3,
+    }
+}
+
+/// Parse without propagating panics; returns Err(description) for both parse
+/// errors and panics so the caller can distinguish "rejected" from "crashed".
+fn try_parse<T>(f: impl FnOnce() -> Result<T, String>) -> Result<Result<T, String>, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|p| {
+        p.downcast_ref::<&str>().map(|s| s.to_string()).unwrap_or_else(|| "panic".into())
+    })
+}
+
+#[test]
+fn every_truncation_of_a_report_is_rejected_not_crashed() {
+    let json = report_to_json(&sample_report());
+    assert!(report_from_json(&json).is_ok(), "full document parses");
+    for len in 0..json.len() {
+        if !json.is_char_boundary(len) {
+            continue;
+        }
+        let prefix = &json[..len];
+        let outcome = try_parse(|| report_from_json(prefix))
+            .unwrap_or_else(|p| panic!("report_from_json panicked at truncation {len}: {p}"));
+        let err = outcome
+            .err()
+            .unwrap_or_else(|| panic!("truncation to {len} bytes parsed as a full report"));
+        assert!(!err.is_empty(), "empty error message at truncation {len}");
+    }
+}
+
+#[test]
+fn every_truncation_of_a_manifest_is_rejected_not_crashed() {
+    let json = sample_manifest().to_json();
+    assert!(RunManifest::from_json(&json).is_ok(), "full manifest parses");
+    for len in 0..json.len() {
+        let prefix = &json[..len];
+        let outcome = try_parse(|| RunManifest::from_json(prefix))
+            .unwrap_or_else(|p| panic!("RunManifest::from_json panicked at truncation {len}: {p}"));
+        let err = outcome
+            .err()
+            .unwrap_or_else(|| panic!("truncation to {len} bytes parsed as a full manifest"));
+        assert!(!err.is_empty(), "empty error message at truncation {len}");
+    }
+}
+
+#[test]
+fn single_byte_corruption_never_panics_the_report_parser() {
+    let json = report_to_json(&sample_report());
+    let bytes = json.as_bytes();
+    // Deterministic sweep: every position × a byte alphabet that hits the
+    // paths that historically break hand-rolled parsers (structure characters,
+    // digits, quotes, escapes, NUL, and DEL).
+    let alphabet: &[u8] = b"\0\"\\{}[]:,0927eE+-.xnt ~\x7f";
+    for pos in 0..bytes.len() {
+        for &b in alphabet {
+            if bytes[pos] == b {
+                continue;
+            }
+            let mut mutated = bytes.to_vec();
+            mutated[pos] = b;
+            let Ok(text) = String::from_utf8(mutated) else {
+                continue; // the decoder only ever sees &str
+            };
+            let outcome = try_parse(|| report_from_json(&text)).unwrap_or_else(|p| {
+                panic!("report_from_json panicked with byte {b:#04x} at {pos}: {p}")
+            });
+            if let Err(err) = outcome {
+                assert!(!err.is_empty(), "empty error for byte {b:#04x} at {pos}");
+            }
+            // Ok is acceptable: some mutations (e.g. a digit inside a number)
+            // produce a different but well-formed document.
+        }
+    }
+}
+
+#[test]
+fn corrupted_packed_outcomes_are_descriptive_errors() {
+    let json = report_to_json(&sample_report());
+    // A packed value with hardness > 3 must be rejected with the field name.
+    let bad = json.replace("\"examples\":[", "\"examples\":[255,");
+    let err = report_from_json(&bad).expect_err("out-of-range packed outcome accepted");
+    assert!(
+        err.contains("example") || err.contains("outcome") || err.contains("hardness"),
+        "error does not describe the bad field: {err}"
+    );
+    // Garbage instead of the array must also fail cleanly.
+    let bad = json.replace("\"examples\":[", "\"examples\":[\"x\",");
+    assert!(report_from_json(&bad).is_err(), "non-integer packed outcome accepted");
+}

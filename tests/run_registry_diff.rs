@@ -1,0 +1,168 @@
+//! The run-registry and regression-gating contract (`repro --archive` /
+//! `--baseline` / `--gate`, DESIGN.md §11): archived reports are byte-identical
+//! for any worker count, a self-diff is all-zero, flip sets partition the
+//! split, diff(A,B) mirrors diff(B,A), the diff JSON round-trips bit-exactly,
+//! and the gate trips exactly when a candidate regresses past its thresholds.
+
+use bench_harness::{experiments as exp, ReproContext, Scale};
+use eval::{diff_from_json, diff_reports, diff_to_json, gate, EvalReport, GateConfig};
+use llm::{CHATGPT, GPT4};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "purple-registry-it-{}-{tag}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn archive_at(jobs: usize, profile: llm::LlmProfile) -> EvalReport {
+    let mut ctx = ReproContext::build(Scale::Tiny, 42);
+    ctx.jobs = jobs;
+    exp::archive_eval(&mut ctx, profile)
+}
+
+fn manifest_for(report: &EvalReport, jobs: usize, profile: llm::LlmProfile) -> eval::RunManifest {
+    eval::RunManifest {
+        system: report.system.clone(),
+        split: report.split.clone(),
+        scale: "tiny".to_string(),
+        seed: 42,
+        jobs,
+        profile: profile.name.to_string(),
+        config_fingerprint: eval::fingerprint(&format!(
+            "{:?}",
+            purple::PurpleConfig::default_with(profile)
+        )),
+        git_rev: "test".to_string(),
+        schema_version: eval::REPORT_SCHEMA_VERSION,
+        examples: report.overall.n,
+    }
+}
+
+#[test]
+fn archived_report_is_jobs_invariant_and_full_fidelity() {
+    let serial = archive_at(1, CHATGPT);
+    let parallel = archive_at(4, CHATGPT);
+    assert_eq!(
+        eval::report_to_json(&serial),
+        eval::report_to_json(&parallel),
+        "archived report bytes depend on --jobs"
+    );
+    assert!(serial.has_ts, "archive evaluation must compute TS");
+    assert!(serial.attribution.is_some(), "archive evaluation must attribute failures");
+    assert_eq!(serial.examples.len(), serial.overall.n, "one outcome per example");
+}
+
+#[test]
+fn self_diff_is_empty_and_gates_clean() {
+    let report = archive_at(2, CHATGPT);
+    let diff = diff_reports("base", &report, "cand", &report).expect("same split diffs");
+    assert!(diff.is_empty(), "self-diff must be all-zero");
+    assert!(diff.render_markdown().contains("All-zero diff"));
+    let outcome = gate(&diff, &GateConfig::default());
+    assert!(outcome.passed, "self-diff tripped the gate: {:?}", outcome.violations);
+}
+
+#[test]
+fn flip_sets_partition_and_mirror_between_profiles() {
+    let a = archive_at(2, CHATGPT);
+    let b = archive_at(2, GPT4);
+    let ab = diff_reports("a", &a, "b", &b).expect("diffable");
+    let ba = diff_reports("b", &b, "a", &a).expect("diffable");
+
+    assert!(!ab.is_empty(), "profile perturbation should flip something");
+    for (name, m) in [("em", &ab.em), ("ex", &ab.ex), ("ts", &ab.ts)] {
+        assert_eq!(
+            m.regressed.len() + m.fixed.len() + m.unchanged_hit + m.unchanged_miss,
+            ab.n,
+            "{name} flip sets do not partition the split"
+        );
+    }
+    // diff(A,B) mirrors diff(B,A): flips swap roles, significance is symmetric.
+    assert_eq!(ab.ex.regressed, ba.ex.fixed);
+    assert_eq!(ab.ex.fixed, ba.ex.regressed);
+    assert_eq!(ab.em.regressed, ba.em.fixed);
+    assert_eq!(ab.ts.regressed, ba.ts.fixed);
+    assert_eq!(ab.ex.mcnemar_p, ba.ex.mcnemar_p);
+    assert_eq!(ab.avg_output_tokens_delta, -ba.avg_output_tokens_delta);
+
+    // The dashboard renders the movement.
+    let md = ab.render_markdown();
+    assert!(md.contains("## Metrics"), "dashboard missing metric table:\n{md}");
+    assert!(md.contains("Failure attribution shift"), "dashboard missing blame table");
+}
+
+#[test]
+fn diff_json_round_trips_bit_exactly() {
+    let a = archive_at(2, CHATGPT);
+    let b = archive_at(2, GPT4);
+    let diff = diff_reports("a", &a, "b", &b).expect("diffable");
+    let json = diff_to_json(&diff);
+    let parsed = diff_from_json(&json).expect("diff JSON parses");
+    assert_eq!(parsed, diff, "diff JSON lost information");
+    assert_eq!(diff_to_json(&parsed), json, "re-serialization is not bit-exact");
+}
+
+#[test]
+fn registry_round_trips_runs_and_stays_append_only() {
+    let root = scratch_dir("round-trip");
+    let registry = eval::RunRegistry::open(&root).expect("open registry");
+
+    let report = archive_at(2, CHATGPT);
+    let manifest = manifest_for(&report, 2, CHATGPT);
+    let id = registry.record(&manifest, &report).expect("record");
+
+    // Re-recording the identical run is idempotent, even from a different
+    // worker count (jobs is informational and excluded from the run id).
+    let again = manifest_for(&report, 8, CHATGPT);
+    assert_eq!(again.run_id(), id, "jobs must not change the run id");
+    assert_eq!(registry.record(&again, &report).expect("idempotent"), id);
+
+    let (loaded_manifest, loaded_report) = registry.load(&id).expect("load");
+    assert_eq!(loaded_manifest, manifest, "first-written manifest stands");
+    assert_eq!(loaded_report, report);
+
+    // A different profile archives under a different id in the same registry.
+    let other = archive_at(2, GPT4);
+    let other_id = registry.record(&manifest_for(&other, 2, GPT4), &other).expect("record gpt4");
+    assert_ne!(other_id, id);
+    assert_eq!(registry.run_ids().expect("index"), vec![id.clone(), other_id.clone()]);
+    assert_eq!(registry.resolve("latest").expect("latest"), other_id);
+
+    // Same id with a diverging report is an append-only violation.
+    let mut tampered = report.clone();
+    tampered.overall.em += 1;
+    let err = registry.record(&manifest, &tampered).expect_err("divergent content");
+    assert!(err.contains("append-only"), "unexpected error: {err}");
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn gate_trips_on_profile_regression_but_honors_thresholds() {
+    let strong = archive_at(2, GPT4);
+    let weak = archive_at(2, CHATGPT);
+    let diff = diff_reports("strong", &strong, "weak", &weak).expect("diffable");
+    let regressions = diff.ex.regressed.len() + diff.ts.regressed.len();
+    assert!(regressions > 0, "the weaker profile should regress somewhere");
+
+    let strict = gate(&diff, &GateConfig::default());
+    assert!(!strict.passed, "default thresholds must trip on a regression");
+    assert!(!strict.violations.is_empty());
+
+    let lax = gate(
+        &diff,
+        &GateConfig {
+            max_ex_regressions: diff.ex.regressed.len(),
+            max_ts_regressions: diff.ts.regressed.len(),
+            max_blame_share_increase: 100.0,
+        },
+    );
+    assert!(lax.passed, "thresholds at the observed movement must pass: {:?}", lax.violations);
+}
