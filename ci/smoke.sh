@@ -71,6 +71,16 @@ diff)
         exit 1
     fi
     grep -q 'regressed' "$work/regression.md"
+
+    # 4. `--baseline latest` must resolve to the most recent *pre-existing*
+    #    run (the GPT4 one), not the candidate being archived — a self-diff
+    #    would gate vacuously clean on any config change.
+    if "$REPRO" --scale tiny --seed 42 --jobs 2 --archive "$reg" --baseline latest \
+        --gate --diff-json "$work/latest.json" >/dev/null; then
+        echo "expected --baseline latest to diff against the GPT4 run and fail the gate" >&2
+        exit 1
+    fi
+    grep -q "\"baseline\":\"$strong\"" "$work/latest.json"
     ;;
 *)
     echo "unknown mode \`$mode\` (metrics|cache|diagnose|diff)" >&2

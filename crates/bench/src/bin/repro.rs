@@ -611,6 +611,22 @@ fn main() {
 /// evaluation, record it in the registry, diff against the baseline, render
 /// the dashboard, and enforce the gate thresholds.
 fn archive_and_diff(args: &Args, ctx: &mut ReproContext, scale: Scale, root: &str, t0: &Instant) {
+    let registry = eval::RunRegistry::open(root).unwrap_or_else(|e| {
+        eprintln!("cannot open run registry at {root}: {e}");
+        std::process::exit(1);
+    });
+    // Resolve the baseline before recording the candidate. Recording first
+    // would let `--baseline latest` resolve to the just-archived candidate
+    // whenever the config changed (new run id), so the diff would be a
+    // self-diff and `--gate` could never fail in exactly the changed-config
+    // case it exists to catch. Resolving first also fails fast on a bad
+    // reference before the expensive archival evaluation runs.
+    let base_id = args.baseline.as_ref().map(|reference| {
+        registry.resolve(reference).unwrap_or_else(|e| {
+            eprintln!("cannot resolve baseline `{reference}`: {e}");
+            std::process::exit(2);
+        })
+    });
     eprintln!("[repro] running archival evaluation ({:.1}s)...", t0.elapsed().as_secs_f64());
     let profile = match args.profile.as_deref() {
         Some("gpt4") => llm::GPT4,
@@ -632,10 +648,6 @@ fn archive_and_diff(args: &Args, ctx: &mut ReproContext, scale: Scale, root: &st
         schema_version: eval::REPORT_SCHEMA_VERSION,
         examples: report.overall.n,
     };
-    let registry = eval::RunRegistry::open(root).unwrap_or_else(|e| {
-        eprintln!("cannot open run registry at {root}: {e}");
-        std::process::exit(1);
-    });
     let run_id = registry.record(&manifest, &report).unwrap_or_else(|e| {
         eprintln!("cannot archive run: {e}");
         std::process::exit(1);
@@ -645,13 +657,9 @@ fn archive_and_diff(args: &Args, ctx: &mut ReproContext, scale: Scale, root: &st
         "[repro] archived {} ({} examples) under {root}/{run_id}",
         report.system, report.overall.n
     );
-    let Some(reference) = &args.baseline else {
+    let Some(base_id) = base_id else {
         return;
     };
-    let base_id = registry.resolve(reference).unwrap_or_else(|e| {
-        eprintln!("cannot resolve baseline `{reference}`: {e}");
-        std::process::exit(2);
-    });
     let (_, base_report) = registry.load(&base_id).unwrap_or_else(|e| {
         eprintln!("cannot load baseline {base_id}: {e}");
         std::process::exit(2);

@@ -107,7 +107,9 @@ impl RunManifest {
             examples: 0,
         };
         let mut stored_id = None;
+        let mut seen: Vec<String> = Vec::new();
         for (key, val) in obj {
+            seen.push(key.clone());
             match key.as_str() {
                 "run_id" => stored_id = Some(val.as_string(key)?),
                 "system" => m.system = val.as_string(key)?,
@@ -123,13 +125,29 @@ impl RunManifest {
                 other => return Err(format!("unknown manifest field `{other}`")),
             }
         }
-        if let Some(id) = stored_id {
-            if id != m.run_id() {
-                return Err(format!(
-                    "manifest run_id `{id}` does not match its contents (expected `{}`)",
-                    m.run_id()
-                ));
+        // `run_id` and every identity field must be present: a manifest
+        // missing `run_id` would silently skip the tamper check below, and a
+        // missing identity field would hash into a default instead of failing.
+        for required in [
+            "run_id",
+            "system",
+            "split",
+            "scale",
+            "seed",
+            "profile",
+            "config_fingerprint",
+            "schema_version",
+        ] {
+            if !seen.iter().any(|k| k == required) {
+                return Err(format!("manifest is missing required field `{required}`"));
             }
+        }
+        let id = stored_id.expect("run_id presence checked above");
+        if id != m.run_id() {
+            return Err(format!(
+                "manifest run_id `{id}` does not match its contents (expected `{}`)",
+                m.run_id()
+            ));
         }
         Ok(m)
     }
@@ -172,11 +190,19 @@ pub fn git_rev(repo_root: &Path) -> Option<String> {
         if let Some(rev) = direct {
             return Some(rev.trim().to_string());
         }
-        // Packed refs fallback.
+        // Packed refs fallback: exact ref-name match only, skipping comment
+        // (`#`) and peeled-tag (`^`) lines — a suffix match could hand back
+        // the revision of a different ref whose name merely ends with ours.
         let packed = fs::read_to_string(repo_root.join(".git/packed-refs")).ok()?;
         for line in packed.lines() {
-            if let Some(rev) = line.strip_suffix(r) {
-                return Some(rev.trim().to_string());
+            if line.starts_with('#') || line.starts_with('^') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            if let (Some(rev), Some(name)) = (parts.next(), parts.next()) {
+                if name == r {
+                    return Some(rev.to_string());
+                }
             }
         }
         return None;
@@ -224,30 +250,52 @@ impl RunRegistry {
         let dir = self.run_dir(&run_id);
         let manifest_json = manifest.to_json();
         let report_json = reportio::report_to_json(report);
-        if dir.exists() {
-            let old_manifest = fs::read_to_string(dir.join("manifest.json"))
-                .map_err(|e| format!("run {run_id} exists but its manifest is unreadable: {e}"))?;
-            let old = RunManifest::from_json(&old_manifest)
-                .map_err(|e| format!("run {run_id} exists but its manifest is invalid: {e}"))?;
-            let old_report = fs::read_to_string(dir.join("report.json"))
-                .map_err(|e| format!("run {run_id} exists but its report is unreadable: {e}"))?;
-            if old.run_id() == run_id && old_report == report_json {
-                return Ok(run_id); // idempotent re-archive
+        // `create_dir` (not `create_dir_all`) is the atomicity point: of two
+        // concurrent writers racing on the same run id, exactly one creates
+        // the directory and owns the manifest/report/index writes; the other
+        // lands in the already-exists branch below.
+        match fs::create_dir(&dir) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                let old_manifest = fs::read_to_string(dir.join("manifest.json")).map_err(|e| {
+                    format!("run {run_id} exists but its manifest is unreadable: {e}")
+                })?;
+                let old = RunManifest::from_json(&old_manifest)
+                    .map_err(|e| format!("run {run_id} exists but its manifest is invalid: {e}"))?;
+                let old_report = fs::read_to_string(dir.join("report.json")).map_err(|e| {
+                    format!("run {run_id} exists but its report is unreadable: {e}")
+                })?;
+                if old.run_id() == run_id && old_report == report_json {
+                    // Idempotent re-archive. A crash between the run-directory
+                    // write and the index append leaves the run unreachable
+                    // (resolve/load/list consult only the index), so heal the
+                    // missing line here instead of silently succeeding.
+                    if !self.run_ids()?.iter().any(|id| id == &run_id) {
+                        self.append_index(&old)?;
+                    }
+                    return Ok(run_id);
+                }
+                return Err(format!(
+                    "run {run_id} is already archived with different content; \
+                     the registry is append-only (did the toolchain or data generator change?)"
+                ));
             }
-            return Err(format!(
-                "run {run_id} is already archived with different content; \
-                 the registry is append-only (did the toolchain or data generator change?)"
-            ));
+            Err(e) => return Err(format!("cannot create {}: {e}", dir.display())),
         }
-        fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
         fs::write(dir.join("manifest.json"), &manifest_json)
             .map_err(|e| format!("cannot write manifest for {run_id}: {e}"))?;
         fs::write(dir.join("report.json"), &report_json)
             .map_err(|e| format!("cannot write report for {run_id}: {e}"))?;
         // Append to the index last, so a crash mid-record never leaves an
         // index entry pointing at a half-written run.
+        self.append_index(manifest)?;
+        Ok(run_id)
+    }
+
+    fn append_index(&self, manifest: &RunManifest) -> Result<(), String> {
         let line = format!(
-            "{run_id}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            manifest.run_id(),
             tsv(&manifest.system),
             tsv(&manifest.split),
             tsv(&manifest.scale),
@@ -261,8 +309,7 @@ impl RunRegistry {
             .open(self.index_path())
             .map_err(|e| format!("cannot open index: {e}"))?;
         use std::io::Write as _;
-        index.write_all(line.as_bytes()).map_err(|e| format!("cannot append to index: {e}"))?;
-        Ok(run_id)
+        index.write_all(line.as_bytes()).map_err(|e| format!("cannot append to index: {e}"))
     }
 
     /// Load an archived run. `run_id` may be a full id, a unique `run-` prefix,
@@ -312,12 +359,13 @@ impl RunRegistry {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
             Err(e) => return Err(format!("cannot read index: {e}")),
         };
-        Ok(text
-            .lines()
-            .filter_map(|l| l.split('\t').next())
-            .filter(|id| !id.is_empty())
-            .map(str::to_string)
-            .collect())
+        let mut ids: Vec<String> = Vec::new();
+        for id in text.lines().filter_map(|l| l.split('\t').next()) {
+            if !id.is_empty() && !ids.iter().any(|seen| seen == id) {
+                ids.push(id.to_string());
+            }
+        }
+        Ok(ids)
     }
 
     /// Load every archived manifest, in index order.
@@ -442,6 +490,58 @@ mod tests {
             .unwrap();
         let err = reg.load(&id).unwrap_err();
         assert!(err.contains("unsupported report schema_version 99"), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn record_heals_index_line_lost_to_a_crash() {
+        let dir = scratch_dir("heal");
+        let reg = RunRegistry::open(&dir).unwrap();
+        let (m, r) = (manifest(), report());
+        let id = reg.record(&m, &r).unwrap();
+        // Simulate a crash between the run-directory write and the index
+        // append: the run directory exists but the index never saw it.
+        fs::write(dir.join("index.tsv"), "").unwrap();
+        assert!(reg.resolve(&id).is_err());
+        // Re-recording the identical run must repair the index, not just
+        // take the idempotent early return.
+        assert_eq!(reg.record(&m, &r).unwrap(), id);
+        assert_eq!(reg.run_ids().unwrap(), vec![id.clone()]);
+        assert_eq!(reg.load("latest").unwrap().0, m);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_missing_required_fields_is_rejected() {
+        let m = manifest();
+        let json = m.to_json();
+        // Without run_id the tamper check would be skipped entirely.
+        let no_id = json.replace(&format!("\"run_id\":\"{}\",", m.run_id()), "");
+        let err = RunManifest::from_json(&no_id).unwrap_err();
+        assert!(err.contains("missing required field `run_id`"), "{err}");
+        // A missing identity field must not silently default.
+        let no_seed = json.replace("\"seed\":42,", "");
+        let err = RunManifest::from_json(&no_seed).unwrap_err();
+        assert!(err.contains("missing required field `seed`"), "{err}");
+    }
+
+    #[test]
+    fn git_rev_packed_refs_requires_exact_ref_match() {
+        let dir = scratch_dir("gitrev");
+        fs::create_dir_all(dir.join(".git")).unwrap();
+        fs::write(dir.join(".git/HEAD"), "ref: refs/heads/main\n").unwrap();
+        // A branch whose name merely *ends* with the HEAD ref path comes
+        // first, plus comment and peeled-tag lines; only the exact ref may
+        // win.
+        fs::write(
+            dir.join(".git/packed-refs"),
+            "# pack-refs with: peeled fully-peeled sorted\n\
+             1111111111111111111111111111111111111111 refs/heads/wip/refs/heads/main\n\
+             ^2222222222222222222222222222222222222222\n\
+             3333333333333333333333333333333333333333 refs/heads/main\n",
+        )
+        .unwrap();
+        assert_eq!(git_rev(&dir).as_deref(), Some("3333333333333333333333333333333333333333"));
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -209,7 +209,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..10 {
             if let Value::Float(x) = ValuePool::FloatRange(0.0, 100.0).sample(&mut rng, 0, &[]) {
-                assert!((x * 100.0).fract().abs() < 1e-9);
+                // Distance to the nearest whole cent, not `fract()`: n/100.0
+                // is rarely exact in binary, so x*100.0 can land just *below*
+                // an integer (e.g. 7.57*100 = 756.999…), where fract() ≈ 1.
+                let cents = x * 100.0;
+                assert!((cents - cents.round()).abs() < 1e-9, "not cent-rounded: {x}");
             } else {
                 panic!("expected float");
             }
