@@ -1,15 +1,16 @@
 #!/usr/bin/env bash
 # CI smoke checks against the release `repro` binary.
 #
-# Usage: ci/smoke.sh <metrics|cache|diagnose|diff>
+# Usage: ci/smoke.sh <metrics|cache|exec-bench|diagnose|diff>
 #
 # Every mode runs at --scale tiny and enforces the repository's determinism
 # contract: observable artifacts must be byte-identical for any --jobs count
-# (and, for `cache`, with the execution cache on or off).
+# (for `cache`, with the execution cache on or off; for `exec-bench`, under
+# the vectorized engine, the legacy interpreter, and the uncached path).
 set -euo pipefail
 
 REPRO=${REPRO:-./target/release/repro}
-mode=${1:?usage: ci/smoke.sh <metrics|cache|diagnose|diff>}
+mode=${1:?usage: ci/smoke.sh <metrics|cache|exec-bench|diagnose|diff>}
 work=$(mktemp -d)
 trap 'rm -rf "$work"' EXIT
 
@@ -27,6 +28,30 @@ cache)
     "$REPRO" --scale tiny --jobs 2 --metrics "$work/cached.json"
     "$REPRO" --scale tiny --jobs 2 --metrics "$work/uncached.json" --no-exec-cache
     cmp "$work/cached.json" "$work/uncached.json"
+    ;;
+exec-bench)
+    # 1. Engine equivalence on the bench mix plus a few cold runs of each
+    #    engine (panics nonzero on divergence).
+    EXEC_BENCH_SMOKE=1 cargo bench -q -p purple-bench --bench exec_cache
+
+    # 2. The metrics JSON must be byte-identical under the vectorized engine
+    #    (default), the legacy interpreter, and the uncached path, across
+    #    --jobs counts.
+    "$REPRO" --scale tiny --jobs 2 --metrics "$work/vectorized.json"
+    "$REPRO" --scale tiny --jobs 4 --metrics "$work/legacy.json" --legacy-exec
+    "$REPRO" --scale tiny --jobs 1 --metrics "$work/uncached.json" --no-exec-cache
+    cmp "$work/vectorized.json" "$work/legacy.json"
+    cmp "$work/vectorized.json" "$work/uncached.json"
+
+    # 3. So must the full archived report (EM/EX/TS + metrics + attribution):
+    #    identical runs under either engine archive to the same run id, and
+    #    the engine flip gates clean with an all-zero diff.
+    reg="$work/runs"
+    vec_run=$(archive_run --scale tiny --seed 42 --jobs 2 --archive "$reg")
+    test -n "$vec_run"
+    "$REPRO" --scale tiny --seed 42 --jobs 2 --archive "$reg" --baseline "$vec_run" \
+        --legacy-exec --gate --diff-out "$work/engines.md" >/dev/null
+    grep -q 'All-zero diff' "$work/engines.md"
     ;;
 diagnose)
     "$REPRO" --scale tiny --jobs 1 --diagnose "$work/blame1.md" --events "$work/events1.jsonl"
@@ -83,7 +108,7 @@ diff)
     grep -q "\"baseline\":\"$strong\"" "$work/latest.json"
     ;;
 *)
-    echo "unknown mode \`$mode\` (metrics|cache|diagnose|diff)" >&2
+    echo "unknown mode \`$mode\` (metrics|cache|exec-bench|diagnose|diff)" >&2
     exit 2
     ;;
 esac

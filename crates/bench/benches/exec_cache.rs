@@ -3,12 +3,20 @@
 //! duplicate-heavy sample mix (30 samples, 8 distinct strings — the shape LLM
 //! sampling actually produces) and a distinct-heavy mix (30 distinct strings).
 //!
+//! Alongside the cache-layer arms, the `cold_exec` arms compare the two
+//! execution engines *cold*: a fresh session per run (empty caches) executes
+//! the distinct-heavy mix against a 2000-row table, so the result cache can't
+//! help and raw execution speed — vectorized columnar pipeline vs legacy
+//! row-at-a-time interpreter — is what's measured. Engine equivalence is
+//! asserted (Debug-identical result sets) before any timing.
+//!
 //! `EXEC_BENCH_JSON=1 cargo bench --bench exec_cache` prints the manual timing
 //! summary recorded in BENCH_exec.json instead of running the criterion
-//! harness.
+//! harness. `EXEC_BENCH_SMOKE=1` runs the equivalence assertion plus a few
+//! cold iterations and exits — the `ci/smoke.sh exec-bench` fast path.
 
 use criterion::{criterion_group, BatchSize, Criterion};
-use engine::{Database, ExecSession, Value};
+use engine::{Database, EngineMode, ExecSession, Value};
 use purple::consistency_vote_with;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -42,6 +50,34 @@ fn db() -> Database {
     db
 }
 
+/// A 2000-row variant of the bench table for the cold-execution arms: large
+/// enough that per-row engine work dominates parse/plan overheads.
+fn cold_db() -> Database {
+    let mut s = Schema::new("bench");
+    s.tables.push(Table {
+        name: "t".into(),
+        display: "t".into(),
+        columns: vec![
+            Column::new("id", ColumnType::Int),
+            Column::new("name", ColumnType::Text),
+            Column::new("grp", ColumnType::Text),
+        ],
+        primary_key: Some(0),
+    });
+    let mut db = Database::empty(s);
+    for i in 0..2000i64 {
+        db.insert(
+            0,
+            vec![
+                Value::Int(i + 1),
+                Value::Text(format!("n{}", i % 37)),
+                Value::Text(format!("g{}", i % 5)),
+            ],
+        );
+    }
+    db
+}
+
 /// 30 samples over 8 distinct strings: the duplicate-heavy vote shape.
 fn duplicate_heavy() -> Vec<String> {
     let distinct: Vec<String> =
@@ -57,6 +93,29 @@ fn distinct_heavy() -> Vec<String> {
 fn vote(samples: &[String], db: &Database, session: &ExecSession) -> purple::VoteOutcome {
     let mut rng = StdRng::seed_from_u64(11);
     consistency_vote_with(samples, &session.bind(db), &mut rng, None, None)
+}
+
+/// One cold run: a fresh session (empty caches) executes every sample once —
+/// the first-encounter cost structure of a real evaluation, where the result
+/// cache cannot help and the engines' raw execution speed is what's measured.
+fn cold_exec(db: &Database, mode: EngineMode, samples: &[String]) {
+    let session = ExecSession::with_mode(engine::DEFAULT_CACHE_CAPACITY, mode);
+    let bound = session.bind(db);
+    for sql in samples {
+        black_box(bound.execute_sql(sql).unwrap().unwrap());
+    }
+}
+
+/// Both engines must produce Debug-identical result sets on the bench mix
+/// before any cold timing is trusted.
+fn assert_engines_agree(db: &Database, samples: &[String]) {
+    let v = ExecSession::shared();
+    let l = ExecSession::shared_legacy();
+    for sql in samples {
+        let rv = v.bind(db).execute_sql(sql).unwrap().unwrap();
+        let rl = l.bind(db).execute_sql(sql).unwrap().unwrap();
+        assert_eq!(format!("{rv:?}"), format!("{rl:?}"), "engines diverged on `{sql}`");
+    }
 }
 
 fn bench_consistency_vote(c: &mut Criterion) {
@@ -76,6 +135,19 @@ fn bench_consistency_vote(c: &mut Criterion) {
                 |s| black_box(vote(samples, &db, &s)),
                 BatchSize::SmallInput,
             )
+        });
+    }
+    group.finish();
+}
+
+fn bench_cold_exec(c: &mut Criterion) {
+    let db = cold_db();
+    let dis = distinct_heavy();
+    assert_engines_agree(&db, &dis);
+    let mut group = c.benchmark_group("cold_exec");
+    for (name, mode) in [("vectorized", EngineMode::Vectorized), ("legacy", EngineMode::Legacy)] {
+        group.bench_function(&format!("{name}/distinct_heavy"), |b| {
+            b.iter(|| cold_exec(&db, mode, &dis))
         });
     }
     group.finish();
@@ -106,29 +178,65 @@ fn emit_json() {
         let uncached = time_us(|| void(vote(&samples, &db, &ExecSession::disabled())), iters);
         cells.push((mix, cached, uncached));
     }
+    let cdb = cold_db();
+    let dis = distinct_heavy();
+    assert_engines_agree(&cdb, &dis);
+    let cold_legacy = time_us(|| cold_exec(&cdb, EngineMode::Legacy, &dis), iters);
+    let cold_vec = time_us(|| cold_exec(&cdb, EngineMode::Vectorized, &dis), iters);
     println!("{{");
-    println!("  \"bench\": \"consistency_vote\",");
+    println!("  \"schema_version\": 2,");
+    println!("  \"bench\": \"exec_cache\",");
     println!("  \"samples_per_vote\": 30,");
     println!("  \"iterations\": {iters},");
-    for (mix, cached, uncached) in &cells {
+    println!("  \"consistency_vote\": {{");
+    let last = cells.len() - 1;
+    for (i, (mix, cached, uncached)) in cells.iter().enumerate() {
         println!(
-            "  \"{mix}\": {{ \"cached_us\": {cached:.1}, \"uncached_us\": {uncached:.1}, \
-             \"speedup\": {:.2} }},",
-            uncached / cached
+            "    \"{mix}\": {{ \"cached_us\": {cached:.1}, \"uncached_us\": {uncached:.1}, \
+             \"speedup\": {:.2} }}{}",
+            uncached / cached,
+            if i == last { "" } else { "," }
         );
     }
+    println!("  }},");
+    println!("  \"cold_exec\": {{");
+    println!(
+        "    \"distinct_heavy\": {{ \"cold_legacy_us\": {cold_legacy:.1}, \
+         \"cold_vectorized_us\": {cold_vec:.1}, \"speedup\": {:.2} }}",
+        cold_legacy / cold_vec
+    );
+    println!("  }},");
     println!("  \"note\": \"manual Instant timing, bench profile\"");
     println!("}}");
+}
+
+/// The `ci/smoke.sh exec-bench` fast path: assert engine equivalence on the
+/// cold mix and time a handful of cold runs of each engine. Exits nonzero
+/// (panics) on any divergence.
+fn smoke() {
+    let db = cold_db();
+    let dis = distinct_heavy();
+    assert_engines_agree(&db, &dis);
+    let iters = 10;
+    let legacy = time_us(|| cold_exec(&db, EngineMode::Legacy, &dis), iters);
+    let vectorized = time_us(|| cold_exec(&db, EngineMode::Vectorized, &dis), iters);
+    println!(
+        "exec-bench smoke ok: engines agree on {} samples; cold legacy {legacy:.0}us, \
+         cold vectorized {vectorized:.0}us",
+        dis.len()
+    );
 }
 
 fn void<T>(t: T) {
     black_box(t);
 }
 
-criterion_group!(exec_cache, bench_consistency_vote);
+criterion_group!(exec_cache, bench_consistency_vote, bench_cold_exec);
 
 fn main() {
-    if std::env::var_os("EXEC_BENCH_JSON").is_some() {
+    if std::env::var_os("EXEC_BENCH_SMOKE").is_some() {
+        smoke();
+    } else if std::env::var_os("EXEC_BENCH_JSON").is_some() {
         emit_json();
     } else {
         exec_cache();

@@ -3,6 +3,7 @@
 //! ```text
 //! repro [--scale tiny|medium|full] [--seed N] [--jobs N] [--metrics PATH]
 //!       [--diagnose PATH [--events PATH]] [--wall-clock] [--no-exec-cache]
+//!       [--legacy-exec]
 //!       [--archive DIR [--profile chatgpt|gpt4] [--baseline RUN [--gate]]]
 //!       [--only NAME] [EXPERIMENTS...]
 //!
@@ -26,6 +27,7 @@ struct Args {
     events: Option<String>,
     wall_clock: bool,
     no_exec_cache: bool,
+    legacy_exec: bool,
     archive: Option<String>,
     baseline: Option<String>,
     gate: bool,
@@ -221,6 +223,9 @@ fn parse_args() -> Args {
             "--no-exec-cache" => {
                 args.no_exec_cache = true;
             }
+            "--legacy-exec" => {
+                args.legacy_exec = true;
+            }
             "--table1" => {
                 args.table1 = true;
                 any = true;
@@ -326,6 +331,9 @@ fn parse_args() -> Args {
                      --no-exec-cache disable the shared prepared-plan/result cache and \
                      execute every query from scratch; reports are byte-identical with \
                      or without the cache\n\
+                     --legacy-exec   run queries on the legacy row-at-a-time interpreter \
+                     instead of the vectorized columnar engine; reports are \
+                     byte-identical under either engine\n\
                      --only NAME     run a single experiment by name (repeatable); \
                      names: table1..table6, fig9..fig12, automaton-stats, support-stats, \
                      rewrite-stats, extension-generation, seed-sweep, model-stats, \
@@ -397,7 +405,13 @@ fn main() {
     if let Some(jobs) = args.jobs {
         ctx.jobs = jobs;
     }
+    if args.legacy_exec {
+        ctx.session = engine::ExecSession::shared_legacy();
+        eprintln!("[repro] legacy row-at-a-time interpreter selected (--legacy-exec)");
+    }
     if args.no_exec_cache {
+        // A disabled session is also a legacy session, so this subsumes
+        // --legacy-exec: the uncached reference path predates vectorization.
         ctx.session = engine::ExecSession::disabled();
         eprintln!("[repro] execution cache disabled (--no-exec-cache)");
     }
@@ -544,10 +558,12 @@ fn main() {
             std::process::exit(1);
         }
         println!("{}", report::render_metrics(&report.metrics));
-        // Cache traffic is interleaving-dependent, so it is rendered to stdout
-        // only and never enters the metrics JSON (which stays byte-identical
-        // for any --jobs and with or without the cache).
+        // Cache and operator traffic are interleaving-dependent, so they are
+        // rendered to stdout only and never enter the metrics JSON (which
+        // stays byte-identical for any --jobs, with or without the cache, and
+        // under either engine).
         println!("{}", ctx.session.stats().render());
+        println!("{}", ctx.session.op_stats().render());
         eprintln!("[repro] metrics written to {path}");
     }
     if let Some(path) = &args.diagnose {

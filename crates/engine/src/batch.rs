@@ -1,0 +1,502 @@
+//! Vectorized columnar execution.
+//!
+//! The row interpreter in [`crate::exec`] materializes every intermediate row
+//! (`Vec<Value>` per joined row, cloned strings and all). This module evaluates
+//! the *same* compiled [`Plan`] over typed column vectors instead:
+//!
+//! 1. **Columns** — each table is transposed once into a [`ColumnTable`]
+//!    (`Int`/`Float`/`Text` vectors plus a null mask, falling back to a mixed
+//!    `Value` column for heterogeneous data). [`ExecSession`] caches these per
+//!    `(database fingerprint, table)`, so repeated queries against the same
+//!    database never re-transpose.
+//! 2. **Operators** — a core plan runs as scan → hash join (nested-loop for
+//!    degenerate ON pairs, cartesian for none) → filter → hash aggregate,
+//!    carrying only *selection vectors*: one `Vec<u32>` of row indices per
+//!    bound FROM source. No intermediate row is ever materialized; values are
+//!    read through [`ValueRef`] views straight out of the column store.
+//! 3. **Finish** — projection produces owned output rows, then the tail
+//!    (DISTINCT / stable sort / LIMIT / compound set ops) is the *shared*
+//!    `exec` implementation, byte-for-byte.
+//!
+//! Determinism: join output order is left-major probe order with right-side
+//! build order per key (identical to the interpreter's hash join), grouping is
+//! first-occurrence order, and every scalar/aggregate/predicate evaluation is
+//! the same monomorphized generic code the interpreter runs (see
+//! [`exec`](crate::exec)'s `RowRef`). Results are therefore identical to the
+//! interpreter on every query, which the differential test suite asserts.
+//!
+//! [`ExecSession`]: crate::ExecSession
+
+use crate::database::{Database, Row};
+use crate::error::ExecError;
+use crate::exec::{self, CorePlan, JoinStrategy, OrderTarget, Plan, PlanSource, ResultSet, RowRef};
+use crate::value::{Value, ValueRef};
+use obs::ExecOpCounters;
+use sqlkit::ast::Query;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Column store
+// ---------------------------------------------------------------------------
+
+/// Typed storage for one column.
+#[derive(Debug)]
+enum ColumnData {
+    /// All non-null cells are integers.
+    Ints(Vec<i64>),
+    /// All non-null cells are floats.
+    Floats(Vec<f64>),
+    /// All non-null cells are text.
+    Texts(Vec<String>),
+    /// Heterogeneous column: cells stored as-is.
+    Mixed(Vec<Value>),
+}
+
+/// One column of a table: typed data plus a null mask (empty when the column
+/// has no NULLs).
+#[derive(Debug)]
+pub struct ColumnVec {
+    data: ColumnData,
+    nulls: Vec<bool>,
+}
+
+impl ColumnVec {
+    fn from_cells(cells: &[&Value]) -> ColumnVec {
+        let has_null = cells.iter().any(|v| v.is_null());
+        let all = |f: fn(&Value) -> bool| cells.iter().all(|v| v.is_null() || f(v));
+        let nulls: Vec<bool> =
+            if has_null { cells.iter().map(|v| v.is_null()).collect() } else { Vec::new() };
+        let data = if all(|v| matches!(v, Value::Int(_))) {
+            ColumnData::Ints(
+                cells.iter().map(|v| if let Value::Int(i) = v { *i } else { 0 }).collect(),
+            )
+        } else if all(|v| matches!(v, Value::Float(_))) {
+            ColumnData::Floats(
+                cells.iter().map(|v| if let Value::Float(x) = v { *x } else { 0.0 }).collect(),
+            )
+        } else if all(|v| matches!(v, Value::Text(_))) {
+            ColumnData::Texts(
+                cells
+                    .iter()
+                    .map(|v| if let Value::Text(s) = v { s.clone() } else { String::new() })
+                    .collect(),
+            )
+        } else {
+            ColumnData::Mixed(cells.iter().map(|v| (*v).clone()).collect())
+        };
+        ColumnVec { data, nulls }
+    }
+
+    /// Borrowed view of the cell at row `i`.
+    fn value_ref(&self, i: usize) -> ValueRef<'_> {
+        if !self.nulls.is_empty() && self.nulls[i] {
+            return ValueRef::Null;
+        }
+        match &self.data {
+            ColumnData::Ints(v) => ValueRef::Int(v[i]),
+            ColumnData::Floats(v) => ValueRef::Float(v[i]),
+            ColumnData::Texts(v) => ValueRef::Text(&v[i]),
+            ColumnData::Mixed(v) => v[i].as_ref(),
+        }
+    }
+}
+
+/// A table transposed into typed column vectors. Immutable once built; shared
+/// across queries via `Arc` by the session's column cache.
+#[derive(Debug)]
+pub struct ColumnTable {
+    cols: Vec<ColumnVec>,
+    len: usize,
+}
+
+impl ColumnTable {
+    /// Transpose `rows` (each of width `width`) into column vectors. `width`
+    /// must be passed explicitly so empty tables still carry their schema.
+    pub fn from_rows(rows: &[Row], width: usize) -> ColumnTable {
+        let mut cols = Vec::with_capacity(width);
+        for c in 0..width {
+            let cells: Vec<&Value> = rows.iter().map(|r| &r[c]).collect();
+            cols.push(ColumnVec::from_cells(&cells));
+        }
+        ColumnTable { cols, len: rows.len() }
+    }
+
+    /// Column vectors for the named table `ti` of `db`.
+    pub fn from_table(db: &Database, ti: usize) -> ColumnTable {
+        ColumnTable::from_rows(&db.rows[ti], db.schema.tables[ti].columns.len())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn col(&self, i: usize) -> &ColumnVec {
+        &self.cols[i]
+    }
+}
+
+/// A column table either shared from the session cache or built ad hoc for a
+/// materialized derived table.
+enum ColRef {
+    Shared(Arc<ColumnTable>),
+    Owned(ColumnTable),
+}
+
+impl ColRef {
+    fn get(&self) -> &ColumnTable {
+        match self {
+            ColRef::Shared(t) => t,
+            ColRef::Owned(t) => t,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Virtual rows over selection vectors
+// ---------------------------------------------------------------------------
+
+struct Part<'a> {
+    cols: &'a ColumnTable,
+    offset: usize,
+    sel: &'a [u32],
+}
+
+/// A read view over the current pipeline state: per-source column tables plus
+/// aligned selection vectors. `at(flat, v)` resolves a flat column index of the
+/// joined relation to the underlying cell of virtual row `v`.
+struct View<'a> {
+    parts: Vec<Part<'a>>,
+}
+
+impl<'a> View<'a> {
+    fn at(&self, flat: usize, row: u32) -> ValueRef<'a> {
+        let part = self.parts.iter().rev().find(|p| flat >= p.offset).unwrap();
+        part.cols.col(flat - part.offset).value_ref(part.sel[row as usize] as usize)
+    }
+}
+
+fn make_view<'a>(tables: &'a [ColRef], offsets: &'a [usize], sel: &'a [Vec<u32>]) -> View<'a> {
+    View {
+        parts: tables
+            .iter()
+            .zip(offsets)
+            .zip(sel)
+            .map(|((t, off), s)| Part { cols: t.get(), offset: *off, sel: s })
+            .collect(),
+    }
+}
+
+/// One virtual row: a copyable handle the shared evaluation primitives consume
+/// exactly like the interpreter's `&Row`.
+#[derive(Clone, Copy)]
+struct VRow<'a> {
+    view: &'a View<'a>,
+    row: u32,
+}
+
+impl<'a> RowRef<'a> for VRow<'a> {
+    fn at(self, flat: usize) -> ValueRef<'a> {
+        self.view.at(flat, self.row)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+/// Execute a query through the vectorized engine, transposing the touched
+/// tables on the fly (no column cache). Results are identical to
+/// [`exec::execute`]; sessions route here with cached columns instead.
+pub fn execute_vectorized(db: &Database, q: &Query) -> Result<ResultSet, ExecError> {
+    let plan = exec::prepare(db, q)?;
+    Ok(run_vectorized(&plan, db))
+}
+
+/// Run a prepared plan through the vectorized pipeline with ad-hoc column
+/// vectors (each named table transposed at most once per call).
+pub fn run_vectorized(plan: &Plan, db: &Database) -> ResultSet {
+    let mut fresh: HashMap<usize, Arc<ColumnTable>> = HashMap::new();
+    let mut provider = |ti: usize| {
+        fresh.entry(ti).or_insert_with(|| Arc::new(ColumnTable::from_table(db, ti))).clone()
+    };
+    run_plan_with(plan, &mut provider, None)
+}
+
+/// Run a prepared plan over columns supplied by `provider` (the session's
+/// fingerprint-keyed cache), recording per-operator counters when given.
+pub(crate) fn run_plan_with(
+    plan: &Plan,
+    provider: &mut dyn FnMut(usize) -> Arc<ColumnTable>,
+    counters: Option<&ExecOpCounters>,
+) -> ResultSet {
+    let left = run_core_vec(&plan.core, provider, counters);
+    let Some((op, rhs)) = &plan.compound else {
+        return left;
+    };
+    let right = run_plan_with(rhs, provider, counters);
+    exec::combine_compound(*op, left, right)
+}
+
+// ---------------------------------------------------------------------------
+// Operator pipeline
+// ---------------------------------------------------------------------------
+
+fn run_core_vec(
+    p: &CorePlan,
+    provider: &mut dyn FnMut(usize) -> Arc<ColumnTable>,
+    counters: Option<&ExecOpCounters>,
+) -> ResultSet {
+    // --- Bind columnar sources --------------------------------------------
+    let mut tables: Vec<ColRef> = Vec::with_capacity(p.sources.len());
+    let mut offsets: Vec<usize> = Vec::with_capacity(p.sources.len());
+    for (i, s) in p.sources.iter().enumerate() {
+        let offset = if i == 0 { 0 } else { p.joins[i - 1].right_offset };
+        let width = match p.joins.get(i) {
+            Some(next) => next.right_offset - offset,
+            None => p.star_width - offset,
+        };
+        offsets.push(offset);
+        tables.push(match s {
+            PlanSource::Table(ti) => ColRef::Shared(provider(*ti)),
+            PlanSource::Materialized(rows) => ColRef::Owned(ColumnTable::from_rows(rows, width)),
+        });
+    }
+
+    // --- Scan --------------------------------------------------------------
+    let n0 = tables[0].get().len();
+    let mut sel: Vec<Vec<u32>> = vec![(0..n0 as u32).collect()];
+    if let Some(c) = counters {
+        c.batch();
+        c.scanned(n0 as u64);
+    }
+
+    // --- Joins -------------------------------------------------------------
+    for (i, step) in p.joins.iter().enumerate() {
+        let right_ix = i + 1;
+        if let Some(c) = counters {
+            c.batch();
+            c.scanned(tables[right_ix].get().len() as u64);
+        }
+        sel = match step.strategy() {
+            JoinStrategy::Cartesian => join_cartesian(&sel, tables[right_ix].get().len()),
+            JoinStrategy::Hash(pairs) => {
+                join_hash(&tables, &offsets, &sel, right_ix, &pairs, counters)
+            }
+            JoinStrategy::NestedLoop => {
+                if let Some(c) = counters {
+                    c.nested_loop_fallback();
+                }
+                join_nested(&tables, &offsets, &sel, right_ix, &step.on)
+            }
+        };
+    }
+
+    // --- WHERE -------------------------------------------------------------
+    if let Some(cond) = &p.where_c {
+        if let Some(c) = counters {
+            c.batch();
+        }
+        let keep: Vec<u32> = {
+            let view = make_view(&tables, &offsets, &sel);
+            (0..sel[0].len() as u32)
+                .filter(|v| {
+                    let row = VRow { view: &view, row: *v };
+                    exec::eval_cond(cond, &[row], Some(row)) == Some(true)
+                })
+                .collect()
+        };
+        sel = reindex(&sel, &keep);
+    }
+
+    // --- Grouping / aggregation / projection -------------------------------
+    let view = make_view(&tables, &offsets, &sel);
+    let n = sel[0].len();
+    let mut produced: Vec<(Row, Vec<Value>)> = Vec::new();
+
+    if p.aggregate_path {
+        let groups: Vec<Vec<u32>> = if p.group_cols.is_empty() {
+            vec![(0..n as u32).collect()]
+        } else {
+            let mut groups: Vec<Vec<u32>> = Vec::new();
+            let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+            for v in 0..n as u32 {
+                let k: Vec<Value> =
+                    p.group_cols.iter().map(|i| view.at(*i, v).to_value()).collect();
+                match index.entry(k) {
+                    std::collections::hash_map::Entry::Occupied(e) => groups[*e.get()].push(v),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(groups.len());
+                        groups.push(vec![v]);
+                    }
+                }
+            }
+            groups
+        };
+        if let Some(c) = counters {
+            c.batch();
+            c.groups(groups.len() as u64);
+        }
+        for members in &groups {
+            let g: Vec<VRow> = members.iter().map(|v| VRow { view: &view, row: *v }).collect();
+            if let Some(h) = &p.having_c {
+                if exec::eval_cond(h, &g, None) != Some(true) {
+                    continue;
+                }
+            }
+            let rep = exec::representative_row(&p.select, &g);
+            let row: Row = p.select.iter().map(|(a, _)| exec::eval_agg(a, &g, rep)).collect();
+            let keys: Vec<Value> = p
+                .order
+                .iter()
+                .map(|(t, _)| match t {
+                    OrderTarget::OutputCol(i) => row[*i].clone(),
+                    OrderTarget::Expr(a) => exec::eval_agg(a, &g, rep),
+                })
+                .collect();
+            produced.push((row, keys));
+        }
+    } else {
+        for v in 0..n as u32 {
+            let vr = VRow { view: &view, row: v };
+            let mut row: Row = Vec::with_capacity(p.out_columns.len());
+            if p.select_all {
+                for flat in 0..p.star_width {
+                    row.push(vr.at(flat).to_value());
+                }
+            }
+            for (a, _) in &p.select {
+                row.push(exec::eval_agg(a, &[vr], Some(vr)));
+            }
+            let keys: Vec<Value> = p
+                .order
+                .iter()
+                .map(|(t, _)| match t {
+                    OrderTarget::OutputCol(i) => {
+                        let base = if p.select_all { p.star_width } else { 0 };
+                        row[base + *i].clone()
+                    }
+                    OrderTarget::Expr(a) => exec::eval_agg(a, &[vr], Some(vr)),
+                })
+                .collect();
+            produced.push((row, keys));
+        }
+    }
+    drop(view);
+
+    // --- DISTINCT, ORDER BY, LIMIT: shared with the interpreter ------------
+    exec::finish_core(produced, p)
+}
+
+/// Re-select every per-source vector through `keep` (indices into the current
+/// virtual row order).
+fn reindex(sel: &[Vec<u32>], keep: &[u32]) -> Vec<Vec<u32>> {
+    sel.iter().map(|col| keep.iter().map(|v| col[*v as usize]).collect()).collect()
+}
+
+/// Cartesian product: left-major order, identical to the interpreter.
+fn join_cartesian(sel: &[Vec<u32>], right_len: usize) -> Vec<Vec<u32>> {
+    let n = sel[0].len();
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); sel.len() + 1];
+    for v in 0..n {
+        for r in 0..right_len as u32 {
+            for (s, col) in sel.iter().enumerate() {
+                out[s].push(col[v]);
+            }
+            out[sel.len()].push(r);
+        }
+    }
+    out
+}
+
+/// Equality hash join over selection vectors: build on the right side in row
+/// order, probe left virtual rows in order. NULL keys never join. Output order
+/// matches the interpreter's hash join exactly.
+fn join_hash(
+    tables: &[ColRef],
+    offsets: &[usize],
+    sel: &[Vec<u32>],
+    right_ix: usize,
+    pairs: &[(usize, usize)],
+    counters: Option<&ExecOpCounters>,
+) -> Vec<Vec<u32>> {
+    let right = tables[right_ix].get();
+    let mut table: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+    'build: for r in 0..right.len() {
+        let mut key: Vec<Value> = Vec::with_capacity(pairs.len());
+        for (_, ri) in pairs {
+            let v = right.col(*ri).value_ref(r);
+            if v.is_null() {
+                continue 'build;
+            }
+            key.push(v.to_value());
+        }
+        table.entry(key).or_default().push(r as u32);
+    }
+    let view = make_view(&tables[..right_ix], &offsets[..right_ix], sel);
+    let n = sel[0].len();
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); right_ix + 1];
+    'probe: for v in 0..n as u32 {
+        let mut key: Vec<Value> = Vec::with_capacity(pairs.len());
+        for (li, _) in pairs {
+            let val = view.at(*li, v);
+            if val.is_null() {
+                continue 'probe;
+            }
+            key.push(val.to_value());
+        }
+        let hit = table.get(&key);
+        if let Some(c) = counters {
+            c.probe(hit.is_some());
+        }
+        if let Some(matches) = hit {
+            for r in matches {
+                for (s, col) in sel.iter().enumerate() {
+                    out[s].push(col[v as usize]);
+                }
+                out[right_ix].push(*r);
+            }
+        }
+    }
+    out
+}
+
+/// Nested-loop fallback for degenerate ON pairs: filter the cartesian product
+/// with three-valued equality over every pair, like the interpreter.
+fn join_nested(
+    tables: &[ColRef],
+    offsets: &[usize],
+    sel: &[Vec<u32>],
+    right_ix: usize,
+    on: &[(usize, usize)],
+) -> Vec<Vec<u32>> {
+    let right = tables[right_ix].get();
+    let right_offset = offsets[right_ix];
+    let view = make_view(&tables[..right_ix], &offsets[..right_ix], sel);
+    let n = sel[0].len();
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); right_ix + 1];
+    for v in 0..n as u32 {
+        for r in 0..right.len() {
+            let get = |flat: usize| -> ValueRef<'_> {
+                if flat >= right_offset {
+                    right.col(flat - right_offset).value_ref(r)
+                } else {
+                    view.at(flat, v)
+                }
+            };
+            if on.iter().all(|(a, b)| get(*a).sql_eq(get(*b)) == Some(true)) {
+                for (s, col) in sel.iter().enumerate() {
+                    out[s].push(col[v as usize]);
+                }
+                out[right_ix].push(r as u32);
+            }
+        }
+    }
+    out
+}

@@ -21,7 +21,7 @@
 
 use crate::database::{Database, Row};
 use crate::error::ExecError;
-use crate::value::Value;
+use crate::value::{Value, ValueRef};
 use sqlkit::ast::*;
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
@@ -99,6 +99,14 @@ pub fn explain(db: &Database, q: &Query) -> Result<String, ExecError> {
 }
 
 fn explain_into(db: &Database, q: &Query, depth: usize, out: &mut String) -> Result<(), ExecError> {
+    // Compile-time validation matches `execute`: prepare against an empty clone,
+    // so the plan report fails exactly when preparation would fail. (The clone
+    // is schema-only; no row work happens.) The prepared core also tells us
+    // which join/group strategies `run` will actually pick, so the report names
+    // the real strategy instead of guessing from the AST.
+    let mut probe = Database::empty(db.schema.clone());
+    probe.dialect = db.dialect.clone();
+    let plan = prepare(&probe, q)?;
     let pad = "  ".repeat(depth);
     let core = &q.core;
     out.push_str(&format!(
@@ -109,13 +117,12 @@ fn explain_into(db: &Database, q: &Query, depth: usize, out: &mut String) -> Res
     if let TableRef::Subquery { query, .. } = &core.from.first {
         explain_into(db, query, depth + 1, out)?;
     }
-    for j in &core.from.joins {
-        let strategy = if j.on.is_empty() {
-            "CARTESIAN"
-        } else if j.on.len() == 1 {
-            "HASH JOIN"
-        } else {
-            "HASH JOIN (multi-key)"
+    for (j, step) in core.from.joins.iter().zip(&plan.core.joins) {
+        let strategy = match step.strategy() {
+            JoinStrategy::Cartesian => "CARTESIAN".to_string(),
+            JoinStrategy::Hash(pairs) if pairs.len() == 1 => "HASH JOIN".to_string(),
+            JoinStrategy::Hash(_) => "HASH JOIN (multi-key)".to_string(),
+            JoinStrategy::NestedLoop => "NESTED LOOP JOIN (degenerate ON)".to_string(),
         };
         out.push_str(&format!(
             "{pad}{strategy} {}
@@ -144,14 +151,13 @@ fn explain_into(db: &Database, q: &Query, depth: usize, out: &mut String) -> Res
             }
         }
     }
-    let has_agg = core.items.iter().any(|i| i.expr.func.is_some());
-    if !core.group_by.is_empty() {
+    if !plan.core.group_cols.is_empty() {
         out.push_str(&format!(
-            "{pad}GROUP BY ({} keys)
+            "{pad}HASH AGGREGATE ({} keys)
 ",
-            core.group_by.len()
+            plan.core.group_cols.len()
         ));
-    } else if has_agg || core.having.is_some() {
+    } else if plan.core.aggregate_path {
         out.push_str(&format!(
             "{pad}AGGREGATE (single group)
 "
@@ -190,12 +196,6 @@ fn explain_into(db: &Database, q: &Query, depth: usize, out: &mut String) -> Res
         ));
         explain_into(db, rhs, depth, out)?;
     }
-    // Compile-time validation matches `execute`: prepare against an empty clone,
-    // so the plan report fails exactly when preparation would fail. (The clone
-    // is schema-only; no row work happens.)
-    let mut probe = Database::empty(db.schema.clone());
-    probe.dialect = db.dialect.clone();
-    prepare(&probe, q)?;
     Ok(())
 }
 
@@ -229,8 +229,8 @@ pub fn execute(db: &Database, q: &Query) -> Result<ResultSet, ExecError> {
 /// materialized from that database's data at prepare time.
 #[derive(Debug, Clone)]
 pub struct Plan {
-    core: CorePlan,
-    compound: Option<(SetOp, Box<Plan>)>,
+    pub(crate) core: CorePlan,
+    pub(crate) compound: Option<(SetOp, Box<Plan>)>,
 }
 
 impl Plan {
@@ -241,27 +241,27 @@ impl Plan {
 }
 
 #[derive(Debug, Clone)]
-struct CorePlan {
+pub(crate) struct CorePlan {
     /// FROM sources, first then join targets, in binding order.
-    sources: Vec<PlanSource>,
+    pub(crate) sources: Vec<PlanSource>,
     /// One step per JOIN, parallel to `sources[1..]`.
-    joins: Vec<JoinStep>,
-    select: Vec<(CAgg, String)>,
-    select_all: bool,
-    star_width: usize,
-    where_c: Option<CCond>,
-    group_cols: Vec<usize>,
-    having_c: Option<CCond>,
-    order: Vec<(OrderTarget, OrderDir)>,
-    distinct: bool,
-    limit: Option<u64>,
-    aggregate_path: bool,
-    out_columns: Vec<String>,
+    pub(crate) joins: Vec<JoinStep>,
+    pub(crate) select: Vec<(CAgg, String)>,
+    pub(crate) select_all: bool,
+    pub(crate) star_width: usize,
+    pub(crate) where_c: Option<CCond>,
+    pub(crate) group_cols: Vec<usize>,
+    pub(crate) having_c: Option<CCond>,
+    pub(crate) order: Vec<(OrderTarget, OrderDir)>,
+    pub(crate) distinct: bool,
+    pub(crate) limit: Option<u64>,
+    pub(crate) aggregate_path: bool,
+    pub(crate) out_columns: Vec<String>,
 }
 
 /// Where a bound FROM source reads its rows at run time.
 #[derive(Debug, Clone)]
-enum PlanSource {
+pub(crate) enum PlanSource {
     /// A named table: read `db.rows[index]` when the plan runs.
     Table(usize),
     /// A derived table, materialized at prepare time.
@@ -269,7 +269,7 @@ enum PlanSource {
 }
 
 impl PlanSource {
-    fn rows<'a>(&'a self, db: &'a Database) -> &'a [Row] {
+    pub(crate) fn rows<'a>(&'a self, db: &'a Database) -> &'a [Row] {
         match self {
             PlanSource::Table(ti) => &db.rows[*ti],
             PlanSource::Materialized(rows) => rows,
@@ -278,11 +278,47 @@ impl PlanSource {
 }
 
 #[derive(Debug, Clone)]
-struct JoinStep {
+pub(crate) struct JoinStep {
     /// Offset of the join target's first column in the joined row.
-    right_offset: usize,
+    pub(crate) right_offset: usize,
     /// Resolved ON equality pairs (flat indices into the extended row).
-    on: Vec<(usize, usize)>,
+    pub(crate) on: Vec<(usize, usize)>,
+}
+
+/// How `run` (and the vectorized engine) will evaluate one JOIN step. Derived
+/// deterministically from the resolved ON pairs; both engines consult the same
+/// classification so `explain` output names the strategy actually used.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum JoinStrategy {
+    /// No ON condition: cartesian product, left-major order.
+    Cartesian,
+    /// All ON pairs are cross-source equalities, as `(left flat index,
+    /// right-local index)`: build a hash table on the right side, probe with
+    /// the left rows in order (NULL keys never join).
+    Hash(Vec<(usize, usize)>),
+    /// Some ON pair is degenerate (both sides resolve into one input, e.g.
+    /// from repaired or hallucinated SQL): filter the cartesian product with
+    /// row-level `sql_eq` over every pair.
+    NestedLoop,
+}
+
+impl JoinStep {
+    /// Classify this step. Mirrors the historical `join_rows` fallback rule
+    /// exactly: the first degenerate pair forces the nested-loop path.
+    pub(crate) fn strategy(&self) -> JoinStrategy {
+        if self.on.is_empty() {
+            return JoinStrategy::Cartesian;
+        }
+        let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(self.on.len());
+        for (a, b) in &self.on {
+            let (l, r) = if *a < self.right_offset { (*a, *b) } else { (*b, *a) };
+            if r < self.right_offset || l >= self.right_offset {
+                return JoinStrategy::NestedLoop;
+            }
+            pairs.push((l, r - self.right_offset));
+        }
+        JoinStrategy::Hash(pairs)
+    }
 }
 
 /// Compile a query against a database without evaluating it.
@@ -316,6 +352,13 @@ pub fn run(plan: &Plan, db: &Database) -> ResultSet {
         return left;
     };
     let right = run(rhs, db);
+    combine_compound(*op, left, right)
+}
+
+/// Apply a compound set operation with hash set semantics (first-occurrence
+/// order, duplicates removed). Shared verbatim by both engines so compound
+/// results cannot diverge.
+pub(crate) fn combine_compound(op: SetOp, left: ResultSet, right: ResultSet) -> ResultSet {
     let mut out_rows: Vec<Row> = Vec::new();
     let mut seen: HashSet<Row> = HashSet::new();
     match op {
@@ -441,7 +484,7 @@ fn owner_table(db: &Database, col_lower: &str) -> Option<String> {
 // ---------------------------------------------------------------------------
 
 #[derive(Debug, Clone)]
-enum CExpr {
+pub(crate) enum CExpr {
     Col(usize),
     Lit(Value),
     Star,
@@ -450,14 +493,14 @@ enum CExpr {
 }
 
 #[derive(Debug, Clone)]
-struct CAgg {
-    func: Option<AggFunc>,
-    distinct: bool,
-    expr: CExpr,
+pub(crate) struct CAgg {
+    pub(crate) func: Option<AggFunc>,
+    pub(crate) distinct: bool,
+    pub(crate) expr: CExpr,
 }
 
 #[derive(Debug, Clone)]
-enum COperand {
+pub(crate) enum COperand {
     Lit(Value),
     Col(usize),
     /// Pre-executed uncorrelated subquery: first column of its rows.
@@ -465,15 +508,15 @@ enum COperand {
 }
 
 #[derive(Debug, Clone)]
-struct CPred {
-    left: CAgg,
-    op: CmpOp,
-    right: COperand,
-    right2: Option<COperand>,
+pub(crate) struct CPred {
+    pub(crate) left: CAgg,
+    pub(crate) op: CmpOp,
+    pub(crate) right: COperand,
+    pub(crate) right2: Option<COperand>,
 }
 
 #[derive(Debug, Clone)]
-enum CCond {
+pub(crate) enum CCond {
     And(Box<CCond>, Box<CCond>),
     Or(Box<CCond>, Box<CCond>),
     Pred(CPred),
@@ -579,10 +622,47 @@ fn compile_cond(
 // ---------------------------------------------------------------------------
 // Evaluation over rows / groups
 // ---------------------------------------------------------------------------
+//
+// Every evaluation primitive below is generic over [`RowRef`], an abstract,
+// copyable handle that can produce the value at a flat column index. The legacy
+// interpreter instantiates it with `&Row` (materialized joined rows); the
+// vectorized engine in [`crate::batch`] instantiates it with a virtual row over
+// typed column vectors. Both engines therefore run the *same* monomorphized
+// logic for expressions, aggregates, predicates and Kleene combinators — result
+// divergence between them is impossible by construction, which is what makes
+// the cross-engine byte-identity contract on `EvalReport`s hold.
 
-fn eval_expr(e: &CExpr, row: &Row) -> Value {
+/// A copyable handle onto one (possibly virtual) row of the joined relation.
+pub(crate) trait RowRef<'a>: Copy {
+    /// The value at flat column index `flat`, borrowed from the backing store.
+    fn at(self, flat: usize) -> ValueRef<'a>;
+}
+
+impl<'a> RowRef<'a> for &'a Row {
+    fn at(self, flat: usize) -> ValueRef<'a> {
+        self[flat].as_ref()
+    }
+}
+
+/// A lazily-materialized evaluation result: borrowed for bare columns (the hot
+/// predicate path allocates nothing), owned for computed aggregates.
+enum EvalVal<'a> {
+    Owned(Value),
+    Ref(ValueRef<'a>),
+}
+
+impl<'a> EvalVal<'a> {
+    fn view(&self) -> ValueRef<'_> {
+        match self {
+            EvalVal::Owned(v) => v.as_ref(),
+            EvalVal::Ref(r) => *r,
+        }
+    }
+}
+
+pub(crate) fn eval_expr<'a, R: RowRef<'a>>(e: &CExpr, row: R) -> Value {
     match e {
-        CExpr::Col(i) => row[*i].clone(),
+        CExpr::Col(i) => row.at(*i).to_value(),
         CExpr::Lit(v) => v.clone(),
         CExpr::Star => Value::Int(1),
         CExpr::Arith(op, l, r) => eval_expr(l, row).arith(*op, &eval_expr(r, row)),
@@ -595,7 +675,7 @@ fn eval_expr(e: &CExpr, row: &Row) -> Value {
 
 /// Evaluate an (optionally aggregated) expression over a group of rows.
 /// `rep` is the representative row for bare columns under aggregation.
-fn eval_agg(a: &CAgg, group: &[&Row], rep: Option<&Row>) -> Value {
+pub(crate) fn eval_agg<'a, R: RowRef<'a>>(a: &CAgg, group: &[R], rep: Option<R>) -> Value {
     let Some(func) = a.func else {
         let row = rep.or_else(|| group.first().copied());
         return match row {
@@ -608,7 +688,7 @@ fn eval_agg(a: &CAgg, group: &[&Row], rep: Option<&Row>) -> Value {
             if matches!(a.expr, CExpr::Star) {
                 return Value::Int(group.len() as i64);
             }
-            let vals = group.iter().map(|r| eval_expr(&a.expr, r)).filter(|v| !v.is_null());
+            let vals = group.iter().map(|r| eval_expr(&a.expr, *r)).filter(|v| !v.is_null());
             if a.distinct {
                 let mut seen: HashSet<Value> = HashSet::new();
                 Value::Int(vals.filter(|v| seen.insert(v.clone())).count() as i64)
@@ -619,7 +699,7 @@ fn eval_agg(a: &CAgg, group: &[&Row], rep: Option<&Row>) -> Value {
         AggFunc::Max | AggFunc::Min => {
             let mut best: Option<Value> = None;
             for r in group {
-                let v = eval_expr(&a.expr, r);
+                let v = eval_expr(&a.expr, *r);
                 if v.is_null() {
                     continue;
                 }
@@ -645,7 +725,7 @@ fn eval_agg(a: &CAgg, group: &[&Row], rep: Option<&Row>) -> Value {
             let mut vals: Vec<f64> = Vec::new();
             let mut seen: HashSet<Value> = HashSet::new();
             for r in group {
-                let v = eval_expr(&a.expr, r);
+                let v = eval_expr(&a.expr, *r);
                 if v.is_null() {
                     continue;
                 }
@@ -669,59 +749,99 @@ fn eval_agg(a: &CAgg, group: &[&Row], rep: Option<&Row>) -> Value {
     }
 }
 
-fn eval_pred(p: &CPred, group: &[&Row], rep: Option<&Row>) -> Option<bool> {
-    let left = eval_agg(&p.left, group, rep);
-    let scalar = |o: &COperand| -> Value {
-        match o {
-            COperand::Lit(v) => v.clone(),
-            COperand::Col(i) => {
-                let row = rep.or_else(|| group.first().copied());
-                row.map(|r| r[*i].clone()).unwrap_or(Value::Null)
-            }
-            // Scalar context: SQLite takes the first row of a subquery.
-            COperand::SubColumn(vals) => vals.first().cloned().unwrap_or(Value::Null),
+/// The left-hand side of a predicate, borrowed when it is a bare column so the
+/// common `col CMP literal` filter allocates nothing per row.
+fn eval_left<'a, R: RowRef<'a>>(a: &CAgg, group: &[R], rep: Option<R>) -> EvalVal<'a> {
+    if a.func.is_none() {
+        if let CExpr::Col(i) = &a.expr {
+            let row = rep.or_else(|| group.first().copied());
+            return match row {
+                Some(r) => EvalVal::Ref(r.at(*i)),
+                None => EvalVal::Owned(Value::Null),
+            };
         }
-    };
+    }
+    EvalVal::Owned(eval_agg(a, group, rep))
+}
+
+/// A scalar operand as a borrowed view. Literals borrow from the plan, columns
+/// from the representative row; a missing row yields NULL.
+fn operand_scalar<'a, R: RowRef<'a>>(o: &'a COperand, group: &[R], rep: Option<R>) -> ValueRef<'a> {
+    match o {
+        COperand::Lit(v) => v.as_ref(),
+        COperand::Col(i) => {
+            let row = rep.or_else(|| group.first().copied());
+            match row {
+                Some(r) => r.at(*i),
+                None => ValueRef::Null,
+            }
+        }
+        // Scalar context: SQLite takes the first row of a subquery.
+        COperand::SubColumn(vals) => match vals.first() {
+            Some(v) => v.as_ref(),
+            None => ValueRef::Null,
+        },
+    }
+}
+
+fn eval_pred<'a, R: RowRef<'a>>(p: &'a CPred, group: &[R], rep: Option<R>) -> Option<bool> {
+    let left_val = eval_left(&p.left, group, rep);
+    let left = left_val.view();
     match p.op {
         CmpOp::Eq => {
-            let r = scalar(&p.right);
+            let r = operand_scalar(&p.right, group, rep);
             // `= NULL` is parsed from IS NULL: evaluate as the IS test.
             if r.is_null() {
                 return Some(left.is_null());
             }
-            left.sql_eq(&r)
+            left.sql_eq(r)
         }
         CmpOp::Ne => {
-            let r = scalar(&p.right);
+            let r = operand_scalar(&p.right, group, rep);
             if r.is_null() {
                 return Some(!left.is_null());
             }
-            left.sql_eq(&r).map(|b| !b)
+            left.sql_eq(r).map(|b| !b)
         }
-        CmpOp::Lt => left.sql_cmp(&scalar(&p.right)).map(|o| o == Ordering::Less),
-        CmpOp::Le => left.sql_cmp(&scalar(&p.right)).map(|o| o != Ordering::Greater),
-        CmpOp::Gt => left.sql_cmp(&scalar(&p.right)).map(|o| o == Ordering::Greater),
-        CmpOp::Ge => left.sql_cmp(&scalar(&p.right)).map(|o| o != Ordering::Less),
-        CmpOp::Like => left.sql_like(&scalar(&p.right)),
-        CmpOp::NotLike => left.sql_like(&scalar(&p.right)).map(|b| !b),
+        CmpOp::Lt => {
+            left.sql_cmp(operand_scalar(&p.right, group, rep)).map(|o| o == Ordering::Less)
+        }
+        CmpOp::Le => {
+            left.sql_cmp(operand_scalar(&p.right, group, rep)).map(|o| o != Ordering::Greater)
+        }
+        CmpOp::Gt => {
+            left.sql_cmp(operand_scalar(&p.right, group, rep)).map(|o| o == Ordering::Greater)
+        }
+        CmpOp::Ge => {
+            left.sql_cmp(operand_scalar(&p.right, group, rep)).map(|o| o != Ordering::Less)
+        }
+        CmpOp::Like => left.sql_like(operand_scalar(&p.right, group, rep)),
+        CmpOp::NotLike => left.sql_like(operand_scalar(&p.right, group, rep)).map(|b| !b),
         CmpOp::Between => {
-            let lo = scalar(&p.right);
-            let hi = p.right2.as_ref().map(scalar).unwrap_or(Value::Null);
-            let ge = left.sql_cmp(&lo).map(|o| o != Ordering::Less);
-            let le = left.sql_cmp(&hi).map(|o| o != Ordering::Greater);
+            let lo = operand_scalar(&p.right, group, rep);
+            let hi = match &p.right2 {
+                Some(o) => operand_scalar(o, group, rep),
+                None => ValueRef::Null,
+            };
+            let ge = left.sql_cmp(lo).map(|o| o != Ordering::Less);
+            let le = left.sql_cmp(hi).map(|o| o != Ordering::Greater);
             kleene_and(ge, le)
         }
         CmpOp::In | CmpOp::NotIn => {
-            let vals: Vec<Value> = match &p.right {
-                COperand::SubColumn(v) => v.clone(),
-                other => vec![scalar(other)],
-            };
             if left.is_null() {
                 return None;
             }
+            let single;
+            let vals: &[Value] = match &p.right {
+                COperand::SubColumn(v) => v,
+                other => {
+                    single = [operand_scalar(other, group, rep).to_value()];
+                    &single
+                }
+            };
             let mut saw_null = false;
-            for v in &vals {
-                match left.sql_eq(v) {
+            for v in vals {
+                match left.sql_eq(v.as_ref()) {
                     Some(true) => {
                         return Some(p.op == CmpOp::In);
                     }
@@ -755,7 +875,11 @@ fn kleene_or(a: Option<bool>, b: Option<bool>) -> Option<bool> {
     }
 }
 
-fn eval_cond(c: &CCond, group: &[&Row], rep: Option<&Row>) -> Option<bool> {
+pub(crate) fn eval_cond<'a, R: RowRef<'a>>(
+    c: &'a CCond,
+    group: &[R],
+    rep: Option<R>,
+) -> Option<bool> {
     match c {
         CCond::And(l, r) => kleene_and(eval_cond(l, group, rep), eval_cond(r, group, rep)),
         CCond::Or(l, r) => kleene_or(eval_cond(l, group, rep), eval_cond(r, group, rep)),
@@ -908,7 +1032,12 @@ fn run_core(p: &CorePlan, db: &Database) -> ResultSet {
     // --- Join --------------------------------------------------------------
     let mut joined: Vec<Row> = p.sources[0].rows(db).to_vec();
     for (i, step) in p.joins.iter().enumerate() {
-        joined = join_rows(joined, p.sources[i + 1].rows(db), step.right_offset, &step.on);
+        let right = p.sources[i + 1].rows(db);
+        joined = match step.strategy() {
+            JoinStrategy::Cartesian => cartesian_rows(joined, right),
+            JoinStrategy::Hash(pairs) => hash_join_rows(joined, right, &pairs),
+            JoinStrategy::NestedLoop => join_filter_fallback(joined, right, &step.on),
+        };
     }
 
     // --- WHERE -------------------------------------------------------------
@@ -967,7 +1096,13 @@ fn run_core(p: &CorePlan, db: &Database) -> ResultSet {
         }
     }
 
-    // --- DISTINCT, ORDER BY, LIMIT -----------------------------------------
+    finish_core(produced, p)
+}
+
+/// The shared tail of core evaluation: DISTINCT (insertion-order hash dedup),
+/// stable multi-key sort, LIMIT. Both engines feed their `(output row, sort
+/// keys)` stream through this single implementation.
+pub(crate) fn finish_core(mut produced: Vec<(Row, Vec<Value>)>, p: &CorePlan) -> ResultSet {
     if p.distinct {
         let mut seen: HashSet<Row> = HashSet::new();
         produced.retain(|(row, _)| seen.insert(row.clone()));
@@ -992,41 +1127,28 @@ fn run_core(p: &CorePlan, db: &Database) -> ResultSet {
 }
 
 #[derive(Debug, Clone)]
-enum OrderTarget {
+pub(crate) enum OrderTarget {
     Expr(CAgg),
     OutputCol(usize),
 }
 
-/// Hash join when the ON list is non-empty, cartesian otherwise.
-fn join_rows(
-    left: Vec<Row>,
-    right: &[Row],
-    right_offset: usize,
-    on: &[(usize, usize)],
-) -> Vec<Row> {
+/// Cartesian product, left-major order.
+fn cartesian_rows(left: Vec<Row>, right: &[Row]) -> Vec<Row> {
     let mut out = Vec::new();
-    if on.is_empty() {
-        for l in &left {
-            for r in right {
-                let mut row = l.clone();
-                row.extend(r.iter().cloned());
-                out.push(row);
-            }
+    for l in &left {
+        for r in right {
+            let mut row = l.clone();
+            row.extend(r.iter().cloned());
+            out.push(row);
         }
-        return out;
     }
-    // Classify each ON pair into (left-side index, right-side local index).
-    let mut pairs: Vec<(usize, usize)> = Vec::new();
-    for (a, b) in on {
-        let (l, r) = if *a < right_offset { (*a, *b) } else { (*b, *a) };
-        if r < right_offset || l >= right_offset {
-            // Degenerate ON (both sides on one input, e.g. from repaired or
-            // hallucinated SQL): fall back to filtering the cartesian product.
-            return join_filter_fallback(left, right, on, right_offset);
-        }
-        pairs.push((l, r - right_offset));
-    }
-    // Build hash table over the right side.
+    out
+}
+
+/// Equality hash join: build on the right side (in row order), probe with the
+/// left rows in order. NULL keys never join.
+fn hash_join_rows(left: Vec<Row>, right: &[Row], pairs: &[(usize, usize)]) -> Vec<Row> {
+    let mut out = Vec::new();
     let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
     for r in right {
         let key: Vec<Value> = pairs.iter().map(|(_, ri)| r[*ri].clone()).collect();
@@ -1051,12 +1173,9 @@ fn join_rows(
     out
 }
 
-fn join_filter_fallback(
-    left: Vec<Row>,
-    right: &[Row],
-    on: &[(usize, usize)],
-    _right_offset: usize,
-) -> Vec<Row> {
+/// Nested-loop fallback for degenerate ON conditions: filter the cartesian
+/// product with row-level three-valued equality over every pair.
+fn join_filter_fallback(left: Vec<Row>, right: &[Row], on: &[(usize, usize)]) -> Vec<Row> {
     let mut out = Vec::new();
     for l in &left {
         for r in right {
@@ -1072,26 +1191,34 @@ fn join_filter_fallback(
 
 /// Group rows by key columns; with no GROUP BY, a single group over all rows
 /// (possibly empty, which still yields one aggregate output row, as in SQLite).
+/// Hash-keyed with a single lookup per row (entry API); groups come out in
+/// first-occurrence order with members in row order.
 fn build_groups<'a>(rows: &'a [Row], keys: &[usize]) -> Vec<Vec<&'a Row>> {
     if keys.is_empty() {
         return vec![rows.iter().collect()];
     }
-    let mut order: Vec<Vec<Value>> = Vec::new();
-    let mut map: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
+    let mut groups: Vec<Vec<&Row>> = Vec::new();
+    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
     for r in rows {
         let k: Vec<Value> = keys.iter().map(|i| r[*i].clone()).collect();
-        if !map.contains_key(&k) {
-            order.push(k.clone());
+        match index.entry(k) {
+            std::collections::hash_map::Entry::Occupied(e) => groups[*e.get()].push(r),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(groups.len());
+                groups.push(vec![r]);
+            }
         }
-        map.entry(k).or_default().push(r);
     }
-    order.into_iter().map(|k| map.remove(&k).unwrap()).collect()
+    groups
 }
 
 /// SQLite quirk: `SELECT name, MAX(age) FROM t` returns the row that achieves the
 /// MAX/MIN when there is exactly one such aggregate; otherwise bare columns read
 /// from the first row of the group.
-fn representative_row<'a>(select: &[(CAgg, String)], group: &[&'a Row]) -> Option<&'a Row> {
+pub(crate) fn representative_row<'a, R: RowRef<'a>>(
+    select: &[(CAgg, String)],
+    group: &[R],
+) -> Option<R> {
     let minmax: Vec<&CAgg> = select
         .iter()
         .map(|(a, _)| a)
@@ -1100,9 +1227,9 @@ fn representative_row<'a>(select: &[(CAgg, String)], group: &[&'a Row]) -> Optio
     let has_bare = select.iter().any(|(a, _)| a.func.is_none());
     if has_bare && minmax.len() == 1 {
         let agg = minmax[0];
-        let mut best: Option<(&Row, Value)> = None;
+        let mut best: Option<(R, Value)> = None;
         for r in group {
-            let v = eval_expr(&agg.expr, r);
+            let v = eval_expr(&agg.expr, *r);
             if v.is_null() {
                 continue;
             }
@@ -1117,7 +1244,7 @@ fn representative_row<'a>(select: &[(CAgg, String)], group: &[&'a Row]) -> Optio
                 }
             };
             if better {
-                best = Some((r, v));
+                best = Some((*r, v));
             }
         }
         return best.map(|(r, _)| r).or_else(|| group.first().copied());

@@ -15,9 +15,16 @@
 //! * Name-resolution failures are typed per the paper's remaining categories:
 //!   [`ExecError::TableColumnMismatch`], [`ExecError::AmbiguousColumn`],
 //!   [`ExecError::MissingTable`], [`ExecError::UnknownColumn`]/[`ExecError::UnknownTable`].
+//!
+//! Two engines execute the same prepared [`Plan`]: the row-at-a-time legacy
+//! interpreter ([`run`]) and the vectorized columnar pipeline ([`batch`],
+//! default inside an [`ExecSession`]). Their results are byte-identical by
+//! construction — every scalar/aggregate/predicate primitive is a single
+//! generic implementation shared by both (DESIGN.md §12).
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod database;
 pub mod dialect;
 pub mod error;
@@ -25,9 +32,10 @@ pub mod exec;
 pub mod session;
 pub mod value;
 
+pub use batch::{execute_vectorized, run_vectorized, ColumnTable};
 pub use database::{Database, Row};
 pub use dialect::{map_function, Dialect, ScalarFunc};
 pub use error::ExecError;
 pub use exec::{execute, explain, order_matters, prepare, run, Plan, ResultSet};
-pub use session::{ExecSession, SessionDb, DEFAULT_CACHE_CAPACITY};
-pub use value::Value;
+pub use session::{EngineMode, ExecSession, SessionDb, DEFAULT_CACHE_CAPACITY};
+pub use value::{Value, ValueRef};

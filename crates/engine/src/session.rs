@@ -9,7 +9,14 @@
 //!
 //! * **parse** — SQL text → AST, keyed by the raw string (db-independent);
 //! * **plan** — `(db fingerprint, canonical SQL)` → prepared [`Plan`];
-//! * **result** — `(db fingerprint, canonical SQL)` → executed [`ResultSet`].
+//! * **result** — `(db fingerprint, canonical SQL)` → executed [`ResultSet`];
+//! * **columns** — `(db fingerprint, table index)` → columnar [`ColumnTable`]
+//!   (vectorized engine only; see [`crate::batch`]).
+//!
+//! The session also picks the *engine* a plan runs on ([`EngineMode`]): the
+//! vectorized columnar pipeline (default) or the legacy row-at-a-time
+//! interpreter (`repro --legacy-exec`). Both produce identical [`ResultSet`]s;
+//! the mode only changes speed and which operator counters tick.
 //!
 //! Keys use [`Database::fingerprint`] (content hash), never pointer identity,
 //! so logically identical databases share entries and mutated ones never alias.
@@ -29,10 +36,11 @@
 //! misses on one key may both compute — both compute the same value, so the
 //! second insert is a harmless overwrite.
 
+use crate::batch::{self, ColumnTable};
 use crate::database::Database;
 use crate::error::ExecError;
 use crate::exec::{self, Plan, ResultSet};
-use obs::{CacheCounters, CacheStats, StageCacheCounters};
+use obs::{CacheCounters, CacheStats, ExecOpCounters, ExecOpStats, StageCacheCounters};
 use parking_lot::Mutex;
 use sqlkit::ast::Query;
 use std::collections::HashMap;
@@ -46,53 +54,91 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 /// Cache key for the per-database stages: (database fingerprint, canonical SQL).
 type DbKey = (u128, String);
 
+/// Which execution engine a session runs prepared plans on. Both modes
+/// produce byte-identical [`ResultSet`]s for every query; the vectorized
+/// engine is the fast default, the legacy interpreter the escape hatch and
+/// differential-testing reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Columnar batch pipeline ([`crate::batch`]): cached column vectors,
+    /// selection-vector operators, hash joins and hash grouping.
+    Vectorized,
+    /// The original row-at-a-time interpreter ([`exec::run`]).
+    Legacy,
+}
+
 /// A shared, bounded, thread-safe execution cache. Thread one per run, exactly
 /// like `MetricsRegistry`: construct with [`ExecSession::shared`], hand clones
 /// of the `Arc` to every worker, and read [`ExecSession::stats`] at the end.
 pub struct ExecSession {
     capacity: usize,
+    mode: EngineMode,
     parse: Mutex<Lru<String, Option<Arc<Query>>>>,
     plans: Mutex<Lru<DbKey, Result<Arc<Plan>, ExecError>>>,
     results: Mutex<Lru<DbKey, Result<Arc<ResultSet>, ExecError>>>,
+    columns: Mutex<Lru<(u128, usize), Arc<ColumnTable>>>,
     counters: CacheCounters,
+    ops: ExecOpCounters,
 }
 
 impl std::fmt::Debug for ExecSession {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ExecSession")
             .field("capacity", &self.capacity)
+            .field("mode", &self.mode)
             .field("stats", &self.stats())
             .finish()
     }
 }
 
 impl ExecSession {
-    /// A session with the given per-stage LRU capacity. Capacity 0 disables
-    /// caching entirely (every call computes directly, no stats recorded).
+    /// A vectorized session with the given per-stage LRU capacity. Capacity 0
+    /// disables caching entirely (every call computes directly, no cache stats
+    /// recorded).
     pub fn new(capacity: usize) -> Self {
+        Self::with_mode(capacity, EngineMode::Vectorized)
+    }
+
+    /// A session with an explicit engine mode and per-stage LRU capacity.
+    pub fn with_mode(capacity: usize, mode: EngineMode) -> Self {
         ExecSession {
             capacity,
+            mode,
             parse: Mutex::new(Lru::new(capacity)),
             plans: Mutex::new(Lru::new(capacity)),
             results: Mutex::new(Lru::new(capacity)),
+            columns: Mutex::new(Lru::new(capacity)),
             counters: CacheCounters::default(),
+            ops: ExecOpCounters::default(),
         }
     }
 
-    /// The standard enabled session ([`DEFAULT_CACHE_CAPACITY`]), ready to share.
+    /// The standard enabled session ([`DEFAULT_CACHE_CAPACITY`], vectorized),
+    /// ready to share.
     pub fn shared() -> Arc<Self> {
         Arc::new(Self::new(DEFAULT_CACHE_CAPACITY))
     }
 
-    /// A pass-through session: identical API, no memoization. The uncached
-    /// reference path (`repro --no-exec-cache`).
+    /// A fully cached session pinned to the legacy row-at-a-time interpreter
+    /// (`repro --legacy-exec`).
+    pub fn shared_legacy() -> Arc<Self> {
+        Arc::new(Self::with_mode(DEFAULT_CACHE_CAPACITY, EngineMode::Legacy))
+    }
+
+    /// A pass-through session: identical API, no memoization, legacy engine.
+    /// The uncached reference path (`repro --no-exec-cache`).
     pub fn disabled() -> Arc<Self> {
-        Arc::new(Self::new(0))
+        Arc::new(Self::with_mode(0, EngineMode::Legacy))
     }
 
     /// Whether this session actually caches.
     pub fn is_enabled(&self) -> bool {
         self.capacity > 0
+    }
+
+    /// The engine this session runs prepared plans on.
+    pub fn mode(&self) -> EngineMode {
+        self.mode
     }
 
     /// Point-in-time snapshot of hit/miss/eviction counts and entry gauges.
@@ -101,7 +147,26 @@ impl ExecSession {
             parse: self.counters.parse.snapshot(self.parse.lock().len() as u64),
             plan: self.counters.plan.snapshot(self.plans.lock().len() as u64),
             result: self.counters.result.snapshot(self.results.lock().len() as u64),
+            columns: self.counters.columns.snapshot(self.columns.lock().len() as u64),
         }
+    }
+
+    /// Point-in-time snapshot of the vectorized engine's per-operator traffic
+    /// (all-zero under [`EngineMode::Legacy`]).
+    pub fn op_stats(&self) -> ExecOpStats {
+        self.ops.snapshot()
+    }
+
+    /// Fetch (or build and memoize) the column vectors for one base table.
+    fn columns_for(&self, db: &Database, fp: u128, ti: usize) -> Arc<ColumnTable> {
+        let build = || {
+            self.ops.column_build();
+            Arc::new(ColumnTable::from_table(db, ti))
+        };
+        if !self.is_enabled() {
+            return build();
+        }
+        lookup(&self.columns, &self.counters.columns, (fp, ti), build)
     }
 
     /// Parse SQL text, memoizing by the raw string. `None` means the text does
@@ -178,7 +243,7 @@ impl<'s, 'd> SessionDb<'s, 'd> {
     /// database recompiles at most once.
     pub fn execute(&self, q: &Query) -> Result<Arc<ResultSet>, ExecError> {
         if !self.session.is_enabled() {
-            return exec::execute(self.db, q).map(Arc::new);
+            return exec::prepare(self.db, q).map(|plan| Arc::new(self.run_plan(&plan)));
         }
         let key = (self.fp, q.to_string());
         {
@@ -191,11 +256,24 @@ impl<'s, 'd> SessionDb<'s, 'd> {
         self.session.counters.result.miss();
         // Compute outside any lock: plans can take milliseconds on join-heavy
         // queries and must not serialize other workers.
-        let outcome = self.prepare_keyed(&key, q).map(|plan| Arc::new(exec::run(&plan, self.db)));
+        let outcome = self.prepare_keyed(&key, q).map(|plan| Arc::new(self.run_plan(&plan)));
         if self.session.results.lock().insert(key, outcome.clone()) {
             self.session.counters.result.eviction();
         }
         outcome
+    }
+
+    /// Run a prepared plan on the session's engine. Both arms return identical
+    /// result sets; only speed and operator counters differ.
+    fn run_plan(&self, plan: &Plan) -> ResultSet {
+        match self.session.mode {
+            EngineMode::Legacy => exec::run(plan, self.db),
+            EngineMode::Vectorized => {
+                let (session, db, fp) = (self.session, self.db, self.fp);
+                let mut provider = |ti: usize| session.columns_for(db, fp, ti);
+                batch::run_plan_with(plan, &mut provider, Some(&session.ops))
+            }
+        }
     }
 
     /// Parse and execute SQL text. `None` means the text does not parse;
@@ -492,6 +570,54 @@ mod tests {
         assert_eq!(*a, *b);
         assert!(!Arc::ptr_eq(&a, &b), "disabled session must not memoize");
         assert_eq!(session.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn vectorized_and_legacy_sessions_agree() {
+        let d = db();
+        let vec_s = ExecSession::shared();
+        let leg_s = ExecSession::shared_legacy();
+        assert_eq!(vec_s.mode(), EngineMode::Vectorized);
+        assert_eq!(leg_s.mode(), EngineMode::Legacy);
+        for sql in [
+            "SELECT a FROM t WHERE a > 1 ORDER BY a DESC",
+            "SELECT COUNT(*) FROM t GROUP BY b",
+            "SELECT DISTINCT b FROM t ORDER BY b LIMIT 3",
+        ] {
+            let q = sqlkit::parse(sql).unwrap();
+            let v = vec_s.bind(&d).execute(&q).unwrap();
+            let l = leg_s.bind(&d).execute(&q).unwrap();
+            assert_eq!(*v, *l, "engines diverged on {sql}");
+        }
+    }
+
+    #[test]
+    fn column_cache_memoizes_per_table_and_counts_builds() {
+        let session = ExecSession::new(64);
+        let d = db();
+        let bound = session.bind(&d);
+        let q1 = sqlkit::parse("SELECT a FROM t").unwrap();
+        let q2 = sqlkit::parse("SELECT b FROM t").unwrap();
+        bound.execute(&q1).unwrap();
+        bound.execute(&q2).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.columns.misses, 1, "one table transposed exactly once");
+        assert_eq!(stats.columns.hits, 1);
+        assert_eq!(stats.columns.entries, 1);
+        let ops = session.op_stats();
+        assert_eq!(ops.column_builds, 1);
+        assert!(ops.rows_scanned > 0);
+        assert!(ops.batches > 0);
+    }
+
+    #[test]
+    fn legacy_session_records_no_operator_traffic() {
+        let session = ExecSession::shared_legacy();
+        let d = db();
+        let q = sqlkit::parse("SELECT a FROM t WHERE a > 1").unwrap();
+        session.bind(&d).execute(&q).unwrap();
+        assert_eq!(session.op_stats(), obs::ExecOpStats::default());
+        assert_eq!(session.stats().columns, Default::default());
     }
 
     #[test]

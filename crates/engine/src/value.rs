@@ -24,77 +24,85 @@ pub enum Value {
     Text(String),
 }
 
-impl Value {
-    /// Convert a parsed literal into a value.
-    pub fn from_literal(l: &Literal) -> Value {
-        match l {
-            Literal::Int(i) => Value::Int(*i),
-            Literal::Float(x) => Value::Float(*x),
-            Literal::Str(s) => Value::Text(s.clone()),
-            Literal::Null => Value::Null,
-        }
-    }
+/// A borrowed view of a [`Value`]: the same four storage classes without owning
+/// the text payload, so columnar storage can hand out values with zero
+/// allocation. All SQL semantics (ordering, three-valued comparison, LIKE,
+/// arithmetic) are implemented **once**, here, and [`Value`] delegates — both
+/// the row-at-a-time interpreter and the vectorized engine therefore share one
+/// definition of every comparison by construction.
+#[derive(Debug, Clone, Copy)]
+pub enum ValueRef<'a> {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Borrowed text.
+    Text(&'a str),
+}
 
+impl<'a> ValueRef<'a> {
     /// Is this SQL NULL?
-    pub fn is_null(&self) -> bool {
-        matches!(self, Value::Null)
+    pub fn is_null(self) -> bool {
+        matches!(self, ValueRef::Null)
     }
 
     /// Numeric view (int promoted to float), `None` for NULL/text.
-    pub fn as_f64(&self) -> Option<f64> {
+    pub fn as_f64(self) -> Option<f64> {
         match self {
-            Value::Int(i) => Some(*i as f64),
-            Value::Float(x) => Some(*x),
+            ValueRef::Int(i) => Some(i as f64),
+            ValueRef::Float(x) => Some(x),
             _ => None,
         }
     }
 
     /// SQLite-style numeric coercion used by SUM/AVG: text coerces to 0.
-    pub fn coerce_f64(&self) -> Option<f64> {
+    pub fn coerce_f64(self) -> Option<f64> {
         match self {
-            Value::Null => None,
-            Value::Int(i) => Some(*i as f64),
-            Value::Float(x) => Some(*x),
-            Value::Text(_) => Some(0.0),
+            ValueRef::Null => None,
+            ValueRef::Int(i) => Some(i as f64),
+            ValueRef::Float(x) => Some(x),
+            ValueRef::Text(_) => Some(0.0),
         }
     }
 
     /// Storage-class rank for cross-type ordering: NULL < numeric < text.
-    fn class_rank(&self) -> u8 {
+    fn class_rank(self) -> u8 {
         match self {
-            Value::Null => 0,
-            Value::Int(_) | Value::Float(_) => 1,
-            Value::Text(_) => 2,
+            ValueRef::Null => 0,
+            ValueRef::Int(_) | ValueRef::Float(_) => 1,
+            ValueRef::Text(_) => 2,
         }
     }
 
     /// Total ordering across classes (SQLite collation order). Used by ORDER BY,
     /// MAX/MIN and DISTINCT.
-    pub fn total_cmp(&self, other: &Value) -> Ordering {
+    pub fn total_cmp(self, other: ValueRef<'_>) -> Ordering {
         match (self, other) {
-            (Value::Int(a), Value::Int(b)) => a.cmp(b),
-            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
-            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
-            (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
-            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (ValueRef::Int(a), ValueRef::Int(b)) => a.cmp(&b),
+            (ValueRef::Float(a), ValueRef::Float(b)) => a.total_cmp(&b),
+            (ValueRef::Int(a), ValueRef::Float(b)) => (a as f64).total_cmp(&b),
+            (ValueRef::Float(a), ValueRef::Int(b)) => a.total_cmp(&(b as f64)),
+            (ValueRef::Text(a), ValueRef::Text(b)) => a.cmp(b),
             (a, b) => a.class_rank().cmp(&b.class_rank()),
         }
     }
 
     /// Three-valued SQL equality: `None` when either side is NULL.
-    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+    pub fn sql_eq(self, other: ValueRef<'_>) -> Option<bool> {
         if self.is_null() || other.is_null() {
             return None;
         }
         Some(match (self, other) {
-            (Value::Text(a), Value::Text(b)) => a == b,
-            (Value::Text(_), _) | (_, Value::Text(_)) => false,
+            (ValueRef::Text(a), ValueRef::Text(b)) => a == b,
+            (ValueRef::Text(_), _) | (_, ValueRef::Text(_)) => false,
             _ => self.as_f64().unwrap() == other.as_f64().unwrap(),
         })
     }
 
     /// Three-valued SQL comparison: `None` when either side is NULL.
-    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+    pub fn sql_cmp(self, other: ValueRef<'_>) -> Option<Ordering> {
         if self.is_null() || other.is_null() {
             return None;
         }
@@ -104,11 +112,11 @@ impl Value {
     /// Arithmetic with SQLite semantics: NULL propagates; `Int op Int` stays integer
     /// (truncating division; division by zero yields NULL); overflow promotes to
     /// float; text operands coerce to 0.
-    pub fn arith(&self, op: ArithOp, other: &Value) -> Value {
+    pub fn arith(self, op: ArithOp, other: ValueRef<'_>) -> Value {
         if self.is_null() || other.is_null() {
             return Value::Null;
         }
-        if let (Value::Int(a), Value::Int(b)) = (self.int_view(), other.int_view()) {
+        if let (Some(a), Some(b)) = (self.int_view(), other.int_view()) {
             return match op {
                 ArithOp::Add => {
                     a.checked_add(b).map(Value::Int).unwrap_or(Value::Float(a as f64 + b as f64))
@@ -144,18 +152,20 @@ impl Value {
         }
     }
 
-    /// View text as Int(0) for the integer fast path check; keeps ints/floats as-is.
-    fn int_view(&self) -> Value {
+    /// View text as integer 0 for the integer fast path check; `None` for floats
+    /// (which force the float path).
+    fn int_view(self) -> Option<i64> {
         match self {
-            Value::Text(_) => Value::Int(0),
-            v => v.clone(),
+            ValueRef::Text(_) => Some(0),
+            ValueRef::Int(i) => Some(i),
+            _ => None,
         }
     }
 
     /// SQL LIKE with `%` and `_` wildcards, ASCII case-insensitive (SQLite default).
     /// NULL on either side yields `None`.
-    pub fn sql_like(&self, pattern: &Value) -> Option<bool> {
-        let (Value::Text(s), Value::Text(p)) = (self, pattern) else {
+    pub fn sql_like(self, pattern: ValueRef<'_>) -> Option<bool> {
+        let (ValueRef::Text(s), ValueRef::Text(p)) = (self, pattern) else {
             if self.is_null() || pattern.is_null() {
                 return None;
             }
@@ -165,6 +175,98 @@ impl Value {
             return Some(like_match(&s.to_ascii_lowercase(), &p.to_ascii_lowercase()));
         };
         Some(like_match(&s.to_ascii_lowercase(), &p.to_ascii_lowercase()))
+    }
+
+    /// Materialize an owned [`Value`] (clones borrowed text).
+    pub fn to_value(self) -> Value {
+        match self {
+            ValueRef::Null => Value::Null,
+            ValueRef::Int(i) => Value::Int(i),
+            ValueRef::Float(x) => Value::Float(x),
+            ValueRef::Text(s) => Value::Text(s.to_owned()),
+        }
+    }
+}
+
+impl fmt::Display for ValueRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueRef::Null => write!(f, "NULL"),
+            ValueRef::Int(i) => write!(f, "{i}"),
+            ValueRef::Float(x) => write!(f, "{x}"),
+            ValueRef::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl Value {
+    /// Convert a parsed literal into a value.
+    pub fn from_literal(l: &Literal) -> Value {
+        match l {
+            Literal::Int(i) => Value::Int(*i),
+            Literal::Float(x) => Value::Float(*x),
+            Literal::Str(s) => Value::Text(s.clone()),
+            Literal::Null => Value::Null,
+        }
+    }
+
+    /// Borrowed view of this value for allocation-free comparison.
+    pub fn as_ref(&self) -> ValueRef<'_> {
+        match self {
+            Value::Null => ValueRef::Null,
+            Value::Int(i) => ValueRef::Int(*i),
+            Value::Float(x) => ValueRef::Float(*x),
+            Value::Text(s) => ValueRef::Text(s),
+        }
+    }
+
+    /// Is this SQL NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (int promoted to float), `None` for NULL/text.
+    pub fn as_f64(&self) -> Option<f64> {
+        self.as_ref().as_f64()
+    }
+
+    /// SQLite-style numeric coercion used by SUM/AVG: text coerces to 0.
+    pub fn coerce_f64(&self) -> Option<f64> {
+        self.as_ref().coerce_f64()
+    }
+
+    /// Storage-class rank for cross-type ordering: NULL < numeric < text.
+    fn class_rank(&self) -> u8 {
+        self.as_ref().class_rank()
+    }
+
+    /// Total ordering across classes (SQLite collation order). Used by ORDER BY,
+    /// MAX/MIN and DISTINCT.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        self.as_ref().total_cmp(other.as_ref())
+    }
+
+    /// Three-valued SQL equality: `None` when either side is NULL.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.as_ref().sql_eq(other.as_ref())
+    }
+
+    /// Three-valued SQL comparison: `None` when either side is NULL.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        self.as_ref().sql_cmp(other.as_ref())
+    }
+
+    /// Arithmetic with SQLite semantics: NULL propagates; `Int op Int` stays integer
+    /// (truncating division; division by zero yields NULL); overflow promotes to
+    /// float; text operands coerce to 0.
+    pub fn arith(&self, op: ArithOp, other: &Value) -> Value {
+        self.as_ref().arith(op, other.as_ref())
+    }
+
+    /// SQL LIKE with `%` and `_` wildcards, ASCII case-insensitive (SQLite default).
+    /// NULL on either side yields `None`.
+    pub fn sql_like(&self, pattern: &Value) -> Option<bool> {
+        self.as_ref().sql_like(pattern.as_ref())
     }
 }
 

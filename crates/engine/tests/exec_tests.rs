@@ -445,9 +445,26 @@ fn explain_describes_plan_stages() {
     assert!(plan.contains("SCAN tv_channel AS T1"), "{plan}");
     assert!(plan.contains("HASH JOIN cartoon AS T2"), "{plan}");
     assert!(plan.contains("FILTER (1 predicates)"), "{plan}");
-    assert!(plan.contains("GROUP BY (1 keys)"), "{plan}");
+    assert!(plan.contains("HASH AGGREGATE (1 keys)"), "{plan}");
     assert!(plan.contains("SORT (1 keys)"), "{plan}");
     assert!(plan.contains("LIMIT 1"), "{plan}");
+}
+
+#[test]
+fn explain_names_join_and_group_strategies() {
+    let db = tv_db();
+    // Degenerate ON (both sides resolve left) forces the nested-loop fallback.
+    let nested = engine::explain(
+        &db,
+        &parse("SELECT T1.id FROM tv_channel AS T1 JOIN cartoon AS T2 ON T1.id = T1.language")
+            .unwrap(),
+    )
+    .unwrap();
+    assert!(nested.contains("NESTED LOOP JOIN (degenerate ON)"), "{nested}");
+    // A single aggregate without GROUP BY is one implicit group, not a hash.
+    let single = engine::explain(&db, &parse("SELECT COUNT(*) FROM tv_channel").unwrap()).unwrap();
+    assert!(single.contains("AGGREGATE (single group)"), "{single}");
+    assert!(!single.contains("HASH AGGREGATE"), "{single}");
 }
 
 #[test]

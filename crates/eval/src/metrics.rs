@@ -1,4 +1,9 @@
 //! Exact-Set Match and Execution Match metrics (§V-A2).
+//!
+//! The session-mediated forms inherit the session's engine choice
+//! ([`engine::EngineMode`]); EX/TS verdicts are identical under the vectorized
+//! pipeline and the legacy interpreter because the engines produce
+//! byte-identical result sets (DESIGN.md §12).
 
 use engine::{execute, order_matters, Database, SessionDb};
 use sqlkit::{exact_set_match, parse, Query, Schema};

@@ -58,6 +58,8 @@ pub struct CacheCounters {
     pub plan: StageCacheCounters,
     /// (db, SQL) → result-set memoization.
     pub result: StageCacheCounters,
+    /// (db, table) → column-vector memoization (vectorized engine).
+    pub columns: StageCacheCounters,
 }
 
 /// Snapshot of one cache stage: monotonic hit/miss/eviction counts plus the
@@ -95,12 +97,16 @@ pub struct CacheStats {
     pub plan: StageCacheStats,
     /// Result-stage stats.
     pub result: StageCacheStats,
+    /// Column-store stats (vectorized engine; all-zero under the legacy
+    /// interpreter).
+    #[serde(default)]
+    pub columns: StageCacheStats,
 }
 
 impl CacheStats {
     /// Total lookups across all stages.
     pub fn lookups(&self) -> u64 {
-        [self.parse, self.plan, self.result].iter().map(|s| s.hits + s.misses).sum()
+        [self.parse, self.plan, self.result, self.columns].iter().map(|s| s.hits + s.misses).sum()
     }
 
     /// Render an aligned stdout table (the `repro --metrics` cache section).
@@ -109,7 +115,12 @@ impl CacheStats {
             "Exec cache         hits     misses  evictions    entries   hit%\n\
              -----------------------------------------------------------------\n",
         );
-        for (name, s) in [("parse", &self.parse), ("plan", &self.plan), ("result", &self.result)] {
+        for (name, s) in [
+            ("parse", &self.parse),
+            ("plan", &self.plan),
+            ("result", &self.result),
+            ("columns", &self.columns),
+        ] {
             out.push_str(&format!(
                 "{name:<12} {:>10} {:>10} {:>10} {:>10} {:>6.1}\n",
                 s.hits,
@@ -139,6 +150,7 @@ mod tests {
             parse: c.parse.snapshot(1),
             plan: c.plan.snapshot(0),
             result: c.result.snapshot(0),
+            columns: c.columns.snapshot(0),
         };
         assert_eq!(stats.parse.hits, 2);
         assert_eq!(stats.parse.misses, 1);
@@ -149,5 +161,6 @@ mod tests {
         let rendered = stats.render();
         assert!(rendered.contains("parse"));
         assert!(rendered.contains("result"));
+        assert!(rendered.contains("columns"));
     }
 }

@@ -23,6 +23,7 @@
 
 mod cache;
 pub mod events;
+mod ops;
 mod registry;
 mod snapshot;
 
@@ -31,6 +32,7 @@ pub use events::{
     to_jsonl, DrainedEvents, Event, EventRecorder, EventSink, EventValue,
     DEFAULT_EVENTS_PER_EXAMPLE, DEFAULT_MAX_EXAMPLES,
 };
+pub use ops::{ExecOpCounters, ExecOpStats};
 pub use registry::{Clock, MetricsRegistry, Span};
 pub use snapshot::{
     CounterBlock, FixerStats, GaugeSlot, Histogram, StageMetrics, StageStats, NUM_BUCKETS,

@@ -1,0 +1,161 @@
+//! Per-operator counters for the vectorized execution engine: how many batches
+//! each operator processed, rows scanned, hash-join probe traffic, nested-loop
+//! fallbacks, aggregate groups and column-store builds.
+//!
+//! Like [`CacheStats`](crate::CacheStats), these are interleaving-dependent
+//! under parallel evaluation (workers share one session), so they live outside
+//! the deterministic report surface and are rendered on stdout by
+//! `repro --metrics` only.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live per-operator counters for a session's vectorized engine. All
+/// operations are relaxed atomics: diagnostics, not synchronization.
+#[derive(Debug, Default)]
+pub struct ExecOpCounters {
+    batches: AtomicU64,
+    rows_scanned: AtomicU64,
+    hash_probes: AtomicU64,
+    hash_probe_hits: AtomicU64,
+    nested_loop_fallbacks: AtomicU64,
+    hash_agg_groups: AtomicU64,
+    column_builds: AtomicU64,
+}
+
+impl ExecOpCounters {
+    /// Record one operator batch (one operator pass over a selection).
+    pub fn batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` base-table rows entering the pipeline (scan or join build).
+    pub fn scanned(&self, n: u64) {
+        self.rows_scanned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one hash-join probe with a non-NULL key; `hit` says whether it
+    /// matched at least one build row.
+    pub fn probe(&self, hit: bool) {
+        self.hash_probes.fetch_add(1, Ordering::Relaxed);
+        if hit {
+            self.hash_probe_hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one join step that fell back to the nested-loop path.
+    pub fn nested_loop_fallback(&self) {
+        self.nested_loop_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` groups built by one hash-aggregate pass.
+    pub fn groups(&self, n: u64) {
+        self.hash_agg_groups.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one table transposed into column vectors.
+    pub fn column_build(&self) {
+        self.column_builds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot.
+    pub fn snapshot(&self) -> ExecOpStats {
+        ExecOpStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
+            hash_probes: self.hash_probes.load(Ordering::Relaxed),
+            hash_probe_hits: self.hash_probe_hits.load(Ordering::Relaxed),
+            nested_loop_fallbacks: self.nested_loop_fallbacks.load(Ordering::Relaxed),
+            hash_agg_groups: self.hash_agg_groups.load(Ordering::Relaxed),
+            column_builds: self.column_builds.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of a session's vectorized-operator traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecOpStats {
+    /// Operator batches processed (scan/join/filter/aggregate passes).
+    pub batches: u64,
+    /// Base-table rows read by scans and join builds.
+    pub rows_scanned: u64,
+    /// Hash-join probes issued (non-NULL keys only).
+    pub hash_probes: u64,
+    /// Probes that matched at least one build-side row.
+    pub hash_probe_hits: u64,
+    /// Join steps that fell back to the nested-loop path (degenerate ON).
+    pub nested_loop_fallbacks: u64,
+    /// Groups produced by hash aggregation.
+    pub hash_agg_groups: u64,
+    /// Tables transposed into column vectors.
+    pub column_builds: u64,
+}
+
+impl ExecOpStats {
+    /// Probe hit ratio in percent (0 when no probes were issued).
+    pub fn probe_hit_pct(&self) -> f64 {
+        if self.hash_probes == 0 {
+            0.0
+        } else {
+            self.hash_probe_hits as f64 * 100.0 / self.hash_probes as f64
+        }
+    }
+
+    /// Render an aligned stdout table (the `repro --metrics` operator section).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Exec operators            count\n\
+             -------------------------------\n",
+        );
+        let rows = [
+            ("batches", self.batches),
+            ("rows scanned", self.rows_scanned),
+            ("hash probes", self.hash_probes),
+            ("hash probe hits", self.hash_probe_hits),
+            ("nested-loop fallbacks", self.nested_loop_fallbacks),
+            ("hash agg groups", self.hash_agg_groups),
+            ("column builds", self.column_builds),
+        ];
+        for (name, v) in rows {
+            out.push_str(&format!("{name:<21} {v:>9}\n"));
+        }
+        out.push_str(&format!("hash probe hit%       {:>9.1}\n", self.probe_hit_pct()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_snapshot_and_render() {
+        let c = ExecOpCounters::default();
+        c.batch();
+        c.batch();
+        c.scanned(200);
+        c.probe(true);
+        c.probe(false);
+        c.probe(true);
+        c.nested_loop_fallback();
+        c.groups(5);
+        c.column_build();
+        let s = c.snapshot();
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.rows_scanned, 200);
+        assert_eq!(s.hash_probes, 3);
+        assert_eq!(s.hash_probe_hits, 2);
+        assert_eq!(s.nested_loop_fallbacks, 1);
+        assert_eq!(s.hash_agg_groups, 5);
+        assert_eq!(s.column_builds, 1);
+        assert!((s.probe_hit_pct() - 200.0 / 3.0).abs() < 1e-9);
+        let rendered = s.render();
+        assert!(rendered.contains("hash probes"));
+        assert!(rendered.contains("nested-loop fallbacks"));
+    }
+
+    #[test]
+    fn empty_stats_have_zero_hit_pct() {
+        assert_eq!(ExecOpStats::default().probe_hit_pct(), 0.0);
+    }
+}

@@ -9,7 +9,10 @@
 //! the vote share one memoization layer: the 30 vote samples are typically a
 //! handful of distinct strings, and identical samples cost one execution. The
 //! `*_with` variants take an explicit bound session; the plain names keep their
-//! historical signatures and run uncached.
+//! historical signatures and run uncached. The session also picks the engine
+//! ([`engine::EngineMode`]): repair outcomes and vote winners are identical
+//! under the vectorized pipeline and the legacy interpreter, because both
+//! produce byte-identical result sets (DESIGN.md §12).
 
 use engine::{Database, ExecError, ExecSession, SessionDb};
 use obs::{Counter, EventRecorder, EventValue, Fixer, MetricsRegistry, Stage};

@@ -52,7 +52,10 @@ pub use sqlkit;
 /// Convenience re-exports for the common workflow.
 pub mod prelude {
     pub use baselines::{LlmBaseline, PlmTranslator, SharedModels, Strategy, ALL_PLM};
-    pub use engine::{execute, prepare, run, Database, ExecSession, Plan, ResultSet, Value};
+    pub use engine::{
+        execute, execute_vectorized, prepare, run, Database, EngineMode, ExecSession, Plan,
+        ResultSet, Value,
+    };
     pub use eval::{
         attribute, build_suites, evaluate, evaluate_par, evaluate_par_with_session,
         evaluate_with_par, evaluate_with_session, AttributionReport, Blame, Job, SuiteConfig,
