@@ -1,16 +1,18 @@
 #!/usr/bin/env bash
 # CI smoke checks against the release `repro` binary.
 #
-# Usage: ci/smoke.sh <metrics|cache|exec-bench|diagnose|diff>
+# Usage: ci/smoke.sh <metrics|cache|exec-bench|diagnose|diff|serve>
 #
 # Every mode runs at --scale tiny and enforces the repository's determinism
 # contract: observable artifacts must be byte-identical for any --jobs count
 # (for `cache`, with the execution cache on or off; for `exec-bench`, under
-# the vectorized engine, the legacy interpreter, and the uncached path).
+# the vectorized engine, the legacy interpreter, and the uncached path; for
+# `serve`, at any worker count/arrival order with batching on or off).
 set -euo pipefail
 
 REPRO=${REPRO:-./target/release/repro}
-mode=${1:?usage: ci/smoke.sh <metrics|cache|exec-bench|diagnose|diff>}
+SERVE=${SERVE:-./target/release/purple-serve}
+mode=${1:?usage: ci/smoke.sh <metrics|cache|exec-bench|diagnose|diff|serve>}
 work=$(mktemp -d)
 trap 'rm -rf "$work"' EXIT
 
@@ -107,8 +109,39 @@ diff)
     fi
     grep -q "\"baseline\":\"$strong\"" "$work/latest.json"
     ;;
+serve)
+    # 1. Drive seeded load through the concurrent serving front-end and
+    #    archive the replayed evaluation report in the run registry.
+    reg="$work/runs"
+    run1=$("$SERVE" --load-gen 60 --scale tiny --seed 42 --workers 4 \
+        --bench-out "$work/BENCH_serve.json" --archive "$reg" | sed -n 's/^run_id=//p')
+    test -n "$run1"
+    python3 -c "
+import json
+b = json.load(open('$work/BENCH_serve.json'))
+assert b['bench'] == 'serve' and b['requests'] >= 60, b
+assert b['throughput_rps'] > 0 and b['p50_ms'] <= b['p99_ms'], b
+assert b['run_id'] == '$run1', b"
+
+    # 2. A different worker count, arrival order, and batching mode must gate
+    #    clean against the first run with an all-zero diff: serving changes
+    #    scheduling, never results.
+    "$SERVE" --load-gen 60 --scale tiny --seed 42 --workers 1 --no-batching \
+        --arrival-seed 9 --bench-out "$work/BENCH_serve2.json" \
+        --archive "$reg" --baseline "$run1" --gate --diff-out "$work/serve.md" >/dev/null
+    grep -q 'All-zero diff' "$work/serve.md"
+
+    # 3. The stdio LDJSON frontend answers well-formed request lines and
+    #    flags malformed ones without dying.
+    printf '%s\n%s\n' \
+        '{"id":5,"idx":0,"db_index":0,"nl":"how many","sql":"SELECT a FROM b","linking_noise":0.0,"trace":false,"seed":null}' \
+        'not json' \
+        | "$SERVE" --stdio --scale tiny --seed 42 --workers 2 > "$work/stdio.out"
+    grep -q '"id":5' "$work/stdio.out"
+    grep -q '"error":' "$work/stdio.out"
+    ;;
 *)
-    echo "unknown mode \`$mode\` (metrics|cache|exec-bench|diagnose|diff)" >&2
+    echo "unknown mode \`$mode\` (metrics|cache|exec-bench|diagnose|diff|serve)" >&2
     exit 2
     ;;
 esac

@@ -4,7 +4,7 @@
 
 use crate::common::{fixed_demo_indices, raw_vote_with};
 use engine::{Database, ExecSession};
-use eval::{Job, RunOutcome, Translation, Translator};
+use eval::{Job, RunEnv, RunOutcome, Translation, Translator};
 use llm::{Demonstration, GenerationRequest, LlmProfile, LlmService, Prompt, CONTEXT_LIMIT};
 use nlmodel::{SchemaClassifier, SkeletonPredictor};
 use obs::{Clock, Counter, EventValue, Fixer, Gauge, MetricsRegistry, Stage};
@@ -63,8 +63,9 @@ pub struct LlmBaseline {
     service: LlmService,
     models: SharedModels,
     seed: u64,
-    metrics: Option<Arc<MetricsRegistry>>,
-    session: Option<Arc<ExecSession>>,
+    /// Shared run environment (same convention as [`purple::Purple`]); the
+    /// ledger lives inside `service`.
+    env: RunEnv,
     clock: Clock,
 }
 
@@ -77,34 +78,45 @@ impl LlmBaseline {
             service: LlmService::new(profile),
             models,
             seed: 0x51ec7e11,
-            metrics: None,
-            session: None,
+            env: RunEnv::default(),
             clock: Clock::default(),
         }
     }
 
-    /// Attach a shared cost ledger, builder-style: every LLM call is recorded.
-    pub fn with_ledger(mut self, ledger: std::sync::Arc<llm::CostLedger>) -> Self {
-        self.service = LlmService::new(self.profile).with_ledger(ledger);
+    /// Attach a whole shared run environment, builder-style, replacing any
+    /// previous one (same convention as [`purple::Purple::with_env`]):
+    /// DIN-SQL's self-correction and the C3 / DAIL-SQL votes execute through
+    /// the session, LLM calls are recorded into the ledger, per-run metric
+    /// snapshots are absorbed into the registry (whose clock is adopted), and
+    /// `env.events` is the default sink for jobs without their own.
+    pub fn with_env(mut self, env: RunEnv) -> Self {
+        if let Some(metrics) = &env.metrics {
+            self.clock = metrics.clock();
+        }
+        self.service.set_ledger(env.ledger.clone());
+        self.env = env;
         self
     }
 
-    /// Attach a shared metrics registry, builder-style (same convention as
-    /// [`purple::Purple::with_metrics`]): each run records into a private
-    /// registry and absorbs the snapshot into this one. Adopts the registry's
-    /// clock.
-    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
-        self.clock = metrics.clock();
-        self.metrics = Some(metrics);
-        self
+    /// Attach a shared cost ledger.
+    #[deprecated(note = "use `with_env(RunEnv::default().with_ledger(...))`")]
+    pub fn with_ledger(self, ledger: std::sync::Arc<llm::CostLedger>) -> Self {
+        let env = self.env.clone().with_ledger(ledger);
+        self.with_env(env)
     }
 
-    /// Attach a shared execution session, builder-style (same convention as
-    /// [`purple::Purple::with_session`]): DIN-SQL's self-correction and the
-    /// C3 / DAIL-SQL votes execute through the session's memoizing caches.
-    pub fn with_session(mut self, session: Arc<ExecSession>) -> Self {
-        self.session = Some(session);
-        self
+    /// Attach a shared metrics registry.
+    #[deprecated(note = "use `with_env(RunEnv::default().with_metrics(...))`")]
+    pub fn with_metrics(self, metrics: Arc<MetricsRegistry>) -> Self {
+        let env = self.env.clone().with_metrics(metrics);
+        self.with_env(env)
+    }
+
+    /// Attach a shared execution session.
+    #[deprecated(note = "use `with_env(RunEnv::default().with_session(...))`")]
+    pub fn with_session(self, session: Arc<ExecSession>) -> Self {
+        let env = self.env.clone().with_session(session);
+        self.with_env(env)
     }
 
     /// Jaccard similarity of two token sets (DAIL-SQL's similarity function; the
@@ -169,7 +181,8 @@ impl Translator for LlmBaseline {
         let (ex, db) = (job.example, job.db);
         let seed = job.seed(self.seed);
         let reg = MetricsRegistry::new(self.clock);
-        let rec = job.events.map(|sink| sink.recorder(job.idx));
+        let events = job.events.or(self.env.events.as_deref());
+        let rec = events.map(|sink| sink.recorder(job.idx));
 
         // Per-strategy prompt composition. DAIL-SQL's retrieval runs the
         // skeleton predictor internally, so the whole composition step counts
@@ -311,7 +324,7 @@ impl Translator for LlmBaseline {
         let response = self.service.complete(&request);
 
         // DIN-SQL self-corrects (its final module); C3/DAIL vote; the rest emit raw.
-        let session = self.session.clone().unwrap_or_else(ExecSession::disabled);
+        let session = self.env.session_or_disabled();
         let sql = match self.strategy {
             Strategy::DinSql => {
                 let span = reg.span(Stage::Adaption);
@@ -356,10 +369,10 @@ impl Translator for LlmBaseline {
             output_tokens: response.output_tokens,
         };
         let metrics = reg.snapshot();
-        if let Some(shared) = &self.metrics {
+        if let Some(shared) = &self.env.metrics {
             shared.absorb(&metrics);
         }
-        if let (Some(sink), Some(rec)) = (job.events, rec) {
+        if let (Some(sink), Some(rec)) = (events, rec) {
             sink.publish(rec);
         }
         RunOutcome { translation, metrics }

@@ -12,7 +12,7 @@
 //! right composition even where our stand-in misses (documented in DESIGN.md §5).
 //! Slot filling then introduces linking/value errors at PLM-typical rates.
 
-use eval::{Job, RunOutcome, Translation, Translator};
+use eval::{Job, RunEnv, RunOutcome, Translation, Translator};
 use llm::writer::write_sample;
 use llm::{count_tokens, LlmProfile, CHATGPT};
 use nlmodel::SkeletonPredictor;
@@ -89,6 +89,10 @@ pub struct PlmTranslator {
     cfg: PlmConfig,
     predictor: Arc<SkeletonPredictor>,
     profile: LlmProfile,
+    /// Shared run environment (same convention as [`purple::Purple`]). PLMs
+    /// run local inference, so only the metrics registry and default event
+    /// sink apply — the session and ledger are accepted but unused.
+    env: RunEnv,
 }
 
 impl PlmTranslator {
@@ -105,7 +109,16 @@ impl PlmTranslator {
             equivalent_bias: 0.45,
             ..CHATGPT
         };
-        PlmTranslator { cfg, predictor, profile }
+        PlmTranslator { cfg, predictor, profile, env: RunEnv::default() }
+    }
+
+    /// Attach a shared run environment, builder-style (same convention as
+    /// [`purple::Purple::with_env`]): per-run metric snapshots are absorbed
+    /// into `env.metrics`, and `env.events` is the default sink for jobs
+    /// without their own.
+    pub fn with_env(mut self, env: RunEnv) -> Self {
+        self.env = env;
+        self
     }
 }
 
@@ -122,7 +135,8 @@ impl Translator for PlmTranslator {
         });
         let mut rng = StdRng::seed_from_u64(seed);
         let reg = MetricsRegistry::default();
-        let rec = job.events.map(|sink| sink.recorder(job.idx));
+        let events = job.events.or(self.env.events.as_deref());
+        let rec = events.map(|sink| sink.recorder(job.idx));
 
         let span = reg.span(Stage::SkeletonPrediction);
         let gold_skel = Skeleton::from_query(&ex.query);
@@ -169,10 +183,14 @@ impl Translator for PlmTranslator {
         reg.count(Counter::Samples, 1);
         reg.count(Counter::PromptTokens, translation.prompt_tokens);
         reg.count(Counter::OutputTokens, translation.output_tokens);
-        if let (Some(sink), Some(rec)) = (job.events, rec) {
+        let metrics = reg.snapshot();
+        if let Some(shared) = &self.env.metrics {
+            shared.absorb(&metrics);
+        }
+        if let (Some(sink), Some(rec)) = (events, rec) {
             sink.publish(rec);
         }
-        RunOutcome { translation, metrics: reg.snapshot() }
+        RunOutcome { translation, metrics }
     }
 }
 

@@ -1,0 +1,451 @@
+//! `purple-serve` — the long-running NL2SQL service front-end (DESIGN.md §13).
+//!
+//! ```text
+//! purple-serve (--stdio | --tcp ADDR | --load-gen N)
+//!              [--scale tiny|medium|full] [--seed N] [--profile chatgpt|gpt4]
+//!              [--workers N] [--queue-capacity N] [--no-batching] [--batch-max N]
+//!              load-gen only:
+//!              [--arrival-seed N] [--bench-out PATH]
+//!              [--archive DIR [--baseline RUN [--gate] [--gate-ex N] [--gate-ts N]
+//!                              [--gate-blame F] [--diff-out P] [--diff-json P]]]
+//! ```
+//!
+//! The server trains PURPLE on the generated suite's train split at startup,
+//! then answers line-delimited JSON requests against the dev split's
+//! databases (see `eval::wire` for the request/response line shapes).
+//! `--load-gen N` instead drives N seeded synthetic requests through the
+//! server, prints throughput and latency percentiles, writes them to
+//! `BENCH_serve.json`, and can archive the replayed evaluation report in the
+//! PR-5 run registry so the regression gate covers served translations.
+
+use bench_harness::{serve, Scale};
+use engine::{ExecSession, SessionConfig};
+use eval::{RunEnv, SuiteConfig};
+use obs::{Clock, MetricsRegistry};
+use purple::{Purple, PurpleConfig};
+use spidergen::generate_suite;
+use std::io;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Stdio,
+    Tcp,
+    LoadGen,
+}
+
+struct Args {
+    mode: Mode,
+    tcp_addr: String,
+    requests: usize,
+    scale: Scale,
+    seed: u64,
+    profile: &'static str,
+    workers: usize,
+    queue_capacity: usize,
+    batching: bool,
+    batch_max: usize,
+    arrival_seed: u64,
+    bench_out: String,
+    archive: Option<String>,
+    baseline: Option<String>,
+    gate: bool,
+    gate_ex: usize,
+    gate_ts: usize,
+    gate_blame: f64,
+    diff_out: Option<String>,
+    diff_json: Option<String>,
+}
+
+const USAGE: &str = "purple-serve (--stdio | --tcp ADDR | --load-gen N) \
+    [--scale tiny|medium|full] [--seed N] [--profile chatgpt|gpt4] [--workers N] \
+    [--queue-capacity N] [--no-batching] [--batch-max N] [--arrival-seed N] \
+    [--bench-out PATH] [--archive DIR [--baseline RUN [--gate] [--gate-ex N] \
+    [--gate-ts N] [--gate-blame F] [--diff-out P] [--diff-json P]]]";
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        mode: Mode::Stdio,
+        tcp_addr: String::new(),
+        requests: 0,
+        scale: Scale::Tiny,
+        seed: 42,
+        profile: "chatgpt",
+        workers: bench_harness::context::default_jobs(),
+        queue_capacity: 64,
+        batching: true,
+        batch_max: 16,
+        arrival_seed: 1,
+        bench_out: "BENCH_serve.json".into(),
+        archive: None,
+        baseline: None,
+        gate: false,
+        gate_ex: 0,
+        gate_ts: 0,
+        gate_blame: 10.0,
+        diff_out: None,
+        diff_json: None,
+    };
+    let mut mode = None;
+    let mut it = std::env::args().skip(1);
+    let next = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next().unwrap_or_else(|| die(&format!("{flag} needs a value")))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stdio" => mode = Some(Mode::Stdio),
+            "--tcp" => {
+                args.tcp_addr = next(&mut it, "--tcp");
+                mode = Some(Mode::Tcp);
+            }
+            "--load-gen" => {
+                args.requests = next(&mut it, "--load-gen")
+                    .parse()
+                    .unwrap_or_else(|_| die("--load-gen needs a request count"));
+                mode = Some(Mode::LoadGen);
+            }
+            "--scale" => {
+                let v = next(&mut it, "--scale");
+                args.scale = Scale::parse(&v)
+                    .unwrap_or_else(|| die(&format!("unknown scale `{v}` (tiny|medium|full)")));
+            }
+            "--seed" => {
+                args.seed = next(&mut it, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("--seed needs an integer"));
+            }
+            "--profile" => {
+                args.profile = match next(&mut it, "--profile").as_str() {
+                    "chatgpt" => "chatgpt",
+                    "gpt4" => "gpt4",
+                    p => die(&format!("unknown profile `{p}` (chatgpt|gpt4)")),
+                };
+            }
+            "--workers" => {
+                args.workers = next(&mut it, "--workers")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--workers needs a positive integer"));
+            }
+            "--queue-capacity" => {
+                args.queue_capacity = next(&mut it, "--queue-capacity")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--queue-capacity needs a positive integer"));
+            }
+            "--no-batching" => args.batching = false,
+            "--batch-max" => {
+                args.batch_max = next(&mut it, "--batch-max")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--batch-max needs a positive integer"));
+            }
+            "--arrival-seed" => {
+                args.arrival_seed = next(&mut it, "--arrival-seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("--arrival-seed needs an integer"));
+            }
+            "--bench-out" => args.bench_out = next(&mut it, "--bench-out"),
+            "--archive" => args.archive = Some(next(&mut it, "--archive")),
+            "--baseline" => args.baseline = Some(next(&mut it, "--baseline")),
+            "--gate" => args.gate = true,
+            "--gate-ex" => {
+                args.gate_ex = next(&mut it, "--gate-ex")
+                    .parse()
+                    .unwrap_or_else(|_| die("--gate-ex needs an integer threshold"));
+            }
+            "--gate-ts" => {
+                args.gate_ts = next(&mut it, "--gate-ts")
+                    .parse()
+                    .unwrap_or_else(|_| die("--gate-ts needs an integer threshold"));
+            }
+            "--gate-blame" => {
+                args.gate_blame = next(&mut it, "--gate-blame")
+                    .parse()
+                    .unwrap_or_else(|_| die("--gate-blame needs a percentage-point threshold"));
+            }
+            "--diff-out" => args.diff_out = Some(next(&mut it, "--diff-out")),
+            "--diff-json" => args.diff_json = Some(next(&mut it, "--diff-json")),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    args.mode = mode.unwrap_or_else(|| die(&format!("pick a mode\n{USAGE}")));
+    if args.mode != Mode::LoadGen
+        && (args.archive.is_some() || args.baseline.is_some() || args.gate)
+    {
+        die("--archive/--baseline/--gate require --load-gen");
+    }
+    if args.baseline.is_some() && args.archive.is_none() {
+        die("--baseline requires --archive (the registry holding the baseline run)");
+    }
+    if (args.gate || args.diff_out.is_some() || args.diff_json.is_some()) && args.baseline.is_none()
+    {
+        die("--gate/--diff-out/--diff-json require --baseline");
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let profile = if args.profile == "gpt4" { llm::GPT4 } else { llm::CHATGPT };
+    let t0 = Instant::now();
+    eprintln!(
+        "[serve] building context (scale {}, seed {}, {} worker(s))...",
+        args.scale.name(),
+        args.seed,
+        args.workers
+    );
+    let suite = generate_suite(&args.scale.gen_config(args.seed));
+    let metrics = MetricsRegistry::shared(Clock::Virtual);
+    let session = ExecSession::shared_with(SessionConfig::for_workers(args.workers));
+    let purple =
+        Arc::new(Purple::new(&suite.train, PurpleConfig::default_with(profile)).with_env(
+            RunEnv::default().with_session(session.clone()).with_metrics(metrics.clone()),
+        ));
+    let bench = Arc::new(suite.dev.clone());
+    let cfg = serve::ServeConfig {
+        workers: args.workers,
+        queue_capacity: args.queue_capacity,
+        batching: args.batching,
+        batch_max: args.batch_max,
+    };
+    let server = serve::Server::start(purple.clone(), bench.clone(), metrics.clone(), cfg);
+    eprintln!(
+        "[serve] ready: {} dev examples over {} databases ({:.1}s startup)",
+        bench.examples.len(),
+        bench.databases.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    match args.mode {
+        Mode::Stdio => {
+            let mut out = io::stdout();
+            let stats = serve::serve_connection(&server.handle(), io::stdin().lock(), &mut out)
+                .unwrap_or_else(|e| {
+                    eprintln!("[serve] stdio connection failed: {e}");
+                    std::process::exit(1);
+                });
+            server.shutdown();
+            eprintln!(
+                "[serve] stdin closed: {} request(s) answered, {} refused",
+                stats.accepted, stats.rejected
+            );
+        }
+        Mode::Tcp => {
+            let listener = std::net::TcpListener::bind(&args.tcp_addr).unwrap_or_else(|e| {
+                eprintln!("[serve] cannot bind {}: {e}", args.tcp_addr);
+                std::process::exit(1);
+            });
+            let addr = listener.local_addr().map(|a| a.to_string()).unwrap_or_default();
+            eprintln!("[serve] listening on {addr}");
+            if let Err(e) = serve::serve_tcp(server.handle(), listener) {
+                eprintln!("[serve] listener failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        Mode::LoadGen => load_gen(&args, profile, &server, &suite, &bench, &session, &t0),
+    }
+    eprintln!("[serve] done in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+/// `--load-gen`: drive seeded synthetic traffic, report throughput/latency,
+/// write `BENCH_serve.json`, and optionally archive/diff/gate the replayed
+/// evaluation report (mirroring `repro --archive`).
+fn load_gen(
+    args: &Args,
+    profile: llm::LlmProfile,
+    server: &serve::Server,
+    suite: &spidergen::Suite,
+    bench: &Arc<spidergen::Benchmark>,
+    session: &Arc<ExecSession>,
+    t0: &Instant,
+) {
+    let n = bench.examples.len();
+    let requests = args.requests.max(n);
+    if requests > args.requests {
+        eprintln!(
+            "[serve] bumping --load-gen {} to {requests} so every dev example is served \
+             (the replayed report must cover the split)",
+            args.requests
+        );
+    }
+    // Resolve the baseline before recording the candidate — same rationale as
+    // `repro --archive` (PR 5): `--baseline latest` must never self-resolve.
+    let registry_and_base = args.archive.as_ref().map(|root| {
+        let registry = eval::RunRegistry::open(root).unwrap_or_else(|e| {
+            eprintln!("cannot open run registry at {root}: {e}");
+            std::process::exit(1);
+        });
+        let base_id = args.baseline.as_ref().map(|reference| {
+            registry.resolve(reference).unwrap_or_else(|e| {
+                eprintln!("cannot resolve baseline `{reference}`: {e}");
+                std::process::exit(2);
+            })
+        });
+        (registry, base_id)
+    });
+    eprintln!("[serve] driving {requests} request(s) ({:.1}s)...", t0.elapsed().as_secs_f64());
+    let reqs = serve::synth_requests(bench, requests, args.arrival_seed);
+    let (completions, stats) = serve::run_load(&server.handle(), reqs).unwrap_or_else(|e| {
+        eprintln!("[serve] load generation failed: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "[serve] {} completion(s) in {:.1}ms: {:.1} req/s, p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms",
+        stats.requests,
+        stats.wall.as_secs_f64() * 1e3,
+        stats.throughput_rps,
+        stats.p50.as_secs_f64() * 1e3,
+        stats.p95.as_secs_f64() * 1e3,
+        stats.p99.as_secs_f64() * 1e3
+    );
+    eprintln!("[serve] scoring served traffic ({:.1}s)...", t0.elapsed().as_secs_f64());
+    let suites_cfg = SuiteConfig { candidates: 40, max_kept: 8, probe_queries: 24 };
+    let suites = eval::build_suites(bench, suites_cfg, args.seed ^ 0x7e57);
+    let system =
+        eval::Translator::name(&Purple::new(&suite.train, PurpleConfig::default_with(profile)));
+    let report = serve::replay_report(&system, bench, Some(&suites), session, &completions)
+        .unwrap_or_else(|e| {
+            eprintln!("[serve] cannot rebuild report from served traffic: {e}");
+            std::process::exit(1);
+        });
+    println!("{}", report.summary());
+    let run_id = registry_and_base.as_ref().map(|(registry, _)| {
+        let manifest = eval::RunManifest {
+            system: report.system.clone(),
+            split: report.split.clone(),
+            scale: args.scale.name().to_string(),
+            seed: args.seed,
+            jobs: args.workers,
+            profile: profile.name.to_string(),
+            config_fingerprint: eval::fingerprint(&format!(
+                "{:?} serve workers={} queue={} batching={} batch_max={}",
+                PurpleConfig::default_with(profile),
+                args.workers,
+                args.queue_capacity,
+                args.batching,
+                args.batch_max
+            )),
+            git_rev: eval::git_rev(std::path::Path::new(".")).unwrap_or_else(|| "unknown".into()),
+            schema_version: eval::REPORT_SCHEMA_VERSION,
+            examples: report.overall.n,
+        };
+        let run_id = registry.record(&manifest, &report).unwrap_or_else(|e| {
+            eprintln!("cannot archive run: {e}");
+            std::process::exit(1);
+        });
+        println!("run_id={run_id}");
+        run_id
+    });
+    let json = bench_json(args, requests, n, &stats, &report, run_id.as_deref());
+    if let Err(e) = std::fs::write(&args.bench_out, &json) {
+        eprintln!("cannot write {}: {e}", args.bench_out);
+        std::process::exit(1);
+    }
+    eprintln!("[serve] bench summary written to {}", args.bench_out);
+    let Some((registry, Some(base_id))) = registry_and_base else {
+        return;
+    };
+    let run_id = run_id.expect("archived above");
+    let (_, base_report) = registry.load(&base_id).unwrap_or_else(|e| {
+        eprintln!("cannot load baseline {base_id}: {e}");
+        std::process::exit(2);
+    });
+    let diff = eval::diff_reports(&base_id, &base_report, &run_id, &report).unwrap_or_else(|e| {
+        eprintln!("cannot diff {run_id} against {base_id}: {e}");
+        std::process::exit(2);
+    });
+    print!("{}", diff.render_markdown());
+    if let Some(path) = &args.diff_out {
+        if let Err(e) = std::fs::write(path, diff.render_markdown()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = &args.diff_json {
+        if let Err(e) = std::fs::write(path, eval::diff_to_json(&diff)) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if args.gate {
+        let cfg = eval::GateConfig {
+            max_ex_regressions: args.gate_ex,
+            max_ts_regressions: args.gate_ts,
+            max_blame_share_increase: args.gate_blame,
+        };
+        let outcome = eval::gate(&diff, &cfg);
+        if outcome.passed {
+            eprintln!("[serve] gate passed: {run_id} vs baseline {base_id}");
+        } else {
+            eprintln!("[serve] gate FAILED: {run_id} vs baseline {base_id}");
+            for v in &outcome.violations {
+                eprintln!("  - {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Render `BENCH_serve.json` (same hand-rolled style as `BENCH_exec.json`).
+fn bench_json(
+    args: &Args,
+    requests: usize,
+    examples: usize,
+    stats: &serve::LoadStats,
+    report: &eval::EvalReport,
+    run_id: Option<&str>,
+) -> String {
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    format!(
+        "{{\n  \"schema_version\": 1,\n  \"bench\": \"serve\",\n  \"description\": \"purple-serve \
+         load generator: seeded synthetic requests cycling the dev split, driven through the \
+         concurrent serving front-end (bounded queue + same-database batching over a shared \
+         ExecSession). Latency is submit-to-completion wall time including admission wait. \
+         Reproduce with: cargo run -p purple-bench --bin purple-serve -- --load-gen {requests} \
+         --scale {} --seed {} --workers {}\",\n  \
+         \"scale\": \"{}\",\n  \"seed\": {},\n  \"profile\": \"{}\",\n  \"workers\": {},\n  \
+         \"queue_capacity\": {},\n  \"batching\": {},\n  \"batch_max\": {},\n  \
+         \"requests\": {requests},\n  \"examples\": {examples},\n  \"arrival_seed\": {},\n  \
+         \"wall_ms\": {:.3},\n  \"throughput_rps\": {:.1},\n  \"p50_ms\": {:.3},\n  \
+         \"p95_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"em_pct\": {:.1},\n  \"ex_pct\": {:.1},\n  \
+         \"ts_pct\": {:.1},\n  \"run_id\": {},\n  \"note\": \"wall-clock timings vary by machine; \
+         the archived EvalReport (run_id) is deterministic — byte-identical for any --workers, \
+         --arrival-seed, and with or without batching\"\n}}\n",
+        args.scale.name(),
+        args.seed,
+        args.workers,
+        args.scale.name(),
+        args.seed,
+        args.profile,
+        args.workers,
+        args.queue_capacity,
+        args.batching,
+        args.batch_max,
+        args.arrival_seed,
+        ms(stats.wall),
+        stats.throughput_rps,
+        ms(stats.p50),
+        ms(stats.p95),
+        ms(stats.p99),
+        report.overall.em_pct(),
+        report.overall.ex_pct(),
+        report.overall.ts_pct(),
+        match run_id {
+            Some(id) => format!("\"{id}\""),
+            None => "null".into(),
+        }
+    )
+}

@@ -3,7 +3,7 @@
 
 use baselines::SharedModels;
 use engine::ExecSession;
-use eval::{build_suites, SuiteConfig, TestSuite};
+use eval::{build_suites, RunEnv, SuiteConfig, TestSuite};
 use llm::CHATGPT;
 use purple::{Purple, PurpleConfig};
 use spidergen::{generate_suite, GenConfig, Suite};
@@ -81,6 +81,13 @@ impl ReproContext {
         let jobs = default_jobs();
         let session = ExecSession::shared();
         ReproContext { suite, purple, models, dev_suites: None, seed, jobs, session }
+    }
+
+    /// The run environment experiments attach to translators: the shared
+    /// execution session, nothing else. Chain further components onto the
+    /// returned value (`ctx.env().with_ledger(...)`).
+    pub fn env(&self) -> RunEnv {
+        RunEnv::default().with_session(self.session.clone())
     }
 
     /// Build (or get) the distilled dev test suites.

@@ -49,13 +49,13 @@ fn baseline(ctx: &ReproContext, s: Strategy, profile: llm::LlmProfile) -> LlmBas
             pool: ctx.models.pool.clone(),
         },
     )
-    .with_session(ctx.session.clone())
+    .with_env(ctx.env())
 }
 
 /// PURPLE on a profile with the default configuration, executing through the
-/// context's shared session (`with_config` drops the attachment).
+/// context's shared session (`with_config` drops the attached environment).
 fn purple_with(ctx: &ReproContext, profile: llm::LlmProfile) -> purple::Purple {
-    ctx.purple.with_config(PurpleConfig::default_with(profile)).with_session(ctx.session.clone())
+    ctx.purple.with_config(PurpleConfig::default_with(profile)).with_env(ctx.env())
 }
 
 // ---------------------------------------------------------------------------
@@ -286,7 +286,7 @@ pub fn fig11(ctx: &ReproContext) -> Vec<BudgetCell> {
             let mut cfg = PurpleConfig::default_with(CHATGPT);
             cfg.len_budget = len;
             cfg.num_consistency = num;
-            let p = ctx.purple.with_config(cfg).with_session(ctx.session.clone());
+            let p = ctx.purple.with_config(cfg).with_env(ctx.env());
             let r = evaluate_par_with_session(&p, dev, None, ctx.jobs, &ctx.session);
             BudgetCell {
                 len,
@@ -372,7 +372,7 @@ fn run_selection_variants(
         .map(|(label, sel)| {
             let mut cfg = PurpleConfig::default_with(CHATGPT);
             cfg.selection = sel;
-            let p = ctx.purple.with_config(cfg).with_session(ctx.session.clone());
+            let p = ctx.purple.with_config(cfg).with_env(ctx.env());
             let r = evaluate_par_with_session(&p, dev, None, ctx.jobs, &ctx.session);
             RobustRow { label, em: r.overall.em_pct(), ex: r.overall.ex_pct() }
         })
@@ -468,7 +468,7 @@ pub fn table6(ctx: &ReproContext) -> Vec<Row> {
     let reports: Vec<(String, EvalReport)> = variants
         .into_iter()
         .map(|(label, cfg)| {
-            let p = ctx.purple.with_config(cfg).with_session(ctx.session.clone());
+            let p = ctx.purple.with_config(cfg).with_env(ctx.env());
             (label.to_string(), evaluate_par_with_session(&p, dev, None, ctx.jobs, &ctx.session))
         })
         .collect();
@@ -771,7 +771,7 @@ pub fn extension_generation(ctx: &ReproContext) -> Vec<RobustRow> {
         .map(|(label, mode)| {
             let mut cfg = PurpleConfig::default_with(CHATGPT);
             cfg.demo_mode = *mode;
-            let p = ctx.purple.with_config(cfg).with_session(ctx.session.clone());
+            let p = ctx.purple.with_config(cfg).with_env(ctx.env());
             let r = evaluate_par_with_session(&p, dev, None, ctx.jobs, &ctx.session);
             RobustRow { label: label.to_string(), em: r.overall.em_pct(), ex: r.overall.ex_pct() }
         })
@@ -797,7 +797,7 @@ pub fn seed_sweep(scale: crate::context::Scale, seeds: &[u64]) -> Vec<(u64, f64,
                     let p = ctx
                         .purple
                         .with_config(PurpleConfig::default_with(CHATGPT))
-                        .with_session(ctx.session.clone());
+                        .with_env(ctx.env());
                     let r = eval::evaluate_with_session(&p, &ctx.suite.dev, None, &ctx.session);
                     (seed, r.overall.em_pct(), r.overall.ex_pct())
                 })
@@ -910,13 +910,13 @@ pub fn cost_report(ctx: &ReproContext) -> Vec<CostRow> {
     let mut out = Vec::new();
     for (name, strategy, profile) in configs {
         let ledger = llm::CostLedger::shared();
-        let t = baseline(ctx, strategy, profile).with_ledger(ledger.clone());
+        let t = baseline(ctx, strategy, profile).with_env(ctx.env().with_ledger(ledger.clone()));
         let r = evaluate_par_with_session(&t, dev, None, ctx.jobs, &ctx.session);
         out.push(cost_row(name, ledger.totals(), &profile, dev.examples.len(), r.overall.em_pct()));
     }
     for profile in [CHATGPT, GPT4] {
         let ledger = llm::CostLedger::shared();
-        let p = purple_with(ctx, profile).with_ledger(ledger.clone());
+        let p = purple_with(ctx, profile).with_env(ctx.env().with_ledger(ledger.clone()));
         let r = evaluate_par_with_session(&p, dev, None, ctx.jobs, &ctx.session);
         out.push(cost_row(
             &format!("PURPLE ({})", profile.name),

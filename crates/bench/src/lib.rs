@@ -11,8 +11,10 @@
 pub mod context;
 pub mod experiments;
 pub mod report;
+pub mod serve;
 
 #[cfg(test)]
 mod tests;
 
 pub use context::{ReproContext, Scale};
+pub use serve::{ServeConfig, Server, SubmitHandle};

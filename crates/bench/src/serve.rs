@@ -1,0 +1,725 @@
+//! The NL2SQL serving front-end (DESIGN.md §13): a long-running [`Server`]
+//! that multiplexes concurrent [`Request`]s across a pool of worker threads
+//! sharing one trained [`Purple`], one [`ExecSession`] and one
+//! [`MetricsRegistry`].
+//!
+//! The service boundary speaks owned types only: clients submit
+//! [`Request`]s (an id plus an owned [`eval::JobSpec`]) and receive
+//! id-tagged [`Response`]s, possibly out of order. Borrowed [`eval::Job`]s
+//! exist only inside a worker, for the duration of one batch.
+//!
+//! Three mechanisms shape the pipeline:
+//!
+//! * **Admission control** — the request queue is bounded
+//!   ([`ServeConfig::queue_capacity`]); [`SubmitHandle::submit`] blocks until
+//!   a slot frees, so a fast client cannot grow memory without bound.
+//! * **Batching** — a worker that dequeues a request also drains every queued
+//!   request targeting the same database (up to [`ServeConfig::batch_max`])
+//!   and translates the batch through [`Purple::run_batch`], which shares one
+//!   schema-pruning classifier pass across the batch. Batching never changes
+//!   results: pruning is a pure function of (question, database), so batched
+//!   and unbatched serving produce byte-identical translations.
+//! * **Observability** — queue depth and in-flight counts are published to
+//!   the shared registry's [`Gauge::QueueDepth`] / [`Gauge::InFlight`] gauges;
+//!   per-run stage metrics flow through the [`Purple`]'s attached environment
+//!   ([`eval::RunEnv`]) exactly as in batch evaluation.
+//!
+//! Two line-delimited JSON frontends sit on top: [`serve_connection`] (one
+//! request per line in, one response per line out — used for stdin/stdout)
+//! and [`serve_tcp`] (the same protocol, one connection per client). The
+//! [`run_load`] driver plus [`replay_report`] back the `purple-serve
+//! --load-gen` benchmark: wall-clock throughput/latency percentiles, and an
+//! [`EvalReport`] rebuilt from the served outcomes that is byte-identical to
+//! a sequential [`eval::evaluate_with_session`] pass.
+
+use engine::ExecSession;
+use eval::{request_from_json, response_to_json, EvalReport, Request, Response, TestSuite};
+use obs::{Gauge, MetricsRegistry};
+use purple::Purple;
+use spidergen::Benchmark;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufRead, Write};
+use std::net::TcpListener;
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Serving knobs; [`Default`] is a reasonable interactive configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads translating requests (min 1).
+    pub workers: usize,
+    /// Bound on queued (admitted, not yet started) requests; submitters block
+    /// when the queue is full.
+    pub queue_capacity: usize,
+    /// Coalesce queued requests against the same database into one
+    /// [`Purple::run_batch`] call.
+    pub batching: bool,
+    /// Largest batch one worker will take (min 1).
+    pub batch_max: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { workers: 2, queue_capacity: 64, batching: true, batch_max: 16 }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The server has shut down (or is shutting down) and admits no new work.
+    Closed,
+    /// The request names a database index outside the server's benchmark.
+    UnknownDatabase {
+        /// The offending index.
+        db_index: usize,
+        /// How many databases the server holds.
+        databases: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Closed => write!(f, "server is closed"),
+            SubmitError::UnknownDatabase { db_index, databases } => {
+                write!(f, "unknown database index {db_index} (server holds {databases})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A served translation: the wire-level [`Response`] plus the full run
+/// outcome, kept so callers can rebuild an [`EvalReport`] from served traffic
+/// (see [`replay_report`]).
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// The id-tagged response for the client.
+    pub response: Response,
+    /// The translation plus per-run stage metrics.
+    pub outcome: eval::RunOutcome,
+}
+
+/// One queued unit of work: the request plus the channel its completion
+/// routes back on (per-connection, so responses reach the right client).
+struct Item {
+    req: Request,
+    tx: Sender<Completion>,
+}
+
+struct QueueState {
+    items: VecDeque<Item>,
+    in_flight: usize,
+    closed: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cfg: ServeConfig,
+    databases: usize,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl Shared {
+    /// Publish queue gauges. Callers hold the state lock, so the two sets are
+    /// atomic with respect to each other.
+    fn publish_gauges(&self, st: &QueueState) {
+        self.metrics.set_gauge(Gauge::QueueDepth, st.items.len() as u64);
+        self.metrics.set_gauge(Gauge::InFlight, st.in_flight as u64);
+    }
+}
+
+/// A cloneable submission endpoint for a running [`Server`].
+#[derive(Clone)]
+pub struct SubmitHandle {
+    shared: Arc<Shared>,
+}
+
+impl SubmitHandle {
+    /// Enqueue a request; its completion will be sent on `tx`.
+    ///
+    /// Blocks while the queue is at capacity (admission control). Returns
+    /// [`SubmitError::Closed`] once the server shuts down and
+    /// [`SubmitError::UnknownDatabase`] for an out-of-range
+    /// `spec.example.db_index` (checked here so workers never see one).
+    pub fn submit(&self, req: Request, tx: Sender<Completion>) -> Result<(), SubmitError> {
+        let db_index = req.spec.example.db_index;
+        if db_index >= self.shared.databases {
+            return Err(SubmitError::UnknownDatabase {
+                db_index,
+                databases: self.shared.databases,
+            });
+        }
+        let mut st = self.shared.state.lock().expect("serve queue poisoned");
+        loop {
+            if st.closed {
+                return Err(SubmitError::Closed);
+            }
+            if st.items.len() < self.shared.cfg.queue_capacity {
+                break;
+            }
+            st = self.shared.not_full.wait(st).expect("serve queue poisoned");
+        }
+        st.items.push_back(Item { req, tx });
+        self.shared.publish_gauges(&st);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+/// The running server: a bounded request queue drained by worker threads.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start `cfg.workers` worker threads over a shared translator and
+    /// benchmark. `metrics` receives the queue gauges; attach the same
+    /// registry (and the shared [`ExecSession`]) to `purple` via
+    /// [`Purple::with_env`] so per-run stage metrics land there too.
+    pub fn start(
+        purple: Arc<Purple>,
+        bench: Arc<Benchmark>,
+        metrics: Arc<MetricsRegistry>,
+        cfg: ServeConfig,
+    ) -> Server {
+        let cfg = ServeConfig {
+            workers: cfg.workers.max(1),
+            batch_max: cfg.batch_max.max(1),
+            queue_capacity: cfg.queue_capacity.max(1),
+            ..cfg
+        };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState { items: VecDeque::new(), in_flight: 0, closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cfg,
+            databases: bench.databases.len(),
+            metrics,
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let shared = shared.clone();
+                let purple = purple.clone();
+                let bench = bench.clone();
+                thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &purple, &bench))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Server { shared, workers }
+    }
+
+    /// A submission endpoint; clone freely across client threads.
+    pub fn handle(&self) -> SubmitHandle {
+        SubmitHandle { shared: self.shared.clone() }
+    }
+
+    /// Stop admitting work, drain the queue, and join the workers. Requests
+    /// already admitted are completed; blocked submitters get
+    /// [`SubmitError::Closed`].
+    pub fn shutdown(self) {
+        {
+            let mut st = self.shared.state.lock().expect("serve queue poisoned");
+            st.closed = true;
+            self.shared.not_empty.notify_all();
+            self.shared.not_full.notify_all();
+        }
+        for w in self.workers {
+            w.join().expect("serve worker panicked");
+        }
+    }
+}
+
+/// One worker: dequeue a request, coalesce queued same-database requests into
+/// its batch, translate via [`Purple::run_batch`], route completions back.
+fn worker_loop(shared: &Shared, purple: &Purple, bench: &Benchmark) {
+    loop {
+        let batch = {
+            let mut st = shared.state.lock().expect("serve queue poisoned");
+            loop {
+                if !st.items.is_empty() {
+                    break;
+                }
+                if st.closed {
+                    return;
+                }
+                st = shared.not_empty.wait(st).expect("serve queue poisoned");
+            }
+            let first = st.items.pop_front().expect("non-empty queue");
+            let mut batch = vec![first];
+            if shared.cfg.batching {
+                // Scan the whole queue, not just the head: requests for the
+                // same database coalesce even when interleaved with others.
+                let db = batch[0].req.spec.example.db_index;
+                let mut i = 0;
+                while batch.len() < shared.cfg.batch_max && i < st.items.len() {
+                    if st.items[i].req.spec.example.db_index == db {
+                        batch.push(st.items.remove(i).expect("index in bounds"));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            st.in_flight += batch.len();
+            shared.publish_gauges(&st);
+            shared.not_full.notify_all();
+            batch
+        };
+        let jobs: Vec<eval::Job<'_>> = batch
+            .iter()
+            .map(|it| it.req.spec.as_job(&bench.databases[it.req.spec.example.db_index]))
+            .collect();
+        let outcomes = purple.run_batch(&jobs);
+        for (item, out) in batch.iter().zip(outcomes) {
+            let outcome = eval::RunOutcome { translation: out.translation, metrics: out.metrics };
+            let response = Response::from_outcome(&item.req, &outcome);
+            // A client that hung up just discards its completions.
+            let _ = item.tx.send(Completion { response, outcome });
+        }
+        let mut st = shared.state.lock().expect("serve queue poisoned");
+        st.in_flight -= batch.len();
+        shared.publish_gauges(&st);
+    }
+}
+
+/// Minimal JSON string escape for error lines (the full codec lives in
+/// [`eval::wire`](eval::request_to_json)).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Line counts for one served connection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Requests admitted to the queue.
+    pub accepted: usize,
+    /// Lines refused (parse failure or [`SubmitError`]); each got an error line.
+    pub rejected: usize,
+}
+
+/// Serve one line-delimited JSON connection: each input line is a request
+/// (see [`eval::request_from_json`]), each output line a response — written
+/// as translations complete, so out of order; clients correlate by `id`.
+/// Malformed or refused lines get `{"error":...}` / `{"id":N,"error":...}`.
+/// Returns when the input reaches EOF and every admitted request has been
+/// answered.
+pub fn serve_connection<R, W>(
+    handle: &SubmitHandle,
+    reader: R,
+    writer: &mut W,
+) -> io::Result<ConnStats>
+where
+    R: BufRead,
+    W: Write + Send,
+{
+    let (tx, rx) = mpsc::channel::<Completion>();
+    let out = Mutex::new(writer);
+    let mut stats = ConnStats::default();
+    let mut read_err = None;
+    thread::scope(|s| -> io::Result<()> {
+        let responder = s.spawn(|| -> io::Result<()> {
+            for completion in rx {
+                let mut w = out.lock().expect("serve writer poisoned");
+                writeln!(w, "{}", response_to_json(&completion.response))?;
+                w.flush()?;
+            }
+            Ok(())
+        });
+        for line in reader.lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    read_err = Some(e);
+                    break;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let refusal = match request_from_json(&line) {
+                Ok(req) => {
+                    let id = req.id;
+                    match handle.submit(req, tx.clone()) {
+                        Ok(()) => {
+                            stats.accepted += 1;
+                            continue;
+                        }
+                        Err(e) => {
+                            format!("{{\"id\":{id},\"error\":{}}}", json_escape(&e.to_string()))
+                        }
+                    }
+                }
+                Err(e) => format!("{{\"error\":{}}}", json_escape(&e)),
+            };
+            stats.rejected += 1;
+            let mut w = out.lock().expect("serve writer poisoned");
+            writeln!(w, "{refusal}")?;
+            w.flush()?;
+        }
+        // EOF: no more submissions from this connection. Once the workers
+        // finish its admitted requests every sender clone is gone and the
+        // responder drains out.
+        drop(tx);
+        responder.join().expect("serve responder panicked")
+    })?;
+    match read_err {
+        Some(e) => Err(e),
+        None => Ok(stats),
+    }
+}
+
+/// Accept TCP connections forever, serving each with [`serve_connection`] on
+/// its own thread. Returns only if the listener fails.
+pub fn serve_tcp(handle: SubmitHandle, listener: TcpListener) -> io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let handle = handle.clone();
+        thread::Builder::new().name("serve-conn".into()).spawn(move || {
+            let Ok(read_half) = stream.try_clone() else { return };
+            let mut writer = stream;
+            let _ = serve_connection(&handle, io::BufReader::new(read_half), &mut writer);
+        })?;
+    }
+    Ok(())
+}
+
+/// Deterministic splitmix64 step (stub-independent, like the harness seeds).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Build a seeded request stream: `count` requests cycling the split's
+/// examples in order (every example covered when `count >= examples`), with
+/// the *submission order* shuffled by `arrival_seed`. Ids number the
+/// unshuffled cycle, so each request — and therefore each response body — is
+/// invariant to the arrival order.
+pub fn synth_requests(bench: &Benchmark, count: usize, arrival_seed: u64) -> Vec<Request> {
+    let n = bench.examples.len();
+    assert!(n > 0, "cannot synthesize requests over an empty split");
+    let mut reqs: Vec<Request> = (0..count)
+        .map(|i| {
+            let idx = i % n;
+            Request::new(i as u64, eval::JobSpec::of(idx, &bench.examples[idx]))
+        })
+        .collect();
+    let mut state = arrival_seed;
+    for i in (1..reqs.len()).rev() {
+        let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        reqs.swap(i, j);
+    }
+    reqs
+}
+
+/// Wall-clock statistics from one [`run_load`] drive.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadStats {
+    /// Requests driven.
+    pub requests: usize,
+    /// Submission start to last completion.
+    pub wall: Duration,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Median submit-to-completion latency (includes admission wait).
+    pub p50: Duration,
+    /// 95th-percentile latency.
+    pub p95: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let pos = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[pos.min(sorted.len() - 1)]
+}
+
+/// Drive a request set through a server, measuring per-request latency from
+/// submission (before any admission wait) to completion. Requests must carry
+/// unique ids. Completions come back in completion order.
+pub fn run_load(
+    handle: &SubmitHandle,
+    requests: Vec<Request>,
+) -> Result<(Vec<Completion>, LoadStats), SubmitError> {
+    let n = requests.len();
+    let (tx, rx) = mpsc::channel::<Completion>();
+    let t0 = Instant::now();
+    let mut starts: HashMap<u64, Instant> = HashMap::with_capacity(n);
+    let mut submit_err = None;
+    let ends = thread::scope(|s| {
+        let collector = s.spawn(move || {
+            let mut ends = Vec::with_capacity(n);
+            while ends.len() < n {
+                match rx.recv() {
+                    Ok(c) => ends.push((Instant::now(), c)),
+                    Err(_) => break,
+                }
+            }
+            ends
+        });
+        for req in requests {
+            starts.insert(req.id, Instant::now());
+            if let Err(e) = handle.submit(req, tx.clone()) {
+                submit_err = Some(e);
+                break;
+            }
+        }
+        drop(tx);
+        collector.join().expect("load collector panicked")
+    });
+    if let Some(e) = submit_err {
+        return Err(e);
+    }
+    let wall = t0.elapsed();
+    let mut latencies: Vec<Duration> =
+        ends.iter().map(|(end, c)| end.duration_since(starts[&c.response.id])).collect();
+    latencies.sort_unstable();
+    let stats = LoadStats {
+        requests: n,
+        wall,
+        throughput_rps: n as f64 / wall.as_secs_f64().max(1e-9),
+        p50: percentile(&latencies, 0.50),
+        p95: percentile(&latencies, 0.95),
+        p99: percentile(&latencies, 0.99),
+    };
+    Ok((ends.into_iter().map(|(_, c)| c).collect(), stats))
+}
+
+/// A translator replaying captured outcomes by example index — how served
+/// traffic becomes an archivable [`EvalReport`].
+struct Replay<'a> {
+    system: String,
+    outcomes: &'a [eval::RunOutcome],
+}
+
+impl eval::Translator for Replay<'_> {
+    fn name(&self) -> String {
+        self.system.clone()
+    }
+    fn run(&self, job: eval::Job<'_>) -> eval::RunOutcome {
+        self.outcomes[job.idx].clone()
+    }
+}
+
+/// Rebuild the evaluation report for `bench` from served completions:
+/// the first completion per example index is replayed through
+/// [`eval::evaluate_with_session`], so the report — metrics included — is
+/// byte-identical to a sequential evaluation of the same translator
+/// (serving changes scheduling, never results). Errors if the completions do
+/// not cover every example of the split.
+pub fn replay_report(
+    system: &str,
+    bench: &Benchmark,
+    suites: Option<&[TestSuite]>,
+    session: &ExecSession,
+    completions: &[Completion],
+) -> Result<EvalReport, String> {
+    let n = bench.examples.len();
+    let mut outcomes: Vec<Option<eval::RunOutcome>> = vec![None; n];
+    for c in completions {
+        let idx = c.response.idx;
+        if idx >= n {
+            return Err(format!("completion for example {idx} outside split of {n}"));
+        }
+        outcomes[idx].get_or_insert_with(|| c.outcome.clone());
+    }
+    let missing = outcomes.iter().filter(|o| o.is_none()).count();
+    if missing > 0 {
+        return Err(format!("served traffic covered {}/{n} examples", n - missing));
+    }
+    let outcomes: Vec<eval::RunOutcome> =
+        outcomes.into_iter().map(|o| o.expect("checked above")).collect();
+    let replay = Replay { system: system.to_string(), outcomes: &outcomes };
+    Ok(eval::evaluate_with_session(&replay, bench, suites, session))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::SessionConfig;
+    use eval::{response_from_json, RunEnv};
+    use llm::CHATGPT;
+    use obs::Clock;
+    use purple::PurpleConfig;
+    use spidergen::{generate_suite, GenConfig};
+
+    struct Fixture {
+        bench: Arc<Benchmark>,
+        purple: Arc<Purple>,
+        session: Arc<ExecSession>,
+        metrics: Arc<MetricsRegistry>,
+    }
+
+    fn fixture() -> Fixture {
+        let mut cfg = GenConfig::tiny(4242);
+        cfg.dev_examples = 24;
+        let suite = generate_suite(&cfg);
+        let metrics = MetricsRegistry::shared(Clock::Virtual);
+        let session = ExecSession::shared_with(SessionConfig::for_workers(4));
+        let purple = Purple::new(&suite.train, PurpleConfig::default_with(CHATGPT)).with_env(
+            RunEnv::default().with_session(session.clone()).with_metrics(metrics.clone()),
+        );
+        Fixture { bench: Arc::new(suite.dev.clone()), purple: Arc::new(purple), session, metrics }
+    }
+
+    fn start(fx: &Fixture, cfg: ServeConfig) -> Server {
+        Server::start(fx.purple.clone(), fx.bench.clone(), fx.metrics.clone(), cfg)
+    }
+
+    #[test]
+    fn served_translations_match_direct_runs() {
+        let fx = fixture();
+        let server = start(&fx, ServeConfig { workers: 3, ..ServeConfig::default() });
+        let reqs = synth_requests(&fx.bench, fx.bench.examples.len(), 7);
+        let (completions, stats) = run_load(&server.handle(), reqs).expect("load drives clean");
+        server.shutdown();
+        assert_eq!(completions.len(), fx.bench.examples.len());
+        assert!(stats.throughput_rps > 0.0);
+        assert!(stats.p50 <= stats.p99);
+        for c in &completions {
+            let ex = &fx.bench.examples[c.response.idx];
+            let direct = fx.purple.run(eval::Job::new(c.response.idx, ex, fx.bench.db_of(ex)));
+            assert_eq!(c.response.sql, direct.translation.sql, "idx {}", c.response.idx);
+        }
+    }
+
+    #[test]
+    fn submit_validates_database_and_shutdown_closes() {
+        let fx = fixture();
+        let server = start(&fx, ServeConfig::default());
+        let handle = server.handle();
+        let (tx, _rx) = mpsc::channel();
+        let mut bad = synth_requests(&fx.bench, 1, 0).remove(0);
+        bad.spec.example.db_index = 999;
+        assert!(matches!(
+            handle.submit(bad, tx.clone()),
+            Err(SubmitError::UnknownDatabase { db_index: 999, .. })
+        ));
+        server.shutdown();
+        let req = synth_requests(&fx.bench, 1, 0).remove(0);
+        assert_eq!(handle.submit(req, tx), Err(SubmitError::Closed));
+    }
+
+    #[test]
+    fn connection_speaks_ldjson_and_reports_errors() {
+        let fx = fixture();
+        let server = start(&fx, ServeConfig::default());
+        let reqs = synth_requests(&fx.bench, 3, 1);
+        let mut input = String::new();
+        for r in &reqs {
+            input.push_str(&eval::request_to_json(r));
+            input.push('\n');
+        }
+        input.push_str("this is not json\n");
+        let mut out = Vec::new();
+        let stats =
+            serve_connection(&server.handle(), io::Cursor::new(input), &mut out).expect("serves");
+        server.shutdown();
+        assert_eq!(stats, ConnStats { accepted: 3, rejected: 1 });
+        let text = String::from_utf8(out).expect("utf8 output");
+        let mut ids = Vec::new();
+        let mut errors = 0;
+        for line in text.lines() {
+            match response_from_json(line) {
+                Ok(resp) => ids.push(resp.id),
+                Err(_) => {
+                    assert!(line.contains("\"error\":"), "unexpected line {line}");
+                    errors += 1;
+                }
+            }
+        }
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(errors, 1);
+    }
+
+    #[test]
+    fn tcp_round_trips_one_connection() {
+        use std::net::TcpStream;
+        let fx = fixture();
+        let server = start(&fx, ServeConfig::default());
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let handle = server.handle();
+        thread::spawn(move || {
+            let _ = serve_tcp(handle, listener);
+        });
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let req = synth_requests(&fx.bench, 1, 0).remove(0);
+        writeln!(stream, "{}", eval::request_to_json(&req)).expect("send");
+        stream.shutdown(std::net::Shutdown::Write).expect("half-close");
+        let mut line = String::new();
+        io::BufReader::new(stream).read_line(&mut line).expect("response line");
+        let resp = response_from_json(line.trim()).expect("valid response");
+        assert_eq!(resp.id, req.id);
+        assert!(!resp.sql.is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn replayed_report_matches_sequential_evaluation() {
+        let fx = fixture();
+        let server = start(&fx, ServeConfig { workers: 4, ..ServeConfig::default() });
+        let reqs = synth_requests(&fx.bench, fx.bench.examples.len() + 10, 99);
+        let (completions, _) = run_load(&server.handle(), reqs).expect("load drives clean");
+        server.shutdown();
+        let system = eval::Translator::name(fx.purple.as_ref());
+        let served = replay_report(&system, &fx.bench, None, &fx.session, &completions)
+            .expect("full coverage");
+        let direct = eval::evaluate_with_session(fx.purple.as_ref(), &fx.bench, None, &fx.session);
+        assert_eq!(
+            eval::report_to_json(&served),
+            eval::report_to_json(&direct),
+            "served report must be byte-identical to the sequential pass"
+        );
+    }
+
+    #[test]
+    fn batching_is_invisible_in_results_and_gauges_settle() {
+        let fx = fixture();
+        let run = |cfg: ServeConfig| {
+            let server = start(&fx, cfg);
+            let reqs = synth_requests(&fx.bench, fx.bench.examples.len(), 3);
+            let (mut completions, _) = run_load(&server.handle(), reqs).expect("load");
+            server.shutdown();
+            completions.sort_by_key(|c| c.response.id);
+            completions.iter().map(|c| response_to_json(&c.response)).collect::<Vec<_>>()
+        };
+        let batched = run(ServeConfig { workers: 2, batching: true, ..ServeConfig::default() });
+        let unbatched = run(ServeConfig { workers: 2, batching: false, ..ServeConfig::default() });
+        assert_eq!(batched, unbatched);
+        let snap = fx.metrics.snapshot();
+        assert_eq!(snap.gauge(Gauge::QueueDepth).unwrap_or(0), 0, "queue drains by shutdown");
+        assert_eq!(snap.gauge(Gauge::InFlight).unwrap_or(0), 0, "no work left in flight");
+    }
+}

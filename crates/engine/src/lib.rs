@@ -37,5 +37,5 @@ pub use database::{Database, Row};
 pub use dialect::{map_function, Dialect, ScalarFunc};
 pub use error::ExecError;
 pub use exec::{execute, explain, order_matters, prepare, run, Plan, ResultSet};
-pub use session::{EngineMode, ExecSession, SessionDb, DEFAULT_CACHE_CAPACITY};
+pub use session::{EngineMode, ExecSession, SessionConfig, SessionDb, DEFAULT_CACHE_CAPACITY};
 pub use value::{Value, ValueRef};

@@ -51,6 +51,64 @@ use std::sync::Arc;
 /// run (dev split × vote samples) while bounding worst-case memory.
 pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
+/// Sizing and engine selection for an [`ExecSession`].
+///
+/// Each cached stage gets its own LRU bound so servers can size the caches to
+/// their workload (e.g. [`SessionConfig::for_workers`] scales with the worker
+/// count of a translation service) instead of inheriting one hardcoded
+/// capacity. Capacity 0 on every stage disables caching entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Bound of the SQL-text → AST cache.
+    pub parse_capacity: usize,
+    /// Bound of the (db fingerprint, SQL) → prepared-plan cache.
+    pub plan_capacity: usize,
+    /// Bound of the (db fingerprint, SQL) → result-set cache.
+    pub result_capacity: usize,
+    /// Bound of the (db fingerprint, table) → column-vector cache.
+    pub column_capacity: usize,
+    /// Which engine prepared plans run on.
+    pub mode: EngineMode,
+}
+
+impl Default for SessionConfig {
+    /// [`DEFAULT_CACHE_CAPACITY`] on every stage, vectorized engine — the
+    /// configuration [`ExecSession::shared`] has always used.
+    fn default() -> Self {
+        SessionConfig::uniform(DEFAULT_CACHE_CAPACITY, EngineMode::Vectorized)
+    }
+}
+
+impl SessionConfig {
+    /// The same capacity on every stage.
+    pub fn uniform(capacity: usize, mode: EngineMode) -> Self {
+        SessionConfig {
+            parse_capacity: capacity,
+            plan_capacity: capacity,
+            result_capacity: capacity,
+            column_capacity: capacity,
+            mode,
+        }
+    }
+
+    /// A configuration sized for a translation server with `workers` worker
+    /// threads: every stage grows linearly with the worker count (each worker
+    /// keeps its own working set of vote samples and gold executions warm)
+    /// without ever shrinking below the single-process default.
+    pub fn for_workers(workers: usize) -> Self {
+        let capacity = DEFAULT_CACHE_CAPACITY.max(workers * 1024);
+        SessionConfig::uniform(capacity, EngineMode::Vectorized)
+    }
+
+    /// Whether any stage caches at all.
+    pub fn is_enabled(&self) -> bool {
+        self.parse_capacity > 0
+            || self.plan_capacity > 0
+            || self.result_capacity > 0
+            || self.column_capacity > 0
+    }
+}
+
 /// Cache key for the per-database stages: (database fingerprint, canonical SQL).
 type DbKey = (u128, String);
 
@@ -71,8 +129,7 @@ pub enum EngineMode {
 /// like `MetricsRegistry`: construct with [`ExecSession::shared`], hand clones
 /// of the `Arc` to every worker, and read [`ExecSession::stats`] at the end.
 pub struct ExecSession {
-    capacity: usize,
-    mode: EngineMode,
+    cfg: SessionConfig,
     parse: Mutex<Lru<String, Option<Arc<Query>>>>,
     plans: Mutex<Lru<DbKey, Result<Arc<Plan>, ExecError>>>,
     results: Mutex<Lru<DbKey, Result<Arc<ResultSet>, ExecError>>>,
@@ -84,8 +141,7 @@ pub struct ExecSession {
 impl std::fmt::Debug for ExecSession {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ExecSession")
-            .field("capacity", &self.capacity)
-            .field("mode", &self.mode)
+            .field("config", &self.cfg)
             .field("stats", &self.stats())
             .finish()
     }
@@ -96,33 +152,48 @@ impl ExecSession {
     /// disables caching entirely (every call computes directly, no cache stats
     /// recorded).
     pub fn new(capacity: usize) -> Self {
-        Self::with_mode(capacity, EngineMode::Vectorized)
+        Self::with_config(SessionConfig::uniform(capacity, EngineMode::Vectorized))
     }
 
-    /// A session with an explicit engine mode and per-stage LRU capacity.
+    /// A session with an explicit engine mode and uniform per-stage LRU
+    /// capacity.
     pub fn with_mode(capacity: usize, mode: EngineMode) -> Self {
+        Self::with_config(SessionConfig::uniform(capacity, mode))
+    }
+
+    /// A session with per-stage capacities and engine mode from a
+    /// [`SessionConfig`].
+    pub fn with_config(cfg: SessionConfig) -> Self {
         ExecSession {
-            capacity,
-            mode,
-            parse: Mutex::new(Lru::new(capacity)),
-            plans: Mutex::new(Lru::new(capacity)),
-            results: Mutex::new(Lru::new(capacity)),
-            columns: Mutex::new(Lru::new(capacity)),
+            cfg,
+            parse: Mutex::new(Lru::new(cfg.parse_capacity)),
+            plans: Mutex::new(Lru::new(cfg.plan_capacity)),
+            results: Mutex::new(Lru::new(cfg.result_capacity)),
+            columns: Mutex::new(Lru::new(cfg.column_capacity)),
             counters: CacheCounters::default(),
             ops: ExecOpCounters::default(),
         }
     }
 
-    /// The standard enabled session ([`DEFAULT_CACHE_CAPACITY`], vectorized),
-    /// ready to share.
+    /// The standard enabled session ([`SessionConfig::default`]), ready to
+    /// share.
     pub fn shared() -> Arc<Self> {
-        Arc::new(Self::new(DEFAULT_CACHE_CAPACITY))
+        Arc::new(Self::with_config(SessionConfig::default()))
+    }
+
+    /// A shared session with an explicit [`SessionConfig`] (e.g.
+    /// [`SessionConfig::for_workers`] for a translation server).
+    pub fn shared_with(cfg: SessionConfig) -> Arc<Self> {
+        Arc::new(Self::with_config(cfg))
     }
 
     /// A fully cached session pinned to the legacy row-at-a-time interpreter
     /// (`repro --legacy-exec`).
     pub fn shared_legacy() -> Arc<Self> {
-        Arc::new(Self::with_mode(DEFAULT_CACHE_CAPACITY, EngineMode::Legacy))
+        Arc::new(Self::with_config(SessionConfig::uniform(
+            DEFAULT_CACHE_CAPACITY,
+            EngineMode::Legacy,
+        )))
     }
 
     /// A pass-through session: identical API, no memoization, legacy engine.
@@ -131,14 +202,19 @@ impl ExecSession {
         Arc::new(Self::with_mode(0, EngineMode::Legacy))
     }
 
-    /// Whether this session actually caches.
+    /// Whether any stage of this session caches.
     pub fn is_enabled(&self) -> bool {
-        self.capacity > 0
+        self.cfg.is_enabled()
+    }
+
+    /// The sizing and engine configuration of this session.
+    pub fn config(&self) -> SessionConfig {
+        self.cfg
     }
 
     /// The engine this session runs prepared plans on.
     pub fn mode(&self) -> EngineMode {
-        self.mode
+        self.cfg.mode
     }
 
     /// Point-in-time snapshot of hit/miss/eviction counts and entry gauges.
@@ -266,7 +342,7 @@ impl<'s, 'd> SessionDb<'s, 'd> {
     /// Run a prepared plan on the session's engine. Both arms return identical
     /// result sets; only speed and operator counters differ.
     fn run_plan(&self, plan: &Plan) -> ResultSet {
-        match self.session.mode {
+        match self.session.cfg.mode {
             EngineMode::Legacy => exec::run(plan, self.db),
             EngineMode::Vectorized => {
                 let (session, db, fp) = (self.session, self.db, self.fp);

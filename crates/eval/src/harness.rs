@@ -3,14 +3,45 @@
 //! (Fig. 11). Evaluation is available serially ([`evaluate`]) and across worker
 //! threads ([`evaluate_par`]); both produce identical reports because translators
 //! are stateless (`&self`) and seeded purely by example position.
+//!
+//! # Borrowed vs. owned job types
+//!
+//! Translation work exists in two shapes with a fixed division of labor:
+//!
+//! - [`Job<'a>`] is the **borrowed view** — the single argument of
+//!   [`Translator::run`]. It borrows its example and database from the caller,
+//!   so it is copy-cheap, allocation-free, and pinned to the evaluation loop's
+//!   stack frame. Every internal path (serial, parallel, diagnose) constructs
+//!   `Job`s on the fly.
+//! - [`JobSpec`] is the **owned form** — everything a `Job` carries except the
+//!   database reference and the event sink. A spec can cross a thread-crossing
+//!   queue, sit in a server's admission buffer, or round-trip through JSON
+//!   ([`crate::reportio::request_to_json`]); at the point of execution it is
+//!   lowered back to the borrowed view with [`JobSpec::as_job`].
+//! - [`Request`]/[`Response`] wrap specs for the service boundary
+//!   (`purple-serve`): a request tags a spec with a client-chosen `id`, a
+//!   response pairs that id with the translation, so responses can be returned
+//!   out of order over a multiplexed connection.
+//!
+//! The contract: borrowed `Job` never outlives its evaluation call and is the
+//! only type translators see; owned `JobSpec` is the only type that crosses
+//! threads or wires. Databases are deliberately *not* owned by specs — they
+//! are identified by `example.db_index` into the server-resident [`Benchmark`],
+//! which is the unit that owns schemas and data.
+//!
+//! [`RunEnv`] is the companion bundle on the translator side: session, ledger,
+//! metrics, and events in one cloneable value, attached via `with_env` instead
+//! of four builder setters, so a worker pool can share one environment.
 
 use crate::attribution::AttributionReport;
 use crate::metrics::{em_match_str, ex_match_str_with};
 use crate::testsuite::{build_suite, ts_match_str_with, SuiteConfig, TestSuite};
 use engine::{Database, ExecSession};
-use obs::StageMetrics;
+use llm::CostLedger;
+use obs::{EventSink, MetricsRegistry, StageMetrics};
 use serde::{Deserialize, Serialize};
 use spidergen::types::{Benchmark, Example};
+use std::sync::Arc;
 
 /// One translation produced by a system, with its token cost.
 #[derive(Debug, Clone, Default)]
@@ -86,6 +117,171 @@ impl<'a> Job<'a> {
     }
 }
 
+/// The shared environment a translator runs inside: execution session, cost
+/// ledger, metrics registry, and structured-event sink, bundled into one
+/// cloneable value.
+///
+/// `RunEnv` supersedes the four per-translator builder setters
+/// (`with_session`/`with_ledger`/`with_metrics`/`with_events`): translators
+/// accept the whole bundle via `with_env(env)`, and a server's worker pool
+/// clones one env per worker so every component is shared. All fields are
+/// optional — [`RunEnv::default`] is the fully detached environment.
+///
+/// The `events` sink acts as the *default* sink: a job-level sink
+/// ([`Job::with_events`]) takes precedence when both are present.
+#[derive(Debug, Clone, Default)]
+pub struct RunEnv {
+    /// Shared execution session (parse/plan/result/column caches).
+    pub session: Option<Arc<ExecSession>>,
+    /// Shared API cost ledger for LLM calls.
+    pub ledger: Option<Arc<CostLedger>>,
+    /// Shared metrics registry; per-run snapshots are absorbed into it.
+    pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Default structured-event sink for jobs that don't carry their own.
+    pub events: Option<Arc<EventSink>>,
+}
+
+impl RunEnv {
+    /// An environment with every component detached (same as `default()`).
+    pub fn detached() -> Self {
+        RunEnv::default()
+    }
+
+    /// Attach a shared execution session.
+    pub fn with_session(mut self, session: Arc<ExecSession>) -> Self {
+        self.session = Some(session);
+        self
+    }
+
+    /// Attach a shared cost ledger.
+    pub fn with_ledger(mut self, ledger: Arc<CostLedger>) -> Self {
+        self.ledger = Some(ledger);
+        self
+    }
+
+    /// Attach a shared metrics registry.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attach a default structured-event sink.
+    pub fn with_events(mut self, events: Arc<EventSink>) -> Self {
+        self.events = Some(events);
+        self
+    }
+
+    /// The session to execute on: the attached one, or a fresh disabled
+    /// (pass-through) session.
+    pub fn session_or_disabled(&self) -> Arc<ExecSession> {
+        self.session.clone().unwrap_or_else(ExecSession::disabled)
+    }
+}
+
+/// Owned translation work: everything a [`Job`] carries except the database
+/// reference and event sink, so the unit can cross a thread boundary or a
+/// wire (see the module docs on borrowed vs. owned).
+///
+/// The example is addressed *by value* (a clone) plus `example.db_index` into
+/// the benchmark that owns the databases; [`JobSpec::as_job`] lowers the spec
+/// back to the borrowed view at the point of execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Position of the example within its split (drives seeding, exactly like
+    /// [`Job::idx`]).
+    pub idx: usize,
+    /// The example to translate, owned.
+    pub example: Example,
+    /// Request a step-by-step trace record (see [`Job::trace`]).
+    pub trace: bool,
+    /// Optional seed override (see [`Job::seed`]).
+    pub seed: Option<u64>,
+}
+
+impl JobSpec {
+    /// A spec for the example at position `idx`, cloning it out of its split.
+    pub fn of(idx: usize, example: &Example) -> Self {
+        JobSpec { idx, example: example.clone(), trace: false, seed: None }
+    }
+
+    /// Request (or suppress) trace capture.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Pin the per-run RNG seed, overriding the [`seed_for`] derivation.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Lower to the borrowed view against a database. The returned job borrows
+    /// both the spec and the database, so it cannot outlive either — the
+    /// compile-time guarantee that owned specs are executed, never retained,
+    /// by translators.
+    pub fn as_job<'a>(&'a self, db: &'a Database) -> Job<'a> {
+        Job {
+            idx: self.idx,
+            example: &self.example,
+            db,
+            trace: self.trace,
+            seed: self.seed,
+            events: None,
+        }
+    }
+}
+
+/// One service-boundary request: a client-chosen correlation id plus the work.
+///
+/// Ids are opaque to the server and echoed verbatim on the [`Response`], so a
+/// client multiplexing many requests over one connection can match replies
+/// arriving out of order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: u64,
+    /// The translation work.
+    pub spec: JobSpec,
+}
+
+impl Request {
+    /// A request wrapping `spec` under correlation id `id`.
+    pub fn new(id: u64, spec: JobSpec) -> Self {
+        Request { id, spec }
+    }
+}
+
+/// One service-boundary response: the translation for the request with the
+/// matching `id`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Response {
+    /// Correlation id copied from the request.
+    pub id: u64,
+    /// Example position copied from the request's spec.
+    pub idx: usize,
+    /// Predicted SQL text.
+    pub sql: String,
+    /// Prompt (input) tokens consumed.
+    pub prompt_tokens: u64,
+    /// Completion (output) tokens consumed.
+    pub output_tokens: u64,
+}
+
+impl Response {
+    /// Build the response for `req` from the translator's outcome.
+    pub fn from_outcome(req: &Request, outcome: &RunOutcome) -> Self {
+        let t = &outcome.translation;
+        Response {
+            id: req.id,
+            idx: req.spec.idx,
+            sql: t.sql.clone(),
+            prompt_tokens: t.prompt_tokens,
+            output_tokens: t.output_tokens,
+        }
+    }
+}
+
 /// What one [`Translator::run`] call produced: the translation plus the
 /// per-run metrics snapshot (empty for uninstrumented translators).
 #[derive(Debug, Clone, Default)]
@@ -114,12 +310,12 @@ impl RunOutcome {
 ///
 /// # Instrumentation convention
 ///
-/// Translators that support shared observability expose builder-style
-/// `with_ledger(Arc<CostLedger>)` and `with_metrics(Arc<MetricsRegistry>)`
-/// methods (`Purple`, `LlmBaseline`, and `LlmService` all do). Each `run`
-/// records into a private per-run registry first and publishes the finished
-/// snapshot into the shared registry in one atomic step, so concurrent runs
-/// never interleave partial metrics.
+/// Translators that support shared observability accept a [`RunEnv`] via a
+/// builder-style `with_env(env)` method (`Purple`, `LlmBaseline`, and
+/// `PlmTranslator` all do). Each `run` records into a private per-run
+/// registry first and publishes the finished snapshot into the shared
+/// registry in one atomic step, so concurrent runs never interleave partial
+/// metrics.
 pub trait Translator {
     /// Display name ("PURPLE (ChatGPT)").
     fn name(&self) -> String;

@@ -14,6 +14,7 @@ pub mod metrics;
 pub mod registry;
 pub mod reportio;
 pub mod testsuite;
+pub mod wire;
 
 #[cfg(test)]
 mod testsuite_tests_extra;
@@ -26,8 +27,8 @@ pub use diff::{
 pub use error_analysis::{classify, classify_with, ErrorReport, FailureMode};
 pub use harness::{
     build_suites, evaluate, evaluate_par, evaluate_par_with_session, evaluate_with_par,
-    evaluate_with_session, seed_for, Bucket, EvalReport, ExampleOutcome, Job, OracleTranslator,
-    RunOutcome, Translation, Translator,
+    evaluate_with_session, seed_for, Bucket, EvalReport, ExampleOutcome, Job, JobSpec,
+    OracleTranslator, Request, Response, RunEnv, RunOutcome, Translation, Translator,
 };
 pub use metrics::{
     em_match, em_match_str, ex_match, ex_match_str, ex_match_str_with, ex_match_with,
@@ -41,3 +42,4 @@ pub use testsuite::{
     build_suite, fuzz_instance, mutate, ts_match, ts_match_str, ts_match_str_with, ts_match_with,
     SuiteConfig, TestSuite,
 };
+pub use wire::{request_from_json, request_to_json, response_from_json, response_to_json};

@@ -181,6 +181,13 @@ impl LlmService {
         self
     }
 
+    /// Replace (or detach) the shared cost ledger in place — the `&mut`
+    /// counterpart of [`LlmService::with_ledger`], used by translators when a
+    /// whole run environment is swapped via `with_env`.
+    pub fn set_ledger(&mut self, ledger: Option<std::sync::Arc<crate::ledger::CostLedger>>) {
+        self.ledger = ledger;
+    }
+
     /// Attach a shared metrics registry, builder-style (same convention as
     /// `with_ledger`): every `complete` call without a per-request registry
     /// records its llm-call span, token counters, and context-overflow events

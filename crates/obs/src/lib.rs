@@ -222,20 +222,27 @@ pub enum Gauge {
     DemosInPrompt,
     /// Demonstration-pool size of the translator.
     PoolSize,
+    /// Requests waiting in the serve admission queue (set by `purple-serve`).
+    QueueDepth,
+    /// Requests currently being translated by serve workers.
+    InFlight,
 }
 
 impl Gauge {
     /// Number of gauges (array dimension of [`StageMetrics::gauges`]).
-    pub const COUNT: usize = 2;
+    pub const COUNT: usize = 4;
 
     /// Every gauge, in serialization order.
-    pub const ALL: [Gauge; Gauge::COUNT] = [Gauge::DemosInPrompt, Gauge::PoolSize];
+    pub const ALL: [Gauge; Gauge::COUNT] =
+        [Gauge::DemosInPrompt, Gauge::PoolSize, Gauge::QueueDepth, Gauge::InFlight];
 
     /// Stable snake_case name used in JSON.
     pub fn name(self) -> &'static str {
         match self {
             Gauge::DemosInPrompt => "demos_in_prompt",
             Gauge::PoolSize => "pool_size",
+            Gauge::QueueDepth => "queue_depth",
+            Gauge::InFlight => "in_flight",
         }
     }
 

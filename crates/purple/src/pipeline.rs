@@ -12,8 +12,8 @@ use crate::automaton::AutomatonSet;
 use crate::generation::{synthesize_demonstration, DemoMode};
 use crate::pruning::{PruneConfig, PrunedSchema, SchemaPruner};
 use crate::selection::{random_fill, select_demonstrations, SelectionConfig};
-use engine::{Database, ExecSession};
-use eval::{Job, Translation, Translator};
+use engine::Database;
+use eval::{Job, RunEnv, Translation, Translator};
 use llm::{Demonstration, GenerationRequest, LlmProfile, LlmService, Prompt};
 use nlmodel::{SchemaClassifier, SkeletonPrediction, SkeletonPredictor, TrainConfig};
 use obs::{Clock, EventValue, Gauge, MetricsRegistry, Stage, StageMetrics};
@@ -150,7 +150,7 @@ pub struct RunOutcome {
     /// The module-by-module trace, present iff the job set [`Job::with_trace`].
     pub trace: Option<TranslationTrace>,
     /// Per-stage metrics recorded during this run (also absorbed into the
-    /// shared registry when one is attached via [`Purple::with_metrics`]).
+    /// shared registry when one is attached via [`Purple::with_env`]).
     pub metrics: StageMetrics,
 }
 
@@ -163,11 +163,10 @@ pub struct Purple {
     pool: Vec<Demonstration>,
     automata: AutomatonSet,
     service: LlmService,
-    /// Shared aggregate registry; per-run snapshots are absorbed into it.
-    metrics: Option<Arc<MetricsRegistry>>,
-    /// Shared execution cache for the adaption loop and vote; `None` runs
-    /// uncached (semantically identical, see `engine::session`).
-    session: Option<Arc<ExecSession>>,
+    /// Shared run environment: execution session, metrics registry (per-run
+    /// snapshots are absorbed into it), and default event sink. The ledger
+    /// lives inside `service`.
+    env: RunEnv,
     /// Clock for per-run span values (virtual work units by default, so
     /// metrics stay byte-identical across thread counts).
     clock: Clock,
@@ -204,8 +203,7 @@ impl Purple {
             pool,
             automata,
             service,
-            metrics: None,
-            session: None,
+            env: RunEnv::default(),
             clock: Clock::default(),
         }
     }
@@ -235,21 +233,34 @@ impl Purple {
         &self.pool
     }
 
-    /// Attach a shared cost ledger, builder-style: every LLM call this system
-    /// makes is recorded (§V-D budget accounting).
-    pub fn with_ledger(mut self, ledger: std::sync::Arc<llm::CostLedger>) -> Self {
-        self.service = LlmService::new(self.cfg.profile).with_ledger(ledger);
+    /// Attach a whole shared run environment, builder-style, replacing any
+    /// previous one: the execution session backs the adaption repair loop and
+    /// the consistency vote, the ledger records every LLM call, per-run
+    /// metric snapshots are absorbed into the registry (whose clock is also
+    /// adopted for spans), and the event sink is the default destination for
+    /// jobs that don't carry their own ([`Job::with_events`] wins when both
+    /// are present). Every component is optional — see [`RunEnv`].
+    pub fn with_env(mut self, env: RunEnv) -> Self {
+        if let Some(metrics) = &env.metrics {
+            self.clock = metrics.clock();
+        }
+        self.service.set_ledger(env.ledger.clone());
+        self.env = env;
         self
     }
 
-    /// Attach a shared metrics registry, builder-style: every [`Purple::run`]
-    /// records into a private per-run registry and absorbs the snapshot into
-    /// this one at the end, so concurrent runs never interleave partial stage
-    /// records. Also adopts the registry's clock for per-run spans.
-    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
-        self.clock = metrics.clock();
-        self.metrics = Some(metrics);
-        self
+    /// Attach a shared cost ledger.
+    #[deprecated(note = "use `with_env(RunEnv::default().with_ledger(...))`")]
+    pub fn with_ledger(self, ledger: std::sync::Arc<llm::CostLedger>) -> Self {
+        let env = self.env.clone().with_ledger(ledger);
+        self.with_env(env)
+    }
+
+    /// Attach a shared metrics registry.
+    #[deprecated(note = "use `with_env(RunEnv::default().with_metrics(...))`")]
+    pub fn with_metrics(self, metrics: Arc<MetricsRegistry>) -> Self {
+        let env = self.env.clone().with_metrics(metrics);
+        self.with_env(env)
     }
 
     /// Choose the span clock: [`Clock::Virtual`] (default, deterministic work
@@ -259,18 +270,16 @@ impl Purple {
         self
     }
 
-    /// Attach a shared execution session, builder-style: the adaption repair
-    /// loop and the consistency vote memoize parse/plan/result work in it,
-    /// threaded per run exactly like the metrics registry. Caching is
-    /// semantically invisible — outputs are byte-identical with or without it.
-    pub fn with_session(mut self, session: Arc<ExecSession>) -> Self {
-        self.session = Some(session);
-        self
+    /// Attach a shared execution session.
+    #[deprecated(note = "use `with_env(RunEnv::default().with_session(...))`")]
+    pub fn with_session(self, session: Arc<engine::ExecSession>) -> Self {
+        let env = self.env.clone().with_session(session);
+        self.with_env(env)
     }
 
     /// Reconfigure (ablations / budget sweeps / model swaps) without retraining.
-    /// Keeps the span clock but, like the fresh [`LlmService`], drops any
-    /// attached ledger, metrics registry, or execution session.
+    /// Keeps the span clock but, like the fresh [`LlmService`], drops the
+    /// attached [`RunEnv`] — re-attach with [`Purple::with_env`].
     pub fn with_config(&self, cfg: PurpleConfig) -> Purple {
         let service = LlmService::new(cfg.profile);
         Purple {
@@ -280,8 +289,7 @@ impl Purple {
             pool: self.pool.clone(),
             automata: self.automata.clone(),
             service,
-            metrics: None,
-            session: None,
+            env: RunEnv::default(),
             clock: self.clock,
         }
     }
@@ -302,11 +310,38 @@ impl Purple {
     /// complete per-run snapshot, and a trace is captured when
     /// [`Job::with_trace`] asks for one.
     pub fn run(&self, job: Job<'_>) -> RunOutcome {
+        self.run_with_pruner(job, None)
+    }
+
+    /// Translate a batch of jobs, building the schema pruner once and sharing
+    /// it across every job — the serving path's coalescing optimization for
+    /// requests against the same database fingerprint.
+    ///
+    /// The pruner is a pure function of the trained classifier and the prune
+    /// config, and pruning itself is a pure function of `(nl, db)`, so batched
+    /// outcomes are byte-identical to per-job [`Purple::run`] calls; only the
+    /// construction cost is amortized. Jobs need not actually share a
+    /// database — sharing is what makes the amortization *useful*, not what
+    /// makes it correct.
+    pub fn run_batch(&self, jobs: &[Job<'_>]) -> Vec<RunOutcome> {
+        let pruner =
+            self.cfg.use_pruning.then(|| SchemaPruner::new(&self.classifier, self.cfg.prune));
+        jobs.iter().map(|job| self.run_with_pruner(*job, pruner.as_ref())).collect()
+    }
+
+    /// The full pipeline for one job, optionally reusing a caller-built
+    /// pruner (see [`Purple::run_batch`]).
+    fn run_with_pruner(
+        &self,
+        job: Job<'_>,
+        shared_pruner: Option<&SchemaPruner<'_>>,
+    ) -> RunOutcome {
         let (ex, db) = (job.example, job.db);
         let seed = job.seed(self.cfg.seed);
         let mut rng = StdRng::seed_from_u64(seed);
         let reg = MetricsRegistry::new(self.clock);
-        let rec = job.events.map(|sink| sink.recorder(job.idx));
+        let events = job.events.or(self.env.events.as_deref());
+        let rec = events.map(|sink| sink.recorder(job.idx));
 
         // --- Step 1: schema pruning -----------------------------------------
         // Recall failures propagate (§III-B1: "It is important to keep high recall
@@ -317,7 +352,14 @@ impl Purple {
         let mut recall_noise = 0.0;
         let mut recall_covered = true;
         let pruned = if self.cfg.use_pruning {
-            let pruner = SchemaPruner::new(&self.classifier, self.cfg.prune);
+            let built;
+            let pruner = match shared_pruner {
+                Some(p) => p,
+                None => {
+                    built = SchemaPruner::new(&self.classifier, self.cfg.prune);
+                    &built
+                }
+            };
             let pruned = pruner.prune(&ex.nl, db);
             let used = nlmodel::used_items(&ex.query, &db.schema);
             if !pruned.covers(&used.tables, &used.columns) {
@@ -459,7 +501,7 @@ impl Purple {
         // --- Step 5: database adaption + consistency -------------------------
         // The "-Database Adaption" ablation removes the repair loop but keeps the
         // plain execution-consistency vote (§IV-D2 is shared with C3/DAIL-SQL).
-        let session = self.session.clone().unwrap_or_else(ExecSession::disabled);
+        let session = self.env.session_or_disabled();
         let sdb = session.bind(db);
         let (sql, fixes, adapted) = if self.cfg.use_adaption {
             let v =
@@ -491,10 +533,10 @@ impl Purple {
             output_tokens: response.output_tokens,
         });
         let metrics = reg.snapshot();
-        if let Some(shared) = &self.metrics {
+        if let Some(shared) = &self.env.metrics {
             shared.absorb(&metrics);
         }
-        if let (Some(sink), Some(rec)) = (job.events, rec) {
+        if let (Some(sink), Some(rec)) = (events, rec) {
             sink.publish(rec);
         }
         RunOutcome { translation, trace, metrics }
@@ -503,7 +545,7 @@ impl Purple {
     /// Adapt a raw SQL string against a database (exposed for the Table-2 demo and
     /// the error-adaption example binary). Uses the attached session when present.
     pub fn adapt(&self, sql: &str, db: &Database, seed: u64) -> crate::adaption::AdaptResult {
-        let session = self.session.clone().unwrap_or_else(ExecSession::disabled);
+        let session = self.env.session_or_disabled();
         adapt_sql_with(&session.bind(db), sql, &mut StdRng::seed_from_u64(seed))
     }
 }
@@ -688,10 +730,40 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_builder_shims_match_with_env() {
+        let (suite, purple) = small_purple();
+        let shared = MetricsRegistry::shared(Clock::Virtual);
+        let session = engine::ExecSession::shared();
+        let ledger = llm::CostLedger::shared();
+        let via_env = purple.with_config(purple.cfg.clone()).with_env(
+            RunEnv::default()
+                .with_session(session.clone())
+                .with_ledger(ledger.clone())
+                .with_metrics(shared.clone()),
+        );
+        let via_shims = purple
+            .with_config(purple.cfg.clone())
+            .with_session(session)
+            .with_ledger(ledger.clone())
+            .with_metrics(shared.clone());
+        let ex = &suite.dev.examples[0];
+        let db = suite.dev.db_of(ex);
+        let a = via_env.run(Job::new(0, ex, db));
+        ledger.reset();
+        let b = via_shims.run(Job::new(0, ex, db));
+        assert_eq!(a.translation.sql, b.translation.sql);
+        assert_eq!(a.metrics, b.metrics);
+        assert!(ledger.totals().calls > 0, "shim-attached ledger records calls");
+    }
+
+    #[test]
     fn shared_registry_absorbs_per_run_snapshots() {
         let (suite, purple) = small_purple();
         let shared = MetricsRegistry::shared(Clock::Virtual);
-        let purple = purple.with_config(purple.cfg.clone()).with_metrics(shared.clone());
+        let purple = purple
+            .with_config(purple.cfg.clone())
+            .with_env(RunEnv::default().with_metrics(shared.clone()));
         let mut merged = StageMetrics::default();
         for (i, ex) in suite.dev.examples.iter().take(3).enumerate() {
             let out = purple.run(Job::new(i, ex, suite.dev.db_of(ex)));

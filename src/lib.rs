@@ -54,12 +54,12 @@ pub mod prelude {
     pub use baselines::{LlmBaseline, PlmTranslator, SharedModels, Strategy, ALL_PLM};
     pub use engine::{
         execute, execute_vectorized, prepare, run, Database, EngineMode, ExecSession, Plan,
-        ResultSet, Value,
+        ResultSet, SessionConfig, Value,
     };
     pub use eval::{
         attribute, build_suites, evaluate, evaluate_par, evaluate_par_with_session,
-        evaluate_with_par, evaluate_with_session, AttributionReport, Blame, Job, SuiteConfig,
-        TraceSummary, Translation, Translator, Verdict,
+        evaluate_with_par, evaluate_with_session, AttributionReport, Blame, Job, JobSpec, Request,
+        Response, RunEnv, SuiteConfig, TraceSummary, Translation, Translator, Verdict,
     };
     pub use llm::{LlmService, Prompt, CHATGPT, GPT4};
     pub use obs::{Clock, EventSink, MetricsRegistry, StageMetrics};

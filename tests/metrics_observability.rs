@@ -53,7 +53,9 @@ fn shared_registry_absorbs_all_events_under_parallel_evaluation() {
     let suite = suite();
     let shared = MetricsRegistry::shared(Clock::Virtual);
     let base = Purple::new(&suite.train, PurpleConfig::default_with(CHATGPT));
-    let system = base.with_config(PurpleConfig::default_with(CHATGPT)).with_metrics(shared.clone());
+    let system = base
+        .with_config(PurpleConfig::default_with(CHATGPT))
+        .with_env(RunEnv::default().with_metrics(shared.clone()));
     let report = evaluate_par(&system, &suite.dev, None, 4);
     let absorbed = shared.snapshot();
     // Absorption order across workers is nondeterministic, but counters, span
