@@ -1,18 +1,19 @@
 #!/usr/bin/env bash
 # CI smoke checks against the release `repro` binary.
 #
-# Usage: ci/smoke.sh <metrics|cache|exec-bench|diagnose|diff|serve>
+# Usage: ci/smoke.sh <metrics|cache|exec-bench|diagnose|diff|serve|trace>
 #
 # Every mode runs at --scale tiny and enforces the repository's determinism
 # contract: observable artifacts must be byte-identical for any --jobs count
 # (for `cache`, with the execution cache on or off; for `exec-bench`, under
 # the vectorized engine, the legacy interpreter, and the uncached path; for
-# `serve`, at any worker count/arrival order with batching on or off).
+# `serve` and `trace`, at any worker count/arrival order with batching on
+# or off).
 set -euo pipefail
 
 REPRO=${REPRO:-./target/release/repro}
 SERVE=${SERVE:-./target/release/purple-serve}
-mode=${1:?usage: ci/smoke.sh <metrics|cache|exec-bench|diagnose|diff|serve>}
+mode=${1:?usage: ci/smoke.sh <metrics|cache|exec-bench|diagnose|diff|serve|trace>}
 work=$(mktemp -d)
 trap 'rm -rf "$work"' EXIT
 
@@ -140,8 +141,61 @@ assert b['run_id'] == '$run1', b"
     grep -q '"id":5' "$work/stdio.out"
     grep -q '"error":' "$work/stdio.out"
     ;;
+trace)
+    # 1. Export request span trees from a load-gen run and check the Chrome
+    #    trace-event JSON parses with the expected shape: every event is a
+    #    complete-span ("ph":"X") with virtual-clock ts/dur and a
+    #    span/parent edge, and every trace has exactly one "request" root.
+    "$SERVE" --load-gen 60 --scale tiny --seed 42 --workers 4 \
+        --trace-out "$work/t4.json" --bench-out "$work/B4.json" >/dev/null
+    python3 - "$work" <<'EOF'
+import json, sys
+work = sys.argv[1]
+t = json.load(open(f"{work}/t4.json"))
+assert t["otherData"]["clock"] == "virtual", t["otherData"]
+assert t["otherData"]["dropped_traces"] == 0 and t["otherData"]["dropped_spans"] == 0
+events = t["traceEvents"]
+assert events, "no trace events exported"
+roots = {}
+for e in events:
+    assert e["ph"] == "X" and e["dur"] >= 0 and e["ts"] >= 0, e
+    if e["args"]["parent"] is None:
+        roots.setdefault(e["tid"], []).append(e["name"])
+assert all(names == ["request"] for names in roots.values()), roots
+names = {e["name"] for e in events}
+for required in ["request", "queue-wait", "batch-coalesce", "schema-pruning",
+                 "skeleton-prediction", "demo-selection", "prompt-assembly",
+                 "llm-call", "adaption", "consistency-vote"]:
+    assert required in names, f"missing span {required} (have {sorted(names)})"
+b = json.load(open(f"{work}/B4.json"))
+assert b["schema_version"] == 2 and b["stages"], b
+assert any(s["path"] == "request/queue-wait" for s in b["stages"]), b["stages"]
+EOF
+
+    # 2. The exported trace must be byte-identical at any worker count, any
+    #    arrival order, and with batching on or off (virtual clock only —
+    #    wall time never enters the export by default).
+    "$SERVE" --load-gen 60 --scale tiny --seed 42 --workers 1 --no-batching \
+        --arrival-seed 9 --trace-out "$work/t1.json" \
+        --bench-out "$work/B1.json" >/dev/null
+    "$SERVE" --load-gen 60 --scale tiny --seed 42 --workers 8 \
+        --arrival-seed 7 --trace-out "$work/t8.json" \
+        --bench-out "$work/B8.json" >/dev/null
+    cmp "$work/t4.json" "$work/t1.json"
+    cmp "$work/t4.json" "$work/t8.json"
+
+    # 3. The live telemetry verb answers over the stdio frontend with a
+    #    Prometheus text exposition of the shared registry and session.
+    printf '%s\n%s\n' \
+        '{"id":5,"idx":0,"db_index":0,"nl":"how many","sql":"SELECT a FROM b","linking_noise":0.0,"trace":false,"seed":null}' \
+        '{"cmd":"metrics"}' \
+        | "$SERVE" --stdio --scale tiny --seed 42 --workers 2 > "$work/stdio.out"
+    grep -q '"metrics":' "$work/stdio.out"
+    grep -q 'purple_stage_calls_total' "$work/stdio.out"
+    grep -q 'purple_llm_calls_total' "$work/stdio.out"
+    ;;
 *)
-    echo "unknown mode \`$mode\` (metrics|cache|exec-bench|diagnose|diff|serve)" >&2
+    echo "unknown mode \`$mode\` (metrics|cache|exec-bench|diagnose|diff|serve|trace)" >&2
     exit 2
     ;;
 esac

@@ -3,7 +3,7 @@
 //! the comparison isolates *strategy*, exactly as in the paper's §V-A3.
 
 use crate::common::{fixed_demo_indices, raw_vote_with};
-use engine::{Database, ExecSession};
+use engine::Database;
 use eval::{Job, RunEnv, RunOutcome, Translation, Translator};
 use llm::{Demonstration, GenerationRequest, LlmProfile, LlmService, Prompt, CONTEXT_LIMIT};
 use nlmodel::{SchemaClassifier, SkeletonPredictor};
@@ -96,27 +96,6 @@ impl LlmBaseline {
         self.service.set_ledger(env.ledger.clone());
         self.env = env;
         self
-    }
-
-    /// Attach a shared cost ledger.
-    #[deprecated(note = "use `with_env(RunEnv::default().with_ledger(...))`")]
-    pub fn with_ledger(self, ledger: std::sync::Arc<llm::CostLedger>) -> Self {
-        let env = self.env.clone().with_ledger(ledger);
-        self.with_env(env)
-    }
-
-    /// Attach a shared metrics registry.
-    #[deprecated(note = "use `with_env(RunEnv::default().with_metrics(...))`")]
-    pub fn with_metrics(self, metrics: Arc<MetricsRegistry>) -> Self {
-        let env = self.env.clone().with_metrics(metrics);
-        self.with_env(env)
-    }
-
-    /// Attach a shared execution session.
-    #[deprecated(note = "use `with_env(RunEnv::default().with_session(...))`")]
-    pub fn with_session(self, session: Arc<ExecSession>) -> Self {
-        let env = self.env.clone().with_session(session);
-        self.with_env(env)
     }
 
     /// Jaccard similarity of two token sets (DAIL-SQL's similarity function; the

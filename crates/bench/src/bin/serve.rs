@@ -4,6 +4,7 @@
 //! purple-serve (--stdio | --tcp ADDR | --load-gen N)
 //!              [--scale tiny|medium|full] [--seed N] [--profile chatgpt|gpt4]
 //!              [--workers N] [--queue-capacity N] [--no-batching] [--batch-max N]
+//!              [--trace-out PATH] [--trace-sample N] [--trace-wall]
 //!              load-gen only:
 //!              [--arrival-seed N] [--bench-out PATH]
 //!              [--archive DIR [--baseline RUN [--gate] [--gate-ex N] [--gate-ts N]
@@ -12,11 +13,20 @@
 //!
 //! The server trains PURPLE on the generated suite's train split at startup,
 //! then answers line-delimited JSON requests against the dev split's
-//! databases (see `eval::wire` for the request/response line shapes).
-//! `--load-gen N` instead drives N seeded synthetic requests through the
-//! server, prints throughput and latency percentiles, writes them to
-//! `BENCH_serve.json`, and can archive the replayed evaluation report in the
-//! PR-5 run registry so the regression gate covers served translations.
+//! databases (see `eval::wire` for the request/response line shapes; the
+//! `{"cmd":"metrics"}` line answers with a Prometheus text exposition of the
+//! live registry, cache, and exec-operator state). `--load-gen N` instead
+//! drives N seeded synthetic requests through the server, prints throughput
+//! and latency percentiles plus a per-stage span rollup, writes them to
+//! `BENCH_serve.json` (schema v2, per-stage breakdown included), and can
+//! archive the replayed evaluation report in the PR-5 run registry so the
+//! regression gate covers served translations.
+//!
+//! Request tracing (DESIGN.md §14) is always on under `--load-gen` and
+//! enabled elsewhere by `--trace-out`. The exported Chrome trace JSON uses
+//! virtual work units, byte-identical for any `--workers`, `--arrival-seed`,
+//! and batching mode; `--trace-wall` switches the export to wall-clock
+//! microseconds (machine-dependent, opt-in).
 
 use bench_harness::{serve, Scale};
 use engine::{ExecSession, SessionConfig};
@@ -46,6 +56,9 @@ struct Args {
     queue_capacity: usize,
     batching: bool,
     batch_max: usize,
+    trace_out: Option<String>,
+    trace_sample: u64,
+    trace_wall: bool,
     arrival_seed: u64,
     bench_out: String,
     archive: Option<String>,
@@ -60,7 +73,8 @@ struct Args {
 
 const USAGE: &str = "purple-serve (--stdio | --tcp ADDR | --load-gen N) \
     [--scale tiny|medium|full] [--seed N] [--profile chatgpt|gpt4] [--workers N] \
-    [--queue-capacity N] [--no-batching] [--batch-max N] [--arrival-seed N] \
+    [--queue-capacity N] [--no-batching] [--batch-max N] [--trace-out PATH] \
+    [--trace-sample N] [--trace-wall] [--arrival-seed N] \
     [--bench-out PATH] [--archive DIR [--baseline RUN [--gate] [--gate-ex N] \
     [--gate-ts N] [--gate-blame F] [--diff-out P] [--diff-json P]]]";
 
@@ -81,6 +95,9 @@ fn parse_args() -> Args {
         queue_capacity: 64,
         batching: true,
         batch_max: 16,
+        trace_out: None,
+        trace_sample: 1,
+        trace_wall: false,
         arrival_seed: 1,
         bench_out: "BENCH_serve.json".into(),
         archive: None,
@@ -149,6 +166,15 @@ fn parse_args() -> Args {
                     .filter(|&n| n > 0)
                     .unwrap_or_else(|| die("--batch-max needs a positive integer"));
             }
+            "--trace-out" => args.trace_out = Some(next(&mut it, "--trace-out")),
+            "--trace-sample" => {
+                args.trace_sample = next(&mut it, "--trace-sample")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--trace-sample needs a positive integer"));
+            }
+            "--trace-wall" => args.trace_wall = true,
             "--arrival-seed" => {
                 args.arrival_seed = next(&mut it, "--arrival-seed")
                     .parse()
@@ -195,6 +221,9 @@ fn parse_args() -> Args {
     {
         die("--gate/--diff-out/--diff-json require --baseline");
     }
+    if args.trace_out.is_some() && args.mode == Mode::Tcp {
+        die("--trace-out requires --stdio or --load-gen (a TCP listener never exits to export)");
+    }
     args
 }
 
@@ -216,11 +245,19 @@ fn main() {
             RunEnv::default().with_session(session.clone()).with_metrics(metrics.clone()),
         ));
     let bench = Arc::new(suite.dev.clone());
+    // Tracing is always on under --load-gen (the per-stage breakdown in
+    // BENCH_serve.json depends on it) and opt-in via --trace-out elsewhere.
+    let trace_on = args.trace_out.is_some() || args.mode == Mode::LoadGen;
     let cfg = serve::ServeConfig {
         workers: args.workers,
         queue_capacity: args.queue_capacity,
         batching: args.batching,
         batch_max: args.batch_max,
+        trace: trace_on.then_some(serve::TraceConfig {
+            sample: args.trace_sample,
+            seed: args.seed,
+            wall: args.trace_wall,
+        }),
     };
     let server = serve::Server::start(purple.clone(), bench.clone(), metrics.clone(), cfg);
     eprintln!(
@@ -237,11 +274,19 @@ fn main() {
                     eprintln!("[serve] stdio connection failed: {e}");
                     std::process::exit(1);
                 });
+            let sink = server.trace_sink();
             server.shutdown();
             eprintln!(
                 "[serve] stdin closed: {} request(s) answered, {} refused",
                 stats.accepted, stats.rejected
             );
+            let drained = sink.drain();
+            if !drained.traces.is_empty() {
+                // Stdout is the protocol channel here; the rollup goes to
+                // stderr and the Chrome export to --trace-out.
+                eprint!("{}", obs::trace::render_rollup(&obs::trace::rollup(&drained)));
+            }
+            export_traces(&drained, &args);
         }
         Mode::Tcp => {
             let listener = std::net::TcpListener::bind(&args.tcp_addr).unwrap_or_else(|e| {
@@ -311,6 +356,12 @@ fn load_gen(
         stats.p95.as_secs_f64() * 1e3,
         stats.p99.as_secs_f64() * 1e3
     );
+    let drained = server.trace_sink().drain();
+    let stage_rows = obs::trace::rollup(&drained);
+    if !stage_rows.is_empty() {
+        print!("{}", obs::trace::render_rollup(&stage_rows));
+    }
+    export_traces(&drained, args);
     eprintln!("[serve] scoring served traffic ({:.1}s)...", t0.elapsed().as_secs_f64());
     let suites_cfg = SuiteConfig { candidates: 40, max_kept: 8, probe_queries: 24 };
     let suites = eval::build_suites(bench, suites_cfg, args.seed ^ 0x7e57);
@@ -349,7 +400,7 @@ fn load_gen(
         println!("run_id={run_id}");
         run_id
     });
-    let json = bench_json(args, requests, n, &stats, &report, run_id.as_deref());
+    let json = bench_json(args, requests, n, &stats, &report, run_id.as_deref(), &stage_rows);
     if let Err(e) = std::fs::write(&args.bench_out, &json) {
         eprintln!("cannot write {}: {e}", args.bench_out);
         std::process::exit(1);
@@ -399,7 +450,27 @@ fn load_gen(
     }
 }
 
+/// Export drained traces as Chrome trace-event JSON when `--trace-out` is set.
+fn export_traces(drained: &obs::DrainedTraces, args: &Args) {
+    let Some(path) = &args.trace_out else { return };
+    let json = obs::trace::to_chrome_trace(drained, args.trace_wall);
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[serve] {} trace(s) written to {path} ({} clock)",
+        drained.traces.len(),
+        if args.trace_wall { "wall" } else { "virtual" }
+    );
+}
+
 /// Render `BENCH_serve.json` (same hand-rolled style as `BENCH_exec.json`).
+///
+/// Schema v2 adds the per-stage `"stages"` array (one row per span path with
+/// virtual-work and wall-microsecond p50/p95/p99, queue wait included).
+/// Readers of the v1 shape stay compatible: every v1 field is still present
+/// with its old name and type; v2 only appends.
 fn bench_json(
     args: &Args,
     requests: usize,
@@ -407,10 +478,29 @@ fn bench_json(
     stats: &serve::LoadStats,
     report: &eval::EvalReport,
     run_id: Option<&str>,
+    stages: &[obs::trace::RollupRow],
 ) -> String {
     let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    let stage_rows: Vec<String> = stages
+        .iter()
+        .map(|row| {
+            format!(
+                "    {{\"path\": \"{}\", \"count\": {}, \"virt_p50\": {}, \"virt_p95\": {}, \
+                 \"virt_p99\": {}, \"wall_us_p50\": {}, \"wall_us_p95\": {}, \"wall_us_p99\": \
+                 {}}}",
+                row.path,
+                row.count,
+                row.virt[0],
+                row.virt[1],
+                row.virt[2],
+                row.wall_us[0],
+                row.wall_us[1],
+                row.wall_us[2]
+            )
+        })
+        .collect();
     format!(
-        "{{\n  \"schema_version\": 1,\n  \"bench\": \"serve\",\n  \"description\": \"purple-serve \
+        "{{\n  \"schema_version\": 2,\n  \"bench\": \"serve\",\n  \"description\": \"purple-serve \
          load generator: seeded synthetic requests cycling the dev split, driven through the \
          concurrent serving front-end (bounded queue + same-database batching over a shared \
          ExecSession). Latency is submit-to-completion wall time including admission wait. \
@@ -421,9 +511,12 @@ fn bench_json(
          \"requests\": {requests},\n  \"examples\": {examples},\n  \"arrival_seed\": {},\n  \
          \"wall_ms\": {:.3},\n  \"throughput_rps\": {:.1},\n  \"p50_ms\": {:.3},\n  \
          \"p95_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"em_pct\": {:.1},\n  \"ex_pct\": {:.1},\n  \
-         \"ts_pct\": {:.1},\n  \"run_id\": {},\n  \"note\": \"wall-clock timings vary by machine; \
-         the archived EvalReport (run_id) is deterministic — byte-identical for any --workers, \
-         --arrival-seed, and with or without batching\"\n}}\n",
+         \"ts_pct\": {:.1},\n  \"run_id\": {},\n  \"stages\": [\n{}\n  ],\n  \
+         \"note\": \"wall-clock timings (wall_ms, *_ms, wall_us_*) vary by machine; \
+         the archived EvalReport (run_id), the virt_* stage columns, and the exported trace JSON \
+         are deterministic — byte-identical for any --workers, \
+         --arrival-seed, and with or without batching. Schema v2 appends `stages` to the v1 \
+         shape; v1 readers are unaffected.\"\n}}\n",
         args.scale.name(),
         args.seed,
         args.workers,
@@ -446,6 +539,7 @@ fn bench_json(
         match run_id {
             Some(id) => format!("\"{id}\""),
             None => "null".into(),
-        }
+        },
+        stage_rows.join(",\n")
     )
 }

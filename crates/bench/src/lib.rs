@@ -17,4 +17,4 @@ pub mod serve;
 mod tests;
 
 pub use context::{ReproContext, Scale};
-pub use serve::{ServeConfig, Server, SubmitHandle};
+pub use serve::{ServeConfig, Server, SubmitHandle, TraceConfig};

@@ -22,7 +22,14 @@
 //! * **Observability** — queue depth and in-flight counts are published to
 //!   the shared registry's [`Gauge::QueueDepth`] / [`Gauge::InFlight`] gauges;
 //!   per-run stage metrics flow through the [`Purple`]'s attached environment
-//!   ([`eval::RunEnv`]) exactly as in batch evaluation.
+//!   ([`eval::RunEnv`]) exactly as in batch evaluation. With
+//!   [`ServeConfig::trace`] set, sampled requests additionally record a
+//!   request-scoped span tree ([`obs::TraceRecorder`], DESIGN.md §14):
+//!   admission opens a `queue-wait` span, the dequeuing worker closes it and
+//!   stamps a `batch-coalesce` leaf, the pipeline stages nest under the
+//!   `request` root, and the finished tree is published to the server's
+//!   [`obs::SpanSink`] *before* the completion is sent, so a client that has
+//!   seen its response can already observe its trace.
 //!
 //! Two line-delimited JSON frontends sit on top: [`serve_connection`] (one
 //! request per line in, one response per line out — used for stdin/stdout)
@@ -33,8 +40,12 @@
 //! a sequential [`eval::evaluate_with_session`] pass.
 
 use engine::ExecSession;
-use eval::{request_from_json, response_to_json, EvalReport, Request, Response, TestSuite};
-use obs::{Gauge, MetricsRegistry};
+use eval::{
+    command_from_json, request_from_json, response_to_json, EvalReport, Request, Response,
+    ServeCommand, TestSuite,
+};
+use obs::trace::{BATCH_SPAN, QUEUE_WAIT_SPAN};
+use obs::{Gauge, MetricsRegistry, SpanSink, SpanToken, TraceRecorder, TraceSampler};
 use purple::Purple;
 use spidergen::Benchmark;
 use std::collections::{HashMap, VecDeque};
@@ -44,6 +55,26 @@ use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Request-tracing knobs (DESIGN.md §14). `sample`/`seed` feed an
+/// [`obs::TraceSampler`], so the traced subset is a pure function of request
+/// ids; `wall` opts wall-clock timestamps into the Chrome export (virtual
+/// work units are always exported and are the deterministic contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Trace one request in `sample` (0 and 1 both mean "trace all").
+    pub sample: u64,
+    /// Sampler mixing seed.
+    pub seed: u64,
+    /// Export wall-clock timestamps instead of virtual work units.
+    pub wall: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { sample: 1, seed: 0, wall: false }
+    }
+}
 
 /// Serving knobs; [`Default`] is a reasonable interactive configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,11 +89,14 @@ pub struct ServeConfig {
     pub batching: bool,
     /// Largest batch one worker will take (min 1).
     pub batch_max: usize,
+    /// Record request-scoped span trees for sampled requests; `None` disables
+    /// tracing entirely (zero overhead on the hot path).
+    pub trace: Option<TraceConfig>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { workers: 2, queue_capacity: 64, batching: true, batch_max: 16 }
+        ServeConfig { workers: 2, queue_capacity: 64, batching: true, batch_max: 16, trace: None }
     }
 }
 
@@ -109,6 +143,9 @@ pub struct Completion {
 struct Item {
     req: Request,
     tx: Sender<Completion>,
+    /// Recorder for sampled requests plus the open `queue-wait` span token,
+    /// redeemed by whichever worker dequeues the item.
+    trace: Option<(TraceRecorder, SpanToken)>,
 }
 
 struct QueueState {
@@ -124,6 +161,11 @@ struct Shared {
     cfg: ServeConfig,
     databases: usize,
     metrics: Arc<MetricsRegistry>,
+    sampler: Option<TraceSampler>,
+    trace_sink: Arc<SpanSink>,
+    /// The translator's execution session, if it has one — backs the cache and
+    /// exec-operator sections of the `metrics` verb's exposition.
+    session: Option<Arc<ExecSession>>,
 }
 
 impl Shared {
@@ -156,6 +198,13 @@ impl SubmitHandle {
                 databases: self.shared.databases,
             });
         }
+        // Open the trace before admission: the `queue-wait` span then covers
+        // any time blocked on a full queue as well as the queued wait itself.
+        let trace = self.shared.sampler.filter(|s| s.admits(req.id)).map(|_| {
+            let rec = TraceRecorder::new(req.id);
+            let token = rec.start(QUEUE_WAIT_SPAN);
+            (rec, token)
+        });
         let mut st = self.shared.state.lock().expect("serve queue poisoned");
         loop {
             if st.closed {
@@ -166,10 +215,24 @@ impl SubmitHandle {
             }
             st = self.shared.not_full.wait(st).expect("serve queue poisoned");
         }
-        st.items.push_back(Item { req, tx });
+        st.items.push_back(Item { req, tx, trace });
         self.shared.publish_gauges(&st);
         self.shared.not_empty.notify_one();
         Ok(())
+    }
+
+    /// Render the server's current observability state as Prometheus text
+    /// exposition (stage counters and latency histograms, run counters,
+    /// gauges, fixer tallies, plus cache and exec-operator sections when the
+    /// translator runs through a shared [`ExecSession`]). This is the body of
+    /// the `{"cmd":"metrics"}` wire verb.
+    pub fn metrics_exposition(&self) -> String {
+        let snap = self.shared.metrics.snapshot();
+        let (cache, ops) = match &self.shared.session {
+            Some(s) => (Some(s.stats()), Some(s.op_stats())),
+            None => (None, None),
+        };
+        obs::render_prometheus(&snap, cache.as_ref(), ops.as_ref())
     }
 }
 
@@ -196,6 +259,7 @@ impl Server {
             queue_capacity: cfg.queue_capacity.max(1),
             ..cfg
         };
+        let sampler = cfg.trace.map(|t| TraceSampler { sample: t.sample.max(1), seed: t.seed });
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState { items: VecDeque::new(), in_flight: 0, closed: false }),
             not_empty: Condvar::new(),
@@ -203,6 +267,9 @@ impl Server {
             cfg,
             databases: bench.databases.len(),
             metrics,
+            sampler,
+            trace_sink: SpanSink::shared(),
+            session: purple.env().session.clone(),
         });
         let workers = (0..cfg.workers)
             .map(|i| {
@@ -221,6 +288,13 @@ impl Server {
     /// A submission endpoint; clone freely across client threads.
     pub fn handle(&self) -> SubmitHandle {
         SubmitHandle { shared: self.shared.clone() }
+    }
+
+    /// The sink collecting finished span trees (empty unless
+    /// [`ServeConfig::trace`] is set). Survives [`Server::shutdown`] if the
+    /// caller clones the `Arc` first; drain it for export.
+    pub fn trace_sink(&self) -> Arc<SpanSink> {
+        self.shared.trace_sink.clone()
     }
 
     /// Stop admitting work, drain the queue, and join the workers. Requests
@@ -274,19 +348,42 @@ fn worker_loop(shared: &Shared, purple: &Purple, bench: &Benchmark) {
             shared.not_full.notify_all();
             batch
         };
+        // Dequeue closes each traced item's `queue-wait` span and stamps a
+        // `batch-coalesce` leaf. Both declare zero virtual work — a batch of
+        // one is still a batch — so the virtual timeline (and the exported
+        // trace) is identical whatever the interleaving or batching mode;
+        // only their wall-clock columns show the real scheduling.
+        for it in &batch {
+            if let Some((rec, token)) = &it.trace {
+                rec.finish(*token, 0);
+                rec.leaf(BATCH_SPAN, 0);
+            }
+        }
         let jobs: Vec<eval::Job<'_>> = batch
             .iter()
-            .map(|it| it.req.spec.as_job(&bench.databases[it.req.spec.example.db_index]))
+            .map(|it| {
+                it.req
+                    .spec
+                    .as_job(&bench.databases[it.req.spec.example.db_index])
+                    .with_tracer(it.trace.as_ref().map(|(rec, _)| rec))
+            })
             .collect();
         let outcomes = purple.run_batch(&jobs);
-        for (item, out) in batch.iter().zip(outcomes) {
+        drop(jobs);
+        let batch_len = batch.len();
+        for (item, out) in batch.into_iter().zip(outcomes) {
             let outcome = eval::RunOutcome { translation: out.translation, metrics: out.metrics };
             let response = Response::from_outcome(&item.req, &outcome);
+            // Publish the finished span tree before the completion: a client
+            // that has seen its response can already observe its trace.
+            if let Some((rec, _)) = item.trace {
+                shared.trace_sink.publish(rec);
+            }
             // A client that hung up just discards its completions.
             let _ = item.tx.send(Completion { response, outcome });
         }
         let mut st = shared.state.lock().expect("serve queue poisoned");
-        st.in_flight -= batch.len();
+        st.in_flight -= batch_len;
         shared.publish_gauges(&st);
     }
 }
@@ -326,8 +423,10 @@ pub struct ConnStats {
 /// (see [`eval::request_from_json`]), each output line a response — written
 /// as translations complete, so out of order; clients correlate by `id`.
 /// Malformed or refused lines get `{"error":...}` / `{"id":N,"error":...}`.
-/// Returns when the input reaches EOF and every admitted request has been
-/// answered.
+/// Command lines (`{"cmd":"metrics"}`, see [`eval::command_from_json`]) are
+/// answered inline with `{"metrics":"<Prometheus text exposition>"}` and
+/// count toward neither [`ConnStats`] field. Returns when the input reaches
+/// EOF and every admitted request has been answered.
 pub fn serve_connection<R, W>(
     handle: &SubmitHandle,
     reader: R,
@@ -360,6 +459,23 @@ where
             };
             if line.trim().is_empty() {
                 continue;
+            }
+            match command_from_json(&line) {
+                Ok(Some(ServeCommand::Metrics)) => {
+                    let body = handle.metrics_exposition();
+                    let mut w = out.lock().expect("serve writer poisoned");
+                    writeln!(w, "{{\"metrics\":{}}}", json_escape(&body))?;
+                    w.flush()?;
+                    continue;
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    stats.rejected += 1;
+                    let mut w = out.lock().expect("serve writer poisoned");
+                    writeln!(w, "{{\"error\":{}}}", json_escape(&e))?;
+                    w.flush()?;
+                    continue;
+                }
             }
             let refusal = match request_from_json(&line) {
                 Ok(req) => {
@@ -702,6 +818,51 @@ mod tests {
             eval::report_to_json(&direct),
             "served report must be byte-identical to the sequential pass"
         );
+    }
+
+    #[test]
+    fn metrics_verb_answers_inline_with_prometheus_exposition() {
+        let fx = fixture();
+        let server = start(&fx, ServeConfig::default());
+        let req = synth_requests(&fx.bench, 1, 0).remove(0);
+        let input = format!(
+            "{}\n{{\"cmd\":\"metrics\"}}\n{{\"cmd\":\"selfdestruct\"}}\n",
+            eval::request_to_json(&req)
+        );
+        let mut out = Vec::new();
+        let stats =
+            serve_connection(&server.handle(), io::Cursor::new(input), &mut out).expect("serves");
+        server.shutdown();
+        // The command lines count toward neither accepted (not translations)
+        // nor — for the well-formed one — rejected.
+        assert_eq!(stats, ConnStats { accepted: 1, rejected: 1 });
+        let text = String::from_utf8(out).expect("utf8 output");
+        let metrics_line = text
+            .lines()
+            .find(|l| l.starts_with("{\"metrics\":"))
+            .expect("metrics verb answered inline");
+        assert!(metrics_line.contains("purple_stage_calls_total"));
+        assert!(metrics_line.contains("purple_cache_hits_total"), "session stats included");
+        assert!(metrics_line.contains("purple_exec_batches_total"), "op stats included");
+        assert!(text.lines().any(|l| l.contains("unknown command verb")));
+    }
+
+    #[test]
+    fn sampler_keeps_exactly_the_admitted_requests() {
+        let fx = fixture();
+        let trace = TraceConfig { sample: 3, seed: 0x5A17, wall: false };
+        let server = start(&fx, ServeConfig { trace: Some(trace), ..ServeConfig::default() });
+        let sink = server.trace_sink();
+        let reqs = synth_requests(&fx.bench, fx.bench.examples.len(), 11);
+        let sampler = TraceSampler { sample: trace.sample, seed: trace.seed };
+        let expected: Vec<u64> =
+            (0..fx.bench.examples.len() as u64).filter(|&id| sampler.admits(id)).collect();
+        let (_, _) = run_load(&server.handle(), reqs).expect("load drives clean");
+        server.shutdown();
+        let drained = sink.drain();
+        let traced: Vec<u64> = drained.traces.iter().map(|t| t.trace_id).collect();
+        assert_eq!(traced, expected, "traced set must be the sampler's, ascending");
+        assert!(!traced.is_empty() && traced.len() < fx.bench.examples.len());
     }
 
     #[test]

@@ -272,7 +272,7 @@ impl ExecSession {
     pub fn bind<'s, 'd>(&'s self, db: &'d Database) -> SessionDb<'s, 'd> {
         // A disabled session never consults keys, so skip the content hash.
         let fp = if self.is_enabled() { db.fingerprint() } else { 0 };
-        SessionDb { session: self, db, fp }
+        SessionDb { session: self, db, fp, tracer: None }
     }
 }
 
@@ -284,6 +284,10 @@ pub struct SessionDb<'s, 'd> {
     session: &'s ExecSession,
     db: &'d Database,
     fp: u128,
+    /// Optional request-scoped span recorder: every `execute` records one
+    /// `exec` leaf span with virtual work = result rows (identical on cache
+    /// hit and miss, so traces stay interleaving-independent).
+    tracer: Option<&'s obs::TraceRecorder>,
 }
 
 impl std::fmt::Debug for SessionDb<'_, '_> {
@@ -296,6 +300,19 @@ impl<'s, 'd> SessionDb<'s, 'd> {
     /// The bound database.
     pub fn db(&self) -> &'d Database {
         self.db
+    }
+
+    /// Attach (or detach) a request-scoped span recorder (DESIGN.md §14).
+    pub fn with_tracer(mut self, tracer: Option<&'s obs::TraceRecorder>) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached span recorder, if any — callers above the engine (the
+    /// adaption repair loop, the consistency vote) use the same recorder for
+    /// their own stage spans, so execution leaves nest under them.
+    pub fn tracer(&self) -> Option<&'s obs::TraceRecorder> {
+        self.tracer
     }
 
     /// The owning session.
@@ -317,7 +334,21 @@ impl<'s, 'd> SessionDb<'s, 'd> {
     /// Execute a query, memoized by `(db fingerprint, canonical SQL)`. Misses
     /// go through the plan cache, so re-executing a query against a mutated
     /// database recompiles at most once.
+    ///
+    /// When a tracer is attached ([`SessionDb::with_tracer`]) each call
+    /// records one `exec` leaf span whose virtual work is the result row
+    /// count (0 on error) — a pure function of the query and database, so
+    /// trace timelines do not depend on cache hits or thread interleaving.
     pub fn execute(&self, q: &Query) -> Result<Arc<ResultSet>, ExecError> {
+        let outcome = self.execute_inner(q);
+        if let Some(tracer) = self.tracer {
+            let work = outcome.as_ref().map_or(0, |r| r.rows.len() as u64);
+            tracer.leaf(obs::trace::EXEC_SPAN, work);
+        }
+        outcome
+    }
+
+    fn execute_inner(&self, q: &Query) -> Result<Arc<ResultSet>, ExecError> {
         if !self.session.is_enabled() {
             return exec::prepare(self.db, q).map(|plan| Arc::new(self.run_plan(&plan)));
         }

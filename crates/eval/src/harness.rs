@@ -84,12 +84,17 @@ pub struct Job<'a> {
     /// record them into a per-run [`obs::EventRecorder`] and publish the
     /// finished batch here (ignored by translators without events).
     pub events: Option<&'a obs::EventSink>,
+    /// Optional request-scoped span recorder: translators that support
+    /// hierarchical tracing (DESIGN.md §14) record one span per pipeline
+    /// stage, LLM call, and statement execution into it (ignored by
+    /// translators without tracing).
+    pub tracer: Option<&'a obs::TraceRecorder>,
 }
 
 impl<'a> Job<'a> {
     /// A job for the example at position `idx` of its split.
     pub fn new(idx: usize, example: &'a Example, db: &'a Database) -> Self {
-        Job { idx, example, db, trace: false, seed: None, events: None }
+        Job { idx, example, db, trace: false, seed: None, events: None, tracer: None }
     }
 
     /// Request (or suppress) trace capture.
@@ -101,6 +106,12 @@ impl<'a> Job<'a> {
     /// Attach (or detach) a structured-event sink.
     pub fn with_events(mut self, events: Option<&'a obs::EventSink>) -> Self {
         self.events = events;
+        self
+    }
+
+    /// Attach (or detach) a request-scoped span recorder.
+    pub fn with_tracer(mut self, tracer: Option<&'a obs::TraceRecorder>) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -121,11 +132,12 @@ impl<'a> Job<'a> {
 /// ledger, metrics registry, and structured-event sink, bundled into one
 /// cloneable value.
 ///
-/// `RunEnv` supersedes the four per-translator builder setters
-/// (`with_session`/`with_ledger`/`with_metrics`/`with_events`): translators
-/// accept the whole bundle via `with_env(env)`, and a server's worker pool
-/// clones one env per worker so every component is shared. All fields are
-/// optional — [`RunEnv::default`] is the fully detached environment.
+/// `RunEnv` replaced the four per-translator builder setters
+/// (`with_session`/`with_ledger`/`with_metrics`/`with_events`, removed):
+/// translators accept the whole bundle via `with_env(env)`, and a server's
+/// worker pool clones one env per worker so every component is shared. All
+/// fields are optional — [`RunEnv::default`] is the fully detached
+/// environment.
 ///
 /// The `events` sink acts as the *default* sink: a job-level sink
 /// ([`Job::with_events`]) takes precedence when both are present.
@@ -228,6 +240,7 @@ impl JobSpec {
             trace: self.trace,
             seed: self.seed,
             events: None,
+            tracer: None,
         }
     }
 }

@@ -42,4 +42,7 @@ pub use testsuite::{
     build_suite, fuzz_instance, mutate, ts_match, ts_match_str, ts_match_str_with, ts_match_with,
     SuiteConfig, TestSuite,
 };
-pub use wire::{request_from_json, request_to_json, response_from_json, response_to_json};
+pub use wire::{
+    command_from_json, request_from_json, request_to_json, response_from_json, response_to_json,
+    ServeCommand,
+};

@@ -30,6 +30,45 @@ use crate::reportio::{escape, Parser};
 use spidergen::types::{Example, Realization};
 use std::fmt::Write as _;
 
+/// A protocol command line: `{"cmd":"<verb>"}` instead of a request object.
+///
+/// Commands share the LDJSON stream with requests and are distinguished by
+/// the `cmd` key (requests never carry one). The only verb today is
+/// `metrics`, the live telemetry probe answered with a Prometheus text
+/// exposition (DESIGN.md §14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeCommand {
+    /// `{"cmd":"metrics"}` — return a Prometheus-style exposition of the
+    /// server's counters, gauges, histograms, cache stats, and exec op stats.
+    Metrics,
+}
+
+/// Classify a protocol line as a command.
+///
+/// Returns `Ok(Some(_))` for a well-formed command, `Ok(None)` when the line
+/// is not a command at all (no `cmd` key, or not parseable JSON — the caller
+/// should then try [`request_from_json`], whose error reporting covers the
+/// malformed case), and `Err` for a line that *is* a command but is invalid
+/// (unknown verb or stray fields).
+pub fn command_from_json(text: &str) -> Result<Option<ServeCommand>, String> {
+    let Ok(value) = Parser { bytes: text.as_bytes(), pos: 0 }.parse_document() else {
+        return Ok(None);
+    };
+    let Ok(obj) = value.as_object("command") else {
+        return Ok(None);
+    };
+    let Some(verb) = obj.get("cmd") else {
+        return Ok(None);
+    };
+    if obj.len() != 1 {
+        return Err("command lines carry exactly one field, `cmd`".into());
+    }
+    match verb.as_string("cmd")?.as_str() {
+        "metrics" => Ok(Some(ServeCommand::Metrics)),
+        other => Err(format!("unknown command verb `{other}`")),
+    }
+}
+
 /// Serialize a request to a single JSON line (no trailing newline).
 pub fn request_to_json(req: &Request) -> String {
     let spec = &req.spec;
@@ -201,6 +240,20 @@ mod tests {
             "unparseable gold sql"
         );
         assert!(request_from_json("{\"id\":1,\"bogus\":2}").is_err(), "unknown field");
+    }
+
+    #[test]
+    fn command_lines_are_classified() {
+        assert_eq!(command_from_json("{\"cmd\":\"metrics\"}"), Ok(Some(ServeCommand::Metrics)));
+        // Not commands: requests, non-objects, malformed JSON (the request
+        // parser owns their error reporting).
+        assert_eq!(command_from_json("{\"id\":1}"), Ok(None));
+        assert_eq!(command_from_json("[1,2]"), Ok(None));
+        assert_eq!(command_from_json("not json"), Ok(None));
+        // Commands with problems are errors, not fall-throughs.
+        assert!(command_from_json("{\"cmd\":\"reboot\"}").is_err(), "unknown verb");
+        assert!(command_from_json("{\"cmd\":\"metrics\",\"x\":1}").is_err(), "stray field");
+        assert!(command_from_json("{\"cmd\":7}").is_err(), "non-string verb");
     }
 
     #[test]

@@ -68,6 +68,10 @@ pub struct GenerationRequest<'a> {
     /// Per-request structured-event recorder: `complete` emits one `llm-call`
     /// event (samples, billed tokens, support level) here.
     pub events: Option<&'a obs::EventRecorder>,
+    /// Per-request span recorder: `complete` records one `llm-call` span
+    /// (virtual work = billed prompt + output tokens, mirroring the metrics
+    /// span) into the request's trace tree (DESIGN.md §14).
+    pub tracer: Option<&'a obs::TraceRecorder>,
 }
 
 impl<'a> GenerationRequest<'a> {
@@ -88,6 +92,7 @@ impl<'a> GenerationRequest<'a> {
             extra_output_tokens: 0,
             metrics: None,
             events: None,
+            tracer: None,
         }
     }
 
@@ -142,6 +147,12 @@ impl<'a> GenerationRequest<'a> {
     /// Record this request's structured trace events into a recorder.
     pub fn events(mut self, recorder: &'a obs::EventRecorder) -> Self {
         self.events = Some(recorder);
+        self
+    }
+
+    /// Record this request's span into a request-scoped trace recorder.
+    pub fn tracer(mut self, tracer: &'a obs::TraceRecorder) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 }
@@ -243,6 +254,7 @@ impl LlmService {
     pub fn complete(&self, req: &GenerationRequest<'_>) -> GenerationResponse {
         let registry = req.metrics.or(self.metrics.as_deref());
         let span = registry.map(|r| r.span(obs::Stage::LlmCall));
+        let tspan = req.tracer.map(|t| t.start(obs::Stage::LlmCall.name()));
         let mut rng = StdRng::seed_from_u64(req.seed);
         let full_tokens = req.prompt.token_len();
         let prompt_tokens = full_tokens.min(CONTEXT_LIMIT);
@@ -373,6 +385,9 @@ impl LlmService {
         }
         if let Some(span) = span {
             span.finish(prompt_tokens + output_tokens);
+        }
+        if let (Some(tracer), Some(token)) = (req.tracer, tspan) {
+            tracer.finish(token, prompt_tokens + output_tokens);
         }
         if let Some(rec) = req.events {
             rec.emit(

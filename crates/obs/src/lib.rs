@@ -18,14 +18,21 @@
 //! [`EventSink`]): stages emit what they saw and decided for one example, and
 //! the sink drains in ascending example order so the JSONL stream is
 //! byte-identical for any worker count (DESIGN.md §9).
+//!
+//! The [`trace`] module adds request-scoped hierarchical span trees on the
+//! same two-clock discipline ([`TraceRecorder`] / [`SpanSink`], DESIGN.md
+//! §14), and [`prom`] renders a snapshot as Prometheus text exposition for
+//! the serving layer's live `{"cmd":"metrics"}` telemetry verb.
 
 #![warn(missing_docs)]
 
 mod cache;
 pub mod events;
 mod ops;
+pub mod prom;
 mod registry;
 mod snapshot;
+pub mod trace;
 
 pub use cache::{CacheCounters, CacheStats, StageCacheCounters, StageCacheStats};
 pub use events::{
@@ -33,9 +40,14 @@ pub use events::{
     DEFAULT_EVENTS_PER_EXAMPLE, DEFAULT_MAX_EXAMPLES,
 };
 pub use ops::{ExecOpCounters, ExecOpStats};
+pub use prom::render_prometheus;
 pub use registry::{Clock, MetricsRegistry, Span};
 pub use snapshot::{
     CounterBlock, FixerStats, GaugeSlot, Histogram, StageMetrics, StageStats, NUM_BUCKETS,
+};
+pub use trace::{
+    DrainedTraces, SpanId, SpanRecord, SpanSink, SpanToken, TraceId, TraceRecorder, TraceSampler,
+    TraceSpans,
 };
 
 /// A pipeline stage with its own call counter and latency histogram.
@@ -147,7 +159,14 @@ impl Fixer {
 
     /// Map an `engine::ExecError::category` label to its fixer.
     pub fn from_category(category: &str) -> Option<Fixer> {
-        Fixer::ALL.into_iter().find(|f| f.name() == category)
+        Fixer::from_name(category)
+    }
+
+    /// Parse a [`Fixer::name`] back (same label space as `from_category`; this
+    /// spelling completes the `from_name` ↔ `name` convention every other
+    /// metric enum follows).
+    pub fn from_name(name: &str) -> Option<Fixer> {
+        Fixer::ALL.into_iter().find(|f| f.name() == name)
     }
 
     /// Array index (position within [`Fixer::ALL`]).

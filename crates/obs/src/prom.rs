@@ -1,0 +1,157 @@
+//! Prometheus text-exposition rendering for the live telemetry verb
+//! (`{"cmd":"metrics"}` on the serving protocol, DESIGN.md §14).
+//!
+//! The output is the standard `text/plain; version=0.0.4` format: `# TYPE`
+//! headers, cumulative `_bucket{le=...}` histogram series, and one sample per
+//! line. Everything is rendered in fixed enum order ([`Stage::ALL`],
+//! [`Counter::ALL`], ...), so for a given metrics snapshot the exposition is
+//! byte-stable.
+
+use crate::{CacheStats, Clock, Counter, ExecOpStats, Fixer, Gauge, Histogram, Stage};
+use crate::{StageCacheStats, StageMetrics, NUM_BUCKETS};
+use std::fmt::Write as _;
+
+fn histogram_lines(out: &mut String, metric: &str, label: &str, value: &str, h: &Histogram) {
+    let mut cumulative = 0u64;
+    for (i, &bucket) in h.buckets.iter().enumerate() {
+        cumulative += bucket;
+        if i == NUM_BUCKETS - 1 {
+            writeln!(out, "{metric}_bucket{{{label}=\"{value}\",le=\"+Inf\"}} {cumulative}")
+                .unwrap();
+        } else {
+            writeln!(
+                out,
+                "{metric}_bucket{{{label}=\"{value}\",le=\"{}\"}} {cumulative}",
+                Histogram::bound(i)
+            )
+            .unwrap();
+        }
+    }
+    writeln!(out, "{metric}_sum{{{label}=\"{value}\"}} {}", h.sum).unwrap();
+    writeln!(out, "{metric}_count{{{label}=\"{value}\"}} {}", h.count).unwrap();
+}
+
+fn cache_stage_lines(out: &mut String, stage: &str, s: &StageCacheStats) {
+    writeln!(out, "purple_cache_hits_total{{cache=\"{stage}\"}} {}", s.hits).unwrap();
+    writeln!(out, "purple_cache_misses_total{{cache=\"{stage}\"}} {}", s.misses).unwrap();
+    writeln!(out, "purple_cache_evictions_total{{cache=\"{stage}\"}} {}", s.evictions).unwrap();
+    writeln!(out, "purple_cache_entries{{cache=\"{stage}\"}} {}", s.entries).unwrap();
+}
+
+/// Render a [`StageMetrics`] snapshot — optionally with execution-session
+/// cache stats and vectorized-operator stats — as Prometheus text exposition.
+pub fn render_prometheus(
+    metrics: &StageMetrics,
+    cache: Option<&CacheStats>,
+    ops: Option<&ExecOpStats>,
+) -> String {
+    let mut out = String::with_capacity(4096);
+    let unit = match metrics.clock {
+        Clock::Virtual => "work_units",
+        Clock::Wall => "nanoseconds",
+    };
+    writeln!(out, "# HELP purple_stage_calls_total Pipeline stage invocations.").unwrap();
+    writeln!(out, "# TYPE purple_stage_calls_total counter").unwrap();
+    for s in Stage::ALL {
+        let calls = metrics.stage(s).calls;
+        writeln!(out, "purple_stage_calls_total{{stage=\"{}\"}} {calls}", s.name()).unwrap();
+    }
+    writeln!(out, "# HELP purple_stage_latency Per-stage span durations ({unit}).").unwrap();
+    writeln!(out, "# TYPE purple_stage_latency histogram").unwrap();
+    for s in Stage::ALL {
+        let latency = &metrics.stage(s).latency;
+        histogram_lines(&mut out, "purple_stage_latency", "stage", s.name(), latency);
+    }
+    for c in Counter::ALL {
+        let name = c.name();
+        writeln!(out, "# TYPE purple_{name}_total counter").unwrap();
+        writeln!(out, "purple_{name}_total {}", metrics.counter(c)).unwrap();
+    }
+    for g in Gauge::ALL {
+        let name = g.name();
+        writeln!(out, "# TYPE purple_{name} gauge").unwrap();
+        writeln!(out, "purple_{name} {}", metrics.gauge(g).unwrap_or(0)).unwrap();
+    }
+    writeln!(out, "# TYPE purple_fixer_hits_total counter").unwrap();
+    writeln!(out, "# TYPE purple_fixer_successes_total counter").unwrap();
+    for f in Fixer::ALL {
+        let stats = metrics.fixer(f);
+        writeln!(out, "purple_fixer_hits_total{{fixer=\"{}\"}} {}", f.name(), stats.hits).unwrap();
+        let successes = stats.successes;
+        writeln!(out, "purple_fixer_successes_total{{fixer=\"{}\"}} {successes}", f.name())
+            .unwrap();
+    }
+    if let Some(cache) = cache {
+        writeln!(out, "# HELP purple_cache_hits_total Execution-session cache hits.").unwrap();
+        writeln!(out, "# TYPE purple_cache_hits_total counter").unwrap();
+        writeln!(out, "# TYPE purple_cache_misses_total counter").unwrap();
+        writeln!(out, "# TYPE purple_cache_evictions_total counter").unwrap();
+        writeln!(out, "# TYPE purple_cache_entries gauge").unwrap();
+        cache_stage_lines(&mut out, "parse", &cache.parse);
+        cache_stage_lines(&mut out, "plan", &cache.plan);
+        cache_stage_lines(&mut out, "result", &cache.result);
+        cache_stage_lines(&mut out, "columns", &cache.columns);
+    }
+    if let Some(ops) = ops {
+        for (name, value) in [
+            ("batches", ops.batches),
+            ("rows_scanned", ops.rows_scanned),
+            ("hash_probes", ops.hash_probes),
+            ("hash_probe_hits", ops.hash_probe_hits),
+            ("nested_loop_fallbacks", ops.nested_loop_fallbacks),
+            ("hash_agg_groups", ops.hash_agg_groups),
+            ("column_builds", ops.column_builds),
+        ] {
+            writeln!(out, "# TYPE purple_exec_{name}_total counter").unwrap();
+            writeln!(out, "purple_exec_{name}_total {value}").unwrap();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_covers_every_metric_family() {
+        let mut m = StageMetrics::default();
+        m.observe(Stage::LlmCall, 120);
+        m.count(Counter::LlmCalls, 1);
+        m.set_gauge(Gauge::QueueDepth, 3);
+        m.record_fix(Fixer::MissingTable, true);
+        let cache = CacheStats::default();
+        let ops = ExecOpStats { batches: 9, ..ExecOpStats::default() };
+        let text = render_prometheus(&m, Some(&cache), Some(&ops));
+        assert!(text.contains("purple_stage_calls_total{stage=\"llm-call\"} 1"));
+        assert!(text.contains("purple_stage_latency_bucket{stage=\"llm-call\",le=\"+Inf\"} 1"));
+        assert!(text.contains("purple_stage_latency_sum{stage=\"llm-call\"} 120"));
+        assert!(text.contains("purple_llm_calls_total 1"));
+        assert!(text.contains("purple_queue_depth 3"));
+        assert!(text.contains("purple_fixer_hits_total{fixer=\"missing-table\"} 1"));
+        assert!(text.contains("purple_cache_entries{cache=\"parse\"} 0"));
+        assert!(text.contains("purple_exec_batches_total 9"));
+        // Every enum variant has a sample line.
+        for s in Stage::ALL {
+            assert!(text.contains(&format!("{{stage=\"{}\"}}", s.name())));
+        }
+        for c in Counter::ALL {
+            assert!(text.contains(&format!("purple_{}_total", c.name())));
+        }
+        for g in Gauge::ALL {
+            assert!(text.contains(&format!("purple_{}", g.name())));
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut m = StageMetrics::default();
+        m.observe(Stage::Adaption, 1); // bucket le=1
+        m.observe(Stage::Adaption, 3); // bucket le=4
+        let text = render_prometheus(&m, None, None);
+        assert!(text.contains("purple_stage_latency_bucket{stage=\"adaption\",le=\"1\"} 1"));
+        assert!(text.contains("purple_stage_latency_bucket{stage=\"adaption\",le=\"4\"} 2"));
+        assert!(text.contains("purple_stage_latency_bucket{stage=\"adaption\",le=\"+Inf\"} 2"));
+        assert!(text.contains("purple_stage_latency_count{stage=\"adaption\"} 2"));
+    }
+}

@@ -299,19 +299,41 @@ mod tests {
         assert_eq!(agg.gauge(Gauge::PoolSize), None);
     }
 
+    /// Exhaustive `from_name` ↔ `name` ↔ `index` contract over every metric
+    /// enum: each variant round-trips, `ALL` has exactly `COUNT` distinct
+    /// entries whose positions match `index()`, names are unique, and unknown
+    /// names parse to `None`.
     #[test]
-    fn name_round_trips() {
-        for s in Stage::ALL {
-            assert_eq!(Stage::from_name(s.name()), Some(s));
+    fn name_round_trips_exhaustively() {
+        fn check<T: Copy + PartialEq + std::fmt::Debug>(
+            all: &[T],
+            count: usize,
+            name: impl Fn(T) -> &'static str,
+            index: impl Fn(T) -> usize,
+            from_name: impl Fn(&str) -> Option<T>,
+        ) {
+            assert_eq!(all.len(), count, "ALL length disagrees with COUNT");
+            let mut seen = std::collections::BTreeSet::new();
+            for (pos, &v) in all.iter().enumerate() {
+                assert_eq!(index(v), pos, "index() disagrees with ALL position for {v:?}");
+                assert!(seen.insert(name(v)), "duplicate name `{}`", name(v));
+                assert_eq!(from_name(name(v)), Some(v), "round trip for {v:?}");
+            }
+            assert_eq!(from_name("no-such-metric"), None);
+            assert_eq!(from_name(""), None);
         }
+        check(&Stage::ALL, Stage::COUNT, Stage::name, Stage::index, Stage::from_name);
+        check(&Fixer::ALL, Fixer::COUNT, Fixer::name, Fixer::index, Fixer::from_name);
+        check(&Counter::ALL, Counter::COUNT, Counter::name, Counter::index, Counter::from_name);
+        check(&Gauge::ALL, Gauge::COUNT, Gauge::name, Gauge::index, Gauge::from_name);
+        // `Fixer::from_category` is the same label space as `from_name`.
         for f in Fixer::ALL {
             assert_eq!(Fixer::from_category(f.name()), Some(f));
         }
-        for c in Counter::ALL {
-            assert_eq!(Counter::from_name(c.name()), Some(c));
+        // The clock label round-trips too (it is serialized into metrics JSON).
+        for clock in [Clock::Virtual, Clock::Wall] {
+            assert_eq!(Clock::from_name(clock.name()), Some(clock));
         }
-        for g in Gauge::ALL {
-            assert_eq!(Gauge::from_name(g.name()), Some(g));
-        }
+        assert_eq!(Clock::from_name("sundial"), None);
     }
 }

@@ -566,12 +566,16 @@ pub fn raw_vote_with(
     events: Option<&EventRecorder>,
 ) -> String {
     let span = metrics.map(|r| r.span(Stage::ConsistencyVote));
+    let tspan = sdb.tracer().map(|t| t.start(Stage::ConsistencyVote.name()));
     if let Some(reg) = metrics {
         reg.count(Counter::Samples, samples.len() as u64);
     }
     let (result, executable) = raw_vote_inner(samples, sdb);
     if let Some(span) = span {
         span.finish(samples.len() as u64);
+    }
+    if let (Some(tracer), Some(token)) = (sdb.tracer(), tspan) {
+        tracer.finish(token, samples.len() as u64);
     }
     if let Some(rec) = events {
         rec.emit(
@@ -657,6 +661,7 @@ pub fn consistency_vote_with(
     events: Option<&EventRecorder>,
 ) -> VoteOutcome {
     let adapt_span = metrics.map(|r| r.span(Stage::Adaption));
+    let adapt_tspan = sdb.tracer().map(|t| t.start(Stage::Adaption.name()));
     let mut adapted: Vec<AdaptResult> = Vec::with_capacity(samples.len());
     let mut keys: Vec<Option<String>> = Vec::with_capacity(samples.len());
     let mut fixes = Vec::new();
@@ -702,10 +707,17 @@ pub fn consistency_vote_with(
     if let Some(span) = adapt_span {
         span.finish(samples.len() as u64);
     }
+    if let (Some(tracer), Some(token)) = (sdb.tracer(), adapt_tspan) {
+        tracer.finish(token, samples.len() as u64);
+    }
     let vote_span = metrics.map(|r| r.span(Stage::ConsistencyVote));
+    let vote_tspan = sdb.tracer().map(|t| t.start(Stage::ConsistencyVote.name()));
     let outcome = tally(adapted, keys, fixes);
     if let Some(span) = vote_span {
         span.finish(samples.len() as u64);
+    }
+    if let (Some(tracer), Some(token)) = (sdb.tracer(), vote_tspan) {
+        tracer.finish(token, samples.len() as u64);
     }
     if let Some(rec) = events {
         rec.emit(

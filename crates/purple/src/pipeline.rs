@@ -21,7 +21,6 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spidergen::types::{Benchmark, Example};
 use sqlkit::Skeleton;
-use std::sync::Arc;
 
 /// PURPLE configuration, including every ablation/robustness knob of §V.
 #[derive(Debug, Clone)]
@@ -249,20 +248,6 @@ impl Purple {
         self
     }
 
-    /// Attach a shared cost ledger.
-    #[deprecated(note = "use `with_env(RunEnv::default().with_ledger(...))`")]
-    pub fn with_ledger(self, ledger: std::sync::Arc<llm::CostLedger>) -> Self {
-        let env = self.env.clone().with_ledger(ledger);
-        self.with_env(env)
-    }
-
-    /// Attach a shared metrics registry.
-    #[deprecated(note = "use `with_env(RunEnv::default().with_metrics(...))`")]
-    pub fn with_metrics(self, metrics: Arc<MetricsRegistry>) -> Self {
-        let env = self.env.clone().with_metrics(metrics);
-        self.with_env(env)
-    }
-
     /// Choose the span clock: [`Clock::Virtual`] (default, deterministic work
     /// units) or [`Clock::Wall`] (real elapsed nanoseconds).
     pub fn with_clock(mut self, clock: Clock) -> Self {
@@ -270,11 +255,10 @@ impl Purple {
         self
     }
 
-    /// Attach a shared execution session.
-    #[deprecated(note = "use `with_env(RunEnv::default().with_session(...))`")]
-    pub fn with_session(self, session: Arc<engine::ExecSession>) -> Self {
-        let env = self.env.clone().with_session(session);
-        self.with_env(env)
+    /// The attached run environment (the serving layer reads the session out
+    /// of it for cache/op telemetry).
+    pub fn env(&self) -> &RunEnv {
+        &self.env
     }
 
     /// Reconfigure (ablations / budget sweeps / model swaps) without retraining.
@@ -342,6 +326,14 @@ impl Purple {
         let reg = MetricsRegistry::new(self.clock);
         let events = job.events.or(self.env.events.as_deref());
         let rec = events.map(|sink| sink.recorder(job.idx));
+        // Request-scoped trace spans mirror the registry spans one-for-one,
+        // declaring the same virtual work (DESIGN.md §14).
+        let tstart = |name: &'static str| job.tracer.map(|t| t.start(name));
+        let tfinish = |token: Option<obs::SpanToken>, work: u64| {
+            if let (Some(tracer), Some(token)) = (job.tracer, token) {
+                tracer.finish(token, work);
+            }
+        };
 
         // --- Step 1: schema pruning -----------------------------------------
         // Recall failures propagate (§III-B1: "It is important to keep high recall
@@ -349,6 +341,7 @@ impl Purple {
         // items the gold SQL needs, the LLM cannot reference them and schema
         // linking degrades sharply.
         let span = reg.span(Stage::SchemaPruning);
+        let tspan = tstart(Stage::SchemaPruning.name());
         let mut recall_noise = 0.0;
         let mut recall_covered = true;
         let pruned = if self.cfg.use_pruning {
@@ -374,6 +367,7 @@ impl Purple {
         let prune_quality = pruned.quality(&db.schema);
         let schema_cols: usize = db.schema.tables.iter().map(|t| t.columns.len()).sum();
         span.finish(schema_cols as u64);
+        tfinish(tspan, schema_cols as u64);
         if let Some(rec) = &rec {
             rec.emit(
                 Stage::SchemaPruning.name(),
@@ -388,8 +382,10 @@ impl Purple {
 
         // --- Step 2: skeleton prediction ------------------------------------
         let span = reg.span(Stage::SkeletonPrediction);
+        let tspan = tstart(Stage::SkeletonPrediction.name());
         let predictions = self.predictions(ex, db);
         span.finish(predictions.len() as u64);
+        tfinish(tspan, predictions.len() as u64);
         if let Some(rec) = &rec {
             rec.emit(
                 Stage::SkeletonPrediction.name(),
@@ -406,6 +402,7 @@ impl Purple {
 
         // --- Step 3: demonstration selection --------------------------------
         let span = reg.span(Stage::DemoSelection);
+        let tspan = tstart(Stage::DemoSelection.name());
         reg.set_gauge(Gauge::PoolSize, self.pool.len() as u64);
         let mut selected = if matches!(self.cfg.demo_mode, DemoMode::Generate) {
             Vec::new()
@@ -424,6 +421,7 @@ impl Purple {
             random_fill(&mut selected, self.pool.len(), self.cfg.demo_target, &mut rng);
         }
         span.finish(self.pool.len() as u64);
+        tfinish(tspan, self.pool.len() as u64);
         if let Some(rec) = &rec {
             rec.emit(
                 Stage::DemoSelection.name(),
@@ -440,6 +438,7 @@ impl Purple {
         // (§III-A prunes demo schemas with the same module), consuming budget that
         // would otherwise carry more composition knowledge.
         let span = reg.span(Stage::PromptAssembly);
+        let tspan = tstart(Stage::PromptAssembly.name());
         let mut demonstrations: Vec<Demonstration> = Vec::new();
         if matches!(self.cfg.demo_mode, DemoMode::Generate | DemoMode::Hybrid) {
             // §VII future work: synthesize demonstrations exhibiting each predicted
@@ -474,6 +473,7 @@ impl Purple {
         let demos_in_prompt = prompt.demonstrations.len();
         reg.set_gauge(Gauge::DemosInPrompt, demos_in_prompt as u64);
         span.finish(prompt.token_len());
+        tfinish(tspan, prompt.token_len());
         if let Some(rec) = &rec {
             rec.emit(
                 Stage::PromptAssembly.name(),
@@ -496,13 +496,16 @@ impl Purple {
         if let Some(rec) = &rec {
             request = request.events(rec);
         }
+        if let Some(tracer) = job.tracer {
+            request = request.tracer(tracer);
+        }
         let response = self.service.complete(&request);
 
         // --- Step 5: database adaption + consistency -------------------------
         // The "-Database Adaption" ablation removes the repair loop but keeps the
         // plain execution-consistency vote (§IV-D2 is shared with C3/DAIL-SQL).
         let session = self.env.session_or_disabled();
-        let sdb = session.bind(db);
+        let sdb = session.bind(db).with_tracer(job.tracer);
         let (sql, fixes, adapted) = if self.cfg.use_adaption {
             let v =
                 consistency_vote_with(&response.samples, &sdb, &mut rng, Some(&reg), rec.as_ref());
@@ -727,34 +730,6 @@ mod tests {
             let correct = eval::ex_match_str(&trace.sql, &ex.query, db);
             assert_eq!(verdict.is_none(), correct, "blame disagrees with EX on example {i}");
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_builder_shims_match_with_env() {
-        let (suite, purple) = small_purple();
-        let shared = MetricsRegistry::shared(Clock::Virtual);
-        let session = engine::ExecSession::shared();
-        let ledger = llm::CostLedger::shared();
-        let via_env = purple.with_config(purple.cfg.clone()).with_env(
-            RunEnv::default()
-                .with_session(session.clone())
-                .with_ledger(ledger.clone())
-                .with_metrics(shared.clone()),
-        );
-        let via_shims = purple
-            .with_config(purple.cfg.clone())
-            .with_session(session)
-            .with_ledger(ledger.clone())
-            .with_metrics(shared.clone());
-        let ex = &suite.dev.examples[0];
-        let db = suite.dev.db_of(ex);
-        let a = via_env.run(Job::new(0, ex, db));
-        ledger.reset();
-        let b = via_shims.run(Job::new(0, ex, db));
-        assert_eq!(a.translation.sql, b.translation.sql);
-        assert_eq!(a.metrics, b.metrics);
-        assert!(ledger.totals().calls > 0, "shim-attached ledger records calls");
     }
 
     #[test]
