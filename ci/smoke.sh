@@ -1,19 +1,19 @@
 #!/usr/bin/env bash
 # CI smoke checks against the release `repro` binary.
 #
-# Usage: ci/smoke.sh <metrics|cache|exec-bench|diagnose|diff|serve|trace>
+# Usage: ci/smoke.sh <metrics|cache|exec-bench|diagnose|diff|serve|trace|dml>
 #
 # Every mode runs at --scale tiny and enforces the repository's determinism
 # contract: observable artifacts must be byte-identical for any --jobs count
 # (for `cache`, with the execution cache on or off; for `exec-bench`, under
 # the vectorized engine, the legacy interpreter, and the uncached path; for
 # `serve` and `trace`, at any worker count/arrival order with batching on
-# or off).
+# or off; for `dml`, across --jobs counts, both engines, and cache modes).
 set -euo pipefail
 
 REPRO=${REPRO:-./target/release/repro}
 SERVE=${SERVE:-./target/release/purple-serve}
-mode=${1:?usage: ci/smoke.sh <metrics|cache|exec-bench|diagnose|diff|serve|trace>}
+mode=${1:?usage: ci/smoke.sh <metrics|cache|exec-bench|diagnose|diff|serve|trace|dml>}
 work=$(mktemp -d)
 trap 'rm -rf "$work"' EXIT
 
@@ -194,8 +194,35 @@ EOF
     grep -q 'purple_stage_calls_total' "$work/stdio.out"
     grep -q 'purple_llm_calls_total' "$work/stdio.out"
     ;;
+dml)
+    # 1. The state-scored NL→DML report (DESIGN.md §15) must be byte-identical
+    #    at --jobs 1 vs 4, under the vectorized engine vs the legacy
+    #    interpreter, and with the execution cache on or off.
+    "$REPRO" --scale tiny --dml --jobs 1 --metrics "$work/dml1.json"
+    "$REPRO" --scale tiny --dml --jobs 4 --metrics "$work/dml4.json"
+    "$REPRO" --scale tiny --dml --jobs 4 --metrics "$work/dml-legacy.json" --legacy-exec
+    "$REPRO" --scale tiny --dml --jobs 4 --metrics "$work/dml-uncached.json" --no-exec-cache
+    cmp "$work/dml1.json" "$work/dml4.json"
+    cmp "$work/dml1.json" "$work/dml-legacy.json"
+    cmp "$work/dml1.json" "$work/dml-uncached.json"
+    python3 -c "
+import json
+m = json.load(open('$work/dml1.json'))
+assert m['split'] == 'dml', m['split']
+assert m['overall']['n'] > 0 and m['overall']['ex'] > 0, m['overall']
+assert m['has_ts'], 'DML reports are state-scored and must carry TS'"
+
+    # 2. The family is archivable and diffable like any other run: an engine
+    #    flip against the archived baseline gates clean with an all-zero diff.
+    reg="$work/runs"
+    dml_run=$(archive_run --scale tiny --dml --seed 42 --jobs 2 --archive "$reg")
+    test -n "$dml_run"
+    "$REPRO" --scale tiny --dml --seed 42 --jobs 4 --archive "$reg" --baseline "$dml_run" \
+        --legacy-exec --gate --diff-out "$work/dml.md" >/dev/null
+    grep -q 'All-zero diff' "$work/dml.md"
+    ;;
 *)
-    echo "unknown mode \`$mode\` (metrics|cache|exec-bench|diagnose|diff|serve|trace)" >&2
+    echo "unknown mode \`$mode\` (metrics|cache|exec-bench|diagnose|diff|serve|trace|dml)" >&2
     exit 2
     ;;
 esac

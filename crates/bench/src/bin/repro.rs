@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--scale tiny|medium|full] [--seed N] [--jobs N] [--metrics PATH]
 //!       [--diagnose PATH [--events PATH]] [--wall-clock] [--no-exec-cache]
-//!       [--legacy-exec]
+//!       [--legacy-exec] [--dml]
 //!       [--archive DIR [--profile chatgpt|gpt4] [--baseline RUN [--gate]]]
 //!       [--only NAME] [EXPERIMENTS...]
 //!
@@ -28,6 +28,7 @@ struct Args {
     wall_clock: bool,
     no_exec_cache: bool,
     legacy_exec: bool,
+    dml: bool,
     archive: Option<String>,
     baseline: Option<String>,
     gate: bool,
@@ -226,6 +227,10 @@ fn parse_args() -> Args {
             "--legacy-exec" => {
                 args.legacy_exec = true;
             }
+            "--dml" => {
+                args.dml = true;
+                any = true;
+            }
             "--table1" => {
                 args.table1 = true;
                 any = true;
@@ -334,6 +339,12 @@ fn parse_args() -> Args {
                      --legacy-exec   run queries on the legacy row-at-a-time interpreter \
                      instead of the vectorized columnar engine; reports are \
                      byte-identical under either engine\n\
+                     --dml           run the NL→DML scenario family instead of the paper \
+                     experiments: generate a profile-driven read/write split, translate \
+                     with the simulated voting translator, and score by resulting \
+                     database state; honors --jobs/--legacy-exec/--no-exec-cache \
+                     (reports byte-identical under all of them), --metrics (writes the \
+                     report JSON), and --archive/--baseline/--gate\n\
                      --only NAME     run a single experiment by name (repeatable); \
                      names: table1..table6, fig9..fig12, automaton-stats, support-stats, \
                      rewrite-stats, extension-generation, seed-sweep, model-stats, \
@@ -400,6 +411,11 @@ fn main() {
     }
     let scale = args.scale.unwrap_or(Scale::Medium);
     let t0 = Instant::now();
+    if args.dml {
+        run_dml(&args, scale, &t0);
+        eprintln!("[repro] done in {:.1}s", t0.elapsed().as_secs_f64());
+        return;
+    }
     eprintln!("[repro] building context (scale {scale:?}, seed {})...", args.seed);
     let mut ctx = ReproContext::build(scale, args.seed);
     if let Some(jobs) = args.jobs {
@@ -676,11 +692,24 @@ fn archive_and_diff(args: &Args, ctx: &mut ReproContext, scale: Scale, root: &st
     let Some(base_id) = base_id else {
         return;
     };
-    let (_, base_report) = registry.load(&base_id).unwrap_or_else(|e| {
+    diff_and_gate(args, &registry, &base_id, &run_id, &report, t0);
+}
+
+/// `--baseline` tail shared by the paper archive and the DML family: diff the
+/// fresh run against the baseline, render/write the dashboard, enforce `--gate`.
+fn diff_and_gate(
+    args: &Args,
+    registry: &eval::RunRegistry,
+    base_id: &str,
+    run_id: &str,
+    report: &eval::EvalReport,
+    t0: &Instant,
+) {
+    let (_, base_report) = registry.load(base_id).unwrap_or_else(|e| {
         eprintln!("cannot load baseline {base_id}: {e}");
         std::process::exit(2);
     });
-    let diff = eval::diff_reports(&base_id, &base_report, &run_id, &report).unwrap_or_else(|e| {
+    let diff = eval::diff_reports(base_id, &base_report, run_id, report).unwrap_or_else(|e| {
         eprintln!("cannot diff {run_id} against {base_id}: {e}");
         std::process::exit(2);
     });
@@ -723,5 +752,106 @@ fn archive_and_diff(args: &Args, ctx: &mut ReproContext, scale: Scale, root: &st
             eprintln!("[repro] done in {:.1}s", t0.elapsed().as_secs_f64());
             std::process::exit(1);
         }
+    }
+}
+
+/// `--dml`: the NL→DML scenario family. Standalone — no demonstration pool or
+/// model training — so it skips the expensive `ReproContext` build. The report
+/// is byte-identical for any `--jobs`, under either engine, and with or
+/// without the execution cache; `ci/smoke.sh dml` asserts exactly that.
+fn run_dml(args: &Args, scale: Scale, t0: &Instant) {
+    let session = if args.no_exec_cache {
+        engine::ExecSession::disabled()
+    } else if args.legacy_exec {
+        engine::ExecSession::shared_legacy()
+    } else {
+        engine::ExecSession::shared()
+    };
+    if args.legacy_exec {
+        eprintln!("[repro] legacy row-at-a-time interpreter selected (--legacy-exec)");
+    }
+    if args.no_exec_cache {
+        eprintln!("[repro] execution cache disabled (--no-exec-cache)");
+    }
+    let jobs = args
+        .jobs
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    eprintln!(
+        "[repro] running DML scenario family (scale {scale:?}, seed {}, {jobs} worker thread(s))...",
+        args.seed
+    );
+    let report = exp::dml_eval(scale, args.seed, jobs, &session);
+    println!("NL→DML, state-scored (EX = post-write fingerprint, TS = EX + rows affected)");
+    println!("--------------------------------------------------------------------------");
+    println!("{}", report.summary());
+    let names = ["insert", "delete", "update", "upsert"];
+    for (name, b) in names.iter().zip(&report.by_hardness) {
+        println!(
+            "  {name:<8} n {:>4}  EM {:>5.1}%  EX {:>5.1}%  TS {:>5.1}%",
+            b.n,
+            b.em_pct(),
+            b.ex_pct(),
+            b.ts_pct()
+        );
+    }
+    println!();
+    if let Some(path) = &args.metrics {
+        let json = eval::report_to_json(&report);
+        let parsed = eval::report_from_json(&json).unwrap_or_else(|e| {
+            eprintln!("report JSON failed to round-trip: {e}");
+            std::process::exit(1);
+        });
+        // Write-path stage/counter metrics intentionally stay out of the wire
+        // format (DESIGN.md §15), so the struct round-trip is lossy on the
+        // metrics block; the scored surfaces and the codec itself must still
+        // be exact.
+        assert_eq!(parsed.overall, report.overall, "report JSON round-trip mismatch");
+        assert_eq!(parsed.by_hardness, report.by_hardness, "report JSON round-trip mismatch");
+        assert_eq!(parsed.examples, report.examples, "report JSON round-trip mismatch");
+        assert_eq!(eval::report_to_json(&parsed), json, "report JSON re-serialization mismatch");
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[repro] DML report written to {path}");
+    }
+    let Some(root) = &args.archive else {
+        return;
+    };
+    let registry = eval::RunRegistry::open(root).unwrap_or_else(|e| {
+        eprintln!("cannot open run registry at {root}: {e}");
+        std::process::exit(1);
+    });
+    // Baseline resolves before the candidate records, for the same reason as
+    // the paper archive path (see archive_and_diff).
+    let base_id = args.baseline.as_ref().map(|reference| {
+        registry.resolve(reference).unwrap_or_else(|e| {
+            eprintln!("cannot resolve baseline `{reference}`: {e}");
+            std::process::exit(2);
+        })
+    });
+    let manifest = eval::RunManifest {
+        system: report.system.clone(),
+        split: report.split.clone(),
+        scale: scale.name().to_string(),
+        seed: args.seed,
+        jobs,
+        profile: "dml-sim".to_string(),
+        config_fingerprint: eval::fingerprint(&format!("{:?}", exp::dml_profile())),
+        git_rev: eval::git_rev(std::path::Path::new(".")).unwrap_or_else(|| "unknown".into()),
+        schema_version: eval::REPORT_SCHEMA_VERSION,
+        examples: report.overall.n,
+    };
+    let run_id = registry.record(&manifest, &report).unwrap_or_else(|e| {
+        eprintln!("cannot archive run: {e}");
+        std::process::exit(1);
+    });
+    println!("run_id={run_id}");
+    eprintln!(
+        "[repro] archived {} ({} examples) under {root}/{run_id}",
+        report.system, report.overall.n
+    );
+    if let Some(base_id) = base_id {
+        diff_and_gate(args, &registry, &base_id, &run_id, &report, t0);
     }
 }

@@ -1045,3 +1045,171 @@ pub fn archive_eval(ctx: &mut ReproContext, profile: llm::LlmProfile) -> EvalRep
     report.attribution = Some(attribution);
     report
 }
+
+// ---------------------------------------------------------------------------
+// NL→DML scenario family (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+/// Scale-dependent DML split sizes: (databases, examples).
+fn dml_sizes(scale: crate::context::Scale) -> (usize, usize) {
+    match scale {
+        crate::context::Scale::Tiny => (4, 60),
+        crate::context::Scale::Medium => (8, 240),
+        crate::context::Scale::Full => (12, 480),
+    }
+}
+
+/// The statement-mix profile the `dml` scenario family runs under.
+pub fn dml_profile() -> spidergen::QueryProfile {
+    spidergen::QueryProfile::mixed_dml()
+}
+
+/// Generate the profile-driven `dml` split for a scale and seed. Standalone —
+/// it does not need a [`ReproContext`] (no demonstration pool, no trained
+/// models), so `repro --dml` skips the expensive suite build.
+pub fn dml_bench(scale: crate::context::Scale, seed: u64) -> spidergen::WriteBenchmark {
+    use rand::SeedableRng;
+    let (n_dbs, n_examples) = dml_sizes(scale);
+    let templates = spidergen::domains::train_domains();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let gdbs: Vec<spidergen::dbgen::GeneratedDb> = (0..n_dbs)
+        .map(|i| {
+            let t = &templates[i % templates.len()];
+            spidergen::dbgen::instantiate(
+                t,
+                &format!("{}_{}", t.name, i / templates.len() + 1),
+                &mut rng,
+                spidergen::dbgen::PerturbConfig::default(),
+            )
+        })
+        .collect();
+    spidergen::generate_write_split("dml", &gdbs, &dml_profile(), n_examples, &mut rng)
+}
+
+/// Simulated NL→DML translator: samples three candidate statements per
+/// example (gold echoed with high probability, otherwise a near-miss literal
+/// perturbation) and resolves writes through the state-keyed
+/// [`purple::write_vote`] — candidates execute against transient database
+/// copies, never the canonical benchmark databases. All randomness derives
+/// from [`eval::seed_for`]`(base_seed, idx)`, so the translator is a pure
+/// function of the job and reports fold byte-identically for any worker
+/// count, engine, and cache configuration.
+pub struct SimDmlTranslator {
+    /// Base seed; per-example seeds derive from it by position.
+    pub base_seed: u64,
+    /// Session used by the write vote (engine choice does not change winners).
+    pub session: std::sync::Arc<engine::ExecSession>,
+}
+
+impl SimDmlTranslator {
+    /// A translator voting through a disabled (pass-through) session.
+    pub fn new(base_seed: u64) -> Self {
+        SimDmlTranslator { base_seed, session: engine::ExecSession::disabled() }
+    }
+
+    fn candidate(&self, ex: &spidergen::WriteExample, rng: &mut rand::rngs::StdRng) -> String {
+        use rand::Rng;
+        if rng.random_bool(0.7) {
+            return ex.sql.clone();
+        }
+        match perturb_statement(&ex.statement, rng) {
+            Some(stmt) => stmt.to_string(),
+            // Reads degrade to an unparseable fragment instead of a near-miss.
+            None => "SELECT".to_string(),
+        }
+    }
+}
+
+/// Perturb one literal of a write statement into a near-miss; `None` for reads.
+fn perturb_statement(
+    stmt: &sqlkit::Statement,
+    rng: &mut rand::rngs::StdRng,
+) -> Option<sqlkit::Statement> {
+    use sqlkit::{Condition, Literal, Operand, Statement, ValUnit};
+    fn bump(l: &mut Literal) {
+        *l = match l {
+            Literal::Int(i) => Literal::Int(*i + 1),
+            Literal::Float(f) => Literal::Float(*f + 1.0),
+            Literal::Str(s) => Literal::Str(format!("{s}x")),
+            Literal::Null => Literal::Int(0),
+        };
+    }
+    fn bump_filter(c: &mut Option<Condition>) -> bool {
+        if let Some(Condition::Pred(p)) = c {
+            if let Operand::Literal(l) = &mut p.right {
+                bump(l);
+                return true;
+            }
+        }
+        false
+    }
+    let mut out = stmt.clone();
+    match &mut out {
+        Statement::Select(_) => return None,
+        Statement::Insert(ins) => {
+            let row = ins.rows.first_mut()?;
+            let l = row.last_mut()?;
+            bump(l);
+        }
+        Statement::Update(up) => {
+            use rand::Rng;
+            let on_set = rng.random_bool(0.5);
+            let mut done = false;
+            if on_set {
+                if let Some(a) = up.sets.first_mut() {
+                    if let ValUnit::Literal(l) = &mut a.value {
+                        bump(l);
+                        done = true;
+                    }
+                }
+            }
+            if !done && !bump_filter(&mut up.where_clause) {
+                return None;
+            }
+        }
+        Statement::Delete(del) => {
+            if !bump_filter(&mut del.where_clause) {
+                return None;
+            }
+        }
+    }
+    Some(out)
+}
+
+impl eval::StatementTranslator for SimDmlTranslator {
+    fn name(&self) -> String {
+        "PURPLE-DML (simulated)".into()
+    }
+
+    fn run(&self, job: eval::DmlJob<'_>) -> eval::Translation {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(job.seed(self.base_seed));
+        let candidates: Vec<String> =
+            (0..3).map(|_| self.candidate(job.example, &mut rng)).collect();
+        let sql = if job.example.statement.is_write() {
+            purple::write_vote(&candidates, job.db, &self.session, None, None).sql
+        } else {
+            purple::raw_vote(&candidates, job.db, None, None)
+        };
+        eval::Translation {
+            sql: sql.clone(),
+            prompt_tokens: job.example.nl.len() as u64,
+            output_tokens: sql.len() as u64,
+        }
+    }
+}
+
+/// Run the state-scored `dml` scenario family: generate the profile-driven
+/// split, translate with the simulated voting translator, apply through the
+/// session, and fold the report in example order — byte-identical for any
+/// `jobs` count, either engine, and with or without caches.
+pub fn dml_eval(
+    scale: crate::context::Scale,
+    seed: u64,
+    jobs: usize,
+    session: &engine::ExecSession,
+) -> EvalReport {
+    let bench = dml_bench(scale, seed);
+    let translator = SimDmlTranslator::new(seed);
+    eval::evaluate_dml_par(&translator, &bench, session, jobs)
+}

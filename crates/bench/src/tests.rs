@@ -126,3 +126,35 @@ fn extension_generation_modes_are_all_viable() {
         assert!(r.em > 30.0, "{} collapsed: {:.1}", r.label, r.em);
     }
 }
+
+#[test]
+fn dml_eval_is_identical_across_jobs_engines_and_caches() {
+    let base = exp::dml_eval(Scale::Tiny, 11, 1, &engine::ExecSession::disabled());
+    assert!(base.overall.n > 0);
+    assert!(base.has_ts);
+    // The simulated translator misses sometimes but not always.
+    assert!(base.overall.ex > 0, "some writes must land");
+    assert!(base.overall.ex < base.overall.n, "noise must cause some misses");
+    for (jobs, session) in [
+        (4, engine::ExecSession::shared()),
+        (1, engine::ExecSession::shared()),
+        (4, engine::ExecSession::shared_legacy()),
+        (4, engine::ExecSession::disabled()),
+    ] {
+        let r = exp::dml_eval(Scale::Tiny, 11, jobs, &session);
+        assert_eq!(base, r, "jobs={jobs} mode={:?}", session.mode());
+        assert_eq!(eval::report_to_json(&base), eval::report_to_json(&r));
+    }
+}
+
+#[test]
+fn dml_split_covers_every_statement_kind() {
+    let bench = exp::dml_bench(Scale::Tiny, 11);
+    for kind in spidergen::StatementKind::ALL {
+        assert!(
+            bench.examples.iter().any(|e| e.kind == kind),
+            "kind {} absent from the tiny dml split",
+            kind.name()
+        );
+    }
+}

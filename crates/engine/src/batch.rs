@@ -29,7 +29,10 @@
 
 use crate::database::{Database, Row};
 use crate::error::ExecError;
-use crate::exec::{self, CorePlan, JoinStrategy, OrderTarget, Plan, PlanSource, ResultSet, RowRef};
+use crate::exec::{
+    self, CorePlan, JoinStrategy, OrderTarget, Plan, PlanSource, ResultSet, RowRef, WriteKind,
+    WriteOutcome, WritePlan,
+};
 use crate::value::{Value, ValueRef};
 use obs::ExecOpCounters;
 use sqlkit::ast::Query;
@@ -242,6 +245,80 @@ pub(crate) fn run_plan_with(
     };
     let right = run_plan_with(rhs, provider, counters);
     exec::combine_compound(*op, left, right)
+}
+
+/// Apply a write plan through the vectorized pipeline: UPDATE/DELETE row
+/// selection runs over transposed column vectors (the same `VRow` filter
+/// evaluation the read path uses), then mutations land in the row store.
+///
+/// INSERT shares [`exec::apply_write`]'s row-at-a-time path verbatim — conflict
+/// detection is inherently sequential because tuples inserted earlier in the
+/// statement feed later conflicts. Resulting state and [`WriteOutcome`] are
+/// identical to the legacy engine on every plan, which the differential tests
+/// assert.
+pub fn apply_write_vectorized(plan: &WritePlan, db: &mut Database) -> WriteOutcome {
+    let ti = plan.table();
+    match &plan.kind {
+        WriteKind::Insert { .. } => exec::apply_write(plan, db),
+        WriteKind::Update { sets, filter } => {
+            let pending: Vec<(usize, Vec<(usize, Value)>)> = {
+                let tables = [ColRef::Owned(ColumnTable::from_table(db, ti))];
+                let offsets = [0usize];
+                let sel = [(0..tables[0].get().len() as u32).collect::<Vec<u32>>()];
+                let view = make_view(&tables, &offsets, &sel);
+                (0..sel[0].len() as u32)
+                    .filter_map(|v| {
+                        let vr = VRow { view: &view, row: v };
+                        let matched = match filter {
+                            Some(c) => exec::eval_cond(c, &[vr], Some(vr)) == Some(true),
+                            None => true,
+                        };
+                        matched.then(|| {
+                            // Assignments see the OLD row, exactly like the
+                            // interpreter.
+                            (
+                                v as usize,
+                                sets.iter()
+                                    .map(|(c, e)| (*c, exec::eval_expr(e, vr)))
+                                    .collect::<Vec<_>>(),
+                            )
+                        })
+                    })
+                    .collect()
+            };
+            let updated = pending.len() as u64;
+            for (i, vals) in pending {
+                for (c, v) in vals {
+                    db.rows[ti][i][c] = v;
+                }
+            }
+            exec::write_outcome(db, 0, updated, 0, 0)
+        }
+        WriteKind::Delete { filter } => {
+            let before = db.rows[ti].len();
+            match filter {
+                None => db.rows[ti].clear(),
+                Some(cond) => {
+                    let doomed: Vec<bool> = {
+                        let tables = [ColRef::Owned(ColumnTable::from_table(db, ti))];
+                        let offsets = [0usize];
+                        let sel = [(0..before as u32).collect::<Vec<u32>>()];
+                        let view = make_view(&tables, &offsets, &sel);
+                        (0..before as u32)
+                            .map(|v| {
+                                let vr = VRow { view: &view, row: v };
+                                exec::eval_cond(cond, &[vr], Some(vr)) == Some(true)
+                            })
+                            .collect()
+                    };
+                    let mut it = doomed.into_iter();
+                    db.rows[ti].retain(|_| !it.next().unwrap());
+                }
+            }
+            let deleted = (before - db.rows[ti].len()) as u64;
+            exec::write_outcome(db, 0, 0, deleted, 0)
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

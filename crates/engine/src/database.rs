@@ -4,6 +4,7 @@ use crate::dialect::Dialect;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use sqlkit::Schema;
+use std::sync::OnceLock;
 
 /// A row of values, one per column of the owning table.
 pub type Row = Vec<Value>;
@@ -18,19 +19,32 @@ pub struct Database {
     /// The SQL dialect this database speaks (default SQLite, as in the paper).
     #[serde(default)]
     pub dialect: Dialect,
+    /// Memoized [`Self::fingerprint`]. Every `&mut self` method invalidates it;
+    /// code that mutates the pub fields directly must call
+    /// [`Self::invalidate_fingerprint`] before the next fingerprint read.
+    #[serde(skip)]
+    fp_cache: OnceLock<u128>,
 }
 
 impl Database {
     /// An empty database over the given schema (SQLite dialect).
     pub fn empty(schema: Schema) -> Self {
         let rows = vec![Vec::new(); schema.tables.len()];
-        Database { schema, rows, dialect: Dialect::sqlite() }
+        Database { schema, rows, dialect: Dialect::sqlite(), fp_cache: OnceLock::new() }
     }
 
     /// Switch the database's dialect (builder style).
     pub fn with_dialect(mut self, dialect: Dialect) -> Self {
         self.dialect = dialect;
+        self.invalidate_fingerprint();
         self
+    }
+
+    /// Drop the memoized fingerprint so the next [`Self::fingerprint`] call
+    /// re-hashes content. Called by every mutating method on this type; callers
+    /// that write through the pub fields directly must call it themselves.
+    pub fn invalidate_fingerprint(&mut self) {
+        self.fp_cache = OnceLock::new();
     }
 
     /// Append a row to a table by index. Panics if the arity differs from the table
@@ -42,6 +56,7 @@ impl Database {
             "row arity mismatch for table {}",
             self.schema.tables[table].name
         );
+        self.invalidate_fingerprint();
         self.rows[table].push(row);
     }
 
@@ -76,7 +91,14 @@ impl Database {
     /// The hash is FNV-1a-128 over an unambiguous encoding: `Debug` of the
     /// schema and dialect, then each table's rows with per-value type tags and
     /// length prefixes (so `Text("1")` and `Int(1)` cannot collide).
+    ///
+    /// Memoized per instance; mutation through any `&mut self` method
+    /// invalidates the memo (see [`Self::invalidate_fingerprint`]).
     pub fn fingerprint(&self) -> u128 {
+        *self.fp_cache.get_or_init(|| self.compute_fingerprint())
+    }
+
+    fn compute_fingerprint(&self) -> u128 {
         use std::fmt::Write as _;
         let mut h = Fnv128(FNV128_OFFSET);
         // Debug output is a total, stable rendering of the schema/dialect trees.
@@ -201,6 +223,24 @@ mod tests {
         let mut e = db();
         e.insert(0, vec![Value::Int(1), Value::Text("1".into())]);
         assert_eq!(d.fingerprint(), e.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_memo_invalidates_on_mutation() {
+        let mut d = db();
+        let fp0 = d.fingerprint();
+        assert_eq!(d.fingerprint(), fp0, "memoized read is stable");
+        d.insert(0, vec![Value::Int(7), Value::Text("x".into())]);
+        let fp1 = d.fingerprint();
+        assert_ne!(fp0, fp1, "insert invalidates the memo");
+        // A clone carries the memo but stays correct: content is identical.
+        let c = d.clone();
+        assert_eq!(c.fingerprint(), fp1);
+        // Direct pub-field writers must invalidate explicitly.
+        let mut e = d.clone();
+        e.rows[0].clear();
+        e.invalidate_fingerprint();
+        assert_eq!(e.fingerprint(), fp0);
     }
 
     #[test]

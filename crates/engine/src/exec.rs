@@ -406,6 +406,11 @@ struct BoundSource {
 struct Env {
     sources: Vec<BoundSource>,
     width: usize,
+    /// Sources at this index and beyond resolve only through their qualifier.
+    /// `usize::MAX` (every constructor but the upsert env) means all sources
+    /// participate in unqualified resolution; the `DO UPDATE` env sets it to 1
+    /// so a bare column means the existing row, never `excluded` (SQLite).
+    qualified_only_from: usize,
 }
 
 impl Env {
@@ -453,8 +458,12 @@ impl Env {
             return Err(ExecError::UnknownTable { name: q.clone() });
         }
         // Unqualified.
-        let hits: Vec<&BoundSource> =
-            self.sources.iter().filter(|s| s.col_names.contains(&col)).collect();
+        let hits: Vec<&BoundSource> = self
+            .sources
+            .iter()
+            .take(self.qualified_only_from)
+            .filter(|s| s.col_names.contains(&col))
+            .collect();
         match hits.len() {
             1 => {
                 let src = hits[0];
@@ -930,7 +939,7 @@ fn bind_source(db: &Database, tr: &TableRef) -> Result<(BoundSource, PlanSource)
 /// aggregation checks.
 fn prepare_core(db: &Database, core: &SelectCore) -> Result<CorePlan, ExecError> {
     // --- Phase 1: bind FROM and resolve join keys --------------------------
-    let mut env = Env { sources: Vec::new(), width: 0 };
+    let mut env = Env { sources: Vec::new(), width: 0, qualified_only_from: usize::MAX };
     let mut sources: Vec<PlanSource> = Vec::new();
     let mut joins: Vec<JoinStep> = Vec::new();
     {
@@ -1259,6 +1268,354 @@ fn output_name(a: &AggExpr) -> String {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Write path: DML preparation and application (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+/// The result of applying a write plan: per-kind row deltas plus the
+/// database's post-state fingerprint.
+///
+/// `rows_affected` follows SQLite's `changes()`: rows actually inserted,
+/// updated, or deleted. An `ON CONFLICT DO NOTHING` hit counts in
+/// `conflict_hits` only; a `DO UPDATE` hit counts in both `conflict_hits` and
+/// `rows_updated`. The fingerprint is [`Database::fingerprint`] *after* the
+/// mutation — the value state-based evaluation scores against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Rows inserted + updated + deleted (SQLite `changes()` semantics).
+    pub rows_affected: u64,
+    /// Rows appended by INSERT.
+    pub rows_inserted: u64,
+    /// Rows rewritten by UPDATE or `ON CONFLICT DO UPDATE`.
+    pub rows_updated: u64,
+    /// Rows removed by DELETE.
+    pub rows_deleted: u64,
+    /// INSERT tuples that hit an existing primary key under `ON CONFLICT`.
+    pub conflict_hits: u64,
+    /// [`Database::fingerprint`] after the write.
+    pub fingerprint: u128,
+}
+
+/// A prepared [`Statement`]: a read [`Plan`] or a compiled [`WritePlan`].
+///
+/// This is the `Statement`-level analogue of [`prepare`]'s `Query → Plan`
+/// contract: every error a write can produce (unknown table/column, invalid
+/// conflict target, arity mismatches) surfaces at prepare time, so a prepared
+/// write always applies.
+#[derive(Debug, Clone)]
+// Read plans dominate the size, but prepared statements are cached behind
+// `Arc` and matched into `&Plan` on the execution hot path; indirection here
+// would cost more than the inline size saves.
+#[allow(clippy::large_enum_variant)]
+pub enum StatementPlan {
+    /// A read-only query plan; run with [`run`] (or the vectorized engine).
+    Read(Plan),
+    /// A write plan; apply with [`apply_write`] (or its vectorized twin).
+    Write(WritePlan),
+}
+
+/// A compiled DML statement: target table resolved to its index, literal
+/// tuples widened to full schema rows, assignment targets and filter
+/// expressions resolved to flat column indices.
+///
+/// Like a read [`Plan`], a write plan is only meaningful for the database
+/// state it was prepared against: WHERE-operand subqueries were materialized
+/// at prepare time. Sessions key cached write plans by the *pre-write*
+/// fingerprint, so any mutation naturally invalidates them.
+#[derive(Debug, Clone)]
+pub struct WritePlan {
+    pub(crate) table: usize,
+    pub(crate) kind: WriteKind,
+}
+
+impl WritePlan {
+    /// Index of the target table in [`Database::rows`].
+    pub fn table(&self) -> usize {
+        self.table
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum WriteKind {
+    Insert {
+        /// Full-width rows (missing columns filled with NULL).
+        rows: Vec<Row>,
+        /// Primary-key column of the target table, if declared.
+        pk: Option<usize>,
+        on_conflict: Option<CompiledConflict>,
+    },
+    Update {
+        /// `(column index, value expression)`; expressions see the OLD row.
+        sets: Vec<(usize, CExpr)>,
+        filter: Option<CCond>,
+    },
+    Delete {
+        filter: Option<CCond>,
+    },
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum CompiledConflict {
+    DoNothing,
+    /// Assignments evaluated over the concatenated row `[existing ++ excluded]`
+    /// (width 2 × table width; `excluded.<col>` resolves at offset ncols).
+    DoUpdate {
+        sets: Vec<(usize, CExpr)>,
+    },
+}
+
+/// Compile any statement against a database without evaluating it. The
+/// `Statement`-level entry point mirroring [`prepare`].
+pub fn prepare_statement(db: &Database, stmt: &Statement) -> Result<StatementPlan, ExecError> {
+    match stmt {
+        Statement::Select(q) => prepare(db, q).map(StatementPlan::Read),
+        _ => prepare_write(db, stmt).map(StatementPlan::Write),
+    }
+}
+
+/// Compile a write statement. Errors on `SELECT` — use [`prepare`] or
+/// [`prepare_statement`] for reads.
+pub fn prepare_write(db: &Database, stmt: &Statement) -> Result<WritePlan, ExecError> {
+    match stmt {
+        Statement::Select(_) => {
+            Err(ExecError::Unsupported { message: "SELECT is not a write statement".into() })
+        }
+        Statement::Insert(i) => prepare_insert(db, i),
+        Statement::Update(u) => prepare_update(db, u),
+        Statement::Delete(d) => prepare_delete(db, d),
+    }
+}
+
+/// Prepare and apply a write in one step (legacy row engine). The write-path
+/// analogue of [`execute`].
+pub fn execute_write(db: &mut Database, stmt: &Statement) -> Result<WriteOutcome, ExecError> {
+    let plan = prepare_write(db, stmt)?;
+    Ok(apply_write(&plan, db))
+}
+
+fn resolve_target_table(db: &Database, name: &str) -> Result<usize, ExecError> {
+    db.schema.table_index(name).ok_or_else(|| ExecError::UnknownTable { name: name.to_string() })
+}
+
+/// A single-table environment binding the write target, so column resolution
+/// in DML reuses the full error taxonomy of [`Env::resolve`].
+fn table_env(db: &Database, ti: usize) -> Env {
+    let t = &db.schema.tables[ti];
+    let col_names: Vec<String> = t.columns.iter().map(|c| c.name.to_ascii_lowercase()).collect();
+    let width = col_names.len();
+    Env {
+        sources: vec![BoundSource { name: t.name.to_ascii_lowercase(), col_names, offset: 0 }],
+        width,
+        qualified_only_from: usize::MAX,
+    }
+}
+
+/// The `DO UPDATE` environment: the target table at offset 0 plus the
+/// `excluded` pseudo-table (same columns) at offset ncols. A bare column name
+/// means the existing row; `excluded` is reachable only through its qualifier.
+fn upsert_env(db: &Database, ti: usize) -> Env {
+    let mut env = table_env(db, ti);
+    let col_names = env.sources[0].col_names.clone();
+    let n = col_names.len();
+    env.sources.push(BoundSource { name: "excluded".into(), col_names, offset: n });
+    env.width = 2 * n;
+    env.qualified_only_from = 1;
+    env
+}
+
+/// Compile assignments: targets resolve in `target_env` (the table alone, so
+/// `excluded.c = ...` is rejected), values in `value_env` (which adds the
+/// `excluded` binding for `DO UPDATE`).
+fn compile_sets(
+    sets: &[Assignment],
+    target_env: &Env,
+    value_env: &Env,
+    db: &Database,
+) -> Result<Vec<(usize, CExpr)>, ExecError> {
+    let mut out = Vec::with_capacity(sets.len());
+    for a in sets {
+        let col = target_env.resolve(&a.column, db)?;
+        let expr = compile_val_unit(&a.value, value_env, db)?;
+        if matches!(expr, CExpr::Star) {
+            return Err(ExecError::Unsupported { message: "* as an assignment value".into() });
+        }
+        out.push((col, expr));
+    }
+    Ok(out)
+}
+
+fn prepare_insert(db: &Database, ins: &InsertStmt) -> Result<WritePlan, ExecError> {
+    let ti = resolve_target_table(db, &ins.table)?;
+    let ncols = db.schema.tables[ti].columns.len();
+    let env = table_env(db, ti);
+    // Explicit column list → schema positions; empty list means all columns
+    // in schema order.
+    let positions: Vec<usize> = if ins.columns.is_empty() {
+        (0..ncols).collect()
+    } else {
+        ins.columns
+            .iter()
+            .map(|c| env.resolve(&ColumnRef { table: None, column: c.clone() }, db))
+            .collect::<Result<_, _>>()?
+    };
+    let mut rows: Vec<Row> = Vec::with_capacity(ins.rows.len());
+    for tuple in &ins.rows {
+        if tuple.len() != positions.len() {
+            return Err(ExecError::Unsupported {
+                message: format!(
+                    "INSERT has {} values for {} columns",
+                    tuple.len(),
+                    positions.len()
+                ),
+            });
+        }
+        // Unnamed columns stay NULL.
+        let mut row: Row = vec![Value::Null; ncols];
+        for (pos, lit) in positions.iter().zip(tuple) {
+            row[*pos] = Value::from_literal(lit);
+        }
+        rows.push(row);
+    }
+    let pk = db.schema.tables[ti].primary_key;
+    let on_conflict = match &ins.on_conflict {
+        None => None,
+        Some(oc) => {
+            let Some(pk) = pk else {
+                return Err(ExecError::Unsupported {
+                    message: format!("ON CONFLICT on table {} which has no primary key", ins.table),
+                });
+            };
+            // An explicit conflict target must name the primary key — the only
+            // uniqueness constraint this engine enforces.
+            for c in &ins.conflict_target {
+                let ix = env.resolve(&ColumnRef { table: None, column: c.clone() }, db)?;
+                if ix != pk {
+                    return Err(ExecError::Unsupported {
+                        message: format!(
+                            "ON CONFLICT target {c} is not the primary key of {}",
+                            ins.table
+                        ),
+                    });
+                }
+            }
+            Some(match oc {
+                OnConflict::DoNothing => CompiledConflict::DoNothing,
+                OnConflict::DoUpdate { sets } => {
+                    let value_env = upsert_env(db, ti);
+                    CompiledConflict::DoUpdate { sets: compile_sets(sets, &env, &value_env, db)? }
+                }
+            })
+        }
+    };
+    Ok(WritePlan { table: ti, kind: WriteKind::Insert { rows, pk, on_conflict } })
+}
+
+fn prepare_update(db: &Database, up: &UpdateStmt) -> Result<WritePlan, ExecError> {
+    let ti = resolve_target_table(db, &up.table)?;
+    let env = table_env(db, ti);
+    let sets = compile_sets(&up.sets, &env, &env, db)?;
+    let filter = up.where_clause.as_ref().map(|c| compile_cond(c, &env, db, false)).transpose()?;
+    Ok(WritePlan { table: ti, kind: WriteKind::Update { sets, filter } })
+}
+
+fn prepare_delete(db: &Database, del: &DeleteStmt) -> Result<WritePlan, ExecError> {
+    let ti = resolve_target_table(db, &del.table)?;
+    let env = table_env(db, ti);
+    let filter = del.where_clause.as_ref().map(|c| compile_cond(c, &env, db, false)).transpose()?;
+    Ok(WritePlan { table: ti, kind: WriteKind::Delete { filter } })
+}
+
+/// Assemble the outcome after a mutation: invalidate the fingerprint memo and
+/// re-hash. Shared by both engines so their outcomes cannot diverge.
+pub(crate) fn write_outcome(
+    db: &mut Database,
+    inserted: u64,
+    updated: u64,
+    deleted: u64,
+    conflicts: u64,
+) -> WriteOutcome {
+    db.invalidate_fingerprint();
+    WriteOutcome {
+        rows_affected: inserted + updated + deleted,
+        rows_inserted: inserted,
+        rows_updated: updated,
+        rows_deleted: deleted,
+        conflict_hits: conflicts,
+        fingerprint: db.fingerprint(),
+    }
+}
+
+/// Apply a write plan to the database it was prepared against (legacy
+/// row-at-a-time engine). Infallible, like [`run`]: every failure mode
+/// surfaced in [`prepare_write`].
+pub fn apply_write(plan: &WritePlan, db: &mut Database) -> WriteOutcome {
+    let ti = plan.table;
+    let (mut inserted, mut updated, mut deleted, mut conflicts) = (0u64, 0u64, 0u64, 0u64);
+    match &plan.kind {
+        WriteKind::Insert { rows, pk, on_conflict } => {
+            for new in rows {
+                // Scan the *live* table so later VALUES tuples conflict with
+                // rows inserted earlier in the same statement. NULL primary
+                // keys never conflict (SQLite).
+                let hit = match (pk, on_conflict) {
+                    (Some(pk), Some(_)) if !new[*pk].is_null() => {
+                        db.rows[ti].iter().position(|r| r[*pk].sql_eq(&new[*pk]) == Some(true))
+                    }
+                    _ => None,
+                };
+                match (hit, on_conflict) {
+                    (Some(_), Some(CompiledConflict::DoNothing)) => conflicts += 1,
+                    (Some(i), Some(CompiledConflict::DoUpdate { sets })) => {
+                        conflicts += 1;
+                        let concat: Row =
+                            db.rows[ti][i].iter().chain(new.iter()).cloned().collect();
+                        let vals: Vec<(usize, Value)> =
+                            sets.iter().map(|(c, e)| (*c, eval_expr(e, &concat))).collect();
+                        for (c, v) in vals {
+                            db.rows[ti][i][c] = v;
+                        }
+                        updated += 1;
+                    }
+                    _ => {
+                        db.rows[ti].push(new.clone());
+                        inserted += 1;
+                    }
+                }
+            }
+        }
+        WriteKind::Update { sets, filter } => {
+            // Evaluate every assignment against the OLD row before applying
+            // any, so `SET a = b, b = a` swaps.
+            let mut pending: Vec<(usize, Vec<(usize, Value)>)> = Vec::new();
+            for (i, row) in db.rows[ti].iter().enumerate() {
+                let matched = match filter {
+                    Some(c) => eval_cond(c, &[row], Some(row)) == Some(true),
+                    None => true,
+                };
+                if matched {
+                    pending.push((i, sets.iter().map(|(c, e)| (*c, eval_expr(e, row))).collect()));
+                }
+            }
+            updated = pending.len() as u64;
+            for (i, vals) in pending {
+                for (c, v) in vals {
+                    db.rows[ti][i][c] = v;
+                }
+            }
+        }
+        WriteKind::Delete { filter } => {
+            let before = db.rows[ti].len();
+            match filter {
+                // UNKNOWN keeps the row: only definite TRUE deletes.
+                Some(c) => db.rows[ti].retain(|r| eval_cond(c, &[r], Some(r)) != Some(true)),
+                None => db.rows[ti].clear(),
+            }
+            deleted = (before - db.rows[ti].len()) as u64;
+        }
+    }
+    write_outcome(db, inserted, updated, deleted, conflicts)
+}
+
 #[cfg(test)]
 mod null_semantics {
     //! Three-valued-logic edges at the prepare/run seam: the private evaluation
@@ -1382,5 +1739,212 @@ mod null_semantics {
         let c = CCond::Pred(p);
         let row: Row = vec![];
         assert_ne!(eval_cond(&c, &[&row], Some(&row)), Some(true));
+    }
+}
+
+#[cfg(test)]
+mod write_path {
+    use super::*;
+    use sqlkit::{parse_statement, Column, ColumnType, Schema, Table};
+
+    fn db() -> Database {
+        let mut schema = Schema::new("d");
+        schema.tables.push(Table {
+            name: "t".into(),
+            display: "t".into(),
+            columns: vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("name", ColumnType::Text),
+                Column::new("score", ColumnType::Int),
+            ],
+            primary_key: Some(0),
+        });
+        schema.tables.push(Table {
+            name: "nopk".into(),
+            display: "nopk".into(),
+            columns: vec![Column::new("v", ColumnType::Int)],
+            primary_key: None,
+        });
+        let mut d = Database::empty(schema);
+        for (id, name, score) in [(1, "a", 10), (2, "b", 20), (3, "c", 30)] {
+            d.insert(0, vec![Value::Int(id), Value::Text(name.into()), Value::Int(score)]);
+        }
+        d
+    }
+
+    fn write(d: &mut Database, sql: &str) -> WriteOutcome {
+        let stmt = parse_statement(sql).unwrap();
+        execute_write(d, &stmt).unwrap()
+    }
+
+    fn write_err(d: &mut Database, sql: &str) -> ExecError {
+        let stmt = parse_statement(sql).unwrap();
+        execute_write(d, &stmt).unwrap_err()
+    }
+
+    #[test]
+    fn insert_appends_and_reports_post_state() {
+        let mut d = db();
+        let o = write(&mut d, "INSERT INTO t VALUES (4, 'd', 40), (5, 'e', 50)");
+        assert_eq!((o.rows_affected, o.rows_inserted), (2, 2));
+        assert_eq!((o.rows_updated, o.rows_deleted, o.conflict_hits), (0, 0, 0));
+        assert_eq!(d.row_count(0), 5);
+        assert_eq!(o.fingerprint, d.fingerprint(), "outcome carries the post-write print");
+    }
+
+    #[test]
+    fn insert_with_column_list_null_fills_the_rest() {
+        let mut d = db();
+        write(&mut d, "INSERT INTO t (id, name) VALUES (9, 'z')");
+        assert_eq!(d.rows[0][3], vec![Value::Int(9), Value::Text("z".into()), Value::Null]);
+    }
+
+    #[test]
+    fn plain_insert_appends_even_on_duplicate_pk() {
+        // Without an ON CONFLICT clause the engine does not enforce the key.
+        let mut d = db();
+        let o = write(&mut d, "INSERT INTO t VALUES (1, 'dup', 0)");
+        assert_eq!((o.rows_inserted, o.conflict_hits), (1, 0));
+        assert_eq!(d.row_count(0), 4);
+    }
+
+    #[test]
+    fn upsert_do_nothing_skips_conflicts_without_counting_changes() {
+        let mut d = db();
+        let o =
+            write(&mut d, "INSERT INTO t VALUES (1, 'x', 0), (4, 'd', 40) ON CONFLICT DO NOTHING");
+        assert_eq!((o.rows_affected, o.rows_inserted, o.conflict_hits), (1, 1, 1));
+        assert_eq!(d.row_count(0), 4);
+        // The conflicting tuple left the existing row untouched.
+        assert_eq!(d.rows[0][0][1], Value::Text("a".into()));
+    }
+
+    #[test]
+    fn upsert_do_update_sees_excluded_and_old_row() {
+        let mut d = db();
+        let o = write(
+            &mut d,
+            "INSERT INTO t VALUES (2, 'B', 5) \
+             ON CONFLICT (id) DO UPDATE SET name = excluded.name, score = score + excluded.score",
+        );
+        assert_eq!((o.rows_affected, o.rows_updated, o.conflict_hits), (1, 1, 1));
+        assert_eq!(d.rows[0][1], vec![Value::Int(2), Value::Text("B".into()), Value::Int(25)]);
+    }
+
+    #[test]
+    fn upsert_conflicts_with_rows_inserted_by_the_same_statement() {
+        let mut d = db();
+        let o = write(
+            &mut d,
+            "INSERT INTO t VALUES (7, 'n', 1), (7, 'm', 2) ON CONFLICT DO UPDATE SET name = excluded.name",
+        );
+        assert_eq!((o.rows_inserted, o.rows_updated, o.conflict_hits), (1, 1, 1));
+        let row = d.rows[0].last().unwrap();
+        assert_eq!(row[1], Value::Text("m".into()), "second tuple upserted the first");
+    }
+
+    #[test]
+    fn null_pk_never_conflicts() {
+        let mut d = db();
+        write(&mut d, "INSERT INTO t VALUES (NULL, 'n1', 0) ON CONFLICT DO NOTHING");
+        let o = write(&mut d, "INSERT INTO t VALUES (NULL, 'n2', 0) ON CONFLICT DO NOTHING");
+        assert_eq!((o.rows_inserted, o.conflict_hits), (1, 0));
+        assert_eq!(d.row_count(0), 5);
+    }
+
+    #[test]
+    fn update_evaluates_sets_against_the_old_row() {
+        let mut d = db();
+        // A swap only works if both expressions see the pre-update values.
+        let o = write(&mut d, "UPDATE t SET id = score, score = id WHERE id = 2");
+        assert_eq!(o.rows_updated, 1);
+        assert_eq!(d.rows[0][1], vec![Value::Int(20), Value::Text("b".into()), Value::Int(2)]);
+    }
+
+    #[test]
+    fn update_without_where_touches_every_row() {
+        let mut d = db();
+        let o = write(&mut d, "UPDATE t SET score = 0");
+        assert_eq!((o.rows_affected, o.rows_updated), (3, 3));
+        assert!(d.rows[0].iter().all(|r| r[2] == Value::Int(0)));
+    }
+
+    #[test]
+    fn delete_keeps_unknown_rows() {
+        let mut d = db();
+        d.insert(0, vec![Value::Int(4), Value::Text("d".into()), Value::Null]);
+        // score > 15 is UNKNOWN for the NULL row: it must survive.
+        let o = write(&mut d, "DELETE FROM t WHERE score > 15");
+        assert_eq!((o.rows_affected, o.rows_deleted), (2, 2));
+        assert_eq!(d.row_count(0), 2);
+        let o = write(&mut d, "DELETE FROM t");
+        assert_eq!(o.rows_deleted, 2);
+        assert_eq!(d.row_count(0), 0);
+    }
+
+    #[test]
+    fn write_errors_surface_at_prepare_time() {
+        let mut d = db();
+        assert!(matches!(
+            write_err(&mut d, "INSERT INTO missing VALUES (1)"),
+            ExecError::UnknownTable { .. }
+        ));
+        assert!(matches!(
+            write_err(&mut d, "INSERT INTO t (nope) VALUES (1)"),
+            ExecError::UnknownColumn { .. } | ExecError::MissingTable { .. }
+        ));
+        assert!(matches!(
+            write_err(&mut d, "INSERT INTO t VALUES (1, 'a')"),
+            ExecError::Unsupported { .. }
+        ));
+        assert!(matches!(
+            write_err(&mut d, "UPDATE t SET nope = 1"),
+            ExecError::UnknownColumn { .. } | ExecError::MissingTable { .. }
+        ));
+        assert!(matches!(
+            write_err(&mut d, "DELETE FROM t WHERE nope = 1"),
+            ExecError::UnknownColumn { .. } | ExecError::MissingTable { .. }
+        ));
+        // Conflict target must be the primary key; no-PK tables reject upserts.
+        assert!(matches!(
+            write_err(&mut d, "INSERT INTO t VALUES (1, 'a', 0) ON CONFLICT (name) DO NOTHING"),
+            ExecError::Unsupported { .. }
+        ));
+        assert!(matches!(
+            write_err(&mut d, "INSERT INTO nopk VALUES (1) ON CONFLICT DO NOTHING"),
+            ExecError::Unsupported { .. }
+        ));
+        // Aggregates cannot appear in a write filter.
+        assert!(matches!(
+            write_err(&mut d, "DELETE FROM t WHERE COUNT(*) > 1"),
+            ExecError::Unsupported { .. }
+        ));
+        // A failed prepare never mutates: full table intact.
+        assert_eq!(d.row_count(0), 3);
+    }
+
+    #[test]
+    fn prepare_statement_dispatches_reads_and_writes() {
+        let d = db();
+        let read = parse_statement("SELECT id FROM t").unwrap();
+        assert!(matches!(prepare_statement(&d, &read).unwrap(), StatementPlan::Read(_)));
+        let ins = parse_statement("INSERT INTO t VALUES (8, 'h', 80)").unwrap();
+        match prepare_statement(&d, &ins).unwrap() {
+            StatementPlan::Write(w) => assert_eq!(w.table(), 0),
+            other => panic!("expected write plan, got {other:?}"),
+        }
+        assert!(prepare_write(&d, &read).is_err());
+    }
+
+    #[test]
+    fn update_filter_with_subquery_operand_materializes_at_prepare() {
+        let mut d = db();
+        let o = write(
+            &mut d,
+            "UPDATE t SET score = 99 WHERE id IN (SELECT id FROM t WHERE score > 15)",
+        );
+        assert_eq!(o.rows_updated, 2);
+        assert_eq!(d.rows[0][0][2], Value::Int(10));
+        assert_eq!(d.rows[0][1][2], Value::Int(99));
     }
 }

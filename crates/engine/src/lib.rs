@@ -32,10 +32,15 @@ pub mod exec;
 pub mod session;
 pub mod value;
 
-pub use batch::{execute_vectorized, run_vectorized, ColumnTable};
+pub use batch::{apply_write_vectorized, execute_vectorized, run_vectorized, ColumnTable};
 pub use database::{Database, Row};
 pub use dialect::{map_function, Dialect, ScalarFunc};
 pub use error::ExecError;
-pub use exec::{execute, explain, order_matters, prepare, run, Plan, ResultSet};
-pub use session::{EngineMode, ExecSession, SessionConfig, SessionDb, DEFAULT_CACHE_CAPACITY};
+pub use exec::{
+    apply_write, execute, execute_write, explain, order_matters, prepare, prepare_statement,
+    prepare_write, run, Plan, ResultSet, StatementPlan, WriteOutcome, WritePlan,
+};
+pub use session::{
+    EngineMode, ExecSession, SessionConfig, SessionDb, StatementOutcome, DEFAULT_CACHE_CAPACITY,
+};
 pub use value::{Value, ValueRef};

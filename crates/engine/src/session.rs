@@ -39,10 +39,10 @@
 use crate::batch::{self, ColumnTable};
 use crate::database::Database;
 use crate::error::ExecError;
-use crate::exec::{self, Plan, ResultSet};
+use crate::exec::{self, Plan, ResultSet, WriteOutcome, WritePlan};
 use obs::{CacheCounters, CacheStats, ExecOpCounters, ExecOpStats, StageCacheCounters};
 use parking_lot::Mutex;
-use sqlkit::ast::Query;
+use sqlkit::ast::{Query, Statement};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::Arc;
@@ -134,8 +134,26 @@ pub struct ExecSession {
     plans: Mutex<Lru<DbKey, Result<Arc<Plan>, ExecError>>>,
     results: Mutex<Lru<DbKey, Result<Arc<ResultSet>, ExecError>>>,
     columns: Mutex<Lru<(u128, usize), Arc<ColumnTable>>>,
+    /// Statement-level parse cache (reads *and* writes), keyed by raw SQL.
+    /// Sized like `parse`; its traffic reports under the parse counters.
+    stmts: Mutex<Lru<String, Option<Arc<Statement>>>>,
+    /// Write plans keyed by the *pre-write* fingerprint: applying the plan
+    /// changes the fingerprint, so stale write plans can never be replayed
+    /// against the mutated state. Sized like `plans`; traffic reports under
+    /// the plan counters.
+    wplans: Mutex<Lru<DbKey, Result<Arc<WritePlan>, ExecError>>>,
     counters: CacheCounters,
     ops: ExecOpCounters,
+}
+
+/// What applying a [`Statement`] through a session produced: result rows for
+/// reads, a [`WriteOutcome`] (row deltas + post-state fingerprint) for writes.
+#[derive(Debug, Clone)]
+pub enum StatementOutcome {
+    /// A read executed; the memoized result set.
+    Rows(Arc<ResultSet>),
+    /// A write applied; the database was mutated.
+    Write(WriteOutcome),
 }
 
 impl std::fmt::Debug for ExecSession {
@@ -170,6 +188,8 @@ impl ExecSession {
             plans: Mutex::new(Lru::new(cfg.plan_capacity)),
             results: Mutex::new(Lru::new(cfg.result_capacity)),
             columns: Mutex::new(Lru::new(cfg.column_capacity)),
+            stmts: Mutex::new(Lru::new(cfg.parse_capacity)),
+            wplans: Mutex::new(Lru::new(cfg.plan_capacity)),
             counters: CacheCounters::default(),
             ops: ExecOpCounters::default(),
         }
@@ -264,6 +284,73 @@ impl ExecSession {
             self.counters.parse.eviction();
         }
         parsed
+    }
+
+    /// Parse SQL text as a [`Statement`] (read or write), memoizing by the raw
+    /// string. `None` means the text does not parse. Traffic counts under the
+    /// parse stage.
+    pub fn parse_statement(&self, sql: &str) -> Option<Arc<Statement>> {
+        if !self.is_enabled() {
+            return sqlkit::parse_statement(sql).ok().map(Arc::new);
+        }
+        {
+            let mut cache = self.stmts.lock();
+            if let Some(hit) = cache.get_ref(sql) {
+                self.counters.parse.hit();
+                return hit.clone();
+            }
+        }
+        self.counters.parse.miss();
+        let parsed = sqlkit::parse_statement(sql).ok().map(Arc::new);
+        if self.stmts.lock().insert(sql.to_string(), parsed.clone()) {
+            self.counters.parse.eviction();
+        }
+        parsed
+    }
+
+    /// Apply a statement: reads execute through the memoized query path;
+    /// writes compile to a [`WritePlan`] (cached under the *pre-write*
+    /// fingerprint), mutate `db` on the session's engine, and return the
+    /// [`WriteOutcome`].
+    ///
+    /// Mutation-aware by construction: a write changes
+    /// [`Database::fingerprint`], so every plan/result/column entry cached for
+    /// the old state simply stops matching — a read after a write can never
+    /// observe stale cached data.
+    pub fn apply(
+        &self,
+        db: &mut Database,
+        stmt: &Statement,
+    ) -> Result<StatementOutcome, ExecError> {
+        match stmt {
+            Statement::Select(q) => self.bind(db).execute(q).map(StatementOutcome::Rows),
+            write => {
+                let plan = if self.is_enabled() {
+                    let key = (db.fingerprint(), write.to_string());
+                    lookup(&self.wplans, &self.counters.plan, key, || {
+                        exec::prepare_write(db, write).map(Arc::new)
+                    })?
+                } else {
+                    Arc::new(exec::prepare_write(db, write)?)
+                };
+                let outcome = match self.cfg.mode {
+                    EngineMode::Legacy => exec::apply_write(&plan, db),
+                    EngineMode::Vectorized => batch::apply_write_vectorized(&plan, db),
+                };
+                Ok(StatementOutcome::Write(outcome))
+            }
+        }
+    }
+
+    /// Parse and apply SQL text (read or write). `None` means the text does
+    /// not parse; `Some(Err(_))` carries the engine error.
+    pub fn apply_sql(
+        &self,
+        db: &mut Database,
+        sql: &str,
+    ) -> Option<Result<StatementOutcome, ExecError>> {
+        let stmt = self.parse_statement(sql)?;
+        Some(self.apply(db, &stmt))
     }
 
     /// Bind this session to a database, fixing the fingerprint half of the
@@ -725,6 +812,100 @@ mod tests {
         session.bind(&d).execute(&q).unwrap();
         assert_eq!(session.op_stats(), obs::ExecOpStats::default());
         assert_eq!(session.stats().columns, Default::default());
+    }
+
+    #[test]
+    fn write_through_session_never_serves_stale_reads() {
+        // The invalidation contract: a write recomputes the fingerprint, so
+        // the plan/result/column entries cached for the old state stop
+        // matching. A read after a write must see the new rows.
+        let session = ExecSession::new(64);
+        let mut d = db();
+        let q = sqlkit::parse("SELECT COUNT(*) FROM t").unwrap();
+        let before = session.bind(&d).execute(&q).unwrap();
+        assert_eq!(before.rows[0][0], Value::Int(5));
+        let stmt = sqlkit::parse_statement("INSERT INTO t VALUES (99, 'new')").unwrap();
+        let outcome = session.apply(&mut d, &stmt).unwrap();
+        let StatementOutcome::Write(w) = outcome else { panic!("expected write outcome") };
+        assert_eq!(w.rows_inserted, 1);
+        assert_eq!(w.fingerprint, d.fingerprint());
+        let after = session.bind(&d).execute(&q).unwrap();
+        assert_eq!(after.rows[0][0], Value::Int(6), "stale cached result served after write");
+        // Same story for the column cache (vectorized engine) and plan cache:
+        // both recomputed under the new fingerprint, old entries dormant.
+        let stats = session.stats();
+        assert_eq!(stats.result.misses, 2, "post-write read recomputed");
+        assert_eq!(stats.columns.misses, 2, "post-write read re-transposed");
+        // Deleting the row restores the original content, and with it the
+        // original fingerprint: the pre-write entries become valid hits again.
+        let del = sqlkit::parse_statement("DELETE FROM t WHERE a = 99").unwrap();
+        session.apply(&mut d, &del).unwrap();
+        let restored = session.bind(&d).execute(&q).unwrap();
+        assert!(Arc::ptr_eq(&before, &restored), "content-addressed keys must re-hit");
+    }
+
+    #[test]
+    fn write_plans_cache_under_the_pre_write_fingerprint() {
+        let session = ExecSession::new(64);
+        let mut d1 = db();
+        let mut d2 = db();
+        let stmt = sqlkit::parse_statement("UPDATE t SET b = 'z' WHERE a = 1").unwrap();
+        session.apply(&mut d1, &stmt).unwrap();
+        // d2 has the same starting content, so the write plan is a hit...
+        let plan_misses = session.stats().plan.misses;
+        session.apply(&mut d2, &stmt).unwrap();
+        assert_eq!(session.stats().plan.misses, plan_misses, "identical state shares write plans");
+        assert_eq!(session.stats().plan.hits, 1);
+        // ...but replaying against the *mutated* state recompiles: the old
+        // fingerprint no longer matches, so the stale plan cannot be reused.
+        session.apply(&mut d1, &stmt).unwrap();
+        assert_eq!(session.stats().plan.misses, plan_misses + 1);
+        assert_eq!(d1.fingerprint(), d2.fingerprint(), "idempotent update converges");
+    }
+
+    #[test]
+    fn apply_matches_across_engines_and_disabled_sessions() {
+        let scripts = [
+            "INSERT INTO t VALUES (10, 'j'), (11, 'k')",
+            "INSERT INTO t VALUES (10, 'J2') ON CONFLICT (a) DO UPDATE SET b = excluded.b",
+            "INSERT INTO t VALUES (11, 'dup') ON CONFLICT DO NOTHING",
+            "UPDATE t SET b = 'x' WHERE a > 9",
+            "DELETE FROM t WHERE a = 3",
+        ];
+        let (vec_s, leg_s, off_s) =
+            (ExecSession::shared(), ExecSession::shared_legacy(), ExecSession::disabled());
+        let (mut dv, mut dl, mut do_) = (db(), db(), db());
+        for sql in scripts {
+            let v = vec_s.apply_sql(&mut dv, sql).unwrap().unwrap();
+            let l = leg_s.apply_sql(&mut dl, sql).unwrap().unwrap();
+            let o = off_s.apply_sql(&mut do_, sql).unwrap().unwrap();
+            let (
+                StatementOutcome::Write(v),
+                StatementOutcome::Write(l),
+                StatementOutcome::Write(o),
+            ) = (v, l, o)
+            else {
+                panic!("expected write outcomes for {sql}");
+            };
+            assert_eq!(v, l, "engines diverged on {sql}");
+            assert_eq!(v, o, "disabled session diverged on {sql}");
+        }
+        assert_eq!(dv.fingerprint(), dl.fingerprint());
+        assert_eq!(dv.rows, dl.rows);
+        assert_eq!(dv.rows, do_.rows);
+    }
+
+    #[test]
+    fn statement_parse_cache_memoizes_both_outcomes() {
+        let session = ExecSession::new(64);
+        assert!(session.parse_statement("INSERT INTO").is_none());
+        assert!(session.parse_statement("INSERT INTO").is_none());
+        let a = session.parse_statement("DELETE FROM t").unwrap();
+        let b = session.parse_statement("DELETE FROM t").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = session.stats();
+        assert_eq!(stats.parse.misses, 2);
+        assert_eq!(stats.parse.hits, 2);
     }
 
     #[test]

@@ -366,7 +366,7 @@ pub fn diff_reports(
             .collect(),
         _ => Vec::new(),
     };
-    let latency = Stage::ALL
+    let latency = Stage::REPORT
         .into_iter()
         .map(|stage| {
             let (bh, ch) = (&base.metrics.stage(stage).latency, &cand.metrics.stage(stage).latency);

@@ -488,15 +488,17 @@ pub fn build_suites(bench: &Benchmark, cfg: SuiteConfig, seed: u64) -> Vec<TestS
 }
 
 /// Metric outcome of a single example; merged in example order by `assemble` so
-/// serial and parallel evaluation fold to identical reports.
-struct ExampleScore {
-    prompt_tokens: u64,
-    output_tokens: u64,
-    em: bool,
-    ex: bool,
-    ts: bool,
-    hardness: usize,
-    metrics: StageMetrics,
+/// serial and parallel evaluation fold to identical reports. Shared with the
+/// state-scored DML harness (`crate::dml`), which produces the same shape from
+/// post-write database state instead of result sets.
+pub(crate) struct ExampleScore {
+    pub(crate) prompt_tokens: u64,
+    pub(crate) output_tokens: u64,
+    pub(crate) em: bool,
+    pub(crate) ex: bool,
+    pub(crate) ts: bool,
+    pub(crate) hardness: usize,
+    pub(crate) metrics: StageMetrics,
 }
 
 fn score_outcome(
@@ -533,7 +535,7 @@ fn score_example(
     score_outcome(translator.run(Job::new(idx, ex, db)), ex, db, suites, session)
 }
 
-fn assemble(
+pub(crate) fn assemble(
     system: String,
     split: String,
     scores: impl Iterator<Item = ExampleScore>,

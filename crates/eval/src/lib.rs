@@ -8,6 +8,7 @@
 
 pub mod attribution;
 pub mod diff;
+pub mod dml;
 pub mod error_analysis;
 pub mod harness;
 pub mod metrics;
@@ -23,6 +24,9 @@ pub use attribution::{attribute, AttributionReport, Blame, TraceSummary, Verdict
 pub use diff::{
     diff_from_json, diff_reports, diff_to_json, gate, mcnemar, BlameShift, GateConfig, GateOutcome,
     MetricDiff, ReportDiff, StageLatencyDelta,
+};
+pub use dml::{
+    dml_hardness, evaluate_dml, evaluate_dml_par, DmlJob, DmlOracle, StatementTranslator,
 };
 pub use error_analysis::{classify, classify_with, ErrorReport, FailureMode};
 pub use harness::{

@@ -122,7 +122,7 @@ pub fn metrics_to_json(m: &StageMetrics) -> String {
     out.push('{');
     write!(out, "\"clock\":{},", escape(m.clock.name())).unwrap();
     out.push_str("\"stages\":{");
-    for (i, stage) in Stage::ALL.into_iter().enumerate() {
+    for (i, stage) in Stage::REPORT.into_iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -152,7 +152,7 @@ pub fn metrics_to_json(m: &StageMetrics) -> String {
         .unwrap();
     }
     out.push_str("},\"counters\":{");
-    for (i, counter) in Counter::ALL.into_iter().enumerate() {
+    for (i, counter) in Counter::REPORT.into_iter().enumerate() {
         if i > 0 {
             out.push(',');
         }

@@ -71,14 +71,31 @@ pub enum Stage {
     Adaption,
     /// Execution-consistency vote (§IV-D2).
     ConsistencyVote,
+    /// DML application through either engine (INSERT/UPDATE/DELETE/upsert).
+    WriteExec,
 }
 
 impl Stage {
     /// Number of stages (array dimension of [`StageMetrics::stages`]).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// Every stage, in pipeline order. This order is the serialization order.
     pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::SchemaPruning,
+        Stage::SkeletonPrediction,
+        Stage::DemoSelection,
+        Stage::PromptAssembly,
+        Stage::LlmCall,
+        Stage::Adaption,
+        Stage::ConsistencyVote,
+        Stage::WriteExec,
+    ];
+
+    /// The stages rendered into deterministic report JSON: the original seven
+    /// pipeline stages. [`Stage::WriteExec`] stays out so every SELECT-only
+    /// `EvalReport` remains byte-identical to reports produced before the
+    /// write path existed.
+    pub const REPORT: [Stage; 7] = [
         Stage::SchemaPruning,
         Stage::SkeletonPrediction,
         Stage::DemoSelection,
@@ -98,6 +115,7 @@ impl Stage {
             Stage::LlmCall => "llm-call",
             Stage::Adaption => "adaption",
             Stage::ConsistencyVote => "consistency-vote",
+            Stage::WriteExec => "write-exec",
         }
     }
 
@@ -192,14 +210,40 @@ pub enum Counter {
     RepairedSamples,
     /// Samples that needed repair and stayed broken.
     UnrepairedSamples,
+    /// Rows appended by INSERT statements (both engines).
+    RowsInserted,
+    /// Rows rewritten by UPDATE or `ON CONFLICT DO UPDATE`.
+    RowsUpdated,
+    /// Rows removed by DELETE statements.
+    RowsDeleted,
+    /// INSERT tuples that hit an existing primary key under `ON CONFLICT`.
+    ConflictHits,
 }
 
 impl Counter {
     /// Number of counters (array dimension of [`CounterBlock`]).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 11;
 
     /// Every counter, in serialization order.
     pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::LlmCalls,
+        Counter::PromptTokens,
+        Counter::OutputTokens,
+        Counter::ContextOverflows,
+        Counter::Samples,
+        Counter::RepairedSamples,
+        Counter::UnrepairedSamples,
+        Counter::RowsInserted,
+        Counter::RowsUpdated,
+        Counter::RowsDeleted,
+        Counter::ConflictHits,
+    ];
+
+    /// The counters rendered into deterministic report JSON: the original
+    /// seven. The write-execution counters stay out so every SELECT-only
+    /// `EvalReport` remains byte-identical to reports produced before the
+    /// write path existed.
+    pub const REPORT: [Counter; 7] = [
         Counter::LlmCalls,
         Counter::PromptTokens,
         Counter::OutputTokens,
@@ -219,6 +263,10 @@ impl Counter {
             Counter::Samples => "samples",
             Counter::RepairedSamples => "repaired_samples",
             Counter::UnrepairedSamples => "unrepaired_samples",
+            Counter::RowsInserted => "rows_inserted",
+            Counter::RowsUpdated => "rows_updated",
+            Counter::RowsDeleted => "rows_deleted",
+            Counter::ConflictHits => "conflict_hits",
         }
     }
 

@@ -326,6 +326,20 @@ mod tests {
         check(&Fixer::ALL, Fixer::COUNT, Fixer::name, Fixer::index, Fixer::from_name);
         check(&Counter::ALL, Counter::COUNT, Counter::name, Counter::index, Counter::from_name);
         check(&Gauge::ALL, Gauge::COUNT, Gauge::name, Gauge::index, Gauge::from_name);
+        // The REPORT subsets (what deterministic report JSON renders) must be
+        // exactly the pre-write-path prefix of ALL: the write-execution
+        // variants are additive and stay out of the report surface.
+        assert_eq!(&Stage::ALL[..Stage::REPORT.len()], &Stage::REPORT[..]);
+        assert!(!Stage::REPORT.contains(&Stage::WriteExec));
+        assert_eq!(&Counter::ALL[..Counter::REPORT.len()], &Counter::REPORT[..]);
+        for c in [
+            Counter::RowsInserted,
+            Counter::RowsUpdated,
+            Counter::RowsDeleted,
+            Counter::ConflictHits,
+        ] {
+            assert!(!Counter::REPORT.contains(&c), "{c:?} must stay out of report JSON");
+        }
         // `Fixer::from_category` is the same label space as `from_name`.
         for f in Fixer::ALL {
             assert_eq!(Fixer::from_category(f.name()), Some(f));

@@ -733,6 +733,85 @@ pub fn consistency_vote_with(
     outcome
 }
 
+/// Execution-consistency vote over *write* samples, scored by the state each
+/// candidate would leave behind (DESIGN.md §15).
+///
+/// Each sample is parsed as a [`sqlkit::Statement`] and applied to a
+/// **transient clone** of the database — the canonical `db` is never mutated,
+/// which is what makes voting on destructive statements safe. Candidates are
+/// keyed by `(post-write fingerprint, rows affected)`; the majority key wins
+/// and the first sample producing it is returned. Read statements and
+/// statements that fail to parse or prepare never key (a `SELECT` trivially
+/// "preserves" state and must not collide with a no-op write).
+///
+/// The repair loop does not run here: the six fixers of Table 2 target
+/// SELECT-shaped errors, so write voting is the plain consistency vote.
+pub fn write_vote(
+    samples: &[String],
+    db: &Database,
+    session: &ExecSession,
+    metrics: Option<&MetricsRegistry>,
+    events: Option<&EventRecorder>,
+) -> VoteOutcome {
+    let span = metrics.map(|r| r.span(Stage::ConsistencyVote));
+    if let Some(reg) = metrics {
+        reg.count(Counter::Samples, samples.len() as u64);
+    }
+    let mut keys: Vec<Option<String>> = Vec::with_capacity(samples.len());
+    for s in samples {
+        let key = session.parse_statement(s).filter(|stmt| stmt.is_write()).and_then(|stmt| {
+            let mut scratch = db.clone();
+            match session.apply(&mut scratch, &stmt) {
+                Ok(engine::StatementOutcome::Write(o)) => {
+                    Some(format!("{:032x}:{}", o.fingerprint, o.rows_affected))
+                }
+                _ => None,
+            }
+        });
+        keys.push(key);
+    }
+    let mut counts: std::collections::HashMap<&String, usize> = std::collections::HashMap::new();
+    for k in keys.iter().flatten() {
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    // Ties between equally-sized state classes go to the earliest sample, so the
+    // winner never depends on hash-map iteration order.
+    let best = counts.values().copied().max();
+    let winner = best.and_then(|best| {
+        samples
+            .iter()
+            .zip(&keys)
+            .find(|(_, k)| k.as_ref().is_some_and(|k| counts[k] == best))
+            .map(|(sql, _)| sql.clone())
+    });
+    let outcome = match winner {
+        Some(sql) => {
+            VoteOutcome { sql, executable: true, fixes: Vec::new(), adapted: samples.to_vec() }
+        }
+        None => VoteOutcome {
+            sql: samples.first().cloned().unwrap_or_default(),
+            executable: false,
+            fixes: Vec::new(),
+            adapted: samples.to_vec(),
+        },
+    };
+    if let Some(span) = span {
+        span.finish(samples.len() as u64);
+    }
+    if let Some(rec) = events {
+        rec.emit(
+            Stage::ConsistencyVote.name(),
+            "voted",
+            &[
+                ("samples", EventValue::U64(samples.len() as u64)),
+                ("executable", EventValue::Bool(outcome.executable)),
+                ("adapted", EventValue::Bool(false)),
+            ],
+        );
+    }
+    outcome
+}
+
 fn tally(
     adapted: Vec<AdaptResult>,
     keys: Vec<Option<String>>,
@@ -1028,5 +1107,72 @@ mod tests {
         let rec = EventRecorder::new(0, 16);
         raw_vote(&samples, &d, None, Some(&rec));
         assert_eq!(rec.len(), 1, "raw vote emits exactly one event");
+    }
+
+    #[test]
+    fn write_vote_picks_the_majority_state_and_never_mutates_the_db() {
+        let d = db();
+        let before = d.fingerprint();
+        // Two spellings of the same single-row update agree on post-state;
+        // the third candidate lands elsewhere.
+        let samples = vec![
+            "UPDATE tv_channel SET country = 'France' WHERE id = 1".to_string(),
+            "UPDATE tv_channel SET country = 'France' WHERE id = 1 AND id = 1".to_string(),
+            "UPDATE tv_channel SET country = 'Spain' WHERE id = 1".to_string(),
+        ];
+        let session = ExecSession::shared();
+        let v = write_vote(&samples, &d, &session, None, None);
+        assert!(v.executable);
+        assert_eq!(v.sql, samples[0], "first sample with the majority state wins");
+        assert!(v.fixes.is_empty(), "write vote never repairs");
+        assert_eq!(d.fingerprint(), before, "canonical database must stay pristine");
+        assert_eq!(d.rows[0][0][2], Value::Text("Italy".into()), "rows untouched");
+    }
+
+    #[test]
+    fn write_vote_ignores_reads_and_broken_candidates() {
+        let d = db();
+        // A SELECT preserves state exactly like a conflicting DO NOTHING
+        // upsert would — it must not key into the vote.
+        let samples = vec![
+            "SELECT * FROM tv_channel".to_string(),
+            "DELETE FROM nowhere".to_string(),
+            "DELETE FROM tv_channel WHERE id = 2".to_string(),
+        ];
+        let session = ExecSession::shared();
+        let v = write_vote(&samples, &d, &session, None, None);
+        assert!(v.executable);
+        assert_eq!(v.sql, samples[2]);
+        assert_eq!(d.rows[0].len(), 2, "vote executed against transient copies only");
+    }
+
+    #[test]
+    fn write_vote_with_no_viable_candidate_falls_back_to_the_first() {
+        let d = db();
+        let samples =
+            vec!["DELETE FROM nowhere".to_string(), "UPDATE ghosts SET x = 1".to_string()];
+        let v = write_vote(&samples, &d, &ExecSession::disabled(), None, None);
+        assert!(!v.executable);
+        assert_eq!(v.sql, samples[0]);
+        assert_eq!(v.adapted, samples);
+    }
+
+    #[test]
+    fn write_vote_agrees_across_engines_and_records_observability() {
+        let d = db();
+        let samples = vec![
+            "INSERT INTO cartoon VALUES (2, 'Kite', 'Maria', 1)".to_string(),
+            "INSERT INTO cartoon (id, title, written_by, channel) VALUES (2, 'Kite', 'Maria', 1)"
+                .to_string(),
+        ];
+        let reg = MetricsRegistry::new(obs::Clock::Virtual);
+        let rec = EventRecorder::new(0, 16);
+        let vectorized = write_vote(&samples, &d, &ExecSession::shared(), Some(&reg), Some(&rec));
+        let legacy = write_vote(&samples, &d, &ExecSession::shared_legacy(), None, None);
+        assert_eq!(vectorized.sql, legacy.sql, "engines agree on the winner");
+        assert!(vectorized.executable);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(Counter::Samples), 2);
+        assert_eq!(rec.len(), 1, "write vote emits exactly one voted event");
     }
 }

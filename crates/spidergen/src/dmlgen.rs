@@ -1,0 +1,471 @@
+//! NL→DML example generation: seeded, profile-driven write statements over a
+//! [`GeneratedDb`], the write-path analog of the SELECT generator.
+//!
+//! Every example pairs an imperative NL request with a gold
+//! [`sqlkit::Statement`] whose effect is *state-scored* by the eval harness:
+//! the gold statement is applied to a pristine copy of the database and the
+//! resulting fingerprint / affected-row count become the reference outcome
+//! (DESIGN.md §15). Generation is deterministic for a fixed seed, and the
+//! [`QueryProfile`] mix decides how often each statement kind appears —
+//! a read-only profile reduces this module to the classic SELECT generator.
+//!
+//! Upserts always target an *existing* primary-key value so the `ON CONFLICT`
+//! arm actually fires; plain inserts use a fresh key beyond the populated
+//! range.
+
+use crate::dbgen::GeneratedDb;
+use crate::nlgen::{render, Policy};
+use crate::profile::{QueryProfile, StatementKind};
+use crate::querygen::QueryGenerator;
+use engine::{Database, Value};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use sqlkit::{
+    AggExpr, Assignment, CmpOp, ColumnRef, ColumnType, Condition, DeleteStmt, InsertStmt, Literal,
+    OnConflict, Operand, Predicate, Statement, UpdateStmt, ValUnit,
+};
+
+/// One NL→DML (or NL→SQL, under a read draw) example.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WriteExample {
+    /// Index of the database in the owning [`WriteBenchmark`].
+    pub db_index: usize,
+    /// Natural-language request (imperative for writes, interrogative for reads).
+    pub nl: String,
+    /// Gold statement text (printer output; round-trips through the parser).
+    pub sql: String,
+    /// Parsed gold statement.
+    pub statement: Statement,
+    /// The profile draw that produced this example.
+    pub kind: StatementKind,
+}
+
+/// A profile-driven split: databases plus read/write examples over them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WriteBenchmark {
+    /// Split name (the eval registry uses `"dml"`).
+    pub name: String,
+    /// Databases in their pristine, pre-write state.
+    pub databases: Vec<Database>,
+    /// Examples.
+    pub examples: Vec<WriteExample>,
+}
+
+impl WriteBenchmark {
+    /// The (pristine) database backing an example.
+    pub fn db_of(&self, ex: &WriteExample) -> &Database {
+        &self.databases[ex.db_index]
+    }
+}
+
+/// Generate a profile-driven split over the given databases. Panics when the
+/// profile is invalid or the generator exhausts its retry budget (both are
+/// config errors, not data-dependent conditions).
+pub fn generate_write_split(
+    name: &str,
+    gdbs: &[GeneratedDb],
+    profile: &QueryProfile,
+    n_examples: usize,
+    rng: &mut StdRng,
+) -> WriteBenchmark {
+    profile.validate().expect("profile validated at config load");
+    let mut examples = Vec::with_capacity(n_examples);
+    let mut attempts = 0usize;
+    let max_attempts = n_examples * 60;
+    while examples.len() < n_examples && attempts < max_attempts {
+        let db_index = attempts % gdbs.len();
+        attempts += 1;
+        let gdb = &gdbs[db_index];
+        let kind = profile.sample_kind(rng);
+        let generated = match kind {
+            StatementKind::Read => {
+                let generator = QueryGenerator::new(gdb);
+                generator.generate(rng).map(|(query, realization)| {
+                    let nl = render(&realization, gdb, Policy::Plain, rng);
+                    (Statement::Select(query), nl)
+                })
+            }
+            write_kind => generate_write(gdb, write_kind, rng),
+        };
+        let Some((statement, nl)) = generated else {
+            continue;
+        };
+        let sql = statement.to_string();
+        examples.push(WriteExample { db_index, nl, sql, statement, kind });
+    }
+    assert!(
+        examples.len() == n_examples,
+        "generator exhausted retries: produced {} of {} examples for {name}",
+        examples.len(),
+        n_examples
+    );
+    WriteBenchmark {
+        name: name.to_string(),
+        databases: gdbs.iter().map(|g| g.database.clone()).collect(),
+        examples,
+    }
+}
+
+/// Generate one write statement of the requested kind, with its NL request.
+/// Returns `None` when the database has no table suitable for the kind (the
+/// split loop retries on another database).
+pub fn generate_write(
+    gdb: &GeneratedDb,
+    kind: StatementKind,
+    rng: &mut StdRng,
+) -> Option<(Statement, String)> {
+    let ti = pick_table(gdb, rng)?;
+    match kind {
+        StatementKind::Insert => Some(gen_insert(gdb, ti, rng)),
+        StatementKind::Update => gen_update(gdb, ti, rng),
+        StatementKind::Delete => Some(gen_delete(gdb, ti, rng)),
+        StatementKind::Upsert => gen_upsert(gdb, ti, rng),
+        StatementKind::Read => None,
+    }
+}
+
+/// Tables eligible for write generation: populated, so filters and conflict
+/// targets have rows to bite on.
+fn pick_table(gdb: &GeneratedDb, rng: &mut StdRng) -> Option<usize> {
+    let eligible: Vec<usize> =
+        (0..gdb.database.rows.len()).filter(|&ti| !gdb.database.rows[ti].is_empty()).collect();
+    eligible.choose(rng).copied()
+}
+
+/// Sample a full literal row for `table`, with the primary key forced to `pk_value`.
+fn sample_row(gdb: &GeneratedDb, ti: usize, pk_value: i64, rng: &mut StdRng) -> Vec<Literal> {
+    let t = &gdb.template.tables[ti];
+    t.columns
+        .iter()
+        .enumerate()
+        .map(|(ci, c)| {
+            if ci == t.pk {
+                return Literal::Int(pk_value);
+            }
+            let parent_keys: Vec<i64> = match c.pool {
+                crate::pools::ValuePool::Fk(p) => (1..=gdb.database.rows[p].len() as i64).collect(),
+                _ => Vec::new(),
+            };
+            let row_index = gdb.database.rows[ti].len();
+            value_to_literal(coerce(c.pool.sample(rng, row_index, &parent_keys), c.ty))
+        })
+        .collect()
+}
+
+fn value_to_literal(v: Value) -> Literal {
+    match v {
+        Value::Null => Literal::Null,
+        Value::Int(i) => Literal::Int(i),
+        Value::Float(f) => Literal::Float(f),
+        Value::Text(s) => Literal::Str(s),
+    }
+}
+
+fn coerce(v: Value, ty: ColumnType) -> Value {
+    match (v, ty) {
+        (Value::Float(x), ColumnType::Int) => Value::Int(x as i64),
+        (Value::Int(i), ColumnType::Float) => Value::Float(i as f64),
+        (v, _) => v,
+    }
+}
+
+/// Sample a literal for one (non-pk) column.
+fn sample_column_value(gdb: &GeneratedDb, ti: usize, ci: usize, rng: &mut StdRng) -> Literal {
+    let c = &gdb.template.tables[ti].columns[ci];
+    let parent_keys: Vec<i64> = match c.pool {
+        crate::pools::ValuePool::Fk(p) => (1..=gdb.database.rows[p].len() as i64).collect(),
+        _ => Vec::new(),
+    };
+    value_to_literal(coerce(c.pool.sample(rng, 0, &parent_keys), c.ty))
+}
+
+/// A random non-pk column index, `None` when the table is pk-only.
+fn pick_value_column(gdb: &GeneratedDb, ti: usize, rng: &mut StdRng) -> Option<usize> {
+    let t = &gdb.template.tables[ti];
+    let candidates: Vec<usize> = (0..t.columns.len()).filter(|&ci| ci != t.pk).collect();
+    candidates.choose(rng).copied()
+}
+
+/// An existing primary-key value (populated tables use sequential ids 1..=n).
+fn existing_pk(gdb: &GeneratedDb, ti: usize, rng: &mut StdRng) -> i64 {
+    rng.random_range(1..=gdb.database.rows[ti].len() as i64)
+}
+
+/// `column = literal` equality filter.
+fn eq_filter(column: &str, value: Literal) -> Condition {
+    Condition::Pred(Predicate {
+        left: AggExpr::unit(ValUnit::Column(ColumnRef::bare(column))),
+        op: CmpOp::Eq,
+        right: Operand::Literal(value),
+        right2: None,
+    })
+}
+
+fn nl_value(lit: &Literal) -> String {
+    match lit {
+        Literal::Int(i) => i.to_string(),
+        Literal::Float(f) => format!("{f}"),
+        Literal::Str(s) => s.clone(),
+        Literal::Null => "no value".to_string(),
+    }
+}
+
+fn finish_nl(mut s: String) -> String {
+    if let Some(first) = s.get(0..1) {
+        let upper = first.to_ascii_uppercase();
+        s.replace_range(0..1, &upper);
+    }
+    s.push('.');
+    s
+}
+
+fn gen_insert(gdb: &GeneratedDb, ti: usize, rng: &mut StdRng) -> (Statement, String) {
+    let t = &gdb.template.tables[ti];
+    let fresh = gdb.database.rows[ti].len() as i64 + 1 + rng.random_range(0..5i64);
+    let row = sample_row(gdb, ti, fresh, rng);
+    // NL mentions the key plus up to two value columns to stay readable.
+    let mut mentions: Vec<String> = vec![format!("{} {}", t.columns[t.pk].display, fresh)];
+    for (ci, lit) in row.iter().enumerate() {
+        if ci != t.pk && !matches!(lit, Literal::Null) && mentions.len() < 3 {
+            mentions.push(format!("{} {}", t.columns[ci].display, nl_value(lit)));
+        }
+    }
+    let nl = finish_nl(format!("add a new {} with {}", t.display, mentions.join(", ")));
+    let stmt = Statement::Insert(InsertStmt {
+        table: t.name.clone(),
+        columns: Vec::new(),
+        rows: vec![row],
+        conflict_target: Vec::new(),
+        on_conflict: None,
+    });
+    (stmt, nl)
+}
+
+fn gen_update(gdb: &GeneratedDb, ti: usize, rng: &mut StdRng) -> Option<(Statement, String)> {
+    let t = &gdb.template.tables[ti];
+    let ci = pick_value_column(gdb, ti, rng)?;
+    let value = sample_column_value(gdb, ti, ci, rng);
+    let set = Assignment {
+        column: ColumnRef::bare(&t.columns[ci].name),
+        value: ValUnit::Literal(value.clone()),
+    };
+    // Mostly keyed single-row updates; sometimes the whole table.
+    let (where_clause, nl) = if rng.random_bool(0.8) {
+        let id = existing_pk(gdb, ti, rng);
+        let nl = format!(
+            "change the {} of the {} with {} {} to {}",
+            t.columns[ci].display,
+            t.display,
+            t.columns[t.pk].display,
+            id,
+            nl_value(&value),
+        );
+        (Some(eq_filter(&t.columns[t.pk].name, Literal::Int(id))), nl)
+    } else {
+        let nl = format!(
+            "set the {} of every {} to {}",
+            t.columns[ci].display,
+            t.display,
+            nl_value(&value)
+        );
+        (None, nl)
+    };
+    let stmt =
+        Statement::Update(UpdateStmt { table: t.name.clone(), sets: vec![set], where_clause });
+    Some((stmt, finish_nl(nl)))
+}
+
+fn gen_delete(gdb: &GeneratedDb, ti: usize, rng: &mut StdRng) -> (Statement, String) {
+    let t = &gdb.template.tables[ti];
+    // Mostly keyed deletes; sometimes by a value column, exercising multi-row
+    // deletes and three-valued filter semantics on NULLs.
+    let (filter_col, value) = if rng.random_bool(0.7) {
+        (t.pk, Literal::Int(existing_pk(gdb, ti, rng)))
+    } else {
+        match pick_value_column(gdb, ti, rng) {
+            Some(ci) => (ci, sample_column_value(gdb, ti, ci, rng)),
+            None => (t.pk, Literal::Int(existing_pk(gdb, ti, rng))),
+        }
+    };
+    let nl = finish_nl(format!(
+        "remove every {} whose {} is {}",
+        t.display,
+        t.columns[filter_col].display,
+        nl_value(&value),
+    ));
+    let stmt = Statement::Delete(DeleteStmt {
+        table: t.name.clone(),
+        where_clause: Some(eq_filter(&t.columns[filter_col].name, value)),
+    });
+    (stmt, nl)
+}
+
+fn gen_upsert(gdb: &GeneratedDb, ti: usize, rng: &mut StdRng) -> Option<(Statement, String)> {
+    let t = &gdb.template.tables[ti];
+    let pk_name = t.columns[t.pk].name.clone();
+    // Target an existing key so the conflict arm actually fires.
+    let id = existing_pk(gdb, ti, rng);
+    let row = sample_row(gdb, ti, id, rng);
+    // Write the explicit target half the time; the engine validates it
+    // against the primary key either way.
+    let conflict_target = if rng.random_bool(0.5) { vec![pk_name.clone()] } else { Vec::new() };
+    let (on_conflict, nl) = if rng.random_bool(0.4) {
+        let nl = format!(
+            "add the {} with {} {} only if it does not exist yet",
+            t.display, t.columns[t.pk].display, id
+        );
+        (OnConflict::DoNothing, nl)
+    } else {
+        let ci = pick_value_column(gdb, ti, rng)?;
+        let col = &t.columns[ci].name;
+        let sets = vec![Assignment {
+            column: ColumnRef::bare(col),
+            value: ValUnit::Column(ColumnRef::qualified("excluded", col)),
+        }];
+        let nl = format!(
+            "add the {} with {} {}, updating its {} if it already exists",
+            t.display, t.columns[t.pk].display, id, t.columns[ci].display,
+        );
+        (OnConflict::DoUpdate { sets }, nl)
+    };
+    let stmt = Statement::Insert(InsertStmt {
+        table: t.name.clone(),
+        columns: Vec::new(),
+        rows: vec![row],
+        conflict_target,
+        on_conflict: Some(on_conflict),
+    });
+    Some((stmt, finish_nl(nl)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbgen::{instantiate, PerturbConfig};
+    use crate::domains::train_domains;
+    use rand::SeedableRng;
+    use sqlkit::parse_statement;
+
+    fn gdbs(n: usize, seed: u64) -> Vec<GeneratedDb> {
+        let templates = train_domains();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let t = &templates[i % templates.len()];
+                instantiate(t, &format!("{}_{}", t.name, i), &mut rng, PerturbConfig::default())
+            })
+            .collect()
+    }
+
+    fn mixed_split(seed: u64) -> WriteBenchmark {
+        let dbs = gdbs(4, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate_write_split("dml", &dbs, &QueryProfile::mixed_dml(), 60, &mut rng)
+    }
+
+    #[test]
+    fn split_generation_is_deterministic() {
+        let a = mixed_split(9);
+        let b = mixed_split(9);
+        assert_eq!(a.examples.len(), b.examples.len());
+        for (x, y) in a.examples.iter().zip(&b.examples) {
+            assert_eq!(x.sql, y.sql);
+            assert_eq!(x.nl, y.nl);
+            assert_eq!(x.kind, y.kind);
+        }
+    }
+
+    #[test]
+    fn gold_sql_round_trips_through_the_parser() {
+        let s = mixed_split(11);
+        for e in &s.examples {
+            let reparsed = parse_statement(&e.sql)
+                .unwrap_or_else(|err| panic!("gold must reparse: {err:?}: {}", e.sql));
+            assert_eq!(reparsed, e.statement, "printer/parser round-trip: {}", e.sql);
+        }
+    }
+
+    #[test]
+    fn gold_statements_apply_identically_on_both_engines() {
+        let s = mixed_split(13);
+        let mut writes = 0;
+        for e in &s.examples {
+            let db = s.db_of(e);
+            match &e.statement {
+                Statement::Select(q) => {
+                    engine::execute(db, q).expect("gold read executes");
+                }
+                stmt => {
+                    writes += 1;
+                    let plan = engine::prepare_write(db, stmt)
+                        .unwrap_or_else(|err| panic!("gold write prepares: {err}: {}", e.sql));
+                    let mut legacy = db.clone();
+                    let mut vectorized = db.clone();
+                    let a = engine::apply_write(&plan, &mut legacy);
+                    let b = engine::apply_write_vectorized(&plan, &mut vectorized);
+                    assert_eq!(a, b, "engines disagree on {}", e.sql);
+                    assert_eq!(legacy.rows, vectorized.rows, "post-state differs: {}", e.sql);
+                }
+            }
+        }
+        assert!(writes > 0, "mixed profile must produce writes");
+    }
+
+    #[test]
+    fn upserts_target_existing_primary_keys_and_fire() {
+        let s = mixed_split(17);
+        let mut upserts = 0;
+        for e in &s.examples {
+            if e.kind != StatementKind::Upsert {
+                continue;
+            }
+            upserts += 1;
+            let Statement::Insert(ins) = &e.statement else {
+                panic!("upsert draw must be an INSERT: {}", e.sql)
+            };
+            assert!(ins.on_conflict.is_some(), "upsert carries a conflict clause: {}", e.sql);
+            let db = s.db_of(e);
+            let plan = engine::prepare_write(db, &e.statement).expect("prepares");
+            let mut scratch = db.clone();
+            let outcome = engine::apply_write(&plan, &mut scratch);
+            assert!(outcome.conflict_hits > 0, "upsert must hit its conflict: {}", e.sql);
+        }
+        assert!(upserts > 0, "mixed profile must produce upserts");
+    }
+
+    #[test]
+    fn read_only_profile_produces_selects_only() {
+        let dbs = gdbs(3, 5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = generate_write_split("reads", &dbs, &QueryProfile::read_only(), 25, &mut rng);
+        for e in &s.examples {
+            assert_eq!(e.kind, StatementKind::Read);
+            assert!(matches!(e.statement, Statement::Select(_)));
+        }
+    }
+
+    #[test]
+    fn mixed_profile_covers_every_kind() {
+        let s = mixed_split(23);
+        for kind in StatementKind::ALL {
+            assert!(
+                s.examples.iter().any(|e| e.kind == kind),
+                "kind {} absent from the mixed split",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn write_nl_is_imperative_prose() {
+        let s = mixed_split(29);
+        for e in &s.examples {
+            if e.kind == StatementKind::Read {
+                continue;
+            }
+            assert!(e.nl.ends_with('.'), "imperative NL ends with a period: {}", e.nl);
+            assert!(e.nl.chars().next().unwrap().is_ascii_uppercase(), "{}", e.nl);
+        }
+    }
+}

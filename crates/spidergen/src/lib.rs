@@ -17,10 +17,12 @@
 #![warn(missing_docs)]
 
 pub mod dbgen;
+pub mod dmlgen;
 pub mod domains;
 pub mod dump;
 pub mod nlgen;
 pub mod pools;
+pub mod profile;
 pub mod querygen;
 pub mod stats;
 pub mod types;
@@ -35,7 +37,9 @@ use serde::{Deserialize, Serialize};
 use sqlkit::hardness;
 use types::Example;
 
+pub use dmlgen::{generate_write, generate_write_split, WriteBenchmark, WriteExample};
 pub use dump::{database_to_sql_dump, examples_to_tsv};
+pub use profile::{QueryProfile, StatementKind};
 pub use stats::{split_stats, SplitStats};
 pub use types::{Benchmark, NlPart, Realization, Suite};
 

@@ -1,0 +1,234 @@
+//! Statement-mix profiles: a seeded, weighted distribution over statement
+//! kinds that drives the NL→DML generator ([`crate::dmlgen`]).
+//!
+//! A [`QueryProfile`] is plain config data (serde round-trippable, unknown
+//! fields rejected) so eval harnesses can ship it alongside the run manifest.
+//! Weights are relative integers; validation only requires that they do not
+//! all vanish. The all-read preset makes the profile machinery usable for
+//! SELECT-only suites, where it degenerates to the classic generator.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// The kind of statement a profile draw selects. `Upsert` is an `INSERT ...
+/// ON CONFLICT`; everything else maps 1:1 onto [`sqlkit::Statement`] variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StatementKind {
+    /// Plain `SELECT`.
+    Read,
+    /// `INSERT` without a conflict clause.
+    Insert,
+    /// `UPDATE`.
+    Update,
+    /// `DELETE`.
+    Delete,
+    /// `INSERT ... ON CONFLICT` (DO NOTHING or DO UPDATE).
+    Upsert,
+}
+
+impl StatementKind {
+    /// All kinds, in weight order.
+    pub const ALL: [StatementKind; 5] = [
+        StatementKind::Read,
+        StatementKind::Insert,
+        StatementKind::Update,
+        StatementKind::Delete,
+        StatementKind::Upsert,
+    ];
+
+    /// Stable lowercase name (report keys, CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            StatementKind::Read => "read",
+            StatementKind::Insert => "insert",
+            StatementKind::Update => "update",
+            StatementKind::Delete => "delete",
+            StatementKind::Upsert => "upsert",
+        }
+    }
+}
+
+/// Relative weights for the statement mix of a generated split.
+///
+/// Weights are integers (not probabilities) so configs stay exact and diffable;
+/// a draw is `random_range(0..sum)` bucketed cumulatively, which is stable
+/// across platforms for a fixed seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct QueryProfile {
+    /// Weight of plain `SELECT` examples.
+    pub read_weight: u32,
+    /// Weight of plain `INSERT` examples.
+    pub insert_weight: u32,
+    /// Weight of `UPDATE` examples.
+    pub update_weight: u32,
+    /// Weight of `DELETE` examples.
+    pub delete_weight: u32,
+    /// Weight of `INSERT ... ON CONFLICT` examples.
+    pub upsert_weight: u32,
+}
+
+impl Default for QueryProfile {
+    fn default() -> Self {
+        QueryProfile::read_only()
+    }
+}
+
+impl QueryProfile {
+    /// SELECT-only preset: the profile machinery reduces to the classic
+    /// read-path generator.
+    pub fn read_only() -> Self {
+        QueryProfile {
+            read_weight: 1,
+            insert_weight: 0,
+            update_weight: 0,
+            delete_weight: 0,
+            upsert_weight: 0,
+        }
+    }
+
+    /// Write-heavy preset used by the `dml` scenario family: every DML form
+    /// occurs, with reads mixed in so stale-cache bugs have a chance to show.
+    pub fn mixed_dml() -> Self {
+        QueryProfile {
+            read_weight: 2,
+            insert_weight: 2,
+            update_weight: 2,
+            delete_weight: 1,
+            upsert_weight: 2,
+        }
+    }
+
+    /// Pure write preset (no reads) for engine differential sweeps.
+    pub fn write_only() -> Self {
+        QueryProfile {
+            read_weight: 0,
+            insert_weight: 1,
+            update_weight: 1,
+            delete_weight: 1,
+            upsert_weight: 1,
+        }
+    }
+
+    /// Weights in [`StatementKind::ALL`] order.
+    pub fn weights(&self) -> [u32; 5] {
+        [
+            self.read_weight,
+            self.insert_weight,
+            self.update_weight,
+            self.delete_weight,
+            self.upsert_weight,
+        ]
+    }
+
+    /// Sum of all weights.
+    pub fn total_weight(&self) -> u64 {
+        self.weights().iter().map(|&w| w as u64).sum()
+    }
+
+    /// True when only `read_weight` is non-zero.
+    pub fn is_read_only(&self) -> bool {
+        self.read_weight > 0 && self.total_weight() == self.read_weight as u64
+    }
+
+    /// Reject degenerate profiles: at least one weight must be positive.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.total_weight() == 0 {
+            return Err("query profile has no positive weight".into());
+        }
+        Ok(())
+    }
+
+    /// Draw one statement kind, weighted. Panics on an invalid profile
+    /// (callers validate at config load).
+    pub fn sample_kind(&self, rng: &mut StdRng) -> StatementKind {
+        let total = self.total_weight();
+        assert!(total > 0, "sample_kind on an all-zero profile");
+        let mut draw = rng.random_range(0..total);
+        for (kind, w) in StatementKind::ALL.into_iter().zip(self.weights()) {
+            let w = w as u64;
+            if draw < w {
+                return kind;
+            }
+            draw -= w;
+        }
+        unreachable!("draw below total weight always lands in a bucket");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn presets_validate() {
+        for p in [QueryProfile::read_only(), QueryProfile::mixed_dml(), QueryProfile::write_only()]
+        {
+            p.validate().expect("preset profiles are valid");
+        }
+        assert!(QueryProfile::read_only().is_read_only());
+        assert!(!QueryProfile::mixed_dml().is_read_only());
+    }
+
+    #[test]
+    fn all_zero_profile_is_rejected() {
+        let p = QueryProfile {
+            read_weight: 0,
+            insert_weight: 0,
+            update_weight: 0,
+            delete_weight: 0,
+            upsert_weight: 0,
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn read_only_profile_never_samples_writes() {
+        let p = QueryProfile::read_only();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            assert_eq!(p.sample_kind(&mut rng), StatementKind::Read);
+        }
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let p = QueryProfile::mixed_dml();
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50).map(|_| p.sample_kind(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8), "different seeds should reshuffle the mix");
+    }
+
+    #[test]
+    fn every_positive_weight_eventually_fires() {
+        let p = QueryProfile::mixed_dml();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            seen.insert(p.sample_kind(&mut rng));
+        }
+        for kind in StatementKind::ALL {
+            assert!(seen.contains(&kind), "{} never sampled", kind.name());
+        }
+    }
+
+    #[test]
+    fn zero_weight_kinds_never_fire() {
+        let p = QueryProfile::write_only();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..300 {
+            assert_ne!(p.sample_kind(&mut rng), StatementKind::Read);
+        }
+    }
+
+    #[test]
+    fn kind_names_are_stable_and_distinct() {
+        let names: Vec<&str> = StatementKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, ["read", "insert", "update", "delete", "upsert"]);
+    }
+}

@@ -577,9 +577,146 @@ impl Query {
     }
 }
 
+/// One `column = value` assignment in `UPDATE ... SET` or
+/// `ON CONFLICT DO UPDATE SET`. Inside a conflict clause the value may
+/// reference the incoming row as `excluded.<column>` (SQLite/PostgreSQL
+/// upsert convention), which parses as an ordinary qualified [`ColumnRef`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Target column (unqualified or table-qualified).
+    pub column: ColumnRef,
+    /// Value expression assigned to it.
+    pub value: ValUnit,
+}
+
+/// Conflict resolution for `INSERT ... ON CONFLICT` (upsert).
+///
+/// The conflict target is the table's primary key; an explicit
+/// `ON CONFLICT (col)` target is kept for validation against the schema in
+/// the engine (it must name the primary-key column).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OnConflict {
+    /// `DO NOTHING`: conflicting rows are silently skipped.
+    DoNothing,
+    /// `DO UPDATE SET ...`: conflicting rows are updated in place.
+    DoUpdate {
+        /// Assignments applied to the existing row; `excluded.<col>` refers
+        /// to the row that failed to insert.
+        sets: Vec<Assignment>,
+    },
+}
+
+/// `INSERT INTO table [(cols)] VALUES (...), ... [ON CONFLICT ...]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InsertStmt {
+    /// Target table name.
+    pub table: String,
+    /// Explicit column list; empty means "all columns in schema order".
+    pub columns: Vec<String>,
+    /// Literal rows to insert, one `Vec` per `VALUES` tuple.
+    pub rows: Vec<Vec<Literal>>,
+    /// Explicit `ON CONFLICT (col)` target columns, when written.
+    pub conflict_target: Vec<String>,
+    /// Conflict clause, when present (makes this an upsert).
+    pub on_conflict: Option<OnConflict>,
+}
+
+/// `UPDATE table SET a = v [, ...] [WHERE cond]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateStmt {
+    /// Target table name.
+    pub table: String,
+    /// Assignments, in syntactic order.
+    pub sets: Vec<Assignment>,
+    /// Row filter; `None` updates every row.
+    pub where_clause: Option<Condition>,
+}
+
+/// `DELETE FROM table [WHERE cond]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeleteStmt {
+    /// Target table name.
+    pub table: String,
+    /// Row filter; `None` deletes every row.
+    pub where_clause: Option<Condition>,
+}
+
+/// Any SQL statement: a read ([`Query`]) or one of the DML write forms.
+///
+/// This is the type at the prepare/run/session/eval boundaries wherever
+/// writes are in scope; read-only paths keep taking bare [`Query`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// `Select(Query)` dwarfs the write variants, but statements live behind `Arc`
+// in the session caches and every read path pattern-matches `&Query` out of
+// the variant; boxing would tax the hot path to shrink a type that is never
+// stored in bulk.
+#[allow(clippy::large_enum_variant)]
+pub enum Statement {
+    /// A read-only `SELECT` query.
+    Select(Query),
+    /// `INSERT` (optionally with an `ON CONFLICT` clause, i.e. upsert).
+    Insert(InsertStmt),
+    /// `UPDATE`.
+    Update(UpdateStmt),
+    /// `DELETE`.
+    Delete(DeleteStmt),
+}
+
+impl Statement {
+    /// Is this a write (anything but `SELECT`)?
+    pub fn is_write(&self) -> bool {
+        !matches!(self, Statement::Select(_))
+    }
+
+    /// The table a write targets, `None` for reads.
+    pub fn target_table(&self) -> Option<&str> {
+        match self {
+            Statement::Select(_) => None,
+            Statement::Insert(i) => Some(&i.table),
+            Statement::Update(u) => Some(&u.table),
+            Statement::Delete(d) => Some(&d.table),
+        }
+    }
+}
+
+impl From<Query> for Statement {
+    fn from(q: Query) -> Self {
+        Statement::Select(q)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn statement_classifies_writes_and_targets() {
+        let q = Query::single(SelectCore::simple(AggExpr::count_star(), "t"));
+        let sel = Statement::from(q);
+        assert!(!sel.is_write());
+        assert_eq!(sel.target_table(), None);
+        let ins = Statement::Insert(InsertStmt {
+            table: "t".into(),
+            columns: vec![],
+            rows: vec![vec![Literal::Int(1)]],
+            conflict_target: vec![],
+            on_conflict: None,
+        });
+        assert!(ins.is_write());
+        assert_eq!(ins.target_table(), Some("t"));
+        let del = Statement::Delete(DeleteStmt { table: "u".into(), where_clause: None });
+        assert_eq!(del.target_table(), Some("u"));
+        let upd = Statement::Update(UpdateStmt {
+            table: "v".into(),
+            sets: vec![Assignment {
+                column: ColumnRef::bare("a"),
+                value: ValUnit::Literal(Literal::Int(2)),
+            }],
+            where_clause: None,
+        });
+        assert!(upd.is_write());
+        assert_eq!(upd.target_table(), Some("v"));
+    }
 
     #[test]
     fn condition_flatten_preserves_or_links() {

@@ -106,6 +106,58 @@ pub struct CanonQuery {
     pub compound: Option<(SetOp, Box<CanonQuery>)>,
 }
 
+/// Canonical `ON CONFLICT` action with assignment values masked like all literals.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum CanonConflict {
+    /// `DO NOTHING`.
+    DoNothing,
+    /// `DO UPDATE SET ...` — assignments keyed by canonical target column.
+    DoUpdate {
+        /// Target column -> canonical value expression.
+        sets: BTreeMap<CanonCol, CanonUnit>,
+    },
+}
+
+/// Canonical form of a full statement. Equality is the DML EM verdict; SELECTs
+/// defer to [`CanonQuery`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum CanonStatement {
+    /// Canonicalized SELECT.
+    Select(CanonQuery),
+    /// Canonicalized INSERT: literal rows are masked down to their shape
+    /// (count × width), matching the value-masking EM convention.
+    Insert {
+        /// Target table (lower-case).
+        table: String,
+        /// Named columns as a set (empty = positional insert).
+        columns: BTreeSet<String>,
+        /// Number of VALUES rows.
+        row_count: usize,
+        /// Arity of each VALUES row.
+        row_width: usize,
+        /// Explicit conflict-target columns as a set.
+        conflict_target: BTreeSet<String>,
+        /// Conflict action, if any.
+        on_conflict: Option<CanonConflict>,
+    },
+    /// Canonicalized UPDATE.
+    Update {
+        /// Target table (lower-case).
+        table: String,
+        /// Assignments keyed by canonical target column.
+        sets: BTreeMap<CanonCol, CanonUnit>,
+        /// `WHERE`.
+        where_cond: CanonCond,
+    },
+    /// Canonicalized DELETE.
+    Delete {
+        /// Target table (lower-case).
+        table: String,
+        /// `WHERE`.
+        where_cond: CanonCond,
+    },
+}
+
 /// Compute the canonical form of `q` against `schema`.
 pub fn canonicalize(q: &Query, schema: &Schema) -> CanonQuery {
     canon_query(q, schema)
@@ -114,6 +166,70 @@ pub fn canonicalize(q: &Query, schema: &Schema) -> CanonQuery {
 /// Exact-set match: do the two queries have identical canonical forms?
 pub fn exact_set_match(a: &Query, b: &Query, schema: &Schema) -> bool {
     canonicalize(a, schema) == canonicalize(b, schema)
+}
+
+/// Compute the canonical form of a full statement against `schema`.
+pub fn canonicalize_statement(s: &Statement, schema: &Schema) -> CanonStatement {
+    match s {
+        Statement::Select(q) => CanonStatement::Select(canon_query(q, schema)),
+        Statement::Insert(ins) => {
+            let scope = dml_scope(&ins.table);
+            CanonStatement::Insert {
+                table: ins.table.to_ascii_lowercase(),
+                columns: ins.columns.iter().map(|c| c.to_ascii_lowercase()).collect(),
+                row_count: ins.rows.len(),
+                row_width: ins.rows.first().map_or(0, |r| r.len()),
+                conflict_target: ins
+                    .conflict_target
+                    .iter()
+                    .map(|c| c.to_ascii_lowercase())
+                    .collect(),
+                on_conflict: ins.on_conflict.as_ref().map(|oc| match oc {
+                    OnConflict::DoNothing => CanonConflict::DoNothing,
+                    OnConflict::DoUpdate { sets } => {
+                        CanonConflict::DoUpdate { sets: canon_sets(sets, &scope, schema) }
+                    }
+                }),
+            }
+        }
+        Statement::Update(u) => {
+            let scope = dml_scope(&u.table);
+            CanonStatement::Update {
+                table: u.table.to_ascii_lowercase(),
+                sets: canon_sets(&u.sets, &scope, schema),
+                where_cond: canon_cond(u.where_clause.as_ref(), &scope, schema),
+            }
+        }
+        Statement::Delete(d) => {
+            let scope = dml_scope(&d.table);
+            CanonStatement::Delete {
+                table: d.table.to_ascii_lowercase(),
+                where_cond: canon_cond(d.where_clause.as_ref(), &scope, schema),
+            }
+        }
+    }
+}
+
+/// Exact-set match over statements: identical canonical forms?
+pub fn exact_set_match_statement(a: &Statement, b: &Statement, schema: &Schema) -> bool {
+    canonicalize_statement(a, schema) == canonicalize_statement(b, schema)
+}
+
+/// DML statements bind exactly one table; `excluded.<col>` in `DO UPDATE` keeps
+/// its pseudo-table qualifier so it never collides with a real column.
+fn dml_scope(table: &str) -> Scope {
+    let t = table.to_ascii_lowercase();
+    Scope { bindings: vec![(t.clone(), t.clone())], tables: vec![t] }
+}
+
+fn canon_sets(
+    sets: &[Assignment],
+    scope: &Scope,
+    schema: &Schema,
+) -> BTreeMap<CanonCol, CanonUnit> {
+    sets.iter()
+        .map(|a| (scope.resolve(&a.column, schema), canon_unit(&a.value, scope, schema)))
+        .collect()
 }
 
 /// Per-core name scope: alias -> real table name (lower-case).
@@ -397,6 +513,79 @@ mod tests {
     fn distinct_flag_matters() {
         assert!(!em("SELECT DISTINCT id FROM cartoon", "SELECT id FROM cartoon"));
         assert!(!em("SELECT COUNT(DISTINCT id) FROM cartoon", "SELECT COUNT(id) FROM cartoon"));
+    }
+
+    fn em_stmt(a: &str, b: &str) -> bool {
+        use crate::parser::parse_statement;
+        let s = schema();
+        exact_set_match_statement(&parse_statement(a).unwrap(), &parse_statement(b).unwrap(), &s)
+    }
+
+    #[test]
+    fn dml_values_are_masked_but_shape_matters() {
+        assert!(em_stmt(
+            "INSERT INTO cartoon (id, written_by) VALUES (1, 'A')",
+            "INSERT INTO CARTOON (ID, Written_By) VALUES (99, 'B')",
+        ));
+        // Different arity / row count / columns do not match.
+        assert!(!em_stmt(
+            "INSERT INTO cartoon (id, written_by) VALUES (1, 'A')",
+            "INSERT INTO cartoon (id) VALUES (1)",
+        ));
+        assert!(!em_stmt(
+            "INSERT INTO cartoon VALUES (1, 'A', 2)",
+            "INSERT INTO cartoon VALUES (1, 'A', 2), (2, 'B', 3)",
+        ));
+    }
+
+    #[test]
+    fn conflict_action_distinguishes_upserts() {
+        assert!(em_stmt(
+            "INSERT INTO cartoon (id) VALUES (1) ON CONFLICT (ID) DO NOTHING",
+            "INSERT INTO cartoon (id) VALUES (5) ON CONFLICT (id) DO NOTHING",
+        ));
+        assert!(!em_stmt(
+            "INSERT INTO cartoon (id) VALUES (1) ON CONFLICT (id) DO NOTHING",
+            "INSERT INTO cartoon (id) VALUES (1)",
+        ));
+        assert!(!em_stmt(
+            "INSERT INTO cartoon (id) VALUES (1) ON CONFLICT (id) DO NOTHING",
+            "INSERT INTO cartoon (id) VALUES (1) ON CONFLICT (id) DO UPDATE SET written_by = 'x'",
+        ));
+        // DO UPDATE set values are masked; target columns are not.
+        assert!(em_stmt(
+            "INSERT INTO cartoon (id) VALUES (1) ON CONFLICT (id) DO UPDATE SET written_by = 'x'",
+            "INSERT INTO cartoon (id) VALUES (1) ON CONFLICT (id) DO UPDATE SET written_by = 'y'",
+        ));
+        assert!(!em_stmt(
+            "INSERT INTO cartoon (id) VALUES (1) ON CONFLICT (id) DO UPDATE SET written_by = 'x'",
+            "INSERT INTO cartoon (id) VALUES (1) ON CONFLICT (id) DO UPDATE SET channel = 1",
+        ));
+        // excluded.* references survive masking.
+        assert!(!em_stmt(
+            "INSERT INTO cartoon (id) VALUES (1) ON CONFLICT (id) DO UPDATE SET channel = \
+             excluded.channel",
+            "INSERT INTO cartoon (id) VALUES (1) ON CONFLICT (id) DO UPDATE SET channel = 1",
+        ));
+    }
+
+    #[test]
+    fn update_and_delete_canonicalize_like_selects() {
+        assert!(em_stmt(
+            "UPDATE cartoon SET written_by = 'A' WHERE id = 1 AND channel = 2",
+            "UPDATE CARTOON SET Written_By = 'B' WHERE Channel = 9 AND ID = 7",
+        ));
+        assert!(!em_stmt(
+            "UPDATE cartoon SET written_by = 'A' WHERE id = 1",
+            "UPDATE cartoon SET written_by = 'A' WHERE id > 1",
+        ));
+        assert!(em_stmt("DELETE FROM cartoon WHERE id = 1", "DELETE FROM CARTOON WHERE ID = 2"));
+        assert!(!em_stmt("DELETE FROM cartoon WHERE id = 1", "DELETE FROM cartoon"));
+        // Different statement kinds never match.
+        assert!(!em_stmt(
+            "DELETE FROM cartoon WHERE id = 1",
+            "SELECT id FROM cartoon WHERE id = 1"
+        ));
     }
 
     #[test]

@@ -74,6 +74,16 @@ pub const KEYWORDS: &[&str] = &[
     "LEFT",
     "OUTER",
     "ALL",
+    // DML (write path)
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "UPDATE",
+    "SET",
+    "DELETE",
+    "CONFLICT",
+    "DO",
+    "NOTHING",
 ];
 
 fn keyword_of(word: &str) -> Option<&'static str> {
@@ -300,6 +310,19 @@ mod tests {
         assert!(toks.contains(&Token::Keyword("COUNT")));
         // trailing semicolon dropped
         assert!(!toks.iter().any(|t| matches!(t, Token::Sym(s) if *s == ";")));
+    }
+
+    #[test]
+    fn lexes_dml_keywords() {
+        let toks = tokenize("insert into t values (1) on conflict do nothing").unwrap();
+        for k in ["INSERT", "INTO", "VALUES", "ON", "CONFLICT", "DO", "NOTHING"] {
+            assert!(toks.contains(&Token::Keyword(k)), "missing keyword {k}");
+        }
+        let toks = tokenize("Update t Set a = 1 WHERE b = 2").unwrap();
+        assert!(toks.contains(&Token::Keyword("UPDATE")));
+        assert!(toks.contains(&Token::Keyword("SET")));
+        let toks = tokenize("DELETE FROM t").unwrap();
+        assert!(toks.contains(&Token::Keyword("DELETE")));
     }
 
     #[test]

@@ -34,12 +34,16 @@ pub mod schema;
 pub mod skeleton;
 
 pub use ast::{
-    AggExpr, AggFunc, ArithOp, CmpOp, ColumnRef, Condition, FromClause, Join, Literal, Operand,
-    OrderDir, OrderItem, Predicate, Query, SelectCore, SelectItem, SetOp, TableRef, ValUnit,
+    AggExpr, AggFunc, ArithOp, Assignment, CmpOp, ColumnRef, Condition, DeleteStmt, FromClause,
+    InsertStmt, Join, Literal, OnConflict, Operand, OrderDir, OrderItem, Predicate, Query,
+    SelectCore, SelectItem, SetOp, Statement, TableRef, UpdateStmt, ValUnit,
 };
-pub use canon::{canonicalize, exact_set_match, CanonQuery};
+pub use canon::{
+    canonicalize, canonicalize_statement, exact_set_match, exact_set_match_statement, CanonQuery,
+    CanonStatement,
+};
 pub use error::ParseError;
 pub use hardness::{hardness, Hardness};
-pub use parser::parse;
+pub use parser::{parse, parse_statement};
 pub use schema::{Column, ColumnId, ColumnType, ForeignKey, Schema, Table};
 pub use skeleton::{Level, SkelTok, Skeleton};

@@ -24,6 +24,29 @@ pub fn parse(sql: &str) -> Result<Query, ParseError> {
     Ok(q)
 }
 
+/// Parse a SQL string into a [`Statement`] — SELECT or DML.
+///
+/// Anything that does not start with `INSERT`, `UPDATE` or `DELETE` falls
+/// through to the SELECT grammar, so every string accepted by [`parse`] is
+/// accepted here and wrapped in [`Statement::Select`].
+pub fn parse_statement(sql: &str) -> Result<Statement, ParseError> {
+    let toks = tokenize(sql)?;
+    let mut p = Parser { toks, pos: 0 };
+    let stmt = match p.peek() {
+        Some(Token::Keyword("INSERT")) => Statement::Insert(p.insert_stmt()?),
+        Some(Token::Keyword("UPDATE")) => Statement::Update(p.update_stmt()?),
+        Some(Token::Keyword("DELETE")) => Statement::Delete(p.delete_stmt()?),
+        _ => Statement::Select(p.query()?),
+    };
+    if p.pos != p.toks.len() {
+        return Err(ParseError::new(format!(
+            "trailing tokens after statement, starting with `{}`",
+            p.toks[p.pos]
+        )));
+    }
+    Ok(stmt)
+}
+
 struct Parser {
     toks: Vec<Token>,
     pos: usize,
@@ -482,6 +505,124 @@ impl Parser {
         Ok(Predicate { left, op, right, right2: None })
     }
 
+    // insert := INSERT INTO ident [( ident ,* )] VALUES row (, row)* [on_conflict]
+    fn insert_stmt(&mut self) -> Result<InsertStmt, ParseError> {
+        self.expect_kw("INSERT")?;
+        self.expect_kw("INTO")?;
+        let table = self.ident()?;
+        let mut columns = Vec::new();
+        if self.eat_sym("(") {
+            columns.push(self.ident()?);
+            while self.eat_sym(",") {
+                columns.push(self.ident()?);
+            }
+            self.expect_sym(")")?;
+        }
+        self.expect_kw("VALUES")?;
+        let mut rows = vec![self.literal_row()?];
+        while self.eat_sym(",") {
+            rows.push(self.literal_row()?);
+        }
+        let width = rows[0].len();
+        if rows.iter().any(|r| r.len() != width) {
+            return Err(ParseError::new("VALUES rows have inconsistent arity"));
+        }
+        if !columns.is_empty() && width != columns.len() {
+            return Err(ParseError::new(format!(
+                "INSERT names {} column(s) but VALUES rows have {width}",
+                columns.len()
+            )));
+        }
+        let (conflict_target, on_conflict) = self.on_conflict_clause()?;
+        Ok(InsertStmt { table, columns, rows, conflict_target, on_conflict })
+    }
+
+    fn literal_row(&mut self) -> Result<Vec<Literal>, ParseError> {
+        self.expect_sym("(")?;
+        let mut row = vec![self.literal()?];
+        while self.eat_sym(",") {
+            row.push(self.literal()?);
+        }
+        self.expect_sym(")")?;
+        Ok(row)
+    }
+
+    fn literal(&mut self) -> Result<Literal, ParseError> {
+        match self.next() {
+            Some(Token::Int(n)) => Ok(Literal::Int(n)),
+            Some(Token::Float(x)) => Ok(Literal::Float(x)),
+            Some(Token::Str(s)) => Ok(Literal::Str(s)),
+            Some(Token::Keyword("NULL")) => Ok(Literal::Null),
+            Some(Token::Sym("-")) => match self.next() {
+                Some(Token::Int(n)) => Ok(Literal::Int(-n)),
+                Some(Token::Float(x)) => Ok(Literal::Float(-x)),
+                _ => Err(ParseError::new("expected number after unary `-`")),
+            },
+            other => Err(ParseError::new(format!(
+                "expected literal, found {}",
+                other.map(|t| format!("`{t}`")).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    // on_conflict := ON CONFLICT [( ident ,* )] (DO NOTHING | DO UPDATE SET assignments)
+    fn on_conflict_clause(&mut self) -> Result<(Vec<String>, Option<OnConflict>), ParseError> {
+        if !self.eat_kw("ON") {
+            return Ok((Vec::new(), None));
+        }
+        self.expect_kw("CONFLICT")?;
+        let mut target = Vec::new();
+        if self.eat_sym("(") {
+            target.push(self.ident()?);
+            while self.eat_sym(",") {
+                target.push(self.ident()?);
+            }
+            self.expect_sym(")")?;
+        }
+        self.expect_kw("DO")?;
+        if self.eat_kw("NOTHING") {
+            return Ok((target, Some(OnConflict::DoNothing)));
+        }
+        self.expect_kw("UPDATE")?;
+        self.expect_kw("SET")?;
+        let sets = self.assignments()?;
+        Ok((target, Some(OnConflict::DoUpdate { sets })))
+    }
+
+    fn assignments(&mut self) -> Result<Vec<Assignment>, ParseError> {
+        let mut sets = vec![self.assignment()?];
+        while self.eat_sym(",") {
+            sets.push(self.assignment()?);
+        }
+        Ok(sets)
+    }
+
+    fn assignment(&mut self) -> Result<Assignment, ParseError> {
+        let column = self.column_ref()?;
+        self.expect_sym("=")?;
+        let value = self.val_unit()?;
+        Ok(Assignment { column, value })
+    }
+
+    // update := UPDATE ident SET assignments [WHERE condition]
+    fn update_stmt(&mut self) -> Result<UpdateStmt, ParseError> {
+        self.expect_kw("UPDATE")?;
+        let table = self.ident()?;
+        self.expect_kw("SET")?;
+        let sets = self.assignments()?;
+        let where_clause = if self.eat_kw("WHERE") { Some(self.condition()?) } else { None };
+        Ok(UpdateStmt { table, sets, where_clause })
+    }
+
+    // delete := DELETE FROM ident [WHERE condition]
+    fn delete_stmt(&mut self) -> Result<DeleteStmt, ParseError> {
+        self.expect_kw("DELETE")?;
+        self.expect_kw("FROM")?;
+        let table = self.ident()?;
+        let where_clause = if self.eat_kw("WHERE") { Some(self.condition()?) } else { None };
+        Ok(DeleteStmt { table, where_clause })
+    }
+
     fn operand(&mut self) -> Result<Operand, ParseError> {
         match self.peek().cloned() {
             Some(Token::Sym("(")) => {
@@ -710,5 +851,120 @@ mod tests {
     fn count_star_with_qualifier() {
         let q = parse("SELECT COUNT(T1.*) FROM t AS T1").unwrap();
         assert!(matches!(q.core.items[0].expr.unit, ValUnit::Star));
+    }
+
+    #[test]
+    fn parses_insert_multi_row() {
+        let s = parse_statement(
+            "INSERT INTO cartoon (id, title, channel) VALUES (1, 'Pilot', 3), (2, NULL, -4)",
+        )
+        .unwrap();
+        match s {
+            Statement::Insert(ins) => {
+                assert_eq!(ins.table, "cartoon");
+                assert_eq!(ins.columns, vec!["id", "title", "channel"]);
+                assert_eq!(ins.rows.len(), 2);
+                assert_eq!(ins.rows[1], vec![Literal::Int(2), Literal::Null, Literal::Int(-4)]);
+                assert!(ins.on_conflict.is_none());
+            }
+            other => panic!("expected insert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_insert_without_column_list() {
+        let s = parse_statement("INSERT INTO t VALUES (1, 2.5, 'x')").unwrap();
+        match s {
+            Statement::Insert(ins) => {
+                assert!(ins.columns.is_empty());
+                assert_eq!(ins.rows[0].len(), 3);
+            }
+            other => panic!("expected insert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_upsert_do_nothing() {
+        let s =
+            parse_statement("INSERT INTO t (id, a) VALUES (1, 2) ON CONFLICT DO NOTHING").unwrap();
+        match s {
+            Statement::Insert(ins) => {
+                assert!(ins.conflict_target.is_empty());
+                assert_eq!(ins.on_conflict, Some(OnConflict::DoNothing));
+            }
+            other => panic!("expected insert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_upsert_do_update_with_excluded() {
+        let s = parse_statement(
+            "INSERT INTO t (id, a) VALUES (1, 2) ON CONFLICT (id) DO UPDATE SET a = excluded.a + 1",
+        )
+        .unwrap();
+        match s {
+            Statement::Insert(ins) => {
+                assert_eq!(ins.conflict_target, vec!["id"]);
+                match ins.on_conflict {
+                    Some(OnConflict::DoUpdate { sets }) => {
+                        assert_eq!(sets.len(), 1);
+                        assert_eq!(sets[0].column, ColumnRef::bare("a"));
+                        assert!(matches!(sets[0].value, ValUnit::Arith { op: ArithOp::Add, .. }));
+                    }
+                    other => panic!("expected DO UPDATE, got {other:?}"),
+                }
+            }
+            other => panic!("expected insert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_update_with_where() {
+        let s = parse_statement("UPDATE t SET a = a + 1, b = 'done' WHERE id = 7").unwrap();
+        match s {
+            Statement::Update(u) => {
+                assert_eq!(u.table, "t");
+                assert_eq!(u.sets.len(), 2);
+                assert!(u.where_clause.is_some());
+            }
+            other => panic!("expected update, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_delete_with_and_without_where() {
+        let s = parse_statement("DELETE FROM t WHERE a > 3 OR b IS NULL").unwrap();
+        match s {
+            Statement::Delete(d) => assert!(d.where_clause.is_some()),
+            other => panic!("expected delete, got {other:?}"),
+        }
+        let s = parse_statement("DELETE FROM t").unwrap();
+        match s {
+            Statement::Delete(d) => assert!(d.where_clause.is_none()),
+            other => panic!("expected delete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_statement_falls_through_to_select() {
+        let s = parse_statement("SELECT a FROM t WHERE b = 1").unwrap();
+        assert!(matches!(s, Statement::Select(_)));
+        assert!(!s.is_write());
+    }
+
+    #[test]
+    fn rejects_malformed_dml() {
+        assert!(parse_statement("INSERT INTO t").is_err());
+        assert!(parse_statement("INSERT INTO t VALUES").is_err());
+        assert!(parse_statement("INSERT INTO t (a, b) VALUES (1)").is_err());
+        assert!(parse_statement("INSERT INTO t VALUES (1), (1, 2)").is_err());
+        assert!(parse_statement("INSERT INTO t VALUES (1) ON CONFLICT").is_err());
+        assert!(parse_statement("INSERT INTO t VALUES (1) ON CONFLICT DO").is_err());
+        assert!(parse_statement("INSERT INTO t VALUES (a)").is_err());
+        assert!(parse_statement("UPDATE t SET").is_err());
+        assert!(parse_statement("UPDATE t SET a").is_err());
+        assert!(parse_statement("DELETE t").is_err());
+        assert!(parse_statement("DELETE FROM t WHERE").is_err());
+        assert!(parse_statement("DELETE FROM t trailing junk").is_err());
     }
 }

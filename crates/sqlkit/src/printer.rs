@@ -217,6 +217,91 @@ impl fmt::Display for Query {
     }
 }
 
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.column, self.value)
+    }
+}
+
+fn write_assignments(f: &mut fmt::Formatter<'_>, sets: &[Assignment]) -> fmt::Result {
+    for (i, a) in sets.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{a}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for InsertStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "INSERT INTO {}", self.table)?;
+        if !self.columns.is_empty() {
+            write!(f, " ({})", self.columns.join(", "))?;
+        }
+        write!(f, " VALUES ")?;
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "(")?;
+            for (j, lit) in row.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{lit}")?;
+            }
+            write!(f, ")")?;
+        }
+        if let Some(oc) = &self.on_conflict {
+            write!(f, " ON CONFLICT")?;
+            if !self.conflict_target.is_empty() {
+                write!(f, " ({})", self.conflict_target.join(", "))?;
+            }
+            match oc {
+                OnConflict::DoNothing => write!(f, " DO NOTHING")?,
+                OnConflict::DoUpdate { sets } => {
+                    write!(f, " DO UPDATE SET ")?;
+                    write_assignments(f, sets)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for UpdateStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UPDATE {} SET ", self.table)?;
+        write_assignments(f, &self.sets)?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for DeleteStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DELETE FROM {}", self.table)?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(q) => write!(f, "{q}"),
+            Statement::Insert(s) => write!(f, "{s}"),
+            Statement::Update(s) => write!(f, "{s}"),
+            Statement::Delete(s) => write!(f, "{s}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::parser::parse;
@@ -254,5 +339,35 @@ mod tests {
         let q = parse("SELECT a FROM t WHERE b = 2.0").unwrap();
         assert!(q.to_string().contains("2.0"));
         roundtrip("SELECT a FROM t WHERE b = 2.0");
+    }
+
+    fn roundtrip_stmt(sql: &str) {
+        use crate::parser::parse_statement;
+        let s1 = parse_statement(sql).unwrap();
+        let text = s1.to_string();
+        let s2 =
+            parse_statement(&text).unwrap_or_else(|e| panic!("re-parse of `{text}` failed: {e}"));
+        assert_eq!(s1, s2, "roundtrip changed AST for `{sql}` -> `{text}`");
+    }
+
+    #[test]
+    fn roundtrips_representative_dml() {
+        for sql in [
+            "INSERT INTO cartoon (id, title) VALUES (1, 'Pilot')",
+            "INSERT INTO t VALUES (1, 2.5, 'x', NULL), (-2, 0.5, '', NULL)",
+            "INSERT INTO t (id, a) VALUES (1, 2) ON CONFLICT DO NOTHING",
+            "INSERT INTO t (id, a) VALUES (1, 2) ON CONFLICT (id) DO NOTHING",
+            "INSERT INTO t (id, a) VALUES (1, 2) ON CONFLICT (id) DO UPDATE SET a = excluded.a",
+            "INSERT INTO t (id, a, b) VALUES (1, 2, 'x') ON CONFLICT (id) DO UPDATE SET \
+             a = excluded.a + 1, b = 'seen'",
+            "UPDATE t SET a = 1",
+            "UPDATE t SET a = a + 1, b = 'done' WHERE id = 7 OR id = 8",
+            "UPDATE t SET a = NULL WHERE b BETWEEN 1 AND 5",
+            "DELETE FROM t",
+            "DELETE FROM t WHERE a > 3 AND b LIKE '%x%'",
+            "SELECT a FROM t WHERE b = 1",
+        ] {
+            roundtrip_stmt(sql);
+        }
     }
 }

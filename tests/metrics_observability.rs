@@ -27,11 +27,13 @@ fn aggregated_metrics_json_is_byte_identical_across_job_counts() {
             "metrics JSON diverged at jobs={jobs}"
         );
     }
-    // The aggregate is real: one span per stage per example, token totals live.
+    // The aggregate is real: one span per pipeline stage per example, token
+    // totals live. The write path stays silent on a read-only evaluation.
     let n = suite.dev.examples.len() as u64;
-    for stage in obs::Stage::ALL {
+    for stage in obs::Stage::REPORT {
         assert_eq!(serial.metrics.stage(stage).calls, n, "stage {}", stage.name());
     }
+    assert_eq!(serial.metrics.stage(obs::Stage::WriteExec).calls, 0, "reads opened write spans");
     assert_eq!(serial.metrics.counter(obs::Counter::LlmCalls), n);
     assert!(serial.metrics.counter(obs::Counter::PromptTokens) > 0);
     assert!(serial.metrics.counter(obs::Counter::Samples) >= n);
