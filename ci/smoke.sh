@@ -1,19 +1,21 @@
 #!/usr/bin/env bash
 # CI smoke checks against the release `repro` binary.
 #
-# Usage: ci/smoke.sh <metrics|cache|exec-bench|diagnose|diff|serve|trace|dml>
+# Usage: ci/smoke.sh <metrics|cache|exec-bench|diagnose|diff|serve|trace|dml|soak>
 #
 # Every mode runs at --scale tiny and enforces the repository's determinism
 # contract: observable artifacts must be byte-identical for any --jobs count
 # (for `cache`, with the execution cache on or off; for `exec-bench`, under
 # the vectorized engine, the legacy interpreter, and the uncached path; for
 # `serve` and `trace`, at any worker count/arrival order with batching on
-# or off; for `dml`, across --jobs counts, both engines, and cache modes).
+# or off; for `dml`, across --jobs counts, both engines, and cache modes;
+# for `soak`, the timeline's virt_* columns across worker counts and
+# arrival seeds).
 set -euo pipefail
 
 REPRO=${REPRO:-./target/release/repro}
 SERVE=${SERVE:-./target/release/purple-serve}
-mode=${1:?usage: ci/smoke.sh <metrics|cache|exec-bench|diagnose|diff|serve|trace|dml>}
+mode=${1:?usage: ci/smoke.sh <metrics|cache|exec-bench|diagnose|diff|serve|trace|dml|soak>}
 work=$(mktemp -d)
 trap 'rm -rf "$work"' EXIT
 
@@ -168,7 +170,8 @@ for required in ["request", "queue-wait", "batch-coalesce", "schema-pruning",
                  "llm-call", "adaption", "consistency-vote"]:
     assert required in names, f"missing span {required} (have {sorted(names)})"
 b = json.load(open(f"{work}/B4.json"))
-assert b["schema_version"] == 2 and b["stages"], b
+assert b["schema_version"] == 3 and b["stages"], b
+assert b["run_id"].startswith("run-") and b["soak"] is None, b
 assert any(s["path"] == "request/queue-wait" for s in b["stages"]), b["stages"]
 EOF
 
@@ -221,8 +224,55 @@ assert m['has_ts'], 'DML reports are state-scored and must carry TS'"
         --legacy-exec --gate --diff-out "$work/dml.md" >/dev/null
     grep -q 'All-zero diff' "$work/dml.md"
     ;;
+soak)
+    # 1. A short bounded soak (DESIGN.md §16): open-loop arrivals for 2s at
+    #    30 req/s, one timeline row per 500ms tick, soak section in the
+    #    schema-v3 bench summary.
+    "$SERVE" --soak 2 --rate 30 --tick-ms 500 --scale tiny --seed 42 --workers 4 \
+        --timeline "$work/tl4.ldjson" --bench-out "$work/S4.json" >/dev/null
+    python3 - "$work" <<'EOF'
+import json, sys
+work = sys.argv[1]
+rows = [json.loads(line) for line in open(f"{work}/tl4.ldjson")]
+assert len(rows) == 4, f"2s at 500ms ticks must give 4 rows, got {len(rows)}"
+per_tick = rows[0]["id_hi"] - rows[0]["id_lo"]
+for k, r in enumerate(rows):
+    for key in ["tick", "id_lo", "id_hi", "offered", "virt_p50", "virt_p95",
+                "virt_p99", "virt_work", "completed", "shed", "wall_ms",
+                "queue_depth_hwm", "in_flight_hwm", "verdict"]:
+        assert key in r, f"timeline row missing {key}: {r}"
+    assert r["tick"] == k and r["id_lo"] == k * per_tick, r
+    assert r["offered"] == r["id_hi"] - r["id_lo"] == per_tick, r
+    assert r["verdict"] in ("healthy", "degraded", "breached"), r
+b = json.load(open(f"{work}/S4.json"))
+assert b["schema_version"] == 3 and b["run_id"].startswith("run-"), b
+s = b["soak"]
+assert s and s["ticks"] == 4 and s["offered"] == s["completed"] + s["shed"], s
+assert s["virt_work_offered"] == sum(r["virt_work"] for r in rows), s
+EOF
+
+    # 2. The virt_* columns (everything before the first measured field) must
+    #    be byte-identical across worker counts and arrival seeds; the
+    #    measured columns are operational and carry no such contract.
+    "$SERVE" --soak 2 --rate 30 --tick-ms 500 --scale tiny --seed 42 --workers 1 \
+        --arrival-seed 9 --timeline "$work/tl1.ldjson" \
+        --bench-out "$work/S1.json" >/dev/null
+    sed 's/,"completed":.*//' "$work/tl4.ldjson" > "$work/virt4"
+    sed 's/,"completed":.*//' "$work/tl1.ldjson" > "$work/virt1"
+    cmp "$work/virt4" "$work/virt1"
+
+    # 3. The health verb answers over the stdio frontend with the windowed
+    #    SLO snapshot as one JSON object.
+    printf '%s\n%s\n' \
+        '{"id":5,"idx":0,"db_index":0,"nl":"how many","sql":"SELECT a FROM b","linking_noise":0.0,"trace":false,"seed":null}' \
+        '{"cmd":"health"}' \
+        | "$SERVE" --stdio --scale tiny --seed 42 --workers 2 > "$work/stdio.out"
+    grep -q '"health":{"clock":"virtual"' "$work/stdio.out"
+    grep -q '"slos":\[{"name":"translate_latency"' "$work/stdio.out"
+    grep -q '"verdict":' "$work/stdio.out"
+    ;;
 *)
-    echo "unknown mode \`$mode\` (metrics|cache|exec-bench|diagnose|diff|serve|trace|dml)" >&2
+    echo "unknown mode \`$mode\` (metrics|cache|exec-bench|diagnose|diff|serve|trace|dml|soak)" >&2
     exit 2
     ;;
 esac

@@ -1,26 +1,40 @@
 //! `purple-serve` — the long-running NL2SQL service front-end (DESIGN.md §13).
 //!
 //! ```text
-//! purple-serve (--stdio | --tcp ADDR | --load-gen N)
+//! purple-serve (--stdio | --tcp ADDR | --load-gen N | --soak SECS)
 //!              [--scale tiny|medium|full] [--seed N] [--profile chatgpt|gpt4]
 //!              [--workers N] [--queue-capacity N] [--no-batching] [--batch-max N]
 //!              [--trace-out PATH] [--trace-sample N] [--trace-wall]
-//!              load-gen only:
+//!              [--slo-target N]
+//!              load-gen/soak only:
 //!              [--arrival-seed N] [--bench-out PATH]
 //!              [--archive DIR [--baseline RUN [--gate] [--gate-ex N] [--gate-ts N]
 //!                              [--gate-blame F] [--diff-out P] [--diff-json P]]]
+//!              soak only:
+//!              [--rate RPS] [--tick-ms N] [--timeline PATH]
 //! ```
 //!
 //! The server trains PURPLE on the generated suite's train split at startup,
 //! then answers line-delimited JSON requests against the dev split's
 //! databases (see `eval::wire` for the request/response line shapes; the
 //! `{"cmd":"metrics"}` line answers with a Prometheus text exposition of the
-//! live registry, cache, and exec-operator state). `--load-gen N` instead
-//! drives N seeded synthetic requests through the server, prints throughput
-//! and latency percentiles plus a per-stage span rollup, writes them to
-//! `BENCH_serve.json` (schema v2, per-stage breakdown included), and can
-//! archive the replayed evaluation report in the PR-5 run registry so the
-//! regression gate covers served translations.
+//! live registry, cache, and exec-operator state, and `{"cmd":"health"}`
+//! with the sliding-window SLO snapshot as one JSON object). `--load-gen N`
+//! instead drives N seeded synthetic requests through the server, prints
+//! throughput and latency percentiles plus a per-stage span rollup, writes
+//! them to `BENCH_serve.json` (schema v3, per-stage breakdown included), and
+//! can archive the replayed evaluation report in the PR-5 run registry so
+//! the regression gate covers served translations.
+//!
+//! `--soak SECS --rate RPS` runs the sustained-soak mode (DESIGN.md §16):
+//! after the closed-loop load-gen pass (implied if `--load-gen` is absent),
+//! the driver offers open-loop seeded arrivals at the given rate for SECS
+//! seconds, sheds on overload, appends one timeline row per tick to the
+//! `--timeline` LDJSON file, prints a markdown rendering, and fills the
+//! `soak` section of `BENCH_serve.json`. The timeline's `virt_*` columns are
+//! byte-identical for any `--workers` and `--arrival-seed` (offered-load
+//! statistics over a sequentially-primed cost table); the measured columns
+//! are operational.
 //!
 //! Request tracing (DESIGN.md §14) is always on under `--load-gen` and
 //! enabled elsewhere by `--trace-out`. The exported Chrome trace JSON uses
@@ -28,7 +42,7 @@
 //! and batching mode; `--trace-wall` switches the export to wall-clock
 //! microseconds (machine-dependent, opt-in).
 
-use bench_harness::{serve, Scale};
+use bench_harness::{serve, soak, Scale};
 use engine::{ExecSession, SessionConfig};
 use eval::{RunEnv, SuiteConfig};
 use obs::{Clock, MetricsRegistry};
@@ -59,6 +73,11 @@ struct Args {
     trace_out: Option<String>,
     trace_sample: u64,
     trace_wall: bool,
+    slo_target: u64,
+    soak_secs: Option<f64>,
+    rate: f64,
+    tick_ms: u64,
+    timeline: String,
     arrival_seed: u64,
     bench_out: String,
     archive: Option<String>,
@@ -71,10 +90,11 @@ struct Args {
     diff_json: Option<String>,
 }
 
-const USAGE: &str = "purple-serve (--stdio | --tcp ADDR | --load-gen N) \
+const USAGE: &str = "purple-serve (--stdio | --tcp ADDR | --load-gen N | --soak SECS) \
     [--scale tiny|medium|full] [--seed N] [--profile chatgpt|gpt4] [--workers N] \
     [--queue-capacity N] [--no-batching] [--batch-max N] [--trace-out PATH] \
-    [--trace-sample N] [--trace-wall] [--arrival-seed N] \
+    [--trace-sample N] [--trace-wall] [--slo-target N] [--rate RPS] [--tick-ms N] \
+    [--timeline PATH] [--arrival-seed N] \
     [--bench-out PATH] [--archive DIR [--baseline RUN [--gate] [--gate-ex N] \
     [--gate-ts N] [--gate-blame F] [--diff-out P] [--diff-json P]]]";
 
@@ -98,6 +118,11 @@ fn parse_args() -> Args {
         trace_out: None,
         trace_sample: 1,
         trace_wall: false,
+        slo_target: serve::TelemetryConfig::default().latency_target,
+        soak_secs: None,
+        rate: 16.0,
+        tick_ms: 1000,
+        timeline: "SOAK_timeline.ldjson".into(),
         arrival_seed: 1,
         bench_out: "BENCH_serve.json".into(),
         archive: None,
@@ -166,6 +191,34 @@ fn parse_args() -> Args {
                     .filter(|&n| n > 0)
                     .unwrap_or_else(|| die("--batch-max needs a positive integer"));
             }
+            "--soak" => {
+                args.soak_secs = Some(
+                    next(&mut it, "--soak")
+                        .parse()
+                        .ok()
+                        .filter(|&s: &f64| s > 0.0)
+                        .unwrap_or_else(|| die("--soak needs a positive duration in seconds")),
+                );
+            }
+            "--rate" => {
+                args.rate =
+                    next(&mut it, "--rate").parse().ok().filter(|&r: &f64| r > 0.0).unwrap_or_else(
+                        || die("--rate needs a positive requests-per-second value"),
+                    );
+            }
+            "--tick-ms" => {
+                args.tick_ms = next(&mut it, "--tick-ms")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--tick-ms needs a positive integer"));
+            }
+            "--timeline" => args.timeline = next(&mut it, "--timeline"),
+            "--slo-target" => {
+                args.slo_target = next(&mut it, "--slo-target")
+                    .parse()
+                    .unwrap_or_else(|_| die("--slo-target needs a work-unit threshold"));
+            }
             "--trace-out" => args.trace_out = Some(next(&mut it, "--trace-out")),
             "--trace-sample" => {
                 args.trace_sample = next(&mut it, "--trace-sample")
@@ -208,7 +261,15 @@ fn parse_args() -> Args {
             other => die(&format!("unknown argument `{other}` (try --help)")),
         }
     }
+    if mode.is_none() && args.soak_secs.is_some() {
+        // `--soak SECS` alone implies the load-gen pass (request count 0 is
+        // bumped to cover the dev split), then the soak phase.
+        mode = Some(Mode::LoadGen);
+    }
     args.mode = mode.unwrap_or_else(|| die(&format!("pick a mode\n{USAGE}")));
+    if args.soak_secs.is_some() && args.mode != Mode::LoadGen {
+        die("--soak runs with --load-gen (or alone, which implies it)");
+    }
     if args.mode != Mode::LoadGen
         && (args.archive.is_some() || args.baseline.is_some() || args.gate)
     {
@@ -258,8 +319,19 @@ fn main() {
             seed: args.seed,
             wall: args.trace_wall,
         }),
+        telemetry: serve::TelemetryConfig {
+            latency_target: args.slo_target,
+            ..serve::TelemetryConfig::default()
+        },
     };
     let server = serve::Server::start(purple.clone(), bench.clone(), metrics.clone(), cfg);
+    // The soak cost table must be primed before any concurrent traffic: a
+    // sequential pass warms the session caches in a fixed order, which is
+    // what makes the timeline's virt_* columns worker-count-independent.
+    let costs = args.soak_secs.map(|_| {
+        eprintln!("[serve] priming soak cost table ({:.1}s)...", t0.elapsed().as_secs_f64());
+        soak::warmup_costs(&purple, &bench)
+    });
     eprintln!(
         "[serve] ready: {} dev examples over {} databases ({:.1}s startup)",
         bench.examples.len(),
@@ -300,14 +372,18 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        Mode::LoadGen => load_gen(&args, profile, &server, &suite, &bench, &session, &t0),
+        Mode::LoadGen => {
+            load_gen(&args, profile, &server, &suite, &bench, &session, costs.as_deref(), &t0)
+        }
     }
     eprintln!("[serve] done in {:.1}s", t0.elapsed().as_secs_f64());
 }
 
 /// `--load-gen`: drive seeded synthetic traffic, report throughput/latency,
-/// write `BENCH_serve.json`, and optionally archive/diff/gate the replayed
-/// evaluation report (mirroring `repro --archive`).
+/// optionally run the soak phase, write `BENCH_serve.json`, and optionally
+/// archive/diff/gate the replayed evaluation report (mirroring
+/// `repro --archive`).
+#[allow(clippy::too_many_arguments)]
 fn load_gen(
     args: &Args,
     profile: llm::LlmProfile,
@@ -315,6 +391,7 @@ fn load_gen(
     suite: &spidergen::Suite,
     bench: &Arc<spidergen::Benchmark>,
     session: &Arc<ExecSession>,
+    costs: Option<&[u64]>,
     t0: &Instant,
 ) {
     let n = bench.examples.len();
@@ -362,6 +439,39 @@ fn load_gen(
         print!("{}", obs::trace::render_rollup(&stage_rows));
     }
     export_traces(&drained, args);
+    let soak_outcome = args.soak_secs.map(|secs| {
+        let costs = costs.expect("cost table primed in main when --soak is set");
+        let scfg = soak::SoakConfig {
+            duration: std::time::Duration::from_secs_f64(secs),
+            rate: args.rate,
+            arrival_seed: args.arrival_seed,
+            tick: std::time::Duration::from_millis(args.tick_ms),
+        };
+        eprintln!(
+            "[serve] soaking {secs:.1}s at {:.1} req/s, tick {}ms ({:.1}s)...",
+            args.rate,
+            args.tick_ms,
+            t0.elapsed().as_secs_f64()
+        );
+        let outcome = soak::run_soak(&server.handle(), bench, costs, &scfg).unwrap_or_else(|e| {
+            eprintln!("[serve] soak failed: {e}");
+            std::process::exit(1);
+        });
+        if let Err(e) = std::fs::write(&args.timeline, soak::timeline_to_ldjson(&outcome)) {
+            eprintln!("cannot write {}: {e}", args.timeline);
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[serve] soak done: {}/{} completed, {} shed, verdict {}; timeline in {}",
+            outcome.completed,
+            outcome.offered,
+            outcome.shed,
+            outcome.verdict.name(),
+            args.timeline
+        );
+        print!("{}", soak::render_markdown(&outcome));
+        outcome
+    });
     eprintln!("[serve] scoring served traffic ({:.1}s)...", t0.elapsed().as_secs_f64());
     let suites_cfg = SuiteConfig { candidates: 40, max_kept: 8, probe_queries: 24 };
     let suites = eval::build_suites(bench, suites_cfg, args.seed ^ 0x7e57);
@@ -373,34 +483,41 @@ fn load_gen(
             std::process::exit(1);
         });
     println!("{}", report.summary());
-    let run_id = registry_and_base.as_ref().map(|(registry, _)| {
-        let manifest = eval::RunManifest {
-            system: report.system.clone(),
-            split: report.split.clone(),
-            scale: args.scale.name().to_string(),
-            seed: args.seed,
-            jobs: args.workers,
-            profile: profile.name.to_string(),
-            config_fingerprint: eval::fingerprint(&format!(
-                "{:?} serve workers={} queue={} batching={} batch_max={}",
-                PurpleConfig::default_with(profile),
-                args.workers,
-                args.queue_capacity,
-                args.batching,
-                args.batch_max
-            )),
-            git_rev: eval::git_rev(std::path::Path::new(".")).unwrap_or_else(|| "unknown".into()),
-            schema_version: eval::REPORT_SCHEMA_VERSION,
-            examples: report.overall.n,
-        };
-        let run_id = registry.record(&manifest, &report).unwrap_or_else(|e| {
-            eprintln!("cannot archive run: {e}");
-            std::process::exit(1);
-        });
-        println!("run_id={run_id}");
-        run_id
-    });
-    let json = bench_json(args, requests, n, &stats, &report, run_id.as_deref(), &stage_rows);
+    // The run id is a pure function of the manifest's identity fields, so it
+    // is known — and lands in BENCH_serve.json — whether or not the run is
+    // archived; archiving just persists the report under it.
+    let manifest = eval::RunManifest {
+        system: report.system.clone(),
+        split: report.split.clone(),
+        scale: args.scale.name().to_string(),
+        seed: args.seed,
+        jobs: args.workers,
+        profile: profile.name.to_string(),
+        config_fingerprint: eval::fingerprint(&format!(
+            "{:?} serve workers={} queue={} batching={} batch_max={}",
+            PurpleConfig::default_with(profile),
+            args.workers,
+            args.queue_capacity,
+            args.batching,
+            args.batch_max
+        )),
+        git_rev: eval::git_rev(std::path::Path::new(".")).unwrap_or_else(|| "unknown".into()),
+        schema_version: eval::REPORT_SCHEMA_VERSION,
+        examples: report.overall.n,
+    };
+    let run_id = match registry_and_base.as_ref() {
+        Some((registry, _)) => {
+            let run_id = registry.record(&manifest, &report).unwrap_or_else(|e| {
+                eprintln!("cannot archive run: {e}");
+                std::process::exit(1);
+            });
+            println!("run_id={run_id}");
+            run_id
+        }
+        None => manifest.run_id(),
+    };
+    let json =
+        bench_json(args, requests, n, &stats, &report, &run_id, &stage_rows, soak_outcome.as_ref());
     if let Err(e) = std::fs::write(&args.bench_out, &json) {
         eprintln!("cannot write {}: {e}", args.bench_out);
         std::process::exit(1);
@@ -409,7 +526,6 @@ fn load_gen(
     let Some((registry, Some(base_id))) = registry_and_base else {
         return;
     };
-    let run_id = run_id.expect("archived above");
     let (_, base_report) = registry.load(&base_id).unwrap_or_else(|e| {
         eprintln!("cannot load baseline {base_id}: {e}");
         std::process::exit(2);
@@ -467,18 +583,22 @@ fn export_traces(drained: &obs::DrainedTraces, args: &Args) {
 
 /// Render `BENCH_serve.json` (same hand-rolled style as `BENCH_exec.json`).
 ///
-/// Schema v2 adds the per-stage `"stages"` array (one row per span path with
-/// virtual-work and wall-microsecond p50/p95/p99, queue wait included).
-/// Readers of the v1 shape stay compatible: every v1 field is still present
-/// with its old name and type; v2 only appends.
+/// Schema v2 added the per-stage `"stages"` array (one row per span path
+/// with virtual-work and wall-microsecond p50/p95/p99, queue wait included).
+/// Schema v3 makes `run_id` always a string (the deterministic registry id,
+/// archived or not) and appends the `"soak"` section — `null` unless the run
+/// had a `--soak` phase. Readers of the v1/v2 shapes stay compatible: every
+/// earlier field is still present with its old name and type.
+#[allow(clippy::too_many_arguments)]
 fn bench_json(
     args: &Args,
     requests: usize,
     examples: usize,
     stats: &serve::LoadStats,
     report: &eval::EvalReport,
-    run_id: Option<&str>,
+    run_id: &str,
     stages: &[obs::trace::RollupRow],
+    soaked: Option<&soak::SoakOutcome>,
 ) -> String {
     let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
     let stage_rows: Vec<String> = stages
@@ -499,8 +619,32 @@ fn bench_json(
             )
         })
         .collect();
+    let soak_section = match soaked {
+        None => "null".to_string(),
+        Some(s) => format!(
+            "{{\n    \"duration_s\": {:.1},\n    \"rate_rps\": {:.1},\n    \"tick_ms\": {},\n    \
+             \"ticks\": {},\n    \"offered\": {},\n    \"completed\": {},\n    \"shed\": {},\n    \
+             \"sustained_rps\": {:.1},\n    \"virt_work_offered\": {},\n    \
+             \"latency_p95_peak\": {},\n    \"latency_p99_peak\": {},\n    \
+             \"overload_episodes\": {},\n    \"verdict\": \"{}\",\n    \"timeline\": \"{}\"\n  }}",
+            args.soak_secs.unwrap_or(0.0),
+            args.rate,
+            args.tick_ms,
+            s.ticks.len(),
+            s.offered,
+            s.completed,
+            s.shed,
+            s.sustained_rps,
+            s.virt_work_offered,
+            s.peak_p95,
+            s.peak_p99,
+            s.episodes,
+            s.verdict.name(),
+            args.timeline
+        ),
+    };
     format!(
-        "{{\n  \"schema_version\": 2,\n  \"bench\": \"serve\",\n  \"description\": \"purple-serve \
+        "{{\n  \"schema_version\": 3,\n  \"bench\": \"serve\",\n  \"description\": \"purple-serve \
          load generator: seeded synthetic requests cycling the dev split, driven through the \
          concurrent serving front-end (bounded queue + same-database batching over a shared \
          ExecSession). Latency is submit-to-completion wall time including admission wait. \
@@ -511,12 +655,14 @@ fn bench_json(
          \"requests\": {requests},\n  \"examples\": {examples},\n  \"arrival_seed\": {},\n  \
          \"wall_ms\": {:.3},\n  \"throughput_rps\": {:.1},\n  \"p50_ms\": {:.3},\n  \
          \"p95_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"em_pct\": {:.1},\n  \"ex_pct\": {:.1},\n  \
-         \"ts_pct\": {:.1},\n  \"run_id\": {},\n  \"stages\": [\n{}\n  ],\n  \
-         \"note\": \"wall-clock timings (wall_ms, *_ms, wall_us_*) vary by machine; \
-         the archived EvalReport (run_id), the virt_* stage columns, and the exported trace JSON \
-         are deterministic — byte-identical for any --workers, \
-         --arrival-seed, and with or without batching. Schema v2 appends `stages` to the v1 \
-         shape; v1 readers are unaffected.\"\n}}\n",
+         \"ts_pct\": {:.1},\n  \"run_id\": \"{}\",\n  \"stages\": [\n{}\n  ],\n  \
+         \"soak\": {},\n  \
+         \"note\": \"wall-clock timings (wall_ms, *_ms, wall_us_*, sustained_rps, soak latency \
+         peaks) vary by machine; the EvalReport under run_id, the virt_* stage columns, the soak \
+         virt_work_offered total, and the exported trace JSON are deterministic — byte-identical \
+         for any --workers, --arrival-seed, and with or without batching. Schema v3 makes run_id \
+         always the deterministic registry id and appends `soak` (null without --soak); v1/v2 \
+         readers are unaffected.\"\n}}\n",
         args.scale.name(),
         args.seed,
         args.workers,
@@ -536,10 +682,8 @@ fn bench_json(
         report.overall.em_pct(),
         report.overall.ex_pct(),
         report.overall.ts_pct(),
-        match run_id {
-            Some(id) => format!("\"{id}\""),
-            None => "null".into(),
-        },
-        stage_rows.join(",\n")
+        run_id,
+        stage_rows.join(",\n"),
+        soak_section
     )
 }

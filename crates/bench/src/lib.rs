@@ -12,9 +12,11 @@ pub mod context;
 pub mod experiments;
 pub mod report;
 pub mod serve;
+pub mod soak;
 
 #[cfg(test)]
 mod tests;
 
 pub use context::{ReproContext, Scale};
-pub use serve::{ServeConfig, Server, SubmitHandle, TraceConfig};
+pub use serve::{HealthSnapshot, ServeConfig, Server, SubmitHandle, TelemetryConfig, TraceConfig};
+pub use soak::{SoakConfig, SoakOutcome, SoakTick};

@@ -45,7 +45,10 @@ use eval::{
     ServeCommand, TestSuite,
 };
 use obs::trace::{BATCH_SPAN, QUEUE_WAIT_SPAN};
-use obs::{Gauge, MetricsRegistry, SpanSink, SpanToken, TraceRecorder, TraceSampler};
+use obs::{
+    Counter, EventSink, Gauge, MetricsRegistry, SinkLoss, SlidingWindow, SloSpec, SloStatus,
+    SloTracker, SloVerdict, SpanSink, SpanToken, TraceRecorder, TraceSampler, WindowStats,
+};
 use purple::Purple;
 use spidergen::Benchmark;
 use std::collections::{HashMap, VecDeque};
@@ -76,8 +79,44 @@ impl Default for TraceConfig {
     }
 }
 
+/// Windowed-telemetry and SLO knobs (DESIGN.md §16). The windows slide over
+/// the *telemetry clock*: cumulative completed virtual work by default (so
+/// window contents depend only on what completed, not on wall time), or wall
+/// nanoseconds since server start with [`TelemetryConfig::wall`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryConfig {
+    /// Telemetry-clock units per window bucket.
+    pub bucket_width: u64,
+    /// Live buckets per window (retained span = `bucket_width * buckets`).
+    pub buckets: usize,
+    /// Latency SLO: per-request virtual work target (observations above it
+    /// are violations).
+    pub latency_target: u64,
+    /// Latency SLO: tolerated violation fraction over the window.
+    pub latency_budget: f64,
+    /// Admission SLO: tolerated shed fraction over the window.
+    pub admission_budget: f64,
+    /// Drive the windows by wall nanoseconds instead of completed virtual
+    /// work ("what happened in the last N seconds" rather than "over the
+    /// last N work units").
+    pub wall: bool,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            bucket_width: 1 << 14,
+            buckets: 16,
+            latency_target: 8192,
+            latency_budget: 0.10,
+            admission_budget: 0.01,
+            wall: false,
+        }
+    }
+}
+
 /// Serving knobs; [`Default`] is a reasonable interactive configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
     /// Worker threads translating requests (min 1).
     pub workers: usize,
@@ -92,11 +131,20 @@ pub struct ServeConfig {
     /// Record request-scoped span trees for sampled requests; `None` disables
     /// tracing entirely (zero overhead on the hot path).
     pub trace: Option<TraceConfig>,
+    /// Sliding-window and SLO configuration backing the `health` verb.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { workers: 2, queue_capacity: 64, batching: true, batch_max: 16, trace: None }
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            batching: true,
+            batch_max: 16,
+            trace: None,
+            telemetry: TelemetryConfig::default(),
+        }
     }
 }
 
@@ -112,6 +160,9 @@ pub enum SubmitError {
         /// How many databases the server holds.
         databases: usize,
     },
+    /// The queue was at capacity and the submission was non-blocking
+    /// ([`SubmitHandle::try_submit`]): the request was shed, not queued.
+    QueueFull,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -121,6 +172,7 @@ impl std::fmt::Display for SubmitError {
             SubmitError::UnknownDatabase { db_index, databases } => {
                 write!(f, "unknown database index {db_index} (server holds {databases})")
             }
+            SubmitError::QueueFull => write!(f, "queue full, request shed"),
         }
     }
 }
@@ -154,6 +206,156 @@ struct QueueState {
     closed: bool,
 }
 
+/// Mutable core of the server's windowed telemetry (DESIGN.md §16), guarded
+/// by one mutex so every observation lands at a consistent clock position.
+struct TelState {
+    /// Virtual telemetry-clock position: cumulative completed report-stage
+    /// work ([`obs::StageMetrics::report_work`]).
+    virt_now: u64,
+    /// Per-completion report-stage work (the serving notion of latency).
+    latency: SlidingWindow,
+    /// Queue-depth readings sampled at every queue transition.
+    queue_depth: SlidingWindow,
+    /// In-flight readings sampled at every queue transition.
+    in_flight: SlidingWindow,
+    latency_slo: SloTracker,
+    admission_slo: SloTracker,
+    /// All-time completions.
+    completed: u64,
+    /// All-time sheds ([`SubmitHandle::try_submit`] against a full queue).
+    shed: u64,
+}
+
+/// Sliding windows and SLO trackers behind the `health` verb. Clock choice
+/// follows [`TelemetryConfig::wall`]: completed virtual work (deterministic
+/// per workload) or wall nanoseconds since server start (operational).
+struct Telemetry {
+    cfg: TelemetryConfig,
+    start: Instant,
+    state: Mutex<TelState>,
+}
+
+impl Telemetry {
+    fn new(cfg: TelemetryConfig) -> Telemetry {
+        let cfg = TelemetryConfig {
+            bucket_width: cfg.bucket_width.max(1),
+            buckets: cfg.buckets.max(1),
+            ..cfg
+        };
+        let window = || SlidingWindow::with_buckets(cfg.bucket_width, cfg.buckets);
+        Telemetry {
+            start: Instant::now(),
+            state: Mutex::new(TelState {
+                virt_now: 0,
+                latency: window(),
+                queue_depth: window(),
+                in_flight: window(),
+                latency_slo: SloTracker::new(
+                    SloSpec::new("translate_latency", cfg.latency_target, cfg.latency_budget),
+                    cfg.bucket_width,
+                    cfg.buckets,
+                ),
+                admission_slo: SloTracker::new(
+                    SloSpec::new("admission", 0, cfg.admission_budget),
+                    cfg.bucket_width,
+                    cfg.buckets,
+                ),
+                completed: 0,
+                shed: 0,
+            }),
+            cfg,
+        }
+    }
+
+    fn clock_name(&self) -> &'static str {
+        if self.cfg.wall {
+            "wall"
+        } else {
+            "virtual"
+        }
+    }
+
+    fn now(&self, st: &TelState) -> u64 {
+        if self.cfg.wall {
+            self.start.elapsed().as_nanos() as u64
+        } else {
+            st.virt_now
+        }
+    }
+
+    /// One completion: advance the virtual clock by the request's
+    /// report-stage work, then feed the latency window and SLO.
+    fn on_complete(&self, work: u64) {
+        let mut st = self.state.lock().expect("telemetry poisoned");
+        st.virt_now = st.virt_now.saturating_add(work);
+        st.completed += 1;
+        let now = self.now(&st);
+        st.latency.observe(now, work);
+        st.latency_slo.observe(now, work);
+    }
+
+    /// One admitted submission: the admission SLO observes a pass.
+    fn on_admit(&self) {
+        let mut st = self.state.lock().expect("telemetry poisoned");
+        let now = self.now(&st);
+        st.admission_slo.observe(now, 0);
+    }
+
+    /// One shed submission: the admission SLO observes a violation.
+    fn on_shed(&self) {
+        let mut st = self.state.lock().expect("telemetry poisoned");
+        st.shed += 1;
+        let now = self.now(&st);
+        st.admission_slo.observe(now, 1);
+    }
+
+    /// Sample the queue gauges into their windows (called on every queue
+    /// transition, with the queue lock held — the lock order is queue lock,
+    /// then telemetry lock, everywhere).
+    fn on_queue_sample(&self, depth: u64, in_flight: u64) {
+        let mut st = self.state.lock().expect("telemetry poisoned");
+        let now = self.now(&st);
+        st.queue_depth.observe(now, depth);
+        st.in_flight.observe(now, in_flight);
+    }
+}
+
+/// Point-in-time health report: the structured body of the `health` wire verb
+/// (and the soak driver's per-tick probe). Window statistics are over the
+/// telemetry window only; `completed`/`shed` and the `*_hwm` gauges are
+/// all-time.
+#[derive(Debug, Clone)]
+pub struct HealthSnapshot {
+    /// `"virtual"` or `"wall"` ([`TelemetryConfig::wall`]).
+    pub clock: &'static str,
+    /// Telemetry-clock position the windows were reduced at.
+    pub now: u64,
+    /// All-time completions.
+    pub completed: u64,
+    /// All-time shed submissions.
+    pub shed: u64,
+    /// Current queue depth.
+    pub queue_depth: u64,
+    /// Current in-flight count.
+    pub in_flight: u64,
+    /// All-time queue-depth high-watermark ([`Gauge::QueueDepthHwm`]).
+    pub queue_depth_hwm: u64,
+    /// All-time in-flight high-watermark ([`Gauge::InFlightHwm`]).
+    pub in_flight_hwm: u64,
+    /// Windowed queue-depth readings (`max` is the windowed high-watermark).
+    pub queue_window: WindowStats,
+    /// Windowed in-flight readings.
+    pub in_flight_window: WindowStats,
+    /// Windowed per-completion latency (report-stage work units).
+    pub latency: WindowStats,
+    /// Per-objective status, in declaration order (latency, admission).
+    pub slos: Vec<SloStatus>,
+    /// All-time transitions of any objective into Degraded/Breached.
+    pub episodes: u64,
+    /// Service verdict: the worst over all objectives.
+    pub verdict: SloVerdict,
+}
+
 struct Shared {
     state: Mutex<QueueState>,
     not_empty: Condvar,
@@ -166,14 +368,24 @@ struct Shared {
     /// The translator's execution session, if it has one — backs the cache and
     /// exec-operator sections of the `metrics` verb's exposition.
     session: Option<Arc<ExecSession>>,
+    /// The translator's event sink, if it has one — its loss counters join
+    /// the `metrics` exposition.
+    events: Option<Arc<EventSink>>,
+    telemetry: Telemetry,
 }
 
 impl Shared {
     /// Publish queue gauges. Callers hold the state lock, so the two sets are
-    /// atomic with respect to each other.
+    /// atomic with respect to each other. Raises the all-time high-watermark
+    /// gauges and samples the telemetry windows on the way.
     fn publish_gauges(&self, st: &QueueState) {
-        self.metrics.set_gauge(Gauge::QueueDepth, st.items.len() as u64);
-        self.metrics.set_gauge(Gauge::InFlight, st.in_flight as u64);
+        let depth = st.items.len() as u64;
+        let in_flight = st.in_flight as u64;
+        self.metrics.set_gauge(Gauge::QueueDepth, depth);
+        self.metrics.set_gauge(Gauge::InFlight, in_flight);
+        self.metrics.raise_gauge(Gauge::QueueDepthHwm, depth);
+        self.metrics.raise_gauge(Gauge::InFlightHwm, in_flight);
+        self.telemetry.on_queue_sample(depth, in_flight);
     }
 }
 
@@ -218,22 +430,160 @@ impl SubmitHandle {
         st.items.push_back(Item { req, tx, trace });
         self.shared.publish_gauges(&st);
         self.shared.not_empty.notify_one();
+        drop(st);
+        self.shared.telemetry.on_admit();
+        Ok(())
+    }
+
+    /// Non-blocking admission: like [`SubmitHandle::submit`], but a full
+    /// queue *sheds* the request with [`SubmitError::QueueFull`] instead of
+    /// blocking — the open-loop discipline the soak driver uses, where
+    /// arrivals are paced by an external clock and must not be slowed by the
+    /// server's own backpressure. Sheds count into
+    /// [`Counter::RequestsShed`] and burn the admission SLO's error budget.
+    pub fn try_submit(&self, req: Request, tx: Sender<Completion>) -> Result<(), SubmitError> {
+        let db_index = req.spec.example.db_index;
+        if db_index >= self.shared.databases {
+            return Err(SubmitError::UnknownDatabase {
+                db_index,
+                databases: self.shared.databases,
+            });
+        }
+        let trace = self.shared.sampler.filter(|s| s.admits(req.id)).map(|_| {
+            let rec = TraceRecorder::new(req.id);
+            let token = rec.start(QUEUE_WAIT_SPAN);
+            (rec, token)
+        });
+        let mut st = self.shared.state.lock().expect("serve queue poisoned");
+        if st.closed {
+            return Err(SubmitError::Closed);
+        }
+        if st.items.len() >= self.shared.cfg.queue_capacity {
+            drop(st);
+            self.shared.metrics.count(Counter::RequestsShed, 1);
+            self.shared.telemetry.on_shed();
+            return Err(SubmitError::QueueFull);
+        }
+        st.items.push_back(Item { req, tx, trace });
+        self.shared.publish_gauges(&st);
+        self.shared.not_empty.notify_one();
+        drop(st);
+        self.shared.telemetry.on_admit();
         Ok(())
     }
 
     /// Render the server's current observability state as Prometheus text
     /// exposition (stage counters and latency histograms, run counters,
-    /// gauges, fixer tallies, plus cache and exec-operator sections when the
-    /// translator runs through a shared [`ExecSession`]). This is the body of
-    /// the `{"cmd":"metrics"}` wire verb.
+    /// gauges, fixer tallies, cache and exec-operator sections when the
+    /// translator runs through a shared [`ExecSession`], and trace/event
+    /// sink loss counters). This is the body of the `{"cmd":"metrics"}` wire
+    /// verb.
     pub fn metrics_exposition(&self) -> String {
         let snap = self.shared.metrics.snapshot();
         let (cache, ops) = match &self.shared.session {
             Some(s) => (Some(s.stats()), Some(s.op_stats())),
             None => (None, None),
         };
-        obs::render_prometheus(&snap, cache.as_ref(), ops.as_ref())
+        let (dropped_traces, dropped_spans) = self.shared.trace_sink.loss();
+        let (dropped_event_batches, dropped_events) =
+            self.shared.events.as_ref().map_or((0, 0), |e| e.loss());
+        let loss =
+            SinkLoss { dropped_traces, dropped_spans, dropped_event_batches, dropped_events };
+        obs::render_prometheus(&snap, cache.as_ref(), ops.as_ref(), Some(&loss))
     }
+
+    /// Reduce the telemetry windows and SLO trackers to a point-in-time
+    /// [`HealthSnapshot`] — the structured body of the `{"cmd":"health"}`
+    /// wire verb. The snapshot is *operational* state: unlike translations
+    /// and reports it depends on scheduling, so it carries no determinism
+    /// contract (the soak timeline's virtual columns do; see
+    /// [`crate::soak`]).
+    pub fn health(&self) -> HealthSnapshot {
+        // Lock order: queue state, then telemetry (same as publish_gauges).
+        let (queue_depth, in_flight) = {
+            let st = self.shared.state.lock().expect("serve queue poisoned");
+            (st.items.len() as u64, st.in_flight as u64)
+        };
+        let snap = self.shared.metrics.snapshot();
+        let tel = &self.shared.telemetry;
+        let mut st = tel.state.lock().expect("telemetry poisoned");
+        let now = tel.now(&st);
+        let latency = st.latency.snapshot(now);
+        let queue_window = st.queue_depth.snapshot(now);
+        let in_flight_window = st.in_flight.snapshot(now);
+        let latency_slo = st.latency_slo.status(now);
+        let admission_slo = st.admission_slo.status(now);
+        let episodes = st.latency_slo.episodes() + st.admission_slo.episodes();
+        let verdict = latency_slo.verdict.worst(admission_slo.verdict);
+        HealthSnapshot {
+            clock: tel.clock_name(),
+            now,
+            completed: st.completed,
+            shed: st.shed,
+            queue_depth,
+            in_flight,
+            queue_depth_hwm: snap.gauge(Gauge::QueueDepthHwm).unwrap_or(0),
+            in_flight_hwm: snap.gauge(Gauge::InFlightHwm).unwrap_or(0),
+            queue_window,
+            in_flight_window,
+            latency,
+            slos: vec![latency_slo, admission_slo],
+            episodes,
+            verdict,
+        }
+    }
+
+    /// [`SubmitHandle::health`] rendered as one JSON object — the
+    /// `{"cmd":"health"}` wire verb's answer.
+    pub fn health_json(&self) -> String {
+        health_to_json(&self.health())
+    }
+}
+
+fn window_stats_json(w: &WindowStats) -> String {
+    format!(
+        "{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+        w.count, w.sum, w.max, w.p50, w.p95, w.p99
+    )
+}
+
+fn slo_status_json(s: &SloStatus) -> String {
+    format!(
+        "{{\"name\":{},\"target\":{},\"budget\":{:.4},\"observed\":{},\"violations\":{},\
+         \"burn_rate\":{:.4},\"verdict\":{}}}",
+        json_escape(&s.name),
+        s.target,
+        s.budget,
+        s.observed,
+        s.violations,
+        s.burn_rate,
+        json_escape(s.verdict.name())
+    )
+}
+
+/// Render a [`HealthSnapshot`] as the `health` verb's JSON body.
+pub fn health_to_json(h: &HealthSnapshot) -> String {
+    let slos: Vec<String> = h.slos.iter().map(slo_status_json).collect();
+    format!(
+        "{{\"clock\":{},\"now\":{},\"completed\":{},\"shed\":{},\
+         \"queue\":{{\"depth\":{},\"in_flight\":{},\"depth_hwm\":{},\"in_flight_hwm\":{},\
+         \"window_depth_hwm\":{},\"window_in_flight_hwm\":{}}},\
+         \"latency\":{},\"slos\":[{}],\"episodes\":{},\"verdict\":{}}}",
+        json_escape(h.clock),
+        h.now,
+        h.completed,
+        h.shed,
+        h.queue_depth,
+        h.in_flight,
+        h.queue_depth_hwm,
+        h.in_flight_hwm,
+        h.queue_window.max,
+        h.in_flight_window.max,
+        window_stats_json(&h.latency),
+        slos.join(","),
+        h.episodes,
+        json_escape(h.verdict.name())
+    )
 }
 
 /// The running server: a bounded request queue drained by worker threads.
@@ -270,6 +620,8 @@ impl Server {
             sampler,
             trace_sink: SpanSink::shared(),
             session: purple.env().session.clone(),
+            events: purple.env().events.clone(),
+            telemetry: Telemetry::new(cfg.telemetry),
         });
         let workers = (0..cfg.workers)
             .map(|i| {
@@ -379,6 +731,9 @@ fn worker_loop(shared: &Shared, purple: &Purple, bench: &Benchmark) {
             if let Some((rec, _)) = item.trace {
                 shared.trace_sink.publish(rec);
             }
+            // Feed telemetry before the completion too, so a client that has
+            // seen its response finds it reflected in the `health` verb.
+            shared.telemetry.on_complete(outcome.metrics.report_work());
             // A client that hung up just discards its completions.
             let _ = item.tx.send(Completion { response, outcome });
         }
@@ -423,10 +778,11 @@ pub struct ConnStats {
 /// (see [`eval::request_from_json`]), each output line a response — written
 /// as translations complete, so out of order; clients correlate by `id`.
 /// Malformed or refused lines get `{"error":...}` / `{"id":N,"error":...}`.
-/// Command lines (`{"cmd":"metrics"}`, see [`eval::command_from_json`]) are
-/// answered inline with `{"metrics":"<Prometheus text exposition>"}` and
-/// count toward neither [`ConnStats`] field. Returns when the input reaches
-/// EOF and every admitted request has been answered.
+/// Command lines (see [`eval::command_from_json`]) are answered inline —
+/// `{"cmd":"metrics"}` with `{"metrics":"<Prometheus text exposition>"}`,
+/// `{"cmd":"health"}` with `{"health":{...}}` — and count toward neither
+/// [`ConnStats`] field. Returns when the input reaches EOF and every admitted
+/// request has been answered.
 pub fn serve_connection<R, W>(
     handle: &SubmitHandle,
     reader: R,
@@ -465,6 +821,13 @@ where
                     let body = handle.metrics_exposition();
                     let mut w = out.lock().expect("serve writer poisoned");
                     writeln!(w, "{{\"metrics\":{}}}", json_escape(&body))?;
+                    w.flush()?;
+                    continue;
+                }
+                Ok(Some(ServeCommand::Health)) => {
+                    let body = handle.health_json();
+                    let mut w = out.lock().expect("serve writer poisoned");
+                    writeln!(w, "{{\"health\":{body}}}")?;
                     w.flush()?;
                     continue;
                 }

@@ -313,7 +313,7 @@ mod tests {
         }
         fn run(&self, job: DmlJob<'_>) -> Translation {
             let seed = job.seed(0x5eed);
-            let sql = if seed % 2 == 0 {
+            let sql = if seed.is_multiple_of(2) {
                 job.example.sql.clone()
             } else {
                 let table = job.example.statement.target_table().unwrap_or("t");

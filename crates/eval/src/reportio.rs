@@ -159,7 +159,7 @@ pub fn metrics_to_json(m: &StageMetrics) -> String {
         write!(out, "{}:{}", escape(counter.name()), m.counter(counter)).unwrap();
     }
     out.push_str("},\"gauges\":{");
-    for (i, gauge) in Gauge::ALL.into_iter().enumerate() {
+    for (i, gauge) in Gauge::REPORT.into_iter().enumerate() {
         if i > 0 {
             out.push(',');
         }

@@ -33,14 +33,18 @@ use std::fmt::Write as _;
 /// A protocol command line: `{"cmd":"<verb>"}` instead of a request object.
 ///
 /// Commands share the LDJSON stream with requests and are distinguished by
-/// the `cmd` key (requests never carry one). The only verb today is
-/// `metrics`, the live telemetry probe answered with a Prometheus text
-/// exposition (DESIGN.md §14).
+/// the `cmd` key (requests never carry one). The verbs are `metrics`, the
+/// live telemetry probe answered with a Prometheus text exposition
+/// (DESIGN.md §14), and `health`, the windowed SLO probe answered with one
+/// JSON object (DESIGN.md §16).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServeCommand {
     /// `{"cmd":"metrics"}` — return a Prometheus-style exposition of the
     /// server's counters, gauges, histograms, cache stats, and exec op stats.
     Metrics,
+    /// `{"cmd":"health"}` — return the current sliding-window telemetry
+    /// snapshot and SLO verdict as one JSON object.
+    Health,
 }
 
 /// Classify a protocol line as a command.
@@ -65,6 +69,7 @@ pub fn command_from_json(text: &str) -> Result<Option<ServeCommand>, String> {
     }
     match verb.as_string("cmd")?.as_str() {
         "metrics" => Ok(Some(ServeCommand::Metrics)),
+        "health" => Ok(Some(ServeCommand::Health)),
         other => Err(format!("unknown command verb `{other}`")),
     }
 }
@@ -245,6 +250,7 @@ mod tests {
     #[test]
     fn command_lines_are_classified() {
         assert_eq!(command_from_json("{\"cmd\":\"metrics\"}"), Ok(Some(ServeCommand::Metrics)));
+        assert_eq!(command_from_json("{\"cmd\":\"health\"}"), Ok(Some(ServeCommand::Health)));
         // Not commands: requests, non-objects, malformed JSON (the request
         // parser owns their error reporting).
         assert_eq!(command_from_json("{\"id\":1}"), Ok(None));

@@ -260,6 +260,13 @@ pub fn inject_schema_col(q: &mut Query, db: &Database, rng: &mut StdRng) -> Opti
         } else {
             format!("{}_value", c.column)
         };
+        // A near-miss that lexes as a keyword (`a` → `as`) would break the
+        // parse, not schema linking; the `_value` suffix never collides.
+        let mangled = if sqlkit::lexer::KEYWORDS.iter().any(|k| k.eq_ignore_ascii_case(&mangled)) {
+            format!("{}_value", c.column)
+        } else {
+            mangled
+        };
         // Only inject when the mangled name really does not exist.
         if db.schema.tables.iter().any(|t| t.column_index(&mangled).is_some()) {
             continue;

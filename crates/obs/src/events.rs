@@ -302,6 +302,14 @@ impl EventSink {
         self.len() == 0
     }
 
+    /// Current `(dropped batches, dropped events)` without draining — feeds
+    /// the event-loss counters of the Prometheus exposition. Both reset to
+    /// zero when [`EventSink::drain`] takes the accumulated state.
+    pub fn loss(&self) -> (u64, u64) {
+        let st = self.inner.lock();
+        (st.dropped_batches, st.dropped_events)
+    }
+
     /// Atomically take everything: retained events flattened in ascending
     /// example order, plus drop accounting. Resets the sink.
     pub fn drain(&self) -> DrainedEvents {

@@ -23,6 +23,12 @@
 //! same two-clock discipline ([`TraceRecorder`] / [`SpanSink`], DESIGN.md
 //! §14), and [`prom`] renders a snapshot as Prometheus text exposition for
 //! the serving layer's live `{"cmd":"metrics"}` telemetry verb.
+//!
+//! The [`window`] and [`slo`] modules layer *time-resolved* telemetry on top
+//! (DESIGN.md §16): ring-buffer sliding windows giving rolling rates,
+//! high-watermarks, and p50/p95/p99, plus declarative latency/admission SLOs
+//! reduced to a Healthy/Degraded/Breached verdict. They power the serving
+//! layer's `{"cmd":"health"}` verb and the soak timeline.
 
 #![warn(missing_docs)]
 
@@ -31,8 +37,10 @@ pub mod events;
 mod ops;
 pub mod prom;
 mod registry;
+pub mod slo;
 mod snapshot;
 pub mod trace;
+pub mod window;
 
 pub use cache::{CacheCounters, CacheStats, StageCacheCounters, StageCacheStats};
 pub use events::{
@@ -40,8 +48,9 @@ pub use events::{
     DEFAULT_EVENTS_PER_EXAMPLE, DEFAULT_MAX_EXAMPLES,
 };
 pub use ops::{ExecOpCounters, ExecOpStats};
-pub use prom::render_prometheus;
+pub use prom::{render_prometheus, SinkLoss};
 pub use registry::{Clock, MetricsRegistry, Span};
+pub use slo::{SloSpec, SloStatus, SloTracker, SloVerdict};
 pub use snapshot::{
     CounterBlock, FixerStats, GaugeSlot, Histogram, StageMetrics, StageStats, NUM_BUCKETS,
 };
@@ -49,6 +58,7 @@ pub use trace::{
     DrainedTraces, SpanId, SpanRecord, SpanSink, SpanToken, TraceId, TraceRecorder, TraceSampler,
     TraceSpans,
 };
+pub use window::{SlidingWindow, WindowStats};
 
 /// A pipeline stage with its own call counter and latency histogram.
 ///
@@ -218,11 +228,14 @@ pub enum Counter {
     RowsDeleted,
     /// INSERT tuples that hit an existing primary key under `ON CONFLICT`.
     ConflictHits,
+    /// Serve requests rejected at admission because the queue was full
+    /// (open-loop `try_submit` under overload; blocking `submit` never sheds).
+    RequestsShed,
 }
 
 impl Counter {
     /// Number of counters (array dimension of [`CounterBlock`]).
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 12;
 
     /// Every counter, in serialization order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -237,6 +250,7 @@ impl Counter {
         Counter::RowsUpdated,
         Counter::RowsDeleted,
         Counter::ConflictHits,
+        Counter::RequestsShed,
     ];
 
     /// The counters rendered into deterministic report JSON: the original
@@ -267,6 +281,7 @@ impl Counter {
             Counter::RowsUpdated => "rows_updated",
             Counter::RowsDeleted => "rows_deleted",
             Counter::ConflictHits => "conflict_hits",
+            Counter::RequestsShed => "requests_shed",
         }
     }
 
@@ -293,14 +308,30 @@ pub enum Gauge {
     QueueDepth,
     /// Requests currently being translated by serve workers.
     InFlight,
+    /// Largest queue depth ever observed by this registry (monotone).
+    QueueDepthHwm,
+    /// Largest in-flight count ever observed by this registry (monotone).
+    InFlightHwm,
 }
 
 impl Gauge {
     /// Number of gauges (array dimension of [`StageMetrics::gauges`]).
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 6;
 
     /// Every gauge, in serialization order.
-    pub const ALL: [Gauge; Gauge::COUNT] =
+    pub const ALL: [Gauge; Gauge::COUNT] = [
+        Gauge::DemosInPrompt,
+        Gauge::PoolSize,
+        Gauge::QueueDepth,
+        Gauge::InFlight,
+        Gauge::QueueDepthHwm,
+        Gauge::InFlightHwm,
+    ];
+
+    /// The gauges rendered into deterministic report JSON: the original four.
+    /// The serving high-watermarks stay out so every `EvalReport` remains
+    /// byte-identical to reports produced before windowed telemetry existed.
+    pub const REPORT: [Gauge; 4] =
         [Gauge::DemosInPrompt, Gauge::PoolSize, Gauge::QueueDepth, Gauge::InFlight];
 
     /// Stable snake_case name used in JSON.
@@ -310,6 +341,8 @@ impl Gauge {
             Gauge::PoolSize => "pool_size",
             Gauge::QueueDepth => "queue_depth",
             Gauge::InFlight => "in_flight",
+            Gauge::QueueDepthHwm => "queue_depth_hwm",
+            Gauge::InFlightHwm => "in_flight_hwm",
         }
     }
 

@@ -38,12 +38,43 @@ fn cache_stage_lines(out: &mut String, stage: &str, s: &StageCacheStats) {
     writeln!(out, "purple_cache_entries{{cache=\"{stage}\"}} {}", s.entries).unwrap();
 }
 
+/// Observability-pipeline loss accounting: what the bounded trace/event sinks
+/// discarded under pressure ([`crate::SpanSink::loss`],
+/// [`crate::EventSink::loss`]). Rendered as counters so a scrape can tell
+/// whether the diagnostics it sees are complete.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SinkLoss {
+    /// Whole traces evicted by the span sink's bound.
+    pub dropped_traces: u64,
+    /// Spans discarded by per-trace caps.
+    pub dropped_spans: u64,
+    /// Whole example batches evicted by the event sink's bound.
+    pub dropped_event_batches: u64,
+    /// Events discarded by per-example caps.
+    pub dropped_events: u64,
+}
+
+impl SinkLoss {
+    /// `(name, value)` pairs in exposition order; the name is the full metric
+    /// name minus the `purple_` prefix and `_total` suffix.
+    pub fn series(&self) -> [(&'static str, u64); 4] {
+        [
+            ("dropped_traces", self.dropped_traces),
+            ("dropped_spans", self.dropped_spans),
+            ("dropped_event_batches", self.dropped_event_batches),
+            ("dropped_events", self.dropped_events),
+        ]
+    }
+}
+
 /// Render a [`StageMetrics`] snapshot — optionally with execution-session
-/// cache stats and vectorized-operator stats — as Prometheus text exposition.
+/// cache stats, vectorized-operator stats, and trace/event sink loss — as
+/// Prometheus text exposition.
 pub fn render_prometheus(
     metrics: &StageMetrics,
     cache: Option<&CacheStats>,
     ops: Option<&ExecOpStats>,
+    loss: Option<&SinkLoss>,
 ) -> String {
     let mut out = String::with_capacity(4096);
     let unit = match metrics.clock {
@@ -106,6 +137,14 @@ pub fn render_prometheus(
             writeln!(out, "purple_exec_{name}_total {value}").unwrap();
         }
     }
+    if let Some(loss) = loss {
+        writeln!(out, "# HELP purple_dropped_traces_total Observability data lost to sink bounds.")
+            .unwrap();
+        for (name, value) in loss.series() {
+            writeln!(out, "# TYPE purple_{name}_total counter").unwrap();
+            writeln!(out, "purple_{name}_total {value}").unwrap();
+        }
+    }
     out
 }
 
@@ -122,7 +161,8 @@ mod tests {
         m.record_fix(Fixer::MissingTable, true);
         let cache = CacheStats::default();
         let ops = ExecOpStats { batches: 9, ..ExecOpStats::default() };
-        let text = render_prometheus(&m, Some(&cache), Some(&ops));
+        let loss = SinkLoss { dropped_traces: 2, dropped_spans: 5, ..SinkLoss::default() };
+        let text = render_prometheus(&m, Some(&cache), Some(&ops), Some(&loss));
         assert!(text.contains("purple_stage_calls_total{stage=\"llm-call\"} 1"));
         assert!(text.contains("purple_stage_latency_bucket{stage=\"llm-call\",le=\"+Inf\"} 1"));
         assert!(text.contains("purple_stage_latency_sum{stage=\"llm-call\"} 120"));
@@ -131,6 +171,9 @@ mod tests {
         assert!(text.contains("purple_fixer_hits_total{fixer=\"missing-table\"} 1"));
         assert!(text.contains("purple_cache_entries{cache=\"parse\"} 0"));
         assert!(text.contains("purple_exec_batches_total 9"));
+        assert!(text.contains("purple_dropped_traces_total 2"));
+        assert!(text.contains("purple_dropped_spans_total 5"));
+        assert!(text.contains("purple_dropped_events_total 0"));
         // Every enum variant has a sample line.
         for s in Stage::ALL {
             assert!(text.contains(&format!("{{stage=\"{}\"}}", s.name())));
@@ -148,7 +191,7 @@ mod tests {
         let mut m = StageMetrics::default();
         m.observe(Stage::Adaption, 1); // bucket le=1
         m.observe(Stage::Adaption, 3); // bucket le=4
-        let text = render_prometheus(&m, None, None);
+        let text = render_prometheus(&m, None, None, None);
         assert!(text.contains("purple_stage_latency_bucket{stage=\"adaption\",le=\"1\"} 1"));
         assert!(text.contains("purple_stage_latency_bucket{stage=\"adaption\",le=\"4\"} 2"));
         assert!(text.contains("purple_stage_latency_bucket{stage=\"adaption\",le=\"+Inf\"} 2"));

@@ -102,6 +102,11 @@ impl MetricsRegistry {
         self.inner.lock().set_gauge(gauge, value);
     }
 
+    /// Raise a gauge to at least `value` (high-watermark semantics).
+    pub fn raise_gauge(&self, gauge: Gauge, value: u64) {
+        self.inner.lock().raise_gauge(gauge, value);
+    }
+
     /// Record one fixer application (`success` = the sample it repaired ended
     /// up executable).
     pub fn record_fix(&self, fixer: Fixer, success: bool) {

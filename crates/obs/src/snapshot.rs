@@ -208,6 +208,22 @@ impl StageMetrics {
         self.gauges[g.index()] = GaugeSlot { set: true, value };
     }
 
+    /// Raise a gauge to at least `value` (high-watermark semantics: the slot
+    /// only ever moves up).
+    pub fn raise_gauge(&mut self, g: Gauge, value: u64) {
+        let slot = &mut self.gauges[g.index()];
+        slot.value = if slot.set { slot.value.max(value) } else { value };
+        slot.set = true;
+    }
+
+    /// Total virtual work recorded across the [`Stage::REPORT`] stages — the
+    /// per-request cost under [`Clock::Virtual`]. Deterministic for a given
+    /// example regardless of caching or scheduling *of other requests*, which
+    /// is what the soak timeline's offered-load cost table relies on.
+    pub fn report_work(&self) -> u64 {
+        Stage::REPORT.iter().map(|s| self.stage(*s).latency.sum).fold(0, u64::saturating_add)
+    }
+
     /// Record one fixer application.
     pub fn record_fix(&mut self, f: Fixer, success: bool) {
         let stats = &mut self.fixers[f.index()];
@@ -337,8 +353,13 @@ mod tests {
             Counter::RowsUpdated,
             Counter::RowsDeleted,
             Counter::ConflictHits,
+            Counter::RequestsShed,
         ] {
             assert!(!Counter::REPORT.contains(&c), "{c:?} must stay out of report JSON");
+        }
+        assert_eq!(&Gauge::ALL[..Gauge::REPORT.len()], &Gauge::REPORT[..]);
+        for g in [Gauge::QueueDepthHwm, Gauge::InFlightHwm] {
+            assert!(!Gauge::REPORT.contains(&g), "{g:?} must stay out of report JSON");
         }
         // `Fixer::from_category` is the same label space as `from_name`.
         for f in Fixer::ALL {

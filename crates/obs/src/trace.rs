@@ -307,6 +307,14 @@ impl SpanSink {
         self.len() == 0
     }
 
+    /// Current `(dropped traces, dropped spans)` without draining — feeds the
+    /// trace-loss counters of the Prometheus exposition. Both reset to zero
+    /// when [`SpanSink::drain`] takes the accumulated state.
+    pub fn loss(&self) -> (u64, u64) {
+        let st = self.inner.lock().expect("span sink poisoned");
+        (st.dropped_traces, st.dropped_spans)
+    }
+
     /// Drain everything in ascending trace-id order, resetting the sink.
     pub fn drain(&self) -> DrainedTraces {
         let mut st = self.inner.lock().expect("span sink poisoned");

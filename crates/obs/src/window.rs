@@ -1,0 +1,342 @@
+//! Time-resolved telemetry: ring-buffer sliding-window aggregators
+//! (DESIGN.md §16).
+//!
+//! The whole-process [`crate::MetricsRegistry`] answers "what happened since
+//! startup"; a [`SlidingWindow`] answers "what is happening *now*": windowed
+//! counters read as rates, gauge high-watermarks, and windowed latency
+//! distributions yielding rolling p50/p95/p99.
+//!
+//! A window is clock-agnostic: every [`SlidingWindow::observe`] carries an
+//! explicit clock position `at`, so the same type serves both discipline
+//! of the two-clock convention (DESIGN.md §8) —
+//!
+//! * **virtual** positions (work units, arrival indices) make the window a
+//!   pure function of its observations: snapshots are byte-identical for any
+//!   worker count or arrival interleaving, which is what the soak timeline's
+//!   determinism contract is built on;
+//! * **wall** positions (nanoseconds since some origin) give live operational
+//!   windows — "p99 over the last 60 seconds" — at the usual cost of
+//!   machine-dependence.
+//!
+//! Internally the window is a ring of fixed-width buckets. Observations land
+//! in the bucket covering their position; positions older than the retained
+//! span are counted as `late` rather than silently folded into the wrong
+//! bucket. Per-bucket raw values are retained (up to [`SlidingWindow::new`]'s
+//! `sample_cap`) so percentiles are exact nearest-rank statistics whenever the
+//! cap is not hit; past the cap, excess values still count toward
+//! count/sum/max and the snapshot reports how many samples back its
+//! percentiles.
+
+use std::collections::VecDeque;
+
+/// Default per-bucket bound on raw values retained for percentiles.
+pub const DEFAULT_SAMPLE_CAP: usize = 8192;
+
+/// One ring bucket: aggregates plus capped raw samples.
+#[derive(Debug, Clone, Default)]
+struct BucketAgg {
+    /// Absolute bucket number (`position / bucket_width`).
+    index: u64,
+    count: u64,
+    sum: u64,
+    max: u64,
+    samples: Vec<u64>,
+}
+
+/// Aggregate statistics over one bucket or one whole window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Observations covered.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Largest observed value (the high-watermark for gauge streams).
+    pub max: u64,
+    /// Nearest-rank p50 over retained samples (0 when empty).
+    pub p50: u64,
+    /// Nearest-rank p95 over retained samples.
+    pub p95: u64,
+    /// Nearest-rank p99 over retained samples.
+    pub p99: u64,
+    /// Samples backing the percentiles (`< count` only past the sample cap).
+    pub sampled: u64,
+}
+
+impl WindowStats {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    fn from_samples(count: u64, sum: u64, max: u64, mut samples: Vec<u64>) -> WindowStats {
+        samples.sort_unstable();
+        let pick = |q: f64| -> u64 {
+            if samples.is_empty() {
+                return 0;
+            }
+            // Nearest-rank: the ceil(q*N)-th smallest value.
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            samples[rank - 1]
+        };
+        WindowStats {
+            count,
+            sum,
+            max,
+            p50: pick(0.50),
+            p95: pick(0.95),
+            p99: pick(0.99),
+            sampled: samples.len() as u64,
+        }
+    }
+}
+
+/// A ring-buffer sliding window over a one-dimensional clock.
+///
+/// `bucket_width` clock units per bucket, `buckets` live buckets — the
+/// retained span is their product. The ring advances lazily: an observation
+/// (or an explicit [`SlidingWindow::advance`]) at a later position rotates
+/// expired buckets out and accounts them into the all-time totals.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    bucket_width: u64,
+    capacity: usize,
+    sample_cap: usize,
+    ring: VecDeque<BucketAgg>,
+    /// Observations whose position predates the retained span.
+    late: u64,
+    /// All-time observation count (window membership notwithstanding).
+    total_count: u64,
+    /// All-time value sum.
+    total_sum: u64,
+    /// All-time maximum.
+    total_max: u64,
+}
+
+impl SlidingWindow {
+    /// A window of `buckets` buckets, each `bucket_width` clock units wide,
+    /// retaining up to `sample_cap` raw values per bucket for percentiles.
+    pub fn new(bucket_width: u64, buckets: usize, sample_cap: usize) -> SlidingWindow {
+        SlidingWindow {
+            bucket_width: bucket_width.max(1),
+            capacity: buckets.max(1),
+            sample_cap: sample_cap.max(1),
+            ring: VecDeque::new(),
+            late: 0,
+            total_count: 0,
+            total_sum: 0,
+            total_max: 0,
+        }
+    }
+
+    /// A window with the default per-bucket sample cap.
+    pub fn with_buckets(bucket_width: u64, buckets: usize) -> SlidingWindow {
+        SlidingWindow::new(bucket_width, buckets, DEFAULT_SAMPLE_CAP)
+    }
+
+    /// Clock units per bucket.
+    pub fn bucket_width(&self) -> u64 {
+        self.bucket_width
+    }
+
+    /// Clock span the window retains (`bucket_width * buckets`).
+    pub fn span(&self) -> u64 {
+        self.bucket_width.saturating_mul(self.capacity as u64)
+    }
+
+    /// Observations that arrived too old for the retained span.
+    pub fn late(&self) -> u64 {
+        self.late
+    }
+
+    /// All-time `(count, sum, max)`, independent of window membership.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        (self.total_count, self.total_sum, self.total_max)
+    }
+
+    fn newest_index(&self) -> Option<u64> {
+        self.ring.back().map(|b| b.index)
+    }
+
+    /// Rotate the ring forward so it covers the bucket of clock position
+    /// `now`. Buckets older than the retained span fall out.
+    pub fn advance(&mut self, now: u64) {
+        let bucket = now / self.bucket_width;
+        if self.newest_index().is_some_and(|newest| bucket <= newest) {
+            return;
+        }
+        self.ring.push_back(BucketAgg { index: bucket, ..BucketAgg::default() });
+        let oldest_live = bucket.saturating_sub(self.capacity as u64 - 1);
+        while self.ring.front().is_some_and(|b| b.index < oldest_live) {
+            self.ring.pop_front();
+        }
+    }
+
+    /// Record one observation at clock position `at`.
+    ///
+    /// Gauge streams record sampled readings here too — the window statistic
+    /// that matters for them is [`WindowStats::max`], the high-watermark.
+    pub fn observe(&mut self, at: u64, value: u64) {
+        self.total_count += 1;
+        self.total_sum = self.total_sum.saturating_add(value);
+        self.total_max = self.total_max.max(value);
+        self.advance(at);
+        let bucket = at / self.bucket_width;
+        let newest = self.newest_index().expect("advance seeded the ring");
+        // Find the live bucket for `at`; an older-than-retained position is
+        // counted as late instead of corrupting a wrong bucket. A position
+        // merely older than the oldest *materialized* bucket is still live
+        // (sparse streams materialize buckets out of order).
+        let oldest_live = newest.saturating_sub(self.capacity as u64 - 1);
+        if bucket < oldest_live {
+            self.late += 1;
+            return;
+        }
+        let slot = match self.ring.iter_mut().find(|b| b.index == bucket) {
+            Some(slot) => slot,
+            None => {
+                // Live but never materialized (sparse stream): insert in order.
+                let pos =
+                    self.ring.iter().position(|b| b.index > bucket).unwrap_or(self.ring.len());
+                self.ring.insert(pos, BucketAgg { index: bucket, ..BucketAgg::default() });
+                &mut self.ring[pos]
+            }
+        };
+        slot.count += 1;
+        slot.sum = slot.sum.saturating_add(value);
+        slot.max = slot.max.max(value);
+        if slot.samples.len() < self.sample_cap {
+            slot.samples.push(value);
+        }
+    }
+
+    /// Statistics over everything inside the window as of clock position
+    /// `now` (rotating first, so expired buckets are excluded).
+    pub fn snapshot(&mut self, now: u64) -> WindowStats {
+        self.advance(now);
+        let mut count = 0;
+        let mut sum = 0u64;
+        let mut max = 0;
+        let mut samples = Vec::new();
+        for b in &self.ring {
+            count += b.count;
+            sum = sum.saturating_add(b.sum);
+            max = max.max(b.max);
+            samples.extend_from_slice(&b.samples);
+        }
+        WindowStats::from_samples(count, sum, max, samples)
+    }
+
+    /// Observations per clock unit over the retained span as of `now`.
+    pub fn rate(&mut self, now: u64) -> f64 {
+        let stats = self.snapshot(now);
+        stats.count as f64 / self.span() as f64
+    }
+
+    /// Statistics for one absolute bucket (`None` if it was never observed or
+    /// has already rotated out). The soak timeline reads each bucket as it
+    /// closes — one [`WindowStats`] per tick.
+    pub fn bucket_stats(&self, index: u64) -> Option<WindowStats> {
+        let b = self.ring.iter().find(|b| b.index == index)?;
+        Some(WindowStats::from_samples(b.count, b.sum, b.max, b.samples.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_slides_and_drops_expired_buckets() {
+        let mut w = SlidingWindow::with_buckets(10, 3); // span 30
+        w.observe(5, 100);
+        w.observe(15, 200);
+        w.observe(25, 300);
+        let s = w.snapshot(29);
+        assert_eq!((s.count, s.sum, s.max), (3, 600, 300));
+        // Position 35 opens bucket 3; bucket 0 (positions 0..10) expires.
+        let s = w.snapshot(35);
+        assert_eq!((s.count, s.sum), (2, 500));
+        // All-time totals are unaffected by expiry.
+        assert_eq!(w.totals(), (3, 600, 300));
+    }
+
+    #[test]
+    fn percentiles_are_exact_nearest_rank_under_the_cap() {
+        let mut w = SlidingWindow::with_buckets(1000, 4);
+        for v in 1..=100u64 {
+            w.observe(v, v);
+        }
+        let s = w.snapshot(100);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sampled, 100);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.max, 100);
+    }
+
+    #[test]
+    fn observation_order_does_not_change_snapshots() {
+        let values: Vec<(u64, u64)> = (0..50).map(|i| (i * 7 % 40, i + 1)).collect();
+        let mut fwd = SlidingWindow::with_buckets(10, 4);
+        for &(at, v) in &values {
+            fwd.observe(at, v);
+        }
+        let mut rev = SlidingWindow::with_buckets(10, 4);
+        for &(at, v) in values.iter().rev() {
+            rev.observe(at, v);
+        }
+        assert_eq!(fwd.snapshot(39), rev.snapshot(39));
+        assert_eq!(fwd.late(), rev.late());
+    }
+
+    #[test]
+    fn late_observations_are_counted_not_misfiled() {
+        let mut w = SlidingWindow::with_buckets(10, 2); // span 20
+        w.observe(100, 1);
+        w.observe(5, 9); // bucket 0 expired long ago
+        assert_eq!(w.late(), 1);
+        let s = w.snapshot(100);
+        assert_eq!(s.count, 1, "late value stays out of the window");
+        assert_eq!(w.totals().0, 2, "but still counts all-time");
+    }
+
+    #[test]
+    fn sample_cap_keeps_counts_exact_and_reports_sampling() {
+        let mut w = SlidingWindow::new(10, 2, 4);
+        for i in 0..10u64 {
+            w.observe(3, i);
+        }
+        let s = w.snapshot(3);
+        assert_eq!(s.count, 10);
+        assert_eq!(s.sampled, 4);
+        assert_eq!(s.max, 9, "max is exact past the cap");
+    }
+
+    #[test]
+    fn bucket_stats_reads_one_closed_tick() {
+        let mut w = SlidingWindow::with_buckets(10, 8);
+        w.observe(12, 5);
+        w.observe(17, 7);
+        w.observe(23, 1);
+        let b1 = w.bucket_stats(1).expect("bucket 1 live");
+        assert_eq!((b1.count, b1.sum, b1.max), (2, 12, 7));
+        assert_eq!(b1.p50, 5);
+        assert!(w.bucket_stats(5).is_none());
+    }
+
+    #[test]
+    fn gauge_stream_high_watermark() {
+        let mut w = SlidingWindow::with_buckets(100, 2);
+        for (at, depth) in [(10, 3), (50, 8), (90, 2)] {
+            w.observe(at, depth);
+        }
+        assert_eq!(w.snapshot(99).max, 8);
+        // Two buckets later the spike has aged out.
+        assert_eq!(w.snapshot(299).max, 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Parse-back sanity for the Prometheus text exposition: render a fully
+//! populated snapshot, then re-parse the text and check the invariants a
+//! scraper relies on — histogram buckets cumulative and capped by `_count`,
+//! and every counter/gauge sample recoverable by name with its exact value.
+
+use obs::{
+    render_prometheus, CacheStats, Counter, ExecOpStats, Fixer, Gauge, SinkLoss, Stage,
+    StageCacheStats, StageMetrics,
+};
+
+/// A snapshot with every enum populated and distinct per-variant values, so a
+/// parse that confuses two series cannot pass by coincidence.
+fn populated() -> StageMetrics {
+    let mut m = StageMetrics::default();
+    for (i, s) in Stage::ALL.into_iter().enumerate() {
+        let base = (i as u64 + 1) * 3;
+        m.observe(s, 1); // lowest bucket
+        m.observe(s, base * 7); // mid buckets, stage-distinct
+        m.observe(s, base * 1000); // high buckets
+    }
+    for (i, c) in Counter::ALL.into_iter().enumerate() {
+        m.count(c, 100 + i as u64);
+    }
+    for (i, g) in Gauge::ALL.into_iter().enumerate() {
+        m.set_gauge(g, 200 + i as u64);
+    }
+    for (i, f) in Fixer::ALL.into_iter().enumerate() {
+        for _ in 0..=i {
+            m.record_fix(f, i % 2 == 0);
+        }
+    }
+    m
+}
+
+/// The one sample line `"{name} {value}"` (unlabeled series only); panics on
+/// zero or multiple matches so prefix collisions are caught, not masked.
+fn sample(text: &str, name: &str) -> u64 {
+    let matches: Vec<u64> = text
+        .lines()
+        .filter_map(|l| l.strip_prefix(name))
+        .filter_map(|rest| rest.strip_prefix(' '))
+        .map(|v| v.parse().expect("sample value parses"))
+        .collect();
+    assert_eq!(matches.len(), 1, "exactly one `{name}` sample expected");
+    matches[0]
+}
+
+#[test]
+fn histogram_buckets_parse_back_cumulative_and_capped() {
+    let m = populated();
+    let text = render_prometheus(&m, None, None, None);
+    for s in Stage::ALL {
+        let prefix = format!("purple_stage_latency_bucket{{stage=\"{}\",le=\"", s.name());
+        let buckets: Vec<(String, u64)> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix(&prefix))
+            .map(|rest| {
+                let (le, v) = rest.split_once("\"} ").expect("bucket line shape");
+                (le.to_string(), v.parse().expect("bucket value parses"))
+            })
+            .collect();
+        assert!(!buckets.is_empty(), "stage {} has bucket series", s.name());
+        for pair in buckets.windows(2) {
+            assert!(
+                pair[1].1 >= pair[0].1,
+                "stage {} buckets must be cumulative: le={} fell to {}",
+                s.name(),
+                pair[1].0,
+                pair[1].1
+            );
+        }
+        let (last_le, last_v) = buckets.last().expect("non-empty");
+        assert_eq!(last_le, "+Inf", "series ends at the +Inf bucket");
+        let count = sample(&text, &format!("purple_stage_latency_count{{stage=\"{}\"}}", s.name()));
+        assert_eq!(*last_v, count, "stage {}: +Inf bucket equals _count", s.name());
+        assert_eq!(count, m.stage(s).calls, "every observation landed in a bucket");
+        let sum = sample(&text, &format!("purple_stage_latency_sum{{stage=\"{}\"}}", s.name()));
+        assert_eq!(sum, m.stage(s).latency.sum);
+    }
+}
+
+#[test]
+fn every_counter_and_gauge_round_trips_by_name() {
+    let m = populated();
+    let text = render_prometheus(&m, None, None, None);
+    for c in Counter::ALL {
+        // The exposition name is `purple_<name>_total`; stripping the frame
+        // must recover the variant through `from_name`.
+        assert_eq!(Counter::from_name(c.name()), Some(c), "counter name is stable");
+        let value = sample(&text, &format!("purple_{}_total", c.name()));
+        assert_eq!(value, m.counter(c), "counter {} value survives the round trip", c.name());
+    }
+    for g in Gauge::ALL {
+        assert_eq!(Gauge::from_name(g.name()), Some(g), "gauge name is stable");
+        let value = sample(&text, &format!("purple_{}", g.name()));
+        assert_eq!(value, m.gauge(g).unwrap_or(0), "gauge {} value survives", g.name());
+    }
+    for f in Fixer::ALL {
+        assert_eq!(Fixer::from_name(f.name()), Some(f), "fixer name is stable");
+        let hits = sample(&text, &format!("purple_fixer_hits_total{{fixer=\"{}\"}}", f.name()));
+        assert_eq!(hits, m.fixer(f).hits);
+    }
+}
+
+#[test]
+fn optional_sections_expose_cache_ops_and_sink_loss() {
+    let m = populated();
+    let stage = |seed: u64| StageCacheStats {
+        hits: seed,
+        misses: seed + 1,
+        evictions: seed + 2,
+        entries: seed + 3,
+    };
+    let cache =
+        CacheStats { parse: stage(10), plan: stage(20), result: stage(30), columns: stage(40) };
+    let ops = ExecOpStats {
+        batches: 51,
+        rows_scanned: 52,
+        hash_probes: 53,
+        hash_probe_hits: 54,
+        nested_loop_fallbacks: 55,
+        hash_agg_groups: 56,
+        column_builds: 57,
+    };
+    let loss = SinkLoss {
+        dropped_traces: 61,
+        dropped_spans: 62,
+        dropped_event_batches: 63,
+        dropped_events: 64,
+    };
+    let text = render_prometheus(&m, Some(&cache), Some(&ops), Some(&loss));
+    for (label, s) in [
+        ("parse", &cache.parse),
+        ("plan", &cache.plan),
+        ("result", &cache.result),
+        ("columns", &cache.columns),
+    ] {
+        assert_eq!(sample(&text, &format!("purple_cache_hits_total{{cache=\"{label}\"}}")), s.hits);
+        assert_eq!(
+            sample(&text, &format!("purple_cache_misses_total{{cache=\"{label}\"}}")),
+            s.misses
+        );
+        assert_eq!(
+            sample(&text, &format!("purple_cache_evictions_total{{cache=\"{label}\"}}")),
+            s.evictions
+        );
+        assert_eq!(sample(&text, &format!("purple_cache_entries{{cache=\"{label}\"}}")), s.entries);
+    }
+    assert_eq!(sample(&text, "purple_exec_batches_total"), ops.batches);
+    assert_eq!(sample(&text, "purple_exec_rows_scanned_total"), ops.rows_scanned);
+    assert_eq!(sample(&text, "purple_exec_hash_probes_total"), ops.hash_probes);
+    assert_eq!(sample(&text, "purple_exec_column_builds_total"), ops.column_builds);
+    for (name, value) in loss.series() {
+        assert_eq!(sample(&text, &format!("purple_{name}_total")), value);
+    }
+    // Without the sections, none of those series leak into the exposition.
+    let bare = render_prometheus(&m, None, None, None);
+    for family in ["purple_cache_", "purple_exec_", "purple_dropped_"] {
+        assert!(!bare.contains(family), "`{family}` series need their section enabled");
+    }
+}

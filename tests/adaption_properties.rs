@@ -83,7 +83,7 @@ proptest! {
         // Identical clean samples in any order vote to the same SQL.
         let samples = vec![sql.clone(), sql.clone(), sql.clone()];
         let mut rng = StdRng::seed_from_u64(seed);
-        let v = purple::consistency_vote(&samples, db, &mut rng, None);
+        let v = purple::consistency_vote(&samples, db, &mut rng, None, None);
         prop_assert!(v.executable);
         prop_assert_eq!(v.sql, sql);
     }

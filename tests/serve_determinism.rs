@@ -30,7 +30,14 @@ fn fixture() -> Fixture {
 /// order shuffled by `arrival_seed`) through one server configuration and
 /// return (response bodies sorted by id, replayed report JSON).
 fn serve_once(fx: &Fixture, workers: usize, batching: bool, arrival_seed: u64) -> (String, String) {
-    let cfg = ServeConfig { workers, batching, queue_capacity: 8, batch_max: 6, trace: None };
+    let cfg = ServeConfig {
+        workers,
+        batching,
+        queue_capacity: 8,
+        batch_max: 6,
+        trace: None,
+        ..ServeConfig::default()
+    };
     let server = Server::start(fx.purple.clone(), fx.bench.clone(), fx.metrics.clone(), cfg);
     let requests = synth_requests(&fx.bench, fx.bench.examples.len() + 8, arrival_seed);
     let (mut completions, stats) = run_load(&server.handle(), requests).expect("load drives clean");

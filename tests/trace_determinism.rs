@@ -40,6 +40,7 @@ fn trace_once(
         queue_capacity: 8,
         batch_max: 6,
         trace: Some(TraceConfig::default()),
+        ..ServeConfig::default()
     };
     let server = Server::start(fx.purple.clone(), fx.bench.clone(), fx.metrics.clone(), cfg);
     let requests = synth_requests(&fx.bench, fx.bench.examples.len() + 8, arrival_seed);
